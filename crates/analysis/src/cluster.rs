@@ -1,0 +1,162 @@
+//! Correlation-threshold clustering for placement reverse engineering.
+//!
+//! Implication #1 of the paper: an attacker (or tool) can recover the
+//! physical grouping of SMs — GPCs, CPCs, die partitions — by clustering
+//! their L2-latency profiles, because SMs that share a cluster have
+//! near-identical latency distributions (Observations #3–#5).
+
+/// Union-find over `n` items.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Clusters items whose pairwise correlation is at least `threshold`.
+///
+/// `corr` is a symmetric matrix (e.g. from
+/// [`crate::correlation_matrix`]). Returns one cluster label per item,
+/// labelled `0..k` in order of first appearance.
+///
+/// # Panics
+///
+/// Panics if `corr` is ragged.
+pub fn correlation_clusters(corr: &[Vec<f64>], threshold: f64) -> Vec<usize> {
+    let n = corr.len();
+    let mut uf = UnionFind::new(n);
+    for (i, row) in corr.iter().enumerate() {
+        assert_eq!(row.len(), n, "correlation matrix must be square");
+        for (j, &r) in row.iter().enumerate().skip(i + 1) {
+            if r >= threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    // Canonicalise labels in first-appearance order.
+    let mut labels = Vec::with_capacity(n);
+    let mut next = 0;
+    let mut root_label = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        let label = *root_label.entry(root).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        labels.push(label);
+    }
+    labels
+}
+
+/// Number of distinct clusters in a label vector.
+pub fn cluster_count(labels: &[usize]) -> usize {
+    let mut seen: Vec<usize> = labels.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Measures how well inferred clusters match ground-truth groups: the
+/// fraction of item pairs on which "same cluster" agrees with "same group"
+/// (Rand index). 1.0 is perfect recovery.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or have fewer than two items.
+pub fn rand_index(labels: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(labels.len(), truth.len(), "label vectors must align");
+    let n = labels.len();
+    assert!(n >= 2, "rand index needs at least two items");
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_label = labels[i] == labels[j];
+            let same_truth = truth[i] == truth[j];
+            if same_label == same_truth {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_block_diagonal_matrix_clusters() {
+        // Two blocks of two.
+        let corr = vec![
+            vec![1.0, 0.99, 0.1, 0.0],
+            vec![0.99, 1.0, 0.0, 0.1],
+            vec![0.1, 0.0, 1.0, 0.98],
+            vec![0.0, 0.1, 0.98, 1.0],
+        ];
+        let labels = correlation_clusters(&corr, 0.9);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+        assert_eq!(cluster_count(&labels), 2);
+    }
+
+    #[test]
+    fn threshold_one_isolates_everything_imperfect() {
+        let corr = vec![vec![1.0, 0.5], vec![0.5, 1.0]];
+        let labels = correlation_clusters(&corr, 0.9);
+        assert_eq!(cluster_count(&labels), 2);
+    }
+
+    #[test]
+    fn transitive_chains_merge() {
+        // a~b and b~c, but a!~c: union-find still merges all three.
+        let corr = vec![
+            vec![1.0, 0.95, 0.2],
+            vec![0.95, 1.0, 0.95],
+            vec![0.2, 0.95, 1.0],
+        ];
+        let labels = correlation_clusters(&corr, 0.9);
+        assert_eq!(cluster_count(&labels), 1);
+    }
+
+    #[test]
+    fn rand_index_rewards_exact_recovery() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+    }
+
+    #[test]
+    fn rand_index_penalises_merging() {
+        let r = rand_index(&[0, 0, 0, 0], &[0, 0, 1, 1]);
+        assert!(r < 1.0);
+        assert!((r - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_rejected() {
+        let _ = correlation_clusters(&[vec![1.0, 0.0], vec![1.0]], 0.5);
+    }
+}

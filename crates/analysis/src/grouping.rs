@@ -1,0 +1,98 @@
+//! Group-and-sort analysis of latency profiles (paper Fig. 3).
+//!
+//! The paper groups L2 slices by their memory partition, sorts each group by
+//! latency, and observes that the sorted slice *order* is identical across
+//! SMs — the fingerprint of physical placement inside an MP.
+
+use crate::stats::argsort;
+
+/// For each group `0..num_groups`, the member indices of `group_of` sorted by
+/// ascending `values`.
+///
+/// # Panics
+///
+/// Panics if `values` and `group_of` differ in length or a group id is out of
+/// range.
+pub fn sorted_members_by_group(
+    values: &[f64],
+    group_of: &[usize],
+    num_groups: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(values.len(), group_of.len(), "values/groups must align");
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+    for (idx, &g) in group_of.iter().enumerate() {
+        assert!(g < num_groups, "group id {g} out of range");
+        groups[g].push(idx);
+    }
+    for members in &mut groups {
+        let vals: Vec<f64> = members.iter().map(|&i| values[i]).collect();
+        let order = argsort(&vals);
+        *members = order.iter().map(|&k| members[k]).collect();
+    }
+    groups
+}
+
+/// Whether two per-group sorted orders are identical — the Fig. 3 check that
+/// different SMs sort each MP's slices the same way.
+pub fn same_group_order(a: &[Vec<usize>], b: &[Vec<usize>]) -> bool {
+    a == b
+}
+
+/// Fraction of groups on which the two orders agree exactly.
+///
+/// # Panics
+///
+/// Panics if the group counts differ or there are no groups.
+pub fn group_order_agreement(a: &[Vec<usize>], b: &[Vec<usize>]) -> f64 {
+    assert_eq!(a.len(), b.len(), "group counts must match");
+    assert!(!a.is_empty(), "need at least one group");
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_sorted_within_groups() {
+        // items 0,1 in group 0; items 2,3 in group 1.
+        let values = [5.0, 3.0, 1.0, 2.0];
+        let groups = [0usize, 0, 1, 1];
+        let sorted = sorted_members_by_group(&values, &groups, 2);
+        assert_eq!(sorted, vec![vec![1, 0], vec![2, 3]]);
+    }
+
+    #[test]
+    fn shifted_values_keep_the_same_order() {
+        // The Fig. 3 phenomenon: another SM's latencies are shifted but the
+        // per-group order is unchanged.
+        let sm_a = [5.0, 3.0, 1.0, 2.0];
+        let sm_b: Vec<f64> = sm_a.iter().map(|v| v + 40.0).collect();
+        let groups = [0usize, 0, 1, 1];
+        let a = sorted_members_by_group(&sm_a, &groups, 2);
+        let b = sorted_members_by_group(&sm_b, &groups, 2);
+        assert!(same_group_order(&a, &b));
+        assert_eq!(group_order_agreement(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disagreement_is_fractional() {
+        let a = vec![vec![0, 1], vec![2, 3]];
+        let b = vec![vec![0, 1], vec![3, 2]];
+        assert!(!same_group_order(&a, &b));
+        assert_eq!(group_order_agreement(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn empty_groups_are_preserved() {
+        let sorted = sorted_members_by_group(&[1.0], &[2], 3);
+        assert_eq!(sorted, vec![vec![], vec![], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_group_rejected() {
+        let _ = sorted_members_by_group(&[1.0], &[5], 2);
+    }
+}

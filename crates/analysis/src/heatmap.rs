@@ -1,0 +1,97 @@
+//! ASCII heatmap rendering for correlation matrices and traffic maps
+//! (Figs. 6 and 16).
+
+/// Renders `matrix` (row-major) as an ASCII heatmap using a density ramp.
+///
+/// Values are scaled linearly between `lo` and `hi`; out-of-range values
+/// clamp. Row/column group boundaries every `group` cells get separators,
+/// matching the paper's GPC-grouped axes (pass 0 to disable).
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths or `hi <= lo`.
+pub fn render_heatmap(matrix: &[Vec<f64>], lo: f64, hi: f64, group: usize) -> String {
+    assert!(hi > lo, "heatmap range must be non-empty");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let width = matrix.first().map_or(0, Vec::len);
+    let mut out = String::new();
+    for (r, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), width, "ragged heatmap row {r}");
+        if group > 0 && r > 0 && r % group == 0 {
+            for c in 0..width {
+                if group > 0 && c > 0 && c % group == 0 {
+                    out.push('+');
+                }
+                out.push('-');
+            }
+            out.push('\n');
+        }
+        for (c, &v) in row.iter().enumerate() {
+            if group > 0 && c > 0 && c % group == 0 {
+                out.push('|');
+            }
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a time × destination traffic map (rows = time steps) with one
+/// character per cell scaled to the row-independent global maximum — the
+/// Fig. 16 view of per-slice traffic over time.
+pub fn render_traffic_map(rows: &[Vec<f64>]) -> String {
+    let max = rows
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    render_heatmap(rows, 0.0, max, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_maps_extremes() {
+        let m = vec![vec![0.0, 1.0]];
+        let art = render_heatmap(&m, 0.0, 1.0, 0);
+        assert_eq!(art, " @\n");
+    }
+
+    #[test]
+    fn group_separators_are_inserted() {
+        let m = vec![vec![1.0; 4]; 4];
+        let art = render_heatmap(&m, 0.0, 1.0, 2);
+        // 4 data rows + 1 separator row.
+        assert_eq!(art.lines().count(), 5);
+        assert!(art.contains('|'));
+        assert!(art.contains('+'));
+    }
+
+    #[test]
+    fn values_clamp_to_range() {
+        let m = vec![vec![-10.0, 10.0]];
+        let art = render_heatmap(&m, 0.0, 1.0, 0);
+        assert_eq!(art, " @\n");
+    }
+
+    #[test]
+    fn traffic_map_scales_to_global_max() {
+        let rows = vec![vec![0.0, 5.0], vec![10.0, 0.0]];
+        let art = render_traffic_map(&rows);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[1].chars().next(), Some('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let m = vec![vec![1.0, 2.0], vec![1.0]];
+        let _ = render_heatmap(&m, 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixed-bin histograms with peak detection.
+//!
+//! Used for the latency histograms of Fig. 2 and the bandwidth distributions
+//! of Fig. 9b,c and Fig. 13, where the *modality* matters: A100 per-slice
+//! bandwidth is bimodal (near/far partitions) while H100 is unimodal.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over equal-width bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Samples outside the range are clamped into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for &s in samples {
+            let idx = ((s - lo) / width).floor() as i64;
+            let idx = idx.clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Self { lo, width, counts }
+    }
+
+    /// Builds a histogram spanning the sample range with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bins == 0`.
+    pub fn auto(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "histogram of empty sample set");
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        Self::new(samples, lo, hi, bins)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + self.width * (i as f64 + 0.5)
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of local maxima after light smoothing, counting only peaks at
+    /// least `min_fraction` of the tallest bin. Detects bimodality: the A100
+    /// per-slice bandwidth histogram has two peaks, H100 one (Fig. 13).
+    pub fn peak_count(&self, min_fraction: f64) -> usize {
+        // 3-point moving average to suppress noise peaks.
+        let n = self.counts.len();
+        let smooth: Vec<f64> = (0..n)
+            .map(|i| {
+                let a = if i > 0 { self.counts[i - 1] } else { 0 } as f64;
+                let b = self.counts[i] as f64;
+                let c = if i + 1 < n { self.counts[i + 1] } else { 0 } as f64;
+                (a + b + c) / 3.0
+            })
+            .collect();
+        let tallest = smooth.iter().cloned().fold(0.0, f64::max);
+        if tallest == 0.0 {
+            return 0;
+        }
+        let floor = tallest * min_fraction;
+        let mut peaks = 0;
+        let mut i = 0;
+        while i < n {
+            let v = smooth[i];
+            if v >= floor {
+                let left = if i > 0 { smooth[i - 1] } else { -1.0 };
+                // Walk any plateau.
+                let mut j = i;
+                while j + 1 < n && smooth[j + 1] == v {
+                    j += 1;
+                }
+                let right = if j + 1 < n { smooth[j + 1] } else { -1.0 };
+                if v > left && v > right {
+                    peaks += 1;
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        peaks
+    }
+
+    /// Renders the histogram as ASCII rows (`center | bar count`).
+    pub fn render_ascii(&self, max_bar: usize) -> String {
+        let tallest = self.counts.iter().cloned().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * max_bar).div_ceil(tallest as usize);
+            out.push_str(&format!(
+                "{:8.1} | {}{} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar.min(max_bar)),
+                " ".repeat(max_bar.saturating_sub(bar)),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let h = Histogram::new(&[0.5, 1.5, 1.6, 2.5], 0.0, 3.0, 3);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let h = Histogram::new(&[-5.0, 99.0], 0.0, 10.0, 2);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn auto_spans_sample_range() {
+        let h = Histogram::auto(&[10.0, 20.0, 30.0], 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn unimodal_distribution_has_one_peak() {
+        // Sum of two uniform strides → triangular (unimodal) distribution.
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 50.0 + ((i % 20) as f64 - 9.5) / 2.0 + ((i % 17) as f64 - 8.0) / 2.0)
+            .collect();
+        let h = Histogram::new(&samples, 0.0, 100.0, 25);
+        assert_eq!(h.peak_count(0.25), 1, "{}", h.render_ascii(30));
+    }
+
+    #[test]
+    fn bimodal_distribution_has_two_peaks() {
+        // Two tight clusters, like A100 near/far slice bandwidth.
+        let mut samples = Vec::new();
+        for i in 0..500 {
+            samples.push(26.0 + 0.7 * ((i % 10) as f64 / 10.0 - 0.5));
+            samples.push(39.5 + 0.7 * ((i % 7) as f64 / 7.0 - 0.5));
+        }
+        let h = Histogram::new(&samples, 20.0, 45.0, 25);
+        assert_eq!(h.peak_count(0.2), 2, "{}", h.render_ascii(30));
+    }
+
+    #[test]
+    fn render_contains_every_bin() {
+        let h = Histogram::new(&[1.0, 2.0], 0.0, 4.0, 4);
+        let art = h.render_ascii(10);
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(&[1.0], 0.0, 1.0, 0);
+    }
+}

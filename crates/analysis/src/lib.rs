@@ -1,0 +1,51 @@
+//! # gnoc-analysis
+//!
+//! Statistics and reverse-engineering toolkit for the `gnoc` reproduction of
+//! *Uncovering Real GPU NoC Characteristics* (MICRO 2024).
+//!
+//! The paper's analyses reduce to a handful of primitives, all implemented
+//! here without external math dependencies:
+//!
+//! - [`Summary`], [`quantile`], [`argsort`] — sample statistics;
+//! - [`pearson`], [`correlation_matrix`] — the paper's Eq. 1, used for both
+//!   placement recovery (Fig. 6) and the AES attack (Fig. 18);
+//! - [`Histogram`] with peak detection — latency/bandwidth distributions
+//!   (Figs. 2, 9, 13);
+//! - [`render_heatmap`] — ASCII heatmaps (Figs. 6, 16);
+//! - [`correlation_clusters`], [`rand_index`] — placement inference
+//!   (Implication #1);
+//! - [`LinearFit`] — the linear timing relationships the side-channel attacks
+//!   exploit (Figs. 17, 19);
+//! - [`littles_law`] — the bandwidth/latency relation behind Fig. 14;
+//! - [`sorted_members_by_group`] — the Fig. 3 group-and-sort analysis;
+//! - [`svg`] — dependency-free SVG rendering of line charts, bar charts and
+//!   heatmaps for figure artifacts.
+//!
+//! ```
+//! use gnoc_analysis::pearson;
+//!
+//! let a = [1.0, 2.0, 3.0];
+//! let b = [2.0, 4.0, 6.0];
+//! assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod grouping;
+mod heatmap;
+mod histogram;
+mod linreg;
+pub mod littles_law;
+mod pearson;
+mod stats;
+pub mod svg;
+
+pub use cluster::{cluster_count, correlation_clusters, rand_index};
+pub use grouping::{group_order_agreement, same_group_order, sorted_members_by_group};
+pub use heatmap::{render_heatmap, render_traffic_map};
+pub use histogram::Histogram;
+pub use linreg::LinearFit;
+pub use pearson::{correlation_matrix, pearson, spearman};
+pub use stats::{argsort, quantile, Summary};

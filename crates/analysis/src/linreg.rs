@@ -1,0 +1,120 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The side-channel reproductions rely on linear relationships: AES timing vs
+//! number of unique cache lines (Fig. 17a) and RSA execution time vs the
+//! number of 1-bits in the key (Fig. 19). The defense works precisely by
+//! destroying the quality of these fits, which [`LinearFit::r_squared`]
+//! quantifies.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits a line to `(x, y)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or hold fewer than two samples.
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "fit requires equal-length vectors");
+        assert!(x.len() >= 2, "fit requires at least two samples");
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (a, b) in x.iter().zip(y) {
+            let dx = a - mx;
+            let dy = b - my;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+        let intercept = my - slope * mx;
+        let r_squared = if sxx == 0.0 || syy == 0.0 {
+            0.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Self {
+            slope,
+            intercept,
+            r_squared,
+        }
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Inverts the fit: the `x` whose prediction is `y`. Returns `None` for a
+    /// (near-)zero slope, where inversion is meaningless — exactly the
+    /// attacker's failure mode under the randomised scheduler.
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        (self.slope.abs() > 1e-12).then(|| (y - self.intercept) / self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = vec![0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v + 1.0).collect();
+        let f = LinearFit::fit(&x, &y);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_reduces_r_squared() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
+        let f = LinearFit::fit(&x, &y);
+        assert!(f.r_squared < 0.9);
+    }
+
+    #[test]
+    fn predict_and_invert_are_inverse() {
+        let f = LinearFit {
+            slope: 3.0,
+            intercept: -1.0,
+            r_squared: 1.0,
+        };
+        let y = f.predict(7.0);
+        assert!((f.invert(y).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_fit_cannot_invert() {
+        let f = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert!(f.invert(5.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        let _ = LinearFit::fit(&[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Little's-law bandwidth/latency relations.
+//!
+//! The paper invokes Little's law to explain why far-partition L2 slices see
+//! lower bandwidth from a small number of SMs (Fig. 14): a fixed in-flight
+//! byte budget divided by a larger round-trip latency yields a lower rate.
+
+/// Achievable bandwidth (GB/s) of a requester holding `mlp_bytes` in flight
+/// against a round-trip of `latency_cycles` at `clock_ghz`.
+///
+/// # Panics
+///
+/// Panics if `latency_cycles` or `clock_ghz` is not strictly positive.
+pub fn bandwidth_gbps(mlp_bytes: f64, latency_cycles: f64, clock_ghz: f64) -> f64 {
+    assert!(latency_cycles > 0.0, "latency must be positive");
+    assert!(clock_ghz > 0.0, "clock must be positive");
+    mlp_bytes * clock_ghz / latency_cycles
+}
+
+/// In-flight bytes implied by an observed `(bandwidth, latency)` pair — the
+/// inverse relation, used to check that measured curves are Little-consistent.
+///
+/// # Panics
+///
+/// Panics if `clock_ghz` is not strictly positive.
+pub fn implied_mlp_bytes(bandwidth_gbps: f64, latency_cycles: f64, clock_ghz: f64) -> f64 {
+    assert!(clock_ghz > 0.0, "clock must be positive");
+    bandwidth_gbps * latency_cycles / clock_ghz
+}
+
+/// Relative bandwidth drop expected when latency grows from `near` to `far`
+/// cycles under a fixed in-flight budget: `1 - near/far`.
+pub fn expected_drop(near_cycles: f64, far_cycles: f64) -> f64 {
+    1.0 - near_cycles / far_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_matches_hand_computation() {
+        // 7000 B in flight at 212 cycles and 1.41 GHz ≈ 46.6 GB/s.
+        let bw = bandwidth_gbps(7000.0, 212.0, 1.41);
+        assert!((bw - 46.556).abs() < 0.01);
+    }
+
+    #[test]
+    fn relations_are_mutually_inverse() {
+        let mlp = implied_mlp_bytes(bandwidth_gbps(5000.0, 300.0, 1.38), 300.0, 1.38);
+        assert!((mlp - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_latency_means_less_bandwidth() {
+        let near = bandwidth_gbps(8000.0, 212.0, 1.41);
+        let far = bandwidth_gbps(8000.0, 400.0, 1.41);
+        assert!(far < near);
+        let drop = expected_drop(212.0, 400.0);
+        assert!(((near - far) / near - drop).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = bandwidth_gbps(1.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Pearson correlation (paper Eq. 1) and correlation matrices.
+//!
+//! The paper uses Pearson correlation between latency profiles to recover
+//! physical placement (Observation #4, Fig. 6), and between timing traces and
+//! key hypotheses in the AES attack (Fig. 18).
+
+/// Pearson correlation coefficient of two equal-length sample vectors.
+///
+/// Returns 0.0 if either vector has zero variance (the correlation is
+/// undefined there; 0 is the conventional "no information" answer for the
+/// attack and clustering use cases).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or are empty.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson requires equal-length vectors");
+    assert!(!x.is_empty(), "pearson of empty vectors");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Symmetric Pearson-correlation matrix between the rows of `profiles`.
+///
+/// Row *i* of the result holds `pearson(profiles[i], profiles[j])` for every
+/// *j*; the diagonal is 1 (or 0 for zero-variance rows). This is the Fig. 6
+/// heatmap computation.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn correlation_matrix(profiles: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = profiles.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let r = pearson(&profiles[i], &profiles[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Spearman rank correlation: Pearson correlation of the ranks, robust to
+/// monotone nonlinearity and outliers. Ties receive their average rank.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or are empty.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite samples"));
+        let mut out = vec![0.0; v.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Group ties and assign the average rank (1-based).
+            let mut j = i;
+            while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_correlate_perfectly() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_anti_correlate() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_transforms_preserve_correlation() {
+        let x = vec![1.0, 5.0, 2.0, 8.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_yields_zero() {
+        let x = vec![2.0, 2.0, 2.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_vectors_near_zero() {
+        let x = vec![1.0, 2.0, 1.0, 2.0];
+        let y = vec![1.0, 1.0, 2.0, 2.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+        ];
+        let m = correlation_matrix(&rows);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_are_rejected() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_is_one_for_any_monotone_map() {
+        let x: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let y_dec: Vec<f64> = x.iter().map(|v| -v * v).collect();
+        assert!((spearman(&x, &y_dec) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        let x = vec![1.0, 1.0, 2.0];
+        let y = vec![5.0, 5.0, 9.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_robust_to_an_outlier() {
+        let x: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = x.clone();
+        y[4] = 1e9; // huge outlier preserves rank order
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 0.95, "pearson should be distorted");
+    }
+}

@@ -1,0 +1,139 @@
+//! Summary statistics over measurement samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample set: count, mean, standard deviation and range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// The sample range (`max - min`).
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Coefficient of variation (`stddev / mean`); 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.n, self.mean, self.stddev, self.min, self.max
+        )
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `samples` by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Indices that sort `values` ascending — the slice-ordering primitive behind
+/// the paper's Fig. 3 ("sorted slice order is identical across SMs").
+pub fn argsort(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.span(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 0.25), 2.0);
+    }
+
+    #[test]
+    fn argsort_orders_indices() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert!(s.to_string().starts_with("n=2 mean=2.00"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Dependency-free SVG rendering of the toolkit's standard chart shapes:
+//! line/scatter series, bar charts and matrix heatmaps.
+//!
+//! The figure-regeneration binaries can emit these next to their textual
+//! output so the reproduced figures can be compared with the paper's plots
+//! visually. Only a small, safe subset of SVG is generated; all text is
+//! XML-escaped.
+
+use std::fmt::Write as _;
+
+/// Canvas margins around the plot area, px.
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A named data series for [`line_chart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Series colours (colour-blind-safe-ish defaults).
+const PALETTE: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
+
+struct Frame {
+    width: f64,
+    height: f64,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+}
+
+impl Frame {
+    fn x(&self, v: f64) -> f64 {
+        MARGIN_L + (v - self.x0) / (self.x1 - self.x0) * (self.width - MARGIN_L - MARGIN_R)
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        self.height
+            - MARGIN_B
+            - (v - self.y0) / (self.y1 - self.y0) * (self.height - MARGIN_T - MARGIN_B)
+    }
+}
+
+fn open_svg(out: &mut String, width: f64, height: f64, title: &str) {
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="20" font-size="14" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        esc(title)
+    );
+}
+
+fn axes(out: &mut String, f: &Frame, x_label: &str, y_label: &str) {
+    let (px0, px1) = (MARGIN_L, f.width - MARGIN_R);
+    let (py0, py1) = (f.height - MARGIN_B, MARGIN_T);
+    let _ = write!(
+        out,
+        r##"<line x1="{px0}" y1="{py0}" x2="{px1}" y2="{py0}" stroke="#333"/><line x1="{px0}" y1="{py0}" x2="{px0}" y2="{py1}" stroke="#333"/>"##
+    );
+    // Min/max tick labels on both axes.
+    let _ = write!(
+        out,
+        r#"<text x="{px0}" y="{}" text-anchor="middle">{:.3}</text><text x="{px1}" y="{}" text-anchor="middle">{:.3}</text>"#,
+        py0 + 16.0,
+        f.x0,
+        py0 + 16.0,
+        f.x1
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="{py0}" text-anchor="end">{:.1}</text><text x="{}" y="{py1}" text-anchor="end">{:.1}</text>"#,
+        px0 - 6.0,
+        f.y0,
+        px0 - 6.0,
+        f.y1
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        (px0 + px1) / 2.0,
+        f.height - 12.0,
+        esc(x_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        (py0 + py1) / 2.0,
+        (py0 + py1) / 2.0,
+        esc(y_label)
+    );
+}
+
+/// Renders one or more line series with markers into an SVG document string.
+///
+/// # Panics
+///
+/// Panics if every series is empty.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: u32,
+    height: u32,
+) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    assert!(!all.is_empty(), "line chart needs at least one point");
+    let x0 = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let mut x1 = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y0 = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).min(0.0);
+    let mut y1 = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 == y0 {
+        y1 = y0 + 1.0;
+    }
+    let f = Frame {
+        width: f64::from(width),
+        height: f64::from(height),
+        x0,
+        x1,
+        y0,
+        y1,
+    };
+    let mut out = String::new();
+    open_svg(&mut out, f.width, f.height, title);
+    axes(&mut out, &f, x_label, y_label);
+    for (si, s) in series.iter().enumerate() {
+        let colour = PALETTE[si % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, f.x(x), f.y(y))
+            })
+            .collect();
+        let _ = write!(
+            out,
+            r#"<path d="{}" fill="none" stroke="{colour}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                out,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{colour}"/>"#,
+                f.x(x),
+                f.y(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 * si as f64;
+        let _ = write!(
+            out,
+            r#"<rect x="{}" y="{}" width="10" height="10" fill="{colour}"/><text x="{}" y="{}">{}</text>"#,
+            f.width - 150.0,
+            ly,
+            f.width - 135.0,
+            ly + 9.0,
+            esc(&s.name)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders a bar chart (one bar per `(label, value)` pair).
+///
+/// # Panics
+///
+/// Panics if `bars` is empty.
+pub fn bar_chart(
+    title: &str,
+    y_label: &str,
+    bars: &[(String, f64)],
+    width: u32,
+    height: u32,
+) -> String {
+    assert!(!bars.is_empty(), "bar chart needs at least one bar");
+    let y1 = bars.iter().map(|b| b.1).fold(0.0f64, f64::max).max(1e-12);
+    let f = Frame {
+        width: f64::from(width),
+        height: f64::from(height),
+        x0: 0.0,
+        x1: bars.len() as f64,
+        y0: 0.0,
+        y1,
+    };
+    let mut out = String::new();
+    open_svg(&mut out, f.width, f.height, title);
+    axes(&mut out, &f, "", y_label);
+    let slot = (f.width - MARGIN_L - MARGIN_R) / bars.len() as f64;
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let x = MARGIN_L + slot * i as f64 + slot * 0.15;
+        let y = f.y(*v);
+        let h = (f.height - MARGIN_B) - y;
+        let _ = write!(
+            out,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"#,
+            slot * 0.7,
+            PALETTE[0]
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="10">{}</text>"#,
+            x + slot * 0.35,
+            f.height - MARGIN_B + 14.0,
+            esc(label)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders a matrix heatmap (row-major) with a blue→red diverging ramp over
+/// `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged, or `hi <= lo`.
+pub fn heatmap(
+    title: &str,
+    matrix: &[Vec<f64>],
+    lo: f64,
+    hi: f64,
+    width: u32,
+    height: u32,
+) -> String {
+    assert!(!matrix.is_empty(), "heatmap needs data");
+    assert!(hi > lo, "heatmap range must be non-empty");
+    let cols = matrix[0].len();
+    let mut out = String::new();
+    let (w, h) = (f64::from(width), f64::from(height));
+    open_svg(&mut out, w, h, title);
+    let cell_w = (w - MARGIN_L - MARGIN_R) / cols as f64;
+    let cell_h = (h - MARGIN_T - MARGIN_B) / matrix.len() as f64;
+    for (r, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), cols, "ragged heatmap row {r}");
+        for (c, &v) in row.iter().enumerate() {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            // Blue (low) → white (mid) → red (high).
+            let (red, green, blue) = if t < 0.5 {
+                let u = t * 2.0;
+                ((255.0 * u) as u8 + ((1.0 - u) * 40.0) as u8, (255.0 * u) as u8 + ((1.0 - u) * 80.0) as u8, 255)
+            } else {
+                let u = (t - 0.5) * 2.0;
+                (255, (255.0 * (1.0 - u)) as u8, (255.0 * (1.0 - u)) as u8)
+            };
+            let _ = write!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.2}" height="{:.2}" fill="rgb({red},{green},{blue})"/>"#,
+                MARGIN_L + cell_w * c as f64,
+                MARGIN_T + cell_h * r as f64,
+                cell_w + 0.5,
+                cell_h + 0.5,
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_is_wellformed() {
+        let svg = line_chart(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                name: "a<b>".into(),
+                points: vec![(0.0, 1.0), (1.0, 2.0)],
+            }],
+            640,
+            480,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("a&lt;b&gt;"), "legend must be escaped");
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_bar() {
+        let svg = bar_chart(
+            "bars",
+            "GB/s",
+            &[("a".into(), 1.0), ("b".into(), 2.0), ("c".into(), 0.5)],
+            640,
+            480,
+        );
+        // 3 bars + 1 legend-free: count bar rects only (legend uses rect too
+        // in line_chart, not here).
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn heatmap_draws_every_cell() {
+        let m = vec![vec![0.0, 0.5], vec![1.0, -1.0]];
+        let svg = heatmap("h", &m, -1.0, 1.0, 320, 240);
+        assert_eq!(svg.matches("<rect").count(), 4);
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let svg = line_chart(
+            "flat",
+            "x",
+            "y",
+            &[Series {
+                name: "c".into(),
+                points: vec![(1.0, 5.0), (1.0, 5.0)],
+            }],
+            320,
+            240,
+        );
+        assert!(svg.contains("</svg>"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_chart_rejected() {
+        let _ = line_chart("t", "x", "y", &[], 100, 100);
+    }
+}

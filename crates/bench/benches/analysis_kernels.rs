@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the statistics kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnoc_core::{analysis, correlation_matrix, pearson};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_kernels");
+
+    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin() * 50.0 + 200.0).collect();
+    let y: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.11).cos() * 30.0 + 180.0).collect();
+    group.bench_function("pearson_1024", |b| b.iter(|| pearson(&x, &y)));
+
+    // The Fig. 6 workload: 80 SM profiles of 32 slices each.
+    let profiles: Vec<Vec<f64>> = (0..80)
+        .map(|s| {
+            (0..32)
+                .map(|i| 200.0 + ((s * 13 + i * 7) % 41) as f64)
+                .collect()
+        })
+        .collect();
+    group.bench_function("correlation_matrix_80x32", |b| {
+        b.iter(|| correlation_matrix(&profiles))
+    });
+
+    let samples: Vec<f64> = (0..4096).map(|i| ((i * 2654435761u64) % 997) as f64).collect();
+    group.bench_function("histogram_4096", |b| {
+        b.iter(|| analysis::Histogram::new(&samples, 0.0, 1000.0, 64))
+    });
+    group.bench_function("quantile_4096", |b| {
+        b.iter(|| analysis::quantile(&samples, 0.95))
+    });
+
+    let corr = correlation_matrix(&profiles);
+    group.bench_function("correlation_clusters_80", |b| {
+        b.iter(|| analysis::correlation_clusters(&corr, 0.9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the max-min fair fabric solver (Algorithm 2's
+//! steady-state engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnoc_core::microbench::bandwidth::{cross_flows, reachable_slices};
+use gnoc_core::{AccessKind, GpcId, GpuDevice, SliceId, SmId};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandwidth_solver");
+    group.sample_size(20);
+
+    let dev = GpuDevice::v100(0);
+    let h = dev.hierarchy().clone();
+
+    // Single flow.
+    let one = cross_flows(&[SmId::new(0)], &[SliceId::new(0)], AccessKind::ReadHit);
+    group.bench_function("1_flow", |b| b.iter(|| dev.solve_bandwidth(&one)));
+
+    // One GPC into one slice (the Fig. 9c case).
+    let gpc = cross_flows(
+        h.sms_in_gpc(GpcId::new(0)),
+        &[SliceId::new(0)],
+        AccessKind::ReadHit,
+    );
+    group.bench_function("14_flows_one_slice", |b| b.iter(|| dev.solve_bandwidth(&gpc)));
+
+    // Full-chip aggregates on each preset.
+    for (name, dev) in [
+        ("v100_2560", GpuDevice::v100(0)),
+        ("a100_8640", GpuDevice::a100(0)),
+        ("h100_5280", GpuDevice::h100(0)),
+    ] {
+        let h = dev.hierarchy().clone();
+        let mut flows = Vec::new();
+        for sm in SmId::range(h.num_sms()) {
+            flows.extend(cross_flows(
+                &[sm],
+                &reachable_slices(&dev, sm),
+                AccessKind::ReadHit,
+            ));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("aggregate", name),
+            &flows,
+            |b, flows| b.iter(|| dev.solve_bandwidth(flows)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

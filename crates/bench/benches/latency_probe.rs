@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the latency-measurement path (Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnoc_core::{GpuDevice, LatencyProbe, SliceId, SmId};
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_probe");
+
+    for (name, mut dev) in [
+        ("v100", GpuDevice::v100(0)),
+        ("a100", GpuDevice::a100(0)),
+        ("h100", GpuDevice::h100(0)),
+    ] {
+        let probe = LatencyProbe::default();
+        group.bench_with_input(
+            BenchmarkId::new("measure_pair", name),
+            &(),
+            |b, _| {
+                b.iter(|| probe.measure_pair(&mut dev, SmId::new(24), SliceId::new(0)))
+            },
+        );
+    }
+
+    let mut dev = GpuDevice::v100(0);
+    let probe = LatencyProbe {
+        working_set_lines: 2,
+        samples: 4,
+    };
+    group.bench_function("sm_profile/v100_32_slices", |b| {
+        b.iter(|| probe.sm_profile(&mut dev, SmId::new(24)))
+    });
+    group.bench_function("timed_read/v100", |b| {
+        dev.warm_line(SmId::new(0), 1);
+        b.iter(|| dev.timed_read(SmId::new(0), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

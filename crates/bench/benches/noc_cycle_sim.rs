@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the cycle-level NoC simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnoc_core::noc::{
+    run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig, Mesh, MeshConfig,
+    NodeId, PacketClass,
+};
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_cycle_sim");
+    group.sample_size(10);
+
+    group.bench_function("mesh_6x6_1000_cycles_saturated", |b| {
+        b.iter(|| {
+            let mut mesh = Mesh::new(MeshConfig::paper_6x6(ArbiterKind::RoundRobin));
+            for cycle in 0..1000u64 {
+                for src in 6..36u32 {
+                    let _ = mesh.try_inject(
+                        NodeId::new(src),
+                        NodeId::new((cycle % 6) as u32),
+                        1,
+                        PacketClass::Request,
+                    );
+                }
+                mesh.step();
+                mesh.drain_ejected();
+            }
+            mesh.stats().delivered_total
+        })
+    });
+
+    group.bench_function("fairness_experiment_short", |b| {
+        let cfg = FairnessConfig {
+            warmup: 500,
+            measure: 2_000,
+            ..FairnessConfig::paper(ArbiterKind::AgeBased)
+        };
+        b.iter(|| run_fairness(cfg, 1).unfairness)
+    });
+
+    group.bench_function("memsim_short", |b| {
+        let cfg = MemSimConfig {
+            warmup: 500,
+            measure: 2_000,
+            ..MemSimConfig::underprovisioned()
+        };
+        b.iter(|| run_memsim(cfg, 1).mean_utilization)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the side-channel building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnoc_core::sidechannel::timing::warp_read_cycles;
+use gnoc_core::sidechannel::BigUint;
+use gnoc_core::{Aes128, GpuDevice, SmId};
+
+fn bench_sidechannel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sidechannel_kernels");
+
+    let aes = Aes128::new([7u8; 16]);
+    group.bench_function("aes_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block([42u8; 16]))
+    });
+    group.bench_function("aes_encrypt_traced", |b| {
+        b.iter(|| aes.encrypt_block_traced([42u8; 16]))
+    });
+
+    let base = BigUint::from_limbs(vec![0x0123_4567_89ab_cdef, 0x0fed_cba9]);
+    let modulus = BigUint::from_limbs(vec![0x9ba4_f327_cd73_a697, 0xc1f6_1a5b_88f2_9d11]);
+    let exponent = BigUint::from_limbs(vec![u64::MAX, 0xdead_beef_cafe_f00d]);
+    group.bench_function("bigint_modpow_128bit_exp", |b| {
+        b.iter(|| base.modpow_counted(&exponent, &modulus))
+    });
+
+    let mut dev = GpuDevice::a100(0);
+    let lines: Vec<u8> = (0..16).collect();
+    group.bench_function("warp_read_16_lines", |b| {
+        b.iter(|| warp_read_cycles(&mut dev, SmId::new(0), &lines))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sidechannel);
+criterion_main!(benches);

@@ -1,0 +1,447 @@
+//! Argument parsing and command definitions for the `gnoc` CLI.
+//!
+//! Hand-rolled (no argument-parsing dependency): subcommand + `--flag value`
+//! pairs, with typed validation. The parser lives in the library so it can
+//! be unit-tested; `main.rs` only dispatches.
+
+#![warn(missing_docs)]
+
+use gnoc_core::{CtaScheduler, GpuSpec};
+
+/// Which preset GPU a command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuChoice {
+    /// The V100 preset.
+    V100,
+    /// The A100 preset.
+    A100,
+    /// The H100 preset.
+    H100,
+}
+
+impl GpuChoice {
+    /// Parses a GPU name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "v100" => Ok(Self::V100),
+            "a100" => Ok(Self::A100),
+            "h100" => Ok(Self::H100),
+            other => Err(format!("unknown GPU '{other}' (expected v100|a100|h100)")),
+        }
+    }
+
+    /// The corresponding spec.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            Self::V100 => GpuSpec::v100(),
+            Self::A100 => GpuSpec::a100(),
+            Self::H100 => GpuSpec::h100(),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `gnoc info <gpu>` — Table-I style device summary and floorplan.
+    Info {
+        /// Target device.
+        gpu: GpuChoice,
+    },
+    /// `gnoc latency <gpu> [--sm N] [--seed S]` — Algorithm 1 profile.
+    Latency {
+        /// Target device.
+        gpu: GpuChoice,
+        /// Source SM id.
+        sm: u32,
+        /// Measurement seed.
+        seed: u64,
+    },
+    /// `gnoc bandwidth <gpu> [--seed S]` — aggregates and input speedups.
+    Bandwidth {
+        /// Target device.
+        gpu: GpuChoice,
+        /// Measurement seed.
+        seed: u64,
+    },
+    /// `gnoc placement <gpu> [--seed S]` — latency campaign + placement
+    /// reverse engineering.
+    Placement {
+        /// Target device.
+        gpu: GpuChoice,
+        /// Measurement seed.
+        seed: u64,
+    },
+    /// `gnoc attack <aes|rsa> [--gpu G] [--defend] [--seed S]`.
+    Attack {
+        /// Which published attack to reproduce.
+        kind: AttackKind,
+        /// Target device.
+        gpu: GpuChoice,
+        /// Victim scheduler (the defense toggle).
+        scheduler: CtaScheduler,
+        /// Experiment seed.
+        seed: u64,
+    },
+    /// `gnoc mesh [--arbiter rr|age] [--seed S]` — the Fig. 23 experiment.
+    Mesh {
+        /// Arbitration policy.
+        age_based: bool,
+        /// Simulation seed.
+        seed: u64,
+    },
+    /// `gnoc memsim [--provisioned] [--seed S]` — the Fig. 21 experiment.
+    Memsim {
+        /// Provision the reply interface (the real-GPU configuration).
+        provisioned: bool,
+        /// Simulation seed.
+        seed: u64,
+    },
+    /// `gnoc covert [--gpu G] [--far] [--seed S]` — the slice-contention
+    /// covert channel.
+    Covert {
+        /// Target device.
+        gpu: GpuChoice,
+        /// Place the transmitter on the far partition (weak-signal baseline).
+        far: bool,
+        /// Session seed.
+        seed: u64,
+    },
+    /// `gnoc replay <bfs|gaussian> [--gpu G] [--random] [--blocks N]` —
+    /// trace replay with execution-time estimation.
+    Replay {
+        /// Which workload trace to generate and replay.
+        workload: WorkloadKind,
+        /// Target device.
+        gpu: GpuChoice,
+        /// Use the random-seed scheduling defense.
+        random: bool,
+        /// Thread blocks per step.
+        blocks: usize,
+    },
+    /// `gnoc loadcurve [--net mesh|xbar]` — offered-load vs latency sweep.
+    LoadCurve {
+        /// Sweep the hierarchical crossbar instead of the mesh.
+        crossbar: bool,
+        /// Simulation seed.
+        seed: u64,
+    },
+    /// `gnoc help` — usage.
+    Help,
+}
+
+/// Which workload `gnoc replay` generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Level-synchronous BFS.
+    Bfs,
+    /// Gaussian elimination.
+    Gaussian,
+}
+
+/// Which attack `gnoc attack` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The AES last-round key recovery.
+    Aes,
+    /// The RSA exponent-weight attack.
+    Rsa,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gnoc — GPU NoC characterisation toolkit (paper reproduction)
+
+USAGE:
+    gnoc info       <v100|a100|h100>
+    gnoc latency    <gpu> [--sm N] [--seed S]
+    gnoc bandwidth  <gpu> [--seed S]
+    gnoc placement  <gpu> [--seed S]
+    gnoc attack     <aes|rsa> [--gpu G] [--defend] [--seed S]
+    gnoc mesh       [--arbiter rr|age] [--seed S]
+    gnoc memsim     [--provisioned] [--seed S]
+    gnoc covert     [--gpu G] [--far] [--seed S]
+    gnoc replay     <bfs|gaussian> [--gpu G] [--random] [--blocks N]
+    gnoc loadcurve  [--net mesh|xbar] [--seed S]
+    gnoc help
+";
+
+/// Reads `--flag value` pairs and boolean `--flag`s from `args`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value_of(&self, flag: &str) -> Result<Option<&'a str>, String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if a == flag {
+                return match self.args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                    _ => Err(format!("flag {flag} needs a value")),
+                };
+            }
+        }
+        Ok(None)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value_of(flag)? {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag {flag}: '{v}' is not a valid number")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad GPU names, or
+/// malformed flags.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    let flags = Flags { args: rest };
+    let gpu_positional = || -> Result<GpuChoice, String> {
+        rest.first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| "missing GPU argument".to_owned())
+            .and_then(|s| GpuChoice::parse(s))
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info {
+            gpu: gpu_positional()?,
+        }),
+        "latency" => Ok(Command::Latency {
+            gpu: gpu_positional()?,
+            sm: flags.parse_num("--sm", 24u32)?,
+            seed: flags.parse_num("--seed", 0u64)?,
+        }),
+        "bandwidth" => Ok(Command::Bandwidth {
+            gpu: gpu_positional()?,
+            seed: flags.parse_num("--seed", 0u64)?,
+        }),
+        "placement" => Ok(Command::Placement {
+            gpu: gpu_positional()?,
+            seed: flags.parse_num("--seed", 0u64)?,
+        }),
+        "attack" => {
+            let kind = match rest.first().map(String::as_str) {
+                Some("aes") => AttackKind::Aes,
+                Some("rsa") => AttackKind::Rsa,
+                other => return Err(format!("attack needs aes|rsa, got {other:?}")),
+            };
+            let gpu = match flags.value_of("--gpu")? {
+                Some(g) => GpuChoice::parse(g)?,
+                None => GpuChoice::A100,
+            };
+            let scheduler = if flags.has("--defend") {
+                CtaScheduler::RandomSeed
+            } else {
+                CtaScheduler::Static
+            };
+            Ok(Command::Attack {
+                kind,
+                gpu,
+                scheduler,
+                seed: flags.parse_num("--seed", 42u64)?,
+            })
+        }
+        "mesh" => {
+            let age_based = match flags.value_of("--arbiter")? {
+                None | Some("rr") => false,
+                Some("age") => true,
+                Some(other) => return Err(format!("unknown arbiter '{other}' (rr|age)")),
+            };
+            Ok(Command::Mesh {
+                age_based,
+                seed: flags.parse_num("--seed", 1u64)?,
+            })
+        }
+        "memsim" => Ok(Command::Memsim {
+            provisioned: flags.has("--provisioned"),
+            seed: flags.parse_num("--seed", 1u64)?,
+        }),
+        "covert" => {
+            let gpu = match flags.value_of("--gpu")? {
+                Some(g) => GpuChoice::parse(g)?,
+                None => GpuChoice::A100,
+            };
+            Ok(Command::Covert {
+                gpu,
+                far: flags.has("--far"),
+                seed: flags.parse_num("--seed", 0u64)?,
+            })
+        }
+        "replay" => {
+            let workload = match rest.first().map(String::as_str) {
+                Some("bfs") => WorkloadKind::Bfs,
+                Some("gaussian") => WorkloadKind::Gaussian,
+                other => return Err(format!("replay needs bfs|gaussian, got {other:?}")),
+            };
+            let gpu = match flags.value_of("--gpu")? {
+                Some(g) => GpuChoice::parse(g)?,
+                None => GpuChoice::V100,
+            };
+            Ok(Command::Replay {
+                workload,
+                gpu,
+                random: flags.has("--random"),
+                blocks: flags.parse_num("--blocks", 64usize)?,
+            })
+        }
+        "loadcurve" => {
+            let crossbar = match flags.value_of("--net")? {
+                None | Some("mesh") => false,
+                Some("xbar") => true,
+                Some(other) => return Err(format!("unknown network '{other}' (mesh|xbar)")),
+            };
+            Ok(Command::LoadCurve {
+                crossbar,
+                seed: flags.parse_num("--seed", 1u64)?,
+            })
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn info_parses_gpu_case_insensitively() {
+        assert_eq!(
+            parse(&argv("info V100")).unwrap(),
+            Command::Info {
+                gpu: GpuChoice::V100
+            }
+        );
+        assert!(parse(&argv("info rtx5090")).is_err());
+        assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn latency_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("latency a100")).unwrap(),
+            Command::Latency {
+                gpu: GpuChoice::A100,
+                sm: 24,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            parse(&argv("latency h100 --sm 7 --seed 99")).unwrap(),
+            Command::Latency {
+                gpu: GpuChoice::H100,
+                sm: 7,
+                seed: 99
+            }
+        );
+        assert!(parse(&argv("latency v100 --sm")).is_err());
+        assert!(parse(&argv("latency v100 --sm abc")).is_err());
+    }
+
+    #[test]
+    fn attack_flags() {
+        let c = parse(&argv("attack aes --defend --gpu v100")).unwrap();
+        assert_eq!(
+            c,
+            Command::Attack {
+                kind: AttackKind::Aes,
+                gpu: GpuChoice::V100,
+                scheduler: CtaScheduler::RandomSeed,
+                seed: 42,
+            }
+        );
+        let c = parse(&argv("attack rsa")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Attack {
+                kind: AttackKind::Rsa,
+                scheduler: CtaScheduler::Static,
+                ..
+            }
+        ));
+        assert!(parse(&argv("attack des")).is_err());
+    }
+
+    #[test]
+    fn mesh_arbiter_choices() {
+        assert_eq!(
+            parse(&argv("mesh --arbiter age")).unwrap(),
+            Command::Mesh {
+                age_based: true,
+                seed: 1
+            }
+        );
+        assert!(parse(&argv("mesh --arbiter fifo")).is_err());
+    }
+
+    #[test]
+    fn memsim_provisioned_toggle() {
+        assert_eq!(
+            parse(&argv("memsim --provisioned --seed 5")).unwrap(),
+            Command::Memsim {
+                provisioned: true,
+                seed: 5
+            }
+        );
+    }
+
+    #[test]
+    fn covert_and_replay_and_loadcurve_parse() {
+        assert_eq!(
+            parse(&argv("covert --far")).unwrap(),
+            Command::Covert {
+                gpu: GpuChoice::A100,
+                far: true,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            parse(&argv("replay bfs --random --blocks 12")).unwrap(),
+            Command::Replay {
+                workload: WorkloadKind::Bfs,
+                gpu: GpuChoice::V100,
+                random: true,
+                blocks: 12
+            }
+        );
+        assert!(parse(&argv("replay sort")).is_err());
+        assert_eq!(
+            parse(&argv("loadcurve --net xbar")).unwrap(),
+            Command::LoadCurve {
+                crossbar: true,
+                seed: 1
+            }
+        );
+        assert!(parse(&argv("loadcurve --net ring")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_includes_usage() {
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,301 @@
+//! The `gnoc` command-line tool: run the paper's characterisation and
+//! experiments from the shell. See `gnoc help`.
+
+use gnoc_cli::{parse, AttackKind, Command, GpuChoice, WorkloadKind, USAGE};
+use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
+use gnoc_core::noc::{HierConfig, MeshConfig};
+use gnoc_core::sidechannel::covert::{bits_of, bytes_of, channel_snr, transmit, CovertChannelConfig};
+use gnoc_core::workloads::replay::{replay, ReplayConfig};
+use gnoc_core::workloads::{bfs, gaussian};
+use gnoc_core::{CtaScheduler, SliceId};
+use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
+use gnoc_core::noc::{run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig};
+use gnoc_core::{
+    infer_placement, input_speedups, run_aes_attack, run_rsa_attack, AccessKind,
+    AesAttackConfig, GpuDevice, LatencyCampaign, LatencyProbe, RsaAttackConfig, SmId, Summary,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cmd) => {
+            run(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn device(gpu: GpuChoice, seed: u64) -> GpuDevice {
+    GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid")
+}
+
+fn run(cmd: Command) {
+    match cmd {
+        Command::Help => print!("{USAGE}"),
+
+        Command::Info { gpu } => {
+            let spec = gpu.spec();
+            for (label, value) in spec.table1_row() {
+                println!("{label:<22}{value}");
+            }
+            println!();
+            print!("{}", spec.floorplan().render_ascii(&spec.hierarchy(), 96, 24));
+        }
+
+        Command::Latency { gpu, sm, seed } => {
+            let mut dev = device(gpu, seed);
+            let n = dev.hierarchy().num_sms() as u32;
+            if sm >= n {
+                eprintln!("error: SM {sm} out of range (device has {n} SMs)");
+                return;
+            }
+            let probe = LatencyProbe::default();
+            let profile = probe.sm_profile(&mut dev, SmId::new(sm));
+            println!(
+                "L2 hit latency from SM{sm} on {} ({} visible slices):",
+                dev.spec().name,
+                profile.len()
+            );
+            for (i, l) in profile.iter().enumerate() {
+                println!("  slice {i:>3}: {l:>6.0} cycles");
+            }
+            println!("summary: {}", Summary::of(&profile));
+        }
+
+        Command::Bandwidth { gpu, seed } => {
+            let mut dev = device(gpu, seed);
+            let fabric = aggregate_fabric_gbps(&mut dev);
+            let mem = aggregate_memory_gbps(&mut dev);
+            println!("{}:", dev.spec().name);
+            println!("  aggregate L2 fabric bandwidth: {fabric:.0} GB/s");
+            println!(
+                "  aggregate memory bandwidth:    {mem:.0} GB/s ({:.0}% of peak)",
+                100.0 * mem / dev.spec().mem_peak_gbps
+            );
+            println!("  fabric / memory ratio:         {:.2}x", fabric / mem);
+            for (kind, label) in [(AccessKind::ReadHit, "reads"), (AccessKind::Write, "writes")]
+            {
+                let r = input_speedups(&dev, kind);
+                println!(
+                    "  input speedup ({label}): TPC {:.2}, GPC_l {:.1}/{}, GPC_g {:.1}/{}{}",
+                    r.tpc,
+                    r.gpc_local,
+                    r.gpc_tpcs,
+                    r.gpc_global,
+                    r.gpc_sms,
+                    r.cpc
+                        .map(|c| format!(", CPC {:.1}/{}", c, r.cpc_sms.unwrap()))
+                        .unwrap_or_default()
+                );
+            }
+        }
+
+        Command::Placement { gpu, seed } => {
+            let mut dev = device(gpu, seed);
+            let probe = LatencyProbe {
+                working_set_lines: 2,
+                samples: 6,
+            };
+            let campaign = LatencyCampaign::run(&mut dev, &probe);
+            let report = infer_placement(&campaign, &dev, 2.5);
+            println!(
+                "{}: grand mean latency {:.0} cycles over {}x{} pairs",
+                dev.spec().name,
+                campaign.grand_mean(),
+                campaign.matrix.len(),
+                campaign.matrix[0].len()
+            );
+            println!(
+                "position recovery (corr vs proximity): {:.2}",
+                report.position_recovery_r
+            );
+            println!("GPC groups inferred: {:?}", report.gpc_labels);
+            println!("GPC groups actual:   {:?}", report.gpc_truth);
+            println!("Rand index: {:.2}", report.gpc_rand_index);
+        }
+
+        Command::Attack {
+            kind,
+            gpu,
+            scheduler,
+            seed,
+        } => match kind {
+            AttackKind::Aes => {
+                let mut dev = device(gpu, seed);
+                let key = [
+                    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                    0x09, 0xcf, 0x4f, 0x3c,
+                ];
+                let cfg = AesAttackConfig {
+                    samples: 2_500,
+                    scheduler,
+                    ..AesAttackConfig::new(key)
+                };
+                let r = run_aes_attack(&mut dev, &cfg, seed);
+                println!(
+                    "AES last-round key byte 0 on {} ({scheduler:?} scheduling):",
+                    dev.spec().name
+                );
+                println!(
+                    "  best guess 0x{:02x}, true 0x{:02x} → {}",
+                    r.best_guess,
+                    r.true_byte,
+                    if r.succeeded() {
+                        "KEY BYTE RECOVERED"
+                    } else {
+                        "attack defeated"
+                    }
+                );
+                println!(
+                    "  corr(true) {:+.3}, margin {:+.3}",
+                    r.correlations[r.true_byte as usize], r.margin
+                );
+            }
+            AttackKind::Rsa => {
+                let dev = device(gpu, seed);
+                let cfg = RsaAttackConfig {
+                    scheduler,
+                    ..RsaAttackConfig::default()
+                };
+                let r = run_rsa_attack(&dev, &cfg, seed);
+                println!(
+                    "RSA exponent-weight timing on {} ({scheduler:?} scheduling):",
+                    dev.spec().name
+                );
+                println!("  fit R² = {:.3}", r.fit.r_squared);
+                println!(
+                    "  inverting one timing bounds the weight to ±{} bits",
+                    r.weight_uncertainty
+                );
+            }
+        },
+
+        Command::Mesh { age_based, seed } => {
+            let arbiter = if age_based {
+                ArbiterKind::AgeBased
+            } else {
+                ArbiterKind::RoundRobin
+            };
+            let r = run_fairness(FairnessConfig::paper(arbiter), seed);
+            println!("6x6 mesh, 30 compute nodes → 6 MCs, {arbiter:?} arbitration:");
+            for row in 0..5 {
+                let cells: Vec<String> = (0..6)
+                    .map(|c| format!("{:.3}", r.throughput[row * 6 + c]))
+                    .collect();
+                println!("  row {}: {}", row + 1, cells.join(" "));
+            }
+            println!("  unfairness (max/min): {:.2}x", r.unfairness);
+        }
+
+        Command::Covert { gpu, far, seed } => {
+            let mut dev = device(gpu, seed);
+            let slice = SliceId::new(5);
+            let cfg = if far {
+                CovertChannelConfig::far(&dev, slice, 2)
+            } else {
+                CovertChannelConfig::colocated(&dev, slice, 2)
+            };
+            println!(
+                "covert channel on {} via {slice}, {} transmitter placement:",
+                dev.spec().name,
+                if far { "far" } else { "co-located" }
+            );
+            println!("  SNR: {:.1}", channel_snr(&mut dev, &cfg));
+            let strong = CovertChannelConfig::colocated(&dev, slice, 6);
+            let r = transmit(&mut dev, if far { &cfg } else { &strong }, &bits_of(b"gnoc"));
+            println!(
+                "  payload 'gnoc': BER {:.3}, decoded {:?}, capacity {:.0} kb/s",
+                r.ber,
+                String::from_utf8_lossy(&bytes_of(&r.received)),
+                r.capacity_bits_per_sec() / 1e3
+            );
+        }
+
+        Command::Replay {
+            workload,
+            gpu,
+            random,
+            blocks,
+        } => {
+            let dev = device(gpu, 0);
+            let trace = match workload {
+                WorkloadKind::Bfs => bfs::generate(bfs::BfsConfig::default(), 1),
+                WorkloadKind::Gaussian => gaussian::generate(gaussian::GaussianConfig::default()),
+            };
+            let cfg = ReplayConfig {
+                blocks,
+                scheduler: if random {
+                    CtaScheduler::RandomSeed
+                } else {
+                    CtaScheduler::Static
+                },
+                ..ReplayConfig::default()
+            };
+            let r = replay(&dev, &trace, &cfg);
+            println!(
+                "{} on {} ({} blocks, {} scheduling):",
+                trace.name,
+                dev.spec().name,
+                blocks,
+                if random { "random-seed" } else { "static" }
+            );
+            println!(
+                "  {:.1} MB over {} steps in {:.3} ms — mean {:.0} GB/s",
+                r.total_bytes / 1e6,
+                r.step_gbps.len(),
+                r.total_seconds * 1e3,
+                r.mean_gbps()
+            );
+        }
+
+        Command::LoadCurve { crossbar, seed } => {
+            let rates = [0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.25];
+            let sweep = SweepConfig::default();
+            let curve = if crossbar {
+                hier_load_curve(HierConfig::gpu_like(), sweep, &rates, seed)
+            } else {
+                mesh_load_curve(
+                    MeshConfig::paper_6x6(gnoc_core::ArbiterKind::RoundRobin),
+                    sweep,
+                    &rates,
+                    seed,
+                )
+            };
+            println!(
+                "{} load sweep (30 terminals, 6 MCs):",
+                if crossbar { "hierarchical crossbar" } else { "6x6 mesh" }
+            );
+            println!("{:>9} {:>10} {:>14}", "offered", "accepted", "mean latency");
+            for p in curve {
+                println!("{:>9.2} {:>10.2} {:>14.1}", p.offered, p.accepted, p.mean_latency);
+            }
+        }
+
+        Command::Memsim { provisioned, seed } => {
+            let cfg = if provisioned {
+                MemSimConfig::provisioned()
+            } else {
+                MemSimConfig::underprovisioned()
+            };
+            let r = run_memsim(cfg, seed);
+            println!(
+                "request/reply memory simulation ({}):",
+                if provisioned {
+                    "provisioned reply interface"
+                } else {
+                    "under-provisioned reply interface"
+                }
+            );
+            println!(
+                "  mean channel utilisation {:.0}%, replies delivered {}",
+                100.0 * r.mean_utilization,
+                r.replies_delivered
+            );
+        }
+    }
+}

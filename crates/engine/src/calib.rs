@@ -1,0 +1,294 @@
+//! Calibration constants for the virtual GPU devices.
+//!
+//! The paper reports absolute latency and bandwidth figures for V100, A100
+//! and H100 (Sections III and IV); the constants here are fitted so that the
+//! *mechanistic* model in this crate — wire distance × cycles/mm, partition
+//! crossings, hierarchical link capacities, Little's-law injection limits —
+//! lands on those figures. DESIGN.md §4 lists the paper targets.
+//!
+//! All bandwidth figures are in GB/s of *payload* (cache-line data), all
+//! latencies in SM clock cycles.
+
+use gnoc_topo::{Generation, GpuSpec};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel capacity meaning "effectively unlimited / not modelled".
+///
+/// Finite (unlike `f64::INFINITY`) so calibrations serialize cleanly to
+/// JSON; anything at or above this value is treated as absent by the fabric
+/// model.
+pub const UNLIMITED: f64 = 1.0e9;
+
+/// Calibration constants for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    // ------------------------------------------------------------ latency --
+    /// Fixed round-trip cost of an L1-missing, L2-hitting load: SM pipeline,
+    /// NoC injection/ejection and the L2 slice access itself.
+    pub base_hit_cycles: f64,
+    /// One-way wire delay per millimetre of Manhattan distance. A round trip
+    /// pays this twice.
+    pub cycles_per_mm: f64,
+    /// Extra one-way cycles for each traversal of the central inter-partition
+    /// interconnect (A100/H100); a round trip to the far partition pays it
+    /// twice.
+    pub partition_crossing_cycles: f64,
+    /// Additional round-trip cycles on an L2 miss whose home memory partition
+    /// is on the requesting SM's die partition (DRAM access time).
+    pub dram_miss_cycles: f64,
+    /// Fixed round-trip cost of a remote-shared-memory (SM-to-SM) load on
+    /// devices with the distributed-shared-memory network.
+    pub sm2sm_base_cycles: f64,
+    /// One-way wire delay per mm on the SM-to-SM network.
+    pub sm2sm_cycles_per_mm: f64,
+    /// Extra round-trip cycles per position in an MP's internal slice chain:
+    /// slice `k` of an MP is `k` steps deeper behind the MP port. This makes
+    /// the within-MP latency *order* a property of the slice itself — the
+    /// paper's Fig. 3/5 finding that the sorted slice order is identical
+    /// from every SM.
+    pub slice_chain_cycles: f64,
+    /// Standard deviation of measurement jitter, in cycles (clock-counter
+    /// granularity, replay interference, …).
+    pub jitter_sigma_cycles: f64,
+
+    // ---------------------------------------------------------- bandwidth --
+    /// Maximum bytes a single SM keeps in flight across *all* destinations
+    /// (MSHR / LSU queue depth × line size). Little's law turns this into a
+    /// latency-dependent rate cap.
+    pub sm_mlp_bytes: f64,
+    /// Maximum bytes one SM keeps in flight towards a *single* L2 slice.
+    /// Bounds per-(SM, slice) throughput at high latency — this is what makes
+    /// far-partition slice bandwidth drop on A100 (paper Fig. 12/14,
+    /// "Little's Law" discussion).
+    pub flow_mlp_bytes: f64,
+    /// Flat per-(SM, slice) service cap, GB/s: the slice's per-requester
+    /// service rate. On V100 this is what makes single-SM-to-slice bandwidth
+    /// almost latency-independent (paper Fig. 9b, σ ≈ 0.15 GB/s).
+    pub flow_port_gbps: f64,
+    /// Reply-direction port cap of one SM (read-data delivery), GB/s.
+    pub sm_read_port_gbps: f64,
+    /// Request-direction payload cap of one SM (write data), GB/s.
+    pub sm_write_port_gbps: f64,
+    /// TPC output cap for read replies, as a multiple of the SM read port.
+    pub tpc_read_speedup: f64,
+    /// TPC output cap for write payloads, as a multiple of the SM write port
+    /// (the paper measures ≈1.09 on V100 — the one under-provisioned link).
+    pub tpc_write_speedup: f64,
+    /// CPC-level read cap, as a multiple of the SM read port (H100 only; the
+    /// paper finds reads unaffected, writes capped at ≈4.6× of 6 needed).
+    pub cpc_read_speedup: f64,
+    /// CPC-level write cap, as a multiple of the SM write port.
+    pub cpc_write_speedup: f64,
+    /// Capacity of one GPC↔MP port, GB/s (the "speedup in space": each GPC
+    /// owns a port per memory partition).
+    pub gpc_port_gbps: f64,
+    /// Aggregate GPC output cap across all its ports, GB/s ("speedup in
+    /// time").
+    pub gpc_total_gbps: f64,
+    /// Write-direction aggregate GPC cap, GB/s (under-provisioned on V100:
+    /// GPC_l write speedup ≈ 50 % of the 7 needed).
+    pub gpc_total_write_gbps: f64,
+    /// Per-partition crossbar capacity, GB/s.
+    pub partition_fabric_gbps: f64,
+    /// Central inter-partition link capacity per direction, GB/s.
+    pub inter_partition_gbps: f64,
+    /// Reply-direction capacity of one L2 slice, GB/s.
+    pub slice_gbps: f64,
+    /// Input port capacity of one memory partition, GB/s. Near the sum of its
+    /// slice caps — the paper finds L2 *input* speedup near-ideal (Fig. 15a).
+    pub mp_port_gbps: f64,
+    /// Fraction of peak DRAM bandwidth achievable by streaming (the paper
+    /// measures 85–90 %).
+    pub mem_efficiency: f64,
+
+    // ----------------------------------------------------------- queueing --
+    /// Queueing-delay constant of an L2 slice: the delay added at utilisation
+    /// ρ is `k · ρ/(1-ρ)` cycles (capped). Produces the gradual saturation of
+    /// Fig. 14.
+    pub slice_queue_cycles: f64,
+    /// Queueing-delay constant of a GPC↔MP port.
+    pub gpc_port_queue_cycles: f64,
+}
+
+impl Calibration {
+    /// Calibration for `spec`, chosen by its generation. `Custom` devices get
+    /// Volta constants; override fields afterwards for what-if studies.
+    pub fn for_spec(spec: &GpuSpec) -> Self {
+        match spec.generation {
+            Generation::Volta | Generation::Custom => Self::volta(),
+            Generation::Ampere => Self::ampere(),
+            Generation::Hopper => Self::hopper(),
+        }
+    }
+
+    /// V100 constants: L2 hits 175–248 cycles (mean ≈ 212), 34 GB/s per SM to
+    /// a slice, 85 GB/s slice saturation, aggregate fabric ≈ 2.4× memory BW.
+    pub fn volta() -> Self {
+        Self {
+            base_hit_cycles: 170.0,
+            cycles_per_mm: 0.93,
+            partition_crossing_cycles: 0.0, // single-partition die
+            dram_miss_cycles: 190.0,
+            sm2sm_base_cycles: 0.0, // no SM-to-SM network
+            sm2sm_cycles_per_mm: 0.0,
+            slice_chain_cycles: 5.5,
+            jitter_sigma_cycles: 1.8,
+            sm_mlp_bytes: 10_500.0,
+            flow_mlp_bytes: 8_500.0,
+            flow_port_gbps: 34.2,
+            sm_read_port_gbps: 70.0,
+            sm_write_port_gbps: 32.0,
+            tpc_read_speedup: 2.0,
+            tpc_write_speedup: 1.09,
+            cpc_read_speedup: UNLIMITED,
+            cpc_write_speedup: UNLIMITED,
+            gpc_port_gbps: 85.0,
+            gpc_total_gbps: 320.0,
+            gpc_total_write_gbps: 113.0, // ≈ 3.5 × sm_write (50 % of 7 needed)
+            partition_fabric_gbps: 2400.0,
+            inter_partition_gbps: UNLIMITED,
+            slice_gbps: 105.0,
+            mp_port_gbps: 420.0,
+            mem_efficiency: 0.88,
+            slice_queue_cycles: 8.0,
+            gpc_port_queue_cycles: 12.0,
+        }
+    }
+
+    /// A100 constants: near-partition latency V100-like, far ≈ 400 cycles;
+    /// 39.5 GB/s near / ≈ 28 GB/s far per SM; slice saturation ≈ 8 SMs.
+    pub fn ampere() -> Self {
+        Self {
+            base_hit_cycles: 168.0,
+            cycles_per_mm: 1.0,
+            partition_crossing_cycles: 80.0,
+            dram_miss_cycles: 210.0,
+            sm2sm_base_cycles: 0.0,
+            sm2sm_cycles_per_mm: 0.0,
+            slice_chain_cycles: 4.5,
+            jitter_sigma_cycles: 2.0,
+            sm_mlp_bytes: 8_300.0,
+            flow_mlp_bytes: 7_000.0,
+            flow_port_gbps: 40.0,
+            sm_read_port_gbps: 39.7,
+            sm_write_port_gbps: 37.5,
+            tpc_read_speedup: 2.0,
+            tpc_write_speedup: 2.0,
+            cpc_read_speedup: UNLIMITED,
+            cpc_write_speedup: UNLIMITED,
+            gpc_port_gbps: 80.0,
+            gpc_total_gbps: 560.0,
+            gpc_total_write_gbps: 210.0, // ≈ 5.6 × sm_write (~70 % of 8)
+            partition_fabric_gbps: 2600.0,
+            inter_partition_gbps: 1700.0,
+            slice_gbps: 105.0,
+            mp_port_gbps: 820.0,
+            mem_efficiency: 0.87,
+            slice_queue_cycles: 9.0,
+            gpc_port_queue_cycles: 12.0,
+        }
+    }
+
+    /// H100 constants: uniform (partition-local) hit latency, variable miss
+    /// penalty, CPC SM-to-SM network at 196–213 cycles, highest per-slice and
+    /// aggregate bandwidth.
+    pub fn hopper() -> Self {
+        Self {
+            base_hit_cycles: 192.0,
+            cycles_per_mm: 1.0,
+            partition_crossing_cycles: 85.0,
+            dram_miss_cycles: 260.0,
+            sm2sm_base_cycles: 188.0,
+            sm2sm_cycles_per_mm: 0.55,
+            slice_chain_cycles: 3.0,
+            jitter_sigma_cycles: 2.2,
+            sm_mlp_bytes: 8_600.0,
+            flow_mlp_bytes: 8_600.0,
+            flow_port_gbps: 62.0,
+            sm_read_port_gbps: 68.0,
+            sm_write_port_gbps: 57.0,
+            tpc_read_speedup: 2.0,
+            tpc_write_speedup: 2.0,
+            cpc_read_speedup: 7.0,
+            cpc_write_speedup: 4.6,
+            gpc_port_gbps: 300.0,
+            gpc_total_gbps: 1100.0,
+            gpc_total_write_gbps: 440.0, // ≈ 7.7 × sm_write (~85 % of 9)
+            partition_fabric_gbps: 4200.0,
+            inter_partition_gbps: 2500.0,
+            slice_gbps: 130.0,
+            mp_port_gbps: 1300.0,
+            mem_efficiency: 0.89,
+            slice_queue_cycles: 9.0,
+            gpc_port_queue_cycles: 12.0,
+        }
+    }
+
+    /// Per-MP streaming DRAM bandwidth for `spec`, GB/s.
+    pub fn dram_gbps_per_mp(&self, spec: &GpuSpec) -> f64 {
+        self.mem_efficiency * spec.mem_peak_gbps / spec.hierarchy.num_mps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pick_matching_calibration() {
+        assert_eq!(
+            Calibration::for_spec(&GpuSpec::v100()),
+            Calibration::volta()
+        );
+        assert_eq!(
+            Calibration::for_spec(&GpuSpec::a100()),
+            Calibration::ampere()
+        );
+        assert_eq!(
+            Calibration::for_spec(&GpuSpec::h100()),
+            Calibration::hopper()
+        );
+    }
+
+    #[test]
+    fn custom_devices_default_to_volta() {
+        let spec = GpuSpec::custom("toy", GpuSpec::v100().hierarchy.clone());
+        assert_eq!(Calibration::for_spec(&spec), Calibration::volta());
+    }
+
+    #[test]
+    fn single_partition_devices_have_no_crossing_cost() {
+        assert_eq!(Calibration::volta().partition_crossing_cycles, 0.0);
+        assert!(Calibration::ampere().partition_crossing_cycles > 0.0);
+    }
+
+    #[test]
+    fn tpc_write_is_underprovisioned_only_on_volta() {
+        assert!(Calibration::volta().tpc_write_speedup < 1.2);
+        assert_eq!(Calibration::ampere().tpc_write_speedup, 2.0);
+        assert_eq!(Calibration::hopper().tpc_write_speedup, 2.0);
+    }
+
+    #[test]
+    fn dram_bandwidth_splits_across_mps() {
+        let spec = GpuSpec::v100();
+        let calib = Calibration::volta();
+        let per_mp = calib.dram_gbps_per_mp(&spec);
+        assert!((per_mp * 8.0 - 0.88 * 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hopper_has_sm2sm_network_constants() {
+        let h = Calibration::hopper();
+        assert!(h.sm2sm_base_cycles > 0.0);
+        assert!(h.cpc_write_speedup < h.cpc_read_speedup);
+    }
+
+    #[test]
+    fn unlimited_sentinel_is_finite_and_serializable() {
+        assert!(UNLIMITED.is_finite());
+        let volta = Calibration::volta();
+        assert!(volta.cpc_read_speedup >= UNLIMITED);
+        assert!(volta.inter_partition_gbps >= UNLIMITED);
+    }
+}

@@ -1,0 +1,424 @@
+//! The virtual GPU device.
+//!
+//! [`GpuDevice`] is the stand-in for the real silicon the paper measures: it
+//! owns the hierarchy, floorplan, calibration, L2 residency state, per-slice
+//! profiler counters and a seeded RNG for measurement jitter, and it exposes
+//! exactly the operations the paper's microbenchmarks need — timed reads with
+//! `clock()`-like jitter, L2 warm-up, slice-targeted address sets, and a
+//! steady-state bandwidth solver.
+
+use crate::cache::{L2Outcome, L2State};
+use crate::calib::Calibration;
+use crate::fabric::{FabricModel, FlowSolution, FlowSpec};
+use crate::hash::{AddressMap, LINE_BYTES};
+use crate::latency;
+use crate::noise;
+use crate::profiler::Profiler;
+use gnoc_topo::{
+    BuildHierarchyError, CachePolicy, Floorplan, GpuSpec, Hierarchy, MpId, PartitionId, SliceId,
+    SmId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Errors creating a [`GpuDevice`].
+#[derive(Debug)]
+pub enum DeviceError {
+    /// The spec's hierarchy failed validation.
+    Hierarchy(BuildHierarchyError),
+    /// The spec has a non-positive clock or die dimension.
+    BadSpec(&'static str),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hierarchy(e) => write!(f, "invalid hierarchy: {e}"),
+            Self::BadSpec(what) => write!(f, "invalid spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Hierarchy(e) => Some(e),
+            Self::BadSpec(_) => None,
+        }
+    }
+}
+
+impl From<BuildHierarchyError> for DeviceError {
+    fn from(e: BuildHierarchyError) -> Self {
+        Self::Hierarchy(e)
+    }
+}
+
+/// A simulated GPU with deterministic, seeded measurement behaviour.
+#[derive(Debug)]
+pub struct GpuDevice {
+    spec: GpuSpec,
+    hierarchy: Hierarchy,
+    floorplan: Floorplan,
+    calib: Calibration,
+    addr_map: AddressMap,
+    fabric: FabricModel,
+    l2: L2State,
+    profiler: Profiler,
+    rng: StdRng,
+}
+
+impl GpuDevice {
+    /// Builds a device from `spec` with measurement seed 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the spec is inconsistent.
+    pub fn new(spec: GpuSpec) -> Result<Self, DeviceError> {
+        Self::with_seed(spec, 0)
+    }
+
+    /// Builds a device whose measurement jitter stream is seeded with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the spec is inconsistent.
+    pub fn with_seed(spec: GpuSpec, seed: u64) -> Result<Self, DeviceError> {
+        let calib = Calibration::for_spec(&spec);
+        Self::with_calibration(spec, calib, seed)
+    }
+
+    /// Builds a device with explicit [`Calibration`] constants — the entry
+    /// point for ablation studies and what-if exploration (e.g. zeroing the
+    /// queueing terms, sweeping the partition-crossing cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the spec is inconsistent.
+    pub fn with_calibration(
+        spec: GpuSpec,
+        calib: Calibration,
+        seed: u64,
+    ) -> Result<Self, DeviceError> {
+        if spec.clock_ghz <= 0.0 || spec.clock_ghz.is_nan() {
+            return Err(DeviceError::BadSpec("clock must be positive"));
+        }
+        if !(spec.die_width_mm > 0.0 && spec.die_height_mm > 0.0) {
+            return Err(DeviceError::BadSpec("die dimensions must be positive"));
+        }
+        let hierarchy = spec.resolve()?;
+        let floorplan = Floorplan::layout(&hierarchy, spec.die_width_mm, spec.die_height_mm);
+        let addr_map = AddressMap::new(&hierarchy, spec.cache_policy);
+        let capacity_lines = ((spec.l2_mib as u64) << 20) / LINE_BYTES;
+        let fabric = FabricModel::new(
+            hierarchy.clone(),
+            floorplan.clone(),
+            calib.clone(),
+            spec.clock_ghz,
+            calib.dram_gbps_per_mp(&spec),
+        );
+        let profiler = Profiler::new(hierarchy.num_slices(), spec.per_slice_counters);
+        Ok(Self {
+            spec,
+            hierarchy,
+            floorplan,
+            calib,
+            addr_map,
+            fabric,
+            l2: L2State::new(capacity_lines.max(1) as usize),
+            profiler,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Shorthand for a seeded V100 device.
+    pub fn v100(seed: u64) -> Self {
+        Self::with_seed(GpuSpec::v100(), seed).expect("preset is valid")
+    }
+
+    /// Shorthand for a seeded A100 device.
+    pub fn a100(seed: u64) -> Self {
+        Self::with_seed(GpuSpec::a100(), seed).expect("preset is valid")
+    }
+
+    /// Shorthand for a seeded H100 device.
+    pub fn h100(seed: u64) -> Self {
+        Self::with_seed(GpuSpec::h100(), seed).expect("preset is valid")
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The resolved hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The calibration constants in effect.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// The address→slice map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.addr_map
+    }
+
+    /// The profiler counters (per-slice availability mirrors the real GPUs).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Resets profiler counters.
+    pub fn reset_profiler(&mut self) {
+        self.profiler.reset();
+    }
+
+    /// Flushes the L2 (between experiments).
+    pub fn flush_l2(&mut self) {
+        self.l2.flush();
+    }
+
+    // ------------------------------------------------------------ timing ---
+
+    /// The residency key of `line` as seen from `requester`'s partition:
+    /// partition-local devices keep one copy per partition.
+    fn residency_key(&self, line: u64, requester: PartitionId) -> (u32, u64) {
+        match self.spec.cache_policy {
+            CachePolicy::GloballyShared => (0, line),
+            CachePolicy::PartitionLocal => (requester.index() as u32, line),
+        }
+    }
+
+    /// Warms `line` into the L2 visible from `requester_sm` (the warm-up loop
+    /// of Algorithm 1).
+    pub fn warm_line(&mut self, requester_sm: SmId, line: u64) {
+        let p = self.hierarchy.sm(requester_sm).partition;
+        self.l2.warm(self.residency_key(line, p));
+    }
+
+    /// Issues one timed, L1-bypassing read of `line` from `sm`, returning
+    /// measured round-trip cycles including jitter — the model equivalent of
+    /// the paper's `clock()`-bracketed `__ldcg` (Algorithm 1).
+    ///
+    /// Updates L2 residency and profiler counters.
+    pub fn timed_read(&mut self, sm: SmId, line: u64) -> u64 {
+        let p = self.hierarchy.sm(sm).partition;
+        let slice = self.addr_map.effective_slice(line, p);
+        self.profiler.record(slice);
+        let outcome = self.l2.access(self.residency_key(line, p));
+        let mean = match outcome {
+            L2Outcome::Hit => latency::l2_hit_cycles(
+                &self.hierarchy,
+                &self.floorplan,
+                &self.calib,
+                sm,
+                slice,
+            ),
+            L2Outcome::Miss => latency::l2_miss_cycles(
+                &self.hierarchy,
+                &self.floorplan,
+                &self.calib,
+                sm,
+                slice,
+                self.addr_map.home_mp(line),
+            ),
+        };
+        noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles)
+    }
+
+    /// Mean (jitter-free) L2-*hit* round-trip cycles from `sm` to `slice` —
+    /// the model's ground truth, useful for calibration checks.
+    pub fn hit_cycles_mean(&self, sm: SmId, slice: SliceId) -> f64 {
+        latency::l2_hit_cycles(&self.hierarchy, &self.floorplan, &self.calib, sm, slice)
+    }
+
+    /// Mean L2-*miss* round-trip cycles for a line served by `slice` whose
+    /// home is `home_mp`.
+    pub fn miss_cycles_mean(&self, sm: SmId, slice: SliceId, home_mp: MpId) -> f64 {
+        latency::l2_miss_cycles(
+            &self.hierarchy,
+            &self.floorplan,
+            &self.calib,
+            sm,
+            slice,
+            home_mp,
+        )
+    }
+
+    /// Issues one timed remote-shared-memory read from `src` to `dst`'s
+    /// shared memory over the SM-to-SM network, or `None` when unsupported
+    /// (non-Hopper device or different GPCs).
+    pub fn timed_sm2sm_read(&mut self, src: SmId, dst: SmId) -> Option<u64> {
+        let mean =
+            latency::sm2sm_cycles(&self.hierarchy, &self.floorplan, &self.calib, src, dst)?;
+        Some(noise::jittered_cycles(
+            &mut self.rng,
+            mean,
+            self.calib.jitter_sigma_cycles,
+        ))
+    }
+
+    // --------------------------------------------------------- bandwidth ---
+
+    /// Solves the steady-state bandwidth of `flows` (Algorithm 2's measured
+    /// regime). Deterministic; does not touch L2/profiler state.
+    pub fn solve_bandwidth(&self, flows: &[FlowSpec]) -> FlowSolution {
+        self.fabric.solve(flows)
+    }
+
+    /// Gaussian bandwidth measurement noise with `sigma` GB/s, drawn from the
+    /// device's seeded jitter stream.
+    pub fn bandwidth_jitter(&mut self, sigma: f64) -> f64 {
+        noise::gaussian(&mut self.rng, sigma)
+    }
+
+    /// `n` line addresses that (for `sm`) are serviced by `slice` — the
+    /// `M[s]` table of Algorithms 1 and 2.
+    pub fn addresses_for_slice(&self, sm: SmId, slice: SliceId, n: usize) -> Vec<u64> {
+        let p = self.hierarchy.sm(sm).partition;
+        self.addr_map.addresses_for_slice(slice, p, n, 0)
+    }
+
+    /// The slice that services `line` for `sm`.
+    pub fn effective_slice(&self, sm: SmId, line: u64) -> SliceId {
+        let p = self.hierarchy.sm(sm).partition;
+        self.addr_map.effective_slice(line, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnoc_topo::GpcId;
+
+    #[test]
+    fn timed_reads_hit_after_warmup() {
+        let mut dev = GpuDevice::v100(1);
+        let sm = SmId::new(24);
+        let line = 12345u64;
+        dev.warm_line(sm, line);
+        let slice = dev.effective_slice(sm, line);
+        let mean = dev.hit_cycles_mean(sm, slice);
+        let samples: Vec<u64> = (0..64).map(|_| dev.timed_read(sm, line)).collect();
+        let avg = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!(
+            (avg - mean).abs() < 2.0,
+            "measured {avg} vs model mean {mean}"
+        );
+    }
+
+    #[test]
+    fn cold_read_costs_more_than_warm() {
+        let mut dev = GpuDevice::v100(2);
+        let sm = SmId::new(0);
+        let cold = dev.timed_read(sm, 999); // miss, installs
+        let warm = dev.timed_read(sm, 999); // hit
+        assert!(
+            cold > warm + 100,
+            "miss {cold} should exceed hit {warm} by the DRAM penalty"
+        );
+    }
+
+    #[test]
+    fn profiler_sees_slice_traffic_on_v100_only() {
+        let mut v = GpuDevice::v100(0);
+        v.timed_read(SmId::new(0), 7);
+        assert!(v.profiler().per_slice_counts().is_some());
+        assert_eq!(v.profiler().total(), 1);
+
+        let mut a = GpuDevice::a100(0);
+        a.timed_read(SmId::new(0), 7);
+        assert!(a.profiler().per_slice_counts().is_none());
+        assert_eq!(a.profiler().total(), 1);
+    }
+
+    #[test]
+    fn addresses_for_slice_round_trip() {
+        let dev = GpuDevice::h100(0);
+        let sm = SmId::new(0);
+        let slice = dev.hierarchy().slices_in_partition(
+            dev.hierarchy().sm(sm).partition,
+        )[3];
+        for line in dev.addresses_for_slice(sm, slice, 16) {
+            assert_eq!(dev.effective_slice(sm, line), slice);
+        }
+    }
+
+    #[test]
+    fn seeds_make_measurements_reproducible() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut dev = GpuDevice::v100(seed);
+            let sm = SmId::new(5);
+            dev.warm_line(sm, 1);
+            (0..16).map(|_| dev.timed_read(sm, 1)).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn sm2sm_reads_work_only_on_hopper_same_gpc() {
+        let mut v = GpuDevice::v100(0);
+        assert!(v.timed_sm2sm_read(SmId::new(0), SmId::new(6)).is_none());
+
+        let mut h = GpuDevice::h100(0);
+        let sms = h.hierarchy().sms_in_gpc(GpcId::new(0)).to_vec();
+        assert!(h.timed_sm2sm_read(sms[0], sms[1]).is_some());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut spec = GpuSpec::v100();
+        spec.clock_ghz = 0.0;
+        assert!(matches!(
+            GpuDevice::new(spec),
+            Err(DeviceError::BadSpec(_))
+        ));
+
+        let mut spec = GpuSpec::v100();
+        spec.hierarchy.gpc_partition.pop();
+        assert!(matches!(
+            GpuDevice::new(spec),
+            Err(DeviceError::Hierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn custom_calibration_is_honoured() {
+        let mut calib = Calibration::volta();
+        calib.base_hit_cycles = 500.0;
+        calib.jitter_sigma_cycles = 0.0;
+        let dev = GpuDevice::with_calibration(GpuSpec::v100(), calib, 0).unwrap();
+        assert!(dev.hit_cycles_mean(SmId::new(0), gnoc_topo::SliceId::new(0)) >= 500.0);
+    }
+
+    #[test]
+    fn flush_l2_forgets_residency() {
+        let mut dev = GpuDevice::v100(0);
+        let sm = SmId::new(0);
+        dev.warm_line(sm, 55);
+        dev.flush_l2();
+        let cold = dev.timed_read(sm, 55);
+        assert!(cold > 300, "read after flush should miss: {cold}");
+    }
+
+    #[test]
+    fn partition_local_residency_is_per_partition() {
+        let mut dev = GpuDevice::h100(0);
+        let h = dev.hierarchy();
+        let left = h.sms_in_partition(PartitionId::new(0))[0];
+        let right = h.sms_in_partition(PartitionId::new(1))[0];
+        dev.warm_line(left, 77);
+        let hit = dev.timed_read(left, 77);
+        let miss = dev.timed_read(right, 77); // other partition: own copy, cold
+        assert!(miss > hit + 100, "hit {hit}, remote-partition miss {miss}");
+    }
+}

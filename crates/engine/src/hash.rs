@@ -1,0 +1,216 @@
+//! Address → L2-slice hashing.
+//!
+//! Modern GPUs hash physical addresses across all L2 slices to avoid *memory
+//! camping* (paper Section IV-C, Observation #12): any realistic access
+//! stream is spread near-uniformly over the slices. [`AddressMap`] implements
+//! a deterministic mixing hash plus the inverse operation the paper's
+//! methodology needs — finding sets of addresses that all map to one target
+//! slice (the `M[s]` tables of Algorithms 1 and 2).
+
+use gnoc_topo::{CachePolicy, Hierarchy, MpId, PartitionId, SliceId};
+use serde::{Deserialize, Serialize};
+
+/// Cache-line size in bytes; addresses handled by the map are line addresses.
+pub const LINE_BYTES: u64 = 128;
+
+/// SplitMix64 finaliser — a high-quality 64-bit mixing function.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic address-to-slice mapping for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressMap {
+    num_slices: u32,
+    slices_per_mp: u32,
+    policy: CachePolicy,
+    /// Slice ids per die partition, for partition-local lookup.
+    partition_slices: Vec<Vec<SliceId>>,
+    /// MP of each slice.
+    slice_mp: Vec<MpId>,
+}
+
+impl AddressMap {
+    /// Builds the map for `hierarchy` under cache `policy`.
+    pub fn new(hierarchy: &Hierarchy, policy: CachePolicy) -> Self {
+        let partition_slices = (0..hierarchy.num_partitions())
+            .map(|p| {
+                hierarchy
+                    .slices_in_partition(PartitionId::new(p as u32))
+                    .to_vec()
+            })
+            .collect();
+        Self {
+            num_slices: hierarchy.num_slices() as u32,
+            slices_per_mp: hierarchy.spec().slices_per_mp,
+            policy,
+            partition_slices,
+            slice_mp: hierarchy.slices().iter().map(|s| s.mp).collect(),
+        }
+    }
+
+    /// The cache policy this map implements.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// The *home* slice of a line address under the global hash. On
+    /// globally-shared devices this is where the line is cached; on
+    /// partition-local devices it determines the home memory partition only.
+    pub fn home_slice(&self, line: u64) -> SliceId {
+        SliceId::new((mix64(line) % u64::from(self.num_slices)) as u32)
+    }
+
+    /// The home memory partition of a line address (where its DRAM lives).
+    pub fn home_mp(&self, line: u64) -> MpId {
+        self.slice_mp[self.home_slice(line).index()]
+    }
+
+    /// The slice that actually services a request for `line` issued from die
+    /// partition `requester`.
+    ///
+    /// Under [`CachePolicy::GloballyShared`] this is the home slice; under
+    /// [`CachePolicy::PartitionLocal`] (H100) the line is cached in a slice of
+    /// the requester's own partition, so hit latency stays partition-local
+    /// (paper Observation #6).
+    pub fn effective_slice(&self, line: u64, requester: PartitionId) -> SliceId {
+        match self.policy {
+            CachePolicy::GloballyShared => self.home_slice(line),
+            CachePolicy::PartitionLocal => {
+                let local = &self.partition_slices[requester.index()];
+                // Salt so the local spread is independent of the global hash.
+                let idx = mix64(line ^ 0xa5a5_5a5a_dead_beef) % local.len() as u64;
+                local[idx as usize]
+            }
+        }
+    }
+
+    /// Finds `n` distinct line addresses whose *effective* slice (for
+    /// `requester`) is `slice` — the `M[s]` table of the paper's algorithms.
+    /// Searches line addresses upward from `start`.
+    pub fn addresses_for_slice(
+        &self,
+        slice: SliceId,
+        requester: PartitionId,
+        n: usize,
+        start: u64,
+    ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut line = start;
+        while out.len() < n {
+            if self.effective_slice(line, requester) == slice {
+                out.push(line);
+            }
+            line += 1;
+        }
+        out
+    }
+
+    /// Histogram of effective-slice hits for an address stream — used to
+    /// check hashing load balance (paper Fig. 16).
+    pub fn slice_histogram<I>(&self, lines: I, requester: PartitionId) -> Vec<u64>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut histogram = vec![0u64; self.num_slices as usize];
+        for line in lines {
+            histogram[self.effective_slice(line, requester).index()] += 1;
+        }
+        histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnoc_topo::GpuSpec;
+
+    fn v100_map() -> AddressMap {
+        let h = GpuSpec::v100().hierarchy();
+        AddressMap::new(&h, CachePolicy::GloballyShared)
+    }
+
+    fn h100_map() -> (AddressMap, Hierarchy) {
+        let h = GpuSpec::h100().hierarchy();
+        (AddressMap::new(&h, CachePolicy::PartitionLocal), h)
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let m = v100_map();
+        assert_eq!(m.home_slice(42), m.home_slice(42));
+    }
+
+    #[test]
+    fn hash_balances_sequential_addresses() {
+        // Observation #12: sequential traffic is load-balanced across slices.
+        let m = v100_map();
+        let hist = m.slice_histogram(0..32_000u64, PartitionId::new(0));
+        let mean = 32_000.0 / hist.len() as f64;
+        for (s, &count) in hist.iter().enumerate() {
+            let dev = (count as f64 - mean).abs() / mean;
+            assert!(dev < 0.15, "slice {s} imbalanced: {count} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn addresses_for_slice_map_back() {
+        let m = v100_map();
+        let p = PartitionId::new(0);
+        let target = SliceId::new(7);
+        let addrs = m.addresses_for_slice(target, p, 64, 0);
+        assert_eq!(addrs.len(), 64);
+        for a in addrs {
+            assert_eq!(m.effective_slice(a, p), target);
+        }
+    }
+
+    #[test]
+    fn globally_shared_ignores_requester() {
+        let h = GpuSpec::a100().hierarchy();
+        let m = AddressMap::new(&h, CachePolicy::GloballyShared);
+        for line in 0..256 {
+            assert_eq!(
+                m.effective_slice(line, PartitionId::new(0)),
+                m.effective_slice(line, PartitionId::new(1))
+            );
+        }
+    }
+
+    #[test]
+    fn partition_local_keeps_hits_local() {
+        let (m, h) = h100_map();
+        for line in 0..512 {
+            for p in 0..2u32 {
+                let slice = m.effective_slice(line, PartitionId::new(p));
+                assert_eq!(
+                    h.slice(slice).partition,
+                    PartitionId::new(p),
+                    "line {line} served by remote slice on partition-local device"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_local_home_mp_spans_both_partitions() {
+        let (m, h) = h100_map();
+        let mut seen = [false; 2];
+        for line in 0..256 {
+            seen[h.partition_of_mp(m.home_mp(line)).index()] = true;
+        }
+        assert!(seen[0] && seen[1], "home MPs should span both partitions");
+    }
+
+    #[test]
+    fn home_mp_agrees_with_home_slice() {
+        let m = v100_map();
+        let h = GpuSpec::v100().hierarchy();
+        for line in 0..128 {
+            assert_eq!(m.home_mp(line), h.slice(m.home_slice(line)).mp);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Placement-derived NoC latency model.
+//!
+//! The paper's central latency finding (Observations #1–#6) is that round-trip
+//! L2 access latency decomposes into a fixed part (SM pipeline + L2 access)
+//! and a wire part proportional to the physical distance between the SM and
+//! the L2 slice, plus a large penalty whenever the central inter-partition
+//! interconnect is crossed. These functions compute the *mean* latency in
+//! cycles; measurement jitter is added by the device layer.
+
+use crate::calib::Calibration;
+use gnoc_topo::{Floorplan, Hierarchy, MpId, SliceId, SmId};
+
+/// Mean round-trip cycles of a load that misses L1 and **hits** in the L2
+/// slice `slice` (paper Algorithm 1).
+///
+/// `slice` must be the *effective* slice actually servicing the request
+/// (see [`crate::AddressMap::effective_slice`]).
+pub fn l2_hit_cycles(
+    hierarchy: &Hierarchy,
+    floorplan: &Floorplan,
+    calib: &Calibration,
+    sm: SmId,
+    slice: SliceId,
+) -> f64 {
+    let wire = floorplan.wire_distance(sm, slice);
+    let crossings = if hierarchy.crosses_partition(sm, slice) {
+        2.0 // request + reply each traverse the central interconnect once
+    } else {
+        0.0
+    };
+    calib.base_hit_cycles
+        + 2.0 * calib.cycles_per_mm * wire
+        + crossings * calib.partition_crossing_cycles
+        + calib.slice_chain_cycles * f64::from(hierarchy.slice(slice).index_in_mp)
+}
+
+/// Mean round-trip cycles of a load that misses L1 **and** L2: the servicing
+/// slice must fetch the line from its home memory partition's DRAM.
+///
+/// On globally-shared devices the home MP is the slice's own MP, so the miss
+/// penalty is a constant on top of the hit latency (paper Fig. 8d,e). On
+/// partition-local devices (H100) the servicing slice is local but the home
+/// MP may be on the far partition, making the penalty variable (Fig. 8f).
+pub fn l2_miss_cycles(
+    hierarchy: &Hierarchy,
+    floorplan: &Floorplan,
+    calib: &Calibration,
+    sm: SmId,
+    slice: SliceId,
+    home_mp: MpId,
+) -> f64 {
+    let hit = l2_hit_cycles(hierarchy, floorplan, calib, sm, slice);
+    let slice_pos = floorplan.slice_pos(slice);
+    let mp_pos = floorplan.mp_rect(home_mp).center();
+    let fetch_wire = slice_pos.manhattan(mp_pos);
+    let fetch_crossings = if hierarchy.slice(slice).partition != hierarchy.partition_of_mp(home_mp)
+    {
+        2.0
+    } else {
+        0.0
+    };
+    hit + calib.dram_miss_cycles
+        + 2.0 * calib.cycles_per_mm * fetch_wire
+        + fetch_crossings * calib.partition_crossing_cycles
+}
+
+/// Mean round-trip cycles of a remote-shared-memory load over the SM-to-SM
+/// (distributed shared memory) network, or `None` when the device has no such
+/// network or the SMs are in different GPCs (the H100 network is per-GPC,
+/// paper Fig. 7a).
+pub fn sm2sm_cycles(
+    hierarchy: &Hierarchy,
+    floorplan: &Floorplan,
+    calib: &Calibration,
+    src: SmId,
+    dst: SmId,
+) -> Option<f64> {
+    if calib.sm2sm_base_cycles <= 0.0 {
+        return None;
+    }
+    let gpc = hierarchy.sm(src).gpc;
+    if hierarchy.sm(dst).gpc != gpc {
+        return None;
+    }
+    let wire = floorplan.sm_sm_distance(src, dst, gpc);
+    Some(calib.sm2sm_base_cycles + 2.0 * calib.sm2sm_cycles_per_mm * wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnoc_topo::{GpuSpec, PartitionId};
+
+    struct Ctx {
+        hierarchy: Hierarchy,
+        floorplan: Floorplan,
+        calib: Calibration,
+    }
+
+    fn ctx(spec: GpuSpec) -> Ctx {
+        let hierarchy = spec.hierarchy();
+        let floorplan = spec.floorplan();
+        let calib = Calibration::for_spec(&spec);
+        Ctx {
+            hierarchy,
+            floorplan,
+            calib,
+        }
+    }
+
+    #[test]
+    fn v100_hit_latency_lands_in_paper_range() {
+        // Paper Fig. 1: 175–248 cycles, mean ≈ 212.
+        let c = ctx(GpuSpec::v100());
+        let mut all = Vec::new();
+        for sm in SmId::range(c.hierarchy.num_sms()) {
+            for slice in SliceId::range(c.hierarchy.num_slices()) {
+                all.push(l2_hit_cycles(
+                    &c.hierarchy,
+                    &c.floorplan,
+                    &c.calib,
+                    sm,
+                    slice,
+                ));
+            }
+        }
+        let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = all.iter().cloned().fold(0.0, f64::max);
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((170.0..185.0).contains(&min), "min {min}");
+        assert!((235.0..265.0).contains(&max), "max {max}");
+        assert!((200.0..225.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn latency_is_nonuniform_per_sm() {
+        // Observation #1: one SM sees different latencies to different slices.
+        let c = ctx(GpuSpec::v100());
+        let sm = SmId::new(24);
+        let lats: Vec<f64> = SliceId::range(c.hierarchy.num_slices())
+            .map(|s| l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, s))
+            .collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 30.0, "span {}..{} too narrow", min, max);
+    }
+
+    #[test]
+    fn a100_far_partition_hits_cost_roughly_400_cycles() {
+        let c = ctx(GpuSpec::a100());
+        let sm = c.hierarchy.sms_in_partition(PartitionId::new(0))[0];
+        let far: Vec<f64> = c
+            .hierarchy
+            .slices_in_partition(PartitionId::new(1))
+            .iter()
+            .map(|&s| l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, s))
+            .collect();
+        let mean = far.iter().sum::<f64>() / far.len() as f64;
+        assert!((360.0..440.0).contains(&mean), "far mean {mean}");
+        let near: Vec<f64> = c
+            .hierarchy
+            .slices_in_partition(PartitionId::new(0))
+            .iter()
+            .map(|&s| l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, s))
+            .collect();
+        let near_mean = near.iter().sum::<f64>() / near.len() as f64;
+        assert!((190.0..235.0).contains(&near_mean), "near mean {near_mean}");
+    }
+
+    #[test]
+    fn miss_penalty_is_constant_on_globally_shared_devices() {
+        // Fig. 8d,e: V100/A100 miss penalty ≈ constant. The home MP of the
+        // servicing slice is its own MP, so the extra wire is ≈ 0.
+        let c = ctx(GpuSpec::v100());
+        let sm = SmId::new(0);
+        let penalties: Vec<f64> = SliceId::range(c.hierarchy.num_slices())
+            .map(|s| {
+                let mp = c.hierarchy.slice(s).mp;
+                l2_miss_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, s, mp)
+                    - l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, s)
+            })
+            .collect();
+        let min = penalties.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = penalties.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min < 12.0, "penalty span {min}..{max}");
+    }
+
+    #[test]
+    fn hopper_miss_penalty_varies_with_home_mp() {
+        // Fig. 8f: on H100 the penalty depends on where the home MP lives.
+        let c = ctx(GpuSpec::h100());
+        let sm = c.hierarchy.sms_in_partition(PartitionId::new(0))[0];
+        let local_slice = c.hierarchy.slices_in_partition(PartitionId::new(0))[0];
+        let local_mp = c.hierarchy.mps_in_partition(PartitionId::new(0))[0];
+        let remote_mp = c.hierarchy.mps_in_partition(PartitionId::new(1))[0];
+        let near = l2_miss_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, local_slice, local_mp);
+        let far = l2_miss_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, local_slice, remote_mp);
+        assert!(far > near + 100.0, "far {far} near {near}");
+    }
+
+    #[test]
+    fn sm2sm_requires_hopper_and_same_gpc() {
+        let v = ctx(GpuSpec::v100());
+        let a = SmId::new(0);
+        let b = SmId::new(6);
+        assert!(sm2sm_cycles(&v.hierarchy, &v.floorplan, &v.calib, a, b).is_none());
+
+        let h = ctx(GpuSpec::h100());
+        let gpc0 = h.hierarchy.sms_in_gpc(gnoc_topo::GpcId::new(0));
+        let gpc1 = h.hierarchy.sms_in_gpc(gnoc_topo::GpcId::new(1));
+        assert!(
+            sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc0[1]).is_some()
+        );
+        assert!(
+            sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc1[0]).is_none()
+        );
+    }
+
+    #[test]
+    fn h100_sm2sm_latency_matches_fig7_range() {
+        // Fig. 7b: 196 (intra-CPC0) to ≈ 213 (intra-CPC2) cycles.
+        let c = ctx(GpuSpec::h100());
+        let gpc = gnoc_topo::GpcId::new(0);
+        let cpcs = c.hierarchy.cpcs_in_gpc(gpc);
+        let mean_pair = |cpc_a: gnoc_topo::CpcId, cpc_b: gnoc_topo::CpcId| -> f64 {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for &a in c.hierarchy.sms_in_cpc(cpc_a) {
+                for &b in c.hierarchy.sms_in_cpc(cpc_b) {
+                    if a != b {
+                        acc += sm2sm_cycles(&c.hierarchy, &c.floorplan, &c.calib, a, b)
+                            .expect("same gpc");
+                        n += 1.0;
+                    }
+                }
+            }
+            acc / n
+        };
+        let c00 = mean_pair(cpcs[0], cpcs[0]);
+        let c22 = mean_pair(cpcs[2], cpcs[2]);
+        let c02 = mean_pair(cpcs[0], cpcs[2]);
+        assert!(c00 < c22, "CPC0 should be closest to the hub");
+        assert!((190.0..205.0).contains(&c00), "c00 {c00}");
+        assert!((205.0..225.0).contains(&c22), "c22 {c22}");
+        assert!(c02 > c00 && c02 < c22 + 10.0, "c02 {c02}");
+    }
+
+    #[test]
+    fn crossing_penalty_applies_both_ways() {
+        let c = ctx(GpuSpec::a100());
+        let sm_left = c.hierarchy.sms_in_partition(PartitionId::new(0))[0];
+        let sm_right = c.hierarchy.sms_in_partition(PartitionId::new(1))[0];
+        let slice_left = c.hierarchy.slices_in_partition(PartitionId::new(0))[0];
+        let slice_right = c.hierarchy.slices_in_partition(PartitionId::new(1))[0];
+        let ll = l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm_left, slice_left);
+        let lr = l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm_left, slice_right);
+        let rl = l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm_right, slice_left);
+        let rr = l2_hit_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm_right, slice_right);
+        assert!(lr > ll + 100.0);
+        assert!(rl > rr + 100.0);
+    }
+}

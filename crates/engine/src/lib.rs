@@ -1,0 +1,49 @@
+//! # gnoc-engine
+//!
+//! The virtual GPU device behind the `gnoc` reproduction of *Uncovering Real
+//! GPU NoC Characteristics* (MICRO 2024).
+//!
+//! Real silicon is replaced by a mechanistic model with the same observable
+//! structure:
+//!
+//! - **Latency** ([`mod@latency`]) — round-trip cycles derived from floorplan wire
+//!   distance, partition crossings and cache policy;
+//! - **Bandwidth** ([`FabricModel`]) — hierarchical link capacities resolved
+//!   by a max-min fair solver with Little's-law and queueing feedback;
+//! - **State** ([`GpuDevice`]) — L2 residency, address hashing, profiler
+//!   counters and seeded measurement jitter.
+//!
+//! ```
+//! use gnoc_engine::GpuDevice;
+//! use gnoc_topo::{SmId, SliceId};
+//!
+//! let mut gpu = GpuDevice::v100(42);
+//! // Warm a line, then time a read — Algorithm 1 of the paper.
+//! gpu.warm_line(SmId::new(24), 1000);
+//! let cycles = gpu.timed_read(SmId::new(24), 1000);
+//! assert!(cycles > 150 && cycles < 300);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod calib;
+mod device;
+mod fabric;
+mod hash;
+pub mod latency;
+mod noise;
+mod profiler;
+mod scheduler;
+
+pub use cache::{L2Outcome, L2State, ResidencyKey};
+pub use calib::{Calibration, UNLIMITED};
+pub use device::{DeviceError, GpuDevice};
+pub use fabric::{
+    AccessKind, Direction, FabricModel, FlowSolution, FlowSpec, ResourceKind,
+};
+pub use hash::{AddressMap, LINE_BYTES};
+pub use noise::{gaussian, jittered_cycles};
+pub use profiler::Profiler;
+pub use scheduler::CtaScheduler;

@@ -1,0 +1,76 @@
+//! Deterministic measurement noise.
+//!
+//! Real `clock()`-based measurements jitter by a few cycles (counter
+//! granularity, replay, unrelated traffic). The model adds Gaussian jitter so
+//! histograms and correlation analyses behave like measured data, while
+//! staying bit-reproducible under a fixed seed.
+
+use rand::Rng;
+
+/// Draws one sample from `N(0, sigma²)` using the Box–Muller transform.
+///
+/// Returns `0.0` for `sigma <= 0`, so noise can be disabled by calibration.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds Gaussian jitter to a mean number of cycles and rounds to whole cycles
+/// (the hardware counter has cycle granularity), clamping at 1.
+pub fn jittered_cycles<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> u64 {
+    let v = mean + gaussian(rng, sigma);
+    v.round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gaussian(&mut rng, 0.0), 0.0);
+        assert_eq!(jittered_cycles(&mut rng, 212.4, 0.0), 212);
+    }
+
+    #[test]
+    fn samples_have_roughly_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let sigma = 3.0;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.15, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| jittered_cycles(&mut rng, 200.0, 2.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| jittered_cycles(&mut rng, 200.0, 2.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jittered_cycles_never_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(jittered_cycles(&mut rng, 1.0, 5.0) >= 1);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-L2-slice traffic counters, mirroring the profiler capabilities the
+//! paper relies on.
+//!
+//! On V100, `nvprof` in non-aggregated mode exposes per-slice counters, which
+//! the paper uses to learn the address→slice mapping. On A100/H100 those
+//! counters were removed (paper footnote 1), forcing a contention-probing
+//! workaround. [`Profiler::per_slice_counts`] reflects that: it returns
+//! `None` on devices whose spec says per-slice counters are unavailable,
+//! while the aggregate count remains readable everywhere.
+
+use gnoc_topo::SliceId;
+use serde::{Deserialize, Serialize};
+
+/// Slice-level traffic counters for one device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profiler {
+    per_slice: Vec<u64>,
+    total: u64,
+    per_slice_available: bool,
+}
+
+impl Profiler {
+    /// Creates counters for `num_slices` slices; `per_slice_available`
+    /// mirrors [`gnoc_topo::GpuSpec::per_slice_counters`].
+    pub fn new(num_slices: usize, per_slice_available: bool) -> Self {
+        Self {
+            per_slice: vec![0; num_slices],
+            total: 0,
+            per_slice_available,
+        }
+    }
+
+    /// Records one L2 access to `slice`.
+    pub fn record(&mut self, slice: SliceId) {
+        self.per_slice[slice.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Total L2 accesses since the last reset — always available (recent GPUs
+    /// still expose aggregate counters).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-slice access counts, or `None` when the device does not expose
+    /// non-aggregated counters (A100/H100).
+    pub fn per_slice_counts(&self) -> Option<&[u64]> {
+        self.per_slice_available.then_some(self.per_slice.as_slice())
+    }
+
+    /// The slice with the highest count, if per-slice counters are available
+    /// and any traffic was recorded. This is how the paper's V100 methodology
+    /// identifies the target slice of a probe address.
+    pub fn hottest_slice(&self) -> Option<SliceId> {
+        if !self.per_slice_available || self.total == 0 {
+            return None;
+        }
+        let (idx, _) = self
+            .per_slice
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)?;
+        Some(SliceId::new(idx as u32))
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.per_slice.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_per_slice() {
+        let mut p = Profiler::new(4, true);
+        p.record(SliceId::new(2));
+        p.record(SliceId::new(2));
+        p.record(SliceId::new(0));
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.per_slice_counts().unwrap(), &[1, 0, 2, 0]);
+        assert_eq!(p.hottest_slice(), Some(SliceId::new(2)));
+    }
+
+    #[test]
+    fn per_slice_counters_hidden_on_recent_gpus() {
+        let mut p = Profiler::new(4, false);
+        p.record(SliceId::new(1));
+        assert_eq!(p.per_slice_counts(), None);
+        assert_eq!(p.hottest_slice(), None);
+        // Aggregate stays visible.
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Profiler::new(2, true);
+        p.record(SliceId::new(0));
+        p.reset();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.per_slice_counts().unwrap(), &[0, 0]);
+        assert_eq!(p.hottest_slice(), None);
+    }
+
+    #[test]
+    fn hottest_slice_requires_traffic() {
+        let p = Profiler::new(2, true);
+        assert_eq!(p.hottest_slice(), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! # gnoc-microbench
+//!
+//! The measurement methodology of *Uncovering Real GPU NoC Characteristics*
+//! (MICRO 2024), implemented against the virtual device in `gnoc-engine`:
+//!
+//! - [`LatencyProbe`] — Algorithm 1: pinned-SM, slice-targeted, L2-warmed
+//!   pointer chases (plus miss-penalty variants);
+//! - [`bandwidth`] — Algorithm 2: slice-targeted streaming bandwidth,
+//!   per-slice profiles and chip-wide aggregates;
+//! - [`speedup`] — the TPC / CPC / GPC input-speedup probes of Fig. 10;
+//! - [`slicemap`] — address→slice reverse engineering via profiler counters
+//!   (V100) or contention probing (A100/H100, footnote 1);
+//! - [`mpmap`] — memory-partition structure inference from bandwidth
+//!   sub-additivity (the NoC-output counterpart of placement recovery);
+//! - [`loaded`] — latency-under-load curves (the latency/bandwidth
+//!   characterisation beyond Algorithm 1's unloaded numbers);
+//! - [`sm2sm`] — the H100 distributed-shared-memory latency probe of Fig. 7.
+//!
+//! ```
+//! use gnoc_engine::GpuDevice;
+//! use gnoc_microbench::LatencyProbe;
+//! use gnoc_topo::{SmId, SliceId};
+//!
+//! let mut gpu = GpuDevice::v100(0);
+//! let probe = LatencyProbe::default();
+//! let cycles = probe.measure_pair(&mut gpu, SmId::new(24), SliceId::new(0));
+//! assert!(cycles > 170.0 && cycles < 260.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bandwidth;
+mod latency;
+pub mod loaded;
+pub mod mpmap;
+pub mod slicemap;
+pub mod sm2sm;
+pub mod speedup;
+
+pub use latency::LatencyProbe;
+pub use speedup::{input_speedups, SpeedupReport};

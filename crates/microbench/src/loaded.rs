@@ -1,0 +1,120 @@
+//! Latency under load.
+//!
+//! Algorithm 1 measures *unloaded* latency (one thread, no contention). A
+//! complete interconnect characterisation also needs the latency–bandwidth
+//! curve: how round-trip latency inflates as background traffic pushes the
+//! fabric towards saturation. The engine's fixed-point solver already
+//! computes per-flow effective latencies; this probe exposes them the way a
+//! measurement campaign would.
+//!
+//! Note on saturation: the solver models *equilibrium* queueing (utilisation
+//! is capped at capacity), so past the fabric's saturation point the reported
+//! latency reflects the throttled steady state rather than the unbounded
+//! queue growth of an open-loop network — compare the cycle-level `gnoc-noc`
+//! load curves, which do blow up.
+
+use crate::bandwidth::{cross_flows, reachable_slices};
+use gnoc_engine::{AccessKind, FlowSpec, GpuDevice};
+use gnoc_topo::{SliceId, SmId};
+use serde::{Deserialize, Serialize};
+
+/// One point of a latency-under-load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadedPoint {
+    /// Number of background SMs streaming.
+    pub background_sms: usize,
+    /// Aggregate background bandwidth achieved, GB/s.
+    pub background_gbps: f64,
+    /// The probe flow's effective round-trip latency, cycles.
+    pub probe_latency: f64,
+}
+
+/// Measures the probe's `(sm → slice)` effective latency while `background`
+/// SMs stream to every reachable slice.
+pub fn loaded_latency(
+    dev: &GpuDevice,
+    probe_sm: SmId,
+    probe_slice: SliceId,
+    background: &[SmId],
+) -> LoadedPoint {
+    let mut flows = vec![FlowSpec {
+        sm: probe_sm,
+        slice: probe_slice,
+        kind: AccessKind::ReadHit,
+    }];
+    for &sm in background {
+        let slices = reachable_slices(dev, sm);
+        flows.extend(cross_flows(&[sm], &slices, AccessKind::ReadHit));
+    }
+    let sol = dev.solve_bandwidth(&flows);
+    LoadedPoint {
+        background_sms: background.len(),
+        background_gbps: sol.total_gbps - sol.rates_gbps[0],
+        probe_latency: sol.latencies_cycles[0],
+    }
+}
+
+/// Sweeps the background intensity: `counts[i]` background SMs (excluding the
+/// probe SM) each streaming to all slices.
+pub fn latency_bandwidth_curve(
+    dev: &GpuDevice,
+    probe_sm: SmId,
+    probe_slice: SliceId,
+    counts: &[usize],
+) -> Vec<LoadedPoint> {
+    let h = dev.hierarchy();
+    let others: Vec<SmId> = SmId::range(h.num_sms())
+        .filter(|&sm| sm != probe_sm)
+        .collect();
+    counts
+        .iter()
+        .map(|&n| loaded_latency(dev, probe_sm, probe_slice, &others[..n.min(others.len())]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_inflates_with_load() {
+        let dev = GpuDevice::v100(0);
+        let curve =
+            latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[0, 8, 24]);
+        // With no background the probe pays only its own modest queueing on
+        // top of the unloaded model mean; fully loaded is visibly higher.
+        let base = dev.hit_cycles_mean(SmId::new(0), SliceId::new(0));
+        assert!(
+            curve[0].probe_latency >= base && curve[0].probe_latency < base + 20.0,
+            "unloaded {} vs model {base}",
+            curve[0].probe_latency
+        );
+        let last = curve.last().unwrap();
+        assert!(
+            last.probe_latency > base + 30.0,
+            "loaded latency should inflate: {} vs {base}",
+            last.probe_latency
+        );
+        // Latency grows monotonically up to saturation.
+        for w in curve.windows(2) {
+            assert!(
+                w[1].probe_latency >= w[0].probe_latency - 1.0,
+                "{curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_bandwidth_grows_then_saturates() {
+        let dev = GpuDevice::v100(0);
+        let curve =
+            latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[8, 24, 79]);
+        assert!(curve[1].background_gbps > curve[0].background_gbps);
+        // Near the aggregate fabric limit with all SMs on.
+        assert!(
+            curve[2].background_gbps > 1_500.0,
+            "{}",
+            curve[2].background_gbps
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Memory-partition structure inference from bandwidth contention.
+//!
+//! The latency side of the paper recovers *core* placement (Observation #4);
+//! this probe recovers the *memory-side* grouping: which L2 slices share a
+//! memory partition. Two slices in the same MP share the MP input port and
+//! the GPC↔MP ports, so driving both at once yields less than the sum of
+//! driving each alone — while slices in different MPs scale almost
+//! additively (near-ideal L2 input speedup, Fig. 15a). Clustering the
+//! pairwise sub-additivity recovers the MP map, which the paper notes is the
+//! knowledge needed for a covert channel at the NoC *output*.
+
+use crate::bandwidth::cross_flows;
+use gnoc_engine::{AccessKind, GpuDevice};
+use gnoc_topo::{GpcId, SliceId, SmId};
+
+/// How sub-additive a slice pair is: `1 - together / (solo_a + solo_b)`.
+/// Near 0 = independent resources; larger = shared bottleneck.
+///
+/// The probe uses the SMs of a *single* GPC, split between the two slices:
+/// the GPC owns one port per memory partition, so if both slices live in one
+/// MP the two halves fight over that port (the "speedup in space" of
+/// Fig. 15c in reverse), while slices of different MPs engage two ports and
+/// scale additively.
+pub fn pair_subadditivity(dev: &GpuDevice, a: SliceId, b: SliceId) -> f64 {
+    let h = dev.hierarchy();
+    // A GPC on the slice-pair's side of the die (partition-local devices can
+    // only drive local slices).
+    let gpc = gnoc_topo::GpcId::range(h.num_gpcs())
+        .find(|&g| h.partition_of_gpc(g) == h.slice(a).partition)
+        .unwrap_or(GpcId::new(0));
+    let sms: Vec<SmId> = h.sms_in_gpc(gpc).to_vec();
+    let half = sms.len() / 2;
+    let bw = |targets: &[(SliceId, &[SmId])]| -> f64 {
+        let mut flows = Vec::new();
+        for &(slice, group) in targets {
+            flows.extend(cross_flows(group, &[slice], AccessKind::ReadHit));
+        }
+        dev.solve_bandwidth(&flows).total_gbps
+    };
+    let solo_a = bw(&[(a, &sms[..half])]);
+    let solo_b = bw(&[(b, &sms[half..])]);
+    let together = bw(&[(a, &sms[..half]), (b, &sms[half..])]);
+    (1.0 - together / (solo_a + solo_b)).max(0.0)
+}
+
+/// Infers slice groups by clustering pairwise sub-additivity above
+/// `threshold` (0.05–0.15 works across the presets). Returns one group label
+/// per slice, in first-appearance order.
+///
+/// Probing is O(slices²) bandwidth solves; restrict `slices` to the set of
+/// interest on big devices.
+pub fn infer_mp_groups(dev: &GpuDevice, slices: &[SliceId], threshold: f64) -> Vec<usize> {
+    let n = slices.len();
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = pair_subadditivity(dev, slices[i], slices[j]);
+            matrix[i][j] = s;
+            matrix[j][i] = s;
+        }
+        matrix[i][i] = 1.0;
+    }
+    gnoc_analysis::correlation_clusters(&matrix, threshold)
+}
+
+/// Scores an inferred grouping against the device's true MP map (Rand
+/// index over slice pairs).
+pub fn score_against_truth(dev: &GpuDevice, slices: &[SliceId], labels: &[usize]) -> f64 {
+    let truth: Vec<usize> = slices
+        .iter()
+        .map(|&s| dev.hierarchy().slice(s).mp.index())
+        .collect();
+    gnoc_analysis::rand_index(labels, &truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_mp_pairs_are_subadditive() {
+        let dev = GpuDevice::v100(0);
+        let h = dev.hierarchy();
+        let mp0 = h.slices_in_mp(gnoc_topo::MpId::new(0));
+        let mp1 = h.slices_in_mp(gnoc_topo::MpId::new(1));
+        let same = pair_subadditivity(&dev, mp0[0], mp0[1]);
+        let diff = pair_subadditivity(&dev, mp0[0], mp1[0]);
+        assert!(
+            same > diff + 0.05,
+            "same-MP subadditivity {same:.3} vs cross-MP {diff:.3}"
+        );
+    }
+
+    #[test]
+    fn mp_groups_are_recovered_on_v100() {
+        let dev = GpuDevice::v100(0);
+        // Probe the first four MPs' worth of slices (16 slices, 120 pairs).
+        let slices: Vec<SliceId> = SliceId::range(16).collect();
+        let labels = infer_mp_groups(&dev, &slices, 0.08);
+        let score = score_against_truth(&dev, &slices, &labels);
+        assert_eq!(
+            score, 1.0,
+            "MP structure should be exactly recovered: labels {labels:?}"
+        );
+    }
+
+    #[test]
+    fn subadditivity_is_within_unit_range() {
+        let dev = GpuDevice::a100(0);
+        let s = pair_subadditivity(&dev, SliceId::new(0), SliceId::new(1));
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,92 @@
+//! SM-to-SM (distributed shared memory) latency probe — paper Fig. 7.
+//!
+//! H100 lets a thread load from the shared memory of another SM in the same
+//! GPC through an SM-to-SM network. Probing every (source CPC, destination
+//! CPC) pair reveals the CPC hierarchy: intra-CPC0 traffic is fastest, CPC2
+//! slowest, because of their distance from the network switch.
+
+use gnoc_engine::GpuDevice;
+use gnoc_topo::GpcId;
+
+/// Mean SM-to-SM latency for every `(src CPC, dst CPC)` pair within `gpc`,
+/// or `None` when the device has no SM-to-SM network.
+///
+/// Result is indexed `[src_cpc_in_gpc][dst_cpc_in_gpc]` and averages over all
+/// SM pairs (excluding an SM loading from itself).
+pub fn cpc_latency_matrix(
+    dev: &mut GpuDevice,
+    gpc: GpcId,
+    samples: usize,
+) -> Option<Vec<Vec<f64>>> {
+    if !dev.spec().sm_to_sm_network {
+        return None;
+    }
+    let cpcs = dev.hierarchy().cpcs_in_gpc(gpc).to_vec();
+    let cpc_sms: Vec<Vec<_>> = cpcs
+        .iter()
+        .map(|&c| dev.hierarchy().sms_in_cpc(c).to_vec())
+        .collect();
+    let mut matrix = vec![vec![0.0; cpcs.len()]; cpcs.len()];
+    for (i, src_sms) in cpc_sms.iter().enumerate() {
+        for (j, dst_sms) in cpc_sms.iter().enumerate() {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for &src in src_sms {
+                for &dst in dst_sms {
+                    if src == dst {
+                        continue;
+                    }
+                    for _ in 0..samples.max(1) {
+                        acc += dev
+                            .timed_sm2sm_read(src, dst)
+                            .expect("same-GPC pair on an SM-to-SM device")
+                            as f64;
+                        n += 1.0;
+                    }
+                }
+            }
+            matrix[i][j] = acc / n;
+        }
+    }
+    Some(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_has_no_sm2sm_network() {
+        let mut dev = GpuDevice::v100(0);
+        assert!(cpc_latency_matrix(&mut dev, GpcId::new(0), 1).is_none());
+    }
+
+    #[test]
+    fn h100_matrix_matches_fig7_structure() {
+        let mut dev = GpuDevice::h100(0);
+        let m = cpc_latency_matrix(&mut dev, GpcId::new(0), 2).unwrap();
+        assert_eq!(m.len(), 3);
+        // Intra-CPC0 is the fastest pairing, intra-CPC2 the slowest.
+        let min = m
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = m.iter().flatten().cloned().fold(0.0, f64::max);
+        assert_eq!(m[0][0], min.max(m[0][0]).min(m[0][0]));
+        assert!((m[0][0] - min).abs() < 3.0, "CPC0-CPC0 {} vs min {min}", m[0][0]);
+        assert!((m[2][2] - max).abs() < 3.0, "CPC2-CPC2 {} vs max {max}", m[2][2]);
+        // Paper range: ≈ 196 to ≈ 213 cycles.
+        assert!((188.0..204.0).contains(&m[0][0]), "{}", m[0][0]);
+        assert!((202.0..225.0).contains(&m[2][2]), "{}", m[2][2]);
+        // Symmetry of the average (request path is symmetric in the model).
+        assert!((m[0][2] - m[2][0]).abs() < 3.0);
+    }
+
+    #[test]
+    fn latency_grows_with_cpc_distance() {
+        let mut dev = GpuDevice::h100(1);
+        let m = cpc_latency_matrix(&mut dev, GpcId::new(3), 2).unwrap();
+        assert!(m[0][1] < m[0][2], "{} vs {}", m[0][1], m[0][2]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Input-speedup probes (paper Section IV-A, Fig. 10).
+//!
+//! *Input speedup* is the excess bandwidth provided into the NoC at each
+//! hierarchy level. It is measured exactly as the paper does: the bandwidth
+//! of `x` SMs streaming to all (reachable) slices divided by the bandwidth of
+//! one SM, where `x` is chosen per level — 2 for TPC, the SMs of one CPC, one
+//! SM per TPC for GPC_l ("local"), and every SM of the GPC for GPC_g
+//! ("global").
+
+use crate::bandwidth::{cross_flows, reachable_slices};
+use gnoc_engine::{AccessKind, GpuDevice};
+use gnoc_topo::{CpcId, GpcId, SliceId, SmId, TpcId};
+use serde::{Deserialize, Serialize};
+
+/// Measured input speedups for one device and access kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Speedup of both SMs of a TPC vs one (full = 2).
+    pub tpc: f64,
+    /// Speedup of all SMs of a CPC vs one (H100 only; full = SMs per CPC).
+    pub cpc: Option<f64>,
+    /// Speedup of one SM per TPC of a GPC vs one SM (full = TPCs per GPC).
+    pub gpc_local: f64,
+    /// Speedup of all SMs of a GPC vs one SM (full = SMs per GPC).
+    pub gpc_global: f64,
+    /// TPCs in the probed GPC — the "full bandwidth" requirement for GPC_l.
+    pub gpc_tpcs: usize,
+    /// SMs in the probed GPC — the "full bandwidth" requirement for GPC_g.
+    pub gpc_sms: usize,
+    /// SMs in the probed CPC, when a CPC level exists.
+    pub cpc_sms: Option<usize>,
+}
+
+/// Bandwidth of `sms` streaming `kind` accesses to all reachable slices.
+fn bw(dev: &GpuDevice, sms: &[SmId], kind: AccessKind) -> f64 {
+    let slices: Vec<SliceId> = reachable_slices(dev, sms[0]);
+    let flows = cross_flows(sms, &slices, kind);
+    dev.solve_bandwidth(&flows).total_gbps
+}
+
+/// Measures the input speedups of `dev` for `kind` (reads or writes), probing
+/// GPC 0 / TPC 0 / CPC 0.
+pub fn input_speedups(dev: &GpuDevice, kind: AccessKind) -> SpeedupReport {
+    let h = dev.hierarchy();
+    let gpc = GpcId::new(0);
+    let gpc_sms: Vec<SmId> = h.sms_in_gpc(gpc).to_vec();
+    let baseline_sm = gpc_sms[0];
+    let base = bw(dev, &[baseline_sm], kind);
+
+    // TPC: the two SMs sharing the baseline SM's TPC.
+    let tpc: TpcId = h.sm(baseline_sm).tpc;
+    let tpc_sms: Vec<SmId> = h.sms_in_tpc(tpc).to_vec();
+    let tpc_speedup = bw(dev, &tpc_sms, kind) / base;
+
+    // CPC (only meaningful when the device has a CPC level).
+    let (cpc_speedup, cpc_sms_n) = if h.has_cpc_level() {
+        let cpc: CpcId = h.sm(baseline_sm).cpc;
+        let cpc_sms: Vec<SmId> = h.sms_in_cpc(cpc).to_vec();
+        (Some(bw(dev, &cpc_sms, kind) / base), Some(cpc_sms.len()))
+    } else {
+        (None, None)
+    };
+
+    // GPC_l: one SM per TPC of the GPC.
+    let mut seen_tpcs = std::collections::HashSet::new();
+    let local_sms: Vec<SmId> = gpc_sms
+        .iter()
+        .copied()
+        .filter(|&sm| seen_tpcs.insert(h.sm(sm).tpc))
+        .collect();
+    let gpc_local = bw(dev, &local_sms, kind) / base;
+
+    // GPC_g: every SM of the GPC.
+    let gpc_global = bw(dev, &gpc_sms, kind) / base;
+
+    SpeedupReport {
+        tpc: tpc_speedup,
+        cpc: cpc_speedup,
+        gpc_local,
+        gpc_global,
+        gpc_tpcs: local_sms.len(),
+        gpc_sms: gpc_sms.len(),
+        cpc_sms: cpc_sms_n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_reads_get_full_tpc_speedup() {
+        let dev = GpuDevice::v100(0);
+        let r = input_speedups(&dev, AccessKind::ReadHit);
+        assert!(r.tpc > 1.9, "TPC read speedup {}", r.tpc);
+        assert_eq!(r.gpc_tpcs, 7);
+        assert_eq!(r.gpc_sms, 14);
+        assert!(r.cpc.is_none());
+    }
+
+    #[test]
+    fn v100_writes_are_tpc_constrained() {
+        // Fig. 10: V100 TPC write speedup ≈ 1.09.
+        let dev = GpuDevice::v100(0);
+        let w = input_speedups(&dev, AccessKind::Write);
+        assert!(
+            (1.0..1.25).contains(&w.tpc),
+            "V100 TPC write speedup {}",
+            w.tpc
+        );
+    }
+
+    #[test]
+    fn v100_gpc_write_speedup_is_half_of_full() {
+        // Paper: "V100 reaches about 50 % of this [7×] speedup".
+        let dev = GpuDevice::v100(0);
+        let w = input_speedups(&dev, AccessKind::Write);
+        let frac = w.gpc_local / w.gpc_tpcs as f64;
+        assert!(
+            (0.40..0.62).contains(&frac),
+            "GPC_l write fraction {frac} (speedup {})",
+            w.gpc_local
+        );
+    }
+
+    #[test]
+    fn newer_gpus_fix_the_tpc_write_bottleneck() {
+        for dev in [GpuDevice::a100(0), GpuDevice::h100(0)] {
+            let w = input_speedups(&dev, AccessKind::Write);
+            assert!(
+                w.tpc > 1.9,
+                "{} TPC write speedup {}",
+                dev.spec().name,
+                w.tpc
+            );
+        }
+    }
+
+    #[test]
+    fn h100_gpc_write_approaches_85_percent() {
+        let dev = GpuDevice::h100(0);
+        let w = input_speedups(&dev, AccessKind::Write);
+        let frac = w.gpc_local / w.gpc_tpcs as f64;
+        assert!(
+            (0.75..0.95).contains(&frac),
+            "H100 GPC_l write fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn h100_cpc_reads_full_but_writes_capped() {
+        // Fig. 10: CPC has no impact on reads; writes reach only ≈ 4.6 of 6.
+        let dev = GpuDevice::h100(0);
+        let r = input_speedups(&dev, AccessKind::ReadHit);
+        let w = input_speedups(&dev, AccessKind::Write);
+        let cpc_sms = r.cpc_sms.unwrap() as f64;
+        assert!(
+            r.cpc.unwrap() > 0.9 * cpc_sms,
+            "CPC read speedup {} of {}",
+            r.cpc.unwrap(),
+            cpc_sms
+        );
+        assert!(
+            (4.0..5.2).contains(&w.cpc.unwrap()),
+            "CPC write speedup {}",
+            w.cpc.unwrap()
+        );
+    }
+
+    #[test]
+    fn gpc_global_is_at_least_gpc_local() {
+        for dev in [GpuDevice::v100(0), GpuDevice::a100(0), GpuDevice::h100(0)] {
+            let r = input_speedups(&dev, AccessKind::ReadHit);
+            assert!(
+                r.gpc_global >= r.gpc_local * 0.99,
+                "{}: GPC_g {} < GPC_l {}",
+                dev.spec().name,
+                r.gpc_global,
+                r.gpc_local
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Output-port arbitration policies.
+//!
+//! The paper (Fig. 23) contrasts locally-fair round-robin arbitration — which
+//! starves distant nodes in a multi-hop mesh through cascaded 50/50 merges —
+//! with globally-fair age-based arbitration, which equalises throughput at
+//! the cost of extra flow-control complexity.
+
+use serde::{Deserialize, Serialize};
+
+/// Which arbitration policy router outputs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbiterKind {
+    /// Locally fair rotating priority among the requesting inputs.
+    RoundRobin,
+    /// Globally fair: the oldest packet (smallest birth cycle) wins.
+    AgeBased,
+}
+
+/// Per-output arbitration state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arbiter {
+    kind: ArbiterKind,
+    rr_next: usize,
+}
+
+impl Arbiter {
+    /// Creates an arbiter of the given kind.
+    pub fn new(kind: ArbiterKind) -> Self {
+        Self { kind, rr_next: 0 }
+    }
+
+    /// Picks a winner among `candidates` — `(input index, packet birth)`
+    /// pairs — or `None` when empty. Updates round-robin state.
+    pub fn pick(&mut self, candidates: &[(usize, u64)]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let winner = match self.kind {
+            ArbiterKind::RoundRobin => {
+                // First candidate at or after the rotating pointer.
+                let mut best: Option<usize> = None;
+                let mut best_key = usize::MAX;
+                for &(input, _) in candidates {
+                    let key = input.wrapping_sub(self.rr_next).wrapping_add(64) % 64;
+                    if key < best_key {
+                        best_key = key;
+                        best = Some(input);
+                    }
+                }
+                let w = best.expect("non-empty candidates");
+                self.rr_next = (w + 1) % 64;
+                w
+            }
+            ArbiterKind::AgeBased => {
+                candidates
+                    .iter()
+                    .min_by_key(|&&(input, birth)| (birth, input))
+                    .expect("non-empty candidates")
+                    .0
+            }
+        };
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = Arbiter::new(ArbiterKind::RoundRobin);
+        let cands = [(0usize, 10u64), (1, 5), (2, 1)];
+        let first = a.pick(&cands).unwrap();
+        let second = a.pick(&cands).unwrap();
+        let third = a.pick(&cands).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(second, 1);
+        assert_eq!(third, 2);
+        assert_eq!(a.pick(&cands).unwrap(), 0);
+    }
+
+    #[test]
+    fn round_robin_skips_absent_inputs() {
+        let mut a = Arbiter::new(ArbiterKind::RoundRobin);
+        assert_eq!(a.pick(&[(3, 0)]).unwrap(), 3);
+        // Pointer is now 4; only inputs 1 and 2 request.
+        assert_eq!(a.pick(&[(1, 0), (2, 0)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn age_based_prefers_oldest() {
+        let mut a = Arbiter::new(ArbiterKind::AgeBased);
+        assert_eq!(a.pick(&[(0, 10), (1, 5), (2, 7)]).unwrap(), 1);
+        // Ties break on input index for determinism.
+        assert_eq!(a.pick(&[(2, 5), (1, 5)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut a = Arbiter::new(ArbiterKind::RoundRobin);
+        assert_eq!(a.pick(&[]), None);
+    }
+}

@@ -1,0 +1,423 @@
+//! Request/reply memory-system simulation — the Fig. 21 experiment.
+//!
+//! GPU NoCs are many-to-few-to-many: many compute nodes send small read
+//! requests to few memory controllers, which return large replies. Prior work
+//! identified the *reply* NoC↔MEM interface as the bottleneck; when that
+//! interface is under-provisioned, reply congestion back-pressures the memory
+//! controller, DRAM sits idle, and per-channel utilisation fluctuates around
+//! a low average (≈ 20 % in the paper's Fig. 21) even though the offered load
+//! could saturate it. Provisioning the reply interface (Implication #4/#5)
+//! restores high utilisation.
+
+use crate::arbiter::ArbiterKind;
+use crate::mesh::{Mesh, MeshConfig, RouteOrder};
+use crate::packet::{NodeId, PacketClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the request/reply memory simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemSimConfig {
+    /// Geometry shared by the request and reply networks.
+    pub mesh: MeshConfig,
+    /// Flits per read-request packet.
+    pub request_flits: u32,
+    /// Flits per read-reply packet (data). The reply interface bandwidth is
+    /// `1/reply_flits` packets per cycle per MC — the knob that creates or
+    /// removes the "network wall".
+    pub reply_flits: u32,
+    /// DRAM service cycles per request.
+    pub dram_service_cycles: u64,
+    /// Replies the MC can hold waiting for reply-network injection before it
+    /// stops accepting requests (back-pressure threshold).
+    pub mc_reply_queue: usize,
+    /// Offered load per compute node (requests/cycle).
+    pub inject_rate: f64,
+    /// Warm-up cycles excluded from the timeline.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Utilisation-timeline window, cycles.
+    pub window: u64,
+}
+
+impl MemSimConfig {
+    /// A configuration mirroring prior-work simulators: 4-flit replies over
+    /// the same channel width as 1-flit requests — reply-interface-bound.
+    pub fn underprovisioned() -> Self {
+        Self {
+            mesh: MeshConfig::paper_6x6(ArbiterKind::RoundRobin),
+            request_flits: 1,
+            reply_flits: 4,
+            dram_service_cycles: 1,
+            mc_reply_queue: 4,
+            inject_rate: 0.9,
+            warmup: 2_000,
+            measure: 12_000,
+            window: 200,
+        }
+    }
+
+    /// The same system with a reply interface wide enough that replies take a
+    /// single flit — the properly provisioned baseline the paper argues for.
+    pub fn provisioned() -> Self {
+        Self {
+            reply_flits: 1,
+            ..Self::underprovisioned()
+        }
+    }
+}
+
+/// Result of a memory-system simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSimResult {
+    /// Per-window DRAM utilisation of channel 0 (the paper plots one
+    /// channel over time).
+    pub utilization_timeline: Vec<f64>,
+    /// Mean DRAM utilisation across all channels and the whole measurement.
+    pub mean_utilization: f64,
+    /// Replies delivered back to compute nodes.
+    pub replies_delivered: u64,
+    /// Requests injected by compute nodes.
+    pub requests_injected: u64,
+}
+
+struct MemoryController {
+    node: NodeId,
+    pending: VecDeque<(NodeId, u64)>, // (requester, request id)
+    dram_busy_until: u64,
+    reply_queue: VecDeque<NodeId>,
+    busy_cycles_window: u64,
+    busy_cycles_total: u64,
+}
+
+/// Runs the request/reply simulation on **two physical networks** (the
+/// conventional GPU organisation). Bottom-row mesh nodes host the MCs.
+pub fn run_memsim(cfg: MemSimConfig, seed: u64) -> MemSimResult {
+    let req_net = Mesh::new(cfg.mesh);
+    // The reply network routes Y-first so that replies leaving the MC row
+    // fan out over the columns instead of all funnelling along row 0.
+    let reply_net = Mesh::new(MeshConfig {
+        route_order: RouteOrder::Yx,
+        ..cfg.mesh
+    });
+    run_memsim_on(cfg, seed, req_net, reply_net)
+}
+
+/// Runs the request/reply simulation on **one physical network** with two
+/// virtual channels (requests on VC 0, replies on VC 1) — a cheaper
+/// organisation where both classes share every link's bandwidth. The VC
+/// split prevents protocol deadlock; the shared links mean reply data
+/// steals request bandwidth, so utilisation is generally at or below the
+/// two-network configuration.
+pub fn run_memsim_shared(cfg: MemSimConfig, seed: u64) -> MemSimResult {
+    let shared = Mesh::new(MeshConfig {
+        vcs: 2,
+        ..cfg.mesh
+    });
+    run_memsim_shared_impl(cfg, seed, shared)
+}
+
+fn run_memsim_on(
+    cfg: MemSimConfig,
+    seed: u64,
+    mut req_net: Mesh,
+    mut reply_net: Mesh,
+) -> MemSimResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = cfg.mesh.width;
+    let n = cfg.mesh.num_nodes();
+    let compute: Vec<NodeId> = (width as u32..n as u32).map(NodeId::new).collect();
+    let mut mcs: Vec<MemoryController> = (0..width as u32)
+        .map(|i| MemoryController {
+            node: NodeId::new(i),
+            pending: VecDeque::new(),
+            dram_busy_until: 0,
+            reply_queue: VecDeque::new(),
+            busy_cycles_window: 0,
+            busy_cycles_total: 0,
+        })
+        .collect();
+
+    let mut timeline = Vec::new();
+    let mut requests_injected = 0u64;
+    let mut replies_delivered = 0u64;
+    let total = cfg.warmup + cfg.measure;
+
+    for cycle in 0..total {
+        let measuring = cycle >= cfg.warmup;
+
+        // Compute nodes issue requests.
+        for &src in &compute {
+            if rng.gen::<f64>() < cfg.inject_rate {
+                let dst = NodeId::new(rng.gen_range(0..width) as u32);
+                if req_net.try_inject(src, dst, cfg.request_flits, PacketClass::Request)
+                    && measuring
+                {
+                    requests_injected += 1;
+                }
+            }
+        }
+
+        // MC back-pressure: stop accepting requests when the reply queue is
+        // full (this is the reply-interface bottleneck feeding backwards).
+        for mc in &mcs {
+            req_net.set_ejection_enabled(mc.node, mc.reply_queue.len() < cfg.mc_reply_queue);
+        }
+
+        req_net.step();
+        for pkt in req_net.drain_ejected() {
+            let mc = &mut mcs[pkt.dst.index()];
+            mc.pending.push_back((pkt.src, pkt.id));
+        }
+
+        // DRAM service + reply generation.
+        for mc in &mut mcs {
+            if mc.dram_busy_until > cycle {
+                if measuring {
+                    mc.busy_cycles_window += 1;
+                    mc.busy_cycles_total += 1;
+                }
+                continue;
+            }
+            if mc.reply_queue.len() < cfg.mc_reply_queue {
+                if let Some((requester, _)) = mc.pending.pop_front() {
+                    mc.dram_busy_until = cycle + cfg.dram_service_cycles;
+                    mc.reply_queue.push_back(requester);
+                    if measuring {
+                        mc.busy_cycles_window += 1;
+                        mc.busy_cycles_total += 1;
+                    }
+                }
+            }
+        }
+
+        // Reply injection into the reply network (the NoC↔MEM interface).
+        for mc in &mut mcs {
+            if let Some(&requester) = mc.reply_queue.front() {
+                if reply_net.try_inject(mc.node, requester, cfg.reply_flits, PacketClass::Reply)
+                {
+                    mc.reply_queue.pop_front();
+                }
+            }
+        }
+
+        reply_net.step();
+        if measuring {
+            replies_delivered += reply_net.drain_ejected().len() as u64;
+        } else {
+            reply_net.drain_ejected();
+        }
+
+        // Utilisation window bookkeeping (channel 0).
+        if measuring && (cycle - cfg.warmup + 1).is_multiple_of(cfg.window) {
+            timeline.push(mcs[0].busy_cycles_window as f64 / cfg.window as f64);
+            for mc in &mut mcs {
+                mc.busy_cycles_window = 0;
+            }
+        }
+    }
+
+    let busy_total: u64 = mcs.iter().map(|m| m.busy_cycles_total).sum();
+    let mean_utilization = busy_total as f64 / (cfg.measure * width as u64) as f64;
+    MemSimResult {
+        utilization_timeline: timeline,
+        mean_utilization,
+        replies_delivered,
+        requests_injected,
+    }
+}
+
+fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSimResult {
+    use crate::packet::Packet;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = cfg.mesh.width;
+    let n = cfg.mesh.num_nodes();
+    let compute: Vec<NodeId> = (width as u32..n as u32).map(NodeId::new).collect();
+    let mut mcs: Vec<MemoryController> = (0..width as u32)
+        .map(|i| MemoryController {
+            node: NodeId::new(i),
+            pending: VecDeque::new(),
+            dram_busy_until: 0,
+            reply_queue: VecDeque::new(),
+            busy_cycles_window: 0,
+            busy_cycles_total: 0,
+        })
+        .collect();
+
+    let mut timeline = Vec::new();
+    let mut requests_injected = 0u64;
+    let mut replies_delivered = 0u64;
+    let total = cfg.warmup + cfg.measure;
+
+    for cycle in 0..total {
+        let measuring = cycle >= cfg.warmup;
+
+        for &src in &compute {
+            if rng.gen::<f64>() < cfg.inject_rate {
+                let dst = NodeId::new(rng.gen_range(0..width) as u32);
+                if net.try_inject(src, dst, cfg.request_flits, PacketClass::Request)
+                    && measuring
+                {
+                    requests_injected += 1;
+                }
+            }
+        }
+
+        // MC back-pressure gates request intake at the MC nodes.
+        for mc in &mcs {
+            net.set_ejection_enabled(mc.node, mc.reply_queue.len() < cfg.mc_reply_queue);
+        }
+
+        net.step();
+        let ejected: Vec<Packet> = net.drain_ejected();
+        for pkt in ejected {
+            match pkt.class {
+                PacketClass::Request => {
+                    mcs[pkt.dst.index()].pending.push_back((pkt.src, pkt.id));
+                }
+                PacketClass::Reply => {
+                    if measuring {
+                        replies_delivered += 1;
+                    }
+                }
+            }
+        }
+
+        for mc in &mut mcs {
+            if mc.dram_busy_until > cycle {
+                if measuring {
+                    mc.busy_cycles_window += 1;
+                    mc.busy_cycles_total += 1;
+                }
+                continue;
+            }
+            if mc.reply_queue.len() < cfg.mc_reply_queue {
+                if let Some((requester, _)) = mc.pending.pop_front() {
+                    mc.dram_busy_until = cycle + cfg.dram_service_cycles;
+                    mc.reply_queue.push_back(requester);
+                    if measuring {
+                        mc.busy_cycles_window += 1;
+                        mc.busy_cycles_total += 1;
+                    }
+                }
+            }
+        }
+
+        // Reply injection onto the shared network (VC 1).
+        for mc in &mut mcs {
+            if let Some(&requester) = mc.reply_queue.front() {
+                if net.try_inject(mc.node, requester, cfg.reply_flits, PacketClass::Reply) {
+                    mc.reply_queue.pop_front();
+                }
+            }
+        }
+
+        if measuring && (cycle - cfg.warmup + 1).is_multiple_of(cfg.window) {
+            timeline.push(mcs[0].busy_cycles_window as f64 / cfg.window as f64);
+            for mc in &mut mcs {
+                mc.busy_cycles_window = 0;
+            }
+        }
+    }
+
+    let busy_total: u64 = mcs.iter().map(|m| m.busy_cycles_total).sum();
+    let mean_utilization = busy_total as f64 / (cfg.measure * width as u64) as f64;
+    MemSimResult {
+        utilization_timeline: timeline,
+        mean_utilization,
+        replies_delivered,
+        requests_injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underprovisioned_reply_interface_starves_dram() {
+        // Fig. 21: reply bottleneck keeps average utilisation low …
+        let r = run_memsim(MemSimConfig::underprovisioned(), 1);
+        assert!(
+            r.mean_utilization < 0.45,
+            "expected starved DRAM, got {:.2}",
+            r.mean_utilization
+        );
+        // … and fluctuating over time.
+        let max = r
+            .utilization_timeline
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let min = r
+            .utilization_timeline
+            .iter()
+            .cloned()
+            .fold(1.0f64, f64::min);
+        assert!(
+            max - min > 0.1,
+            "expected fluctuation, got {min:.2}..{max:.2}"
+        );
+    }
+
+    #[test]
+    fn provisioned_reply_interface_sustains_dram() {
+        // Implication #4: real GPUs provision the interface; utilisation is
+        // high (the paper's real-GPU measurements exceed 85 %).
+        let r = run_memsim(MemSimConfig::provisioned(), 1);
+        assert!(
+            r.mean_utilization > 0.8,
+            "expected sustained DRAM, got {:.2}",
+            r.mean_utilization
+        );
+    }
+
+    #[test]
+    fn provisioning_strictly_helps() {
+        let under = run_memsim(MemSimConfig::underprovisioned(), 2);
+        let prov = run_memsim(MemSimConfig::provisioned(), 2);
+        assert!(prov.mean_utilization > under.mean_utilization + 0.2);
+        assert!(prov.replies_delivered > under.replies_delivered);
+    }
+
+    #[test]
+    fn replies_do_not_exceed_requests() {
+        let r = run_memsim(MemSimConfig::underprovisioned(), 3);
+        assert!(r.replies_delivered <= r.requests_injected + 2_000);
+    }
+
+    #[test]
+    fn shared_network_runs_without_deadlock() {
+        // One physical mesh with 2 VCs carries both classes; it must keep
+        // delivering replies for the whole run.
+        let r = run_memsim_shared(MemSimConfig::provisioned(), 6);
+        assert!(r.replies_delivered > 10_000, "{}", r.replies_delivered);
+        assert!(r.mean_utilization > 0.4, "{}", r.mean_utilization);
+    }
+
+    #[test]
+    fn shared_network_is_at_most_as_fast_as_two_networks() {
+        // Replies steal request bandwidth on shared links.
+        let two = run_memsim(MemSimConfig::provisioned(), 7);
+        let one = run_memsim_shared(MemSimConfig::provisioned(), 7);
+        assert!(
+            one.mean_utilization <= two.mean_utilization + 0.03,
+            "shared {:.2} vs dual {:.2}",
+            one.mean_utilization,
+            two.mean_utilization
+        );
+    }
+
+    #[test]
+    fn timeline_has_expected_length() {
+        let cfg = MemSimConfig::underprovisioned();
+        let r = run_memsim(cfg, 4);
+        assert_eq!(
+            r.utilization_timeline.len() as u64,
+            cfg.measure / cfg.window
+        );
+    }
+}

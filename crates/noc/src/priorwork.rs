@@ -1,0 +1,183 @@
+//! The Fig. 22 "network wall" survey.
+//!
+//! The paper defines the NoC↔MEM interface bandwidth of a simulated
+//! configuration as `BW_NoC-MEM = f_NoC × w × C` (NoC clock × channel width ×
+//! number of memory partitions) and compares it against the modelled memory
+//! bandwidth: configurations with `BW_NoC-MEM < BW_MEM` are interface-bound —
+//! they sit behind a "network wall" and can overstate the benefit of NoC
+//! optimisations.
+//!
+//! The dataset below reconstructs representative baseline configurations of
+//! the prior work the paper surveys (its references \[14\], \[15\],
+//! \[17\], \[28\]–\[32\], \[58\], \[59\]). Exact parameters are not
+//! always published; values are approximations chosen to match each system's
+//! published clock/width/MC counts, and the *classification* (which side of
+//! the wall) follows the paper's plot.
+
+use serde::{Deserialize, Serialize};
+
+/// One simulated-GPU baseline from prior work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorWorkPoint {
+    /// Citation tag from the paper's reference list.
+    pub name: &'static str,
+    /// Short description of the system.
+    pub system: &'static str,
+    /// Modelled off-chip memory bandwidth, GB/s.
+    pub mem_bw_gbps: f64,
+    /// NoC clock, GHz.
+    pub noc_clock_ghz: f64,
+    /// NoC channel width, bytes.
+    pub channel_width_bytes: f64,
+    /// Number of memory partitions / controllers.
+    pub num_mcs: u32,
+}
+
+impl PriorWorkPoint {
+    /// `BW_NoC-MEM = f_NoC × w × C`, GB/s.
+    pub fn noc_mem_interface_gbps(&self) -> f64 {
+        self.noc_clock_ghz * self.channel_width_bytes * self.num_mcs as f64
+    }
+
+    /// Whether the configuration is interface-bound (`BW_NoC-MEM < BW_MEM`)
+    /// — the paper's "network wall".
+    pub fn network_wall(&self) -> bool {
+        self.noc_mem_interface_gbps() < self.mem_bw_gbps
+    }
+}
+
+/// The surveyed prior-work configurations (approximate reconstruction of
+/// Fig. 22's points).
+pub fn dataset() -> Vec<PriorWorkPoint> {
+    vec![
+        PriorWorkPoint {
+            name: "[28]",
+            system: "Throughput-effective NoC (GTX280-class)",
+            mem_bw_gbps: 141.7,
+            noc_clock_ghz: 0.602,
+            channel_width_bytes: 16.0,
+            num_mcs: 8,
+        },
+        PriorWorkPoint {
+            name: "[29]",
+            system: "Packet Pump (Fermi-class)",
+            mem_bw_gbps: 177.4,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 16.0,
+            num_mcs: 6,
+        },
+        PriorWorkPoint {
+            name: "[30]",
+            system: "Bandwidth-efficient NoC",
+            mem_bw_gbps: 179.2,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 32.0,
+            num_mcs: 8,
+        },
+        PriorWorkPoint {
+            name: "[31]",
+            system: "Cost-effective on-chip network",
+            mem_bw_gbps: 173.0,
+            noc_clock_ghz: 0.65,
+            channel_width_bytes: 16.0,
+            num_mcs: 8,
+        },
+        PriorWorkPoint {
+            name: "[32]",
+            system: "Conflict-free NoC",
+            mem_bw_gbps: 177.4,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 22.0,
+            num_mcs: 6,
+        },
+        PriorWorkPoint {
+            name: "[14]",
+            system: "Cache-conscious wavefront scheduling",
+            mem_bw_gbps: 179.2,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 32.0,
+            num_mcs: 6,
+        },
+        PriorWorkPoint {
+            name: "[15]",
+            system: "Mascar (GTX480-class)",
+            mem_bw_gbps: 177.4,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 32.0,
+            num_mcs: 6,
+        },
+        PriorWorkPoint {
+            name: "[17]",
+            system: "iPAWS",
+            mem_bw_gbps: 179.2,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 32.0,
+            num_mcs: 8,
+        },
+        PriorWorkPoint {
+            name: "[58]",
+            system: "WarpPool",
+            mem_bw_gbps: 179.2,
+            noc_clock_ghz: 1.4,
+            channel_width_bytes: 32.0,
+            num_mcs: 8,
+        },
+        PriorWorkPoint {
+            name: "[59]",
+            system: "Adaptive cache management",
+            mem_bw_gbps: 179.2,
+            noc_clock_ghz: 0.7,
+            channel_width_bytes: 64.0,
+            num_mcs: 6,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_bandwidth_formula() {
+        let p = PriorWorkPoint {
+            name: "x",
+            system: "test",
+            mem_bw_gbps: 100.0,
+            noc_clock_ghz: 1.0,
+            channel_width_bytes: 32.0,
+            num_mcs: 4,
+        };
+        assert_eq!(p.noc_mem_interface_gbps(), 128.0);
+        assert!(!p.network_wall());
+    }
+
+    #[test]
+    fn survey_contains_both_sides_of_the_wall() {
+        // The paper's point: a substantial fraction of prior work modelled an
+        // interface-bound NoC, while others provisioned it adequately.
+        let points = dataset();
+        let walled = points.iter().filter(|p| p.network_wall()).count();
+        assert!(walled >= 3, "walled: {walled}");
+        assert!(walled <= points.len() - 3, "walled: {walled}");
+    }
+
+    #[test]
+    fn throughput_effective_baseline_is_walled() {
+        // [28]'s reply-network bottleneck is the motivating example.
+        let p = dataset()
+            .into_iter()
+            .find(|p| p.name == "[28]")
+            .expect("survey contains [28]");
+        assert!(p.network_wall());
+    }
+
+    #[test]
+    fn dataset_is_nonempty_and_distinct() {
+        let points = dataset();
+        assert_eq!(points.len(), 10);
+        let mut names: Vec<_> = points.iter().map(|p| p.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

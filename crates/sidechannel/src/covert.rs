@@ -1,0 +1,279 @@
+//! Slice-contention covert channel (paper Section V-A).
+//!
+//! The paper notes that NoC characterisation enables covert channels both at
+//! the NoC *input* (SM co-location) and at the NoC *output* — the input of an
+//! L2 slice. This module builds the output-side channel: a transmitter
+//! modulates load on one L2 slice (hammer = 1, idle = 0) while a receiver
+//! continuously streams from the same slice and decodes its own achieved
+//! bandwidth. Placement knowledge (Implication #1) matters twice: the
+//! parties must agree on a slice, and a transmitter placed on the slice's own
+//! partition injects far more contention per SM than a far-partition one.
+
+use gnoc_analysis::Summary;
+use gnoc_engine::{AccessKind, FlowSpec, GpuDevice};
+use gnoc_topo::{PartitionId, SliceId, SmId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one covert-channel session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovertChannelConfig {
+    /// The L2 slice both parties agreed on (e.g. recovered via the slice-map
+    /// probe of `gnoc-microbench`).
+    pub slice: SliceId,
+    /// SMs the transmitter's kernel occupies.
+    pub tx_sms: Vec<SmId>,
+    /// The receiver's SM.
+    pub rx_sm: SmId,
+    /// Symbol duration in cycles (sets the bit rate).
+    pub window_cycles: f64,
+    /// Length of the known alternating preamble used to train the decision
+    /// threshold.
+    pub preamble_bits: usize,
+}
+
+impl CovertChannelConfig {
+    /// A placement-aware default on `dev`: the transmitter takes `tx_count`
+    /// SMs from the slice's own partition (maximum contention per SM), the
+    /// receiver one more SM from the same partition.
+    pub fn colocated(dev: &GpuDevice, slice: SliceId, tx_count: usize) -> Self {
+        let p = dev.hierarchy().slice(slice).partition;
+        let sms = dev.hierarchy().sms_in_partition(p);
+        Self {
+            slice,
+            tx_sms: sms[..tx_count.min(sms.len() - 1)].to_vec(),
+            rx_sm: sms[sms.len() - 1],
+            window_cycles: 20_000.0,
+            preamble_bits: 8,
+        }
+    }
+
+    /// A naive placement on a two-partition device: the transmitter sits on
+    /// the partition *opposite* the slice, where Little's law caps each SM's
+    /// pressure on the slice — the weak-signal baseline.
+    pub fn far(dev: &GpuDevice, slice: SliceId, tx_count: usize) -> Self {
+        let near = dev.hierarchy().slice(slice).partition;
+        let far = PartitionId::new((near.index() as u32 + 1) % dev.hierarchy().num_partitions() as u32);
+        let tx = dev.hierarchy().sms_in_partition(far);
+        let rx = dev.hierarchy().sms_in_partition(near);
+        Self {
+            slice,
+            tx_sms: tx[..tx_count.min(tx.len())].to_vec(),
+            rx_sm: rx[rx.len() - 1],
+            window_cycles: 20_000.0,
+            preamble_bits: 8,
+        }
+    }
+}
+
+/// Result of a covert transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovertResult {
+    /// The payload bits sent.
+    pub sent: Vec<bool>,
+    /// The bits the receiver decoded.
+    pub received: Vec<bool>,
+    /// Receiver bandwidth sample per payload symbol, GB/s.
+    pub rx_rates: Vec<f64>,
+    /// Decision threshold learned from the preamble, GB/s.
+    pub threshold: f64,
+    /// Bit error rate over the payload.
+    pub ber: f64,
+    /// Raw symbol rate in bits/s implied by the window length.
+    pub raw_bits_per_sec: f64,
+}
+
+impl CovertResult {
+    /// Shannon capacity of the binary symmetric channel implied by the
+    /// measured BER, in bits per symbol: `1 - H(ber)`.
+    pub fn capacity_per_symbol(&self) -> f64 {
+        let p = self.ber.clamp(1e-12, 1.0 - 1e-12);
+        let h = -p * p.log2() - (1.0 - p) * (1.0 - p).log2();
+        (1.0 - h).max(0.0)
+    }
+
+    /// Effective channel capacity in bits/s.
+    pub fn capacity_bits_per_sec(&self) -> f64 {
+        self.raw_bits_per_sec * self.capacity_per_symbol()
+    }
+}
+
+/// The receiver's observed bandwidth during one symbol (GB/s, with
+/// measurement noise).
+fn rx_sample(dev: &mut GpuDevice, cfg: &CovertChannelConfig, tx_active: bool) -> f64 {
+    let mut flows = vec![FlowSpec {
+        sm: cfg.rx_sm,
+        slice: cfg.slice,
+        kind: AccessKind::ReadHit,
+    }];
+    if tx_active {
+        flows.extend(cfg.tx_sms.iter().map(|&sm| FlowSpec {
+            sm,
+            slice: cfg.slice,
+            kind: AccessKind::ReadHit,
+        }));
+    }
+    let sol = dev.solve_bandwidth(&flows);
+    (sol.rates_gbps[0] + dev.bandwidth_jitter(0.6)).max(0.0)
+}
+
+/// Transmits `payload` over the channel, training the threshold with an
+/// alternating preamble first.
+///
+/// # Panics
+///
+/// Panics if the config has no transmitter SMs or the preamble is shorter
+/// than two bits.
+pub fn transmit(dev: &mut GpuDevice, cfg: &CovertChannelConfig, payload: &[bool]) -> CovertResult {
+    assert!(!cfg.tx_sms.is_empty(), "transmitter needs at least one SM");
+    assert!(cfg.preamble_bits >= 2, "preamble must train both symbols");
+
+    // Preamble: 1, 0, 1, 0, … — receiver learns the two rate levels.
+    let mut ones = Vec::new();
+    let mut zeros = Vec::new();
+    for i in 0..cfg.preamble_bits {
+        let bit = i % 2 == 0;
+        let rate = rx_sample(dev, cfg, bit);
+        if bit {
+            ones.push(rate);
+        } else {
+            zeros.push(rate);
+        }
+    }
+    let threshold = (Summary::of(&ones).mean + Summary::of(&zeros).mean) / 2.0;
+
+    // Payload.
+    let mut rx_rates = Vec::with_capacity(payload.len());
+    let mut received = Vec::with_capacity(payload.len());
+    for &bit in payload {
+        let rate = rx_sample(dev, cfg, bit);
+        rx_rates.push(rate);
+        // TX hammering the slice *lowers* the receiver's share.
+        received.push(rate < threshold);
+    }
+    let errors = payload
+        .iter()
+        .zip(&received)
+        .filter(|(s, r)| s != r)
+        .count();
+    let ber = errors as f64 / payload.len().max(1) as f64;
+    let clock_hz = dev.spec().clock_ghz * 1e9;
+    CovertResult {
+        sent: payload.to_vec(),
+        received,
+        rx_rates,
+        threshold,
+        ber,
+        raw_bits_per_sec: clock_hz / cfg.window_cycles,
+    }
+}
+
+/// Signal-to-noise summary of a channel configuration: the gap between the
+/// receiver's idle and contended bandwidth, in units of the measurement
+/// noise. Used to compare placement strategies without running a payload.
+pub fn channel_snr(dev: &mut GpuDevice, cfg: &CovertChannelConfig) -> f64 {
+    let idle: Vec<f64> = (0..12).map(|_| rx_sample(dev, cfg, false)).collect();
+    let busy: Vec<f64> = (0..12).map(|_| rx_sample(dev, cfg, true)).collect();
+    let gap = (Summary::of(&idle).mean - Summary::of(&busy).mean).abs();
+    let noise = (Summary::of(&idle).stddev + Summary::of(&busy).stddev).max(1e-9);
+    gap / noise
+}
+
+/// Demo payload helper: the bytes' bits, MSB first.
+pub fn bits_of(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+/// Reassembles bits (MSB first) into bytes, dropping a ragged tail.
+pub fn bytes_of(bits: &[bool]) -> Vec<u8> {
+    bits.chunks_exact(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocated_channel_is_error_free() {
+        let mut dev = GpuDevice::a100(51);
+        let slice = SliceId::new(3);
+        let cfg = CovertChannelConfig::colocated(&dev, slice, 6);
+        let payload = bits_of(b"gnoc");
+        let r = transmit(&mut dev, &cfg, &payload);
+        assert_eq!(r.ber, 0.0, "rates {:?}", r.rx_rates);
+        assert_eq!(bytes_of(&r.received), b"gnoc");
+        assert!(r.capacity_per_symbol() > 0.99);
+        assert!(r.raw_bits_per_sec > 10_000.0);
+    }
+
+    #[test]
+    fn placement_knowledge_improves_snr() {
+        // The paper's point: co-locating the transmitter with the slice's
+        // partition (which requires placement recovery) gives a stronger
+        // channel than a naive far placement.
+        let mut dev = GpuDevice::a100(52);
+        let slice = SliceId::new(0);
+        let near = CovertChannelConfig::colocated(&dev, slice, 3);
+        let far = CovertChannelConfig::far(&dev, slice, 3);
+        let snr_near = channel_snr(&mut dev, &near);
+        let snr_far = channel_snr(&mut dev, &far);
+        assert!(
+            snr_near > snr_far,
+            "near SNR {snr_near:.1} should beat far SNR {snr_far:.1}"
+        );
+    }
+
+    #[test]
+    fn single_far_sm_is_a_weak_transmitter() {
+        let mut dev = GpuDevice::a100(53);
+        let slice = SliceId::new(0);
+        let strong_cfg = CovertChannelConfig::colocated(&dev, slice, 6);
+        let weak_cfg = CovertChannelConfig::far(&dev, slice, 1);
+        let strong = channel_snr(&mut dev, &strong_cfg);
+        let weak = channel_snr(&mut dev, &weak_cfg);
+        assert!(strong > 2.0 * weak, "strong {strong:.1} vs weak {weak:.1}");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let bytes = b"\x00\xff\xa5";
+        assert_eq!(bytes_of(&bits_of(bytes)), bytes);
+        // Ragged tails are dropped.
+        let mut bits = bits_of(b"x");
+        bits.push(true);
+        assert_eq!(bytes_of(&bits), b"x");
+    }
+
+    #[test]
+    fn capacity_is_monotone_in_ber() {
+        let mk = |ber: f64| CovertResult {
+            sent: vec![],
+            received: vec![],
+            rx_rates: vec![],
+            threshold: 0.0,
+            ber,
+            raw_bits_per_sec: 1000.0,
+        };
+        assert!(mk(0.0).capacity_per_symbol() > mk(0.1).capacity_per_symbol());
+        assert!(mk(0.1).capacity_per_symbol() > mk(0.4).capacity_per_symbol());
+        assert!(mk(0.5).capacity_per_symbol() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn empty_transmitter_rejected() {
+        let mut dev = GpuDevice::v100(0);
+        let cfg = CovertChannelConfig {
+            slice: SliceId::new(0),
+            tx_sms: vec![],
+            rx_sm: SmId::new(0),
+            window_cycles: 1000.0,
+            preamble_bits: 4,
+        };
+        let _ = transmit(&mut dev, &cfg, &[true]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gnoc-sidechannel
+//!
+//! Reproduction of the GPU timing side-channel study in Section V of
+//! *Uncovering Real GPU NoC Characteristics* (MICRO 2024): how non-uniform
+//! NoC latency interacts with two published attacks, and the paper's
+//! random thread-block-scheduling defense.
+//!
+//! - [`Aes128`] — from-scratch AES-128 (FIPS-197) with last-round T-table
+//!   access tracing;
+//! - [`BigUint`] — minimal bignum with counted square-and-multiply modpow;
+//! - [`timing`] — the placement-dependent GPU kernel-timing models of
+//!   Fig. 17;
+//! - [`run_aes_attack`] — the last-round correlation key recovery (Fig. 18);
+//! - [`run_rsa_attack`] — the exponent-weight timing attack (Fig. 19);
+//! - both evaluated under [`gnoc_engine::CtaScheduler::Static`] and the
+//!   defensive [`gnoc_engine::CtaScheduler::RandomSeed`];
+//! - [`covert`] — the slice-contention covert channel the paper's Section
+//!   V-A sketches at the NoC output, with placement-aware setup.
+//!
+//! These implementations reproduce published academic attacks against a
+//! *simulated* device to evaluate a defense; they are not hardened crypto.
+//!
+//! ```
+//! use gnoc_sidechannel::Aes128;
+//!
+//! let aes = Aes128::new([0u8; 16]);
+//! let ct = aes.encrypt_block([0u8; 16]);
+//! assert_eq!(ct[0], 0x66); // FIPS-197 all-zero vector starts 66 e9 4b d4…
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aes;
+mod attack_aes;
+mod attack_rsa;
+mod bigint;
+pub mod covert;
+pub mod timing;
+
+pub use aes::{inv_sbox, Aes128, BlockTrace, SBOX, SBOX_ENTRIES_PER_LINE};
+pub use attack_aes::{run_aes_attack, AesAttackConfig, AesAttackResult, WARP_SIZE};
+pub use attack_rsa::{run_rsa_attack, RsaAttackConfig, RsaAttackResult, RsaSample};
+pub use bigint::BigUint;

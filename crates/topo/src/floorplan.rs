@@ -1,0 +1,430 @@
+//! Approximate logical floorplan of a GPU die (paper Fig. 4).
+//!
+//! The paper derives its latency observations from the *physical placement* of
+//! SMs and L2 slices: GPCs sit in two rows along the top and bottom die edges,
+//! the L2 slices and memory partitions occupy a horizontal band across the die
+//! middle, and large GPUs are split into left/right partitions joined by a
+//! central interconnect. [`Floorplan`] reproduces that arrangement
+//! parametrically from a [`Hierarchy`] and exposes the wire distances that the
+//! latency model in `gnoc-engine` converts into cycles.
+
+use crate::geom::{Point, Rect};
+use crate::hierarchy::Hierarchy;
+use crate::ids::{GpcId, MpId, PartitionId, SliceId, SmId};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the die height occupied by the central L2/MP band.
+const L2_BAND_FRACTION: f64 = 0.20;
+/// Horizontal inset of the inter-partition hub from the partition boundary, mm.
+const HUB_INSET_MM: f64 = 0.5;
+
+/// Physical placement of every SM and L2 slice on the die.
+///
+/// ```
+/// use gnoc_topo::GpuSpec;
+///
+/// let gpu = GpuSpec::v100();
+/// let plan = gpu.floorplan();
+/// // SMs in the same GPC are physically clustered.
+/// let h = gpu.hierarchy();
+/// let sms = h.sms_in_gpc(gnoc_topo::GpcId::new(0));
+/// let d = plan.sm_pos(sms[0]).manhattan(plan.sm_pos(sms[1]));
+/// assert!(d < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    die: Rect,
+    sm_pos: Vec<Point>,
+    slice_pos: Vec<Point>,
+    gpc_rect: Vec<Rect>,
+    mp_rect: Vec<Rect>,
+    gpc_hub: Vec<Point>,
+    partition_hub: Vec<Point>,
+    sm_partition: Vec<PartitionId>,
+    slice_partition: Vec<PartitionId>,
+}
+
+impl Floorplan {
+    /// Lays out `hierarchy` on a die of `width_mm` × `height_mm`.
+    ///
+    /// Die partitions split the die into equal vertical stripes. Within each
+    /// stripe, GPCs form two rows (bottom and top edges) and the partition's
+    /// MPs/L2 slices form a band across the middle. CPCs are stacked so that
+    /// CPC 0 of each GPC sits closest to the die centreline (this is what makes
+    /// intra-CPC0 SM-to-SM latency the lowest in Fig. 7b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_mm` or `height_mm` is not strictly positive.
+    pub fn layout(hierarchy: &Hierarchy, width_mm: f64, height_mm: f64) -> Self {
+        assert!(
+            width_mm > 0.0 && height_mm > 0.0,
+            "die dimensions must be positive"
+        );
+        let die = Rect::new(Point::new(0.0, 0.0), width_mm, height_mm);
+        let np = hierarchy.num_partitions();
+        let stripe_w = width_mm / np as f64;
+        let band_h = height_mm * L2_BAND_FRACTION;
+        let band_y0 = (height_mm - band_h) / 2.0;
+        let band_y1 = band_y0 + band_h;
+
+        let mut gpc_rect = vec![Rect::default(); hierarchy.num_gpcs()];
+        let mut gpc_hub = vec![Point::default(); hierarchy.num_gpcs()];
+        let mut sm_pos = vec![Point::default(); hierarchy.num_sms()];
+        let mut mp_rect = vec![Rect::default(); hierarchy.num_mps()];
+        let mut slice_pos = vec![Point::default(); hierarchy.num_slices()];
+        let mut partition_hub = Vec::with_capacity(np);
+
+        for p in PartitionId::range(np) {
+            let x0 = stripe_w * p.index() as f64;
+
+            // Inter-partition hub: at the stripe edge facing the die centre.
+            let hub_x = if np == 1 {
+                x0 + stripe_w / 2.0
+            } else if p.index() < np / 2 {
+                x0 + stripe_w - HUB_INSET_MM
+            } else {
+                x0 + HUB_INSET_MM
+            };
+            partition_hub.push(Point::new(hub_x, height_mm / 2.0));
+
+            // --- GPCs: two rows, columns left-to-right within the stripe. ---
+            let gpcs: Vec<GpcId> = GpcId::range(hierarchy.num_gpcs())
+                .filter(|&g| hierarchy.partition_of_gpc(g) == p)
+                .collect();
+            let ncols = gpcs.len().div_ceil(2).max(1);
+            let col_w = stripe_w / ncols as f64;
+            for (ip, &g) in gpcs.iter().enumerate() {
+                let col = ip / 2;
+                let bottom = ip % 2 == 0;
+                let gx = x0 + col_w * col as f64;
+                let (gy0, gy1) = if bottom {
+                    (0.0, band_y0)
+                } else {
+                    (band_y1, height_mm)
+                };
+                let rect = Rect::new(Point::new(gx, gy0), col_w, gy1 - gy0);
+                gpc_rect[g.index()] = rect;
+                // SM-to-SM hub on the edge facing the die centreline.
+                let hub_y = if bottom { rect.max.y } else { rect.min.y };
+                gpc_hub[g.index()] = Point::new(rect.center().x, hub_y);
+
+                Self::place_sms(hierarchy, g, rect, bottom, &mut sm_pos);
+            }
+
+            // --- MPs / L2 slices: central band, left-to-right. ---
+            let mps: Vec<MpId> = hierarchy.mps_in_partition(p).to_vec();
+            if !mps.is_empty() {
+                let mp_w = stripe_w / mps.len() as f64;
+                for (im, &mp) in mps.iter().enumerate() {
+                    let rect = Rect::new(
+                        Point::new(x0 + mp_w * im as f64, band_y0),
+                        mp_w,
+                        band_h,
+                    );
+                    mp_rect[mp.index()] = rect;
+                    // Slices sit in a single row on the band centreline:
+                    // their *vertical* position is symmetric between the top
+                    // and bottom GPC rows, so within-MP latency ordering is
+                    // carried by the MP's internal service chain (see the
+                    // engine's `slice_chain_cycles`), not by geometry.
+                    let slices = hierarchy.slices_in_mp(mp);
+                    let ncols = slices.len().max(1);
+                    for (is, &s) in slices.iter().enumerate() {
+                        let sx = rect.min.x + mp_w * (is as f64 + 0.5) / ncols as f64;
+                        let sy = rect.min.y + band_h / 2.0;
+                        slice_pos[s.index()] = Point::new(sx, sy);
+                    }
+                }
+            }
+        }
+
+        let sm_partition = hierarchy.sms().iter().map(|i| i.partition).collect();
+        let slice_partition = hierarchy.slices().iter().map(|i| i.partition).collect();
+
+        Self {
+            die,
+            sm_pos,
+            slice_pos,
+            gpc_rect,
+            mp_rect,
+            gpc_hub,
+            partition_hub,
+            sm_partition,
+            slice_partition,
+        }
+    }
+
+    /// Places the SMs of one GPC: CPC slabs stacked away from the die
+    /// centreline, TPCs left-to-right inside each slab, two SMs per TPC.
+    fn place_sms(
+        hierarchy: &Hierarchy,
+        gpc: GpcId,
+        rect: Rect,
+        bottom_row: bool,
+        sm_pos: &mut [Point],
+    ) {
+        let cpcs = hierarchy.cpcs_in_gpc(gpc);
+        let slab_h = rect.height() / cpcs.len() as f64;
+        for (ci, &cpc) in cpcs.iter().enumerate() {
+            // CPC 0 nearest the centreline: top slab for bottom-row GPCs,
+            // bottom slab for top-row GPCs.
+            let slab_from_center = ci as f64;
+            let y_center = if bottom_row {
+                rect.max.y - slab_h * (slab_from_center + 0.5)
+            } else {
+                rect.min.y + slab_h * (slab_from_center + 0.5)
+            };
+            let sms = hierarchy.sms_in_cpc(cpc);
+            let n = sms.len().max(1);
+            for (si, &sm) in sms.iter().enumerate() {
+                let x = rect.min.x + rect.width() * (si as f64 + 0.5) / n as f64;
+                // Nudge the two SMs of a TPC apart vertically so no two SMs
+                // are exactly co-located.
+                let lane = hierarchy.sm(sm).lane_in_tpc as f64;
+                let y = y_center + (lane - 0.5) * slab_h * 0.25;
+                sm_pos[sm.index()] = Point::new(x, y);
+            }
+        }
+    }
+
+    /// The die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Position of `sm` on the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn sm_pos(&self, sm: SmId) -> Point {
+        self.sm_pos[sm.index()]
+    }
+
+    /// Position of L2 `slice` on the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn slice_pos(&self, slice: SliceId) -> Point {
+        self.slice_pos[slice.index()]
+    }
+
+    /// Outline of `gpc`.
+    pub fn gpc_rect(&self, gpc: GpcId) -> Rect {
+        self.gpc_rect[gpc.index()]
+    }
+
+    /// Outline of `mp`.
+    pub fn mp_rect(&self, mp: MpId) -> Rect {
+        self.mp_rect[mp.index()]
+    }
+
+    /// The SM-to-SM network hub of `gpc` (H100 distributed shared memory).
+    pub fn gpc_hub(&self, gpc: GpcId) -> Point {
+        self.gpc_hub[gpc.index()]
+    }
+
+    /// The central-interconnect attachment point of die partition `p`.
+    pub fn partition_hub(&self, p: PartitionId) -> Point {
+        self.partition_hub[p.index()]
+    }
+
+    /// One-way wire distance (mm) from `sm` to `slice`.
+    ///
+    /// Same-partition traffic is routed directly; cross-partition traffic is
+    /// routed through both partitions' central-interconnect hubs, which both
+    /// lengthens the path and (in the engine) adds crossing cycles.
+    pub fn wire_distance(&self, sm: SmId, slice: SliceId) -> f64 {
+        let a = self.sm_pos[sm.index()];
+        let b = self.slice_pos[slice.index()];
+        let pa = self.sm_partition[sm.index()];
+        let pb = self.slice_partition[slice.index()];
+        if pa == pb {
+            a.manhattan(b)
+        } else {
+            let ha = self.partition_hub[pa.index()];
+            let hb = self.partition_hub[pb.index()];
+            a.manhattan(ha) + ha.manhattan(hb) + hb.manhattan(b)
+        }
+    }
+
+    /// One-way wire distance (mm) for SM-to-SM communication through the GPC's
+    /// SM-to-SM network hub.
+    ///
+    /// The H100 distributed-shared-memory network connects the SMs of a GPC
+    /// through a shared switch; traffic between any two SMs traverses it.
+    pub fn sm_sm_distance(&self, src: SmId, dst: SmId, hub_gpc: GpcId) -> f64 {
+        let hub = self.gpc_hub[hub_gpc.index()];
+        self.sm_pos[src.index()].manhattan(hub) + hub.manhattan(self.sm_pos[dst.index()])
+    }
+
+    /// Renders a coarse ASCII view of the floorplan (used by the Fig. 4
+    /// regeneration binary).
+    pub fn render_ascii(&self, hierarchy: &Hierarchy, cols: usize, rows: usize) -> String {
+        let mut grid = vec![vec![b'.'; cols]; rows];
+        let to_cell = |p: Point| {
+            let cx = ((p.x / self.die.width()) * (cols as f64 - 1.0)).round() as usize;
+            let cy = ((p.y / self.die.height()) * (rows as f64 - 1.0)).round() as usize;
+            (cx.min(cols - 1), rows - 1 - cy.min(rows - 1))
+        };
+        for info in hierarchy.sms() {
+            let (x, y) = to_cell(self.sm_pos[info.sm.index()]);
+            grid[y][x] = b'0' + (info.gpc.index() % 10) as u8;
+        }
+        for info in hierarchy.slices() {
+            let (x, y) = to_cell(self.slice_pos[info.slice.index()]);
+            grid[y][x] = b'#';
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "die {:.1} x {:.1} mm — digits: SM (GPC id mod 10), '#': L2 slice\n",
+            self.die.width(),
+            self.die.height()
+        ));
+        for row in grid {
+            out.push_str(std::str::from_utf8(&row).expect("ascii grid"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{HierarchySpec, SmEnumeration};
+
+    fn small_hierarchy(partitions: u32) -> Hierarchy {
+        let gpcs = 4usize;
+        let part = |g: usize| {
+            if partitions == 1 {
+                PartitionId::new(0)
+            } else {
+                PartitionId::new(if g < gpcs / 2 { 0 } else { 1 })
+            }
+        };
+        Hierarchy::build(HierarchySpec {
+            gpc_cpc_tpcs: vec![vec![2, 2]; gpcs],
+            sms_per_tpc: 2,
+            gpc_partition: (0..gpcs).map(part).collect(),
+            num_partitions: partitions,
+            num_mps: 4,
+            slices_per_mp: 4,
+            mp_partition: (0..4)
+                .map(|m| {
+                    if partitions == 1 {
+                        PartitionId::new(0)
+                    } else {
+                        PartitionId::new(if m < 2 { 0 } else { 1 })
+                    }
+                })
+                .collect(),
+            sm_enumeration: SmEnumeration::GpcMajor,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_blocks_are_on_the_die() {
+        let h = small_hierarchy(2);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        for sm in SmId::range(h.num_sms()) {
+            assert!(f.die().contains(f.sm_pos(sm)), "{sm} off-die");
+        }
+        for s in SliceId::range(h.num_slices()) {
+            assert!(f.die().contains(f.slice_pos(s)), "{s} off-die");
+        }
+    }
+
+    #[test]
+    fn slices_sit_in_the_central_band() {
+        let h = small_hierarchy(1);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        for s in SliceId::range(h.num_slices()) {
+            let y = f.slice_pos(s).y;
+            assert!((y - 12.5).abs() <= 2.5, "slice {s} outside band: y={y}");
+        }
+    }
+
+    #[test]
+    fn cross_partition_distance_exceeds_direct() {
+        let h = small_hierarchy(2);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        // SM in partition 0, slice in partition 1: routed through hubs.
+        let sm = h.sms_in_partition(PartitionId::new(0))[0];
+        let far = h.slices_in_partition(PartitionId::new(1))[0];
+        let direct = f.sm_pos(sm).manhattan(f.slice_pos(far));
+        assert!(f.wire_distance(sm, far) >= direct);
+    }
+
+    #[test]
+    fn near_slices_are_closer_than_far_slices_on_average() {
+        let h = small_hierarchy(2);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        let sm = h.sms_in_partition(PartitionId::new(0))[0];
+        let near: f64 = h
+            .slices_in_partition(PartitionId::new(0))
+            .iter()
+            .map(|&s| f.wire_distance(sm, s))
+            .sum::<f64>()
+            / 8.0;
+        let far: f64 = h
+            .slices_in_partition(PartitionId::new(1))
+            .iter()
+            .map(|&s| f.wire_distance(sm, s))
+            .sum::<f64>()
+            / 8.0;
+        assert!(far > near);
+    }
+
+    #[test]
+    fn cpc0_is_nearest_the_centreline() {
+        let h = small_hierarchy(1);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        let center_y = 12.5f64;
+        for g in GpcId::range(h.num_gpcs()) {
+            let cpcs = h.cpcs_in_gpc(g);
+            let dist = |c: crate::CpcId| {
+                let sms = h.sms_in_cpc(c);
+                sms.iter()
+                    .map(|&s| (f.sm_pos(s).y - center_y).abs())
+                    .sum::<f64>()
+                    / sms.len() as f64
+            };
+            assert!(
+                dist(cpcs[0]) < dist(cpcs[1]),
+                "CPC0 of {g} should be nearest the die centreline"
+            );
+        }
+    }
+
+    #[test]
+    fn sm_sm_distance_via_hub_is_triangle() {
+        let h = small_hierarchy(1);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        let g = GpcId::new(0);
+        let sms = h.sms_in_gpc(g);
+        let d = f.sm_sm_distance(sms[0], sms[1], g);
+        assert!(d >= f.sm_pos(sms[0]).manhattan(f.sm_pos(sms[1])) - 1e-9);
+        // Self-communication still traverses the hub.
+        assert!(f.sm_sm_distance(sms[0], sms[0], g) > 0.0);
+    }
+
+    #[test]
+    fn ascii_render_mentions_die_size() {
+        let h = small_hierarchy(2);
+        let f = Floorplan::layout(&h, 30.0, 25.0);
+        let art = f.render_ascii(&h, 60, 20);
+        assert!(art.starts_with("die 30.0 x 25.0 mm"));
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn layout_rejects_zero_die() {
+        let h = small_hierarchy(1);
+        let _ = Floorplan::layout(&h, 0.0, 25.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Planar geometry used by the floorplan model.
+//!
+//! All coordinates are in millimetres on the die. The latency model in
+//! `gnoc-engine` converts wire distance into cycles, so only *relative*
+//! positions matter for reproducing the paper's non-uniformity observations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the die, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal position in mm (0 at the left die edge).
+    pub x: f64,
+    /// Vertical position in mm (0 at the bottom die edge).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` millimetre coordinates.
+    ///
+    /// ```
+    /// # use gnoc_topo::Point;
+    /// let p = Point::new(3.0, 4.0);
+    /// assert_eq!(p.manhattan(Point::new(0.0, 0.0)), 7.0);
+    /// ```
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// On-chip wires are routed rectilinearly, so Manhattan distance is the
+    /// natural proxy for wire length between two blocks.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    pub fn euclidean(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A rectangle on the die, used for block outlines in floorplan rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn new(origin: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "rectangle dimensions must be non-negative"
+        );
+        Self {
+            min: origin,
+            max: Point::new(origin.x + width, origin.y + height),
+        }
+    }
+
+    /// The centre of the rectangle.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Width of the rectangle in mm.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle in mm.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the rectangle.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -1.0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 6.0);
+    }
+
+    #[test]
+    fn euclidean_never_exceeds_manhattan() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(a.euclidean(b) <= a.manhattan(b));
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(2.0, 6.0));
+        assert_eq!(m, Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let s = Point::new(1.0, 2.0) + Point::new(3.0, 4.0);
+        assert_eq!(s, Point::new(4.0, 6.0));
+        let d = Point::new(3.0, 4.0) - Point::new(1.0, 2.0);
+        assert_eq!(d, Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn rect_center_and_contains() {
+        let r = Rect::new(Point::new(1.0, 1.0), 2.0, 4.0);
+        assert_eq!(r.center(), Point::new(2.0, 3.0));
+        assert!(r.contains(Point::new(2.9, 4.9)));
+        assert!(!r.contains(Point::new(3.1, 2.0)));
+        assert_eq!(r.width(), 2.0);
+        assert_eq!(r.height(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rect_rejects_negative_size() {
+        let _ = Rect::new(Point::new(0.0, 0.0), -1.0, 1.0);
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+}

@@ -1,0 +1,700 @@
+//! The compute and memory hierarchy of a GPU.
+//!
+//! A GPU is organised hierarchically (Section II-A of the paper): two SMs form
+//! a TPC, several TPCs form a CPC (an intermediate level the paper infers on
+//! H100), several CPCs form a GPC, and GPCs are grouped into one or two die
+//! "partitions". On the memory side, L2 slices are grouped into memory
+//! partitions (MPs), each with a memory controller, and MPs likewise belong to
+//! a die partition.
+//!
+//! [`Hierarchy`] is the immutable, fully-resolved form: it pre-computes every
+//! containment lookup in both directions so the rest of the workspace can ask
+//! `sm → gpc` or `gpc → [sm]` in O(1).
+
+use crate::ids::{CpcId, GpcId, MpId, PartitionId, SliceId, SmId, TpcId};
+use serde::{Deserialize, Serialize};
+
+/// How architectural SM ids (the `smid` register values) map onto physical SM
+/// positions.
+///
+/// NVIDIA does not document this mapping; the paper observes that consecutive
+/// `smid`s land in different GPCs (e.g. SM0 and SM2 of the A100 live on
+/// different die partitions, Fig. 12). [`SmEnumeration::RoundRobinTpc`]
+/// reproduces that behaviour; [`SmEnumeration::GpcMajor`] is the naive layout
+/// useful for debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmEnumeration {
+    /// SM ids are assigned GPC by GPC: SMs `0..k` are GPC0, the next `k` are
+    /// GPC1, and so on.
+    GpcMajor,
+    /// SM ids are assigned one TPC (two SMs) at a time, cycling through the
+    /// GPCs in `gpc_order`. GPCs that run out of TPCs are skipped.
+    RoundRobinTpc {
+        /// The order in which GPCs receive TPCs during enumeration. Must be a
+        /// permutation of all GPC ids.
+        gpc_order: Vec<GpcId>,
+    },
+}
+
+/// Declarative description of a GPU hierarchy, from which a [`Hierarchy`] is
+/// built.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchySpec {
+    /// For each GPC, for each CPC inside it, the number of TPCs in that CPC.
+    /// Devices without a visible CPC level use a single CPC per GPC.
+    pub gpc_cpc_tpcs: Vec<Vec<u32>>,
+    /// SMs per TPC (2 on every GPU the paper studies).
+    pub sms_per_tpc: u32,
+    /// Die partition of each GPC (indexed by GPC id).
+    pub gpc_partition: Vec<PartitionId>,
+    /// Number of die partitions (1 on V100, 2 on A100/H100).
+    pub num_partitions: u32,
+    /// Number of memory partitions (MPs).
+    pub num_mps: u32,
+    /// L2 slices per MP.
+    pub slices_per_mp: u32,
+    /// Die partition of each MP (indexed by MP id).
+    pub mp_partition: Vec<PartitionId>,
+    /// How `smid` values map to physical SMs.
+    pub sm_enumeration: SmEnumeration,
+}
+
+/// Errors produced when validating a [`HierarchySpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildHierarchyError {
+    /// The spec contains no GPCs, no TPCs, no MPs or no slices.
+    Empty(&'static str),
+    /// `gpc_partition` / `mp_partition` length does not match the GPC/MP count.
+    PartitionTableLength {
+        /// Which table was wrong.
+        table: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Number of entries found.
+        found: usize,
+    },
+    /// A partition id is out of range.
+    PartitionOutOfRange {
+        /// The offending partition id.
+        partition: PartitionId,
+        /// Number of partitions declared.
+        num_partitions: u32,
+    },
+    /// The round-robin enumeration order is not a permutation of all GPCs.
+    BadEnumerationOrder,
+}
+
+impl std::fmt::Display for BuildHierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty(what) => write!(f, "hierarchy spec has no {what}"),
+            Self::PartitionTableLength {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{table} has {found} entries but {expected} were expected"
+            ),
+            Self::PartitionOutOfRange {
+                partition,
+                num_partitions,
+            } => write!(
+                f,
+                "partition {partition} out of range (device has {num_partitions} partitions)"
+            ),
+            Self::BadEnumerationOrder => {
+                write!(f, "sm enumeration order is not a permutation of all gpcs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildHierarchyError {}
+
+/// Fully-resolved location of one SM in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmInfo {
+    /// The SM's architectural id.
+    pub sm: SmId,
+    /// Global TPC id.
+    pub tpc: TpcId,
+    /// Global CPC id.
+    pub cpc: CpcId,
+    /// GPC id.
+    pub gpc: GpcId,
+    /// Die partition.
+    pub partition: PartitionId,
+    /// Index of this SM within its TPC (0 or 1).
+    pub lane_in_tpc: u32,
+    /// Index of this SM's TPC within its GPC.
+    pub tpc_in_gpc: u32,
+    /// Index of this SM's CPC within its GPC.
+    pub cpc_in_gpc: u32,
+}
+
+/// Fully-resolved location of one L2 slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceInfo {
+    /// The slice id as enumerated by the profiler.
+    pub slice: SliceId,
+    /// Memory partition this slice belongs to.
+    pub mp: MpId,
+    /// Die partition of the memory partition.
+    pub partition: PartitionId,
+    /// Index of this slice within its MP.
+    pub index_in_mp: u32,
+}
+
+/// The immutable, fully-resolved GPU hierarchy.
+///
+/// Built from a [`HierarchySpec`] via [`Hierarchy::build`]; all lookups are
+/// O(1) table reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    spec: HierarchySpec,
+    sms: Vec<SmInfo>,
+    slices: Vec<SliceInfo>,
+    gpc_sms: Vec<Vec<SmId>>,
+    cpc_sms: Vec<Vec<SmId>>,
+    tpc_sms: Vec<Vec<SmId>>,
+    mp_slices: Vec<Vec<SliceId>>,
+    partition_sms: Vec<Vec<SmId>>,
+    partition_slices: Vec<Vec<SliceId>>,
+    partition_mps: Vec<Vec<MpId>>,
+    cpc_gpc: Vec<GpcId>,
+    tpc_gpc: Vec<GpcId>,
+    gpc_cpcs: Vec<Vec<CpcId>>,
+    num_tpcs: usize,
+    num_cpcs: usize,
+}
+
+impl Hierarchy {
+    /// Builds and validates a hierarchy from its spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildHierarchyError`] when the spec is internally
+    /// inconsistent (empty levels, mismatched partition tables, or a bad SM
+    /// enumeration order).
+    pub fn build(spec: HierarchySpec) -> Result<Self, BuildHierarchyError> {
+        Self::validate(&spec)?;
+
+        let num_gpcs = spec.gpc_cpc_tpcs.len();
+
+        // Assign global CPC and TPC ids GPC-major, irrespective of SM
+        // enumeration (these are structural, not architectural, ids).
+        let mut cpc_gpc = Vec::new();
+        let mut tpc_gpc = Vec::new();
+        let mut gpc_cpcs: Vec<Vec<CpcId>> = vec![Vec::new(); num_gpcs];
+        // (gpc, cpc_in_gpc, tpc_in_gpc) for each global tpc, in gpc-major order.
+        let mut tpc_slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_gpcs];
+        for (g, cpcs) in spec.gpc_cpc_tpcs.iter().enumerate() {
+            let mut tpc_in_gpc = 0u32;
+            for (c, &tpcs) in cpcs.iter().enumerate() {
+                let cpc = CpcId::new(cpc_gpc.len() as u32);
+                cpc_gpc.push(GpcId::new(g as u32));
+                gpc_cpcs[g].push(cpc);
+                for _ in 0..tpcs {
+                    tpc_gpc.push(GpcId::new(g as u32));
+                    tpc_slots[g].push((c as u32, tpc_in_gpc));
+                    tpc_in_gpc += 1;
+                }
+            }
+        }
+        let num_tpcs = tpc_gpc.len();
+        let num_cpcs = cpc_gpc.len();
+
+        // Global tpc id of the `k`-th tpc of gpc `g`.
+        let mut gpc_tpc_base = vec![0usize; num_gpcs];
+        {
+            let mut acc = 0usize;
+            for (g, base) in gpc_tpc_base.iter_mut().enumerate() {
+                *base = acc;
+                acc += tpc_slots[g].len();
+            }
+        }
+
+        // Enumerate SMs.
+        let sms_per_tpc = spec.sms_per_tpc;
+        let num_sms = num_tpcs * sms_per_tpc as usize;
+        let mut sms: Vec<Option<SmInfo>> = vec![None; num_sms];
+        let mut next_sm = 0u32;
+        let assign_tpc = |sms: &mut Vec<Option<SmInfo>>, g: usize, k: usize, next: &mut u32| {
+            let (cpc_in_gpc, tpc_in_gpc) = tpc_slots[g][k];
+            let tpc = TpcId::new((gpc_tpc_base[g] + k) as u32);
+            let cpc = gpc_cpcs[g][cpc_in_gpc as usize];
+            for lane in 0..sms_per_tpc {
+                let sm = SmId::new(*next);
+                *next += 1;
+                sms[sm.index()] = Some(SmInfo {
+                    sm,
+                    tpc,
+                    cpc,
+                    gpc: GpcId::new(g as u32),
+                    partition: spec.gpc_partition[g],
+                    lane_in_tpc: lane,
+                    tpc_in_gpc,
+                    cpc_in_gpc,
+                });
+            }
+        };
+
+        match &spec.sm_enumeration {
+            SmEnumeration::GpcMajor => {
+                for (g, slots) in tpc_slots.iter().enumerate() {
+                    for k in 0..slots.len() {
+                        assign_tpc(&mut sms, g, k, &mut next_sm);
+                    }
+                }
+            }
+            SmEnumeration::RoundRobinTpc { gpc_order } => {
+                let mut round = 0usize;
+                while (next_sm as usize) < num_sms {
+                    for &g in gpc_order {
+                        let g = g.index();
+                        if round < tpc_slots[g].len() {
+                            assign_tpc(&mut sms, g, round, &mut next_sm);
+                        }
+                    }
+                    round += 1;
+                }
+            }
+        }
+        let sms: Vec<SmInfo> = sms.into_iter().map(|s| s.expect("all sms assigned")).collect();
+
+        // Slices are enumerated MP-major; MPs are ordered so that partition 0
+        // owns the first block of slice ids (paper Fig. 12: A100 slices 0-39
+        // sit on the left partition).
+        let mut slices = Vec::with_capacity((spec.num_mps * spec.slices_per_mp) as usize);
+        for mp in 0..spec.num_mps {
+            for s in 0..spec.slices_per_mp {
+                slices.push(SliceInfo {
+                    slice: SliceId::new(mp * spec.slices_per_mp + s),
+                    mp: MpId::new(mp),
+                    partition: spec.mp_partition[mp as usize],
+                    index_in_mp: s,
+                });
+            }
+        }
+
+        // Reverse tables.
+        let mut gpc_sms = vec![Vec::new(); num_gpcs];
+        let mut cpc_sms = vec![Vec::new(); num_cpcs];
+        let mut tpc_sms = vec![Vec::new(); num_tpcs];
+        let mut partition_sms = vec![Vec::new(); spec.num_partitions as usize];
+        for info in &sms {
+            gpc_sms[info.gpc.index()].push(info.sm);
+            cpc_sms[info.cpc.index()].push(info.sm);
+            tpc_sms[info.tpc.index()].push(info.sm);
+            partition_sms[info.partition.index()].push(info.sm);
+        }
+        let mut mp_slices = vec![Vec::new(); spec.num_mps as usize];
+        let mut partition_slices = vec![Vec::new(); spec.num_partitions as usize];
+        let mut partition_mps = vec![Vec::new(); spec.num_partitions as usize];
+        for info in &slices {
+            mp_slices[info.mp.index()].push(info.slice);
+            partition_slices[info.partition.index()].push(info.slice);
+        }
+        for (mp, &partition) in spec.mp_partition.iter().enumerate() {
+            partition_mps[partition.index()].push(MpId::new(mp as u32));
+        }
+
+        Ok(Self {
+            spec,
+            sms,
+            slices,
+            gpc_sms,
+            cpc_sms,
+            tpc_sms,
+            mp_slices,
+            partition_sms,
+            partition_slices,
+            partition_mps,
+            cpc_gpc,
+            tpc_gpc,
+            gpc_cpcs,
+            num_tpcs,
+            num_cpcs,
+        })
+    }
+
+    fn validate(spec: &HierarchySpec) -> Result<(), BuildHierarchyError> {
+        if spec.gpc_cpc_tpcs.is_empty() {
+            return Err(BuildHierarchyError::Empty("gpcs"));
+        }
+        if spec
+            .gpc_cpc_tpcs
+            .iter()
+            .any(|cpcs| cpcs.is_empty() || cpcs.iter().sum::<u32>() == 0)
+        {
+            return Err(BuildHierarchyError::Empty("tpcs in some gpc"));
+        }
+        if spec.sms_per_tpc == 0 {
+            return Err(BuildHierarchyError::Empty("sms per tpc"));
+        }
+        if spec.num_mps == 0 || spec.slices_per_mp == 0 {
+            return Err(BuildHierarchyError::Empty("l2 slices"));
+        }
+        if spec.num_partitions == 0 {
+            return Err(BuildHierarchyError::Empty("partitions"));
+        }
+        if spec.gpc_partition.len() != spec.gpc_cpc_tpcs.len() {
+            return Err(BuildHierarchyError::PartitionTableLength {
+                table: "gpc_partition",
+                expected: spec.gpc_cpc_tpcs.len(),
+                found: spec.gpc_partition.len(),
+            });
+        }
+        if spec.mp_partition.len() != spec.num_mps as usize {
+            return Err(BuildHierarchyError::PartitionTableLength {
+                table: "mp_partition",
+                expected: spec.num_mps as usize,
+                found: spec.mp_partition.len(),
+            });
+        }
+        for &p in spec.gpc_partition.iter().chain(&spec.mp_partition) {
+            if p.index() >= spec.num_partitions as usize {
+                return Err(BuildHierarchyError::PartitionOutOfRange {
+                    partition: p,
+                    num_partitions: spec.num_partitions,
+                });
+            }
+        }
+        if let SmEnumeration::RoundRobinTpc { gpc_order } = &spec.sm_enumeration {
+            let mut seen = vec![false; spec.gpc_cpc_tpcs.len()];
+            if gpc_order.len() != seen.len() {
+                return Err(BuildHierarchyError::BadEnumerationOrder);
+            }
+            for &g in gpc_order {
+                if g.index() >= seen.len() || seen[g.index()] {
+                    return Err(BuildHierarchyError::BadEnumerationOrder);
+                }
+                seen[g.index()] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// The spec this hierarchy was built from.
+    pub fn spec(&self) -> &HierarchySpec {
+        &self.spec
+    }
+
+    /// Number of SMs.
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// Number of TPCs.
+    pub fn num_tpcs(&self) -> usize {
+        self.num_tpcs
+    }
+
+    /// Number of CPCs (equals the GPC count on devices without a CPC level).
+    pub fn num_cpcs(&self) -> usize {
+        self.num_cpcs
+    }
+
+    /// Number of GPCs.
+    pub fn num_gpcs(&self) -> usize {
+        self.gpc_sms.len()
+    }
+
+    /// Number of die partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.spec.num_partitions as usize
+    }
+
+    /// Number of L2 slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of memory partitions.
+    pub fn num_mps(&self) -> usize {
+        self.mp_slices.len()
+    }
+
+    /// Whether the device exposes a CPC level distinct from GPCs (i.e. some
+    /// GPC has more than one CPC).
+    pub fn has_cpc_level(&self) -> bool {
+        self.gpc_cpcs.iter().any(|c| c.len() > 1)
+    }
+
+    /// Location of `sm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range; use [`Hierarchy::num_sms`] to bound ids.
+    pub fn sm(&self, sm: SmId) -> &SmInfo {
+        &self.sms[sm.index()]
+    }
+
+    /// Location of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn slice(&self, slice: SliceId) -> &SliceInfo {
+        &self.slices[slice.index()]
+    }
+
+    /// All SMs, in `smid` order.
+    pub fn sms(&self) -> &[SmInfo] {
+        &self.sms
+    }
+
+    /// All slices, in slice-id order.
+    pub fn slices(&self) -> &[SliceInfo] {
+        &self.slices
+    }
+
+    /// SM ids belonging to `gpc`, in ascending order of `smid`.
+    pub fn sms_in_gpc(&self, gpc: GpcId) -> &[SmId] {
+        &self.gpc_sms[gpc.index()]
+    }
+
+    /// SM ids belonging to `cpc`.
+    pub fn sms_in_cpc(&self, cpc: CpcId) -> &[SmId] {
+        &self.cpc_sms[cpc.index()]
+    }
+
+    /// SM ids belonging to `tpc`.
+    pub fn sms_in_tpc(&self, tpc: TpcId) -> &[SmId] {
+        &self.tpc_sms[tpc.index()]
+    }
+
+    /// SM ids on die partition `p`.
+    pub fn sms_in_partition(&self, p: PartitionId) -> &[SmId] {
+        &self.partition_sms[p.index()]
+    }
+
+    /// Slice ids belonging to `mp`.
+    pub fn slices_in_mp(&self, mp: MpId) -> &[SliceId] {
+        &self.mp_slices[mp.index()]
+    }
+
+    /// Slice ids on die partition `p`.
+    pub fn slices_in_partition(&self, p: PartitionId) -> &[SliceId] {
+        &self.partition_slices[p.index()]
+    }
+
+    /// MP ids on die partition `p`.
+    pub fn mps_in_partition(&self, p: PartitionId) -> &[MpId] {
+        &self.partition_mps[p.index()]
+    }
+
+    /// CPC ids belonging to `gpc`.
+    pub fn cpcs_in_gpc(&self, gpc: GpcId) -> &[CpcId] {
+        &self.gpc_cpcs[gpc.index()]
+    }
+
+    /// GPC that contains `cpc`.
+    pub fn gpc_of_cpc(&self, cpc: CpcId) -> GpcId {
+        self.cpc_gpc[cpc.index()]
+    }
+
+    /// GPC that contains `tpc`.
+    pub fn gpc_of_tpc(&self, tpc: TpcId) -> GpcId {
+        self.tpc_gpc[tpc.index()]
+    }
+
+    /// Die partition of `gpc`.
+    pub fn partition_of_gpc(&self, gpc: GpcId) -> PartitionId {
+        self.spec.gpc_partition[gpc.index()]
+    }
+
+    /// Die partition of `mp`.
+    pub fn partition_of_mp(&self, mp: MpId) -> PartitionId {
+        self.spec.mp_partition[mp.index()]
+    }
+
+    /// Whether a request from `sm` to `slice` crosses the central
+    /// inter-partition interconnect.
+    pub fn crosses_partition(&self, sm: SmId, slice: SliceId) -> bool {
+        self.sm(sm).partition != self.slice(slice).partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_partition_spec() -> HierarchySpec {
+        HierarchySpec {
+            gpc_cpc_tpcs: vec![vec![2, 2], vec![2, 2], vec![2, 2], vec![2, 2]],
+            sms_per_tpc: 2,
+            gpc_partition: vec![
+                PartitionId::new(0),
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(1),
+            ],
+            num_partitions: 2,
+            num_mps: 4,
+            slices_per_mp: 4,
+            mp_partition: vec![
+                PartitionId::new(0),
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(1),
+            ],
+            sm_enumeration: SmEnumeration::RoundRobinTpc {
+                gpc_order: vec![
+                    GpcId::new(0),
+                    GpcId::new(2),
+                    GpcId::new(1),
+                    GpcId::new(3),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        assert_eq!(h.num_gpcs(), 4);
+        assert_eq!(h.num_cpcs(), 8);
+        assert_eq!(h.num_tpcs(), 16);
+        assert_eq!(h.num_sms(), 32);
+        assert_eq!(h.num_slices(), 16);
+        assert_eq!(h.num_mps(), 4);
+        assert_eq!(h.num_partitions(), 2);
+        assert!(h.has_cpc_level());
+    }
+
+    #[test]
+    fn round_robin_enumeration_interleaves_partitions() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        // SM0/1 are the first TPC of GPC0 (partition 0); SM2/3 the first TPC of
+        // GPC2 (partition 1) — reproducing the paper's Fig. 12 premise that
+        // SM0 and SM2 sit on different partitions.
+        assert_eq!(h.sm(SmId::new(0)).partition, PartitionId::new(0));
+        assert_eq!(h.sm(SmId::new(2)).partition, PartitionId::new(1));
+        assert_eq!(h.sm(SmId::new(0)).tpc, h.sm(SmId::new(1)).tpc);
+        assert_ne!(h.sm(SmId::new(1)).tpc, h.sm(SmId::new(2)).tpc);
+    }
+
+    #[test]
+    fn gpc_major_enumeration_is_contiguous() {
+        let mut spec = two_partition_spec();
+        spec.sm_enumeration = SmEnumeration::GpcMajor;
+        let h = Hierarchy::build(spec).unwrap();
+        for sm in 0..8 {
+            assert_eq!(h.sm(SmId::new(sm)).gpc, GpcId::new(0));
+        }
+        assert_eq!(h.sm(SmId::new(8)).gpc, GpcId::new(1));
+    }
+
+    #[test]
+    fn reverse_tables_match_forward_lookup() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        for gpc in GpcId::range(h.num_gpcs()) {
+            for &sm in h.sms_in_gpc(gpc) {
+                assert_eq!(h.sm(sm).gpc, gpc);
+            }
+        }
+        let total: usize = GpcId::range(h.num_gpcs())
+            .map(|g| h.sms_in_gpc(g).len())
+            .sum();
+        assert_eq!(total, h.num_sms());
+        for mp in MpId::range(h.num_mps()) {
+            for &s in h.slices_in_mp(mp) {
+                assert_eq!(h.slice(s).mp, mp);
+            }
+        }
+    }
+
+    #[test]
+    fn slices_are_partition_major() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        // First half of slice ids on partition 0, second half on partition 1.
+        for s in 0..8 {
+            assert_eq!(h.slice(SliceId::new(s)).partition, PartitionId::new(0));
+        }
+        for s in 8..16 {
+            assert_eq!(h.slice(SliceId::new(s)).partition, PartitionId::new(1));
+        }
+    }
+
+    #[test]
+    fn crosses_partition_detects_remote_slices() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        assert!(!h.crosses_partition(SmId::new(0), SliceId::new(0)));
+        assert!(h.crosses_partition(SmId::new(0), SliceId::new(15)));
+    }
+
+    #[test]
+    fn cpc_structure_is_recorded() {
+        let h = Hierarchy::build(two_partition_spec()).unwrap();
+        let cpcs = h.cpcs_in_gpc(GpcId::new(0));
+        assert_eq!(cpcs.len(), 2);
+        assert_eq!(h.gpc_of_cpc(cpcs[0]), GpcId::new(0));
+        assert_eq!(h.sms_in_cpc(cpcs[0]).len(), 4);
+    }
+
+    #[test]
+    fn rejects_empty_spec() {
+        let mut spec = two_partition_spec();
+        spec.gpc_cpc_tpcs.clear();
+        spec.gpc_partition.clear();
+        assert!(matches!(
+            Hierarchy::build(spec),
+            Err(BuildHierarchyError::Empty("gpcs"))
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_partition_table() {
+        let mut spec = two_partition_spec();
+        spec.gpc_partition.pop();
+        assert!(matches!(
+            Hierarchy::build(spec),
+            Err(BuildHierarchyError::PartitionTableLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_partition() {
+        let mut spec = two_partition_spec();
+        spec.mp_partition[0] = PartitionId::new(9);
+        assert!(matches!(
+            Hierarchy::build(spec),
+            Err(BuildHierarchyError::PartitionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_enumeration_order() {
+        let mut spec = two_partition_spec();
+        spec.sm_enumeration = SmEnumeration::RoundRobinTpc {
+            gpc_order: vec![GpcId::new(0), GpcId::new(0), GpcId::new(1), GpcId::new(2)],
+        };
+        assert!(matches!(
+            Hierarchy::build(spec),
+            Err(BuildHierarchyError::BadEnumerationOrder)
+        ));
+    }
+
+    #[test]
+    fn uneven_gpcs_enumerate_all_sms() {
+        let spec = HierarchySpec {
+            gpc_cpc_tpcs: vec![vec![3], vec![1], vec![2]],
+            sms_per_tpc: 2,
+            gpc_partition: vec![PartitionId::new(0); 3],
+            num_partitions: 1,
+            num_mps: 2,
+            slices_per_mp: 2,
+            mp_partition: vec![PartitionId::new(0); 2],
+            sm_enumeration: SmEnumeration::RoundRobinTpc {
+                gpc_order: vec![GpcId::new(0), GpcId::new(1), GpcId::new(2)],
+            },
+        };
+        let h = Hierarchy::build(spec).unwrap();
+        assert_eq!(h.num_sms(), 12);
+        // GPC1 runs out after one TPC; later rounds skip it.
+        let g: Vec<_> = (0..12).map(|i| h.sm(SmId::new(i)).gpc.index()).collect();
+        assert_eq!(g, vec![0, 0, 1, 1, 2, 2, 0, 0, 2, 2, 0, 0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Typed identifiers for every level of the GPU hierarchy.
+//!
+//! The paper's methodology constantly juggles indices of different kinds (SM
+//! ids from the `smid` register, L2 slice ids from the profiler, GPC/MP
+//! groupings, …). Newtypes keep those index spaces statically distinct so that
+//! an [`SmId`] can never be used where a [`SliceId`] is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// ```
+            /// # use gnoc_topo::SmId;
+            /// let sm = SmId::new(24);
+            /// assert_eq!(sm.index(), 24);
+            /// ```
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index of this id.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Iterates over the first `n` ids, `0..n`.
+            ///
+            /// ```
+            /// # use gnoc_topo::GpcId;
+            /// let gpcs: Vec<GpcId> = GpcId::range(3).collect();
+            /// assert_eq!(gpcs, [GpcId::new(0), GpcId::new(1), GpcId::new(2)]);
+            /// ```
+            pub fn range(n: usize) -> impl Iterator<Item = Self> + Clone {
+                (0..n as u32).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A streaming multiprocessor (core), as reported by the `smid` register.
+    SmId,
+    "SM"
+);
+define_id!(
+    /// A texture processing cluster: two SMs sharing a NoC injection port.
+    TpcId,
+    "TPC"
+);
+define_id!(
+    /// A compute processing cluster — the intermediate hierarchy level between
+    /// TPC and GPC that the paper infers on H100 (Observation #5).
+    CpcId,
+    "CPC"
+);
+define_id!(
+    /// A graphics processing cluster: a group of TPCs sharing GPC NoC ports.
+    GpcId,
+    "GPC"
+);
+define_id!(
+    /// A GPU "partition": recent large GPUs (A100, H100) are split into a left
+    /// and a right half joined by a central interconnect (Section III-C).
+    PartitionId,
+    "P"
+);
+define_id!(
+    /// An L2 cache slice, as enumerated by the (non-aggregated) profiler.
+    SliceId,
+    "L2S"
+);
+define_id!(
+    /// A memory partition: a group of L2 slices plus a memory controller.
+    MpId,
+    "MP"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_hardware_style_tags() {
+        assert_eq!(SmId::new(24).to_string(), "SM24");
+        assert_eq!(SliceId::new(7).to_string(), "L2S7");
+        assert_eq!(MpId::new(3).to_string(), "MP3");
+        assert_eq!(PartitionId::new(1).to_string(), "P1");
+        assert_eq!(CpcId::new(2).to_string(), "CPC2");
+        assert_eq!(TpcId::new(5).to_string(), "TPC5");
+        assert_eq!(GpcId::new(0).to_string(), "GPC0");
+    }
+
+    #[test]
+    fn round_trips_through_u32() {
+        let id = GpcId::from(4u32);
+        assert_eq!(u32::from(id), 4);
+        assert_eq!(id.index(), 4);
+    }
+
+    #[test]
+    fn range_yields_consecutive_ids() {
+        let slices: Vec<SliceId> = SliceId::range(4).collect();
+        assert_eq!(slices.len(), 4);
+        assert_eq!(slices[3], SliceId::new(3));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(SmId::new(3) < SmId::new(10));
+        let mut v = vec![SmId::new(2), SmId::new(0), SmId::new(1)];
+        v.sort();
+        assert_eq!(v, [SmId::new(0), SmId::new(1), SmId::new(2)]);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SmId::default(), SmId::new(0));
+    }
+}

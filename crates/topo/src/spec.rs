@@ -1,0 +1,400 @@
+//! Device specifications and the three preset GPUs the paper studies
+//! (Table I).
+//!
+//! A [`GpuSpec`] is pure data: hierarchy shape, die size, clock, memory
+//! figures, and capability flags. The presets are calibrated from the paper
+//! and the vendor whitepapers it cites; [`GpuSpec::custom`] supports building
+//! what-if devices for architectural exploration.
+
+use crate::floorplan::Floorplan;
+use crate::hierarchy::{BuildHierarchyError, Hierarchy, HierarchySpec, SmEnumeration};
+use crate::ids::{GpcId, PartitionId};
+use serde::{Deserialize, Serialize};
+
+/// GPU architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Generation {
+    /// V100-class (single die partition).
+    Volta,
+    /// A100-class (two partitions, globally shared L2).
+    Ampere,
+    /// H100-class (two partitions, partition-local L2 caching, CPC level,
+    /// SM-to-SM distributed shared memory network).
+    Hopper,
+    /// A synthetic device built with [`GpuSpec::custom`].
+    Custom,
+}
+
+impl std::fmt::Display for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Volta => "Volta",
+            Self::Ampere => "Ampere",
+            Self::Hopper => "Hopper",
+            Self::Custom => "Custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the device's L2 cache is organised across die partitions
+/// (Section III-C, Observation #6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// One globally shared L2: an address lives in exactly one slice anywhere
+    /// on the die (V100, A100). Hits from the far partition pay the crossing.
+    GloballyShared,
+    /// Each partition's L2 caches data for the SMs directly connected to it
+    /// (H100): hit latency is partition-local and uniform, but the *miss*
+    /// penalty varies with where the data's home memory partition lives.
+    PartitionLocal,
+}
+
+/// Complete description of a GPU device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"V100"`.
+    pub name: String,
+    /// Architecture generation.
+    pub generation: Generation,
+    /// Compute/memory hierarchy shape.
+    pub hierarchy: HierarchySpec,
+    /// Die width in millimetres.
+    pub die_width_mm: f64,
+    /// Die height in millimetres.
+    pub die_height_mm: f64,
+    /// SM/NoC clock in GHz (used to convert cycles to seconds).
+    pub clock_ghz: f64,
+    /// Peak off-chip memory bandwidth, GB/s.
+    pub mem_peak_gbps: f64,
+    /// Total L2 capacity in MiB.
+    pub l2_mib: u32,
+    /// Off-chip memory capacity in GiB.
+    pub mem_gib: u32,
+    /// Memory technology label for Table I (e.g. `"HBM2"`).
+    pub mem_type: String,
+    /// Whether the profiler exposes non-aggregated per-L2-slice counters
+    /// (true on V100; removed on A100/H100, see paper footnote 1).
+    pub per_slice_counters: bool,
+    /// L2 organisation across partitions.
+    pub cache_policy: CachePolicy,
+    /// Whether the device has the SM-to-SM distributed-shared-memory network
+    /// (H100 only).
+    pub sm_to_sm_network: bool,
+}
+
+impl GpuSpec {
+    /// The V100 preset: 80 SMs in 6 GPCs, 32 L2 slices in 8 MPs, one die
+    /// partition, 900 GB/s HBM2.
+    pub fn v100() -> Self {
+        let gpcs = 6;
+        Self {
+            name: "V100".to_owned(),
+            generation: Generation::Volta,
+            hierarchy: HierarchySpec {
+                gpc_cpc_tpcs: vec![
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![6],
+                    vec![6],
+                ],
+                sms_per_tpc: 2,
+                gpc_partition: vec![PartitionId::new(0); gpcs],
+                num_partitions: 1,
+                num_mps: 8,
+                slices_per_mp: 4,
+                mp_partition: vec![PartitionId::new(0); 8],
+                sm_enumeration: SmEnumeration::RoundRobinTpc {
+                    gpc_order: GpcId::range(gpcs).collect(),
+                },
+            },
+            die_width_mm: 33.0,
+            die_height_mm: 24.7,
+            clock_ghz: 1.38,
+            mem_peak_gbps: 900.0,
+            l2_mib: 6,
+            mem_gib: 16,
+            mem_type: "HBM2".to_owned(),
+            per_slice_counters: true,
+            cache_policy: CachePolicy::GloballyShared,
+            sm_to_sm_network: false,
+        }
+    }
+
+    /// The A100 preset: 108 SMs in 8 GPCs across two die partitions, 80 L2
+    /// slices in 10 MPs, 1555 GB/s HBM2e.
+    pub fn a100() -> Self {
+        let gpcs = 8;
+        Self {
+            name: "A100".to_owned(),
+            generation: Generation::Ampere,
+            hierarchy: HierarchySpec {
+                gpc_cpc_tpcs: vec![
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![7],
+                    vec![6],
+                    vec![6],
+                ],
+                sms_per_tpc: 2,
+                gpc_partition: (0..gpcs)
+                    .map(|g| PartitionId::new(u32::from(g >= gpcs / 2)))
+                    .collect(),
+                num_partitions: 2,
+                num_mps: 10,
+                slices_per_mp: 8,
+                mp_partition: (0..10)
+                    .map(|m| PartitionId::new(u32::from(m >= 5)))
+                    .collect(),
+                // smid enumeration interleaves the two partitions, so SM0 and
+                // SM2 land on different partitions (paper Fig. 12).
+                sm_enumeration: SmEnumeration::RoundRobinTpc {
+                    gpc_order: [0u32, 4, 1, 5, 2, 6, 3, 7].map(GpcId::new).to_vec(),
+                },
+            },
+            die_width_mm: 33.0,
+            die_height_mm: 25.0,
+            clock_ghz: 1.41,
+            mem_peak_gbps: 1555.0,
+            l2_mib: 40,
+            mem_gib: 40,
+            mem_type: "HBM2e".to_owned(),
+            per_slice_counters: false,
+            cache_policy: CachePolicy::GloballyShared,
+            sm_to_sm_network: false,
+        }
+    }
+
+    /// The H100 (SXM5) preset: 132 SMs in 8 GPCs (each split into CPCs)
+    /// across two die partitions, 80 L2 slices in 8 MPs, partition-local L2
+    /// caching, 3352 GB/s HBM3.
+    pub fn h100() -> Self {
+        let gpcs = 8;
+        let cpc = |tpcs: u32| -> Vec<u32> {
+            // Split a GPC's TPCs into three CPCs, e.g. 9 -> [3,3,3], 8 -> [3,3,2].
+            let base = tpcs / 3;
+            let extra = tpcs % 3;
+            (0..3).map(|i| base + u32::from(i < extra)).collect()
+        };
+        Self {
+            name: "H100".to_owned(),
+            generation: Generation::Hopper,
+            hierarchy: HierarchySpec {
+                gpc_cpc_tpcs: vec![
+                    cpc(9),
+                    cpc(9),
+                    cpc(8),
+                    cpc(8),
+                    cpc(8),
+                    cpc(8),
+                    cpc(8),
+                    cpc(8),
+                ],
+                sms_per_tpc: 2,
+                gpc_partition: (0..gpcs)
+                    .map(|g| PartitionId::new(u32::from(g >= gpcs / 2)))
+                    .collect(),
+                num_partitions: 2,
+                num_mps: 8,
+                slices_per_mp: 10,
+                mp_partition: (0..8)
+                    .map(|m| PartitionId::new(u32::from(m >= 4)))
+                    .collect(),
+                sm_enumeration: SmEnumeration::RoundRobinTpc {
+                    gpc_order: [0u32, 4, 1, 5, 2, 6, 3, 7].map(GpcId::new).to_vec(),
+                },
+            },
+            die_width_mm: 33.5,
+            die_height_mm: 24.3,
+            clock_ghz: 1.83,
+            mem_peak_gbps: 3352.0,
+            l2_mib: 50,
+            mem_gib: 80,
+            mem_type: "HBM3".to_owned(),
+            per_slice_counters: false,
+            cache_policy: CachePolicy::PartitionLocal,
+            sm_to_sm_network: true,
+        }
+    }
+
+    /// All three paper presets, in generation order.
+    pub fn paper_presets() -> Vec<GpuSpec> {
+        vec![Self::v100(), Self::a100(), Self::h100()]
+    }
+
+    /// Starts a custom device description from an explicit hierarchy; the
+    /// remaining fields default to V100-like values and can be overridden by
+    /// mutating the returned spec.
+    pub fn custom(name: impl Into<String>, hierarchy: HierarchySpec) -> Self {
+        Self {
+            name: name.into(),
+            generation: Generation::Custom,
+            hierarchy,
+            ..Self::v100()
+        }
+    }
+
+    /// Number of SMs described by the hierarchy (without building it).
+    pub fn num_sms(&self) -> usize {
+        self.hierarchy
+            .gpc_cpc_tpcs
+            .iter()
+            .flatten()
+            .map(|&t| t as usize)
+            .sum::<usize>()
+            * self.hierarchy.sms_per_tpc as usize
+    }
+
+    /// Number of L2 slices described by the hierarchy.
+    pub fn num_slices(&self) -> usize {
+        (self.hierarchy.num_mps * self.hierarchy.slices_per_mp) as usize
+    }
+
+    /// Builds and validates the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildHierarchyError`] for inconsistent custom specs; the
+    /// built-in presets never fail.
+    pub fn resolve(&self) -> Result<Hierarchy, BuildHierarchyError> {
+        Hierarchy::build(self.hierarchy.clone())
+    }
+
+    /// Builds the hierarchy, panicking on an invalid spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy spec is inconsistent. Prefer
+    /// [`GpuSpec::resolve`] for custom specs.
+    pub fn hierarchy(&self) -> Hierarchy {
+        self.resolve().expect("invalid gpu hierarchy spec")
+    }
+
+    /// Lays out the floorplan for this device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy spec is inconsistent.
+    pub fn floorplan(&self) -> Floorplan {
+        Floorplan::layout(&self.hierarchy(), self.die_width_mm, self.die_height_mm)
+    }
+
+    /// One row of the Table I comparison, as `(label, value)` pairs.
+    pub fn table1_row(&self) -> Vec<(&'static str, String)> {
+        let h = self.hierarchy();
+        vec![
+            ("GPU", self.name.clone()),
+            ("Architecture", self.generation.to_string()),
+            ("SMs", h.num_sms().to_string()),
+            ("GPCs", h.num_gpcs().to_string()),
+            ("Die partitions", h.num_partitions().to_string()),
+            ("L2 slices", h.num_slices().to_string()),
+            ("Memory partitions", h.num_mps().to_string()),
+            ("L2 capacity (MiB)", self.l2_mib.to_string()),
+            ("Memory", format!("{} {} GiB", self.mem_type, self.mem_gib)),
+            ("Peak mem BW (GB/s)", format!("{:.0}", self.mem_peak_gbps)),
+            ("Clock (GHz)", format!("{:.2}", self.clock_ghz)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SmId;
+
+    #[test]
+    fn v100_matches_table1() {
+        let v = GpuSpec::v100();
+        assert_eq!(v.num_sms(), 80);
+        assert_eq!(v.num_slices(), 32);
+        let h = v.hierarchy();
+        assert_eq!(h.num_gpcs(), 6);
+        assert_eq!(h.num_partitions(), 1);
+        assert_eq!(h.num_mps(), 8);
+        assert!(v.per_slice_counters);
+        assert!(!h.has_cpc_level());
+    }
+
+    #[test]
+    fn a100_matches_table1() {
+        let a = GpuSpec::a100();
+        assert_eq!(a.num_sms(), 108);
+        assert_eq!(a.num_slices(), 80);
+        let h = a.hierarchy();
+        assert_eq!(h.num_gpcs(), 8);
+        assert_eq!(h.num_partitions(), 2);
+        assert!(!a.per_slice_counters);
+        assert_eq!(a.cache_policy, CachePolicy::GloballyShared);
+    }
+
+    #[test]
+    fn h100_matches_table1() {
+        let hs = GpuSpec::h100();
+        assert_eq!(hs.num_sms(), 132);
+        assert_eq!(hs.num_slices(), 80);
+        let h = hs.hierarchy();
+        assert_eq!(h.num_gpcs(), 8);
+        assert!(h.has_cpc_level());
+        assert_eq!(hs.cache_policy, CachePolicy::PartitionLocal);
+        assert!(hs.sm_to_sm_network);
+    }
+
+    #[test]
+    fn a100_sm0_and_sm2_are_on_different_partitions() {
+        // The premise of paper Fig. 12.
+        let h = GpuSpec::a100().hierarchy();
+        assert_ne!(
+            h.sm(SmId::new(0)).partition,
+            h.sm(SmId::new(2)).partition
+        );
+    }
+
+    #[test]
+    fn presets_resolve_without_error() {
+        for spec in GpuSpec::paper_presets() {
+            assert!(spec.resolve().is_ok(), "{} failed to resolve", spec.name);
+        }
+    }
+
+    #[test]
+    fn table1_rows_share_labels() {
+        let rows: Vec<_> = GpuSpec::paper_presets()
+            .iter()
+            .map(|s| s.table1_row())
+            .collect();
+        let labels: Vec<_> = rows[0].iter().map(|(l, _)| *l).collect();
+        for row in &rows {
+            let l: Vec<_> = row.iter().map(|(l, _)| *l).collect();
+            assert_eq!(l, labels);
+        }
+    }
+
+    #[test]
+    fn custom_spec_inherits_defaults() {
+        let custom = GpuSpec::custom("tiny", GpuSpec::v100().hierarchy.clone());
+        assert_eq!(custom.generation, Generation::Custom);
+        assert_eq!(custom.num_sms(), 80);
+        assert_eq!(custom.clock_ghz, GpuSpec::v100().clock_ghz);
+    }
+
+    #[test]
+    fn generation_display_names() {
+        assert_eq!(Generation::Volta.to_string(), "Volta");
+        assert_eq!(Generation::Hopper.to_string(), "Hopper");
+    }
+
+    #[test]
+    fn h100_cpc_split_covers_all_tpcs() {
+        let hs = GpuSpec::h100();
+        for cpcs in &hs.hierarchy.gpc_cpc_tpcs {
+            assert_eq!(cpcs.len(), 3);
+            assert!(cpcs.iter().sum::<u32>() >= 8);
+        }
+    }
+}

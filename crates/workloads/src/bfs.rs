@@ -1,0 +1,149 @@
+//! Synthetic BFS memory-trace generator (the Rodinia `bfs` stand-in).
+//!
+//! Breadth-first search is the paper's example of a workload with strong
+//! phase behaviour: per-level traffic follows the frontier size, which grows
+//! explosively and then collapses. The generator builds a seeded random
+//! graph, runs a real level-synchronous BFS, and records the line addresses a
+//! GPU implementation would touch each level: frontier reads, row-pointer and
+//! edge-list reads, and visited-flag updates.
+
+use crate::trace::MemoryTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsConfig {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Average out-degree.
+    pub avg_degree: usize,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 20_000,
+            avg_degree: 8,
+        }
+    }
+}
+
+/// Byte regions of the BFS data structures, in cache lines (disjoint bases so
+/// different structures hash independently).
+const ROW_PTR_BASE: u64 = 0x1000_0000;
+const EDGE_BASE: u64 = 0x2000_0000;
+const VISITED_BASE: u64 = 0x3000_0000;
+/// 32 four-byte node ids per 128 B line.
+const IDS_PER_LINE: u64 = 32;
+
+/// Generates the BFS trace: one time step per BFS level.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` is zero.
+pub fn generate(cfg: BfsConfig, seed: u64) -> MemoryTrace {
+    assert!(cfg.nodes > 0, "graph must have nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Random graph in CSR form.
+    let mut row_ptr = Vec::with_capacity(cfg.nodes + 1);
+    let mut edges: Vec<u32> = Vec::with_capacity(cfg.nodes * cfg.avg_degree);
+    row_ptr.push(0u32);
+    for _ in 0..cfg.nodes {
+        let degree = rng.gen_range(0..=2 * cfg.avg_degree);
+        for _ in 0..degree {
+            edges.push(rng.gen_range(0..cfg.nodes) as u32);
+        }
+        row_ptr.push(edges.len() as u32);
+    }
+
+    // Level-synchronous BFS from node 0, recording per-level accesses.
+    let mut visited = vec![false; cfg.nodes];
+    let mut frontier: Vec<u32> = vec![0];
+    visited[0] = true;
+    let mut steps = Vec::new();
+    while !frontier.is_empty() {
+        let mut accesses = Vec::new();
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let u = u as usize;
+            // Row-pointer read.
+            accesses.push(ROW_PTR_BASE + u as u64 / IDS_PER_LINE);
+            for e in row_ptr[u]..row_ptr[u + 1] {
+                // Edge-list read.
+                accesses.push(EDGE_BASE + u64::from(e) / IDS_PER_LINE);
+                let v = edges[e as usize] as usize;
+                // Visited-flag read/update.
+                accesses.push(VISITED_BASE + v as u64 / IDS_PER_LINE);
+                if !visited[v] {
+                    visited[v] = true;
+                    next.push(v as u32);
+                }
+            }
+        }
+        steps.push(accesses);
+        frontier = next;
+    }
+
+    MemoryTrace {
+        name: "bfs".into(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_has_explosive_then_collapsing_phases() {
+        let t = generate(BfsConfig::default(), 1);
+        let volume = t.volume_profile();
+        assert!(volume.len() >= 3, "expected several levels: {volume:?}");
+        let peak = volume.iter().cloned().max().unwrap();
+        assert!(peak > 20 * volume[0], "frontier should explode: {volume:?}");
+        assert!(
+            *volume.last().unwrap() < peak / 10,
+            "frontier should collapse: {volume:?}"
+        );
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = generate(BfsConfig::default(), 7);
+        let b = generate(BfsConfig::default(), 7);
+        assert_eq!(a, b);
+        let c = generate(BfsConfig::default(), 8);
+        assert_ne!(a.total_accesses(), c.total_accesses());
+    }
+
+    #[test]
+    fn addresses_come_from_the_three_structures() {
+        let t = generate(
+            BfsConfig {
+                nodes: 500,
+                avg_degree: 4,
+            },
+            2,
+        );
+        for step in &t.steps {
+            for &a in step {
+                assert!(
+                    (ROW_PTR_BASE..ROW_PTR_BASE + 0x1000_0000).contains(&a)
+                        || (EDGE_BASE..EDGE_BASE + 0x1000_0000).contains(&a)
+                        || (VISITED_BASE..VISITED_BASE + 0x1000_0000).contains(&a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn most_nodes_are_reached() {
+        let cfg = BfsConfig::default();
+        let t = generate(cfg, 3);
+        // With avg degree 8 the giant component covers nearly everything, so
+        // total visited-flag traffic is near edge count.
+        assert!(t.total_accesses() > cfg.nodes * cfg.avg_degree);
+    }
+}

@@ -1,0 +1,117 @@
+//! Synthetic Gaussian-elimination memory-trace generator (the Rodinia
+//! `gaussian` stand-in).
+//!
+//! Gaussian elimination sweeps a shrinking triangle: step `k` updates the
+//! `(n-k-1)²` trailing submatrix, so traffic volume decays quadratically over
+//! time — the second phase pattern of the paper's Fig. 16. Accesses cover the
+//! pivot row and the trailing rows/columns of a row-major matrix.
+
+use crate::trace::MemoryTrace;
+
+/// Configuration of the synthetic Gaussian elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaussianConfig {
+    /// Matrix dimension `n` (n×n system).
+    pub n: usize,
+    /// Record every `stride`-th elimination step as one trace step (keeps
+    /// traces compact for large `n`).
+    pub step_stride: usize,
+}
+
+impl Default for GaussianConfig {
+    fn default() -> Self {
+        Self {
+            n: 512,
+            step_stride: 8,
+        }
+    }
+}
+
+/// Matrix base line address.
+const MATRIX_BASE: u64 = 0x5000_0000;
+/// 32 four-byte elements per 128 B line.
+const ELEMS_PER_LINE: u64 = 32;
+
+fn element_line(n: usize, row: usize, col: usize) -> u64 {
+    MATRIX_BASE + (row as u64 * n as u64 + col as u64) / ELEMS_PER_LINE
+}
+
+/// Generates the elimination trace.
+///
+/// # Panics
+///
+/// Panics if `n` or `step_stride` is zero.
+pub fn generate(cfg: GaussianConfig) -> MemoryTrace {
+    assert!(cfg.n > 0, "matrix must be non-empty");
+    assert!(cfg.step_stride > 0, "stride must be positive");
+    let n = cfg.n;
+    let mut steps = Vec::new();
+    let mut bucket = Vec::new();
+    for k in 0..n - 1 {
+        // The pivot row is staged once (L1/shared memory holds it across the
+        // trailing-row sweep, so L2 sees it once per step)…
+        for col in k..n {
+            bucket.push(element_line(n, k, col));
+        }
+        // …while every trailing-row update goes to L2.
+        for row in (k + 1)..n {
+            for col in k..n {
+                bucket.push(element_line(n, row, col));
+            }
+        }
+        if (k + 1) % cfg.step_stride == 0 || k == n - 2 {
+            steps.push(std::mem::take(&mut bucket));
+        }
+    }
+    MemoryTrace {
+        name: "gaussian".into(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_decays_over_time() {
+        let t = generate(GaussianConfig {
+            n: 128,
+            step_stride: 4,
+        });
+        let v = t.volume_profile();
+        assert!(v.len() > 5);
+        assert!(v[0] > v[v.len() / 2], "{v:?}");
+        assert!(v[v.len() / 2] > *v.last().unwrap(), "{v:?}");
+        // Quadratic-ish decay: the last step is a tiny fraction of the first.
+        assert!(*v.last().unwrap() < v[0] / 20, "{v:?}");
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_matrix() {
+        let cfg = GaussianConfig {
+            n: 64,
+            step_stride: 8,
+        };
+        let t = generate(cfg);
+        let last = MATRIX_BASE + (64u64 * 64).div_ceil(ELEMS_PER_LINE);
+        for step in &t.steps {
+            for &a in step {
+                assert!((MATRIX_BASE..=last).contains(&a), "address {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = generate(GaussianConfig::default());
+        let b = generate(GaussianConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn element_lines_pack_32_per_line() {
+        assert_eq!(element_line(64, 0, 0), element_line(64, 0, 31));
+        assert_ne!(element_line(64, 0, 0), element_line(64, 0, 32));
+    }
+}

@@ -1,0 +1,40 @@
+//! # gnoc-workloads
+//!
+//! Synthetic workload memory-trace generators for the `gnoc` reproduction of
+//! *Uncovering Real GPU NoC Characteristics* (MICRO 2024).
+//!
+//! The paper's Fig. 16 uses Rodinia's `bfs` and `gaussian`; without the
+//! benchmark suite we generate traces with the same structural phase
+//! behaviour from real algorithm executions:
+//!
+//! - [`bfs`] — level-synchronous BFS over a seeded random graph
+//!   (explosive-then-collapsing frontier);
+//! - [`gaussian`] — Gaussian elimination (quadratically shrinking triangle);
+//! - [`streaming`] — the constant-volume memory-intensive kernel, plus its
+//!   steady-state flow-set form for the fabric solver;
+//! - [`trace`] — the common [`MemoryTrace`] type and per-slice traffic /
+//!   imbalance analysis (Observation #12);
+//! - [`replay`] — execution-time estimation of a trace on a virtual device,
+//!   including the (near-zero) throughput cost of the scheduling defense.
+//!
+//! ```
+//! use gnoc_workloads::{bfs, trace};
+//! use gnoc_engine::AddressMap;
+//! use gnoc_topo::{CachePolicy, GpuSpec, PartitionId};
+//!
+//! let t = bfs::generate(bfs::BfsConfig::default(), 0);
+//! let map = AddressMap::new(&GpuSpec::v100().hierarchy(), CachePolicy::GloballyShared);
+//! let traffic = trace::slice_traffic(&t, &map, PartitionId::new(0));
+//! assert_eq!(traffic[0].len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bfs;
+pub mod gaussian;
+pub mod replay;
+pub mod streaming;
+pub mod trace;
+
+pub use trace::MemoryTrace;

@@ -1,0 +1,262 @@
+//! Trace replay: estimate a workload's execution timeline on a virtual
+//! device.
+//!
+//! Each trace step's accesses are assigned to thread blocks, the blocks to
+//! SMs by a [`CtaScheduler`], and the resulting steady-state flow set is
+//! resolved by the device's fabric solver; the step's duration follows from
+//! bytes ÷ achieved bandwidth. Besides being a useful performance model,
+//! this quantifies the cost of the paper's scheduling defense: because
+//! bandwidth is *uniform* across placements (Observation #8), randomising
+//! the block seed costs almost nothing in throughput.
+
+use crate::trace::MemoryTrace;
+use gnoc_engine::{AccessKind, CtaScheduler, FlowSpec, GpuDevice, LINE_BYTES};
+use gnoc_topo::SmId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of a trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Thread blocks the kernel launches per step.
+    pub blocks: usize,
+    /// How blocks are placed onto SMs.
+    pub scheduler: CtaScheduler,
+    /// Whether accesses hit in L2 (fabric-bound) or stream from DRAM.
+    pub kind: AccessKind,
+    /// Seed for the scheduler's randomness.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            blocks: 64,
+            scheduler: CtaScheduler::Static,
+            kind: AccessKind::ReadHit,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of replaying one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Achieved bandwidth per busy step, GB/s.
+    pub step_gbps: Vec<f64>,
+    /// Estimated duration per busy step, seconds.
+    pub step_seconds: Vec<f64>,
+    /// Total bytes moved.
+    pub total_bytes: f64,
+    /// Total estimated execution time, seconds.
+    pub total_seconds: f64,
+}
+
+impl ReplayResult {
+    /// Whole-trace average bandwidth, GB/s.
+    pub fn mean_gbps(&self) -> f64 {
+        if self.total_seconds == 0.0 {
+            0.0
+        } else {
+            self.total_bytes / self.total_seconds / 1e9
+        }
+    }
+}
+
+/// Replays `trace` on `dev` under `cfg`, scheduling onto all SMs.
+///
+/// # Panics
+///
+/// Panics if `cfg.blocks` is zero.
+pub fn replay(dev: &GpuDevice, trace: &MemoryTrace, cfg: &ReplayConfig) -> ReplayResult {
+    let all_sms: Vec<SmId> = SmId::range(dev.hierarchy().num_sms()).collect();
+    replay_on_sms(dev, trace, cfg, &all_sms)
+}
+
+/// Replays `trace` with the scheduler restricted to `sms` — used for
+/// locality experiments (e.g. pinning a kernel to the partition that owns
+/// its data).
+///
+/// # Panics
+///
+/// Panics if `cfg.blocks` is zero or `sms` is empty.
+pub fn replay_on_sms(
+    dev: &GpuDevice,
+    trace: &MemoryTrace,
+    cfg: &ReplayConfig,
+    sms: &[SmId],
+) -> ReplayResult {
+    assert!(cfg.blocks > 0, "need at least one block");
+    assert!(!sms.is_empty(), "need at least one SM");
+    let all_sms: Vec<SmId> = sms.to_vec();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut step_gbps = Vec::new();
+    let mut step_seconds = Vec::new();
+    let mut total_bytes = 0.0;
+    let mut total_seconds = 0.0;
+
+    for step in &trace.steps {
+        if step.is_empty() {
+            continue;
+        }
+        // One kernel launch per step: blocks → SMs.
+        let assignment = cfg.scheduler.assign(cfg.blocks, &all_sms, &mut rng);
+        let active: BTreeSet<SmId> = assignment.into_iter().collect();
+
+        // Each active SM sweeps an equal shard of the step; hashing spreads
+        // any shard over the same slice set, so the flow set is the cross
+        // product of active SMs and the slices the step actually touches.
+        let mut flows = Vec::new();
+        for &sm in &active {
+            let mut slices: Vec<_> = step
+                .iter()
+                .map(|&line| dev.effective_slice(sm, line))
+                .collect();
+            slices.sort_unstable();
+            slices.dedup();
+            flows.extend(slices.into_iter().map(|slice| FlowSpec {
+                sm,
+                slice,
+                kind: cfg.kind,
+            }));
+        }
+        let bw = dev.solve_bandwidth(&flows).total_gbps;
+        let bytes = step.len() as f64 * LINE_BYTES as f64;
+        let seconds = bytes / (bw * 1e9);
+        step_gbps.push(bw);
+        step_seconds.push(seconds);
+        total_bytes += bytes;
+        total_seconds += seconds;
+    }
+
+    ReplayResult {
+        step_gbps,
+        step_seconds,
+        total_bytes,
+        total_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, gaussian};
+
+    #[test]
+    fn replay_produces_one_entry_per_busy_step() {
+        let dev = GpuDevice::v100(0);
+        let t = gaussian::generate(gaussian::GaussianConfig {
+            n: 128,
+            step_stride: 16,
+        });
+        let r = replay(&dev, &t, &ReplayConfig::default());
+        let busy = t.steps.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(r.step_gbps.len(), busy);
+        assert!(r.total_seconds > 0.0);
+        assert!(r.mean_gbps() > 0.0);
+    }
+
+    #[test]
+    fn more_blocks_means_more_bandwidth() {
+        let dev = GpuDevice::v100(0);
+        let t = bfs::generate(
+            bfs::BfsConfig {
+                nodes: 4000,
+                avg_degree: 6,
+            },
+            1,
+        );
+        let few = replay(
+            &dev,
+            &t,
+            &ReplayConfig {
+                blocks: 4,
+                ..ReplayConfig::default()
+            },
+        );
+        let many = replay(
+            &dev,
+            &t,
+            &ReplayConfig {
+                blocks: 80,
+                ..ReplayConfig::default()
+            },
+        );
+        assert!(
+            many.total_seconds < few.total_seconds * 0.5,
+            "few {} vs many {}",
+            few.total_seconds,
+            many.total_seconds
+        );
+    }
+
+    #[test]
+    fn random_scheduling_defense_is_nearly_free() {
+        // The defense's performance cost: bandwidth is placement-uniform
+        // (Observation #8), so randomising the seed barely changes runtime.
+        let dev = GpuDevice::a100(0);
+        let t = bfs::generate(
+            bfs::BfsConfig {
+                nodes: 4000,
+                avg_degree: 6,
+            },
+            2,
+        );
+        let cfg = ReplayConfig {
+            blocks: 32,
+            ..ReplayConfig::default()
+        };
+        let static_run = replay(&dev, &t, &cfg);
+        let random_run = replay(
+            &dev,
+            &t,
+            &ReplayConfig {
+                scheduler: CtaScheduler::RandomSeed,
+                seed: 1234,
+                ..cfg
+            },
+        );
+        let overhead = random_run.total_seconds / static_run.total_seconds - 1.0;
+        assert!(
+            overhead.abs() < 0.05,
+            "defense overhead should be negligible: {:+.1}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn memory_bound_replay_is_slower_than_fabric_bound() {
+        let dev = GpuDevice::v100(0);
+        let t = gaussian::generate(gaussian::GaussianConfig {
+            n: 128,
+            step_stride: 32,
+        });
+        let hit = replay(&dev, &t, &ReplayConfig::default());
+        let miss = replay(
+            &dev,
+            &t,
+            &ReplayConfig {
+                kind: AccessKind::ReadMiss,
+                ..ReplayConfig::default()
+            },
+        );
+        assert!(miss.total_seconds > hit.total_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let dev = GpuDevice::v100(0);
+        let t = MemoryTrace {
+            name: "x".into(),
+            steps: vec![vec![1, 2, 3]],
+        };
+        let _ = replay(&dev, &t, &ReplayConfig {
+            blocks: 0,
+            ..ReplayConfig::default()
+        });
+    }
+}

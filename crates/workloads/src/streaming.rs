@@ -1,0 +1,109 @@
+//! Streaming (memory-intensive) kernel trace and its flow-set form.
+//!
+//! The sequential, strided access pattern of the paper's bandwidth
+//! microbenchmarks and of the Fig. 21 "memory-intensive synthetic kernel":
+//! every SM walks a large array front to back. Besides the raw trace, this
+//! module converts the pattern into the engine's [`FlowSpec`] form so the
+//! fabric solver can evaluate it.
+
+use crate::trace::MemoryTrace;
+use gnoc_engine::{AccessKind, FlowSpec, GpuDevice};
+use gnoc_topo::SmId;
+
+/// Configuration of the streaming kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Total lines streamed per step.
+    pub lines_per_step: usize,
+    /// Number of time steps.
+    pub steps: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        Self {
+            lines_per_step: 8_192,
+            steps: 16,
+        }
+    }
+}
+
+/// Array base line address.
+const STREAM_BASE: u64 = 0x7000_0000;
+
+/// Generates the sequential streaming trace: step `i` covers the next
+/// `lines_per_step` consecutive lines.
+pub fn generate(cfg: StreamingConfig) -> MemoryTrace {
+    let steps = (0..cfg.steps)
+        .map(|i| {
+            let start = STREAM_BASE + (i * cfg.lines_per_step) as u64;
+            (start..start + cfg.lines_per_step as u64).collect()
+        })
+        .collect();
+    MemoryTrace {
+        name: "streaming".into(),
+        steps,
+    }
+}
+
+/// The steady-state flow set of every SM streaming `kind` accesses across all
+/// slices it can reach — the input the fabric solver needs to evaluate this
+/// workload's bandwidth on a device.
+pub fn flow_set(dev: &GpuDevice, kind: AccessKind) -> Vec<FlowSpec> {
+    let h = dev.hierarchy();
+    let mut flows = Vec::new();
+    for sm in SmId::range(h.num_sms()) {
+        let slices = match dev.spec().cache_policy {
+            gnoc_topo::CachePolicy::GloballyShared => {
+                gnoc_topo::SliceId::range(h.num_slices()).collect::<Vec<_>>()
+            }
+            gnoc_topo::CachePolicy::PartitionLocal => {
+                h.slices_in_partition(h.sm(sm).partition).to_vec()
+            }
+        };
+        flows.extend(slices.into_iter().map(|slice| FlowSpec { sm, slice, kind }));
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_volume_is_constant() {
+        let t = generate(StreamingConfig::default());
+        let v = t.volume_profile();
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|&n| n == 8_192));
+    }
+
+    #[test]
+    fn steps_are_disjoint_and_sequential() {
+        let t = generate(StreamingConfig {
+            lines_per_step: 4,
+            steps: 3,
+        });
+        assert_eq!(t.steps[0], vec![STREAM_BASE, STREAM_BASE + 1, STREAM_BASE + 2, STREAM_BASE + 3]);
+        assert_eq!(t.steps[1][0], STREAM_BASE + 4);
+    }
+
+    #[test]
+    fn flow_set_covers_every_sm() {
+        let dev = GpuDevice::v100(0);
+        let flows = flow_set(&dev, AccessKind::ReadMiss);
+        assert_eq!(flows.len(), 80 * 32);
+        let dev = GpuDevice::h100(0);
+        let flows = flow_set(&dev, AccessKind::ReadHit);
+        assert_eq!(flows.len(), 132 * 40);
+    }
+
+    #[test]
+    fn flow_set_streams_near_peak_memory_bandwidth() {
+        let dev = GpuDevice::v100(0);
+        let flows = flow_set(&dev, AccessKind::ReadMiss);
+        let bw = dev.solve_bandwidth(&flows).total_gbps;
+        let frac = bw / dev.spec().mem_peak_gbps;
+        assert!((0.8..0.95).contains(&frac), "memory fraction {frac:.2}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Time-stepped memory traces and their per-slice traffic distribution.
+//!
+//! The paper's Fig. 16 plots, for two Rodinia workloads, the amount of L2
+//! traffic destined to each slice over time: thanks to address hashing the
+//! distribution stays flat even as the access *volume* changes dramatically
+//! (Observation #12). [`MemoryTrace`] carries line addresses per time step;
+//! [`slice_traffic`] pushes them through a device's address hash.
+
+use gnoc_engine::AddressMap;
+use gnoc_topo::PartitionId;
+use serde::{Deserialize, Serialize};
+
+/// A workload's memory accesses, bucketed into time steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTrace {
+    /// Workload label (e.g. `"bfs"`).
+    pub name: String,
+    /// Line addresses accessed in each time step.
+    pub steps: Vec<Vec<u64>>,
+}
+
+impl MemoryTrace {
+    /// Total number of accesses.
+    pub fn total_accesses(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// Access count per step — the workload's volume phase behaviour.
+    pub fn volume_profile(&self) -> Vec<usize> {
+        self.steps.iter().map(Vec::len).collect()
+    }
+}
+
+/// Traffic per (time step, L2 slice): the Fig. 16 heatmap data.
+pub fn slice_traffic(trace: &MemoryTrace, map: &AddressMap, requester: PartitionId) -> Vec<Vec<f64>> {
+    trace
+        .steps
+        .iter()
+        .map(|step| {
+            map.slice_histogram(step.iter().copied(), requester)
+                .into_iter()
+                .map(|c| c as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-step imbalance of a traffic matrix: `max / mean` over slices, ignoring
+/// steps with fewer than `min_accesses` accesses (tiny steps are trivially
+/// imbalanced).
+pub fn imbalance_per_step(traffic: &[Vec<f64>], min_accesses: f64) -> Vec<f64> {
+    traffic
+        .iter()
+        .filter(|row| row.iter().sum::<f64>() >= min_accesses)
+        .map(|row| {
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            let max = row.iter().cloned().fold(0.0f64, f64::max);
+            if mean == 0.0 {
+                1.0
+            } else {
+                max / mean
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnoc_topo::{CachePolicy, GpuSpec};
+
+    fn map() -> AddressMap {
+        AddressMap::new(&GpuSpec::v100().hierarchy(), CachePolicy::GloballyShared)
+    }
+
+    fn trace() -> MemoryTrace {
+        MemoryTrace {
+            name: "test".into(),
+            steps: vec![(0..5000).collect(), (5000..5100).collect(), vec![]],
+        }
+    }
+
+    #[test]
+    fn totals_and_volume() {
+        let t = trace();
+        assert_eq!(t.total_accesses(), 5100);
+        assert_eq!(t.volume_profile(), vec![5000, 100, 0]);
+    }
+
+    #[test]
+    fn traffic_matrix_shape_matches() {
+        let t = trace();
+        let m = slice_traffic(&t, &map(), PartitionId::new(0));
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|row| row.len() == 32));
+        let step0: f64 = m[0].iter().sum();
+        assert_eq!(step0, 5000.0);
+    }
+
+    #[test]
+    fn hashed_traffic_is_balanced() {
+        let t = trace();
+        let m = slice_traffic(&t, &map(), PartitionId::new(0));
+        let imb = imbalance_per_step(&m, 1000.0);
+        assert_eq!(imb.len(), 1); // only the big step qualifies
+        assert!(imb[0] < 1.3, "imbalance {}", imb[0]);
+    }
+
+    #[test]
+    fn empty_steps_report_unit_imbalance() {
+        let m = vec![vec![0.0; 8]];
+        assert_eq!(imbalance_per_step(&m, 0.0), vec![1.0]);
+    }
+}

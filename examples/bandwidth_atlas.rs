@@ -1,0 +1,61 @@
+//! Bandwidth atlas: the paper's Section IV bandwidth characterisation across
+//! all three presets — per-slice profiles, input speedups and chip-wide
+//! aggregates.
+//!
+//! Run with: `cargo run --release -p gnoc-core --example bandwidth_atlas`
+
+use gnoc_core::microbench::bandwidth::{
+    aggregate_fabric_gbps, aggregate_memory_gbps, sm_slice_profile_gbps,
+};
+use gnoc_core::{input_speedups, AccessKind, GpuDevice, Histogram, SmId, Summary};
+
+fn main() {
+    for mut dev in [GpuDevice::v100(3), GpuDevice::a100(3), GpuDevice::h100(3)] {
+        let name = dev.spec().name.clone();
+        println!("=== {name} ===");
+
+        // Fig. 9a: aggregates.
+        let fabric = aggregate_fabric_gbps(&mut dev);
+        let mem = aggregate_memory_gbps(&mut dev);
+        println!(
+            "aggregate: L2 fabric {fabric:.0} GB/s, memory {mem:.0} GB/s ({:.0}% of peak) — fabric/memory = {:.2}x",
+            100.0 * mem / dev.spec().mem_peak_gbps,
+            fabric / mem
+        );
+
+        // Figs. 9b / 12 / 13: single-SM per-slice profile.
+        let profile = sm_slice_profile_gbps(&mut dev, SmId::new(0));
+        let s = Summary::of(&profile);
+        let hist = Histogram::new(&profile, 15.0, 70.0, 22);
+        println!(
+            "SM0 per-slice bandwidth: {s} — {} peak(s) in the distribution",
+            hist.peak_count(0.2)
+        );
+
+        // Fig. 10: input speedups.
+        let r = input_speedups(&dev, AccessKind::ReadHit);
+        let w = input_speedups(&dev, AccessKind::Write);
+        println!(
+            "input speedup (reads):  TPC {:.2}  GPC_l {:.1}/{}  GPC_g {:.1}/{}{}",
+            r.tpc,
+            r.gpc_local,
+            r.gpc_tpcs,
+            r.gpc_global,
+            r.gpc_sms,
+            r.cpc
+                .map(|c| format!("  CPC {:.1}/{}", c, r.cpc_sms.unwrap()))
+                .unwrap_or_default(),
+        );
+        println!(
+            "input speedup (writes): TPC {:.2}  GPC_l {:.1}/{}  GPC_g {:.1}/{}{}\n",
+            w.tpc,
+            w.gpc_local,
+            w.gpc_tpcs,
+            w.gpc_global,
+            w.gpc_sms,
+            w.cpc
+                .map(|c| format!("  CPC {:.1}/{}", c, w.cpc_sms.unwrap()))
+                .unwrap_or_default(),
+        );
+    }
+}

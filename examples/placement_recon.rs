@@ -1,0 +1,53 @@
+//! Placement reverse engineering (paper Implication #1): recover the physical
+//! grouping of SMs on all three presets purely from L2 latency profiles, as
+//! an attacker needing kernel co-location would.
+//!
+//! Run with: `cargo run --release -p gnoc-core --example placement_recon`
+
+use gnoc_core::{infer_placement, render_heatmap, GpuDevice, LatencyCampaign, LatencyProbe};
+
+fn main() {
+    let probe = LatencyProbe {
+        working_set_lines: 4,
+        samples: 8,
+    };
+
+    for mut dev in [GpuDevice::v100(7), GpuDevice::a100(7), GpuDevice::h100(7)] {
+        let name = dev.spec().name.clone();
+        println!("=== {name} ===");
+        let campaign = LatencyCampaign::run(&mut dev, &probe);
+        println!(
+            "latency matrix: {} SMs x {} slices, grand mean {:.0} cycles",
+            campaign.matrix.len(),
+            campaign.matrix[0].len(),
+            campaign.grand_mean()
+        );
+
+        // The Fig. 6 heatmap (SMs grouped by GPC on both axes).
+        let h = dev.hierarchy().clone();
+        let mut gpc_order: Vec<usize> = (0..h.num_sms()).collect();
+        gpc_order.sort_by_key(|&i| {
+            (
+                h.sm(gnoc_core::SmId::new(i as u32)).gpc,
+                i,
+            )
+        });
+        let reordered: Vec<Vec<f64>> = gpc_order
+            .iter()
+            .map(|&a| gpc_order.iter().map(|&b| campaign.correlation[a][b]).collect())
+            .collect();
+        let group = h.num_sms() / h.num_gpcs();
+        println!("Pearson heatmap (GPC-grouped axes, '@'=r=1, ' '=r<=-1):");
+        print!("{}", render_heatmap(&reordered, -1.0, 1.0, group));
+
+        let report = infer_placement(&campaign, &dev, 2.5);
+        println!(
+            "position recovery: corr(profile similarity, physical proximity) = {:.2}",
+            report.position_recovery_r
+        );
+        println!(
+            "GPC column recovery: labels {:?} vs truth {:?} (Rand index {:.2})\n",
+            report.gpc_labels, report.gpc_truth, report.gpc_rand_index
+        );
+    }
+}

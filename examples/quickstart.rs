@@ -1,0 +1,54 @@
+//! Quickstart: reproduce the paper's headline observation in a few lines —
+//! L2 access latency on a V100 is *non-uniform* and determined by physical
+//! placement, while bandwidth to each slice is uniform.
+//!
+//! Run with: `cargo run --release -p gnoc-core --example quickstart`
+
+use gnoc_core::{GpuDevice, LatencyProbe, SliceId, SmId, Summary};
+
+fn main() {
+    // A virtual V100 with a fixed measurement seed: results are reproducible.
+    let mut gpu = GpuDevice::v100(42);
+    let probe = LatencyProbe::default();
+
+    // --- Observation #1: latency from one SM to the 32 L2 slices. ----------
+    let sm = SmId::new(24); // the SM the paper plots in Fig. 1a
+    let profile = probe.sm_profile(&mut gpu, sm);
+    let lat = Summary::of(&profile);
+    println!("L2 hit latency from {sm} on {}:", gpu.spec().name);
+    println!("  {lat}");
+    println!(
+        "  non-uniformity: {:.0} cycles between nearest and farthest slice\n",
+        lat.span()
+    );
+
+    // Which slices are closest / farthest?
+    let mut order: Vec<usize> = (0..profile.len()).collect();
+    order.sort_by(|&a, &b| profile[a].partial_cmp(&profile[b]).unwrap());
+    println!(
+        "  fastest slice: L2S{} at {:.0} cycles | slowest slice: L2S{} at {:.0} cycles\n",
+        order[0],
+        profile[order[0]],
+        order[order.len() - 1],
+        profile[order[order.len() - 1]],
+    );
+
+    // --- Observation #8: bandwidth to each slice is uniform. ---------------
+    let bw: Vec<f64> = (0..8)
+        .map(|s| {
+            gnoc_core::microbench::bandwidth::sms_to_slice_gbps(
+                &mut gpu,
+                &[sm],
+                SliceId::new(s * 4),
+            )
+        })
+        .collect();
+    let bw_summary = Summary::of(&bw);
+    println!("single-SM bandwidth to 8 sample slices:");
+    println!("  {bw_summary}");
+    println!(
+        "  => latency varies by {:.0}% but bandwidth by only {:.1}%",
+        100.0 * lat.span() / lat.mean,
+        100.0 * bw_summary.span() / bw_summary.mean,
+    );
+}

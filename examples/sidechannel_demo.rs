@@ -1,0 +1,70 @@
+//! Timing side-channel demo (paper Section V): the AES last-round key
+//! recovery and RSA exponent-weight attacks succeed under the GPU's static
+//! thread-block scheduling and fail under the paper's random-seed scheduling
+//! defense, because the defense turns non-uniform NoC latency into noise.
+//!
+//! Run with: `cargo run --release -p gnoc-core --example sidechannel_demo`
+
+use gnoc_core::{
+    run_aes_attack, run_rsa_attack, AesAttackConfig, CtaScheduler, GpuDevice, RsaAttackConfig,
+};
+
+fn main() {
+    let key = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+        0x4f, 0x3c,
+    ];
+
+    println!("=== AES last-round key recovery on a virtual A100 ===");
+    for (label, scheduler) in [
+        ("static scheduling (Fig. 18a)", CtaScheduler::Static),
+        ("random-seed scheduling (Fig. 18b)", CtaScheduler::RandomSeed),
+    ] {
+        let mut dev = GpuDevice::a100(0);
+        let cfg = AesAttackConfig {
+            samples: 3000,
+            scheduler,
+            ..AesAttackConfig::new(key)
+        };
+        let r = run_aes_attack(&mut dev, &cfg, 42);
+        let true_r = r.correlations[r.true_byte as usize];
+        println!("{label}:");
+        println!(
+            "  best guess 0x{:02x} (true 0x{:02x}) — {} | corr(true)={:.3}, margin={:.3}",
+            r.best_guess,
+            r.true_byte,
+            if r.succeeded() { "KEY BYTE RECOVERED" } else { "attack failed" },
+            true_r,
+            r.margin,
+        );
+        // Show the top four guesses, Fig. 18 style.
+        let mut order: Vec<usize> = (0..256).collect();
+        order.sort_by(|&a, &b| r.correlations[b].partial_cmp(&r.correlations[a]).unwrap());
+        for &g in order.iter().take(4) {
+            println!("    guess 0x{:02x}: r = {:+.3}", g, r.correlations[g]);
+        }
+    }
+
+    println!("\n=== RSA exponent-weight timing attack on a virtual A100 ===");
+    for (label, scheduler) in [
+        ("static scheduling (Fig. 19a)", CtaScheduler::Static),
+        ("random-seed scheduling (Fig. 19b)", CtaScheduler::RandomSeed),
+    ] {
+        let dev = GpuDevice::a100(0);
+        let cfg = RsaAttackConfig {
+            samples: 150,
+            scheduler,
+            ..RsaAttackConfig::default()
+        };
+        let r = run_rsa_attack(&dev, &cfg, 7);
+        println!("{label}:");
+        println!(
+            "  fit: time = {:.0}·ones + {:.0} cycles, R² = {:.3}",
+            r.fit.slope, r.fit.intercept, r.fit.r_squared
+        );
+        println!(
+            "  inverting one timing observation constrains the weight to ±{} bits",
+            r.weight_uncertainty
+        );
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure, the extension experiments and the SVG
+# artifacts, then runs the full test suite. Usage: ./reproduce.sh [out-file]
+set -euo pipefail
+out="${1:-FIGURES.txt}"
+bins=(table1 fig01 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 \
+      fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 \
+      fig22 fig23 \
+      ablation_queueing ablation_chain ablation_crossing ablation_scheduler \
+      ablation_ports whatif_h100 locality_sched mp_recon covert_channel \
+      noc_compare latency_load figures_svg)
+cargo build --release -p gnoc-bench --bins
+: > "$out"
+for b in "${bins[@]}"; do
+    echo "### $b" | tee -a "$out"
+    cargo run --release -q -p gnoc-bench --bin "$b" >> "$out" 2>/dev/null
+    echo >> "$out"
+done
+cargo test --workspace --release
+echo "done — figures in $out, SVGs in out/"

@@ -1,0 +1,142 @@
+//! Calibration regression: pins the headline reproduced metrics to their
+//! expected values (with tolerances) so any future model change that drifts
+//! away from the paper's numbers fails loudly here, with the paper target in
+//! the assertion message.
+
+use gnoc_core::microbench::bandwidth::{
+    aggregate_fabric_gbps, aggregate_memory_gbps, sms_to_slice_gbps,
+};
+use gnoc_core::microbench::sm2sm::cpc_latency_matrix;
+use gnoc_core::{
+    input_speedups, AccessKind, GpcId, GpuDevice, LatencyProbe, PartitionId, SliceId, SmId,
+    Summary,
+};
+
+/// Asserts `value` is within `tol` (relative) of `expect`.
+fn within(metric: &str, value: f64, expect: f64, tol: f64) {
+    let rel = (value - expect).abs() / expect.abs();
+    assert!(
+        rel <= tol,
+        "{metric}: measured {value:.2}, pinned {expect:.2} (±{:.0}%), drift {:.1}%",
+        tol * 100.0,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn v100_latency_pins() {
+    // Paper: 175–248 cycles, mean ≈ 212 (Fig. 1).
+    let mut dev = GpuDevice::v100(100);
+    let probe = LatencyProbe::default();
+    let mut all = Vec::new();
+    for sm in [0u32, 24, 40, 64] {
+        all.extend(probe.sm_profile(&mut dev, SmId::new(sm)));
+    }
+    let s = Summary::of(&all);
+    within("V100 mean hit latency", s.mean, 212.0, 0.05);
+    within("V100 min hit latency", s.min, 186.0, 0.05);
+    within("V100 max hit latency", s.max, 255.0, 0.05);
+}
+
+#[test]
+fn a100_partition_latency_pins() {
+    // Paper Fig. 8b: near ≈ 212, far ≈ 400 cycles.
+    let mut dev = GpuDevice::a100(100);
+    let probe = LatencyProbe::default();
+    let h = dev.hierarchy().clone();
+    let near_sm = h.sms_in_partition(PartitionId::new(0))[0];
+    let far_sm = h.sms_in_partition(PartitionId::new(1))[0];
+    let slices = h.slices_in_partition(PartitionId::new(0))[..8].to_vec();
+    let mean = |dev: &mut GpuDevice, sm| {
+        slices
+            .iter()
+            .map(|&s| probe.measure_pair(dev, sm, s))
+            .sum::<f64>()
+            / slices.len() as f64
+    };
+    within("A100 near hit latency", mean(&mut dev, near_sm), 212.0, 0.07);
+    within("A100 far hit latency", mean(&mut dev, far_sm), 400.0, 0.07);
+}
+
+#[test]
+fn bandwidth_pins() {
+    // Paper Fig. 9: single SM ≈ 34 GB/s; GPC→slice ≈ 85 GB/s; fabric/memory
+    // ratios 2.4–3.5×; memory 85–90 % of peak.
+    let mut dev = GpuDevice::v100(100);
+    within(
+        "V100 SM→slice bandwidth",
+        sms_to_slice_gbps(&mut dev, &[SmId::new(0)], SliceId::new(0)),
+        34.2,
+        0.04,
+    );
+    let gpc_sms = dev.hierarchy().sms_in_gpc(GpcId::new(0)).to_vec();
+    within(
+        "V100 GPC→slice bandwidth",
+        sms_to_slice_gbps(&mut dev, &gpc_sms, SliceId::new(0)),
+        85.0,
+        0.06,
+    );
+
+    for (name, mut dev, ratio_pin, mem_frac_pin) in [
+        ("V100", GpuDevice::v100(100), 2.43, 0.88),
+        ("A100", GpuDevice::a100(100), 2.58, 0.87),
+        ("H100", GpuDevice::h100(100), 2.42, 0.89),
+    ] {
+        let fabric = aggregate_fabric_gbps(&mut dev);
+        let mem = aggregate_memory_gbps(&mut dev);
+        within(&format!("{name} fabric/memory ratio"), fabric / mem, ratio_pin, 0.05);
+        within(
+            &format!("{name} memory fraction of peak"),
+            mem / dev.spec().mem_peak_gbps,
+            mem_frac_pin,
+            0.03,
+        );
+    }
+}
+
+#[test]
+fn a100_near_far_bandwidth_pins() {
+    // Paper Fig. 12: near ≈ 39.5, far ≈ 26 GB/s (we land ≈ 25.6).
+    let mut dev = GpuDevice::a100(100);
+    let h = dev.hierarchy().clone();
+    let sm = h.sms_in_partition(PartitionId::new(0))[0];
+    let near = h.slices_in_partition(PartitionId::new(0))[0];
+    let far = h.slices_in_partition(PartitionId::new(1))[0];
+    within(
+        "A100 near slice bandwidth",
+        sms_to_slice_gbps(&mut dev, &[sm], near),
+        39.6,
+        0.04,
+    );
+    within(
+        "A100 far slice bandwidth",
+        sms_to_slice_gbps(&mut dev, &[sm], far),
+        25.6,
+        0.08,
+    );
+}
+
+#[test]
+fn speedup_pins() {
+    // Paper Fig. 10 (write path): V100 TPC ≈ 1.09, GPC_l ≈ 50 % of 7;
+    // H100 GPC_l ≈ 85 % of 9, CPC ≈ 4.6 of 6.
+    let v = input_speedups(&GpuDevice::v100(100), AccessKind::Write);
+    within("V100 TPC write speedup", v.tpc, 1.09, 0.03);
+    within("V100 GPC_l write speedup", v.gpc_local, 3.5, 0.06);
+
+    let h = input_speedups(&GpuDevice::h100(100), AccessKind::Write);
+    within("H100 GPC_l write speedup", h.gpc_local, 7.7, 0.06);
+    within("H100 CPC write speedup", h.cpc.unwrap(), 4.6, 0.05);
+
+    let r = input_speedups(&GpuDevice::v100(100), AccessKind::ReadHit);
+    within("V100 TPC read speedup", r.tpc, 2.0, 0.03);
+}
+
+#[test]
+fn h100_cpc_latency_pins() {
+    // Paper Fig. 7b: 196 (CPC0↔CPC0) … ≈ 213 (CPC2↔CPC2).
+    let mut dev = GpuDevice::h100(100);
+    let m = cpc_latency_matrix(&mut dev, GpcId::new(0), 6).expect("H100");
+    within("H100 intra-CPC0 latency", m[0][0], 196.0, 0.03);
+    within("H100 intra-CPC2 latency", m[2][2], 210.0, 0.03);
+}

@@ -1,0 +1,166 @@
+//! End-to-end pipelines that exercise several crates together, beyond the
+//! per-observation checks: slice-map reverse engineering feeding the latency
+//! probe, workloads feeding the fabric solver, and full-device campaigns on
+//! custom (non-preset) devices.
+
+use gnoc_core::engine::LINE_BYTES;
+use gnoc_core::microbench::slicemap;
+use gnoc_core::topo::{HierarchySpec, SmEnumeration};
+use gnoc_core::workloads::streaming;
+use gnoc_core::{
+    AccessKind, GpcId, GpuDevice, GpuSpec, LatencyProbe, PartitionId, SliceId, SmId,
+};
+
+#[test]
+fn slicemap_feeds_latency_probe_on_v100() {
+    // Reverse engineer the address→slice map via profiler counters, then use
+    // a recovered class as the latency probe's working set — the exact
+    // methodology pipeline of Algorithm 1.
+    let mut dev = GpuDevice::v100(31);
+    let sm = SmId::new(10);
+    let lines: Vec<u64> = (0..64).collect();
+    let classes = slicemap::classify_lines(&mut dev, sm, &lines);
+    assert!(classes.len() > 8, "expected many slices touched");
+
+    let (rep, members) = &classes[0];
+    let slice = dev.effective_slice(sm, *rep);
+    for &line in members {
+        dev.warm_line(sm, line);
+    }
+    let measured: f64 = members
+        .iter()
+        .map(|&l| dev.timed_read(sm, l) as f64)
+        .sum::<f64>()
+        / members.len() as f64;
+    let model = dev.hit_cycles_mean(sm, slice);
+    assert!(
+        (measured - model).abs() < 6.0,
+        "recovered-class latency {measured} vs model {model}"
+    );
+}
+
+#[test]
+fn contention_slicemap_works_without_profiler_counters() {
+    // The A100/H100 fallback (paper footnote 1) classifies addresses without
+    // per-slice counters; verify against the device's ground truth.
+    let mut dev = GpuDevice::a100(32);
+    let sm = SmId::new(0);
+    let lines: Vec<u64> = (0..10).collect();
+    let classes = slicemap::classify_lines(&mut dev, sm, &lines);
+    for (_, members) in &classes {
+        let s0 = dev.effective_slice(sm, members[0]);
+        for &l in members {
+            assert_eq!(dev.effective_slice(sm, l), s0);
+        }
+    }
+}
+
+#[test]
+fn streaming_workload_through_fabric_matches_direct_aggregate() {
+    let mut dev = GpuDevice::a100(33);
+    let flows = streaming::flow_set(&dev, AccessKind::ReadHit);
+    let via_workload = dev.solve_bandwidth(&flows).total_gbps;
+    let direct = gnoc_core::microbench::bandwidth::aggregate_fabric_gbps(&mut dev);
+    assert!(
+        (via_workload - direct).abs() / direct < 0.02,
+        "workload path {via_workload} vs direct {direct}"
+    );
+}
+
+#[test]
+fn custom_device_runs_the_full_pipeline() {
+    // A what-if device: 4 GPCs, single partition, 4 MPs — the architectural
+    // exploration use case.
+    let spec = GpuSpec::custom(
+        "mini",
+        HierarchySpec {
+            gpc_cpc_tpcs: vec![vec![4], vec![4], vec![4], vec![4]],
+            sms_per_tpc: 2,
+            gpc_partition: vec![PartitionId::new(0); 4],
+            num_partitions: 1,
+            num_mps: 4,
+            slices_per_mp: 4,
+            mp_partition: vec![PartitionId::new(0); 4],
+            sm_enumeration: SmEnumeration::GpcMajor,
+        },
+    );
+    let mut dev = GpuDevice::with_seed(spec, 0).expect("valid custom spec");
+    assert_eq!(dev.hierarchy().num_sms(), 32);
+
+    // Latency probe works.
+    let probe = LatencyProbe::default();
+    let profile = probe.sm_profile(&mut dev, SmId::new(0));
+    assert_eq!(profile.len(), 16);
+    assert!(profile.iter().all(|&l| l > 150.0));
+
+    // Bandwidth solver works and respects the (Volta-default) slice caps.
+    let sms: Vec<SmId> = dev.hierarchy().sms_in_gpc(GpcId::new(0)).to_vec();
+    let bw = gnoc_core::microbench::bandwidth::sms_to_slice_gbps(
+        &mut dev,
+        &sms,
+        SliceId::new(0),
+    );
+    assert!((60.0..90.0).contains(&bw), "{bw}");
+}
+
+#[test]
+fn l2_capacity_is_respected_end_to_end() {
+    // Working sets beyond L2 capacity start missing again (FIFO eviction):
+    // warm more lines than fit, then re-read the first one.
+    let mut spec = GpuSpec::v100();
+    spec.l2_mib = 1; // shrink L2 to 8192 lines for test speed
+    let mut dev = GpuDevice::with_seed(spec, 0).expect("valid");
+    let capacity_lines = (1u64 << 20) / LINE_BYTES;
+    let sm = SmId::new(0);
+    dev.warm_line(sm, 0);
+    for line in 1..=capacity_lines {
+        dev.warm_line(sm, line);
+    }
+    let t = dev.timed_read(sm, 0);
+    assert!(t > 330, "line 0 should have been evicted: {t} cycles");
+}
+
+#[test]
+fn h100_partition_local_pipeline() {
+    // On H100 the same address is served by different slices for SMs on
+    // different partitions, and both partitions keep independent copies.
+    let mut dev = GpuDevice::h100(34);
+    let h = dev.hierarchy().clone();
+    let left = h.sms_in_partition(PartitionId::new(0))[0];
+    let right = h.sms_in_partition(PartitionId::new(1))[0];
+    let line = 777u64;
+    let sl = dev.effective_slice(left, line);
+    let sr = dev.effective_slice(right, line);
+    assert_ne!(
+        h.slice(sl).partition,
+        h.slice(sr).partition,
+        "partition-local caching"
+    );
+    // Warm from the left; the right still misses; then both hit.
+    dev.warm_line(left, line);
+    let hit_left = dev.timed_read(left, line);
+    let miss_right = dev.timed_read(right, line);
+    let hit_right = dev.timed_read(right, line);
+    assert!(miss_right > hit_right + 100);
+    assert!(hit_left < 300);
+}
+
+#[test]
+fn seeded_devices_are_fully_reproducible_across_the_stack() {
+    let run = |seed: u64| -> (Vec<f64>, f64) {
+        let mut dev = GpuDevice::a100(seed);
+        let probe = LatencyProbe {
+            working_set_lines: 2,
+            samples: 4,
+        };
+        let profile = probe.sm_profile(&mut dev, SmId::new(5));
+        let bw = gnoc_core::microbench::bandwidth::sms_to_slice_gbps(
+            &mut dev,
+            &[SmId::new(5)],
+            SliceId::new(3),
+        );
+        (profile, bw)
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}

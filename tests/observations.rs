@@ -1,0 +1,340 @@
+//! Integration tests asserting every numbered Observation of the paper
+//! (Sections III and IV) end-to-end: methodology (`gnoc-microbench`) against
+//! the virtual devices (`gnoc-engine`), analysed with `gnoc-analysis`.
+
+use gnoc_core::microbench::bandwidth::{
+    aggregate_fabric_gbps, aggregate_memory_gbps, sm_slice_profile_gbps, sms_to_slice_gbps,
+};
+use gnoc_core::microbench::sm2sm::cpc_latency_matrix;
+use gnoc_core::workloads::{bfs, gaussian, trace};
+use gnoc_core::{
+    analysis, input_speedups, AccessKind, GpcId, GpuDevice, LatencyProbe, MpId, PartitionId,
+    SliceId, SmId, Summary,
+};
+
+fn probe() -> LatencyProbe {
+    LatencyProbe {
+        working_set_lines: 2,
+        samples: 6,
+    }
+}
+
+#[test]
+fn observation_01_latency_to_slices_is_nonuniform() {
+    let mut dev = GpuDevice::v100(1);
+    let p = probe();
+    for sm in [SmId::new(24), SmId::new(0), SmId::new(61)] {
+        let profile = p.sm_profile(&mut dev, sm);
+        let s = Summary::of(&profile);
+        assert!(
+            s.span() > 30.0,
+            "{sm}: latency should be non-uniform, got {s}"
+        );
+        // Paper Fig. 1a magnitudes: 175..248 cycles, mean ≈ 212.
+        assert!(s.min > 168.0 && s.max < 265.0 && (195.0..228.0).contains(&s.mean), "{s}");
+    }
+}
+
+#[test]
+fn observation_02_gpc_averages_similar_but_variation_differs() {
+    let mut dev = GpuDevice::v100(2);
+    let p = probe();
+    let mut means = Vec::new();
+    let mut sds = Vec::new();
+    for g in 0..6 {
+        let sms = dev.hierarchy().sms_in_gpc(GpcId::new(g)).to_vec();
+        let mut all = Vec::new();
+        for sm in sms {
+            all.extend(p.sm_profile(&mut dev, sm));
+        }
+        let s = Summary::of(&all);
+        means.push(s.mean);
+        sds.push(s.stddev);
+    }
+    // Averages are similar across GPCs…
+    let mean_summary = Summary::of(&means);
+    assert!(
+        mean_summary.span() / mean_summary.mean < 0.06,
+        "per-GPC means too different: {means:?}"
+    );
+    // …but the variation differs: central GPCs (2, 3) are the tightest
+    // (paper: GPC0 σ≈13.9 vs GPC2 σ≈7.5).
+    let central = sds[2].min(sds[3]);
+    let edge = sds[0].max(sds[4]);
+    assert!(
+        edge > 1.4 * central,
+        "edge GPC σ {edge:.1} should exceed central σ {central:.1}"
+    );
+}
+
+#[test]
+fn observation_03_sorted_slice_order_is_identical_across_sms() {
+    // Fig. 3: group slices by MP, sort by latency; the order matches across
+    // SMs even though absolute values shift.
+    let mut dev = GpuDevice::v100(3);
+    let p = LatencyProbe {
+        working_set_lines: 2,
+        samples: 24, // averaging suppresses jitter-induced swaps
+    };
+    let h = dev.hierarchy().clone();
+    let group_of: Vec<usize> = (0..32)
+        .map(|s| h.slice(SliceId::new(s)).mp.index())
+        .collect();
+    let orders: Vec<Vec<Vec<usize>>> = [SmId::new(60), SmId::new(24), SmId::new(64)]
+        .into_iter()
+        .map(|sm| {
+            let profile = p.sm_profile(&mut dev, sm);
+            analysis::sorted_members_by_group(&profile, &group_of, 8)
+        })
+        .collect();
+    let agree_01 = analysis::group_order_agreement(&orders[0], &orders[1]);
+    let agree_02 = analysis::group_order_agreement(&orders[0], &orders[2]);
+    assert!(agree_01 >= 0.75, "same-trend order agreement {agree_01}");
+    assert!(agree_02 >= 0.75, "same-trend order agreement {agree_02}");
+}
+
+#[test]
+fn observation_04_pearson_correlation_reveals_placement() {
+    let mut dev = GpuDevice::v100(4);
+    let campaign = gnoc_core::LatencyCampaign::run(&mut dev, &probe());
+    let report = gnoc_core::infer_placement(&campaign, &dev, 2.5);
+    assert!(
+        report.position_recovery_r > 0.75,
+        "profile similarity should track physical proximity: {}",
+        report.position_recovery_r
+    );
+    assert_eq!(report.gpc_rand_index, 1.0, "column groups fully recovered");
+}
+
+#[test]
+fn observation_05_h100_exposes_a_cpc_hierarchy() {
+    let mut dev = GpuDevice::h100(5);
+    let m = cpc_latency_matrix(&mut dev, GpcId::new(0), 4).expect("H100 has the network");
+    assert_eq!(m.len(), 3, "three CPCs per GPC");
+    // Fig. 7b: intra-CPC0 fastest (≈196), intra-CPC2 slowest (≈213).
+    assert!((190.0..204.0).contains(&m[0][0]), "{:?}", m[0][0]);
+    assert!(m[2][2] > m[0][0] + 8.0, "CPC distance must show: {m:?}");
+    // V100 and A100 have no such network.
+    assert!(cpc_latency_matrix(&mut GpuDevice::v100(0), GpcId::new(0), 1).is_none());
+    assert!(cpc_latency_matrix(&mut GpuDevice::a100(0), GpcId::new(0), 1).is_none());
+}
+
+#[test]
+fn observation_06_partitioned_gpus_have_policy_dependent_uniformity() {
+    let p = probe();
+
+    // A100: far-partition hits ≈ 400 cycles, near ≈ V100-like (Fig. 8b).
+    let mut a100 = GpuDevice::a100(6);
+    let h = a100.hierarchy().clone();
+    let near_sm = h.sms_in_partition(PartitionId::new(0))[0];
+    let mp0_slices = h.slices_in_mp(MpId::new(0)).to_vec();
+    let near: f64 = mp0_slices
+        .iter()
+        .map(|&s| p.measure_pair(&mut a100, near_sm, s))
+        .sum::<f64>()
+        / mp0_slices.len() as f64;
+    let far_sm = h.sms_in_partition(PartitionId::new(1))[0];
+    let far: f64 = mp0_slices
+        .iter()
+        .map(|&s| p.measure_pair(&mut a100, far_sm, s))
+        .sum::<f64>()
+        / mp0_slices.len() as f64;
+    assert!((180.0..245.0).contains(&near), "near {near}");
+    assert!((350.0..450.0).contains(&far), "far {far}");
+
+    // H100: hit latency uniform across GPCs (partition-local caching,
+    // Fig. 8c), miss penalty variable (Fig. 8f).
+    let mut h100 = GpuDevice::h100(6);
+    let hh = h100.hierarchy().clone();
+    let mut gpc_means = Vec::new();
+    for g in 0..8 {
+        let sm = hh.sms_in_gpc(GpcId::new(g))[0];
+        let profile = p.sm_profile(&mut h100, sm);
+        gpc_means.push(Summary::of(&profile).mean);
+    }
+    let s = Summary::of(&gpc_means);
+    assert!(
+        s.span() / s.mean < 0.08,
+        "H100 per-GPC hit means should be uniform: {gpc_means:?}"
+    );
+    let sm = hh.sms_in_partition(PartitionId::new(0))[0];
+    let local_slice = hh.slices_in_partition(PartitionId::new(0))[0];
+    let local_mp = hh.mps_in_partition(PartitionId::new(0))[0];
+    let remote_mp = hh.mps_in_partition(PartitionId::new(1))[0];
+    let near_miss = h100.miss_cycles_mean(sm, local_slice, local_mp);
+    let far_miss = h100.miss_cycles_mean(sm, local_slice, remote_mp);
+    assert!(far_miss > near_miss + 100.0, "{near_miss} vs {far_miss}");
+}
+
+#[test]
+fn observation_07_fabric_bandwidth_exceeds_memory_bandwidth() {
+    for (name, mut dev) in [
+        ("V100", GpuDevice::v100(7)),
+        ("A100", GpuDevice::a100(7)),
+        ("H100", GpuDevice::h100(7)),
+    ] {
+        let fabric = aggregate_fabric_gbps(&mut dev);
+        let mem = aggregate_memory_gbps(&mut dev);
+        let ratio = fabric / mem;
+        assert!((2.0..4.0).contains(&ratio), "{name}: ratio {ratio:.2}");
+        let peak_frac = mem / dev.spec().mem_peak_gbps;
+        assert!(
+            (0.82..0.93).contains(&peak_frac),
+            "{name}: memory at {peak_frac:.2} of peak"
+        );
+    }
+}
+
+#[test]
+fn observation_08_bandwidth_is_uniform_where_latency_is_not() {
+    let mut dev = GpuDevice::v100(8);
+    let p = probe();
+    let lat = Summary::of(&p.sm_profile(&mut dev, SmId::new(0)));
+    let bw = Summary::of(&sm_slice_profile_gbps(&mut dev, SmId::new(0)));
+    assert!(lat.cv() > 0.05, "latency CV {:.3}", lat.cv());
+    assert!(bw.cv() < 0.02, "bandwidth CV {:.3}", bw.cv());
+    // Paper magnitudes: ≈34 GB/s single SM (σ≈0.15), ≈85 GB/s per GPC slice.
+    assert!((33.0..35.5).contains(&bw.mean), "{}", bw.mean);
+    let gpc_sms = dev.hierarchy().sms_in_gpc(GpcId::new(1)).to_vec();
+    let gpc_bw = sms_to_slice_gbps(&mut dev, &gpc_sms, SliceId::new(2));
+    assert!((78.0..90.0).contains(&gpc_bw), "{gpc_bw}");
+}
+
+#[test]
+fn observation_09_input_speedup_exists_at_every_level() {
+    let v100 = GpuDevice::v100(9);
+    let r = input_speedups(&v100, AccessKind::ReadHit);
+    let w = input_speedups(&v100, AccessKind::Write);
+    assert!(r.tpc > 1.9, "TPC read {}", r.tpc);
+    assert!((1.0..1.25).contains(&w.tpc), "V100 TPC write {}", w.tpc);
+    assert!(r.gpc_local > 3.0, "GPC provides speedup: {}", r.gpc_local);
+
+    let h100 = GpuDevice::h100(9);
+    let hw = input_speedups(&h100, AccessKind::Write);
+    let frac = hw.gpc_local / hw.gpc_tpcs as f64;
+    assert!(frac > 0.75, "H100 approaches full GPC speedup: {frac:.2}");
+    assert!(
+        (4.0..5.2).contains(&hw.cpc.unwrap()),
+        "H100 CPC write speedup {}",
+        hw.cpc.unwrap()
+    );
+}
+
+#[test]
+fn observation_10_partitions_create_nonuniform_bandwidth() {
+    let mut dev = GpuDevice::a100(10);
+    let h = dev.hierarchy().clone();
+    let near_sms: Vec<SmId> = h.sms_in_partition(PartitionId::new(0)).to_vec();
+    let far_sms: Vec<SmId> = h.sms_in_partition(PartitionId::new(1)).to_vec();
+    let slice = h.slices_in_partition(PartitionId::new(0))[0];
+    // One SM: far clearly lower (Fig. 12/14).
+    let near1 = sms_to_slice_gbps(&mut dev, &near_sms[..1], slice);
+    let far1 = sms_to_slice_gbps(&mut dev, &far_sms[..1], slice);
+    assert!(far1 < 0.8 * near1, "near {near1} far {far1}");
+    // Eight SMs: converged (Little's law saturated).
+    let near8 = sms_to_slice_gbps(&mut dev, &near_sms[..8], slice);
+    let far8 = sms_to_slice_gbps(&mut dev, &far_sms[..8], slice);
+    assert!(
+        (near8 - far8).abs() / near8 < 0.12,
+        "8-SM near {near8} vs far {far8}"
+    );
+    // And newer GPUs have more per-slice bandwidth than V100's 34 GB/s.
+    assert!(near1 > 37.0);
+}
+
+#[test]
+fn observation_11_sm_balance_matters_more_than_slice_balance() {
+    // Fig. 15: distributing SMs across GPCs matters (62 % loss if not);
+    // distributing L2 slices across MPs barely matters.
+    let dev = GpuDevice::v100(11);
+    let h = dev.hierarchy().clone();
+    let all_sms: Vec<SmId> = SmId::range(80).collect();
+
+    // (a) all SMs -> 4 slices, same MP vs different MPs: minimal difference.
+    let same_mp: Vec<SliceId> = h.slices_in_mp(MpId::new(0)).to_vec();
+    let diff_mp: Vec<SliceId> = (0..4).map(|m| h.slices_in_mp(MpId::new(m))[0]).collect();
+    let flows = |slices: &[SliceId], sms: &[SmId]| {
+        gnoc_core::microbench::bandwidth::cross_flows(sms, slices, AccessKind::ReadHit)
+    };
+    let bw_same = dev.solve_bandwidth(&flows(&same_mp, &all_sms)).total_gbps;
+    let bw_diff = dev.solve_bandwidth(&flows(&diff_mp, &all_sms)).total_gbps;
+    assert!(
+        (bw_same - bw_diff).abs() / bw_diff < 0.1,
+        "contiguous {bw_same} vs distributed {bw_diff} MPs should be close"
+    );
+
+    // (b) 28 SMs -> one MP: contiguous (2 GPCs) vs distributed (6 GPCs).
+    let contiguous: Vec<SmId> = h
+        .sms_in_gpc(GpcId::new(0))
+        .iter()
+        .chain(h.sms_in_gpc(GpcId::new(1)))
+        .copied()
+        .collect();
+    let distributed: Vec<SmId> = (0..6)
+        .flat_map(|g| h.sms_in_gpc(GpcId::new(g))[..5].to_vec())
+        .take(28)
+        .collect();
+    let bw_contig = dev
+        .solve_bandwidth(&flows(&same_mp, &contiguous[..28]))
+        .total_gbps;
+    let bw_dist = dev.solve_bandwidth(&flows(&same_mp, &distributed)).total_gbps;
+    let degradation = 1.0 - bw_contig / bw_dist;
+    assert!(
+        (0.45..0.75).contains(&degradation),
+        "contiguous SMs should lose ≈62 %: contig {bw_contig:.0} dist {bw_dist:.0} (-{:.0} %)",
+        degradation * 100.0
+    );
+
+    // (c) 14 contiguous SMs: spreading targets from 1 to 4 MPs helps ≈3×
+    // ("speedup in space").
+    let gpc0: Vec<SmId> = h.sms_in_gpc(GpcId::new(0)).to_vec();
+    let one_mp = dev.solve_bandwidth(&flows(&same_mp, &gpc0)).total_gbps;
+    let four_mp_slices: Vec<SliceId> = (0..4)
+        .flat_map(|m| h.slices_in_mp(MpId::new(m)).to_vec())
+        .collect();
+    let four_mp = dev
+        .solve_bandwidth(&flows(&four_mp_slices, &gpc0))
+        .total_gbps;
+    let gain = four_mp / one_mp;
+    assert!((2.4..4.2).contains(&gain), "1→4 MP gain {gain:.2}");
+}
+
+#[test]
+fn observation_12_hashed_traffic_is_load_balanced() {
+    let dev = GpuDevice::v100(12);
+    let map = dev.address_map();
+    for t in [
+        bfs::generate(bfs::BfsConfig::default(), 3),
+        gaussian::generate(gaussian::GaussianConfig::default()),
+    ] {
+        // Balance is a property of the step's address *footprint*: judge the
+        // hash on each step's distinct lines, for steps with enough of them
+        // for a statistically meaningful per-slice count (>= ~100/slice).
+        let t = gnoc_core::workloads::MemoryTrace {
+            name: t.name.clone(),
+            steps: t
+                .steps
+                .iter()
+                .map(|step| {
+                    let mut lines = step.clone();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    lines
+                })
+                .collect(),
+        };
+        let traffic = trace::slice_traffic(&t, map, PartitionId::new(0));
+        let imbalance = trace::imbalance_per_step(&traffic, 3_200.0);
+        assert!(!imbalance.is_empty(), "{}: no busy steps", t.name);
+        for (i, imb) in imbalance.iter().enumerate() {
+            // Memory camping would put the whole step on a few slices
+            // (imbalance of several ×); hashing keeps every busy step within
+            // tens of percent of a flat distribution.
+            assert!(
+                *imb < 1.6,
+                "{} step {i}: slice imbalance {imb:.2} (hashing should balance)",
+                t.name
+            );
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace.
+
+use gnoc_core::analysis;
+use gnoc_core::engine::{AccessKind, FlowSpec, GpuDevice};
+use gnoc_core::noc::{ArbiterKind, Mesh, MeshConfig, NodeId, PacketClass, RouteOrder};
+use gnoc_core::sidechannel::{Aes128, BigUint, SBOX};
+use gnoc_core::topo::{
+    GpcId, GpuSpec, Hierarchy, HierarchySpec, PartitionId, SliceId, SmEnumeration, SmId,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- topo ----
+
+fn arb_hierarchy() -> impl Strategy<Value = HierarchySpec> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec(1u32..4, 1..3), // cpcs per gpc
+            1..5,                                     // gpcs
+        ),
+        1u32..3,  // sms per tpc
+        1u32..5,  // mps
+        1u32..5,  // slices per mp
+        1u32..3,  // partitions
+    )
+        .prop_map(|(gpc_cpc_tpcs, sms_per_tpc, num_mps, slices_per_mp, num_partitions)| {
+            let gpcs = gpc_cpc_tpcs.len();
+            HierarchySpec {
+                gpc_partition: (0..gpcs)
+                    .map(|g| PartitionId::new(g as u32 % num_partitions))
+                    .collect(),
+                mp_partition: (0..num_mps)
+                    .map(|m| PartitionId::new(m % num_partitions))
+                    .collect(),
+                gpc_cpc_tpcs,
+                sms_per_tpc,
+                num_partitions,
+                num_mps,
+                slices_per_mp,
+                sm_enumeration: SmEnumeration::GpcMajor,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hierarchy_containment_is_consistent(spec in arb_hierarchy()) {
+        let h = Hierarchy::build(spec).expect("generated specs are valid");
+        // Forward and reverse SM tables agree, and partition/GPC/CPC/TPC
+        // containment is transitive.
+        let mut seen = 0;
+        for g in GpcId::range(h.num_gpcs()) {
+            for &sm in h.sms_in_gpc(g) {
+                let info = h.sm(sm);
+                prop_assert_eq!(info.gpc, g);
+                prop_assert_eq!(h.gpc_of_cpc(info.cpc), g);
+                prop_assert_eq!(h.gpc_of_tpc(info.tpc), g);
+                prop_assert_eq!(info.partition, h.partition_of_gpc(g));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, h.num_sms());
+        // Slices partition into MPs exactly.
+        let total: usize = (0..h.num_mps())
+            .map(|m| h.slices_in_mp(gnoc_core::MpId::new(m as u32)).len())
+            .sum();
+        prop_assert_eq!(total, h.num_slices());
+    }
+
+    #[test]
+    fn floorplan_keeps_blocks_on_die(
+        spec in arb_hierarchy(),
+        w in 5.0f64..60.0,
+        hgt in 5.0f64..60.0,
+    ) {
+        let h = Hierarchy::build(spec).expect("valid");
+        let fp = gnoc_core::Floorplan::layout(&h, w, hgt);
+        for sm in SmId::range(h.num_sms()) {
+            prop_assert!(fp.die().contains(fp.sm_pos(sm)));
+        }
+        for s in SliceId::range(h.num_slices()) {
+            prop_assert!(fp.die().contains(fp.slice_pos(s)));
+        }
+        // Routed distance is at least the direct distance and symmetric in
+        // the same-partition case.
+        for sm in SmId::range(h.num_sms().min(6)) {
+            for s in SliceId::range(h.num_slices().min(6)) {
+                let direct = fp.sm_pos(sm).manhattan(fp.slice_pos(s));
+                prop_assert!(fp.wire_distance(sm, s) >= direct - 1e-9);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- analysis ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        x in proptest::collection::vec(-1e3f64..1e3, 3..40),
+        y_seed in proptest::collection::vec(-1e3f64..1e3, 3..40),
+    ) {
+        let n = x.len().min(y_seed.len());
+        let (x, y) = (&x[..n], &y_seed[..n]);
+        let r = analysis::pearson(x, y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((r - analysis::pearson(y, x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut v in proptest::collection::vec(-1e6f64..1e6, 1..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = analysis::quantile(&v, lo);
+        let b = analysis::quantile(&v, hi);
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(a >= v[0] - 1e-9 && b <= v[v.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(
+        v in proptest::collection::vec(-50.0f64..50.0, 1..200),
+        bins in 1usize..30,
+    ) {
+        let h = analysis::Histogram::new(&v, -50.0, 50.0, bins);
+        prop_assert_eq!(h.total(), v.len() as u64);
+    }
+
+    #[test]
+    fn argsort_yields_sorted_permutation(
+        v in proptest::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let idx = analysis::argsort(&v);
+        prop_assert_eq!(idx.len(), v.len());
+        let mut check: Vec<usize> = idx.clone();
+        check.sort_unstable();
+        prop_assert_eq!(check, (0..v.len()).collect::<Vec<_>>());
+        for w in idx.windows(2) {
+            prop_assert!(v[w[0]] <= v[w[1]]);
+        }
+    }
+}
+
+// -------------------------------------------------------------- bigint ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bigint_matches_u128_reference(a in any::<u64>(), b in any::<u64>(), m in 2u64..u64::MAX) {
+        let big_a = BigUint::from_u64(a);
+        let big_b = BigUint::from_u64(b);
+        // Multiplication.
+        let prod = big_a.mul(&big_b);
+        let expected = (a as u128) * (b as u128);
+        let got = prod.limbs().first().copied().unwrap_or(0) as u128
+            | ((prod.limbs().get(1).copied().unwrap_or(0) as u128) << 64);
+        prop_assert_eq!(got, expected);
+        // Remainder.
+        let r = prod.rem(&BigUint::from_u64(m));
+        prop_assert_eq!(r.limbs().first().copied().unwrap_or(0), (expected % m as u128) as u64);
+    }
+
+    #[test]
+    fn bigint_modpow_matches_naive(base in 1u64..1000, exp in 0u64..64, m in 2u64..100_000) {
+        let (r, squares, _) = BigUint::from_u64(base)
+            .modpow_counted(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+        // Naive reference.
+        let mut acc: u128 = 1;
+        for i in (0..64u32).rev() {
+            acc = acc * acc % m as u128;
+            if (exp >> i) & 1 == 1 {
+                acc = acc * (base as u128) % m as u128;
+            }
+        }
+        prop_assert_eq!(r.limbs().first().copied().unwrap_or(0), acc as u64);
+        if exp > 0 {
+            prop_assert_eq!(squares as usize, 64 - exp.leading_zeros() as usize);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- aes ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aes_trace_matches_ciphertext(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let aes = Aes128::new(key);
+        let (ct, trace) = aes.encrypt_block_traced(pt);
+        let k10 = aes.last_round_key();
+        for i in 0..16 {
+            prop_assert_eq!(ct[i], SBOX[trace.last_round_indices[i] as usize] ^ k10[i]);
+        }
+    }
+
+    #[test]
+    fn aes_is_deterministic_and_key_sensitive(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let aes = Aes128::new(key);
+        prop_assert_eq!(aes.encrypt_block(pt), aes.encrypt_block(pt));
+        let mut key2 = key;
+        key2[0] ^= 1;
+        prop_assert_ne!(Aes128::new(key2).encrypt_block(pt), aes.encrypt_block(pt));
+    }
+}
+
+// -------------------------------------------------------------- engine ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fabric_rates_respect_capacities(
+        sm_picks in proptest::collection::vec(0u32..80, 1..10),
+        slice in 0u32..32,
+    ) {
+        let dev = GpuDevice::v100(0);
+        let flows: Vec<FlowSpec> = sm_picks
+            .iter()
+            .map(|&sm| FlowSpec {
+                sm: SmId::new(sm),
+                slice: SliceId::new(slice),
+                kind: AccessKind::ReadHit,
+            })
+            .collect();
+        let sol = dev.solve_bandwidth(&flows);
+        // No negative or runaway rates, and the shared slice never exceeds
+        // its calibrated capacity.
+        for &r in &sol.rates_gbps {
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= dev.calibration().flow_port_gbps + 1e-6);
+        }
+        prop_assert!(sol.total_gbps <= dev.calibration().slice_gbps + 1e-6);
+    }
+
+    #[test]
+    fn hit_latency_is_within_physical_bounds(sm in 0u32..80, slice in 0u32..32) {
+        let dev = GpuDevice::v100(0);
+        let lat = dev.hit_cycles_mean(SmId::new(sm), SliceId::new(slice));
+        let c = dev.calibration();
+        let max_wire = 2.0 * c.cycles_per_mm
+            * (dev.spec().die_width_mm + dev.spec().die_height_mm);
+        prop_assert!(lat >= c.base_hit_cycles);
+        prop_assert!(lat <= c.base_hit_cycles + max_wire);
+    }
+}
+
+// ----------------------------------------------------------------- noc ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mesh_conserves_packets(
+        injections in proptest::collection::vec((0u32..9, 0u32..9), 1..20),
+        arbiter in prop_oneof![Just(ArbiterKind::RoundRobin), Just(ArbiterKind::AgeBased)],
+    ) {
+        let mut mesh = Mesh::new(MeshConfig {
+            width: 3,
+            height: 3,
+            buffer_packets: 4,
+            arbiter,
+            route_order: RouteOrder::Xy,
+            vcs: 1,
+        });
+        let mut accepted = 0u64;
+        for (src, dst) in injections {
+            if mesh.try_inject(NodeId::new(src), NodeId::new(dst), 1, PacketClass::Request) {
+                accepted += 1;
+            }
+            mesh.step();
+        }
+        // Everything injected eventually drains with no duplication or loss.
+        mesh.run(500);
+        prop_assert_eq!(mesh.stats().delivered_total, accepted);
+        let per_src: u64 = mesh.stats().delivered_by_src.iter().sum();
+        prop_assert_eq!(per_src, accepted);
+        prop_assert_eq!(mesh.drain_ejected().len() as u64, accepted);
+    }
+}
+
+// ------------------------------------------------------------ scheduler ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_seed_schedule_is_a_rotation(blocks in 1usize..40, sms in 1u32..32, seed in any::<u64>()) {
+        use gnoc_core::CtaScheduler;
+        use rand::SeedableRng;
+        let sm_list: Vec<SmId> = (0..sms).map(SmId::new).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assignment = CtaScheduler::RandomSeed.assign(blocks, &sm_list, &mut rng);
+        prop_assert_eq!(assignment.len(), blocks);
+        let start = assignment[0].index();
+        for (b, sm) in assignment.iter().enumerate() {
+            prop_assert_eq!(sm.index(), (start + b) % sm_list.len());
+        }
+    }
+
+    #[test]
+    fn address_hash_is_stable_and_in_range(line in any::<u64>()) {
+        let spec = GpuSpec::v100();
+        let map = gnoc_core::AddressMap::new(&spec.hierarchy(), spec.cache_policy);
+        let s1 = map.home_slice(line);
+        let s2 = map.home_slice(line);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(s1.index() < 32);
+    }
+}
