@@ -126,7 +126,11 @@ pub fn line_chart(
     assert!(!all.is_empty(), "line chart needs at least one point");
     let x0 = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let mut x1 = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    let y0 = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).min(0.0);
+    let y0 = all
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
     let mut y1 = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
     if x1 == x0 {
         x1 = x0 + 1.0;
@@ -152,7 +156,12 @@ pub fn line_chart(
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, f.x(x), f.y(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    f.x(x),
+                    f.y(y)
+                )
             })
             .collect();
         let _ = write!(
@@ -261,7 +270,11 @@ pub fn heatmap(
             // Blue (low) → white (mid) → red (high).
             let (red, green, blue) = if t < 0.5 {
                 let u = t * 2.0;
-                ((255.0 * u) as u8 + ((1.0 - u) * 40.0) as u8, (255.0 * u) as u8 + ((1.0 - u) * 80.0) as u8, 255)
+                (
+                    (255.0 * u) as u8 + ((1.0 - u) * 40.0) as u8,
+                    (255.0 * u) as u8 + ((1.0 - u) * 80.0) as u8,
+                    255,
+                )
             } else {
                 let u = (t - 0.5) * 2.0;
                 (255, (255.0 * (1.0 - u)) as u8, (255.0 * (1.0 - u)) as u8)

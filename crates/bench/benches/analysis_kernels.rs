@@ -6,8 +6,12 @@ use gnoc_core::{analysis, correlation_matrix, pearson};
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis_kernels");
 
-    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin() * 50.0 + 200.0).collect();
-    let y: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.11).cos() * 30.0 + 180.0).collect();
+    let x: Vec<f64> = (0..1024)
+        .map(|i| (i as f64 * 0.37).sin() * 50.0 + 200.0)
+        .collect();
+    let y: Vec<f64> = (0..1024)
+        .map(|i| (i as f64 * 0.11).cos() * 30.0 + 180.0)
+        .collect();
     group.bench_function("pearson_1024", |b| b.iter(|| pearson(&x, &y)));
 
     // The Fig. 6 workload: 80 SM profiles of 32 slices each.
@@ -22,7 +26,9 @@ fn bench_analysis(c: &mut Criterion) {
         b.iter(|| correlation_matrix(&profiles))
     });
 
-    let samples: Vec<f64> = (0..4096).map(|i| ((i * 2654435761u64) % 997) as f64).collect();
+    let samples: Vec<f64> = (0..4096)
+        .map(|i| ((i * 2654435761u64) % 997) as f64)
+        .collect();
     group.bench_function("histogram_4096", |b| {
         b.iter(|| analysis::Histogram::new(&samples, 0.0, 1000.0, 64))
     });

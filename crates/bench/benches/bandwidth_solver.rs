@@ -22,7 +22,9 @@ fn bench_solver(c: &mut Criterion) {
         &[SliceId::new(0)],
         AccessKind::ReadHit,
     );
-    group.bench_function("14_flows_one_slice", |b| b.iter(|| dev.solve_bandwidth(&gpc)));
+    group.bench_function("14_flows_one_slice", |b| {
+        b.iter(|| dev.solve_bandwidth(&gpc))
+    });
 
     // Full-chip aggregates on each preset.
     for (name, dev) in [
@@ -39,11 +41,9 @@ fn bench_solver(c: &mut Criterion) {
                 AccessKind::ReadHit,
             ));
         }
-        group.bench_with_input(
-            BenchmarkId::new("aggregate", name),
-            &flows,
-            |b, flows| b.iter(|| dev.solve_bandwidth(flows)),
-        );
+        group.bench_with_input(BenchmarkId::new("aggregate", name), &flows, |b, flows| {
+            b.iter(|| dev.solve_bandwidth(flows))
+        });
     }
     group.finish();
 }

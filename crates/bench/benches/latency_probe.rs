@@ -12,13 +12,9 @@ fn bench_latency(c: &mut Criterion) {
         ("h100", GpuDevice::h100(0)),
     ] {
         let probe = LatencyProbe::default();
-        group.bench_with_input(
-            BenchmarkId::new("measure_pair", name),
-            &(),
-            |b, _| {
-                b.iter(|| probe.measure_pair(&mut dev, SmId::new(24), SliceId::new(0)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("measure_pair", name), &(), |b, _| {
+            b.iter(|| probe.measure_pair(&mut dev, SmId::new(24), SliceId::new(0)))
+        });
     }
 
     let mut dev = GpuDevice::v100(0);

@@ -2,31 +2,41 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnoc_core::noc::{
-    run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig, Mesh, MeshConfig,
-    NodeId, PacketClass,
+    run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig, Mesh, MeshConfig, NodeId,
+    PacketClass,
 };
+use gnoc_core::TelemetryHandle;
+
+fn saturated_mesh_run(telemetry: TelemetryHandle) -> u64 {
+    let mut mesh = Mesh::new(MeshConfig::paper_6x6(ArbiterKind::RoundRobin));
+    mesh.set_telemetry(telemetry);
+    for cycle in 0..1000u64 {
+        for src in 6..36u32 {
+            let _ = mesh.try_inject(
+                NodeId::new(src),
+                NodeId::new((cycle % 6) as u32),
+                1,
+                PacketClass::Request,
+            );
+        }
+        mesh.step();
+        mesh.drain_ejected();
+    }
+    mesh.stats().delivered_total
+}
 
 fn bench_noc(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_cycle_sim");
     group.sample_size(10);
 
+    // The telemetry acceptance gate: the disabled handle (the default) must
+    // cost <2% next to the same run, and the enabled registry shows what a
+    // metrics-collecting run pays.
     group.bench_function("mesh_6x6_1000_cycles_saturated", |b| {
-        b.iter(|| {
-            let mut mesh = Mesh::new(MeshConfig::paper_6x6(ArbiterKind::RoundRobin));
-            for cycle in 0..1000u64 {
-                for src in 6..36u32 {
-                    let _ = mesh.try_inject(
-                        NodeId::new(src),
-                        NodeId::new((cycle % 6) as u32),
-                        1,
-                        PacketClass::Request,
-                    );
-                }
-                mesh.step();
-                mesh.drain_ejected();
-            }
-            mesh.stats().delivered_total
-        })
+        b.iter(|| saturated_mesh_run(TelemetryHandle::disabled()))
+    });
+    group.bench_function("mesh_6x6_1000_cycles_saturated_telemetry", |b| {
+        b.iter(|| saturated_mesh_run(TelemetryHandle::enabled()))
     });
 
     group.bench_function("fairness_experiment_short", |b| {

@@ -38,6 +38,7 @@ fn order_agreement(dev: &mut GpuDevice) -> f64 {
 }
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Ablation — the MP-internal slice service chain",
         "with the chain: per-MP slice order identical from every SM (Fig. 3); \
@@ -53,8 +54,16 @@ fn main() {
     let mut without_chain = GpuDevice::with_calibration(spec, calib, 7).expect("valid");
     let b = order_agreement(&mut without_chain);
 
-    compare("order agreement with chain", "1.00 (Fig. 3)", format!("{a:.2}"));
-    compare("order agreement without chain", "< 1 (unstable)", format!("{b:.2}"));
+    compare(
+        "order agreement with chain",
+        "1.00 (Fig. 3)",
+        format!("{a:.2}"),
+    );
+    compare(
+        "order agreement without chain",
+        "< 1 (unstable)",
+        format!("{b:.2}"),
+    );
     assert!(a > b, "chain term should stabilise the ordering");
     println!("\nThe chain term is what pins the within-MP order; geometry alone");
     println!("leaves near-ties that jitter and SM position flip.");

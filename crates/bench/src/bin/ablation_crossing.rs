@@ -15,6 +15,7 @@ use gnoc_core::{
 };
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Ablation — inter-partition crossing cost sweep (A100 model)",
         "far latency, far bandwidth and the randomised-scheduler RSA weight \

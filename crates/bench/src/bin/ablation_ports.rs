@@ -26,6 +26,7 @@ fn experiments(dev: &GpuDevice) -> (f64, f64) {
 }
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Ablation — GPC port provisioning: space vs time",
         "sweeping per-MP port width at fixed aggregate shows which traffic \
@@ -35,7 +36,14 @@ fn main() {
         "{:>14} {:>14} | {:>12} {:>12} {:>10}",
         "port (GB/s)", "aggregate", "GPC→1 MP", "GPC→4 MPs", "gain"
     );
-    for (port, total) in [(45.0, 320.0), (65.0, 320.0), (85.0, 320.0), (105.0, 320.0), (85.0, 200.0), (85.0, 480.0)] {
+    for (port, total) in [
+        (45.0, 320.0),
+        (65.0, 320.0),
+        (85.0, 320.0),
+        (105.0, 320.0),
+        (85.0, 200.0),
+        (85.0, 480.0),
+    ] {
         let spec = GpuSpec::v100();
         let mut calib = Calibration::for_spec(&spec);
         calib.gpc_port_gbps = port;

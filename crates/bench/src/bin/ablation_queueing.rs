@@ -20,6 +20,7 @@ fn sweep(dev: &GpuDevice, sms: &[SmId], slice: gnoc_core::SliceId) -> Vec<f64> {
 }
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Ablation — queueing feedback in the fabric model",
         "with queueing: smooth Fig. 14-style saturation; without: a hard kink \

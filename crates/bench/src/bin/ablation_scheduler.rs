@@ -8,14 +8,15 @@ use gnoc_bench::header;
 use gnoc_core::{run_aes_attack, AesAttackConfig, CtaScheduler, GpuDevice};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Ablation — scheduler entropy vs AES attack success (A100)",
         "span 1 = static (attack succeeds); full span = the paper's defense \
          (attack fails); the crossover shows how much entropy suffices",
     );
     let key = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
     println!(
         "{:>6} {:>10} {:>12} {:>10}",

@@ -8,6 +8,7 @@ use gnoc_core::sidechannel::covert::{
 use gnoc_core::{GpuDevice, SliceId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Extension — L2-slice contention covert channel (A100)",
         "placement-aware co-location yields a clean channel; naive far \

@@ -5,11 +5,13 @@ use gnoc_bench::{compare, header, series};
 use gnoc_core::{GpcId, GpuDevice, LatencyProbe, SmId, Summary};
 
 fn main() {
+    let metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 1 — non-uniform L2 access latency (V100)",
         "SM24→slices spans ≈175..248 cycles, mean ≈212; per-GPC means similar",
     );
     let mut dev = GpuDevice::v100(0);
+    dev.set_telemetry(metrics.handle().clone());
     let probe = LatencyProbe::default();
 
     // (a) one SM's profile across the 32 slices.
@@ -37,4 +39,7 @@ fn main() {
             s.span()
         );
     }
+    metrics
+        .handle()
+        .with(|t| dev.profiler().export_metrics(&mut t.registry));
 }

@@ -5,6 +5,7 @@ use gnoc_bench::{compare, header};
 use gnoc_core::{GpcId, GpuDevice, Histogram, LatencyProbe, Summary};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 2 — GPC latency histograms (V100)",
         "GPC0: μ≈213 σ≈13.9; GPC2: μ≈209 σ≈7.5 — similar mean, different spread",

@@ -5,6 +5,7 @@ use gnoc_bench::header;
 use gnoc_core::{analysis, GpuDevice, LatencyProbe, SliceId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 3 — latency sorted within each memory partition (V100)",
         "sorted slice order per MP is identical across SMs; same-GPC SMs match",

@@ -4,6 +4,7 @@ use gnoc_bench::header;
 use gnoc_core::GpuSpec;
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 4 — approximate logical floorplan (V100)",
         "two rows of GPCs at the die edges, L2 slices/MPs in the central band",

@@ -5,6 +5,7 @@ use gnoc_bench::{compare, header};
 use gnoc_core::{GpcId, GpuDevice, LatencyProbe, MpId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 5 — GPC4 SMs × MP3 slices (V100)",
         "closest pair ≈180 cycles, farthest ≈217; rows shift, order is stable",

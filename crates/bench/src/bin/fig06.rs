@@ -5,6 +5,7 @@ use gnoc_bench::header;
 use gnoc_core::{render_heatmap, GpuDevice, LatencyCampaign, LatencyProbe, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 6 — Pearson heatmaps of SM latency profiles",
         "V100: GPC-pair blocks incl. negative edge-to-edge correlation; \

@@ -6,6 +6,7 @@ use gnoc_core::microbench::sm2sm::cpc_latency_matrix;
 use gnoc_core::{GpcId, GpuDevice};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 7 — H100 SM-to-SM latency by CPC pair",
         "lowest ≈196 cycles within CPC0, ≈213 within CPC2; distance-ordered",

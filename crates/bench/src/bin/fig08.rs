@@ -5,6 +5,7 @@ use gnoc_bench::{header, series};
 use gnoc_core::{GpcId, GpuDevice, LatencyProbe, MpId, SliceId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 8 — L2 hit latency per GPC→MP and L2 miss penalty",
         "V100 ≈212 everywhere; A100 near ≈212 / far ≈400; H100 uniform hits. \
@@ -28,9 +29,7 @@ fn main() {
             let sm = h.sms_in_gpc(gpc)[0];
             let mp = match dev.spec().cache_policy {
                 gnoc_core::CachePolicy::GloballyShared => MpId::new(0),
-                gnoc_core::CachePolicy::PartitionLocal => {
-                    h.mps_in_partition(h.sm(sm).partition)[0]
-                }
+                gnoc_core::CachePolicy::PartitionLocal => h.mps_in_partition(h.sm(sm).partition)[0],
             };
             let slices = h.slices_in_mp(mp).to_vec();
             // On partition-local devices only local slices can serve hits.
@@ -55,9 +54,7 @@ fn main() {
         let local_p = h.sm(sm).partition;
         let serving = match dev.spec().cache_policy {
             gnoc_core::CachePolicy::GloballyShared => None, // slice = home
-            gnoc_core::CachePolicy::PartitionLocal => {
-                Some(h.slices_in_partition(local_p)[0])
-            }
+            gnoc_core::CachePolicy::PartitionLocal => Some(h.slices_in_partition(local_p)[0]),
         };
         let mut penalties = Vec::new();
         for m in 0..h.num_mps() {
@@ -67,6 +64,9 @@ fn main() {
             let miss = dev.miss_cycles_mean(sm, slice, mp);
             penalties.push(miss - hit);
         }
-        println!("miss penalty per home MP (cycles): {}", series(&penalties, 0));
+        println!(
+            "miss penalty per home MP (cycles): {}",
+            series(&penalties, 0)
+        );
     }
 }

@@ -9,6 +9,7 @@ use gnoc_core::microbench::bandwidth::{
 use gnoc_core::{GpcId, GpuDevice, Histogram, SliceId, SmId, Summary};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 9 — on-chip aggregate and per-slice bandwidth",
         "(a) fabric = 2.4–3.5× memory; memory ≈85–90% of peak. \
@@ -41,7 +42,10 @@ fn main() {
     let s = Summary::of(&samples);
     compare("    mean (GB/s)", "≈34", format!("{:.1}", s.mean));
     compare("    stddev (GB/s)", "≈0.147", format!("{:.3}", s.stddev));
-    print!("{}", Histogram::new(&samples, 33.0, 36.0, 12).render_ascii(40));
+    print!(
+        "{}",
+        Histogram::new(&samples, 33.0, 36.0, 12).render_ascii(40)
+    );
 
     println!("\n(c) V100 one GPC → single slice, all (GPC, slice) samples:");
     let h = dev.hierarchy().clone();
@@ -53,6 +57,13 @@ fn main() {
         .collect();
     let s = Summary::of(&samples);
     compare("    mean (GB/s)", "≈85", format!("{:.1}", s.mean));
-    compare("    stddev (GB/s)", "≈0.06 (tight)", format!("{:.3}", s.stddev));
-    print!("{}", Histogram::new(&samples, 80.0, 90.0, 12).render_ascii(40));
+    compare(
+        "    stddev (GB/s)",
+        "≈0.06 (tight)",
+        format!("{:.3}", s.stddev),
+    );
+    print!(
+        "{}",
+        Histogram::new(&samples, 80.0, 90.0, 12).render_ascii(40)
+    );
 }

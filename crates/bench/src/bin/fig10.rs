@@ -5,6 +5,7 @@ use gnoc_bench::header;
 use gnoc_core::{input_speedups, AccessKind, GpuDevice};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 10 — interconnect input speedup",
         "TPC reads full (2×) everywhere; V100 TPC writes ≈1.09; GPC_l \

@@ -5,6 +5,7 @@ use gnoc_bench::header;
 use gnoc_core::{Calibration, GpuSpec};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 11 — where input speedup lives in the NoC (model capacities)",
         "TPC speedup at the SM pair, GPC speedup in time (aggregate) and \

@@ -6,6 +6,7 @@ use gnoc_core::microbench::bandwidth::sm_slice_profile_gbps;
 use gnoc_core::{GpuDevice, SmId, Summary};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 12 — A100 per-slice bandwidth from SM0 vs SM2",
         "near ≈39.5 GB/s, far ≈26 GB/s; SM0 and SM2 sit on opposite \
@@ -20,8 +21,20 @@ fn main() {
         println!("  slices 40..79: {}", series(&profile[40..], 1));
         let lo = Summary::of(&profile[..40]);
         let hi = Summary::of(&profile[40..]);
-        let (near, far) = if lo.mean > hi.mean { (lo, hi) } else { (hi, lo) };
-        compare("  near-partition mean (GB/s)", "≈39.5", format!("{:.1}", near.mean));
-        compare("  far-partition mean (GB/s)", "≈26", format!("{:.1}", far.mean));
+        let (near, far) = if lo.mean > hi.mean {
+            (lo, hi)
+        } else {
+            (hi, lo)
+        };
+        compare(
+            "  near-partition mean (GB/s)",
+            "≈39.5",
+            format!("{:.1}", near.mean),
+        );
+        compare(
+            "  far-partition mean (GB/s)",
+            "≈26",
+            format!("{:.1}", far.mean),
+        );
     }
 }

@@ -6,6 +6,7 @@ use gnoc_core::microbench::bandwidth::sm_slice_profile_gbps;
 use gnoc_core::{GpuDevice, Histogram, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 13 — per-slice bandwidth distributions (A100 vs H100)",
         "A100 bimodal (near/far); H100 single peak; both above V100's 34 GB/s",

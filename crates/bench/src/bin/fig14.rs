@@ -6,6 +6,7 @@ use gnoc_core::microbench::bandwidth::sms_to_slice_gbps;
 use gnoc_core::{GpuDevice, PartitionId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 14 — A100 slice bandwidth vs number of SMs (near vs far)",
         "1–2 SMs: far up to ≈28% lower (Little's law); converged by ≈8 SMs",

@@ -7,6 +7,7 @@ use gnoc_core::microbench::bandwidth::cross_flows;
 use gnoc_core::{AccessKind, GpcId, GpuDevice, MpId, SliceId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 15 — placement sweeps (V100)",
         "(a) slice placement barely matters; (b) contiguous SMs lose ≈62% at \
@@ -55,7 +56,11 @@ fn main() {
             100.0 * (1.0 - c / d)
         );
         if n == 28 {
-            compare("    28-SM degradation", "≈62%", format!("{:.0}%", 100.0 * (1.0 - c / d)));
+            compare(
+                "    28-SM degradation",
+                "≈62%",
+                format!("{:.0}%", 100.0 * (1.0 - c / d)),
+            );
         }
     }
 

@@ -6,6 +6,7 @@ use gnoc_core::workloads::{bfs, gaussian, trace};
 use gnoc_core::{render_heatmap, GpuDevice, PartitionId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 16 — memory traffic per L2 slice over time (V100 hash)",
         "traffic intensity varies over time but stays distributed across all \

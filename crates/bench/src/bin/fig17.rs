@@ -6,6 +6,7 @@ use gnoc_core::sidechannel::timing::{two_sm_op_cycles, warp_read_cycles};
 use gnoc_core::{GpuDevice, PartitionId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 17 — timing vs coalescing and SM placement (A100)",
         "(a) latency linear in unique lines; the line shifts with the SM. \
@@ -47,6 +48,14 @@ fn main() {
     for &b in right.iter().take(16) {
         cross_hi = cross_hi.max(two_sm_op_cycles(&dev, left[0], b) / base);
     }
-    compare("same-partition worst slowdown", "≤ ~1.12x", format!("{same_hi:.2}x"));
-    compare("cross-partition worst slowdown", "≈1.7x", format!("{cross_hi:.2}x"));
+    compare(
+        "same-partition worst slowdown",
+        "≤ ~1.12x",
+        format!("{same_hi:.2}x"),
+    );
+    compare(
+        "cross-partition worst slowdown",
+        "≈1.7x",
+        format!("{cross_hi:.2}x"),
+    );
 }

@@ -6,6 +6,7 @@ use gnoc_bench::header;
 use gnoc_core::{Calibration, GpuSpec};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 20 — many-to-few-to-many and the bandwidth hierarchy",
         "many SMs → few MCs → many SMs; BW_NoC-MEM (interface) and BW_MEM are \

@@ -2,22 +2,36 @@
 //! NoC↔MEM interface is the bottleneck, vs a provisioned interface.
 
 use gnoc_bench::{compare, header, sparkline};
-use gnoc_core::noc::{run_memsim, run_memsim_shared, MemSimConfig};
+use gnoc_core::noc::{run_memsim, run_memsim_shared, run_memsim_traced, MemSimConfig};
 
 fn main() {
+    let metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 21 — memory-channel utilisation fluctuation (cycle-level sim)",
         "reply-interface bottleneck: channel reaches 100% briefly but \
          averages ≈20%; provisioning the interface sustains it",
     );
     for (label, cfg) in [
-        ("under-provisioned reply interface (prior-work model)", MemSimConfig::underprovisioned()),
-        ("provisioned reply interface (real-GPU behaviour)", MemSimConfig::provisioned()),
+        (
+            "under-provisioned reply interface (prior-work model)",
+            MemSimConfig::underprovisioned(),
+        ),
+        (
+            "provisioned reply interface (real-GPU behaviour)",
+            MemSimConfig::provisioned(),
+        ),
     ] {
-        let r = run_memsim(cfg, 21);
+        let r = run_memsim_traced(cfg, 21, metrics.handle().clone());
         println!("\n{label}:");
-        println!("  channel-0 utilisation over time: {}", sparkline(&r.utilization_timeline));
-        let max = r.utilization_timeline.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  channel-0 utilisation over time: {}",
+            sparkline(&r.utilization_timeline)
+        );
+        let max = r
+            .utilization_timeline
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
         println!(
             "  mean {:.0}%  peak {:.0}%  replies delivered {}",
             100.0 * r.mean_utilization,

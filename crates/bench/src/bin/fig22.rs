@@ -5,6 +5,7 @@ use gnoc_bench::header;
 use gnoc_core::noc::priorwork;
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 22 — BW_MEM vs BW_NoC-MEM in prior-work baselines",
         "points below the BW_NoC-MEM = BW_MEM line are interface-bound \
@@ -25,7 +26,11 @@ fn main() {
             p.system,
             p.mem_bw_gbps,
             p.noc_mem_interface_gbps(),
-            if wall { "below the line (network wall)" } else { "above the line" },
+            if wall {
+                "below the line (network wall)"
+            } else {
+                "above the line"
+            },
         );
     }
     println!(

@@ -2,15 +2,16 @@
 //! MCs) under round-robin vs age-based arbitration.
 
 use gnoc_bench::{compare, header, series};
-use gnoc_core::noc::{run_fairness, ArbiterKind, FairnessConfig};
+use gnoc_core::noc::{run_fairness_traced, ArbiterKind, FairnessConfig};
 
 fn main() {
+    let metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Fig. 23 — throughput fairness on a 6×6 mesh",
         "round-robin: up to ≈2.4× spread across nodes; age-based: uniform",
     );
     for arbiter in [ArbiterKind::RoundRobin, ArbiterKind::AgeBased] {
-        let r = run_fairness(FairnessConfig::paper(arbiter), 23);
+        let r = run_fairness_traced(FairnessConfig::paper(arbiter), 23, metrics.handle().clone());
         println!("\n{arbiter:?} (packets/cycle per compute node, MCs on row 0):");
         for row in 0..5 {
             println!(
@@ -22,7 +23,11 @@ fn main() {
         }
         println!("  max/min unfairness: {:.2}", r.unfairness);
         if arbiter == ArbiterKind::RoundRobin {
-            compare("  unfairness", "up to ≈2.4x", format!("{:.2}x", r.unfairness));
+            compare(
+                "  unfairness",
+                "up to ≈2.4x",
+                format!("{:.2}x", r.unfairness),
+            );
         } else {
             compare("  unfairness", "≈1 (fair)", format!("{:.2}x", r.unfairness));
         }

@@ -9,13 +9,12 @@ use gnoc_bench::header;
 use gnoc_core::analysis::svg::{self, Series};
 use gnoc_core::microbench::bandwidth::sms_to_slice_gbps;
 use gnoc_core::noc::{run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig};
-use gnoc_core::{
-    GpuDevice, LatencyCampaign, LatencyProbe, PartitionId, SmId,
-};
+use gnoc_core::{GpuDevice, LatencyCampaign, LatencyProbe, PartitionId, SmId};
 use std::fs;
 use std::path::Path;
 
 fn main() -> std::io::Result<()> {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "SVG artifacts",
         "renders figs 1, 6, 14, 21, 23 as SVG files under out/",
@@ -62,7 +61,10 @@ fn main() -> std::io::Result<()> {
             .map(|&a| order.iter().map(|&b| campaign.correlation[a][b]).collect())
             .collect();
         let fig = svg::heatmap(
-            &format!("Fig. 6 — {} SM latency-profile Pearson correlation", dev.spec().name),
+            &format!(
+                "Fig. 6 — {} SM latency-profile Pearson correlation",
+                dev.spec().name
+            ),
             &matrix,
             -1.0,
             1.0,
@@ -153,7 +155,11 @@ fn main() -> std::io::Result<()> {
 
     for entry in fs::read_dir(out)? {
         let e = entry?;
-        println!("wrote {} ({} bytes)", e.path().display(), e.metadata()?.len());
+        println!(
+            "wrote {} ({} bytes)",
+            e.path().display(),
+            e.metadata()?.len()
+        );
     }
     Ok(())
 }

@@ -6,6 +6,7 @@ use gnoc_core::microbench::loaded::latency_bandwidth_curve;
 use gnoc_core::{GpuDevice, SliceId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Extension — latency under load",
         "round-trip latency inflates as background traffic approaches the \

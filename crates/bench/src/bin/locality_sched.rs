@@ -14,6 +14,7 @@ use gnoc_core::workloads::MemoryTrace;
 use gnoc_core::{GpuDevice, LatencyProbe, PartitionId, SmId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Extension — locality-aware scheduling on A100",
         "latency-bound work: schedule onto the data's partition (≈2x); \
@@ -25,9 +26,7 @@ fn main() {
     // A working set resident on partition 0.
     let left_sm = h.sms_in_partition(PartitionId::new(0))[0];
     let lines: Vec<u64> = (0..200_000u64)
-        .filter(|&l| {
-            h.slice(dev.effective_slice(left_sm, l)).partition == PartitionId::new(0)
-        })
+        .filter(|&l| h.slice(dev.effective_slice(left_sm, l)).partition == PartitionId::new(0))
         .take(60_000)
         .collect();
 
@@ -38,7 +37,11 @@ fn main() {
     let near_lat = probe.measure_pair(&mut dev, left_sm, near_slice);
     let far_lat = probe.measure_pair(&mut dev, far_sm, near_slice);
     println!("latency-bound kernel (dependent loads into the resident set):");
-    compare("  local SM latency (cycles)", "≈210", format!("{near_lat:.0}"));
+    compare(
+        "  local SM latency (cycles)",
+        "≈210",
+        format!("{near_lat:.0}"),
+    );
     compare("  far SM latency (cycles)", "≈400", format!("{far_lat:.0}"));
     println!(
         "  → locality speedup for serial chains: {:.2}x\n",
@@ -62,9 +65,21 @@ fn main() {
     let r_far = replay_on_sms(&dev, &trace, &cfg, &far);
 
     println!("bandwidth-bound kernel (streaming the resident set):");
-    compare("  local-partition SMs only (GB/s)", "-", format!("{:.0}", r_near.mean_gbps()));
-    compare("  all SMs (GB/s)", "best", format!("{:.0}", r_all.mean_gbps()));
-    compare("  far-partition SMs only (GB/s)", "worst", format!("{:.0}", r_far.mean_gbps()));
+    compare(
+        "  local-partition SMs only (GB/s)",
+        "-",
+        format!("{:.0}", r_near.mean_gbps()),
+    );
+    compare(
+        "  all SMs (GB/s)",
+        "best",
+        format!("{:.0}", r_all.mean_gbps()),
+    );
+    compare(
+        "  far-partition SMs only (GB/s)",
+        "worst",
+        format!("{:.0}", r_far.mean_gbps()),
+    );
     println!(
         "  → all-SM placement beats strict locality by {:.2}x here: far SMs \
          still contribute {:.0} % of a near SM's rate (Little's law, Fig. 14), \

@@ -7,6 +7,7 @@ use gnoc_core::microbench::mpmap::{infer_mp_groups, pair_subadditivity, score_ag
 use gnoc_core::{GpuDevice, MpId, SliceId};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Extension — recovering the slice→MP map from bandwidth contention",
         "same-MP slice pairs share the GPC↔MP port and are sub-additive; \

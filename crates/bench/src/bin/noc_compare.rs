@@ -6,6 +6,7 @@ use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
 use gnoc_core::noc::{ArbiterKind, HierConfig, MeshConfig};
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Extension — mesh vs hierarchical crossbar load/latency curves",
         "same 30 terminals and 6 MCs: the crossbar is uniform by construction \

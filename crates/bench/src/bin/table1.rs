@@ -4,6 +4,7 @@ use gnoc_bench::header;
 use gnoc_core::GpuSpec;
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "Table I",
         "microarchitecture comparison of V100 / A100 / H100",

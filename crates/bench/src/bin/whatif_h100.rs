@@ -43,6 +43,7 @@ fn characterise(dev: &mut GpuDevice) -> (f64, f64, usize) {
 }
 
 fn main() {
+    let _metrics = gnoc_bench::FigureMetrics::from_args(env!("CARGO_BIN_NAME"));
     header(
         "What-if — H100 with a globally shared L2",
         "removing partition-local caching re-introduces the A100 pathologies: \
@@ -51,8 +52,16 @@ fn main() {
     let mut real = GpuDevice::h100(0);
     let (near, far, peaks) = characterise(&mut real);
     println!("H100 (real, partition-local L2):");
-    compare("  near-hit latency (cycles)", "uniform", format!("{near:.0}"));
-    compare("  far-hit latency (cycles)", "n/a (always local)", format!("{far:.0}"));
+    compare(
+        "  near-hit latency (cycles)",
+        "uniform",
+        format!("{near:.0}"),
+    );
+    compare(
+        "  far-hit latency (cycles)",
+        "n/a (always local)",
+        format!("{far:.0}"),
+    );
     compare("  per-slice BW peaks", "1", peaks.to_string());
 
     let mut spec = GpuSpec::h100();
@@ -61,8 +70,16 @@ fn main() {
     let mut counterfactual = GpuDevice::with_seed(spec, 0).expect("valid");
     let (near, far, peaks) = characterise(&mut counterfactual);
     println!("\nH100-globalL2 (counterfactual):");
-    compare("  near-hit latency (cycles)", "A100-like ≈210", format!("{near:.0}"));
-    compare("  far-hit latency (cycles)", "A100-like ≈400", format!("{far:.0}"));
+    compare(
+        "  near-hit latency (cycles)",
+        "A100-like ≈210",
+        format!("{near:.0}"),
+    );
+    compare(
+        "  far-hit latency (cycles)",
+        "A100-like ≈400",
+        format!("{far:.0}"),
+    );
     compare("  per-slice BW peaks", "2 (bimodal)", peaks.to_string());
 
     let s = Summary::of(&[far - near]);

@@ -7,6 +7,67 @@
 
 #![warn(missing_docs)]
 
+use gnoc_core::TelemetryHandle;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Telemetry for one figure binary, driven by an optional `--metrics <path>`
+/// argument (`reproduce.sh` passes `--metrics out/<bin>.metrics.json` to
+/// every run). Without the flag the handle is disabled and the whole struct
+/// is inert. Dropping the guard at the end of `main` records the binary's
+/// wall-clock span and writes the registry, so a figure binary only needs
+/// one line — `let _metrics = FigureMetrics::from_args(...);` — plus, where
+/// its experiment supports it, passing `handle()` into a `*_traced` run.
+#[derive(Debug)]
+pub struct FigureMetrics {
+    handle: TelemetryHandle,
+    bin: String,
+    path: Option<PathBuf>,
+    started: Instant,
+}
+
+impl FigureMetrics {
+    /// Parses `--metrics <path>` out of the process arguments.
+    pub fn from_args(bin: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let path = args
+            .windows(2)
+            .find(|w| w[0] == "--metrics")
+            .map(|w| PathBuf::from(&w[1]));
+        let handle = if path.is_some() {
+            TelemetryHandle::enabled()
+        } else {
+            TelemetryHandle::disabled()
+        };
+        FigureMetrics {
+            handle,
+            bin: bin.to_string(),
+            path,
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared handle to thread into traced runs / `set_telemetry`.
+    pub fn handle(&self) -> &TelemetryHandle {
+        &self.handle
+    }
+}
+
+impl Drop for FigureMetrics {
+    fn drop(&mut self) {
+        let Some(path) = &self.path else { return };
+        let micros = (self.started.elapsed().as_secs_f64() * 1e6)
+            .round()
+            .max(0.0) as u64;
+        let mut registry = self.handle.snapshot_registry().unwrap_or_default();
+        registry.hist_record(&format!("span.figure.{}.us", self.bin), micros);
+        registry.counter_add(&format!("span.figure.{}.calls", self.bin), 1);
+        if let Err(e) = registry.save(path) {
+            eprintln!("warning: cannot write metrics file {}: {e}", path.display());
+        }
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn header(id: &str, claim: &str) {
     println!("================================================================");

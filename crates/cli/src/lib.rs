@@ -126,8 +126,26 @@ pub enum Command {
         /// Simulation seed.
         seed: u64,
     },
+    /// `gnoc stats <metrics.json>` — render a saved metrics registry.
+    Stats {
+        /// Path to a metrics JSON file written via `--metrics`.
+        path: String,
+    },
     /// `gnoc help` — usage.
     Help,
+}
+
+/// A parsed invocation: the subcommand plus the global observability flags
+/// (`--trace <file.jsonl>`, `--metrics <file.json>`), which are accepted by
+/// every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Stream trace events (JSONL, one object per line) to this path.
+    pub trace: Option<String>,
+    /// Write the metric registry (JSON) to this path on exit.
+    pub metrics: Option<String>,
 }
 
 /// Which workload `gnoc replay` generates.
@@ -163,7 +181,12 @@ USAGE:
     gnoc covert     [--gpu G] [--far] [--seed S]
     gnoc replay     <bfs|gaussian> [--gpu G] [--random] [--blocks N]
     gnoc loadcurve  [--net mesh|xbar] [--seed S]
+    gnoc stats      <metrics.json>
     gnoc help
+
+GLOBAL FLAGS (every subcommand):
+    --trace <file.jsonl>    stream structured trace events (virtual-nvprof)
+    --metrics <file.json>   write the metric registry on exit
 ";
 
 /// Reads `--flag value` pairs and boolean `--flag`s from `args`.
@@ -210,6 +233,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     let rest = &args[1..];
     let flags = Flags { args: rest };
+    if cmd == "stats" {
+        let path = rest
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| "stats needs a metrics JSON path".to_owned())?;
+        return Ok(Command::Stats { path: path.clone() });
+    }
     let gpu_positional = || -> Result<GpuChoice, String> {
         rest.first()
             .filter(|a| !a.starts_with("--"))
@@ -312,6 +342,40 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
+}
+
+/// Parses an argument vector, first extracting the global observability
+/// flags (`--trace`, `--metrics`) — accepted anywhere on the line — then
+/// delegating the remainder to [`parse`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for a global flag without a value or any
+/// [`parse`] error.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
+    let mut trace = None;
+    let mut metrics = None;
+    let mut remaining: Vec<String> = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let slot = match a.as_str() {
+            "--trace" => &mut trace,
+            "--metrics" => &mut metrics,
+            _ => {
+                remaining.push(a.clone());
+                continue;
+            }
+        };
+        match it.next() {
+            Some(v) if !v.starts_with("--") => *slot = Some(v.clone()),
+            _ => return Err(format!("flag {a} needs a file path")),
+        }
+    }
+    Ok(Invocation {
+        command: parse(&remaining)?,
+        trace,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -443,5 +507,42 @@ mod tests {
     fn unknown_command_includes_usage() {
         let err = parse(&argv("frobnicate")).unwrap_err();
         assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn stats_needs_a_path() {
+        assert_eq!(
+            parse(&argv("stats out/metrics.json")).unwrap(),
+            Command::Stats {
+                path: "out/metrics.json".to_owned()
+            }
+        );
+        assert!(parse(&argv("stats")).is_err());
+        assert!(parse(&argv("stats --trace")).is_err());
+    }
+
+    #[test]
+    fn global_flags_are_extracted_anywhere() {
+        let inv = parse_invocation(&argv(
+            "latency v100 --trace t.jsonl --sm 7 --metrics m.json",
+        ))
+        .unwrap();
+        assert_eq!(inv.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(inv.metrics.as_deref(), Some("m.json"));
+        assert_eq!(
+            inv.command,
+            Command::Latency {
+                gpu: GpuChoice::V100,
+                sm: 7,
+                seed: 0
+            }
+        );
+
+        let plain = parse_invocation(&argv("memsim --provisioned")).unwrap();
+        assert_eq!(plain.trace, None);
+        assert_eq!(plain.metrics, None);
+
+        assert!(parse_invocation(&argv("memsim --trace")).is_err());
+        assert!(parse_invocation(&argv("memsim --trace --metrics m.json")).is_err());
     }
 }

@@ -1,40 +1,77 @@
 //! The `gnoc` command-line tool: run the paper's characterisation and
 //! experiments from the shell. See `gnoc help`.
 
-use gnoc_cli::{parse, AttackKind, Command, GpuChoice, WorkloadKind, USAGE};
+use gnoc_cli::{parse_invocation, AttackKind, Command, GpuChoice, WorkloadKind, USAGE};
+use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
-use gnoc_core::noc::{HierConfig, MeshConfig};
-use gnoc_core::sidechannel::covert::{bits_of, bytes_of, channel_snr, transmit, CovertChannelConfig};
+use gnoc_core::noc::{run_fairness_traced, run_memsim_traced, HierConfig, MeshConfig};
+use gnoc_core::noc::{ArbiterKind, FairnessConfig, MemSimConfig};
+use gnoc_core::sidechannel::covert::{
+    bits_of, bytes_of, channel_snr, transmit, CovertChannelConfig,
+};
 use gnoc_core::workloads::replay::{replay, ReplayConfig};
 use gnoc_core::workloads::{bfs, gaussian};
-use gnoc_core::{CtaScheduler, SliceId};
-use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
-use gnoc_core::noc::{run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig};
+use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
-    infer_placement, input_speedups, run_aes_attack, run_rsa_attack, AccessKind,
-    AesAttackConfig, GpuDevice, LatencyCampaign, LatencyProbe, RsaAttackConfig, SmId, Summary,
+    AccessKind, AesAttackConfig, CtaScheduler, GpuDevice, LatencyCampaign, LatencyProbe,
+    RsaAttackConfig, SliceId, SmId, Summary,
 };
+use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&args) {
-        Ok(cmd) => {
-            run(cmd);
-            ExitCode::SUCCESS
-        }
+    let inv = match parse_invocation(&args) {
+        Ok(inv) => inv,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    // `--trace`/`--metrics` turn telemetry on; otherwise every instrumented
+    // call site stays on the zero-cost disabled path.
+    let telemetry = if inv.trace.is_some() || inv.metrics.is_some() {
+        let mut t = Telemetry::new();
+        if let Some(path) = &inv.trace {
+            match JsonlWriter::create(Path::new(path)) {
+                Ok(sink) => t.set_sink(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        TelemetryHandle::attach(t)
+    } else {
+        TelemetryHandle::disabled()
+    };
+
+    let ok = run(inv.command, &telemetry);
+
+    telemetry.flush();
+    if let Some(path) = &inv.metrics {
+        let registry = telemetry.snapshot_registry().unwrap_or_default();
+        if let Err(e) = registry.save(Path::new(path)) {
+            eprintln!("error: cannot write metrics file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
-fn device(gpu: GpuChoice, seed: u64) -> GpuDevice {
-    GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid")
+fn device(gpu: GpuChoice, seed: u64, telemetry: &TelemetryHandle) -> GpuDevice {
+    let mut dev = GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid");
+    dev.set_telemetry(telemetry.clone());
+    dev
 }
 
-fn run(cmd: Command) {
+fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
     match cmd {
         Command::Help => print!("{USAGE}"),
 
@@ -44,15 +81,18 @@ fn run(cmd: Command) {
                 println!("{label:<22}{value}");
             }
             println!();
-            print!("{}", spec.floorplan().render_ascii(&spec.hierarchy(), 96, 24));
+            print!(
+                "{}",
+                spec.floorplan().render_ascii(&spec.hierarchy(), 96, 24)
+            );
         }
 
         Command::Latency { gpu, sm, seed } => {
-            let mut dev = device(gpu, seed);
+            let mut dev = device(gpu, seed, telemetry);
             let n = dev.hierarchy().num_sms() as u32;
             if sm >= n {
                 eprintln!("error: SM {sm} out of range (device has {n} SMs)");
-                return;
+                return false;
             }
             let probe = LatencyProbe::default();
             let profile = probe.sm_profile(&mut dev, SmId::new(sm));
@@ -65,10 +105,11 @@ fn run(cmd: Command) {
                 println!("  slice {i:>3}: {l:>6.0} cycles");
             }
             println!("summary: {}", Summary::of(&profile));
+            export_device_counters(&dev, telemetry);
         }
 
         Command::Bandwidth { gpu, seed } => {
-            let mut dev = device(gpu, seed);
+            let mut dev = device(gpu, seed, telemetry);
             let fabric = aggregate_fabric_gbps(&mut dev);
             let mem = aggregate_memory_gbps(&mut dev);
             println!("{}:", dev.spec().name);
@@ -78,8 +119,10 @@ fn run(cmd: Command) {
                 100.0 * mem / dev.spec().mem_peak_gbps
             );
             println!("  fabric / memory ratio:         {:.2}x", fabric / mem);
-            for (kind, label) in [(AccessKind::ReadHit, "reads"), (AccessKind::Write, "writes")]
-            {
+            for (kind, label) in [
+                (AccessKind::ReadHit, "reads"),
+                (AccessKind::Write, "writes"),
+            ] {
                 let r = input_speedups(&dev, kind);
                 println!(
                     "  input speedup ({label}): TPC {:.2}, GPC_l {:.1}/{}, GPC_g {:.1}/{}{}",
@@ -93,15 +136,16 @@ fn run(cmd: Command) {
                         .unwrap_or_default()
                 );
             }
+            export_device_counters(&dev, telemetry);
         }
 
         Command::Placement { gpu, seed } => {
-            let mut dev = device(gpu, seed);
+            let mut dev = device(gpu, seed, telemetry);
             let probe = LatencyProbe {
                 working_set_lines: 2,
                 samples: 6,
             };
-            let campaign = LatencyCampaign::run(&mut dev, &probe);
+            let campaign = LatencyCampaign::run_traced(&mut dev, &probe, telemetry);
             let report = infer_placement(&campaign, &dev, 2.5);
             println!(
                 "{}: grand mean latency {:.0} cycles over {}x{} pairs",
@@ -117,6 +161,7 @@ fn run(cmd: Command) {
             println!("GPC groups inferred: {:?}", report.gpc_labels);
             println!("GPC groups actual:   {:?}", report.gpc_truth);
             println!("Rand index: {:.2}", report.gpc_rand_index);
+            export_device_counters(&dev, telemetry);
         }
 
         Command::Attack {
@@ -126,10 +171,10 @@ fn run(cmd: Command) {
             seed,
         } => match kind {
             AttackKind::Aes => {
-                let mut dev = device(gpu, seed);
+                let mut dev = device(gpu, seed, telemetry);
                 let key = [
-                    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-                    0x09, 0xcf, 0x4f, 0x3c,
+                    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+                    0xcf, 0x4f, 0x3c,
                 ];
                 let cfg = AesAttackConfig {
                     samples: 2_500,
@@ -155,9 +200,10 @@ fn run(cmd: Command) {
                     "  corr(true) {:+.3}, margin {:+.3}",
                     r.correlations[r.true_byte as usize], r.margin
                 );
+                export_device_counters(&dev, telemetry);
             }
             AttackKind::Rsa => {
-                let dev = device(gpu, seed);
+                let dev = device(gpu, seed, telemetry);
                 let cfg = RsaAttackConfig {
                     scheduler,
                     ..RsaAttackConfig::default()
@@ -172,6 +218,7 @@ fn run(cmd: Command) {
                     "  inverting one timing bounds the weight to ±{} bits",
                     r.weight_uncertainty
                 );
+                export_device_counters(&dev, telemetry);
             }
         },
 
@@ -181,7 +228,7 @@ fn run(cmd: Command) {
             } else {
                 ArbiterKind::RoundRobin
             };
-            let r = run_fairness(FairnessConfig::paper(arbiter), seed);
+            let r = run_fairness_traced(FairnessConfig::paper(arbiter), seed, telemetry.clone());
             println!("6x6 mesh, 30 compute nodes → 6 MCs, {arbiter:?} arbitration:");
             for row in 0..5 {
                 let cells: Vec<String> = (0..6)
@@ -193,7 +240,7 @@ fn run(cmd: Command) {
         }
 
         Command::Covert { gpu, far, seed } => {
-            let mut dev = device(gpu, seed);
+            let mut dev = device(gpu, seed, telemetry);
             let slice = SliceId::new(5);
             let cfg = if far {
                 CovertChannelConfig::far(&dev, slice, 2)
@@ -207,13 +254,18 @@ fn run(cmd: Command) {
             );
             println!("  SNR: {:.1}", channel_snr(&mut dev, &cfg));
             let strong = CovertChannelConfig::colocated(&dev, slice, 6);
-            let r = transmit(&mut dev, if far { &cfg } else { &strong }, &bits_of(b"gnoc"));
+            let r = transmit(
+                &mut dev,
+                if far { &cfg } else { &strong },
+                &bits_of(b"gnoc"),
+            );
             println!(
                 "  payload 'gnoc': BER {:.3}, decoded {:?}, capacity {:.0} kb/s",
                 r.ber,
                 String::from_utf8_lossy(&bytes_of(&r.received)),
                 r.capacity_bits_per_sec() / 1e3
             );
+            export_device_counters(&dev, telemetry);
         }
 
         Command::Replay {
@@ -222,7 +274,7 @@ fn run(cmd: Command) {
             random,
             blocks,
         } => {
-            let dev = device(gpu, 0);
+            let dev = device(gpu, 0, telemetry);
             let trace = match workload {
                 WorkloadKind::Bfs => bfs::generate(bfs::BfsConfig::default(), 1),
                 WorkloadKind::Gaussian => gaussian::generate(gaussian::GaussianConfig::default()),
@@ -268,11 +320,18 @@ fn run(cmd: Command) {
             };
             println!(
                 "{} load sweep (30 terminals, 6 MCs):",
-                if crossbar { "hierarchical crossbar" } else { "6x6 mesh" }
+                if crossbar {
+                    "hierarchical crossbar"
+                } else {
+                    "6x6 mesh"
+                }
             );
             println!("{:>9} {:>10} {:>14}", "offered", "accepted", "mean latency");
             for p in curve {
-                println!("{:>9.2} {:>10.2} {:>14.1}", p.offered, p.accepted, p.mean_latency);
+                println!(
+                    "{:>9.2} {:>10.2} {:>14.1}",
+                    p.offered, p.accepted, p.mean_latency
+                );
             }
         }
 
@@ -282,7 +341,7 @@ fn run(cmd: Command) {
             } else {
                 MemSimConfig::underprovisioned()
             };
-            let r = run_memsim(cfg, seed);
+            let r = run_memsim_traced(cfg, seed, telemetry.clone());
             println!(
                 "request/reply memory simulation ({}):",
                 if provisioned {
@@ -297,5 +356,61 @@ fn run(cmd: Command) {
                 r.replies_delivered
             );
         }
+
+        Command::Stats { path } => match MetricRegistry::load(Path::new(&path)) {
+            Ok(registry) => print_stats(&registry),
+            Err(e) => {
+                eprintln!("error: cannot read metrics file {path}: {e}");
+                return false;
+            }
+        },
+    }
+    true
+}
+
+/// Folds the device's per-slice profiler counts into the shared registry so
+/// `--metrics` captures them (the virtual `nvprof` dump).
+fn export_device_counters(dev: &GpuDevice, telemetry: &TelemetryHandle) {
+    telemetry.with(|t| dev.profiler().export_metrics(&mut t.registry));
+}
+
+/// Renders a saved `--metrics` registry as aligned text tables.
+fn print_stats(registry: &MetricRegistry) {
+    let counters: Vec<_> = registry.counters().collect();
+    if !counters.is_empty() {
+        println!("counters:");
+        for (name, value) in counters {
+            println!("  {name:<44} {value:>14}");
+        }
+    }
+    let gauges: Vec<_> = registry.gauges().collect();
+    if !gauges.is_empty() {
+        println!("gauges:");
+        for (name, value) in gauges {
+            println!("  {name:<44} {value:>14.4}");
+        }
+    }
+    let hists: Vec<_> = registry.histograms().collect();
+    if !hists.is_empty() {
+        println!("histograms:");
+        println!(
+            "  {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in hists {
+            println!(
+                "  {:<34} {:>9} {:>9.1} {:>9.0} {:>9.0} {:>9.0} {:>9}",
+                name,
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.50).unwrap_or(0.0),
+                h.quantile(0.90).unwrap_or(0.0),
+                h.quantile(0.99).unwrap_or(0.0),
+                h.max().unwrap_or(0)
+            );
+        }
+    }
+    if registry.is_empty() {
+        println!("(empty registry)");
     }
 }

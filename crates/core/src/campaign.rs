@@ -1,11 +1,10 @@
 //! High-level measurement campaigns combining the microbenchmarks with the
 //! analysis toolkit — the workflows a user of the artifact actually runs.
 
-use gnoc_analysis::{
-    correlation_clusters, correlation_matrix, pearson, rand_index, Summary,
-};
+use gnoc_analysis::{correlation_clusters, correlation_matrix, pearson, rand_index, Summary};
 use gnoc_engine::GpuDevice;
 use gnoc_microbench::LatencyProbe;
+use gnoc_telemetry::{SpanTimer, TelemetryHandle, TraceEvent, SUBSYSTEM_CAMPAIGN};
 use gnoc_topo::{GpcId, SmId};
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +33,38 @@ impl LatencyCampaign {
             sm_summaries,
             correlation,
         }
+    }
+
+    /// Runs the campaign with telemetry: attaches `telemetry` to the device
+    /// (leaving it attached, so later work on the same device keeps
+    /// reporting), records per-SM progress events via the probe layer, and
+    /// finishes a `span.campaign.latency` wall-clock timer plus
+    /// `campaign.virtual_cycles` (the device's accumulated model time) into
+    /// the registry — the dual clocks of the paper's methodology: host-side
+    /// wall time around the launch, device-side `clock()` cycles inside it.
+    pub fn run_traced(
+        dev: &mut GpuDevice,
+        probe: &LatencyProbe,
+        telemetry: &TelemetryHandle,
+    ) -> Self {
+        dev.set_telemetry(telemetry.clone());
+        let timer = SpanTimer::start("campaign.latency");
+        let start_cycle = dev.virtual_cycle();
+        let result = Self::run(dev, probe);
+        let virtual_cycles = dev.virtual_cycle() - start_cycle;
+        telemetry.with(|t| {
+            t.registry
+                .counter_add("campaign.virtual_cycles", virtual_cycles);
+            t.registry
+                .gauge_set("campaign.grand_mean_cycles", result.grand_mean());
+            timer.finish(&mut t.registry);
+        });
+        telemetry.emit_with(|| {
+            TraceEvent::new(dev.virtual_cycle(), SUBSYSTEM_CAMPAIGN, "latency_campaign")
+                .with("sms", result.matrix.len())
+                .with("virtual_cycles", virtual_cycles)
+        });
+        result
     }
 
     /// Grand mean latency over all pairs.
@@ -214,7 +245,11 @@ mod tests {
         let c = LatencyCampaign::run(&mut dev, &quick_probe());
         assert_eq!(c.matrix.len(), 80);
         assert_eq!(c.correlation.len(), 80);
-        assert!((190.0..230.0).contains(&c.grand_mean()), "{}", c.grand_mean());
+        assert!(
+            (190.0..230.0).contains(&c.grand_mean()),
+            "{}",
+            c.grand_mean()
+        );
     }
 
     #[test]
@@ -242,6 +277,37 @@ mod tests {
             report.gpc_rand_index, 1.0,
             "labels {:?} truth {:?}",
             report.gpc_labels, report.gpc_truth
+        );
+    }
+
+    #[test]
+    fn traced_campaign_reports_all_three_clocks() {
+        use gnoc_telemetry::{MemorySink, Telemetry};
+
+        let sink = MemorySink::new();
+        let telemetry = TelemetryHandle::attach(Telemetry::with_sink(Box::new(sink.clone())));
+        let mut dev = GpuDevice::v100(0);
+        let c = LatencyCampaign::run_traced(&mut dev, &quick_probe(), &telemetry);
+
+        let reg = telemetry.snapshot_registry().unwrap();
+        assert!(reg.counter("campaign.virtual_cycles") > 0);
+        assert_eq!(reg.counter("campaign.sm_profiles"), 80);
+        assert_eq!(reg.counter("span.campaign.latency.calls"), 1);
+        assert!((reg.gauge("campaign.grand_mean_cycles").unwrap() - c.grand_mean()).abs() < 1e-9);
+        // The device-layer instrumentation fed the same registry.
+        assert!(reg.counter("engine.reads") > 0);
+
+        let events = sink.snapshot();
+        assert_eq!(
+            events.iter().filter(|e| e.event == "sm_profile").count(),
+            80
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.event == "latency_campaign")
+                .count(),
+            1
         );
     }
 

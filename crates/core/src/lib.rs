@@ -15,6 +15,7 @@
 //! | Side channels | [`sidechannel`] | [`run_aes_attack`], [`run_rsa_attack`] |
 //! | Cycle-level NoC | [`noc`] | [`Mesh`], [`run_fairness`], [`run_memsim`] |
 //! | Workloads | [`workloads`] | BFS / Gaussian / streaming traces |
+//! | Observability | [`telemetry`] | [`TelemetryHandle`], [`MetricRegistry`], [`JsonlWriter`] |
 //!
 //! Quick start (the paper's Observation #1 in five lines):
 //!
@@ -43,6 +44,7 @@ pub use gnoc_engine as engine;
 pub use gnoc_microbench as microbench;
 pub use gnoc_noc as noc;
 pub use gnoc_sidechannel as sidechannel;
+pub use gnoc_telemetry as telemetry;
 pub use gnoc_topo as topo;
 pub use gnoc_workloads as workloads;
 
@@ -59,6 +61,9 @@ pub use gnoc_noc::{
 };
 pub use gnoc_sidechannel::{
     run_aes_attack, run_rsa_attack, Aes128, AesAttackConfig, RsaAttackConfig,
+};
+pub use gnoc_telemetry::{
+    JsonlWriter, LogHistogram, MetricRegistry, Telemetry, TelemetryHandle, TraceEvent,
 };
 pub use gnoc_topo::{
     CachePolicy, CpcId, Floorplan, Generation, GpcId, GpuSpec, Hierarchy, MpId, PartitionId,

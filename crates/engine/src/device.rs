@@ -14,6 +14,7 @@ use crate::hash::{AddressMap, LINE_BYTES};
 use crate::latency;
 use crate::noise;
 use crate::profiler::Profiler;
+use gnoc_telemetry::{TelemetryHandle, TraceEvent, SUBSYSTEM_ENGINE};
 use gnoc_topo::{
     BuildHierarchyError, CachePolicy, Floorplan, GpuSpec, Hierarchy, MpId, PartitionId, SliceId,
     SmId,
@@ -66,6 +67,8 @@ pub struct GpuDevice {
     l2: L2State,
     profiler: Profiler,
     rng: StdRng,
+    telemetry: TelemetryHandle,
+    virtual_cycles: u64,
 }
 
 impl GpuDevice {
@@ -128,6 +131,8 @@ impl GpuDevice {
             l2: L2State::new(capacity_lines.max(1) as usize),
             profiler,
             rng: StdRng::seed_from_u64(seed),
+            telemetry: TelemetryHandle::disabled(),
+            virtual_cycles: 0,
         })
     }
 
@@ -181,6 +186,25 @@ impl GpuDevice {
         self.profiler.reset();
     }
 
+    /// Attaches a telemetry handle; the device records access counters,
+    /// latency histograms, and (when a sink is present) per-access trace
+    /// events through it. The default handle is disabled and costs nothing.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The device's telemetry handle (disabled unless one was attached).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Accumulated virtual time: the sum of all timed-read round-trip cycles
+    /// issued so far. This is the `cycle` timestamp on engine trace events —
+    /// the model's analogue of the paper's per-SM `clock()` register.
+    pub fn virtual_cycle(&self) -> u64 {
+        self.virtual_cycles
+    }
+
     /// Flushes the L2 (between experiments).
     pub fn flush_l2(&mut self) {
         self.l2.flush();
@@ -215,13 +239,9 @@ impl GpuDevice {
         self.profiler.record(slice);
         let outcome = self.l2.access(self.residency_key(line, p));
         let mean = match outcome {
-            L2Outcome::Hit => latency::l2_hit_cycles(
-                &self.hierarchy,
-                &self.floorplan,
-                &self.calib,
-                sm,
-                slice,
-            ),
+            L2Outcome::Hit => {
+                latency::l2_hit_cycles(&self.hierarchy, &self.floorplan, &self.calib, sm, slice)
+            }
             L2Outcome::Miss => latency::l2_miss_cycles(
                 &self.hierarchy,
                 &self.floorplan,
@@ -231,7 +251,42 @@ impl GpuDevice {
                 self.addr_map.home_mp(line),
             ),
         };
-        noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles)
+        let cycles = noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles);
+        self.virtual_cycles += cycles;
+        if self.telemetry.is_enabled() {
+            self.telemetry.with(|t| {
+                t.registry.counter_add("engine.reads", 1);
+                t.registry.counter_add(
+                    match outcome {
+                        L2Outcome::Hit => "engine.l2.hits",
+                        L2Outcome::Miss => "engine.l2.misses",
+                    },
+                    1,
+                );
+                t.registry.hist_record("engine.read_cycles", cycles);
+            });
+            self.telemetry.emit_with(|| {
+                // Fabric-hop decomposition of the request path: physical wire
+                // length and whether the central interconnect was crossed.
+                let wire_mm = self.floorplan.wire_distance(sm, slice);
+                let crossed = self.hierarchy.crosses_partition(sm, slice);
+                TraceEvent::new(self.virtual_cycles, SUBSYSTEM_ENGINE, "access")
+                    .with("sm", sm.index())
+                    .with("line", line)
+                    .with("slice", slice.index())
+                    .with(
+                        "outcome",
+                        match outcome {
+                            L2Outcome::Hit => "hit",
+                            L2Outcome::Miss => "miss",
+                        },
+                    )
+                    .with("cycles", cycles)
+                    .with("wire_mm", wire_mm)
+                    .with("crossed_partition", crossed)
+            });
+        }
+        cycles
     }
 
     /// Mean (jitter-free) L2-*hit* round-trip cycles from `sm` to `slice` —
@@ -257,13 +312,22 @@ impl GpuDevice {
     /// shared memory over the SM-to-SM network, or `None` when unsupported
     /// (non-Hopper device or different GPCs).
     pub fn timed_sm2sm_read(&mut self, src: SmId, dst: SmId) -> Option<u64> {
-        let mean =
-            latency::sm2sm_cycles(&self.hierarchy, &self.floorplan, &self.calib, src, dst)?;
-        Some(noise::jittered_cycles(
-            &mut self.rng,
-            mean,
-            self.calib.jitter_sigma_cycles,
-        ))
+        let mean = latency::sm2sm_cycles(&self.hierarchy, &self.floorplan, &self.calib, src, dst)?;
+        let cycles = noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles);
+        self.virtual_cycles += cycles;
+        if self.telemetry.is_enabled() {
+            self.telemetry.with(|t| {
+                t.registry.counter_add("engine.sm2sm_reads", 1);
+                t.registry.hist_record("engine.sm2sm_cycles", cycles);
+            });
+            self.telemetry.emit_with(|| {
+                TraceEvent::new(self.virtual_cycles, SUBSYSTEM_ENGINE, "sm2sm_access")
+                    .with("src_sm", src.index())
+                    .with("dst_sm", dst.index())
+                    .with("cycles", cycles)
+            });
+        }
+        Some(cycles)
     }
 
     // --------------------------------------------------------- bandwidth ---
@@ -344,9 +408,9 @@ mod tests {
     fn addresses_for_slice_round_trip() {
         let dev = GpuDevice::h100(0);
         let sm = SmId::new(0);
-        let slice = dev.hierarchy().slices_in_partition(
-            dev.hierarchy().sm(sm).partition,
-        )[3];
+        let slice = dev
+            .hierarchy()
+            .slices_in_partition(dev.hierarchy().sm(sm).partition)[3];
         for line in dev.addresses_for_slice(sm, slice, 16) {
             assert_eq!(dev.effective_slice(sm, line), slice);
         }
@@ -378,10 +442,7 @@ mod tests {
     fn bad_specs_are_rejected() {
         let mut spec = GpuSpec::v100();
         spec.clock_ghz = 0.0;
-        assert!(matches!(
-            GpuDevice::new(spec),
-            Err(DeviceError::BadSpec(_))
-        ));
+        assert!(matches!(GpuDevice::new(spec), Err(DeviceError::BadSpec(_))));
 
         let mut spec = GpuSpec::v100();
         spec.hierarchy.gpc_partition.pop();
@@ -408,6 +469,49 @@ mod tests {
         dev.flush_l2();
         let cold = dev.timed_read(sm, 55);
         assert!(cold > 300, "read after flush should miss: {cold}");
+    }
+
+    #[test]
+    fn telemetry_captures_reads_and_events() {
+        use gnoc_telemetry::{MemorySink, Telemetry};
+
+        let mut dev = GpuDevice::v100(0);
+        let sink = MemorySink::new();
+        dev.set_telemetry(TelemetryHandle::attach(Telemetry::with_sink(Box::new(
+            sink.clone(),
+        ))));
+        let sm = SmId::new(3);
+        dev.warm_line(sm, 42);
+        dev.timed_read(sm, 42); // hit
+        dev.timed_read(sm, 43); // miss
+        assert!(dev.virtual_cycle() > 0);
+
+        let reg = dev.telemetry().snapshot_registry().unwrap();
+        assert_eq!(reg.counter("engine.reads"), 2);
+        assert_eq!(reg.counter("engine.l2.hits"), 1);
+        assert_eq!(reg.counter("engine.l2.misses"), 1);
+        assert_eq!(reg.hist("engine.read_cycles").unwrap().count(), 2);
+
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.subsystem == "engine"));
+        assert_eq!(events[0].event, "access");
+        assert!(events[0].field("wire_mm").is_some());
+        assert!(events[1].cycle > events[0].cycle);
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_reads_identical() {
+        // The instrumented path must not perturb the seeded jitter stream.
+        let run = |instrument: bool| -> Vec<u64> {
+            let mut dev = GpuDevice::v100(7);
+            if instrument {
+                dev.set_telemetry(TelemetryHandle::enabled());
+            }
+            let sm = SmId::new(5);
+            (0..16).map(|i| dev.timed_read(sm, i)).collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

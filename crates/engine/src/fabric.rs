@@ -20,9 +20,7 @@
 
 use crate::calib::{Calibration, UNLIMITED};
 use crate::latency;
-use gnoc_topo::{
-    CpcId, Floorplan, GpcId, Hierarchy, MpId, PartitionId, SliceId, SmId, TpcId,
-};
+use gnoc_topo::{CpcId, Floorplan, GpcId, Hierarchy, MpId, PartitionId, SliceId, SmId, TpcId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -231,10 +229,7 @@ impl FabricModel {
     fn path(&self, flow: &FlowSpec) -> Vec<ResourceKind> {
         let sm = self.hierarchy.sm(flow.sm);
         let slice = self.hierarchy.slice(flow.slice);
-        let mut path = vec![
-            ResourceKind::SmPort(flow.sm),
-            ResourceKind::Tpc(sm.tpc),
-        ];
+        let mut path = vec![ResourceKind::SmPort(flow.sm), ResourceKind::Tpc(sm.tpc)];
         if self.hierarchy.has_cpc_level() {
             path.push(ResourceKind::Cpc(sm.cpc));
         }
@@ -447,7 +442,9 @@ fn water_fill(resources: &[Resource], flow_paths: &[Vec<usize>], flow_cap: &[f64
                 continue;
             }
             let capped = rate[fi] + EPS >= flow_cap[fi];
-            let exhausted = flow_paths[fi].iter().any(|&r| rem[r] <= EPS * resources[r].capacity.max(1.0));
+            let exhausted = flow_paths[fi]
+                .iter()
+                .any(|&r| rem[r] <= EPS * resources[r].capacity.max(1.0));
             if capped || exhausted {
                 active[fi] = false;
                 n_active -= 1;
@@ -713,7 +710,8 @@ mod tests {
     fn bottleneck_reporting_identifies_slice() {
         let m = model(&GpuSpec::v100());
         let h = GpuSpec::v100().hierarchy();
-        let flows: Vec<FlowSpec> = h.sms_in_gpc(GpcId::new(0))
+        let flows: Vec<FlowSpec> = h
+            .sms_in_gpc(GpcId::new(0))
             .iter()
             .map(|&sm| FlowSpec {
                 sm,

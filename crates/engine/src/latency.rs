@@ -193,8 +193,22 @@ mod tests {
         let local_slice = c.hierarchy.slices_in_partition(PartitionId::new(0))[0];
         let local_mp = c.hierarchy.mps_in_partition(PartitionId::new(0))[0];
         let remote_mp = c.hierarchy.mps_in_partition(PartitionId::new(1))[0];
-        let near = l2_miss_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, local_slice, local_mp);
-        let far = l2_miss_cycles(&c.hierarchy, &c.floorplan, &c.calib, sm, local_slice, remote_mp);
+        let near = l2_miss_cycles(
+            &c.hierarchy,
+            &c.floorplan,
+            &c.calib,
+            sm,
+            local_slice,
+            local_mp,
+        );
+        let far = l2_miss_cycles(
+            &c.hierarchy,
+            &c.floorplan,
+            &c.calib,
+            sm,
+            local_slice,
+            remote_mp,
+        );
         assert!(far > near + 100.0, "far {far} near {near}");
     }
 
@@ -208,12 +222,8 @@ mod tests {
         let h = ctx(GpuSpec::h100());
         let gpc0 = h.hierarchy.sms_in_gpc(gnoc_topo::GpcId::new(0));
         let gpc1 = h.hierarchy.sms_in_gpc(gnoc_topo::GpcId::new(1));
-        assert!(
-            sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc0[1]).is_some()
-        );
-        assert!(
-            sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc1[0]).is_none()
-        );
+        assert!(sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc0[1]).is_some());
+        assert!(sm2sm_cycles(&h.hierarchy, &h.floorplan, &h.calib, gpc0[0], gpc1[0]).is_none());
     }
 
     #[test]

@@ -57,11 +57,15 @@ mod tests {
     fn jitter_is_deterministic_under_a_seed() {
         let a: Vec<u64> = {
             let mut rng = StdRng::seed_from_u64(42);
-            (0..32).map(|_| jittered_cycles(&mut rng, 200.0, 2.0)).collect()
+            (0..32)
+                .map(|_| jittered_cycles(&mut rng, 200.0, 2.0))
+                .collect()
         };
         let b: Vec<u64> = {
             let mut rng = StdRng::seed_from_u64(42);
-            (0..32).map(|_| jittered_cycles(&mut rng, 200.0, 2.0)).collect()
+            (0..32)
+                .map(|_| jittered_cycles(&mut rng, 200.0, 2.0))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -7,15 +7,23 @@
 //! workaround. [`Profiler::per_slice_counts`] reflects that: it returns
 //! `None` on devices whose spec says per-slice counters are unavailable,
 //! while the aggregate count remains readable everywhere.
+//!
+//! The counter storage is a [`gnoc_telemetry::CounterBank`], so a profiler
+//! dump can be exported into a [`gnoc_telemetry::MetricRegistry`] alongside
+//! the rest of a run's metrics.
 
+use gnoc_telemetry::{CounterBank, MetricRegistry};
 use gnoc_topo::SliceId;
 use serde::{Deserialize, Serialize};
+
+/// Name of the underlying counter bank; per-slice counters export as
+/// `engine.l2.slice.<i>`.
+const BANK_NAME: &str = "engine.l2.slice";
 
 /// Slice-level traffic counters for one device.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Profiler {
-    per_slice: Vec<u64>,
-    total: u64,
+    bank: CounterBank,
     per_slice_available: bool,
 }
 
@@ -24,49 +32,55 @@ impl Profiler {
     /// mirrors [`gnoc_topo::GpuSpec::per_slice_counters`].
     pub fn new(num_slices: usize, per_slice_available: bool) -> Self {
         Self {
-            per_slice: vec![0; num_slices],
-            total: 0,
+            bank: CounterBank::new(BANK_NAME, num_slices),
             per_slice_available,
         }
     }
 
     /// Records one L2 access to `slice`.
     pub fn record(&mut self, slice: SliceId) {
-        self.per_slice[slice.index()] += 1;
-        self.total += 1;
+        self.bank.add(slice.index(), 1);
     }
 
     /// Total L2 accesses since the last reset — always available (recent GPUs
     /// still expose aggregate counters).
     pub fn total(&self) -> u64 {
-        self.total
+        self.bank.total()
     }
 
     /// Per-slice access counts, or `None` when the device does not expose
     /// non-aggregated counters (A100/H100).
     pub fn per_slice_counts(&self) -> Option<&[u64]> {
-        self.per_slice_available.then_some(self.per_slice.as_slice())
+        self.per_slice_available.then(|| self.bank.counts())
     }
 
     /// The slice with the highest count, if per-slice counters are available
     /// and any traffic was recorded. This is how the paper's V100 methodology
-    /// identifies the target slice of a probe address.
+    /// identifies the target slice of a probe address. Ties break
+    /// deterministically to the lowest slice index, so repeated runs of the
+    /// same probe always report the same slice.
     pub fn hottest_slice(&self) -> Option<SliceId> {
-        if !self.per_slice_available || self.total == 0 {
+        if !self.per_slice_available {
             return None;
         }
-        let (idx, _) = self
-            .per_slice
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
-        Some(SliceId::new(idx as u32))
+        self.bank.hottest().map(|idx| SliceId::new(idx as u32))
     }
 
     /// Clears all counters.
     pub fn reset(&mut self) {
-        self.per_slice.iter_mut().for_each(|c| *c = 0);
-        self.total = 0;
+        self.bank.reset();
+    }
+
+    /// Exports the counters into `registry`: the aggregate always, the
+    /// per-slice breakdown only where the hardware exposes it (the registry
+    /// honours the same `None`-on-A100/H100 contract as
+    /// [`Profiler::per_slice_counts`]).
+    pub fn export_metrics(&self, registry: &mut MetricRegistry) {
+        if self.per_slice_available {
+            self.bank.export_into(registry);
+        } else {
+            registry.counter_add(&format!("{BANK_NAME}.total"), self.total());
+        }
     }
 }
 
@@ -109,5 +123,39 @@ mod tests {
     fn hottest_slice_requires_traffic() {
         let p = Profiler::new(2, true);
         assert_eq!(p.hottest_slice(), None);
+    }
+
+    #[test]
+    fn hottest_slice_tie_breaks_to_lowest_index() {
+        // Slices 1 and 3 tie; the report must deterministically pick 1.
+        let mut p = Profiler::new(4, true);
+        p.record(SliceId::new(3));
+        p.record(SliceId::new(1));
+        p.record(SliceId::new(3));
+        p.record(SliceId::new(1));
+        assert_eq!(p.hottest_slice(), Some(SliceId::new(1)));
+        // And recording the tied slices in the opposite order agrees.
+        let mut q = Profiler::new(4, true);
+        q.record(SliceId::new(1));
+        q.record(SliceId::new(3));
+        assert_eq!(q.hottest_slice(), p.hottest_slice());
+    }
+
+    #[test]
+    fn exports_into_registry_respecting_availability() {
+        let mut p = Profiler::new(3, true);
+        p.record(SliceId::new(1));
+        p.record(SliceId::new(1));
+        let mut reg = MetricRegistry::new();
+        p.export_metrics(&mut reg);
+        assert_eq!(reg.counter("engine.l2.slice.1"), 2);
+        assert_eq!(reg.counter("engine.l2.slice.total"), 2);
+
+        let mut hidden = Profiler::new(3, false);
+        hidden.record(SliceId::new(1));
+        let mut reg2 = MetricRegistry::new();
+        hidden.export_metrics(&mut reg2);
+        assert_eq!(reg2.counter("engine.l2.slice.1"), 0);
+        assert_eq!(reg2.counter("engine.l2.slice.total"), 1);
     }
 }

@@ -12,7 +12,11 @@ use gnoc_topo::{CachePolicy, SliceId, SmId};
 /// Builds one flow per `(sm, slice)` pair.
 pub fn cross_flows(sms: &[SmId], slices: &[SliceId], kind: AccessKind) -> Vec<FlowSpec> {
     sms.iter()
-        .flat_map(|&sm| slices.iter().map(move |&slice| FlowSpec { sm, slice, kind }))
+        .flat_map(|&sm| {
+            slices
+                .iter()
+                .map(move |&slice| FlowSpec { sm, slice, kind })
+        })
         .collect()
 }
 

@@ -7,6 +7,7 @@
 //! slice (via the `M[s]` table) isolates the NoC contribution.
 
 use gnoc_engine::GpuDevice;
+use gnoc_telemetry::{TraceEvent, SUBSYSTEM_CAMPAIGN};
 use gnoc_topo::{GpcId, SliceId, SmId};
 use serde::{Deserialize, Serialize};
 
@@ -50,10 +51,22 @@ impl LatencyProbe {
     /// can be served by (all slices on globally-shared devices, the local
     /// partition's slices on partition-local devices).
     pub fn sm_profile(&self, dev: &mut GpuDevice, sm: SmId) -> Vec<f64> {
-        self.visible_slices(dev, sm)
+        let profile: Vec<f64> = self
+            .visible_slices(dev, sm)
             .into_iter()
             .map(|slice| self.measure_pair(dev, sm, slice))
-            .collect()
+            .collect();
+        // Campaign-level progress: one record per SM profiled, so a long
+        // matrix run shows where it is in the sweep.
+        dev.telemetry().counter_add("campaign.sm_profiles", 1);
+        dev.telemetry().emit_with(|| {
+            let mean = profile.iter().sum::<f64>() / profile.len().max(1) as f64;
+            TraceEvent::new(dev.virtual_cycle(), SUBSYSTEM_CAMPAIGN, "sm_profile")
+                .with("sm", sm.index())
+                .with("slices", profile.len())
+                .with("mean_cycles", mean)
+        });
+        profile
     }
 
     /// Full latency matrix `[sm][visible slice]` for every SM.
@@ -62,9 +75,7 @@ impl LatencyProbe {
     /// paper's footnote 5: H100 rows are per-partition slice indices).
     pub fn matrix(&self, dev: &mut GpuDevice) -> Vec<Vec<f64>> {
         let sms: Vec<SmId> = SmId::range(dev.hierarchy().num_sms()).collect();
-        sms.into_iter()
-            .map(|sm| self.sm_profile(dev, sm))
-            .collect()
+        sms.into_iter().map(|sm| self.sm_profile(dev, sm)).collect()
     }
 
     /// Mean L2-*miss* round-trip cycles from `sm` for lines served by

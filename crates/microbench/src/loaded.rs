@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn latency_inflates_with_load() {
         let dev = GpuDevice::v100(0);
-        let curve =
-            latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[0, 8, 24]);
+        let curve = latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[0, 8, 24]);
         // With no background the probe pays only its own modest queueing on
         // top of the unloaded model mean; fully loaded is visibly higher.
         let base = dev.hit_cycles_mean(SmId::new(0), SliceId::new(0));
@@ -97,18 +96,14 @@ mod tests {
         );
         // Latency grows monotonically up to saturation.
         for w in curve.windows(2) {
-            assert!(
-                w[1].probe_latency >= w[0].probe_latency - 1.0,
-                "{curve:?}"
-            );
+            assert!(w[1].probe_latency >= w[0].probe_latency - 1.0, "{curve:?}");
         }
     }
 
     #[test]
     fn background_bandwidth_grows_then_saturates() {
         let dev = GpuDevice::v100(0);
-        let curve =
-            latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[8, 24, 79]);
+        let curve = latency_bandwidth_curve(&dev, SmId::new(0), SliceId::new(0), &[8, 24, 79]);
         assert!(curve[1].background_gbps > curve[0].background_gbps);
         // Near the aggregate fabric limit with all SMs on.
         assert!(

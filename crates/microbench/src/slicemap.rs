@@ -30,7 +30,12 @@ pub fn slice_via_profiler(dev: &mut GpuDevice, sm: SmId, line: u64) -> Option<Sl
 fn contention_ratio(dev: &GpuDevice, reference: u64, candidate: u64) -> f64 {
     let h = dev.hierarchy();
     // Two disjoint SM groups, one per "kernel", as in the paper's workaround.
-    let group_a: Vec<SmId> = h.sms_in_gpc(GpcId::new(0)).iter().copied().take(6).collect();
+    let group_a: Vec<SmId> = h
+        .sms_in_gpc(GpcId::new(0))
+        .iter()
+        .copied()
+        .take(6)
+        .collect();
     let group_b: Vec<SmId> = h
         .sms_in_gpc(GpcId::new(1.min(h.num_gpcs() as u32 - 1)))
         .iter()

@@ -67,15 +67,19 @@ mod tests {
         let m = cpc_latency_matrix(&mut dev, GpcId::new(0), 2).unwrap();
         assert_eq!(m.len(), 3);
         // Intra-CPC0 is the fastest pairing, intra-CPC2 the slowest.
-        let min = m
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = m.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
         let max = m.iter().flatten().cloned().fold(0.0, f64::max);
         assert_eq!(m[0][0], min.max(m[0][0]).min(m[0][0]));
-        assert!((m[0][0] - min).abs() < 3.0, "CPC0-CPC0 {} vs min {min}", m[0][0]);
-        assert!((m[2][2] - max).abs() < 3.0, "CPC2-CPC2 {} vs max {max}", m[2][2]);
+        assert!(
+            (m[0][0] - min).abs() < 3.0,
+            "CPC0-CPC0 {} vs min {min}",
+            m[0][0]
+        );
+        assert!(
+            (m[2][2] - max).abs() < 3.0,
+            "CPC2-CPC2 {} vs max {max}",
+            m[2][2]
+        );
         // Paper range: ≈ 196 to ≈ 213 cycles.
         assert!((188.0..204.0).contains(&m[0][0]), "{}", m[0][0]);
         assert!((202.0..225.0).contains(&m[2][2]), "{}", m[2][2]);

@@ -21,12 +21,23 @@ pub enum ArbiterKind {
 pub struct Arbiter {
     kind: ArbiterKind,
     rr_next: usize,
+    grants: u64,
 }
 
 impl Arbiter {
     /// Creates an arbiter of the given kind.
     pub fn new(kind: ArbiterKind) -> Self {
-        Self { kind, rr_next: 0 }
+        Self {
+            kind,
+            rr_next: 0,
+            grants: 0,
+        }
+    }
+
+    /// Number of grants issued since creation — exported into the telemetry
+    /// registry as part of the mesh's metrics.
+    pub fn grants(&self) -> u64 {
+        self.grants
     }
 
     /// Picks a winner among `candidates` — `(input index, packet birth)`
@@ -59,6 +70,7 @@ impl Arbiter {
                     .0
             }
         };
+        self.grants += 1;
         Some(winner)
     }
 }
@@ -100,5 +112,15 @@ mod tests {
     fn empty_candidates_yield_none() {
         let mut a = Arbiter::new(ArbiterKind::RoundRobin);
         assert_eq!(a.pick(&[]), None);
+        assert_eq!(a.grants(), 0);
+    }
+
+    #[test]
+    fn grants_count_only_winners() {
+        let mut a = Arbiter::new(ArbiterKind::AgeBased);
+        assert_eq!(a.pick(&[]), None);
+        a.pick(&[(0, 1)]).unwrap();
+        a.pick(&[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(a.grants(), 2);
     }
 }

@@ -68,12 +68,20 @@ impl Crossbar {
     ///
     /// Panics if any dimension or buffer size is zero.
     pub fn new(cfg: CrossbarConfig) -> Self {
-        assert!(cfg.inputs > 0 && cfg.outputs > 0, "crossbar must be non-empty");
-        assert!(cfg.buffer_packets > 0, "buffers must hold at least 1 packet");
+        assert!(
+            cfg.inputs > 0 && cfg.outputs > 0,
+            "crossbar must be non-empty"
+        );
+        assert!(
+            cfg.buffer_packets > 0,
+            "buffers must hold at least 1 packet"
+        );
         Self {
             cfg,
             queues: vec![VecDeque::new(); cfg.inputs],
-            arbiters: (0..cfg.outputs).map(|_| Arbiter::new(cfg.arbiter)).collect(),
+            arbiters: (0..cfg.outputs)
+                .map(|_| Arbiter::new(cfg.arbiter))
+                .collect(),
             output_busy_until: vec![0; cfg.outputs],
             cycle: 0,
             next_id: 0,
@@ -106,13 +114,7 @@ impl Crossbar {
     }
 
     /// Attempts to inject a packet from input `src` to output `dst`.
-    pub fn try_inject(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        flits: u32,
-        class: PacketClass,
-    ) -> bool {
+    pub fn try_inject(&mut self, src: NodeId, dst: NodeId, flits: u32, class: PacketClass) -> bool {
         assert!(src.index() < self.cfg.inputs, "src out of range");
         assert!(dst.index() < self.cfg.outputs, "dst out of range");
         if self.queues[src.index()].len() >= self.cfg.buffer_packets {

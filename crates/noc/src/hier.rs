@@ -82,7 +82,10 @@ impl HierCrossbar {
             "network must be non-empty"
         );
         assert!(cfg.uplink_speedup > 0, "need at least one uplink port");
-        assert!(cfg.buffer_packets > 0, "buffers must hold at least 1 packet");
+        assert!(
+            cfg.buffer_packets > 0,
+            "buffers must hold at least 1 packet"
+        );
         let n = cfg.num_terminals();
         Self {
             cfg,
@@ -95,7 +98,9 @@ impl HierCrossbar {
                 cfg.clusters
             ],
             uplink_busy_until: vec![vec![0; cfg.uplink_speedup]; cfg.clusters],
-            output_arbiters: (0..cfg.outputs).map(|_| Arbiter::new(cfg.arbiter)).collect(),
+            output_arbiters: (0..cfg.outputs)
+                .map(|_| Arbiter::new(cfg.arbiter))
+                .collect(),
             output_busy_until: vec![0; cfg.outputs],
             cycle: 0,
             next_id: 0,
@@ -129,13 +134,7 @@ impl HierCrossbar {
     }
 
     /// Attempts to inject a packet from terminal `src` to output `dst`.
-    pub fn try_inject(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        flits: u32,
-        class: PacketClass,
-    ) -> bool {
+    pub fn try_inject(&mut self, src: NodeId, dst: NodeId, flits: u32, class: PacketClass) -> bool {
         self.try_inject_with_birth(src, dst, flits, class, self.cycle)
     }
 
@@ -277,7 +276,11 @@ mod tests {
         assert_eq!(x.stats().delivered_total, 1);
         // Injected at cycle 0; pulled into the uplink at cycle 0; delivered
         // at cycle 1 or 2 depending on stage interleaving.
-        assert!(x.stats().mean_latency() <= 2.0, "{}", x.stats().mean_latency());
+        assert!(
+            x.stats().mean_latency() <= 2.0,
+            "{}",
+            x.stats().mean_latency()
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
             x.drain_ejected();
         }
         let rate = x.stats().delivered_total as f64 / x.cycle() as f64;
-        assert!(rate > 5.4, "6 outputs should run near 6 pkt/cycle: {rate:.2}");
+        assert!(
+            rate > 5.4,
+            "6 outputs should run near 6 pkt/cycle: {rate:.2}"
+        );
     }
 
     #[test]
@@ -352,7 +358,11 @@ mod tests {
         // The shared 4-flit uplink admits the second packet only at cycle 4,
         // so it cannot be delivered before then.
         x.run(4);
-        assert!(x.stats().delivered_total <= 1, "{}", x.stats().delivered_total);
+        assert!(
+            x.stats().delivered_total <= 1,
+            "{}",
+            x.stats().delivered_total
+        );
         x.run(20);
         assert_eq!(x.stats().delivered_total, 2);
     }

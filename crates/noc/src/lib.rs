@@ -41,7 +41,10 @@ mod traffic;
 pub use arbiter::{Arbiter, ArbiterKind};
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
 pub use hier::{HierConfig, HierCrossbar};
-pub use memsim::{run_memsim, run_memsim_shared, MemSimConfig, MemSimResult};
+pub use memsim::{
+    run_memsim, run_memsim_shared, run_memsim_shared_traced, run_memsim_traced, MemSimConfig,
+    MemSimResult,
+};
 pub use mesh::{Mesh, MeshConfig, MeshStats, RouteOrder};
 pub use packet::{NodeId, Packet, PacketClass};
-pub use traffic::{run_fairness, FairnessConfig, FairnessResult};
+pub use traffic::{run_fairness, run_fairness_traced, FairnessConfig, FairnessResult};

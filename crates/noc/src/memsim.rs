@@ -12,6 +12,7 @@
 use crate::arbiter::ArbiterKind;
 use crate::mesh::{Mesh, MeshConfig, RouteOrder};
 use crate::packet::{NodeId, PacketClass};
+use gnoc_telemetry::{TelemetryHandle, TraceEvent, SUBSYSTEM_NOC};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -96,14 +97,25 @@ struct MemoryController {
 /// Runs the request/reply simulation on **two physical networks** (the
 /// conventional GPU organisation). Bottom-row mesh nodes host the MCs.
 pub fn run_memsim(cfg: MemSimConfig, seed: u64) -> MemSimResult {
-    let req_net = Mesh::new(cfg.mesh);
+    run_memsim_traced(cfg, seed, TelemetryHandle::disabled())
+}
+
+/// [`run_memsim`] with a telemetry handle attached to both networks: mesh
+/// queue-depth samples, MC reply-queue back-pressure stall counters
+/// (`noc.memsim.mc_backpressure_stalls`), reply-interface injection stalls,
+/// per-window utilisation trace events, and the meshes' exported metrics all
+/// land on the handle.
+pub fn run_memsim_traced(cfg: MemSimConfig, seed: u64, telemetry: TelemetryHandle) -> MemSimResult {
+    let mut req_net = Mesh::new(cfg.mesh);
     // The reply network routes Y-first so that replies leaving the MC row
     // fan out over the columns instead of all funnelling along row 0.
-    let reply_net = Mesh::new(MeshConfig {
+    let mut reply_net = Mesh::new(MeshConfig {
         route_order: RouteOrder::Yx,
         ..cfg.mesh
     });
-    run_memsim_on(cfg, seed, req_net, reply_net)
+    req_net.set_telemetry(telemetry.clone());
+    reply_net.set_telemetry(telemetry.clone());
+    run_memsim_on(cfg, seed, req_net, reply_net, telemetry)
 }
 
 /// Runs the request/reply simulation on **one physical network** with two
@@ -113,11 +125,19 @@ pub fn run_memsim(cfg: MemSimConfig, seed: u64) -> MemSimResult {
 /// steals request bandwidth, so utilisation is generally at or below the
 /// two-network configuration.
 pub fn run_memsim_shared(cfg: MemSimConfig, seed: u64) -> MemSimResult {
-    let shared = Mesh::new(MeshConfig {
-        vcs: 2,
-        ..cfg.mesh
-    });
-    run_memsim_shared_impl(cfg, seed, shared)
+    run_memsim_shared_traced(cfg, seed, TelemetryHandle::disabled())
+}
+
+/// [`run_memsim_shared`] with a telemetry handle attached to the shared
+/// network (same instrumentation as [`run_memsim_traced`]).
+pub fn run_memsim_shared_traced(
+    cfg: MemSimConfig,
+    seed: u64,
+    telemetry: TelemetryHandle,
+) -> MemSimResult {
+    let mut shared = Mesh::new(MeshConfig { vcs: 2, ..cfg.mesh });
+    shared.set_telemetry(telemetry.clone());
+    run_memsim_shared_impl(cfg, seed, shared, telemetry)
 }
 
 fn run_memsim_on(
@@ -125,6 +145,7 @@ fn run_memsim_on(
     seed: u64,
     mut req_net: Mesh,
     mut reply_net: Mesh,
+    telemetry: TelemetryHandle,
 ) -> MemSimResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let width = cfg.mesh.width;
@@ -144,6 +165,8 @@ fn run_memsim_on(
     let mut timeline = Vec::new();
     let mut requests_injected = 0u64;
     let mut replies_delivered = 0u64;
+    let mut mc_backpressure_stalls = 0u64;
+    let mut reply_inject_stalls = 0u64;
     let total = cfg.warmup + cfg.measure;
 
     for cycle in 0..total {
@@ -164,7 +187,11 @@ fn run_memsim_on(
         // MC back-pressure: stop accepting requests when the reply queue is
         // full (this is the reply-interface bottleneck feeding backwards).
         for mc in &mcs {
-            req_net.set_ejection_enabled(mc.node, mc.reply_queue.len() < cfg.mc_reply_queue);
+            let accepting = mc.reply_queue.len() < cfg.mc_reply_queue;
+            req_net.set_ejection_enabled(mc.node, accepting);
+            if !accepting && measuring {
+                mc_backpressure_stalls += 1;
+            }
         }
 
         req_net.step();
@@ -197,9 +224,10 @@ fn run_memsim_on(
         // Reply injection into the reply network (the NoC↔MEM interface).
         for mc in &mut mcs {
             if let Some(&requester) = mc.reply_queue.front() {
-                if reply_net.try_inject(mc.node, requester, cfg.reply_flits, PacketClass::Reply)
-                {
+                if reply_net.try_inject(mc.node, requester, cfg.reply_flits, PacketClass::Reply) {
                     mc.reply_queue.pop_front();
+                } else if measuring {
+                    reply_inject_stalls += 1;
                 }
             }
         }
@@ -213,7 +241,13 @@ fn run_memsim_on(
 
         // Utilisation window bookkeeping (channel 0).
         if measuring && (cycle - cfg.warmup + 1).is_multiple_of(cfg.window) {
-            timeline.push(mcs[0].busy_cycles_window as f64 / cfg.window as f64);
+            let util = mcs[0].busy_cycles_window as f64 / cfg.window as f64;
+            timeline.push(util);
+            telemetry.emit_with(|| {
+                TraceEvent::new(cycle, SUBSYSTEM_NOC, "utilization_window")
+                    .with("channel", 0u64)
+                    .with("utilization", util)
+            });
             for mc in &mut mcs {
                 mc.busy_cycles_window = 0;
             }
@@ -222,6 +256,15 @@ fn run_memsim_on(
 
     let busy_total: u64 = mcs.iter().map(|m| m.busy_cycles_total).sum();
     let mean_utilization = busy_total as f64 / (cfg.measure * width as u64) as f64;
+    export_memsim_metrics(
+        &telemetry,
+        mc_backpressure_stalls,
+        reply_inject_stalls,
+        requests_injected,
+        replies_delivered,
+        mean_utilization,
+        &[&req_net, &reply_net],
+    );
     MemSimResult {
         utilization_timeline: timeline,
         mean_utilization,
@@ -230,7 +273,42 @@ fn run_memsim_on(
     }
 }
 
-fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSimResult {
+/// Flushes end-of-run memsim counters plus each network's mesh metrics into
+/// the telemetry registry (mesh counters aggregate across the networks;
+/// gauges reflect the last network exported).
+#[allow(clippy::too_many_arguments)]
+fn export_memsim_metrics(
+    telemetry: &TelemetryHandle,
+    mc_backpressure_stalls: u64,
+    reply_inject_stalls: u64,
+    requests_injected: u64,
+    replies_delivered: u64,
+    mean_utilization: f64,
+    nets: &[&Mesh],
+) {
+    telemetry.with(|t| {
+        t.registry
+            .counter_add("noc.memsim.mc_backpressure_stalls", mc_backpressure_stalls);
+        t.registry
+            .counter_add("noc.memsim.reply_inject_stalls", reply_inject_stalls);
+        t.registry
+            .counter_add("noc.memsim.requests", requests_injected);
+        t.registry
+            .counter_add("noc.memsim.replies", replies_delivered);
+        t.registry
+            .gauge_set("noc.memsim.mean_utilization", mean_utilization);
+        for net in nets {
+            net.export_metrics(&mut t.registry);
+        }
+    });
+}
+
+fn run_memsim_shared_impl(
+    cfg: MemSimConfig,
+    seed: u64,
+    mut net: Mesh,
+    telemetry: TelemetryHandle,
+) -> MemSimResult {
     use crate::packet::Packet;
     let mut rng = StdRng::seed_from_u64(seed);
     let width = cfg.mesh.width;
@@ -250,6 +328,8 @@ fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSim
     let mut timeline = Vec::new();
     let mut requests_injected = 0u64;
     let mut replies_delivered = 0u64;
+    let mut mc_backpressure_stalls = 0u64;
+    let mut reply_inject_stalls = 0u64;
     let total = cfg.warmup + cfg.measure;
 
     for cycle in 0..total {
@@ -258,9 +338,7 @@ fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSim
         for &src in &compute {
             if rng.gen::<f64>() < cfg.inject_rate {
                 let dst = NodeId::new(rng.gen_range(0..width) as u32);
-                if net.try_inject(src, dst, cfg.request_flits, PacketClass::Request)
-                    && measuring
-                {
+                if net.try_inject(src, dst, cfg.request_flits, PacketClass::Request) && measuring {
                     requests_injected += 1;
                 }
             }
@@ -268,7 +346,11 @@ fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSim
 
         // MC back-pressure gates request intake at the MC nodes.
         for mc in &mcs {
-            net.set_ejection_enabled(mc.node, mc.reply_queue.len() < cfg.mc_reply_queue);
+            let accepting = mc.reply_queue.len() < cfg.mc_reply_queue;
+            net.set_ejection_enabled(mc.node, accepting);
+            if !accepting && measuring {
+                mc_backpressure_stalls += 1;
+            }
         }
 
         net.step();
@@ -311,12 +393,20 @@ fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSim
             if let Some(&requester) = mc.reply_queue.front() {
                 if net.try_inject(mc.node, requester, cfg.reply_flits, PacketClass::Reply) {
                     mc.reply_queue.pop_front();
+                } else if measuring {
+                    reply_inject_stalls += 1;
                 }
             }
         }
 
         if measuring && (cycle - cfg.warmup + 1).is_multiple_of(cfg.window) {
-            timeline.push(mcs[0].busy_cycles_window as f64 / cfg.window as f64);
+            let util = mcs[0].busy_cycles_window as f64 / cfg.window as f64;
+            timeline.push(util);
+            telemetry.emit_with(|| {
+                TraceEvent::new(cycle, SUBSYSTEM_NOC, "utilization_window")
+                    .with("channel", 0u64)
+                    .with("utilization", util)
+            });
             for mc in &mut mcs {
                 mc.busy_cycles_window = 0;
             }
@@ -325,6 +415,15 @@ fn run_memsim_shared_impl(cfg: MemSimConfig, seed: u64, mut net: Mesh) -> MemSim
 
     let busy_total: u64 = mcs.iter().map(|m| m.busy_cycles_total).sum();
     let mean_utilization = busy_total as f64 / (cfg.measure * width as u64) as f64;
+    export_memsim_metrics(
+        &telemetry,
+        mc_backpressure_stalls,
+        reply_inject_stalls,
+        requests_injected,
+        replies_delivered,
+        mean_utilization,
+        &[&net],
+    );
     MemSimResult {
         utilization_timeline: timeline,
         mean_utilization,
@@ -409,6 +508,41 @@ mod tests {
             one.mean_utilization,
             two.mean_utilization
         );
+    }
+
+    #[test]
+    fn traced_run_reports_backpressure_and_windows() {
+        use gnoc_telemetry::{MemorySink, Telemetry, TelemetryHandle};
+
+        let sink = MemorySink::new();
+        let telemetry = TelemetryHandle::attach(Telemetry::with_sink(Box::new(sink.clone())));
+        let cfg = MemSimConfig {
+            warmup: 500,
+            measure: 2_000,
+            ..MemSimConfig::underprovisioned()
+        };
+        let r = run_memsim_traced(cfg, 1, telemetry.clone());
+        // Untraced run with the same seed must be bit-identical.
+        assert_eq!(r, run_memsim(cfg, 1));
+
+        let reg = telemetry.snapshot_registry().unwrap();
+        assert!(
+            reg.counter("noc.memsim.mc_backpressure_stalls") > 0,
+            "an underprovisioned reply interface must back-pressure the MCs"
+        );
+        assert!(reg.counter("noc.memsim.reply_inject_stalls") > 0);
+        assert_eq!(reg.counter("noc.memsim.requests"), r.requests_injected);
+        assert_eq!(reg.counter("noc.memsim.replies"), r.replies_delivered);
+        assert!(reg.counter("noc.flits") > 0, "mesh metrics exported");
+        assert!(reg.gauge("noc.memsim.mean_utilization").is_some());
+
+        let events = sink.snapshot();
+        let windows = events
+            .iter()
+            .filter(|e| e.event == "utilization_window")
+            .count();
+        assert_eq!(windows as u64, cfg.measure / cfg.window);
+        assert!(events.iter().any(|e| e.event == "queue_depth"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::arbiter::{Arbiter, ArbiterKind};
 use crate::packet::{NodeId, Packet, PacketClass};
+use gnoc_telemetry::{MetricRegistry, TelemetryHandle, TraceEvent, SUBSYSTEM_NOC};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -88,6 +89,8 @@ struct Router {
 const LAT_BUCKET: u64 = 4;
 /// Number of latency histogram buckets (last bucket absorbs the tail).
 const LAT_BUCKETS: usize = 512;
+/// Cycles per link-demand window and between telemetry queue-depth samples.
+const WINDOW_CYCLES: u64 = 64;
 
 /// Per-simulation statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -103,6 +106,14 @@ pub struct MeshStats {
     /// Latency histogram in [`LAT_BUCKET`]-cycle buckets (tail clamps into
     /// the final bucket), for percentile queries.
     pub latency_histogram: Vec<u64>,
+    /// Flits forwarded per directed link, indexed `router * NUM_PORTS + port`
+    /// (the `LOCAL` port counts ejections). Divide by elapsed cycles for link
+    /// utilisation.
+    pub link_flits: Vec<u64>,
+    /// Peak flits forwarded by any single link within one
+    /// [`WINDOW_CYCLES`]-cycle window — the burst-demand figure that sizes
+    /// link bandwidth, as opposed to the long-run average.
+    pub peak_window_flits: u64,
 }
 
 impl MeshStats {
@@ -137,6 +148,17 @@ impl MeshStats {
         (LAT_BUCKETS as u64 * LAT_BUCKET) as f64
     }
 
+    /// The directed link that forwarded the most flits, as
+    /// `(router, port, flits)`. `None` before any traffic.
+    pub fn busiest_link(&self) -> Option<(usize, usize, u64)> {
+        let (idx, &flits) = self
+            .link_flits
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))?;
+        (flits > 0).then_some((idx / NUM_PORTS, idx % NUM_PORTS, flits))
+    }
+
     fn record_latency(&mut self, latency: u64) {
         if self.latency_histogram.is_empty() {
             self.latency_histogram = vec![0; LAT_BUCKETS];
@@ -156,6 +178,10 @@ pub struct Mesh {
     ejection_enabled: Vec<bool>,
     ejected: Vec<Packet>,
     stats: MeshStats,
+    /// Flits per link in the current [`WINDOW_CYCLES`] window (folded into
+    /// `stats.peak_window_flits` at each window boundary).
+    window_flits: Vec<u64>,
+    telemetry: TelemetryHandle,
 }
 
 impl Mesh {
@@ -166,7 +192,10 @@ impl Mesh {
     /// Panics if any dimension or the buffer size is zero.
     pub fn new(cfg: MeshConfig) -> Self {
         assert!(cfg.width > 0 && cfg.height > 0, "mesh must be non-empty");
-        assert!(cfg.buffer_packets > 0, "buffers must hold at least 1 packet");
+        assert!(
+            cfg.buffer_packets > 0,
+            "buffers must hold at least 1 packet"
+        );
         assert!(cfg.vcs > 0, "need at least one virtual channel");
         let n = cfg.num_nodes();
         let router = Router {
@@ -184,9 +213,26 @@ impl Mesh {
             stats: MeshStats {
                 delivered_by_src: vec![0; n],
                 injected_by_src: vec![0; n],
+                link_flits: vec![0; n * NUM_PORTS],
                 ..MeshStats::default()
             },
+            window_flits: vec![0; n * NUM_PORTS],
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. An enabled mesh samples router input
+    /// queue depths every [`WINDOW_CYCLES`] cycles into the
+    /// `noc.router_queue_depth` histogram (plus `queue_depth` trace events
+    /// for the deepest router); the disabled default adds one branch per
+    /// window boundary and nothing else.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The mesh's telemetry handle.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Current simulation cycle.
@@ -206,8 +252,10 @@ impl Mesh {
         self.stats = MeshStats {
             delivered_by_src: vec![0; n],
             injected_by_src: vec![0; n],
+            link_flits: vec![0; n * NUM_PORTS],
             ..MeshStats::default()
         };
+        self.window_flits.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Enables or disables ejection at `node` — the back-pressure hook used
@@ -219,13 +267,7 @@ impl Mesh {
 
     /// Attempts to inject a packet at `src`; returns `false` when the local
     /// input buffer is full (the terminal must retry later).
-    pub fn try_inject(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        flits: u32,
-        class: PacketClass,
-    ) -> bool {
+    pub fn try_inject(&mut self, src: NodeId, dst: NodeId, flits: u32, class: PacketClass) -> bool {
         let birth = self.cycle;
         self.try_inject_with_birth(src, dst, flits, class, birth)
     }
@@ -402,6 +444,9 @@ impl Mesh {
                 .expect("winner has a head packet");
             self.routers[m.router].output_busy_until[m.out_port] =
                 self.cycle + u64::from(packet.flits);
+            let link = m.router * NUM_PORTS + m.out_port;
+            self.stats.link_flits[link] += u64::from(packet.flits);
+            self.window_flits[link] += u64::from(packet.flits);
             if m.out_port == LOCAL {
                 self.stats.delivered_by_src[packet.src.index()] += 1;
                 self.stats.delivered_total += 1;
@@ -415,6 +460,85 @@ impl Mesh {
         }
 
         self.cycle += 1;
+        if self.cycle.is_multiple_of(WINDOW_CYCLES) {
+            self.close_window();
+        }
+    }
+
+    /// Window boundary: fold the per-link window demand into the peak and
+    /// sample router queue depths into telemetry when enabled.
+    fn close_window(&mut self) {
+        let window_peak = self.window_flits.iter().copied().max().unwrap_or(0);
+        if window_peak > self.stats.peak_window_flits {
+            self.stats.peak_window_flits = window_peak;
+        }
+        self.window_flits.iter_mut().for_each(|w| *w = 0);
+
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut deepest = (0usize, 0usize); // (router, depth)
+        self.telemetry.with(|t| {
+            for (r, router) in self.routers.iter().enumerate() {
+                let depth: usize = router
+                    .inputs
+                    .iter()
+                    .flat_map(|port| port.iter().map(VecDeque::len))
+                    .sum();
+                t.registry
+                    .hist_record("noc.router_queue_depth", depth as u64);
+                if depth > deepest.1 {
+                    deepest = (r, depth);
+                }
+            }
+            t.registry
+                .counter_add("noc.queue_samples", self.routers.len() as u64);
+        });
+        if deepest.1 > 0 {
+            self.telemetry.emit_with(|| {
+                TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "queue_depth")
+                    .with("router", deepest.0)
+                    .with("depth", deepest.1)
+            });
+        }
+    }
+
+    /// Exports the mesh's statistics into `registry`: delivery/injection
+    /// counters, latency gauges, the per-link flit distribution, peak window
+    /// demand, and total arbiter grants.
+    pub fn export_metrics(&self, registry: &mut MetricRegistry) {
+        registry.counter_add("noc.delivered", self.stats.delivered_total);
+        registry.counter_add(
+            "noc.injected",
+            self.stats.injected_by_src.iter().sum::<u64>(),
+        );
+        registry.counter_add("noc.flits", self.stats.link_flits.iter().sum::<u64>());
+        registry.counter_add(
+            "noc.arbiter.grants",
+            self.routers
+                .iter()
+                .flat_map(|r| r.arbiters.iter().map(Arbiter::grants))
+                .sum::<u64>(),
+        );
+        registry.gauge_set("noc.latency.mean", self.stats.mean_latency());
+        registry.gauge_set("noc.latency.p99", self.stats.latency_quantile(0.99));
+        registry.gauge_max(
+            "noc.link.peak_window_flits",
+            self.stats.peak_window_flits as f64,
+        );
+        if let Some((router, port, flits)) = self.stats.busiest_link() {
+            registry.gauge_set("noc.link.busiest.router", router as f64);
+            registry.gauge_set("noc.link.busiest.port", port as f64);
+            registry.gauge_max(
+                "noc.link.busiest.utilisation",
+                flits as f64 / self.cycle.max(1) as f64,
+            );
+        }
+        for &flits in &self.stats.link_flits {
+            if flits > 0 {
+                registry.hist_record("noc.link_flits", flits);
+            }
+        }
     }
 
     /// Runs `cycles` steps.
@@ -603,6 +727,72 @@ mod tests {
         // Same jam with one VC: the reply cannot even enter the network.
         let mut m = jammed_request_path(1);
         assert!(!m.try_inject(NodeId::new(0), NodeId::new(8), 1, PacketClass::Reply));
+    }
+
+    #[test]
+    fn link_flits_track_forwarded_traffic() {
+        let mut m = small();
+        m.try_inject(NodeId::new(0), NodeId::new(2), 2, PacketClass::Request);
+        m.run(20);
+        let s = m.stats();
+        // 0 → 2 goes east twice then ejects: three links each carried 2 flits.
+        assert_eq!(s.link_flits.iter().sum::<u64>(), 6);
+        assert_eq!(s.link_flits[EAST], 2, "east out of router 0");
+        assert_eq!(s.link_flits[NUM_PORTS + EAST], 2, "east out of router 1");
+        assert_eq!(s.link_flits[2 * NUM_PORTS + LOCAL], 2, "ejection at 2");
+        let (router, port, flits) = s.busiest_link().unwrap();
+        assert_eq!(flits, 2);
+        assert!(port == EAST || port == LOCAL, "router {router} port {port}");
+    }
+
+    #[test]
+    fn peak_window_demand_sees_bursts() {
+        let mut m = small();
+        for _ in 0..4 {
+            m.try_inject(NodeId::new(0), NodeId::new(2), 4, PacketClass::Request);
+        }
+        m.run(WINDOW_CYCLES * 2);
+        assert!(
+            m.stats().peak_window_flits >= 4,
+            "{}",
+            m.stats().peak_window_flits
+        );
+        m.reset_stats();
+        assert_eq!(m.stats().peak_window_flits, 0);
+    }
+
+    #[test]
+    fn telemetry_samples_queue_depths_and_exports_metrics() {
+        use gnoc_telemetry::{MemorySink, Telemetry, TelemetryHandle};
+
+        let sink = MemorySink::new();
+        let mut m = Mesh::new(MeshConfig::paper_6x6(ArbiterKind::RoundRobin));
+        m.set_telemetry(TelemetryHandle::attach(Telemetry::with_sink(Box::new(
+            sink.clone(),
+        ))));
+        // Keep a hotspot congested across several sample windows.
+        for cycle in 0..(WINDOW_CYCLES * 4) {
+            let _ = m.try_inject(
+                NodeId::new((cycle % 36) as u32),
+                NodeId::new(0),
+                2,
+                PacketClass::Request,
+            );
+            m.step();
+        }
+        let reg = m.telemetry().snapshot_registry().unwrap();
+        assert!(reg.counter("noc.queue_samples") > 0);
+        assert!(reg.hist("noc.router_queue_depth").unwrap().count() > 0);
+        let events = sink.snapshot();
+        assert!(!events.is_empty(), "congestion should produce depth events");
+        assert!(events.iter().all(|e| e.subsystem == "noc"));
+
+        let mut out = gnoc_telemetry::MetricRegistry::new();
+        m.export_metrics(&mut out);
+        assert!(out.counter("noc.delivered") > 0);
+        assert!(out.counter("noc.flits") > 0);
+        assert!(out.counter("noc.arbiter.grants") >= out.counter("noc.delivered"));
+        assert!(out.gauge("noc.latency.mean").unwrap() > 0.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::arbiter::ArbiterKind;
 use crate::mesh::{Mesh, MeshConfig};
 use crate::packet::{NodeId, PacketClass};
+use gnoc_telemetry::TelemetryHandle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -59,7 +60,19 @@ impl FairnessConfig {
 /// Runs the Fig. 23 experiment: bottom-row nodes are MCs, every other node
 /// injects uniform-random traffic to a random MC.
 pub fn run_fairness(cfg: FairnessConfig, seed: u64) -> FairnessResult {
+    run_fairness_traced(cfg, seed, TelemetryHandle::disabled())
+}
+
+/// [`run_fairness`] with a telemetry handle attached to the mesh (queue-depth
+/// sampling during the run, link/arbiter metrics and per-node throughput
+/// spread exported afterwards).
+pub fn run_fairness_traced(
+    cfg: FairnessConfig,
+    seed: u64,
+    telemetry: TelemetryHandle,
+) -> FairnessResult {
     let mut mesh = Mesh::new(cfg.mesh);
+    mesh.set_telemetry(telemetry.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let width = cfg.mesh.width;
     let n = cfg.mesh.num_nodes();
@@ -83,8 +96,7 @@ pub fn run_fairness(cfg: FairnessConfig, seed: u64) -> FairnessResult {
                 backlog[src.index()].push_back((cycle, dst));
             }
             if let Some(&(birth, dst)) = backlog[src.index()].front() {
-                if mesh.try_inject_with_birth(src, dst, cfg.flits, PacketClass::Request, birth)
-                {
+                if mesh.try_inject_with_birth(src, dst, cfg.flits, PacketClass::Request, birth) {
                     backlog[src.index()].pop_front();
                 }
             }
@@ -99,11 +111,20 @@ pub fn run_fairness(cfg: FairnessConfig, seed: u64) -> FairnessResult {
         .collect();
     let max = throughput.iter().cloned().fold(0.0f64, f64::max);
     let min = throughput.iter().cloned().fold(f64::INFINITY, f64::min);
+    let unfairness = if min > 0.0 { max / min } else { f64::INFINITY };
+    telemetry.with(|t| {
+        mesh.export_metrics(&mut t.registry);
+        t.registry.gauge_set("noc.fairness.throughput_max", max);
+        t.registry.gauge_set("noc.fairness.throughput_min", min);
+        if unfairness.is_finite() {
+            t.registry.gauge_set("noc.fairness.unfairness", unfairness);
+        }
+    });
     FairnessResult {
         throughput,
         compute_nodes,
         mc_nodes,
-        unfairness: if min > 0.0 { max / min } else { f64::INFINITY },
+        unfairness,
     }
 }
 
@@ -149,6 +170,24 @@ mod tests {
         let total: f64 = r.throughput.iter().sum();
         assert!(total <= 6.0 + 1e-9);
         assert!(total > 3.0, "mesh should sustain load: {total:.2}");
+    }
+
+    #[test]
+    fn traced_fairness_exports_spread() {
+        let telemetry = TelemetryHandle::enabled();
+        let cfg = FairnessConfig {
+            warmup: 500,
+            measure: 2_000,
+            ..FairnessConfig::paper(ArbiterKind::RoundRobin)
+        };
+        let r = run_fairness_traced(cfg, 1, telemetry.clone());
+        assert_eq!(r, run_fairness(cfg, 1), "tracing must not perturb the run");
+        let reg = telemetry.snapshot_registry().unwrap();
+        let max = reg.gauge("noc.fairness.throughput_max").unwrap();
+        let min = reg.gauge("noc.fairness.throughput_min").unwrap();
+        assert!(max >= min && min > 0.0);
+        assert!((reg.gauge("noc.fairness.unfairness").unwrap() - max / min).abs() < 1e-12);
+        assert!(reg.counter("noc.flits") > 0);
     }
 
     #[test]

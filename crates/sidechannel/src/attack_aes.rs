@@ -142,8 +142,7 @@ pub fn run_aes_attack(dev: &mut GpuDevice, cfg: &AesAttackConfig, seed: u64) -> 
         let predicted: Vec<f64> = ct_bytes
             .iter()
             .map(|warp| {
-                let indices: Vec<u8> =
-                    warp.iter().map(|&c| inv[(c ^ guess) as usize]).collect();
+                let indices: Vec<u8> = warp.iter().map(|&c| inv[(c ^ guess) as usize]).collect();
                 unique_lines(cfg.position, &indices) as f64
             })
             .collect();
@@ -151,7 +150,11 @@ pub fn run_aes_attack(dev: &mut GpuDevice, cfg: &AesAttackConfig, seed: u64) -> 
     }
 
     let mut order: Vec<usize> = (0..256).collect();
-    order.sort_by(|&a, &b| correlations[b].partial_cmp(&correlations[a]).expect("finite"));
+    order.sort_by(|&a, &b| {
+        correlations[b]
+            .partial_cmp(&correlations[a])
+            .expect("finite")
+    });
     let best_guess = order[0] as u8;
     let margin = correlations[order[0]] - correlations[order[1]];
     AesAttackResult {
@@ -167,8 +170,8 @@ mod tests {
     use super::*;
 
     const KEY: [u8; 16] = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
 
     #[test]

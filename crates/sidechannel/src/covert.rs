@@ -52,7 +52,8 @@ impl CovertChannelConfig {
     /// pressure on the slice — the weak-signal baseline.
     pub fn far(dev: &GpuDevice, slice: SliceId, tx_count: usize) -> Self {
         let near = dev.hierarchy().slice(slice).partition;
-        let far = PartitionId::new((near.index() as u32 + 1) % dev.hierarchy().num_partitions() as u32);
+        let far =
+            PartitionId::new((near.index() as u32 + 1) % dev.hierarchy().num_partitions() as u32);
         let tx = dev.hierarchy().sms_in_partition(far);
         let rx = dev.hierarchy().sms_in_partition(near);
         Self {

@@ -97,7 +97,10 @@ mod tests {
     }
 
     fn avg(dev: &mut GpuDevice, sm: SmId, lines: &[u8]) -> f64 {
-        (0..24).map(|_| warp_read_cycles(dev, sm, lines)).sum::<f64>() / 24.0
+        (0..24)
+            .map(|_| warp_read_cycles(dev, sm, lines))
+            .sum::<f64>()
+            / 24.0
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Structured event tracing.
+//!
+//! A [`TraceEvent`] is one timestamped record: the virtual cycle it happened
+//! at, which subsystem emitted it (`engine`, `noc`, `campaign`), an event
+//! name, and free-form key/value fields. Events flow into a [`TraceSink`];
+//! the [`JsonlWriter`] sink renders one JSON object per line (JSONL), flat so
+//! downstream tools can load it without schema knowledge:
+//!
+//! ```json
+//! {"cycle":1412,"subsystem":"noc","event":"queue_depth","router":14,"depth":7}
+//! ```
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A scalar field value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time: simulator cycle (NoC sim) or accumulated model cycles
+    /// (engine); 0 for wall-clock-only campaign events.
+    pub cycle: u64,
+    /// Emitting layer: `"engine"`, `"noc"`, or `"campaign"`.
+    pub subsystem: String,
+    /// Event name, e.g. `"access"`, `"mc_backpressure"`, `"sm_profile"`.
+    pub event: String,
+    /// Additional key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    pub fn new(cycle: u64, subsystem: &str, event: &str) -> Self {
+        TraceEvent {
+            cycle,
+            subsystem: subsystem.to_string(),
+            event: event.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, key: &str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a payload field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+// The JSONL schema is flat — payload fields sit beside the three fixed keys —
+// so Serialize/Deserialize are written by hand against the serde shim's value
+// model rather than derived. (If the real serde crate ever replaces the shim,
+// these two impls are the only telemetry code that needs porting.)
+impl Serialize for FieldValue {
+    fn serialize_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::U64(*v),
+            FieldValue::I64(v) => v.serialize_value(),
+            FieldValue::F64(v) => Value::F64(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+impl Deserialize for FieldValue {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(match value {
+            Value::U64(v) => FieldValue::U64(*v),
+            Value::I64(v) => FieldValue::I64(*v),
+            Value::F64(v) => FieldValue::F64(*v),
+            Value::Bool(v) => FieldValue::Bool(*v),
+            Value::Str(v) => FieldValue::Str(v.clone()),
+            other => {
+                return Err(serde::Error::msg(format!(
+                    "trace field must be a scalar, found {other:?}"
+                )))
+            }
+        })
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn serialize_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(3 + self.fields.len());
+        entries.push(("cycle".to_string(), Value::U64(self.cycle)));
+        entries.push(("subsystem".to_string(), Value::Str(self.subsystem.clone())));
+        entries.push(("event".to_string(), Value::Str(self.event.clone())));
+        for (k, v) in &self.fields {
+            entries.push((k.clone(), v.serialize_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        let entries = match value {
+            Value::Object(entries) => entries,
+            _ => return Err(serde::Error::msg("trace event must be a JSON object")),
+        };
+        let mut event = TraceEvent::new(0, "", "");
+        let mut seen_subsystem = false;
+        let mut seen_event = false;
+        for (k, v) in entries {
+            match k.as_str() {
+                "cycle" => {
+                    event.cycle = v
+                        .as_u64()
+                        .ok_or_else(|| serde::Error::msg("cycle must be a u64"))?;
+                }
+                "subsystem" => {
+                    event.subsystem = String::deserialize_value(v)?;
+                    seen_subsystem = true;
+                }
+                "event" => {
+                    event.event = String::deserialize_value(v)?;
+                    seen_event = true;
+                }
+                _ => event
+                    .fields
+                    .push((k.clone(), FieldValue::deserialize_value(v)?)),
+            }
+        }
+        if !seen_subsystem || !seen_event {
+            return Err(serde::Error::msg(
+                "trace event needs `subsystem` and `event` keys",
+            ));
+        }
+        Ok(event)
+    }
+}
+
+/// Destination for trace events.
+pub trait TraceSink: fmt::Debug + Send {
+    fn emit(&mut self, event: &TraceEvent);
+
+    fn flush(&mut self) {}
+}
+
+/// Discards everything (the explicit "tracing off" sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory behind a shared handle: clone the sink, hand one
+/// clone to the telemetry layer, and read the events back from the other
+/// after the run. Used by tests and by callers that post-process the trace
+/// themselves.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    events: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the buffered events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+
+    /// Drains and returns the buffered events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink lock"))
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event to a buffered writer (JSONL).
+pub struct JsonlWriter<W: Write + Send> {
+    writer: BufWriter<W>,
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlWriter")
+    }
+}
+
+impl JsonlWriter<File> {
+    /// Creates/truncates `path` and streams events into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlWriter {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlWriter {
+            writer: BufWriter::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlWriter<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace event serializes");
+        // Trace IO failures must not abort a simulation; drop the event.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let ev = TraceEvent::new(1412, "noc", "queue_depth")
+            .with("router", 14usize)
+            .with("depth", 7u64)
+            .with("util", 0.5)
+            .with("stalled", true)
+            .with("kind", "reply");
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(
+            line.starts_with("{\"cycle\":1412,\"subsystem\":\"noc\""),
+            "{line}"
+        );
+        let back = parse_jsonl_line(&line).unwrap();
+        assert_eq!(ev, back);
+        assert_eq!(back.field("router"), Some(&FieldValue::U64(14)));
+    }
+
+    #[test]
+    fn memory_sink_buffers_through_clones() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        writer.emit(&TraceEvent::new(1, "engine", "access"));
+        writer.emit(&TraceEvent::new(2, "engine", "access"));
+        assert_eq!(sink.len(), 2);
+        let drained = sink.take();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.emit(&TraceEvent::new(5, "campaign", "probe").with("sm", 3u64));
+        sink.emit(&TraceEvent::new(6, "campaign", "probe").with("sm", 4u64));
+        sink.flush();
+        let bytes = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse_jsonl_line(line).unwrap();
+        }
+    }
+}

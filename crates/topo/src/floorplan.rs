@@ -117,11 +117,7 @@ impl Floorplan {
             if !mps.is_empty() {
                 let mp_w = stripe_w / mps.len() as f64;
                 for (im, &mp) in mps.iter().enumerate() {
-                    let rect = Rect::new(
-                        Point::new(x0 + mp_w * im as f64, band_y0),
-                        mp_w,
-                        band_h,
-                    );
+                    let rect = Rect::new(Point::new(x0 + mp_w * im as f64, band_y0), mp_w, band_h);
                     mp_rect[mp.index()] = rect;
                     // Slices sit in a single row on the band centreline:
                     // their *vertical* position is symmetric between the top

@@ -261,7 +261,10 @@ impl Hierarchy {
                 }
             }
         }
-        let sms: Vec<SmInfo> = sms.into_iter().map(|s| s.expect("all sms assigned")).collect();
+        let sms: Vec<SmInfo> = sms
+            .into_iter()
+            .map(|s| s.expect("all sms assigned"))
+            .collect();
 
         // Slices are enumerated MP-major; MPs are ordered so that partition 0
         // owns the first block of slice ids (paper Fig. 12: A100 slices 0-39
@@ -541,12 +544,7 @@ mod tests {
                 PartitionId::new(1),
             ],
             sm_enumeration: SmEnumeration::RoundRobinTpc {
-                gpc_order: vec![
-                    GpcId::new(0),
-                    GpcId::new(2),
-                    GpcId::new(1),
-                    GpcId::new(3),
-                ],
+                gpc_order: vec![GpcId::new(0), GpcId::new(2), GpcId::new(1), GpcId::new(3)],
             },
         }
     }

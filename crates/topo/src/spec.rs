@@ -92,14 +92,7 @@ impl GpuSpec {
             name: "V100".to_owned(),
             generation: Generation::Volta,
             hierarchy: HierarchySpec {
-                gpc_cpc_tpcs: vec![
-                    vec![7],
-                    vec![7],
-                    vec![7],
-                    vec![7],
-                    vec![6],
-                    vec![6],
-                ],
+                gpc_cpc_tpcs: vec![vec![7], vec![7], vec![7], vec![7], vec![6], vec![6]],
                 sms_per_tpc: 2,
                 gpc_partition: vec![PartitionId::new(0); gpcs],
                 num_partitions: 1,
@@ -349,10 +342,7 @@ mod tests {
     fn a100_sm0_and_sm2_are_on_different_partitions() {
         // The premise of paper Fig. 12.
         let h = GpuSpec::a100().hierarchy();
-        assert_ne!(
-            h.sm(SmId::new(0)).partition,
-            h.sm(SmId::new(2)).partition
-        );
+        assert_ne!(h.sm(SmId::new(0)).partition, h.sm(SmId::new(2)).partition);
     }
 
     #[test]

@@ -254,9 +254,13 @@ mod tests {
             name: "x".into(),
             steps: vec![vec![1, 2, 3]],
         };
-        let _ = replay(&dev, &t, &ReplayConfig {
-            blocks: 0,
-            ..ReplayConfig::default()
-        });
+        let _ = replay(
+            &dev,
+            &t,
+            &ReplayConfig {
+                blocks: 0,
+                ..ReplayConfig::default()
+            },
+        );
     }
 }

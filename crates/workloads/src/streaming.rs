@@ -84,7 +84,15 @@ mod tests {
             lines_per_step: 4,
             steps: 3,
         });
-        assert_eq!(t.steps[0], vec![STREAM_BASE, STREAM_BASE + 1, STREAM_BASE + 2, STREAM_BASE + 3]);
+        assert_eq!(
+            t.steps[0],
+            vec![
+                STREAM_BASE,
+                STREAM_BASE + 1,
+                STREAM_BASE + 2,
+                STREAM_BASE + 3
+            ]
+        );
         assert_eq!(t.steps[1][0], STREAM_BASE + 4);
     }
 

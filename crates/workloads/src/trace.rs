@@ -32,7 +32,11 @@ impl MemoryTrace {
 }
 
 /// Traffic per (time step, L2 slice): the Fig. 16 heatmap data.
-pub fn slice_traffic(trace: &MemoryTrace, map: &AddressMap, requester: PartitionId) -> Vec<Vec<f64>> {
+pub fn slice_traffic(
+    trace: &MemoryTrace,
+    map: &AddressMap,
+    requester: PartitionId,
+) -> Vec<Vec<f64>> {
     trace
         .steps
         .iter()

@@ -18,7 +18,12 @@ fn main() {
             let cells: Vec<String> = (0..6)
                 .map(|c| format!("{:.3}", r.throughput[row * 6 + c]))
                 .collect();
-            println!("  mesh row {} (hops to MCs: {}): {}", row + 1, row + 1, cells.join(" "));
+            println!(
+                "  mesh row {} (hops to MCs: {}): {}",
+                row + 1,
+                row + 1,
+                cells.join(" ")
+            );
         }
     }
 
@@ -34,7 +39,12 @@ fn main() {
         for i in 0..30u32 {
             rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let dst = (rng_state >> 33) % 6;
-            let _ = xbar.try_inject(NodeId::new(i), NodeId::new(dst as u32), 1, PacketClass::Request);
+            let _ = xbar.try_inject(
+                NodeId::new(i),
+                NodeId::new(dst as u32),
+                1,
+                PacketClass::Request,
+            );
         }
         xbar.step();
         xbar.drain_ejected();
@@ -46,8 +56,14 @@ fn main() {
 
     println!("\n=== Fig. 21: memory-channel utilisation vs reply-interface provisioning ===");
     for (label, cfg) in [
-        ("under-provisioned reply interface (prior-work style)", MemSimConfig::underprovisioned()),
-        ("provisioned reply interface (real-GPU style)", MemSimConfig::provisioned()),
+        (
+            "under-provisioned reply interface (prior-work style)",
+            MemSimConfig::underprovisioned(),
+        ),
+        (
+            "provisioned reply interface (real-GPU style)",
+            MemSimConfig::provisioned(),
+        ),
     ] {
         let r = run_memsim(cfg, 3);
         let spark: String = r
@@ -60,11 +76,17 @@ fn main() {
             })
             .collect();
         println!("{label}:");
-        println!("  mean utilisation {:.0}%  timeline [{spark}]", 100.0 * r.mean_utilization);
+        println!(
+            "  mean utilisation {:.0}%  timeline [{spark}]",
+            100.0 * r.mean_utilization
+        );
     }
 
     println!("\n=== Fig. 22: the 'network wall' in prior-work baselines ===");
-    println!("{:<6} {:<42} {:>9} {:>12} wall?", "ref", "system", "BW_MEM", "BW_NoC-MEM");
+    println!(
+        "{:<6} {:<42} {:>9} {:>12} wall?",
+        "ref", "system", "BW_MEM", "BW_NoC-MEM"
+    );
     for p in priorwork::dataset() {
         println!(
             "{:<6} {:<42} {:>9.1} {:>12.1} {}",
@@ -72,7 +94,11 @@ fn main() {
             p.system,
             p.mem_bw_gbps,
             p.noc_mem_interface_gbps(),
-            if p.network_wall() { "YES — interface-bound" } else { "no" },
+            if p.network_wall() {
+                "YES — interface-bound"
+            } else {
+                "no"
+            },
         );
     }
 }

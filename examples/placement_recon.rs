@@ -26,15 +26,15 @@ fn main() {
         // The Fig. 6 heatmap (SMs grouped by GPC on both axes).
         let h = dev.hierarchy().clone();
         let mut gpc_order: Vec<usize> = (0..h.num_sms()).collect();
-        gpc_order.sort_by_key(|&i| {
-            (
-                h.sm(gnoc_core::SmId::new(i as u32)).gpc,
-                i,
-            )
-        });
+        gpc_order.sort_by_key(|&i| (h.sm(gnoc_core::SmId::new(i as u32)).gpc, i));
         let reordered: Vec<Vec<f64>> = gpc_order
             .iter()
-            .map(|&a| gpc_order.iter().map(|&b| campaign.correlation[a][b]).collect())
+            .map(|&a| {
+                gpc_order
+                    .iter()
+                    .map(|&b| campaign.correlation[a][b])
+                    .collect()
+            })
             .collect();
         let group = h.num_sms() / h.num_gpcs();
         println!("Pearson heatmap (GPC-grouped axes, '@'=r=1, ' '=r<=-1):");

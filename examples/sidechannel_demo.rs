@@ -11,14 +11,17 @@ use gnoc_core::{
 
 fn main() {
     let key = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
 
     println!("=== AES last-round key recovery on a virtual A100 ===");
     for (label, scheduler) in [
         ("static scheduling (Fig. 18a)", CtaScheduler::Static),
-        ("random-seed scheduling (Fig. 18b)", CtaScheduler::RandomSeed),
+        (
+            "random-seed scheduling (Fig. 18b)",
+            CtaScheduler::RandomSeed,
+        ),
     ] {
         let mut dev = GpuDevice::a100(0);
         let cfg = AesAttackConfig {
@@ -33,7 +36,11 @@ fn main() {
             "  best guess 0x{:02x} (true 0x{:02x}) — {} | corr(true)={:.3}, margin={:.3}",
             r.best_guess,
             r.true_byte,
-            if r.succeeded() { "KEY BYTE RECOVERED" } else { "attack failed" },
+            if r.succeeded() {
+                "KEY BYTE RECOVERED"
+            } else {
+                "attack failed"
+            },
             true_r,
             r.margin,
         );
@@ -48,7 +55,10 @@ fn main() {
     println!("\n=== RSA exponent-weight timing attack on a virtual A100 ===");
     for (label, scheduler) in [
         ("static scheduling (Fig. 19a)", CtaScheduler::Static),
-        ("random-seed scheduling (Fig. 19b)", CtaScheduler::RandomSeed),
+        (
+            "random-seed scheduling (Fig. 19b)",
+            CtaScheduler::RandomSeed,
+        ),
     ] {
         let dev = GpuDevice::a100(0);
         let cfg = RsaAttackConfig {

@@ -11,9 +11,13 @@ bins=(table1 fig01 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 \
       noc_compare latency_load figures_svg)
 cargo build --release -p gnoc-bench --bins
 : > "$out"
+mkdir -p out
 for b in "${bins[@]}"; do
     echo "### $b" | tee -a "$out"
-    cargo run --release -q -p gnoc-bench --bin "$b" >> "$out" 2>/dev/null
+    # Every figure run also drops its telemetry registry next to the SVGs,
+    # so out/ holds a machine-readable metrics artifact per figure.
+    cargo run --release -q -p gnoc-bench --bin "$b" -- \
+        --metrics "out/$b.metrics.json" >> "$out" 2>/dev/null
     echo >> "$out"
 done
 cargo test --workspace --release

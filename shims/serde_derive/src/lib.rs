@@ -1,0 +1,397 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this workspace carries a
+//! minimal re-implementation of the serde surface it actually uses (see
+//! `shims/README.md`). This crate provides `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the value-model traits in `shims/serde`,
+//! written directly on `proc_macro::TokenStream` (no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what the workspace needs, nothing more:
+//! named structs, tuple/newtype structs, unit structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-like. Generic types are not
+//! supported. `#[serde(...)]` attributes are accepted and ignored; the only
+//! one the workspace uses is `#[serde(transparent)]` on newtype structs,
+//! whose semantics (serialize as the inner value) are this derive's default
+//! for newtypes anyway.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------- parsing ----
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attributes (each arrives as a `#` punct followed by a
+/// bracket group) and an optional `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' + bracketed group
+            continue;
+        }
+        if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let is_enum = match ident_of(&toks[i]).as_deref() {
+        Some("struct") => false,
+        Some("enum") => true,
+        other => panic!("serde shim derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = ident_of(&toks[i]).expect("serde shim derive: expected type name");
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    if is_enum {
+        let body = match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+            _ => panic!("serde shim derive: expected enum body for `{name}`"),
+        };
+        Item {
+            name,
+            kind: ItemKind::Enum(parse_variants(body)),
+        }
+    } else {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        Item {
+            name,
+            kind: ItemKind::Struct(fields),
+        }
+    }
+}
+
+/// Field names of a `{ ... }` body; types are skipped by tracking `<>` depth
+/// so commas inside `Vec<Vec<f64>>` etc. don't split fields.
+fn parse_named(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim derive: expected field name");
+        i += 1; // name
+        i += 1; // ':'
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` tuple body (top-level commas + 1,
+/// ignoring a trailing comma).
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < toks.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim derive: expected variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g2)) if g2.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g2))
+            }
+            Some(TokenTree::Group(g2)) if g2.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named(g2))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        out.push((name, fields));
+    }
+    out
+}
+
+// ------------------------------------------------------------- codegen ----
+
+fn ser_expr(value: &str) -> String {
+    format!("::serde::Serialize::serialize_value({value})")
+}
+
+fn de_expr(value: &str) -> String {
+    format!("::serde::Deserialize::deserialize_value({value})?")
+}
+
+fn object_expr(entries: &[(String, String)]) -> String {
+    if entries.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn array_expr(items: &[String]) -> String {
+    if items.is_empty() {
+        return "::serde::Value::Array(::std::vec::Vec::new())".to_string();
+    }
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(0)) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(1)) => ser_expr("&self.0"),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_expr(&format!("&self.{i}"))).collect();
+            array_expr(&items)
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), ser_expr(&format!("&self.{f}"))))
+                .collect();
+            object_expr(&entries)
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "Self::{v}(__f0) => ::serde::Value::tagged(\"{v}\", {}),",
+                        ser_expr("__f0")
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders.iter().map(|b| ser_expr(b)).collect();
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::tagged(\"{v}\", {}),",
+                            binders.join(", "),
+                            array_expr(&items)
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| format!("{f}: __f_{f}")).collect();
+                        let entries: Vec<(String, String)> = fs
+                            .iter()
+                            .map(|f| (f.clone(), ser_expr(&format!("__f_{f}"))))
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {} }} => ::serde::Value::tagged(\"{v}\", {}),",
+                            binders.join(", "),
+                            object_expr(&entries)
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) | ItemKind::Struct(Fields::Tuple(0)) => {
+            "::std::result::Result::Ok(Self)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok(Self({}))", de_expr("__v"))
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| de_expr(&format!("&__a[{i}]"))).collect();
+            format!(
+                "let __a = __v.expect_array({n}usize)?;\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {},", de_expr(&format!("__v.field(\"{f}\")?"))))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(" "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),"))
+                    }
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok(Self::{v}({})),",
+                        de_expr("__inner")
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> =
+                            (0..*n).map(|i| de_expr(&format!("&__a[{i}]"))).collect();
+                        data_arms.push(format!(
+                            "\"{v}\" => {{\n\
+                                 let __a = __inner.expect_array({n}usize)?;\n\
+                                 ::std::result::Result::Ok(Self::{v}({}))\n\
+                             }},",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: {},", de_expr(&format!("__inner.field(\"{f}\")?")))
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{v}\" => ::std::result::Result::Ok(Self::{v} {{ {} }}),",
+                            inits.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                             ::std::format!(\"unknown variant `{{__other}}` of enum `{name}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let (__tag, __inner) = __v.as_tagged()?;\n\
+                 match __tag {{\n\
+                     {data}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                         ::std::format!(\"unknown variant `{{__other}}` of enum `{name}`\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn deserialize_value(__v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -8,8 +8,7 @@ use gnoc_core::microbench::bandwidth::{
 };
 use gnoc_core::microbench::sm2sm::cpc_latency_matrix;
 use gnoc_core::{
-    input_speedups, AccessKind, GpcId, GpuDevice, LatencyProbe, PartitionId, SliceId, SmId,
-    Summary,
+    input_speedups, AccessKind, GpcId, GpuDevice, LatencyProbe, PartitionId, SliceId, SmId, Summary,
 };
 
 /// Asserts `value` is within `tol` (relative) of `expect`.
@@ -54,7 +53,12 @@ fn a100_partition_latency_pins() {
             .sum::<f64>()
             / slices.len() as f64
     };
-    within("A100 near hit latency", mean(&mut dev, near_sm), 212.0, 0.07);
+    within(
+        "A100 near hit latency",
+        mean(&mut dev, near_sm),
+        212.0,
+        0.07,
+    );
     within("A100 far hit latency", mean(&mut dev, far_sm), 400.0, 0.07);
 }
 
@@ -84,7 +88,12 @@ fn bandwidth_pins() {
     ] {
         let fabric = aggregate_fabric_gbps(&mut dev);
         let mem = aggregate_memory_gbps(&mut dev);
-        within(&format!("{name} fabric/memory ratio"), fabric / mem, ratio_pin, 0.05);
+        within(
+            &format!("{name} fabric/memory ratio"),
+            fabric / mem,
+            ratio_pin,
+            0.05,
+        );
         within(
             &format!("{name} memory fraction of peak"),
             mem / dev.spec().mem_peak_gbps,

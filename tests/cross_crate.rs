@@ -7,9 +7,7 @@ use gnoc_core::engine::LINE_BYTES;
 use gnoc_core::microbench::slicemap;
 use gnoc_core::topo::{HierarchySpec, SmEnumeration};
 use gnoc_core::workloads::streaming;
-use gnoc_core::{
-    AccessKind, GpcId, GpuDevice, GpuSpec, LatencyProbe, PartitionId, SliceId, SmId,
-};
+use gnoc_core::{AccessKind, GpcId, GpuDevice, GpuSpec, LatencyProbe, PartitionId, SliceId, SmId};
 
 #[test]
 fn slicemap_feeds_latency_probe_on_v100() {
@@ -95,11 +93,7 @@ fn custom_device_runs_the_full_pipeline() {
 
     // Bandwidth solver works and respects the (Volta-default) slice caps.
     let sms: Vec<SmId> = dev.hierarchy().sms_in_gpc(GpcId::new(0)).to_vec();
-    let bw = gnoc_core::microbench::bandwidth::sms_to_slice_gbps(
-        &mut dev,
-        &sms,
-        SliceId::new(0),
-    );
+    let bw = gnoc_core::microbench::bandwidth::sms_to_slice_gbps(&mut dev, &sms, SliceId::new(0));
     assert!((60.0..90.0).contains(&bw), "{bw}");
 }
 

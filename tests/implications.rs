@@ -12,8 +12,7 @@ use gnoc_core::{
 };
 
 const KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 #[test]
@@ -55,7 +54,10 @@ fn implication_2_core_placement_shifts_attack_timing() {
     // (a) AES warp-read timing: same line set, different SM, shifted time.
     let lines = [0u8, 1, 2, 3];
     let avg = |dev: &mut GpuDevice, sm: SmId| -> f64 {
-        (0..16).map(|_| warp_read_cycles(dev, sm, &lines)).sum::<f64>() / 16.0
+        (0..16)
+            .map(|_| warp_read_cycles(dev, sm, &lines))
+            .sum::<f64>()
+            / 16.0
     };
     let t_near = avg(&mut dev, left[0]);
     let t_far = avg(&mut dev, right[0]);
@@ -217,7 +219,6 @@ fn implication_6_mesh_unfairness_vs_single_hop_uniformity() {
         xbar.drain_ejected();
     }
     let d = &xbar.stats().delivered_by_src;
-    let spread =
-        *d.iter().max().unwrap() as f64 / (*d.iter().min().unwrap()).max(1) as f64;
+    let spread = *d.iter().max().unwrap() as f64 / (*d.iter().min().unwrap()).max(1) as f64;
     assert!(spread < 1.1, "crossbar spread {spread:.3}");
 }

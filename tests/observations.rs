@@ -31,7 +31,10 @@ fn observation_01_latency_to_slices_is_nonuniform() {
             "{sm}: latency should be non-uniform, got {s}"
         );
         // Paper Fig. 1a magnitudes: 175..248 cycles, mean ≈ 212.
-        assert!(s.min > 168.0 && s.max < 265.0 && (195.0..228.0).contains(&s.mean), "{s}");
+        assert!(
+            s.min > 168.0 && s.max < 265.0 && (195.0..228.0).contains(&s.mean),
+            "{s}"
+        );
     }
 }
 
@@ -277,7 +280,9 @@ fn observation_11_sm_balance_matters_more_than_slice_balance() {
     let bw_contig = dev
         .solve_bandwidth(&flows(&same_mp, &contiguous[..28]))
         .total_gbps;
-    let bw_dist = dev.solve_bandwidth(&flows(&same_mp, &distributed)).total_gbps;
+    let bw_dist = dev
+        .solve_bandwidth(&flows(&same_mp, &distributed))
+        .total_gbps;
     let degradation = 1.0 - bw_contig / bw_dist;
     assert!(
         (0.45..0.75).contains(&degradation),

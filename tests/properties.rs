@@ -18,28 +18,30 @@ fn arb_hierarchy() -> impl Strategy<Value = HierarchySpec> {
             proptest::collection::vec(1u32..4, 1..3), // cpcs per gpc
             1..5,                                     // gpcs
         ),
-        1u32..3,  // sms per tpc
-        1u32..5,  // mps
-        1u32..5,  // slices per mp
-        1u32..3,  // partitions
+        1u32..3, // sms per tpc
+        1u32..5, // mps
+        1u32..5, // slices per mp
+        1u32..3, // partitions
     )
-        .prop_map(|(gpc_cpc_tpcs, sms_per_tpc, num_mps, slices_per_mp, num_partitions)| {
-            let gpcs = gpc_cpc_tpcs.len();
-            HierarchySpec {
-                gpc_partition: (0..gpcs)
-                    .map(|g| PartitionId::new(g as u32 % num_partitions))
-                    .collect(),
-                mp_partition: (0..num_mps)
-                    .map(|m| PartitionId::new(m % num_partitions))
-                    .collect(),
-                gpc_cpc_tpcs,
-                sms_per_tpc,
-                num_partitions,
-                num_mps,
-                slices_per_mp,
-                sm_enumeration: SmEnumeration::GpcMajor,
-            }
-        })
+        .prop_map(
+            |(gpc_cpc_tpcs, sms_per_tpc, num_mps, slices_per_mp, num_partitions)| {
+                let gpcs = gpc_cpc_tpcs.len();
+                HierarchySpec {
+                    gpc_partition: (0..gpcs)
+                        .map(|g| PartitionId::new(g as u32 % num_partitions))
+                        .collect(),
+                    mp_partition: (0..num_mps)
+                        .map(|m| PartitionId::new(m % num_partitions))
+                        .collect(),
+                    gpc_cpc_tpcs,
+                    sms_per_tpc,
+                    num_partitions,
+                    num_mps,
+                    slices_per_mp,
+                    sm_enumeration: SmEnumeration::GpcMajor,
+                }
+            },
+        )
 }
 
 proptest! {
