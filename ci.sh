@@ -13,4 +13,16 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== fault suite smoke: plan round-trip + degraded campaign =="
+cargo test -q -p gnoc-faults
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    faults gen --out "$tmp/plan.json" --seed 1 --dead-frac 0.02
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    faults check "$tmp/plan.json"
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    campaign a100fs --seed 1 --lines 2 --samples 2 \
+    --checkpoint "$tmp/campaign.json"
+
 echo "ci.sh: all green"

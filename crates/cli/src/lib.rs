@@ -6,15 +6,19 @@
 
 #![warn(missing_docs)]
 
-use gnoc_core::{CtaScheduler, GpuSpec};
+use gnoc_core::{CtaScheduler, FaultGenConfig, GpuSpec, LatencyProbe};
 
 /// Which preset GPU a command targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GpuChoice {
     /// The V100 preset.
     V100,
-    /// The A100 preset.
+    /// The A100 preset (floor-swept product configuration, 108 SMs).
     A100,
+    /// The full A100 die before floorsweeping (128 SMs).
+    A100Full,
+    /// The full die with the product floorsweep applied as a fault plan.
+    A100Fs,
     /// The H100 preset.
     H100,
 }
@@ -25,8 +29,12 @@ impl GpuChoice {
         match s.to_ascii_lowercase().as_str() {
             "v100" => Ok(Self::V100),
             "a100" => Ok(Self::A100),
+            "a100full" => Ok(Self::A100Full),
+            "a100fs" => Ok(Self::A100Fs),
             "h100" => Ok(Self::H100),
-            other => Err(format!("unknown GPU '{other}' (expected v100|a100|h100)")),
+            other => Err(format!(
+                "unknown GPU '{other}' (expected v100|a100|a100full|a100fs|h100)"
+            )),
         }
     }
 
@@ -35,7 +43,21 @@ impl GpuChoice {
         match self {
             Self::V100 => GpuSpec::v100(),
             Self::A100 => GpuSpec::a100(),
+            Self::A100Full => GpuSpec::a100_full(),
+            Self::A100Fs => GpuSpec::a100_floorswept(),
             Self::H100 => GpuSpec::h100(),
+        }
+    }
+
+    /// The preset name understood by checkpointed campaigns
+    /// ([`gnoc_core::spec_for_preset`]).
+    pub fn preset_name(self) -> &'static str {
+        match self {
+            Self::V100 => "v100",
+            Self::A100 => "a100",
+            Self::A100Full => "a100full",
+            Self::A100Fs => "a100fs",
+            Self::H100 => "h100",
         }
     }
 }
@@ -83,12 +105,16 @@ pub enum Command {
         /// Experiment seed.
         seed: u64,
     },
-    /// `gnoc mesh [--arbiter rr|age] [--seed S]` — the Fig. 23 experiment.
+    /// `gnoc mesh [--arbiter rr|age] [--seed S] [--transfers N]` — the
+    /// Fig. 23 experiment, or (with `--faults`) retrying delivery over a
+    /// degraded mesh.
     Mesh {
         /// Arbitration policy.
         age_based: bool,
         /// Simulation seed.
         seed: u64,
+        /// Transfers submitted in the faulted reliable-delivery run.
+        transfers: usize,
     },
     /// `gnoc memsim [--provisioned] [--seed S]` — the Fig. 21 experiment.
     Memsim {
@@ -131,13 +157,56 @@ pub enum Command {
         /// Path to a metrics JSON file written via `--metrics`.
         path: String,
     },
+    /// `gnoc faults gen|check` — generate or validate fault-plan files.
+    Faults {
+        /// Generate a new plan or check an existing one.
+        action: FaultsAction,
+    },
+    /// `gnoc campaign <gpu> [--seed S] [--checkpoint F] [--lines N]
+    /// [--samples N]` — checkpointed (killable/resumable) latency campaign.
+    Campaign {
+        /// Target device preset.
+        gpu: GpuChoice,
+        /// Campaign seed.
+        seed: u64,
+        /// Checkpoint file rewritten after each completed SM row.
+        checkpoint: Option<String>,
+        /// Probe working-set lines per (SM, slice) pair.
+        lines: usize,
+        /// Probe samples per (SM, slice) pair.
+        samples: usize,
+    },
     /// `gnoc help` — usage.
     Help,
 }
 
-/// A parsed invocation: the subcommand plus the global observability flags
-/// (`--trace <file.jsonl>`, `--metrics <file.json>`), which are accepted by
-/// every subcommand.
+/// What `gnoc faults` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultsAction {
+    /// Generate a plan from knobs and write it to a JSON file.
+    Gen {
+        /// Output path for the plan JSON.
+        out: String,
+        /// Generation knobs.
+        cfg: FaultGenConfig,
+    },
+    /// Load a plan file and validate it against a mesh (and optionally a
+    /// slice count).
+    Check {
+        /// Plan JSON path.
+        path: String,
+        /// Mesh width to validate against.
+        width: u32,
+        /// Mesh height to validate against.
+        height: u32,
+        /// L2 slice count to validate disabled slices against.
+        slices: Option<u32>,
+    },
+}
+
+/// A parsed invocation: the subcommand plus the global flags
+/// (`--trace <file.jsonl>`, `--metrics <file.json>`,
+/// `--faults <plan.json>`), which are accepted by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// The subcommand to run.
@@ -146,6 +215,9 @@ pub struct Invocation {
     pub trace: Option<String>,
     /// Write the metric registry (JSON) to this path on exit.
     pub metrics: Option<String>,
+    /// Apply the fault plan at this path to the run (degraded devices for
+    /// device subcommands, a faulted reliable mesh for `mesh`).
+    pub faults: Option<String>,
 }
 
 /// Which workload `gnoc replay` generates.
@@ -171,22 +243,34 @@ pub const USAGE: &str = "\
 gnoc — GPU NoC characterisation toolkit (paper reproduction)
 
 USAGE:
-    gnoc info       <v100|a100|h100>
+    gnoc info       <v100|a100|a100full|a100fs|h100>
     gnoc latency    <gpu> [--sm N] [--seed S]
     gnoc bandwidth  <gpu> [--seed S]
     gnoc placement  <gpu> [--seed S]
     gnoc attack     <aes|rsa> [--gpu G] [--defend] [--seed S]
-    gnoc mesh       [--arbiter rr|age] [--seed S]
+    gnoc mesh       [--arbiter rr|age] [--seed S] [--transfers N]
     gnoc memsim     [--provisioned] [--seed S]
     gnoc covert     [--gpu G] [--far] [--seed S]
     gnoc replay     <bfs|gaussian> [--gpu G] [--random] [--blocks N]
     gnoc loadcurve  [--net mesh|xbar] [--seed S]
+    gnoc campaign   <gpu> [--seed S] [--checkpoint ckpt.json]
+                    [--lines N] [--samples N]
+    gnoc faults     gen --out plan.json [--seed S] [--width W] [--height H]
+                    [--dead-frac F] [--flaky N] [--flaky-prob P]
+                    [--stalls N] [--stall-cycles C] [--drop-prob P]
+                    [--corrupt-prob P] [--onset C] [--slices N]
+                    [--disable-slices N]
+    gnoc faults     check <plan.json> [--width W] [--height H] [--slices N]
     gnoc stats      <metrics.json>
     gnoc help
 
 GLOBAL FLAGS (every subcommand):
     --trace <file.jsonl>    stream structured trace events (virtual-nvprof)
     --metrics <file.json>   write the metric registry on exit
+    --faults <plan.json>    inject the fault plan: device subcommands run on
+                            the degraded device; mesh runs retrying delivery
+                            over the faulted fabric; campaign checkpoints
+                            embed the plan
 ";
 
 /// Reads `--flag value` pairs and boolean `--flag`s from `args`.
@@ -295,6 +379,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Mesh {
                 age_based,
                 seed: flags.parse_num("--seed", 1u64)?,
+                transfers: flags.parse_num("--transfers", 2000usize)?,
             })
         }
         "memsim" => Ok(Command::Memsim {
@@ -329,6 +414,63 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 blocks: flags.parse_num("--blocks", 64usize)?,
             })
         }
+        "campaign" => {
+            let defaults = LatencyProbe::default();
+            Ok(Command::Campaign {
+                gpu: gpu_positional()?,
+                seed: flags.parse_num("--seed", 0u64)?,
+                checkpoint: flags.value_of("--checkpoint")?.map(str::to_owned),
+                lines: flags.parse_num("--lines", defaults.working_set_lines)?,
+                samples: flags.parse_num("--samples", defaults.samples)?,
+            })
+        }
+        "faults" => {
+            let action = match rest.first().map(String::as_str) {
+                Some("gen") => {
+                    let out = flags
+                        .value_of("--out")?
+                        .ok_or_else(|| "faults gen needs --out <plan.json>".to_owned())?
+                        .to_owned();
+                    FaultsAction::Gen {
+                        out,
+                        cfg: FaultGenConfig {
+                            seed: flags.parse_num("--seed", 1u64)?,
+                            width: flags.parse_num("--width", 6u32)?,
+                            height: flags.parse_num("--height", 6u32)?,
+                            dead_link_fraction: flags.parse_num("--dead-frac", 0.0f64)?,
+                            flaky_links: flags.parse_num("--flaky", 0u32)?,
+                            flaky_drop_prob: flags.parse_num("--flaky-prob", 0.01f64)?,
+                            stalled_routers: flags.parse_num("--stalls", 0u32)?,
+                            stall_duration: flags.parse_num("--stall-cycles", 256u64)?,
+                            transient_drop_prob: flags.parse_num("--drop-prob", 0.0f64)?,
+                            transient_corrupt_prob: flags.parse_num("--corrupt-prob", 0.0f64)?,
+                            onset: flags.parse_num("--onset", 0u64)?,
+                            num_slices: flags.parse_num("--slices", 0u32)?,
+                            disabled_slice_count: flags.parse_num("--disable-slices", 0u32)?,
+                            sweep: None,
+                        },
+                    }
+                }
+                Some("check") => {
+                    let path = rest
+                        .get(1)
+                        .filter(|a| !a.starts_with("--"))
+                        .ok_or_else(|| "faults check needs a plan path".to_owned())?
+                        .clone();
+                    FaultsAction::Check {
+                        path,
+                        width: flags.parse_num("--width", 6u32)?,
+                        height: flags.parse_num("--height", 6u32)?,
+                        slices: flags.parse_num("--slices", 0u32).map(|n| match n {
+                            0 => None,
+                            n => Some(n),
+                        })?,
+                    }
+                }
+                other => return Err(format!("faults needs gen|check, got {other:?}")),
+            };
+            Ok(Command::Faults { action })
+        }
         "loadcurve" => {
             let crossbar = match flags.value_of("--net")? {
                 None | Some("mesh") => false,
@@ -344,9 +486,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
-/// Parses an argument vector, first extracting the global observability
-/// flags (`--trace`, `--metrics`) — accepted anywhere on the line — then
-/// delegating the remainder to [`parse`].
+/// Parses an argument vector, first extracting the global flags
+/// (`--trace`, `--metrics`, `--faults`) — accepted anywhere on the line —
+/// then delegating the remainder to [`parse`].
 ///
 /// # Errors
 ///
@@ -355,12 +497,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
     let mut trace = None;
     let mut metrics = None;
+    let mut faults = None;
     let mut remaining: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let slot = match a.as_str() {
             "--trace" => &mut trace,
             "--metrics" => &mut metrics,
+            "--faults" => &mut faults,
             _ => {
                 remaining.push(a.clone());
                 continue;
@@ -375,6 +519,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
         command: parse(&remaining)?,
         trace,
         metrics,
+        faults,
     })
 }
 
@@ -456,7 +601,16 @@ mod tests {
             parse(&argv("mesh --arbiter age")).unwrap(),
             Command::Mesh {
                 age_based: true,
-                seed: 1
+                seed: 1,
+                transfers: 2000,
+            }
+        );
+        assert_eq!(
+            parse(&argv("mesh --transfers 500")).unwrap(),
+            Command::Mesh {
+                age_based: false,
+                seed: 1,
+                transfers: 500,
             }
         );
         assert!(parse(&argv("mesh --arbiter fifo")).is_err());
@@ -519,6 +673,105 @@ mod tests {
         );
         assert!(parse(&argv("stats")).is_err());
         assert!(parse(&argv("stats --trace")).is_err());
+    }
+
+    #[test]
+    fn floorswept_presets_parse() {
+        assert_eq!(
+            parse(&argv("info a100full")).unwrap(),
+            Command::Info {
+                gpu: GpuChoice::A100Full
+            }
+        );
+        assert_eq!(
+            parse(&argv("info A100FS")).unwrap(),
+            Command::Info {
+                gpu: GpuChoice::A100Fs
+            }
+        );
+        assert_eq!(GpuChoice::A100Fs.preset_name(), "a100fs");
+    }
+
+    #[test]
+    fn campaign_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("campaign a100fs")).unwrap(),
+            Command::Campaign {
+                gpu: GpuChoice::A100Fs,
+                seed: 0,
+                checkpoint: None,
+                lines: 8,
+                samples: 12,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "campaign v100 --seed 7 --checkpoint ck.json --lines 2 --samples 3"
+            ))
+            .unwrap(),
+            Command::Campaign {
+                gpu: GpuChoice::V100,
+                seed: 7,
+                checkpoint: Some("ck.json".to_owned()),
+                lines: 2,
+                samples: 3,
+            }
+        );
+        assert!(parse(&argv("campaign")).is_err());
+        assert!(parse(&argv("campaign b200")).is_err());
+    }
+
+    #[test]
+    fn faults_gen_and_check_parse() {
+        let c = parse(&argv(
+            "faults gen --out plan.json --seed 9 --dead-frac 0.02 --flaky 2 --stalls 1",
+        ))
+        .unwrap();
+        let Command::Faults {
+            action: FaultsAction::Gen { out, cfg },
+        } = c
+        else {
+            panic!("expected faults gen, got {c:?}");
+        };
+        assert_eq!(out, "plan.json");
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.width, 6);
+        assert_eq!(cfg.dead_link_fraction, 0.02);
+        assert_eq!(cfg.flaky_links, 2);
+        assert_eq!(cfg.stalled_routers, 1);
+
+        assert_eq!(
+            parse(&argv(
+                "faults check plan.json --width 8 --height 8 --slices 40"
+            ))
+            .unwrap(),
+            Command::Faults {
+                action: FaultsAction::Check {
+                    path: "plan.json".to_owned(),
+                    width: 8,
+                    height: 8,
+                    slices: Some(40),
+                }
+            }
+        );
+        assert!(parse(&argv("faults gen")).is_err(), "--out is required");
+        assert!(parse(&argv("faults check")).is_err());
+        assert!(parse(&argv("faults list")).is_err());
+    }
+
+    #[test]
+    fn faults_global_flag_is_extracted() {
+        let inv = parse_invocation(&argv("latency a100fs --faults plan.json --sm 3")).unwrap();
+        assert_eq!(inv.faults.as_deref(), Some("plan.json"));
+        assert_eq!(
+            inv.command,
+            Command::Latency {
+                gpu: GpuChoice::A100Fs,
+                sm: 3,
+                seed: 0
+            }
+        );
+        assert!(parse_invocation(&argv("mesh --faults")).is_err());
     }
 
     #[test]

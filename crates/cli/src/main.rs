@@ -1,11 +1,14 @@
 //! The `gnoc` command-line tool: run the paper's characterisation and
 //! experiments from the shell. See `gnoc help`.
 
-use gnoc_cli::{parse_invocation, AttackKind, Command, GpuChoice, WorkloadKind, USAGE};
+use gnoc_cli::{
+    parse_invocation, AttackKind, Command, FaultsAction, GpuChoice, WorkloadKind, USAGE,
+};
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
 use gnoc_core::noc::{run_fairness_traced, run_memsim_traced, HierConfig, MeshConfig};
 use gnoc_core::noc::{ArbiterKind, FairnessConfig, MemSimConfig};
+use gnoc_core::noc::{NodeId, PacketClass, ReliableMesh, RetryConfig};
 use gnoc_core::sidechannel::covert::{
     bits_of, bytes_of, channel_snr, transmit, CovertChannelConfig,
 };
@@ -13,8 +16,8 @@ use gnoc_core::workloads::replay::{replay, ReplayConfig};
 use gnoc_core::workloads::{bfs, gaussian};
 use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
-    AccessKind, AesAttackConfig, CtaScheduler, GpuDevice, LatencyCampaign, LatencyProbe,
-    RsaAttackConfig, SliceId, SmId, Summary,
+    AccessKind, AesAttackConfig, CheckpointedCampaign, CtaScheduler, FaultPlan, GpuDevice,
+    LatencyCampaign, LatencyProbe, RsaAttackConfig, SliceId, SmId, Summary,
 };
 use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
 use std::path::Path;
@@ -48,7 +51,19 @@ fn main() -> ExitCode {
         TelemetryHandle::disabled()
     };
 
-    let ok = run(inv.command, &telemetry);
+    // `--faults` loads a plan once; subcommands pick it up where it applies.
+    let plan = match &inv.faults {
+        Some(path) => match FaultPlan::load(path) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("error: cannot load fault plan {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let ok = run(inv.command, plan.as_ref(), &telemetry);
 
     telemetry.flush();
     if let Some(path) = &inv.metrics {
@@ -65,13 +80,35 @@ fn main() -> ExitCode {
     }
 }
 
-fn device(gpu: GpuChoice, seed: u64, telemetry: &TelemetryHandle) -> GpuDevice {
-    let mut dev = GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid");
+fn device(
+    gpu: GpuChoice,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+) -> Result<GpuDevice, String> {
+    let mut dev = match plan {
+        Some(plan) => GpuDevice::with_faults(gpu.spec(), plan, seed)
+            .map_err(|e| format!("fault plan does not fit {}: {e}", gpu.preset_name()))?,
+        None => GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid"),
+    };
     dev.set_telemetry(telemetry.clone());
-    dev
+    Ok(dev)
 }
 
-fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
+/// Unwraps a `Result` or prints the error and fails the subcommand.
+macro_rules! try_or_fail {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return false;
+            }
+        }
+    };
+}
+
+fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> bool {
     match cmd {
         Command::Help => print!("{USAGE}"),
 
@@ -88,7 +125,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
         }
 
         Command::Latency { gpu, sm, seed } => {
-            let mut dev = device(gpu, seed, telemetry);
+            let mut dev = try_or_fail!(device(gpu, seed, plan, telemetry));
             let n = dev.hierarchy().num_sms() as u32;
             if sm >= n {
                 eprintln!("error: SM {sm} out of range (device has {n} SMs)");
@@ -109,7 +146,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
         }
 
         Command::Bandwidth { gpu, seed } => {
-            let mut dev = device(gpu, seed, telemetry);
+            let mut dev = try_or_fail!(device(gpu, seed, plan, telemetry));
             let fabric = aggregate_fabric_gbps(&mut dev);
             let mem = aggregate_memory_gbps(&mut dev);
             println!("{}:", dev.spec().name);
@@ -140,7 +177,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
         }
 
         Command::Placement { gpu, seed } => {
-            let mut dev = device(gpu, seed, telemetry);
+            let mut dev = try_or_fail!(device(gpu, seed, plan, telemetry));
             let probe = LatencyProbe {
                 working_set_lines: 2,
                 samples: 6,
@@ -171,7 +208,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
             seed,
         } => match kind {
             AttackKind::Aes => {
-                let mut dev = device(gpu, seed, telemetry);
+                let mut dev = try_or_fail!(device(gpu, seed, plan, telemetry));
                 let key = [
                     0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
                     0xcf, 0x4f, 0x3c,
@@ -203,7 +240,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
                 export_device_counters(&dev, telemetry);
             }
             AttackKind::Rsa => {
-                let dev = device(gpu, seed, telemetry);
+                let dev = try_or_fail!(device(gpu, seed, plan, telemetry));
                 let cfg = RsaAttackConfig {
                     scheduler,
                     ..RsaAttackConfig::default()
@@ -222,12 +259,19 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
             }
         },
 
-        Command::Mesh { age_based, seed } => {
+        Command::Mesh {
+            age_based,
+            seed,
+            transfers,
+        } => {
             let arbiter = if age_based {
                 ArbiterKind::AgeBased
             } else {
                 ArbiterKind::RoundRobin
             };
+            if let Some(plan) = plan {
+                return run_faulted_mesh(plan, arbiter, seed, transfers, telemetry);
+            }
             let r = run_fairness_traced(FairnessConfig::paper(arbiter), seed, telemetry.clone());
             println!("6x6 mesh, 30 compute nodes → 6 MCs, {arbiter:?} arbitration:");
             for row in 0..5 {
@@ -239,8 +283,55 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
             println!("  unfairness (max/min): {:.2}x", r.unfairness);
         }
 
+        Command::Faults { action } => return run_faults(action),
+
+        Command::Campaign {
+            gpu,
+            seed,
+            checkpoint,
+            lines,
+            samples,
+        } => {
+            let probe = LatencyProbe {
+                working_set_lines: lines,
+                samples,
+            };
+            let preset = gpu.preset_name();
+            let path = checkpoint.as_deref().map(Path::new);
+            let mut campaign = try_or_fail!(match path {
+                Some(p) => {
+                    CheckpointedCampaign::resume_or_new(p, preset, seed, probe, plan.cloned())
+                }
+                None => CheckpointedCampaign::new(preset, seed, probe, plan.cloned()),
+            }
+            .map_err(|e| e.to_string()));
+            campaign.set_telemetry(telemetry.clone());
+            let resumed_at = campaign.completed_rows();
+            if resumed_at > 0 {
+                println!(
+                    "resuming from checkpoint: {resumed_at}/{} rows done",
+                    campaign.num_sms()
+                );
+            }
+            let result = try_or_fail!(campaign.run_to_completion(path).map_err(|e| e.to_string()));
+            println!(
+                "{preset}: grand mean latency {:.0} cycles over {}x{} pairs{}",
+                result.grand_mean(),
+                result.matrix.len(),
+                result.matrix[0].len(),
+                if plan.is_some() {
+                    " (fault plan applied)"
+                } else {
+                    ""
+                }
+            );
+            if let Some(p) = path {
+                println!("checkpoint: {}", p.display());
+            }
+        }
+
         Command::Covert { gpu, far, seed } => {
-            let mut dev = device(gpu, seed, telemetry);
+            let mut dev = try_or_fail!(device(gpu, seed, plan, telemetry));
             let slice = SliceId::new(5);
             let cfg = if far {
                 CovertChannelConfig::far(&dev, slice, 2)
@@ -274,7 +365,7 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
             random,
             blocks,
         } => {
-            let dev = device(gpu, 0, telemetry);
+            let dev = try_or_fail!(device(gpu, 0, plan, telemetry));
             let trace = match workload {
                 WorkloadKind::Bfs => bfs::generate(bfs::BfsConfig::default(), 1),
                 WorkloadKind::Gaussian => gaussian::generate(gaussian::GaussianConfig::default()),
@@ -364,6 +455,129 @@ fn run(cmd: Command, telemetry: &TelemetryHandle) -> bool {
                 return false;
             }
         },
+    }
+    true
+}
+
+/// `gnoc mesh --faults plan.json`: retrying delivery over a degraded mesh.
+///
+/// Submits uniform-random (but seed-deterministic) transfers through a
+/// [`ReliableMesh`] with the plan applied, then reports delivery, loss,
+/// retry, and tail-latency figures; `--metrics` captures the `noc.retry.*`
+/// counters.
+fn run_faulted_mesh(
+    plan: &FaultPlan,
+    arbiter: ArbiterKind,
+    seed: u64,
+    transfers: usize,
+    telemetry: &TelemetryHandle,
+) -> bool {
+    let cfg = MeshConfig::paper_6x6(arbiter);
+    let nodes = (cfg.width * cfg.height) as u64;
+    let mut rm = try_or_fail!(
+        ReliableMesh::with_faults(cfg, plan, RetryConfig::default()).map_err(|e| e.to_string())
+    );
+    rm.mesh_mut().set_telemetry(telemetry.clone());
+
+    // splitmix64 traffic stream keyed by the seed: deterministic across runs.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut submitted = 0usize;
+    while submitted < transfers {
+        let src = (next() % nodes) as u32;
+        let dst = (next() % nodes) as u32;
+        if src == dst {
+            continue;
+        }
+        rm.submit(NodeId(src), NodeId(dst), 1, PacketClass::Request);
+        submitted += 1;
+    }
+
+    let quiesced = rm.run_until_quiescent(2_000_000);
+    let s = rm.stats().clone();
+    let m = rm.mesh().stats().clone();
+    println!(
+        "6x6 mesh under fault plan [{}], {arbiter:?} arbitration:",
+        plan.summary()
+    );
+    println!(
+        "  transfers: {} submitted, {} delivered, {} lost",
+        s.submitted,
+        s.delivered,
+        s.lost_total()
+    );
+    println!(
+        "  losses:    {} unroutable, {} retries-exhausted, {} watchdog",
+        s.lost_unroutable, s.lost_retries_exhausted, s.lost_watchdog
+    );
+    println!(
+        "  retries:   {} ({} corrupt NACKs, {} duplicates suppressed)",
+        s.retries, s.corrupt_retries, s.duplicates_suppressed
+    );
+    println!(
+        "  fabric:    {} flaky drops, {} transient drops, {} corrupted, reroutes {}, dead links {}",
+        m.dropped_flaky,
+        m.dropped_transient,
+        m.corrupted,
+        m.reroutes,
+        rm.mesh().dead_links_active()
+    );
+    println!(
+        "  latency:   mean {:.1}, p50 {:.0}, p99 {:.0}, max {} cycles",
+        s.mean_latency(),
+        s.latency_quantile(0.50),
+        s.latency_quantile(0.99),
+        s.latency_max
+    );
+    if rm.watchdog_tripped() {
+        println!(
+            "  watchdog:  tripped {} time(s) — stuck traffic written off, no hang",
+            s.watchdog_trips
+        );
+    }
+    telemetry.with(|t| rm.export_metrics(&mut t.registry));
+    if !quiesced {
+        eprintln!(
+            "error: mesh failed to quiesce (outstanding {})",
+            rm.outstanding()
+        );
+        return false;
+    }
+    true
+}
+
+/// `gnoc faults gen|check`: fault-plan file tooling.
+fn run_faults(action: FaultsAction) -> bool {
+    match action {
+        FaultsAction::Gen { out, cfg } => {
+            let plan = FaultPlan::generate(&cfg);
+            try_or_fail!(plan.save(&out).map_err(|e| e.to_string()));
+            println!("{out}: {}", plan.summary());
+        }
+        FaultsAction::Check {
+            path,
+            width,
+            height,
+            slices,
+        } => {
+            let plan = try_or_fail!(FaultPlan::load(&path).map_err(|e| e.to_string()));
+            try_or_fail!(plan
+                .validate_for_mesh(width, height)
+                .map_err(|e| format!("{path} invalid for a {width}x{height} mesh: {e}")));
+            if let Some(n) = slices {
+                try_or_fail!(plan
+                    .validate_for_slices(n)
+                    .map_err(|e| format!("{path} invalid for {n} L2 slices: {e}")));
+            }
+            println!("{path}: valid for a {width}x{height} mesh");
+            println!("  {}", plan.summary());
+        }
     }
     true
 }

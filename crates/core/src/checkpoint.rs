@@ -1,0 +1,425 @@
+//! Checkpointed (killable and resumable) measurement campaigns.
+//!
+//! A full latency campaign on a large device sweeps every (SM, slice) pair
+//! and can run for a long time; a crash near the end loses everything. This
+//! module runs the sweep row by row (one SM profile at a time), persisting a
+//! JSON checkpoint after each completed row so an interrupted campaign
+//! resumes from the last finished SM.
+//!
+//! **Determinism.** Each row is measured on a *fresh* device seeded from
+//! `mix(seed, sm)`, so a row's result depends only on the campaign
+//! parameters and the SM index — never on how many rows ran before it or in
+//! which process. Killing a checkpointed campaign at any point and resuming
+//! therefore reproduces the uninterrupted result bit for bit.
+//!
+//! ## Checkpoint file format (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "device": "a100fs",
+//!   "seed": 42,
+//!   "probe": { "working_set_lines": 8, "samples": 12 },
+//!   "plan": { ... FaultPlan ... } | null,
+//!   "rows": [[...row 0...], [...row 1...]]
+//! }
+//! ```
+//!
+//! `rows[i]` is SM *i*'s completed latency profile; resuming validates that
+//! `device`, `seed`, `probe`, and `plan` match the requested campaign and
+//! continues at row `rows.len()`.
+
+use crate::campaign::LatencyCampaign;
+use gnoc_analysis::{correlation_matrix, Summary};
+use gnoc_engine::GpuDevice;
+use gnoc_faults::FaultPlan;
+use gnoc_microbench::LatencyProbe;
+use gnoc_telemetry::{TelemetryHandle, TraceEvent, SUBSYSTEM_CAMPAIGN};
+use gnoc_topo::{GpuSpec, SmId};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current checkpoint file version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors from checkpointed campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The preset name is not one of the known devices.
+    UnknownDevice(String),
+    /// Device construction failed (bad fault plan, sweep, ...).
+    Device(String),
+    /// Reading or writing the checkpoint file failed.
+    Io(String),
+    /// The checkpoint file is not valid JSON for this format.
+    Parse(String),
+    /// The checkpoint file was written by a different format version.
+    Version(u32),
+    /// The checkpoint's campaign parameters differ from the requested ones;
+    /// the field name that differs is included.
+    Mismatch(&'static str),
+    /// The checkpoint holds more rows than the device has SMs.
+    TooManyRows {
+        /// Rows found in the checkpoint.
+        rows: usize,
+        /// SMs on the device.
+        sms: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownDevice(name) => write!(
+                f,
+                "unknown device preset {name:?} (try v100, a100, a100full, a100fs, h100)"
+            ),
+            Self::Device(e) => write!(f, "device construction failed: {e}"),
+            Self::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            Self::Parse(e) => write!(f, "checkpoint parse failed: {e}"),
+            Self::Version(v) => write!(
+                f,
+                "checkpoint version {v} is not supported (expected {CHECKPOINT_VERSION})"
+            ),
+            Self::Mismatch(field) => write!(
+                f,
+                "checkpoint was taken with a different campaign parameter: {field}"
+            ),
+            Self::TooManyRows { rows, sms } => {
+                write!(f, "checkpoint has {rows} rows but the device has {sms} SMs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The spec a device-preset name denotes.
+pub fn spec_for_preset(name: &str) -> Result<GpuSpec, CheckpointError> {
+    match name {
+        "v100" => Ok(GpuSpec::v100()),
+        "a100" => Ok(GpuSpec::a100()),
+        "a100full" => Ok(GpuSpec::a100_full()),
+        "a100fs" => Ok(GpuSpec::a100_floorswept()),
+        "h100" => Ok(GpuSpec::h100()),
+        other => Err(CheckpointError::UnknownDevice(other.to_string())),
+    }
+}
+
+/// Builds a preset device with `seed`, applying `plan` when given (its
+/// floorsweep, disabled slices, and calibration rescaling included).
+pub fn device_for_preset(
+    name: &str,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) -> Result<GpuDevice, CheckpointError> {
+    let spec = spec_for_preset(name)?;
+    match plan {
+        Some(plan) => GpuDevice::with_faults(spec, plan, seed)
+            .map_err(|e| CheckpointError::Device(e.to_string())),
+        None => {
+            GpuDevice::with_seed(spec, seed).map_err(|e| CheckpointError::Device(e.to_string()))
+        }
+    }
+}
+
+/// splitmix64-style row seed: depends only on the campaign seed and the SM
+/// index, making every row measurement order-independent.
+fn row_seed(seed: u64, sm: usize) -> u64 {
+    let mut z = seed ^ (sm as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// On-disk checkpoint contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointFile {
+    version: u32,
+    device: String,
+    seed: u64,
+    probe: LatencyProbe,
+    plan: Option<FaultPlan>,
+    rows: Vec<Vec<f64>>,
+}
+
+/// A latency campaign that runs one SM row at a time and can checkpoint and
+/// resume between rows.
+#[derive(Debug, Clone)]
+pub struct CheckpointedCampaign {
+    device: String,
+    seed: u64,
+    probe: LatencyProbe,
+    plan: Option<FaultPlan>,
+    rows: Vec<Vec<f64>>,
+    num_sms: usize,
+    telemetry: TelemetryHandle,
+}
+
+impl CheckpointedCampaign {
+    /// Starts a fresh campaign on preset `device`.
+    pub fn new(
+        device: &str,
+        seed: u64,
+        probe: LatencyProbe,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self, CheckpointError> {
+        let dev = device_for_preset(device, seed, plan.as_ref())?;
+        Ok(Self {
+            device: device.to_string(),
+            seed,
+            probe,
+            plan,
+            rows: Vec::new(),
+            num_sms: dev.hierarchy().num_sms(),
+            telemetry: TelemetryHandle::disabled(),
+        })
+    }
+
+    /// Loads a checkpoint and validates it against the requested campaign
+    /// parameters; completed rows carry over.
+    pub fn resume(
+        path: &Path,
+        device: &str,
+        seed: u64,
+        probe: LatencyProbe,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let file: CheckpointFile =
+            serde_json::from_str(&text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        if file.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version(file.version));
+        }
+        if file.device != device {
+            return Err(CheckpointError::Mismatch("device"));
+        }
+        if file.seed != seed {
+            return Err(CheckpointError::Mismatch("seed"));
+        }
+        if file.probe != probe {
+            return Err(CheckpointError::Mismatch("probe"));
+        }
+        if file.plan != plan {
+            return Err(CheckpointError::Mismatch("plan"));
+        }
+        let mut campaign = Self::new(device, seed, probe, plan)?;
+        if file.rows.len() > campaign.num_sms {
+            return Err(CheckpointError::TooManyRows {
+                rows: file.rows.len(),
+                sms: campaign.num_sms,
+            });
+        }
+        campaign.rows = file.rows;
+        Ok(campaign)
+    }
+
+    /// Resumes from `path` when it exists, otherwise starts fresh.
+    pub fn resume_or_new(
+        path: &Path,
+        device: &str,
+        seed: u64,
+        probe: LatencyProbe,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self, CheckpointError> {
+        if path.exists() {
+            Self::resume(path, device, seed, probe, plan)
+        } else {
+            Self::new(device, seed, probe, plan)
+        }
+    }
+
+    /// Attaches telemetry; each row device inherits it, and a
+    /// `campaign.checkpoint_rows` counter tracks resumable progress.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// Rows completed so far.
+    pub fn completed_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total rows (SMs on the device).
+    pub fn num_sms(&self) -> usize {
+        self.num_sms
+    }
+
+    /// Whether every row has been measured.
+    pub fn is_complete(&self) -> bool {
+        self.rows.len() >= self.num_sms
+    }
+
+    /// Measures the next SM row on a fresh, row-seeded device. Returns
+    /// `false` when the campaign was already complete.
+    pub fn step_row(&mut self) -> Result<bool, CheckpointError> {
+        let sm = self.rows.len();
+        if sm >= self.num_sms {
+            return Ok(false);
+        }
+        let mut dev = device_for_preset(&self.device, row_seed(self.seed, sm), self.plan.as_ref())?;
+        dev.set_telemetry(self.telemetry.clone());
+        let row = self.probe.sm_profile(&mut dev, SmId::new(sm as u32));
+        self.rows.push(row);
+        self.telemetry.with(|t| {
+            t.registry.counter_add("campaign.checkpoint_rows", 1);
+        });
+        Ok(true)
+    }
+
+    /// Writes the checkpoint (atomically: temp file + rename) to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let file = CheckpointFile {
+            version: CHECKPOINT_VERSION,
+            device: self.device.clone(),
+            seed: self.seed,
+            probe: self.probe,
+            plan: self.plan.clone(),
+            rows: self.rows.clone(),
+        };
+        let text = serde_json::to_string_pretty(&file)
+            .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Runs every remaining row; when `checkpoint` is given, the file is
+    /// rewritten after each row so a kill at any point loses at most the row
+    /// in progress.
+    pub fn run_to_completion(
+        &mut self,
+        checkpoint: Option<&Path>,
+    ) -> Result<LatencyCampaign, CheckpointError> {
+        while self.step_row()? {
+            if let Some(path) = checkpoint {
+                self.save(path)?;
+            }
+            let done = self.rows.len();
+            self.telemetry.emit_with(|| {
+                TraceEvent::new(0, SUBSYSTEM_CAMPAIGN, "checkpoint_row")
+                    .with("sm", done - 1)
+                    .with("of", self.num_sms)
+            });
+        }
+        Ok(self.finish())
+    }
+
+    /// Assembles the completed matrix into a [`LatencyCampaign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is not complete yet.
+    pub fn finish(&self) -> LatencyCampaign {
+        assert!(self.is_complete(), "campaign has unmeasured rows");
+        let matrix = self.rows.clone();
+        let sm_summaries = matrix.iter().map(|row| Summary::of(row)).collect();
+        let correlation = correlation_matrix(&matrix);
+        LatencyCampaign {
+            matrix,
+            sm_summaries,
+            correlation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_probe() -> LatencyProbe {
+        LatencyProbe {
+            working_set_lines: 2,
+            samples: 2,
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gnoc-ckpt-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_matches_itself_and_row_count() {
+        let mut c = CheckpointedCampaign::new("v100", 3, quick_probe(), None).unwrap();
+        let result = c.run_to_completion(None).unwrap();
+        assert_eq!(result.matrix.len(), 80);
+        let mut c2 = CheckpointedCampaign::new("v100", 3, quick_probe(), None).unwrap();
+        assert_eq!(c2.run_to_completion(None).unwrap(), result);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Uninterrupted reference run.
+        let mut full = CheckpointedCampaign::new("v100", 9, quick_probe(), None).unwrap();
+        let reference = full.run_to_completion(None).unwrap();
+
+        // Run 13 rows, checkpointing, then "die".
+        let mut first = CheckpointedCampaign::new("v100", 9, quick_probe(), None).unwrap();
+        for _ in 0..13 {
+            assert!(first.step_row().unwrap());
+        }
+        first.save(&path).unwrap();
+        drop(first);
+
+        // Resume in a "new process" and finish.
+        let mut resumed =
+            CheckpointedCampaign::resume(&path, "v100", 9, quick_probe(), None).unwrap();
+        assert_eq!(resumed.completed_rows(), 13);
+        let result = resumed.run_to_completion(Some(&path)).unwrap();
+        assert_eq!(result, reference, "resume must be bit-identical");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_parameters() {
+        let path = tmp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let mut c = CheckpointedCampaign::new("v100", 4, quick_probe(), None).unwrap();
+        c.step_row().unwrap();
+        c.save(&path).unwrap();
+
+        let err = CheckpointedCampaign::resume(&path, "v100", 5, quick_probe(), None).unwrap_err();
+        assert_eq!(err, CheckpointError::Mismatch("seed"));
+        let err = CheckpointedCampaign::resume(&path, "a100", 4, quick_probe(), None).unwrap_err();
+        assert_eq!(err, CheckpointError::Mismatch("device"));
+        let other_probe = LatencyProbe {
+            working_set_lines: 3,
+            samples: 2,
+        };
+        let err = CheckpointedCampaign::resume(&path, "v100", 4, other_probe, None).unwrap_err();
+        assert_eq!(err, CheckpointError::Mismatch("probe"));
+        let err =
+            CheckpointedCampaign::resume(&path, "v100", 4, quick_probe(), Some(FaultPlan::none()))
+                .unwrap_err();
+        assert_eq!(err, CheckpointError::Mismatch("plan"));
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn floorswept_preset_campaign_runs_in_paper_band() {
+        let mut c = CheckpointedCampaign::new("a100fs", 1, quick_probe(), None).unwrap();
+        assert_eq!(c.num_sms(), 108, "floor-swept A100 has 108 SMs");
+        let result = c.run_to_completion(None).unwrap();
+        // The A100 mixes near (~212) and far (~400) partition crossings
+        // (paper Fig. 8b), so the all-pairs grand mean sits near 300.
+        let mean = result.grand_mean();
+        assert!(
+            (280.0..320.0).contains(&mean),
+            "floor-swept A100 grand mean {mean} outside the calibrated band"
+        );
+    }
+
+    #[test]
+    fn unknown_preset_is_rejected() {
+        assert!(matches!(
+            CheckpointedCampaign::new("b200", 0, quick_probe(), None),
+            Err(CheckpointError::UnknownDevice(_))
+        ));
+    }
+}

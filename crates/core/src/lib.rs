@@ -36,11 +36,16 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod checkpoint;
 
 pub use campaign::{infer_placement, LatencyCampaign, PlacementReport};
+pub use checkpoint::{
+    device_for_preset, spec_for_preset, CheckpointError, CheckpointedCampaign, CHECKPOINT_VERSION,
+};
 
 pub use gnoc_analysis as analysis;
 pub use gnoc_engine as engine;
+pub use gnoc_faults as faults;
 pub use gnoc_microbench as microbench;
 pub use gnoc_noc as noc;
 pub use gnoc_sidechannel as sidechannel;
@@ -55,9 +60,11 @@ pub use gnoc_analysis::{
 pub use gnoc_engine::{
     AccessKind, AddressMap, Calibration, CtaScheduler, FabricModel, FlowSpec, GpuDevice,
 };
+pub use gnoc_faults::{FaultGenConfig, FaultPlan, FaultPlanError, FloorSweep, SweepError};
 pub use gnoc_microbench::{input_speedups, LatencyProbe, SpeedupReport};
 pub use gnoc_noc::{
-    run_fairness, run_memsim, ArbiterKind, FairnessConfig, MemSimConfig, Mesh, MeshConfig,
+    run_fairness, run_memsim, ArbiterKind, FairnessConfig, LossReason, MemSimConfig, Mesh,
+    MeshConfig, NocError, ReliableMesh, RetryConfig, TransferOutcome,
 };
 pub use gnoc_sidechannel::{
     run_aes_attack, run_rsa_attack, Aes128, AesAttackConfig, RsaAttackConfig,

@@ -10,14 +10,15 @@
 use crate::cache::{L2Outcome, L2State};
 use crate::calib::Calibration;
 use crate::fabric::{FabricModel, FlowSolution, FlowSpec};
-use crate::hash::{AddressMap, LINE_BYTES};
+use crate::hash::{AddressMap, SliceDisableError, LINE_BYTES};
 use crate::latency;
 use crate::noise;
 use crate::profiler::Profiler;
+use gnoc_faults::{FaultPlan, FaultPlanError};
 use gnoc_telemetry::{TelemetryHandle, TraceEvent, SUBSYSTEM_ENGINE};
 use gnoc_topo::{
     BuildHierarchyError, CachePolicy, Floorplan, GpuSpec, Hierarchy, MpId, PartitionId, SliceId,
-    SmId,
+    SmId, SweepError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +30,12 @@ pub enum DeviceError {
     Hierarchy(BuildHierarchyError),
     /// The spec has a non-positive clock or die dimension.
     BadSpec(&'static str),
+    /// A fault plan's floorsweep could not be applied to the spec.
+    Sweep(SweepError),
+    /// A fault plan's disabled-slice set failed validation.
+    FaultPlan(FaultPlanError),
+    /// The disabled slices leave the device without a usable L2.
+    Slices(SliceDisableError),
 }
 
 impl std::fmt::Display for DeviceError {
@@ -36,6 +43,9 @@ impl std::fmt::Display for DeviceError {
         match self {
             Self::Hierarchy(e) => write!(f, "invalid hierarchy: {e}"),
             Self::BadSpec(what) => write!(f, "invalid spec: {what}"),
+            Self::Sweep(e) => write!(f, "invalid floorsweep: {e}"),
+            Self::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            Self::Slices(e) => write!(f, "invalid slice disable set: {e}"),
         }
     }
 }
@@ -45,6 +55,9 @@ impl std::error::Error for DeviceError {
         match self {
             Self::Hierarchy(e) => Some(e),
             Self::BadSpec(_) => None,
+            Self::Sweep(e) => Some(e),
+            Self::FaultPlan(e) => Some(e),
+            Self::Slices(e) => Some(e),
         }
     }
 }
@@ -52,6 +65,12 @@ impl std::error::Error for DeviceError {
 impl From<BuildHierarchyError> for DeviceError {
     fn from(e: BuildHierarchyError) -> Self {
         Self::Hierarchy(e)
+    }
+}
+
+impl From<SweepError> for DeviceError {
+    fn from(e: SweepError) -> Self {
+        Self::Sweep(e)
     }
 }
 
@@ -136,9 +155,45 @@ impl GpuDevice {
         })
     }
 
+    /// Builds a degraded device under `plan`: the plan's floorsweep is
+    /// applied to the spec first, then the surviving L2 slices in
+    /// `plan.disabled_slices` are fused off and the address hash remapped
+    /// around them. The NoC-level faults of the plan (links, routers,
+    /// transients) are consumed by the mesh layer, not here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the sweep or disable set is invalid for the
+    /// device, or if the resulting spec is inconsistent.
+    pub fn with_faults(spec: GpuSpec, plan: &FaultPlan, seed: u64) -> Result<Self, DeviceError> {
+        let spec = match &plan.sweep {
+            Some(sweep) => spec.floorswept(sweep)?,
+            None => spec,
+        };
+        let calib = Calibration::for_spec(&spec);
+        let mut dev = Self::with_calibration(spec, calib, seed)?;
+        if !plan.disabled_slices.is_empty() {
+            plan.validate_for_slices(dev.hierarchy.num_slices() as u32)
+                .map_err(DeviceError::FaultPlan)?;
+            dev.addr_map = AddressMap::with_disabled(
+                &dev.hierarchy,
+                dev.spec.cache_policy,
+                &plan.disabled_slices,
+            )
+            .map_err(DeviceError::Slices)?;
+        }
+        Ok(dev)
+    }
+
     /// Shorthand for a seeded V100 device.
     pub fn v100(seed: u64) -> Self {
         Self::with_seed(GpuSpec::v100(), seed).expect("preset is valid")
+    }
+
+    /// Shorthand for a seeded floor-swept A100: the full GA100 die harvested
+    /// down to the shipping 108-SM part.
+    pub fn a100_floorswept(seed: u64) -> Self {
+        Self::with_seed(GpuSpec::a100_floorswept(), seed).expect("preset is valid")
     }
 
     /// Shorthand for a seeded A100 device.
@@ -351,6 +406,12 @@ impl GpuDevice {
         self.addr_map.addresses_for_slice(slice, p, n, 0)
     }
 
+    /// Whether `slice` survived floorsweeping / fault disabling: only
+    /// enabled slices can be the effective slice of any address.
+    pub fn slice_enabled(&self, slice: SliceId) -> bool {
+        self.addr_map.is_enabled(slice)
+    }
+
     /// The slice that services `line` for `sm`.
     pub fn effective_slice(&self, sm: SmId, line: u64) -> SliceId {
         let p = self.hierarchy.sm(sm).partition;
@@ -402,6 +463,37 @@ mod tests {
         a.timed_read(SmId::new(0), 7);
         assert!(a.profiler().per_slice_counts().is_none());
         assert_eq!(a.profiler().total(), 1);
+    }
+
+    #[test]
+    fn hottest_slice_pins_tie_break_and_availability_per_device() {
+        // V100: per-slice counters exist, and a tie between two slices must
+        // deterministically report the lowest index regardless of the order
+        // the traffic arrived in.
+        let mut v = GpuDevice::v100(0);
+        let sm = SmId::new(0);
+        let lo = dev_line(&v, sm, 3);
+        let hi = dev_line(&v, sm, 9);
+        v.warm_line(sm, hi);
+        v.warm_line(sm, lo);
+        v.timed_read(sm, hi);
+        v.timed_read(sm, lo);
+        assert_eq!(v.profiler().hottest_slice(), Some(SliceId::new(3)));
+
+        // A100/H100 (paper footnote 1): the non-aggregated counters were
+        // removed, so the hottest-slice query answers None even with traffic
+        // recorded — only the aggregate remains.
+        for mut dev in [GpuDevice::a100(0), GpuDevice::h100(0)] {
+            dev.timed_read(sm, 7);
+            assert_eq!(dev.profiler().hottest_slice(), None);
+            assert_eq!(dev.profiler().per_slice_counts(), None);
+            assert!(dev.profiler().total() > 0);
+        }
+    }
+
+    /// A line address serviced by `slice` for `sm`.
+    fn dev_line(dev: &GpuDevice, sm: SmId, slice: u32) -> u64 {
+        dev.addresses_for_slice(sm, SliceId::new(slice), 1)[0]
     }
 
     #[test]
@@ -512,6 +604,69 @@ mod tests {
             (0..16).map(|i| dev.timed_read(sm, i)).collect()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn floorswept_a100_reads_bit_identical_to_shipping_a100() {
+        // The harvested GA100 die and the shipping A100 preset are the same
+        // hierarchy with the same Ampere calibration, so the whole seeded
+        // measurement stream — not just summary statistics — must match.
+        let run = |mut dev: GpuDevice| -> Vec<u64> {
+            let sm = SmId::new(13);
+            (0..64).map(|i| dev.timed_read(sm, i)).collect()
+        };
+        assert_eq!(run(GpuDevice::a100_floorswept(5)), run(GpuDevice::a100(5)));
+    }
+
+    #[test]
+    fn with_faults_applies_sweep_and_slice_disable() {
+        let mut plan = FaultPlan::none();
+        plan.sweep = Some(gnoc_faults::FloorSweep::a100_sku());
+        plan.disabled_slices = vec![4, 40];
+        let mut dev = GpuDevice::with_faults(GpuSpec::a100_full(), &plan, 0).unwrap();
+        assert_eq!(dev.hierarchy().num_sms(), 108);
+        assert_eq!(dev.hierarchy().num_slices(), 80);
+        assert_eq!(dev.address_map().num_enabled(), 78);
+        for line in 0..2_048 {
+            let s = dev.effective_slice(SmId::new(0), line);
+            assert!(s != SliceId::new(4) && s != SliceId::new(40));
+            dev.timed_read(SmId::new(0), line);
+        }
+        // Disabled slices never accumulate profiler traffic.
+        assert_eq!(dev.profiler().total(), 2_048);
+    }
+
+    #[test]
+    fn with_faults_rejects_bad_plans() {
+        let mut plan = FaultPlan::none();
+        plan.disabled_slices = vec![999];
+        assert!(matches!(
+            GpuDevice::with_faults(GpuSpec::a100(), &plan, 0),
+            Err(DeviceError::FaultPlan(_))
+        ));
+
+        let mut plan = FaultPlan::none();
+        plan.sweep = Some(gnoc_faults::FloorSweep {
+            disabled_gpcs: vec![42],
+            ..gnoc_faults::FloorSweep::none()
+        });
+        assert!(matches!(
+            GpuDevice::with_faults(GpuSpec::a100(), &plan, 0),
+            Err(DeviceError::Sweep(_))
+        ));
+    }
+
+    #[test]
+    fn benign_plan_device_is_bit_identical_to_pristine() {
+        let run = |faulted: bool| -> Vec<u64> {
+            let mut dev = if faulted {
+                GpuDevice::with_faults(GpuSpec::v100(), &FaultPlan::none(), 3).unwrap()
+            } else {
+                GpuDevice::v100(3)
+            };
+            (0..32).map(|i| dev.timed_read(SmId::new(7), i)).collect()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use cache::{L2Outcome, L2State, ResidencyKey};
 pub use calib::{Calibration, UNLIMITED};
 pub use device::{DeviceError, GpuDevice};
 pub use fabric::{AccessKind, Direction, FabricModel, FlowSolution, FlowSpec, ResourceKind};
-pub use hash::{AddressMap, LINE_BYTES};
+pub use hash::{AddressMap, SliceDisableError, LINE_BYTES};
 pub use noise::{gaussian, jittered_cycles};
 pub use profiler::Profiler;
 pub use scheduler::CtaScheduler;

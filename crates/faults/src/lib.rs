@@ -1,0 +1,830 @@
+//! # gnoc-faults
+//!
+//! Deterministic, seedable fault-injection plans for the `gnoc` workspace.
+//!
+//! Real GPUs are harvested silicon (the A100 ships with 108 of 128 SMs and 10
+//! of 12 memory partitions enabled) and real interconnects degrade: links
+//! die, routers stall, flits are dropped or corrupted in flight. A
+//! [`FaultPlan`] captures all of that in one serialisable description:
+//!
+//! - a [`FloorSweep`] fusing off TPCs/GPCs/MPs (consumed by `gnoc-topo`);
+//! - disabled L2 slices, which `gnoc-engine` remaps the address hash around;
+//! - [`LinkFault`]s (dead or flaky mesh links) and [`RouterStall`]s with an
+//!   onset cycle, consumed by the `gnoc-noc` mesh;
+//! - [`TransientFaults`] — die-wide flit drop/corruption probabilities.
+//!
+//! Plans are plain data: same plan + same seed ⇒ bit-identical simulation.
+//! [`FaultPlan::generate`] builds a random plan from a [`FaultGenConfig`]
+//! while *guaranteeing the surviving mesh stays connected*, so every
+//! generated plan is survivable by reroute + retry rather than a guaranteed
+//! partition of the network.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::path::Path;
+
+pub use gnoc_topo::{FloorSweep, SweepError};
+
+/// A mesh link direction, from the perspective of the source router. The
+/// convention matches the `gnoc-noc` mesh: north is towards *higher* row
+/// indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards row `y + 1`.
+    North,
+    /// Towards column `x + 1`.
+    East,
+    /// Towards row `y - 1`.
+    South,
+    /// Towards column `x - 1`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in the mesh's port order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The direction a neighbour uses for the same physical link.
+    pub fn opposite(self) -> Self {
+        match self {
+            Self::North => Self::South,
+            Self::East => Self::West,
+            Self::South => Self::North,
+            Self::West => Self::East,
+        }
+    }
+
+    /// The router reached by leaving `router` this way on a `width`×`height`
+    /// mesh, or `None` at the mesh edge.
+    pub fn neighbour(self, router: u32, width: u32, height: u32) -> Option<u32> {
+        let (x, y) = (router % width, router / width);
+        match self {
+            Self::North => (y + 1 < height).then(|| (y + 1) * width + x),
+            Self::South => y.checked_sub(1).map(|y| y * width + x),
+            Self::West => x.checked_sub(1).map(|x| y * width + x),
+            Self::East => (x + 1 < width).then(|| y * width + x + 1),
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::North => "north",
+            Self::East => "east",
+            Self::South => "south",
+            Self::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What is wrong with a faulted link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkFaultKind {
+    /// The link never transfers a flit again after the fault's onset.
+    Dead,
+    /// The link drops each flit independently with this probability.
+    Flaky {
+        /// Per-flit drop probability in `[0, 1]`.
+        drop_prob: f64,
+    },
+}
+
+/// A fault on one directed mesh link.
+///
+/// A physically dead link kills both directions; [`FaultPlan::generate`]
+/// emits the two directed entries explicitly so a plan can also model
+/// asymmetric (one-way) degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Source router index (`y * width + x`).
+    pub router: u32,
+    /// Outgoing direction of the faulted link.
+    pub dir: Direction,
+    /// Dead or flaky.
+    pub kind: LinkFaultKind,
+    /// Cycle at which the fault manifests (0 = from the start).
+    pub onset: u64,
+}
+
+/// A router that stops arbitrating (all its outputs freeze) for a window of
+/// cycles — the NoC-level analogue of a hung pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterStall {
+    /// Stalled router index.
+    pub router: u32,
+    /// First stalled cycle.
+    pub onset: u64,
+    /// Number of cycles the stall lasts.
+    pub duration: u64,
+}
+
+/// Die-wide transient fault rates, applied to every link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransientFaults {
+    /// Probability a flit is silently dropped on any hop.
+    pub drop_prob: f64,
+    /// Probability a flit's payload is corrupted on any hop (detected at the
+    /// ejection port's CRC check and NACKed).
+    pub corrupt_prob: f64,
+    /// Cycle at which transient faults begin.
+    pub onset: u64,
+}
+
+impl TransientFaults {
+    /// Whether any transient fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.corrupt_prob > 0.0
+    }
+}
+
+/// A complete, deterministic fault-injection plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic fault draw (flaky links, transients).
+    /// The same plan with the same seed produces bit-identical runs.
+    pub seed: u64,
+    /// Manufacturing floorsweep applied to the device hierarchy.
+    pub sweep: Option<FloorSweep>,
+    /// L2 slices fused off; the address hash is remapped around them.
+    pub disabled_slices: Vec<u32>,
+    /// Faulted mesh links.
+    pub links: Vec<LinkFault>,
+    /// Stalled routers.
+    pub routers: Vec<RouterStall>,
+    /// Die-wide transient flit faults.
+    pub transient: TransientFaults,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Errors validating or loading a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A link or stall names a router outside the mesh.
+    RouterOutOfRange {
+        /// The offending router index.
+        router: u32,
+        /// Routers in the mesh.
+        num_routers: u32,
+    },
+    /// A link fault points off the edge of the mesh.
+    LinkOffEdge {
+        /// Source router.
+        router: u32,
+        /// Direction with no neighbour.
+        dir: Direction,
+    },
+    /// The same directed link is faulted twice.
+    DuplicateLink {
+        /// Source router.
+        router: u32,
+        /// Direction listed twice.
+        dir: Direction,
+    },
+    /// A probability is outside `[0, 1]`.
+    BadProbability(f64),
+    /// A disabled slice index is out of range for the device.
+    SliceOutOfRange {
+        /// The offending slice index.
+        slice: u32,
+        /// Slices on the device.
+        num_slices: u32,
+    },
+    /// The same slice is disabled twice.
+    DuplicateSlice(u32),
+    /// Every slice is disabled — no L2 remains to home addresses.
+    AllSlicesDisabled,
+    /// The dead links at full onset disconnect the surviving mesh.
+    MeshDisconnected,
+    /// The plan file could not be read or written.
+    Io(String),
+    /// The plan file is not valid JSON for a plan.
+    Parse(String),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RouterOutOfRange {
+                router,
+                num_routers,
+            } => write!(f, "router {router} out of range ({num_routers} routers)"),
+            Self::LinkOffEdge { router, dir } => {
+                write!(f, "link {dir} of router {router} points off the mesh edge")
+            }
+            Self::DuplicateLink { router, dir } => {
+                write!(f, "link {dir} of router {router} is faulted twice")
+            }
+            Self::BadProbability(p) => write!(f, "probability {p} outside [0, 1]"),
+            Self::SliceOutOfRange { slice, num_slices } => {
+                write!(f, "slice {slice} out of range ({num_slices} slices)")
+            }
+            Self::DuplicateSlice(s) => write!(f, "slice {s} disabled twice"),
+            Self::AllSlicesDisabled => write!(f, "plan disables every L2 slice"),
+            Self::MeshDisconnected => {
+                write!(f, "dead links disconnect the surviving mesh")
+            }
+            Self::Io(e) => write!(f, "plan file i/o error: {e}"),
+            Self::Parse(e) => write!(f, "plan file parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            sweep: None,
+            disabled_slices: Vec::new(),
+            links: Vec::new(),
+            routers: Vec::new(),
+            transient: TransientFaults::default(),
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_benign(&self) -> bool {
+        self.sweep.as_ref().is_none_or(FloorSweep::is_empty)
+            && self.disabled_slices.is_empty()
+            && self.links.is_empty()
+            && self.routers.is_empty()
+            && !self.transient.is_active()
+    }
+
+    /// Whether the plan contains any probabilistic fault (and therefore draws
+    /// from the fault RNG during simulation).
+    pub fn has_probabilistic_faults(&self) -> bool {
+        self.transient.is_active()
+            || self
+                .links
+                .iter()
+                .any(|l| matches!(l.kind, LinkFaultKind::Flaky { .. }))
+    }
+
+    /// Validates the NoC part of the plan against a `width`×`height` mesh:
+    /// indices in range, links on the die, probabilities sane, no duplicate
+    /// directed link, and the surviving mesh (with every dead link at full
+    /// onset removed) still connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate_for_mesh(&self, width: u32, height: u32) -> Result<(), FaultPlanError> {
+        let num_routers = width * height;
+        let mut seen = std::collections::HashSet::new();
+        for l in &self.links {
+            if l.router >= num_routers {
+                return Err(FaultPlanError::RouterOutOfRange {
+                    router: l.router,
+                    num_routers,
+                });
+            }
+            if l.dir.neighbour(l.router, width, height).is_none() {
+                return Err(FaultPlanError::LinkOffEdge {
+                    router: l.router,
+                    dir: l.dir,
+                });
+            }
+            if !seen.insert((l.router, l.dir)) {
+                return Err(FaultPlanError::DuplicateLink {
+                    router: l.router,
+                    dir: l.dir,
+                });
+            }
+            if let LinkFaultKind::Flaky { drop_prob } = l.kind {
+                check_prob(drop_prob)?;
+            }
+        }
+        for r in &self.routers {
+            if r.router >= num_routers {
+                return Err(FaultPlanError::RouterOutOfRange {
+                    router: r.router,
+                    num_routers,
+                });
+            }
+        }
+        check_prob(self.transient.drop_prob)?;
+        check_prob(self.transient.corrupt_prob)?;
+        if !mesh_connected(width, height, &self.dead_undirected_edges(width, height)) {
+            return Err(FaultPlanError::MeshDisconnected);
+        }
+        Ok(())
+    }
+
+    /// Validates the L2-slice part of the plan against a device with
+    /// `num_slices` slices (counted after any floorsweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate_for_slices(&self, num_slices: u32) -> Result<(), FaultPlanError> {
+        let mut seen = std::collections::HashSet::new();
+        for &s in &self.disabled_slices {
+            if s >= num_slices {
+                return Err(FaultPlanError::SliceOutOfRange {
+                    slice: s,
+                    num_slices,
+                });
+            }
+            if !seen.insert(s) {
+                return Err(FaultPlanError::DuplicateSlice(s));
+            }
+        }
+        if num_slices > 0 && seen.len() == num_slices as usize {
+            return Err(FaultPlanError::AllSlicesDisabled);
+        }
+        Ok(())
+    }
+
+    /// The undirected edges `(low_router, high_router)` of a `width`×`height`
+    /// mesh that are dead in *both* directions once every onset has passed —
+    /// the edges connectivity must survive without. A one-way dead link leaves
+    /// its edge usable (the reverse direction still moves flits).
+    pub fn dead_undirected_edges(&self, width: u32, height: u32) -> Vec<(u32, u32)> {
+        let dead: std::collections::HashSet<(u32, Direction)> = self
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+            .map(|l| (l.router, l.dir))
+            .collect();
+        let mut edges = Vec::new();
+        for &(router, dir) in &dead {
+            let Some(nb) = dir.neighbour(router, width, height) else {
+                continue;
+            };
+            if dead.contains(&(nb, dir.opposite())) {
+                edges.push((router.min(nb), router.max(nb)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Generates a random plan from `cfg`, deterministically in `cfg.seed`.
+    ///
+    /// Dead links are chosen so the surviving mesh remains connected: edges
+    /// are visited in a seeded random order and an edge whose removal would
+    /// disconnect the graph is skipped. The requested `dead_link_fraction` is
+    /// therefore an upper bound near the spanning-tree limit.
+    pub fn generate(cfg: &FaultGenConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6e6f_635f_6661_756c);
+        let (w, h) = (cfg.width, cfg.height);
+
+        // Undirected edges of the mesh, in a fixed base order.
+        let mut edges: Vec<(u32, Direction)> = Vec::new();
+        for r in 0..w * h {
+            for dir in [Direction::East, Direction::North] {
+                if dir.neighbour(r, w, h).is_some() {
+                    edges.push((r, dir));
+                }
+            }
+        }
+        shuffle(&mut edges, &mut rng);
+
+        let target_dead = ((edges.len() as f64) * cfg.dead_link_fraction).round() as usize;
+        let mut dead_edges: Vec<(u32, u32)> = Vec::new();
+        let mut links: Vec<LinkFault> = Vec::new();
+        let mut killed = 0usize;
+        for &(r, dir) in &edges {
+            if killed >= target_dead {
+                break;
+            }
+            let n = dir.neighbour(r, w, h).expect("edge list is on-die");
+            let mut candidate = dead_edges.clone();
+            candidate.push((r.min(n), r.max(n)));
+            if !mesh_connected(w, h, &candidate) {
+                continue; // would partition the mesh; keep this edge alive
+            }
+            dead_edges = candidate;
+            links.push(LinkFault {
+                router: r,
+                dir,
+                kind: LinkFaultKind::Dead,
+                onset: cfg.onset,
+            });
+            links.push(LinkFault {
+                router: n,
+                dir: dir.opposite(),
+                kind: LinkFaultKind::Dead,
+                onset: cfg.onset,
+            });
+            killed += 1;
+        }
+
+        // Flaky links on surviving edges.
+        let mut flaky = 0u32;
+        for &(r, dir) in &edges {
+            if flaky >= cfg.flaky_links {
+                break;
+            }
+            let n = dir.neighbour(r, w, h).expect("edge list is on-die");
+            if dead_edges.contains(&(r.min(n), r.max(n))) {
+                continue;
+            }
+            links.push(LinkFault {
+                router: r,
+                dir,
+                kind: LinkFaultKind::Flaky {
+                    drop_prob: cfg.flaky_drop_prob,
+                },
+                onset: cfg.onset,
+            });
+            flaky += 1;
+        }
+
+        // Stalled routers (distinct, anywhere on the die).
+        let mut routers = Vec::new();
+        let mut stalled = std::collections::HashSet::new();
+        while (routers.len() as u32) < cfg.stalled_routers.min(w * h) {
+            let r = rng.gen_range(0..w * h);
+            if stalled.insert(r) {
+                routers.push(RouterStall {
+                    router: r,
+                    onset: cfg.onset,
+                    duration: cfg.stall_duration,
+                });
+            }
+        }
+        routers.sort_unstable_by_key(|s| s.router);
+
+        // Disabled slices (distinct, never all of them).
+        let mut disabled_slices = Vec::new();
+        if cfg.num_slices > 1 {
+            let max_off = cfg.disabled_slice_count.min(cfg.num_slices - 1);
+            let mut off = std::collections::HashSet::new();
+            while (disabled_slices.len() as u32) < max_off {
+                let s = rng.gen_range(0..cfg.num_slices);
+                if off.insert(s) {
+                    disabled_slices.push(s);
+                }
+            }
+            disabled_slices.sort_unstable();
+        }
+
+        Self {
+            seed: cfg.seed,
+            sweep: cfg.sweep.clone(),
+            disabled_slices,
+            links,
+            routers,
+            transient: TransientFaults {
+                drop_prob: cfg.transient_drop_prob,
+                corrupt_prob: cfg.transient_corrupt_prob,
+                onset: cfg.onset,
+            },
+        }
+    }
+
+    /// Serialises the plan as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Parse`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String, FaultPlanError> {
+        serde_json::to_string_pretty(self).map_err(|e| FaultPlanError::Parse(e.to_string()))
+    }
+
+    /// Parses a plan from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Parse`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, FaultPlanError> {
+        serde_json::from_str(s).map_err(|e| FaultPlanError::Parse(e.to_string()))
+    }
+
+    /// Writes the plan to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FaultPlanError> {
+        let json = self.to_json()?;
+        std::fs::write(path, json + "\n").map_err(|e| FaultPlanError::Io(e.to_string()))
+    }
+
+    /// Reads a plan from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Io`] / [`FaultPlanError::Parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FaultPlanError> {
+        let text = std::fs::read_to_string(path).map_err(|e| FaultPlanError::Io(e.to_string()))?;
+        Self::from_json(&text)
+    }
+
+    /// One-line human summary of what the plan injects.
+    pub fn summary(&self) -> String {
+        let dead = self
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+            .count();
+        let flaky = self.links.len() - dead;
+        format!(
+            "seed={} sweep={} slices_off={} dead_dirs={} flaky_dirs={} stalls={} drop={:.4} corrupt={:.4}",
+            self.seed,
+            self.sweep.as_ref().map_or(0, FloorSweep::num_disabled),
+            self.disabled_slices.len(),
+            dead,
+            flaky,
+            self.routers.len(),
+            self.transient.drop_prob,
+            self.transient.corrupt_prob,
+        )
+    }
+}
+
+/// Configuration for [`FaultPlan::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultGenConfig {
+    /// Plan seed (drives both generation and later simulation draws).
+    pub seed: u64,
+    /// Mesh width in routers.
+    pub width: u32,
+    /// Mesh height in routers.
+    pub height: u32,
+    /// Fraction of undirected mesh links to kill (connectivity permitting).
+    pub dead_link_fraction: f64,
+    /// Number of directed links made flaky.
+    pub flaky_links: u32,
+    /// Drop probability of each flaky link.
+    pub flaky_drop_prob: f64,
+    /// Number of routers stalled.
+    pub stalled_routers: u32,
+    /// Stall duration in cycles.
+    pub stall_duration: u64,
+    /// Die-wide transient drop probability.
+    pub transient_drop_prob: f64,
+    /// Die-wide transient corruption probability.
+    pub transient_corrupt_prob: f64,
+    /// Onset cycle for every injected fault.
+    pub onset: u64,
+    /// L2 slices on the target device (0 = don't disable slices).
+    pub num_slices: u32,
+    /// Number of slices to disable.
+    pub disabled_slice_count: u32,
+    /// Optional floorsweep to embed in the plan.
+    pub sweep: Option<FloorSweep>,
+}
+
+impl FaultGenConfig {
+    /// A benign config for a `width`×`height` mesh: everything off.
+    pub fn benign(seed: u64, width: u32, height: u32) -> Self {
+        Self {
+            seed,
+            width,
+            height,
+            dead_link_fraction: 0.0,
+            flaky_links: 0,
+            flaky_drop_prob: 0.0,
+            stalled_routers: 0,
+            stall_duration: 0,
+            transient_drop_prob: 0.0,
+            transient_corrupt_prob: 0.0,
+            onset: 0,
+            num_slices: 0,
+            disabled_slice_count: 0,
+            sweep: None,
+        }
+    }
+}
+
+fn check_prob(p: f64) -> Result<(), FaultPlanError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultPlanError::BadProbability(p));
+    }
+    Ok(())
+}
+
+/// BFS connectivity of the mesh with `dead_edges` (undirected, as
+/// `(low, high)` pairs) removed.
+pub fn mesh_connected(width: u32, height: u32, dead_edges: &[(u32, u32)]) -> bool {
+    let n = (width * height) as usize;
+    if n == 0 {
+        return true;
+    }
+    let dead: std::collections::HashSet<(u32, u32)> = dead_edges.iter().copied().collect();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([0u32]);
+    seen[0] = true;
+    let mut reached = 1usize;
+    while let Some(r) = queue.pop_front() {
+        for dir in Direction::ALL {
+            let Some(nb) = dir.neighbour(r, width, height) else {
+                continue;
+            };
+            if dead.contains(&(r.min(nb), r.max(nb))) || seen[nb as usize] {
+                continue;
+            }
+            seen[nb as usize] = true;
+            reached += 1;
+            queue.push_back(nb);
+        }
+    }
+    reached == n
+}
+
+/// Fisher–Yates shuffle with the shim RNG (the shim has no `SliceRandom`).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degraded_cfg(seed: u64) -> FaultGenConfig {
+        FaultGenConfig {
+            dead_link_fraction: 0.05,
+            flaky_links: 2,
+            flaky_drop_prob: 0.01,
+            stalled_routers: 1,
+            stall_duration: 64,
+            transient_drop_prob: 0.001,
+            transient_corrupt_prob: 0.0005,
+            num_slices: 80,
+            disabled_slice_count: 3,
+            ..FaultGenConfig::benign(seed, 6, 6)
+        }
+    }
+
+    #[test]
+    fn benign_plan_is_benign() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_benign());
+        assert!(!plan.has_probabilistic_faults());
+        plan.validate_for_mesh(6, 6).unwrap();
+        plan.validate_for_slices(80).unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = FaultPlan::generate(&degraded_cfg(7));
+        let b = FaultPlan::generate(&degraded_cfg(7));
+        let c = FaultPlan::generate(&degraded_cfg(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_plans_keep_the_mesh_connected() {
+        for seed in 0..20 {
+            let mut cfg = degraded_cfg(seed);
+            cfg.dead_link_fraction = 0.3; // aggressive: forces skips
+            let plan = FaultPlan::generate(&cfg);
+            plan.validate_for_mesh(6, 6).unwrap();
+            assert!(mesh_connected(6, 6, &plan.dead_undirected_edges(6, 6)));
+        }
+    }
+
+    #[test]
+    fn dead_links_are_emitted_in_both_directions() {
+        let mut cfg = degraded_cfg(3);
+        cfg.flaky_links = 0;
+        let plan = FaultPlan::generate(&cfg);
+        let dead: Vec<_> = plan
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+            .collect();
+        assert!(!dead.is_empty());
+        assert_eq!(dead.len() % 2, 0);
+        assert_eq!(plan.dead_undirected_edges(6, 6).len(), dead.len() / 2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_plan() {
+        let plan = FaultPlan::generate(&degraded_cfg(11));
+        let json = plan.to_json().unwrap();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut plan = FaultPlan::none();
+        plan.links.push(LinkFault {
+            router: 99,
+            dir: Direction::East,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        assert!(matches!(
+            plan.validate_for_mesh(6, 6),
+            Err(FaultPlanError::RouterOutOfRange { .. })
+        ));
+
+        let mut plan = FaultPlan::none();
+        plan.links.push(LinkFault {
+            router: 5, // east edge of row 0 on a 6-wide mesh
+            dir: Direction::East,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        assert!(matches!(
+            plan.validate_for_mesh(6, 6),
+            Err(FaultPlanError::LinkOffEdge { .. })
+        ));
+
+        let mut plan = FaultPlan::none();
+        plan.transient.drop_prob = 1.5;
+        assert!(matches!(
+            plan.validate_for_mesh(6, 6),
+            Err(FaultPlanError::BadProbability(_))
+        ));
+
+        let mut plan = FaultPlan::none();
+        plan.disabled_slices = vec![1, 1];
+        assert!(matches!(
+            plan.validate_for_slices(4),
+            Err(FaultPlanError::DuplicateSlice(1))
+        ));
+        plan.disabled_slices = vec![0, 1, 2, 3];
+        assert!(matches!(
+            plan.validate_for_slices(4),
+            Err(FaultPlanError::AllSlicesDisabled)
+        ));
+    }
+
+    #[test]
+    fn disconnecting_plan_is_rejected() {
+        // Cut router 0 (corner) off entirely: kill both its links.
+        let mut plan = FaultPlan::none();
+        for (r, dir) in [(0, Direction::East), (0, Direction::North)] {
+            let n = dir.neighbour(r, 6, 6).unwrap();
+            plan.links.push(LinkFault {
+                router: r,
+                dir,
+                kind: LinkFaultKind::Dead,
+                onset: 0,
+            });
+            plan.links.push(LinkFault {
+                router: n,
+                dir: dir.opposite(),
+                kind: LinkFaultKind::Dead,
+                onset: 0,
+            });
+        }
+        assert_eq!(
+            plan.validate_for_mesh(6, 6),
+            Err(FaultPlanError::MeshDisconnected)
+        );
+    }
+
+    #[test]
+    fn one_way_dead_link_does_not_count_as_a_dead_edge() {
+        let mut plan = FaultPlan::none();
+        plan.links.push(LinkFault {
+            router: 0,
+            dir: Direction::East,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        assert!(plan.dead_undirected_edges(6, 6).is_empty());
+        plan.validate_for_mesh(6, 6).unwrap();
+    }
+
+    #[test]
+    fn neighbour_arithmetic_matches_the_grid() {
+        assert_eq!(Direction::East.neighbour(0, 6, 6), Some(1));
+        assert_eq!(Direction::North.neighbour(0, 6, 6), Some(6));
+        assert_eq!(Direction::South.neighbour(0, 6, 6), None);
+        assert_eq!(Direction::West.neighbour(0, 6, 6), None);
+        assert_eq!(Direction::South.neighbour(6, 6, 6), Some(0));
+        for dir in Direction::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+        }
+    }
+
+    #[test]
+    fn plan_with_sweep_summarises_it() {
+        let mut plan = FaultPlan::none();
+        plan.sweep = Some(FloorSweep::a100_sku());
+        assert!(!plan.is_benign());
+        assert!(plan.summary().contains("sweep=12"));
+    }
+}

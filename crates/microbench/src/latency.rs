@@ -36,6 +36,11 @@ impl LatencyProbe {
     /// repeated dependent loads.
     pub fn measure_pair(&self, dev: &mut GpuDevice, sm: SmId, slice: SliceId) -> f64 {
         let lines = dev.addresses_for_slice(sm, slice, self.working_set_lines.max(1));
+        if lines.is_empty() {
+            // The slice can never serve this SM (fused off, or remote under
+            // partition-local caching): there is no latency to measure.
+            return f64::NAN;
+        }
         for &line in &lines {
             dev.warm_line(sm, line);
         }
@@ -116,15 +121,18 @@ impl LatencyProbe {
         acc / n
     }
 
-    /// The slices an SM's hits can be served from.
+    /// The slices an SM's hits can be served from. Slices fused off by a
+    /// fault plan are excluded: no address hashes to them, so a degraded
+    /// device simply has shorter profiles.
     pub fn visible_slices(&self, dev: &GpuDevice, sm: SmId) -> Vec<SliceId> {
         let h = dev.hierarchy();
-        match dev.spec().cache_policy {
+        let all: Vec<SliceId> = match dev.spec().cache_policy {
             gnoc_topo::CachePolicy::GloballyShared => SliceId::range(h.num_slices()).collect(),
             gnoc_topo::CachePolicy::PartitionLocal => {
                 h.slices_in_partition(h.sm(sm).partition).to_vec()
             }
-        }
+        };
+        all.into_iter().filter(|&s| dev.slice_enabled(s)).collect()
     }
 }
 

@@ -48,25 +48,28 @@ impl Arbiter {
         }
         let winner = match self.kind {
             ArbiterKind::RoundRobin => {
-                // First candidate at or after the rotating pointer.
-                let mut best: Option<usize> = None;
-                let mut best_key = usize::MAX;
-                for &(input, _) in candidates {
-                    let key = input.wrapping_sub(self.rr_next).wrapping_add(64) % 64;
+                // First candidate at or after the rotating pointer. Seeding
+                // the scan with candidates[0] keeps this branch panic-free.
+                let key_of = |input: usize| input.wrapping_sub(self.rr_next).wrapping_add(64) % 64;
+                let mut w = candidates[0].0;
+                let mut best_key = key_of(w);
+                for &(input, _) in &candidates[1..] {
+                    let key = key_of(input);
                     if key < best_key {
                         best_key = key;
-                        best = Some(input);
+                        w = input;
                     }
                 }
-                let w = best.expect("non-empty candidates");
                 self.rr_next = (w + 1) % 64;
                 w
             }
+            // `min_by_key` is `Some` whenever candidates is non-empty, which
+            // the guard above established; `?` degrades to a no-grant rather
+            // than aborting if that invariant ever breaks.
             ArbiterKind::AgeBased => {
                 candidates
                     .iter()
-                    .min_by_key(|&&(input, birth)| (birth, input))
-                    .expect("non-empty candidates")
+                    .min_by_key(|&&(input, birth)| (birth, input))?
                     .0
             }
         };

@@ -154,7 +154,11 @@ impl Crossbar {
                 }
             }
             if let Some(winner) = self.arbiters[out].pick(&candidates) {
-                let packet = self.queues[winner].pop_front().expect("head exists");
+                // Invariant: every candidate was a non-empty queue head.
+                let Some(packet) = self.queues[winner].pop_front() else {
+                    debug_assert!(false, "granted input queue is empty");
+                    continue;
+                };
                 self.output_busy_until[out] = self.cycle + u64::from(packet.flits);
                 self.stats.delivered_by_src[packet.src.index()] += 1;
                 self.stats.delivered_total += 1;

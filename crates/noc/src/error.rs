@@ -1,0 +1,100 @@
+//! Typed errors and loss classification for the fault-aware NoC.
+//!
+//! Under fault injection, packets can legitimately fail to arrive. Instead of
+//! panicking or silently losing traffic, the mesh and the reliable-delivery
+//! layer report every non-delivery with a [`LossReason`], and configuration
+//! mistakes surface as [`NocError`] values.
+
+use gnoc_faults::FaultPlanError;
+
+/// Why a packet (or a whole transfer) did not reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossReason {
+    /// No surviving path from the packet's current router to its destination.
+    Unroutable,
+    /// Dropped by a flaky link's per-flit coin toss.
+    FlakyLink,
+    /// Dropped by the die-wide transient fault process.
+    TransientDrop,
+    /// The reliable layer gave up after exhausting its retry budget.
+    RetriesExhausted,
+    /// The deadlock/livelock watchdog tripped while this transfer was
+    /// outstanding; the network made no progress for the configured window.
+    Watchdog,
+}
+
+impl std::fmt::Display for LossReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Unroutable => "unroutable",
+            Self::FlakyLink => "flaky-link",
+            Self::TransientDrop => "transient-drop",
+            Self::RetriesExhausted => "retries-exhausted",
+            Self::Watchdog => "watchdog",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors raised by NoC configuration and fault-plan application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NocError {
+    /// The fault plan does not fit this mesh (bad index, disconnecting dead
+    /// links, invalid probability, ...).
+    FaultPlan(FaultPlanError),
+    /// A fault plan was applied to a mesh that already has one.
+    PlanAlreadyApplied,
+}
+
+impl std::fmt::Display for NocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FaultPlan(e) => write!(f, "fault plan rejected: {e}"),
+            Self::PlanAlreadyApplied => f.write_str("mesh already has a fault plan applied"),
+        }
+    }
+}
+
+impl std::error::Error for NocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::FaultPlan(e) => Some(e),
+            Self::PlanAlreadyApplied => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for NocError {
+    fn from(e: FaultPlanError) -> Self {
+        Self::FaultPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_reasons_render_distinctly() {
+        let all = [
+            LossReason::Unroutable,
+            LossReason::FlakyLink,
+            LossReason::TransientDrop,
+            LossReason::RetriesExhausted,
+            LossReason::Watchdog,
+        ];
+        let rendered: Vec<String> = all.iter().map(ToString::to_string).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            for b in &rendered[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn noc_error_wraps_fault_plan_errors() {
+        let e: NocError = FaultPlanError::BadProbability(2.0).into();
+        assert!(e.to_string().contains("fault plan rejected"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

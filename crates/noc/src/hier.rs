@@ -202,9 +202,14 @@ impl HierCrossbar {
                     winner / self.cfg.uplink_speedup,
                     winner % self.cfg.uplink_speedup,
                 );
-                let packet = self.uplink_queues[c][p]
-                    .remove(positions[winner])
-                    .expect("candidate position is valid");
+                // Invariant: the arbiter only returns indices that were in
+                // `candidates`, and each candidate recorded its queue
+                // position. Skip the grant (losing one cycle, not the run)
+                // if that ever breaks.
+                let Some(packet) = self.uplink_queues[c][p].remove(positions[winner]) else {
+                    debug_assert!(false, "granted uplink lost its candidate packet");
+                    continue;
+                };
                 self.output_busy_until[out] = self.cycle + u64::from(packet.flits);
                 self.stats.delivered_by_src[packet.src.index()] += 1;
                 self.stats.delivered_total += 1;
@@ -237,9 +242,11 @@ impl HierCrossbar {
                 }
                 if let Some(winner) = self.uplink_arbiters[c][p].pick(&candidates) {
                     granted[winner] = true;
-                    let packet = self.term_queues[base + winner]
-                        .pop_front()
-                        .expect("head exists");
+                    // Invariant: every candidate was a non-empty queue head.
+                    let Some(packet) = self.term_queues[base + winner].pop_front() else {
+                        debug_assert!(false, "granted terminal queue is empty");
+                        continue;
+                    };
                     self.uplink_busy_until[c][p] = self.cycle + u64::from(packet.flits);
                     self.uplink_queues[c][p].push_back(packet);
                 }

@@ -30,16 +30,19 @@
 
 mod arbiter;
 mod crossbar;
+mod error;
 mod hier;
 pub mod loadcurve;
 mod memsim;
 mod mesh;
 mod packet;
 pub mod priorwork;
+mod reliable;
 mod traffic;
 
 pub use arbiter::{Arbiter, ArbiterKind};
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
+pub use error::{LossReason, NocError};
 pub use hier::{HierConfig, HierCrossbar};
 pub use memsim::{
     run_memsim, run_memsim_shared, run_memsim_shared_traced, run_memsim_traced, MemSimConfig,
@@ -47,4 +50,5 @@ pub use memsim::{
 };
 pub use mesh::{Mesh, MeshConfig, MeshStats, RouteOrder};
 pub use packet::{NodeId, Packet, PacketClass};
+pub use reliable::{ReliabilityStats, ReliableMesh, RetryConfig, TransferId, TransferOutcome};
 pub use traffic::{run_fairness, run_fairness_traced, FairnessConfig, FairnessResult};

@@ -8,10 +8,14 @@
 //! latency statistics.
 
 use crate::arbiter::{Arbiter, ArbiterKind};
+use crate::error::{LossReason, NocError};
 use crate::packet::{NodeId, Packet, PacketClass};
+use gnoc_faults::{Direction, FaultPlan, LinkFaultKind};
 use gnoc_telemetry::{MetricRegistry, TelemetryHandle, TraceEvent, SUBSYSTEM_NOC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// Router port indices.
 const LOCAL: usize = 0;
@@ -85,6 +89,42 @@ struct Router {
     output_busy_until: Vec<u64>,
 }
 
+/// The mesh output port a fault-plan [`Direction`] maps to.
+fn port_of(dir: Direction) -> usize {
+    match dir {
+        Direction::North => NORTH,
+        Direction::East => EAST,
+        Direction::South => SOUTH,
+        Direction::West => WEST,
+    }
+}
+
+/// Sentinel in the reroute tables for "no surviving path".
+const UNREACHABLE: u8 = u8::MAX;
+
+/// Runtime state of an applied [`FaultPlan`].
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    /// `(onset, link index)` of dead links not yet activated, onset-sorted.
+    pending_dead: Vec<(u64, usize)>,
+    /// Cursor into `pending_dead`.
+    next_dead: usize,
+    /// Directed link liveness, indexed `router * NUM_PORTS + port`.
+    link_dead: Vec<bool>,
+    /// Flaky links as `(onset, drop probability)`, same indexing.
+    link_flaky: Vec<Option<(u64, f64)>>,
+    /// Fault-aware up*/down* next-hop tables,
+    /// `[dst][router * NUM_PORTS + entry port] -> port` ([`UNREACHABLE`] when
+    /// no legal surviving path from that state). `None` until the first dead
+    /// link activates: a healthy (or merely flaky/stalled) mesh keeps using
+    /// dimension-ordered routing bit-identically to the fault-free build.
+    routes: Option<Vec<Vec<u8>>>,
+    /// Seeded RNG, present only when the plan has probabilistic faults so
+    /// benign plans make zero draws.
+    rng: Option<StdRng>,
+}
+
 /// Bucket width of the latency histogram, cycles.
 const LAT_BUCKET: u64 = 4;
 /// Number of latency histogram buckets (last bucket absorbs the tail).
@@ -114,6 +154,17 @@ pub struct MeshStats {
     /// [`WINDOW_CYCLES`]-cycle window — the burst-demand figure that sizes
     /// link bandwidth, as opposed to the long-run average.
     pub peak_window_flits: u64,
+    /// Packets dropped by flaky links (fault injection only).
+    pub dropped_flaky: u64,
+    /// Packets dropped by the transient fault process.
+    pub dropped_transient: u64,
+    /// Packets corrupted in flight (detected at ejection by the reliable
+    /// layer's CRC model).
+    pub corrupted: u64,
+    /// Packets dropped because no surviving route reaches their destination.
+    pub dropped_unroutable: u64,
+    /// Times the next-hop tables were recomputed after links died.
+    pub reroutes: u64,
 }
 
 impl MeshStats {
@@ -182,6 +233,14 @@ pub struct Mesh {
     /// `stats.peak_window_flits` at each window boundary).
     window_flits: Vec<u64>,
     telemetry: TelemetryHandle,
+    /// Applied fault plan, boxed to keep the fault-free mesh lean.
+    faults: Option<Box<FaultState>>,
+    /// Packets lost to faults since the last [`Mesh::drain_lost`].
+    lost: Vec<(Packet, LossReason)>,
+    /// Ids of in-flight packets whose payload was corrupted.
+    corrupted: HashSet<u64>,
+    /// Last cycle on which any packet moved — drives the external watchdog.
+    last_progress: u64,
 }
 
 impl Mesh {
@@ -218,7 +277,77 @@ impl Mesh {
             },
             window_flits: vec![0; n * NUM_PORTS],
             telemetry: TelemetryHandle::disabled(),
+            faults: None,
+            lost: Vec::new(),
+            corrupted: HashSet::new(),
+            last_progress: 0,
         }
+    }
+
+    /// Applies a fault plan to this mesh. Dead and flaky links, router
+    /// stalls, and transient drop/corruption take effect at their configured
+    /// onset cycles; dead links trigger fault-aware next-hop recomputation.
+    ///
+    /// Fails if the plan does not fit the mesh geometry, would disconnect
+    /// it, or a plan was already applied.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), NocError> {
+        if self.faults.is_some() {
+            return Err(NocError::PlanAlreadyApplied);
+        }
+        plan.validate_for_mesh(self.cfg.width as u32, self.cfg.height as u32)?;
+        let links = self.cfg.num_nodes() * NUM_PORTS;
+        let mut state = FaultState {
+            plan: plan.clone(),
+            pending_dead: Vec::new(),
+            next_dead: 0,
+            link_dead: vec![false; links],
+            link_flaky: vec![None; links],
+            routes: None,
+            rng: plan
+                .has_probabilistic_faults()
+                .then(|| StdRng::seed_from_u64(plan.seed)),
+        };
+        for lf in &plan.links {
+            let link = lf.router as usize * NUM_PORTS + port_of(lf.dir);
+            match lf.kind {
+                LinkFaultKind::Dead => state.pending_dead.push((lf.onset, link)),
+                LinkFaultKind::Flaky { drop_prob } => {
+                    state.link_flaky[link] = Some((lf.onset, drop_prob));
+                }
+            }
+        }
+        state.pending_dead.sort_unstable();
+        self.faults = Some(Box::new(state));
+        // Activate any onset-0 faults before the first step.
+        let mut faults = self.faults.take();
+        if let Some(f) = faults.as_deref_mut() {
+            self.process_fault_onsets(f);
+        }
+        self.faults = faults;
+        Ok(())
+    }
+
+    /// The applied fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|f| &f.plan)
+    }
+
+    /// Whether a packet freshly injected at `src` can currently reach `dst`
+    /// under the active routing function. Distinguishes a transfer whose
+    /// destination is genuinely cut off (retrying cannot help) from one
+    /// whose in-flight copy was merely caught in an illegal up*/down* state
+    /// by a link's onset (a retransmission from the source still has a
+    /// legal path).
+    pub fn routable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.route_current(self.faults.as_deref(), src.index(), LOCAL, dst.index())
+            .is_some()
+    }
+
+    /// Number of directed links currently dead.
+    pub fn dead_links_active(&self) -> usize {
+        self.faults
+            .as_deref()
+            .map_or(0, |f| f.link_dead.iter().filter(|d| **d).count())
     }
 
     /// Attaches a telemetry handle. An enabled mesh samples router input
@@ -284,15 +413,31 @@ impl Mesh {
         class: PacketClass,
         birth: u64,
     ) -> bool {
+        self.try_inject_tracked(src, dst, flits, class, birth)
+            .is_some()
+    }
+
+    /// Like [`Mesh::try_inject_with_birth`], but returns the assigned packet
+    /// id on success so callers (the reliable-delivery layer) can match
+    /// ejections and losses back to their transfers.
+    pub fn try_inject_tracked(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        class: PacketClass,
+        birth: u64,
+    ) -> Option<u64> {
         assert!(src.index() < self.cfg.num_nodes(), "src out of range");
         assert!(dst.index() < self.cfg.num_nodes(), "dst out of range");
         let vc = self.vc_of(class);
         let q = &mut self.routers[src.index()].inputs[LOCAL][vc];
         if q.len() >= self.cfg.buffer_packets {
-            return false;
+            return None;
         }
+        let id = self.next_id;
         q.push_back(Packet {
-            id: self.next_id,
+            id,
             src,
             dst,
             flits,
@@ -301,12 +446,40 @@ impl Mesh {
         });
         self.next_id += 1;
         self.stats.injected_by_src[src.index()] += 1;
-        true
+        Some(id)
     }
 
     /// Packets ejected since the last drain.
     pub fn drain_ejected(&mut self) -> Vec<Packet> {
         std::mem::take(&mut self.ejected)
+    }
+
+    /// Packets lost to faults since the last drain, with the reason each was
+    /// lost. Empty on a fault-free mesh.
+    pub fn drain_lost(&mut self) -> Vec<(Packet, LossReason)> {
+        std::mem::take(&mut self.lost)
+    }
+
+    /// Checks and clears the corruption mark for packet `id`. The reliable
+    /// layer calls this at ejection — a `true` return means the payload
+    /// failed its CRC and must be NACKed.
+    pub fn take_corrupted(&mut self, id: u64) -> bool {
+        self.corrupted.remove(&id)
+    }
+
+    /// Packets currently buffered anywhere in the mesh.
+    pub fn in_flight(&self) -> usize {
+        self.routers
+            .iter()
+            .flat_map(|r| r.inputs.iter())
+            .flat_map(|port| port.iter().map(VecDeque::len))
+            .sum()
+    }
+
+    /// Cycles since any packet last moved — the external deadlock watchdog's
+    /// input signal.
+    pub fn cycles_since_progress(&self) -> u64 {
+        self.cycle.saturating_sub(self.last_progress)
     }
 
     /// The virtual channel a packet class rides: requests on VC 0, replies on
@@ -370,6 +543,260 @@ impl Mesh {
         }
     }
 
+    /// Like [`Mesh::neighbour`] but `None` at the mesh edge (and for the
+    /// local port) instead of undefined arithmetic.
+    fn neighbour_checked(&self, node: usize, port: usize) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        match port {
+            NORTH => (y + 1 < self.cfg.height).then(|| x + (y + 1) * self.cfg.width),
+            SOUTH => y.checked_sub(1).map(|y| x + y * self.cfg.width),
+            EAST => (x + 1 < self.cfg.width).then(|| (x + 1) + y * self.cfg.width),
+            WEST => x.checked_sub(1).map(|x| x + y * self.cfg.width),
+            _ => None,
+        }
+    }
+
+    /// Fault-aware next-hop tables over the surviving directed links,
+    /// indexed `[dst][router * NUM_PORTS + entry port]` (entry [`LOCAL`] =
+    /// freshly injected), [`UNREACHABLE`] when no legal path survives.
+    ///
+    /// Routing follows the up*/down* discipline: BFS levels are computed
+    /// from a root over the surviving topology, every directed link is
+    /// oriented "up" (towards lower level, then lower id) or "down", and a
+    /// packet that has taken a down link may never take an up link again.
+    /// The (level, id) order makes the channel-dependency graph acyclic, so
+    /// rerouted traffic cannot wormhole-deadlock the single-VC buffers —
+    /// arbitrary minimal detours can (and, before this discipline, did: the
+    /// watchdog wrote whole runs off). Every router in a connected
+    /// component can climb to its root on up links and descend on down
+    /// links, so any connected (src, dst) pair stays routable from
+    /// injection. The fixed expansion order keeps the tables deterministic.
+    fn compute_route_tables(&self, link_dead: &[bool]) -> Vec<Vec<u8>> {
+        let n = self.cfg.num_nodes();
+        let states = n * NUM_PORTS;
+        // An edge counts for levelling only when both directions survive, so
+        // a climb (and the reverse descent) is always physically possible.
+        let both_alive = |v: usize, port: usize, u: usize| -> bool {
+            !link_dead[v * NUM_PORTS + port] && !link_dead[u * NUM_PORTS + Self::entry_port(port)]
+        };
+        let mut level = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for root in 0..n {
+            if level[root] != u32::MAX {
+                continue;
+            }
+            level[root] = 0;
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                for port in [NORTH, EAST, SOUTH, WEST] {
+                    let Some(u) = self.neighbour_checked(v, port) else {
+                        continue;
+                    };
+                    if level[u] == u32::MAX && both_alive(v, port, u) {
+                        level[u] = level[v] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        // The traversal v → u is "down" when it moves away from the root.
+        let is_down = |v: usize, u: usize| (level[u], u) > (level[v], v);
+        // A hop from state (v, entry p) to u is legal unless the packet
+        // already descended (it arrived over a down link) and the hop would
+        // climb again. Fresh injections (entry LOCAL) may go anywhere.
+        let hop_ok = |v: usize, p: usize, u: usize| -> bool {
+            match self.neighbour_checked(v, p) {
+                None => true,
+                Some(prev) => !is_down(prev, v) || is_down(v, u),
+            }
+        };
+
+        // Reverse adjacency of the legal state graph, for the per-dst BFS.
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); states];
+        for v in 0..n {
+            for p in 0..NUM_PORTS {
+                if p != LOCAL && self.neighbour_checked(v, p).is_none() {
+                    continue; // edge-of-mesh port: no such entry state
+                }
+                for out in [NORTH, EAST, SOUTH, WEST] {
+                    if link_dead[v * NUM_PORTS + out] {
+                        continue;
+                    }
+                    let Some(u) = self.neighbour_checked(v, out) else {
+                        continue;
+                    };
+                    if !hop_ok(v, p, u) {
+                        continue;
+                    }
+                    radj[u * NUM_PORTS + Self::entry_port(out)].push((v * NUM_PORTS + p) as u32);
+                }
+            }
+        }
+
+        let mut tables = vec![vec![UNREACHABLE; states]; n];
+        let mut dist = vec![u32::MAX; states];
+        for dst in 0..n {
+            let table = &mut tables[dst];
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            queue.clear();
+            for p in 0..NUM_PORTS {
+                table[dst * NUM_PORTS + p] = LOCAL as u8;
+                dist[dst * NUM_PORTS + p] = 0;
+                queue.push_back(dst * NUM_PORTS + p);
+            }
+            while let Some(s) = queue.pop_front() {
+                for &pred in &radj[s] {
+                    let pred = pred as usize;
+                    if dist[pred] == u32::MAX {
+                        dist[pred] = dist[s] + 1;
+                        queue.push_back(pred);
+                    }
+                }
+            }
+            // Next hop per state: first port (fixed order) on a minimal
+            // legal path.
+            for v in 0..n {
+                if v == dst {
+                    continue;
+                }
+                for p in 0..NUM_PORTS {
+                    let mut best = u32::MAX;
+                    let mut best_port = UNREACHABLE;
+                    for out in [NORTH, EAST, SOUTH, WEST] {
+                        if link_dead[v * NUM_PORTS + out] {
+                            continue;
+                        }
+                        let Some(u) = self.neighbour_checked(v, out) else {
+                            continue;
+                        };
+                        if !hop_ok(v, p, u) {
+                            continue;
+                        }
+                        let d = dist[u * NUM_PORTS + Self::entry_port(out)];
+                        if d < best {
+                            best = d;
+                            best_port = out as u8;
+                        }
+                    }
+                    if best != u32::MAX {
+                        table[v * NUM_PORTS + p] = best_port;
+                    }
+                }
+            }
+        }
+        tables
+    }
+
+    /// Activates dead links whose onset has arrived and recomputes the
+    /// next-hop tables when the dead set changed.
+    fn process_fault_onsets(&mut self, f: &mut FaultState) {
+        let mut changed = false;
+        while f.next_dead < f.pending_dead.len() && f.pending_dead[f.next_dead].0 <= self.cycle {
+            f.link_dead[f.pending_dead[f.next_dead].1] = true;
+            f.next_dead += 1;
+            changed = true;
+        }
+        if changed {
+            f.routes = Some(self.compute_route_tables(&f.link_dead));
+            self.stats.reroutes += 1;
+            let dead = f.link_dead.iter().filter(|d| **d).count();
+            self.telemetry.emit_with(|| {
+                TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "reroute").with("dead_links", dead)
+            });
+        }
+    }
+
+    /// Drops queue heads that no surviving route can deliver, reporting each
+    /// as [`LossReason::Unroutable`]. One head per queue per cycle — the
+    /// queue drains over the following cycles, exactly as a real ejection
+    /// path would time out stuck wormholes one at a time.
+    fn drop_unroutable_heads(&mut self, f: &FaultState) {
+        let Some(routes) = f.routes.as_ref() else {
+            return;
+        };
+        for r in 0..self.routers.len() {
+            for in_port in 0..NUM_PORTS {
+                for vc in 0..self.cfg.vcs {
+                    let Some(head) = self.routers[r].inputs[in_port][vc].front() else {
+                        continue;
+                    };
+                    if routes[head.dst.index()][r * NUM_PORTS + in_port] != UNREACHABLE {
+                        continue;
+                    }
+                    let Some(packet) = self.routers[r].inputs[in_port][vc].pop_front() else {
+                        continue;
+                    };
+                    self.stats.dropped_unroutable += 1;
+                    self.lost.push((packet, LossReason::Unroutable));
+                }
+            }
+        }
+    }
+
+    /// Whether router `r` is inside a stall window this cycle.
+    fn is_stalled(&self, f: &FaultState, r: usize) -> bool {
+        f.plan.routers.iter().any(|s| {
+            s.router as usize == r && s.onset <= self.cycle && self.cycle < s.onset + s.duration
+        })
+    }
+
+    /// The output port at `node` for a packet to `dst` that entered via
+    /// `in_port` ([`LOCAL`] for fresh injections), under the current routing
+    /// function: the fault-aware up*/down* tables once any link has died,
+    /// dimension-ordered routing otherwise. `None` when `dst` is unreachable
+    /// from this state.
+    fn route_current(
+        &self,
+        f: Option<&FaultState>,
+        node: usize,
+        in_port: usize,
+        dst: usize,
+    ) -> Option<usize> {
+        if let Some(routes) = f.and_then(|f| f.routes.as_ref()) {
+            let port = routes[dst][node * NUM_PORTS + in_port];
+            return (port != UNREACHABLE).then_some(port as usize);
+        }
+        Some(self.route(node, dst))
+    }
+
+    /// Rolls the probabilistic faults for one packet crossing `link`.
+    /// Returns `true` when the packet was dropped (it is already recorded in
+    /// the loss list); a corrupted packet keeps flying but is marked so the
+    /// ejection-side CRC check can catch it. Draws happen only for faults
+    /// that are active this cycle, so a benign plan consumes no randomness.
+    fn hop_faults(&mut self, f: &mut FaultState, packet: &Packet, link: usize) -> bool {
+        if let Some((onset, prob)) = f.link_flaky[link] {
+            if self.cycle >= onset {
+                let dropped = f
+                    .rng
+                    .as_mut()
+                    .is_some_and(|rng| rng.gen_bool(prob.clamp(0.0, 1.0)));
+                if dropped {
+                    self.stats.dropped_flaky += 1;
+                    self.lost.push((*packet, LossReason::FlakyLink));
+                    return true;
+                }
+            }
+        }
+        let t = f.plan.transient;
+        if t.is_active() && self.cycle >= t.onset {
+            if let Some(rng) = f.rng.as_mut() {
+                if t.drop_prob > 0.0 && rng.gen_bool(t.drop_prob.clamp(0.0, 1.0)) {
+                    self.stats.dropped_transient += 1;
+                    self.lost.push((*packet, LossReason::TransientDrop));
+                    return true;
+                }
+                if t.corrupt_prob > 0.0
+                    && rng.gen_bool(t.corrupt_prob.clamp(0.0, 1.0))
+                    && self.corrupted.insert(packet.id)
+                {
+                    self.stats.corrupted += 1;
+                }
+            }
+        }
+        false
+    }
+
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         #[derive(Clone, Copy)]
@@ -381,17 +808,35 @@ impl Mesh {
         }
 
         let vcs = self.cfg.vcs;
+        // Phase 0: fault bookkeeping (absent on a fault-free mesh). The state
+        // is taken out of `self` so helpers can borrow the routers freely.
+        let mut faults = self.faults.take();
+        if let Some(f) = faults.as_deref_mut() {
+            self.process_fault_onsets(f);
+            self.drop_unroutable_heads(f);
+        }
+
         // Phase 1: arbitration decisions on a consistent snapshot.
         let mut moves: Vec<Move> = Vec::new();
         // Reserved downstream slots this cycle: (router, in_port, vc) -> count.
         let mut reserved = vec![vec![[0u8; NUM_PORTS]; vcs]; self.routers.len()];
 
         for r in 0..self.routers.len() {
+            if faults.as_deref().is_some_and(|f| self.is_stalled(f, r)) {
+                continue;
+            }
             for out in 0..NUM_PORTS {
                 if self.routers[r].output_busy_until[out] > self.cycle {
                     continue;
                 }
                 if out == LOCAL && !self.ejection_enabled[r] {
+                    continue;
+                }
+                if out != LOCAL
+                    && faults
+                        .as_deref()
+                        .is_some_and(|f| f.link_dead[r * NUM_PORTS + out])
+                {
                     continue;
                 }
                 // Candidates: per-(port, vc) queue heads routed to `out` with
@@ -403,7 +848,9 @@ impl Mesh {
                         let Some(head) = self.routers[r].inputs[in_port][vc].front() else {
                             continue;
                         };
-                        if self.route(r, head.dst.index()) != out {
+                        if self.route_current(faults.as_deref(), r, in_port, head.dst.index())
+                            != Some(out)
+                        {
                             continue;
                         }
                         if out != LOCAL {
@@ -437,16 +884,30 @@ impl Mesh {
             }
         }
 
-        // Phase 2: apply moves.
+        // Phase 2: apply moves. The move list order is deterministic, so the
+        // per-move fault draws below consume the plan RNG reproducibly.
+        if !moves.is_empty() {
+            self.last_progress = self.cycle;
+        }
         for m in moves {
-            let packet = self.routers[m.router].inputs[m.in_port][m.vc]
-                .pop_front()
-                .expect("winner has a head packet");
+            // Invariant: arbitration granted a queue head it just observed.
+            let Some(packet) = self.routers[m.router].inputs[m.in_port][m.vc].pop_front() else {
+                debug_assert!(false, "arbitration winner vanished before apply");
+                continue;
+            };
+            // The flits occupy the wire whether or not they survive the hop.
             self.routers[m.router].output_busy_until[m.out_port] =
                 self.cycle + u64::from(packet.flits);
             let link = m.router * NUM_PORTS + m.out_port;
             self.stats.link_flits[link] += u64::from(packet.flits);
             self.window_flits[link] += u64::from(packet.flits);
+            if m.out_port != LOCAL {
+                if let Some(f) = faults.as_deref_mut() {
+                    if self.hop_faults(f, &packet, link) {
+                        continue; // packet died on this hop
+                    }
+                }
+            }
             if m.out_port == LOCAL {
                 self.stats.delivered_by_src[packet.src.index()] += 1;
                 self.stats.delivered_total += 1;
@@ -459,6 +920,7 @@ impl Mesh {
             }
         }
 
+        self.faults = faults;
         self.cycle += 1;
         if self.cycle.is_multiple_of(WINDOW_CYCLES) {
             self.close_window();
@@ -538,6 +1000,14 @@ impl Mesh {
             if flits > 0 {
                 registry.hist_record("noc.link_flits", flits);
             }
+        }
+        if self.faults.is_some() {
+            registry.counter_add("noc.faults.dropped_flaky", self.stats.dropped_flaky);
+            registry.counter_add("noc.faults.dropped_transient", self.stats.dropped_transient);
+            registry.counter_add("noc.faults.corrupted", self.stats.corrupted);
+            registry.counter_add("noc.faults.unroutable", self.stats.dropped_unroutable);
+            registry.counter_add("noc.faults.reroutes", self.stats.reroutes);
+            registry.gauge_set("noc.faults.dead_links", self.dead_links_active() as f64);
         }
     }
 
@@ -800,5 +1270,134 @@ mod tests {
     fn oob_injection_rejected() {
         let mut m = small();
         let _ = m.try_inject(NodeId::new(0), NodeId::new(99), 1, PacketClass::Request);
+    }
+
+    /// Uniform random-ish deterministic traffic for fault tests.
+    fn drive(m: &mut Mesh, cycles: u64) {
+        for cycle in 0..cycles {
+            let src = (cycle * 7 + 1) % 9;
+            let dst = (cycle * 5 + 3) % 9;
+            let _ = m.try_inject(
+                NodeId::new(src as u32),
+                NodeId::new(dst as u32),
+                1,
+                PacketClass::Request,
+            );
+            m.step();
+        }
+        m.run(200);
+    }
+
+    #[test]
+    fn benign_fault_plan_is_bit_identical_to_no_plan() {
+        let mut base = small();
+        drive(&mut base, 500);
+
+        let mut faulted = small();
+        faulted
+            .apply_fault_plan(&gnoc_faults::FaultPlan::none())
+            .unwrap();
+        drive(&mut faulted, 500);
+
+        assert_eq!(base.stats(), faulted.stats());
+        assert_eq!(base.drain_ejected().len(), faulted.drain_ejected().len());
+        assert!(faulted.drain_lost().is_empty());
+        assert_eq!(faulted.dead_links_active(), 0);
+    }
+
+    #[test]
+    fn double_plan_application_is_rejected() {
+        let mut m = small();
+        m.apply_fault_plan(&gnoc_faults::FaultPlan::none()).unwrap();
+        assert_eq!(
+            m.apply_fault_plan(&gnoc_faults::FaultPlan::none()),
+            Err(crate::error::NocError::PlanAlreadyApplied)
+        );
+    }
+
+    #[test]
+    fn stalled_router_freezes_then_recovers() {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        plan.routers = vec![gnoc_faults::RouterStall {
+            router: 1,
+            onset: 0,
+            duration: 100,
+        }];
+        let mut m = small();
+        m.apply_fault_plan(&plan).unwrap();
+        // 0 → 2 routes through router 1, which is stalled for 100 cycles.
+        m.try_inject(NodeId::new(0), NodeId::new(2), 1, PacketClass::Request);
+        m.run(80);
+        assert_eq!(m.stats().delivered_total, 0, "stall must hold the packet");
+        m.run(100);
+        assert_eq!(m.stats().delivered_total, 1, "stall must end on schedule");
+    }
+
+    #[test]
+    fn mid_run_link_death_reroutes_in_flight_traffic() {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        // The 1→2 link dies at cycle 40 (and its reverse, for symmetry).
+        for (router, dir) in [
+            (1, gnoc_faults::Direction::East),
+            (2, gnoc_faults::Direction::West),
+        ] {
+            plan.links.push(gnoc_faults::LinkFault {
+                router,
+                dir,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 40,
+            });
+        }
+        let mut m = small();
+        m.apply_fault_plan(&plan).unwrap();
+        assert_eq!(m.stats().reroutes, 0, "future onset must not reroute yet");
+        // Keep traffic flowing across the doomed link before and after death.
+        for cycle in 0..200u64 {
+            let _ = m.try_inject(NodeId::new(0), NodeId::new(2), 1, PacketClass::Request);
+            m.step();
+            if cycle == 39 {
+                assert_eq!(m.dead_links_active(), 0);
+            }
+        }
+        m.run(300);
+        assert_eq!(m.stats().reroutes, 1);
+        assert_eq!(m.dead_links_active(), 2);
+        // Everything injected still arrives — rerouted around the dead edge.
+        let injected: u64 = m.stats().injected_by_src.iter().sum();
+        assert_eq!(
+            m.stats().delivered_total + m.stats().dropped_unroutable,
+            injected
+        );
+        assert_eq!(m.stats().dropped_unroutable, 0, "2 stays reachable");
+    }
+
+    #[test]
+    fn unreachable_destination_reports_losses() {
+        // Kill every link around router 8 (corner: West and South inbound /
+        // outbound) so it is isolated — but that would disconnect the mesh,
+        // which validation rejects. Instead kill one direction only:
+        // packets can leave 8 but never enter it.
+        let mut plan = gnoc_faults::FaultPlan::none();
+        for (router, dir) in [
+            (7, gnoc_faults::Direction::East),
+            (5, gnoc_faults::Direction::North),
+        ] {
+            plan.links.push(gnoc_faults::LinkFault {
+                router,
+                dir,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 0,
+            });
+        }
+        let mut m = small();
+        m.apply_fault_plan(&plan).unwrap();
+        m.try_inject(NodeId::new(0), NodeId::new(8), 1, PacketClass::Request);
+        m.run(100);
+        assert_eq!(m.stats().delivered_total, 0);
+        assert_eq!(m.stats().dropped_unroutable, 1);
+        let lost = m.drain_lost();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].1, crate::error::LossReason::Unroutable);
+        assert_eq!(lost[0].0.dst, NodeId::new(8));
     }
 }

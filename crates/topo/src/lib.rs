@@ -36,6 +36,7 @@ mod geom;
 mod hierarchy;
 mod ids;
 mod spec;
+mod sweep;
 
 pub use floorplan::Floorplan;
 pub use geom::{Point, Rect};
@@ -44,3 +45,4 @@ pub use hierarchy::{
 };
 pub use ids::{CpcId, GpcId, MpId, PartitionId, SliceId, SmId, TpcId};
 pub use spec::{CachePolicy, Generation, GpuSpec};
+pub use sweep::{apply_sweep, FloorSweep, SweepError};

@@ -9,6 +9,7 @@
 use crate::floorplan::Floorplan;
 use crate::hierarchy::{BuildHierarchyError, Hierarchy, HierarchySpec, SmEnumeration};
 use crate::ids::{GpcId, PartitionId};
+use crate::sweep::{apply_sweep, FloorSweep, SweepError};
 use serde::{Deserialize, Serialize};
 
 /// GPU architecture generation.
@@ -161,6 +162,64 @@ impl GpuSpec {
             cache_policy: CachePolicy::GloballyShared,
             sm_to_sm_network: false,
         }
+    }
+
+    /// The full GA100 die behind the A100: 128 SMs in 8 GPCs of 8 TPCs, 12
+    /// memory partitions with 96 L2 slices (48 MiB). No shipping part enables
+    /// all of it; [`GpuSpec::a100_floorswept`] applies the production binning.
+    pub fn a100_full() -> Self {
+        let mut spec = Self::a100();
+        spec.name = "A100-FULL".to_owned();
+        spec.hierarchy.gpc_cpc_tpcs = vec![vec![8]; 8];
+        spec.hierarchy.num_mps = 12;
+        spec.hierarchy.mp_partition = (0..12)
+            .map(|m| PartitionId::new(u32::from(m >= 6)))
+            .collect();
+        spec.l2_mib = 48;
+        spec.mem_gib = 48;
+        spec.mem_peak_gbps = 1866.0;
+        spec
+    }
+
+    /// The shipping A100 expressed as the paper's devices really are: a full
+    /// GA100 die ([`GpuSpec::a100_full`]) with the production floorsweep
+    /// ([`FloorSweep::a100_sku`]) applied. Its hierarchy is exactly that of
+    /// [`GpuSpec::a100`] — 108 of 128 SMs, 10 of 12 MPs — so every
+    /// paper-calibrated observation carries over unchanged.
+    pub fn a100_floorswept() -> Self {
+        let mut spec = Self::a100_full()
+            .floorswept(&FloorSweep::a100_sku())
+            .expect("a100 sku sweep is valid for the full ga100 die");
+        spec.name = "A100-FS".to_owned();
+        spec
+    }
+
+    /// Applies a [`FloorSweep`] to this device, returning the harvested SKU.
+    ///
+    /// The hierarchy loses the swept units (see [`apply_sweep`]); L2 and DRAM
+    /// capacity and peak memory bandwidth scale with the surviving memory
+    /// partitions, since each MP owns its share of slices and its memory
+    /// controller. Generation, clock, die size and capability flags are
+    /// unchanged — a harvested die is the same silicon — so the latency
+    /// calibration for the generation still applies. The name gains a `-FS`
+    /// suffix unless the sweep is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepError`] for out-of-range, duplicate, or
+    /// device-destroying sweeps.
+    pub fn floorswept(&self, sweep: &FloorSweep) -> Result<Self, SweepError> {
+        let hierarchy = apply_sweep(&self.hierarchy, sweep)?;
+        let mut spec = self.clone();
+        if !sweep.is_empty() {
+            spec.name = format!("{}-FS", self.name);
+        }
+        let kept = hierarchy.num_mps as f64 / self.hierarchy.num_mps as f64;
+        spec.l2_mib = (f64::from(self.l2_mib) * kept).round() as u32;
+        spec.mem_gib = (f64::from(self.mem_gib) * kept).round() as u32;
+        spec.mem_peak_gbps = self.mem_peak_gbps * kept;
+        spec.hierarchy = hierarchy;
+        Ok(spec)
     }
 
     /// The H100 (SXM5) preset: 132 SMs in 8 GPCs (each split into CPCs)
@@ -377,6 +436,38 @@ mod tests {
     fn generation_display_names() {
         assert_eq!(Generation::Volta.to_string(), "Volta");
         assert_eq!(Generation::Hopper.to_string(), "Hopper");
+    }
+
+    #[test]
+    fn a100_full_die_has_128_sms_and_96_slices() {
+        let full = GpuSpec::a100_full();
+        assert_eq!(full.num_sms(), 128);
+        assert_eq!(full.num_slices(), 96);
+        assert_eq!(full.hierarchy().num_mps(), 12);
+        assert!(full.resolve().is_ok());
+    }
+
+    #[test]
+    fn a100_floorswept_matches_shipping_part() {
+        let fs = GpuSpec::a100_floorswept();
+        let shipping = GpuSpec::a100();
+        // Same silicon, harvested: the hierarchies are identical, and so are
+        // the capacity figures the sweep scales down.
+        assert_eq!(fs.hierarchy, shipping.hierarchy);
+        assert_eq!(fs.num_sms(), 108);
+        assert_eq!(fs.num_slices(), 80);
+        assert_eq!(fs.l2_mib, shipping.l2_mib);
+        assert_eq!(fs.mem_gib, shipping.mem_gib);
+        assert!((fs.mem_peak_gbps - shipping.mem_peak_gbps).abs() < 1.0);
+        assert_eq!(fs.generation, Generation::Ampere);
+        assert_eq!(fs.name, "A100-FS");
+    }
+
+    #[test]
+    fn empty_sweep_keeps_name_and_capacity() {
+        let v = GpuSpec::v100();
+        let swept = v.floorswept(&crate::FloorSweep::none()).unwrap();
+        assert_eq!(swept, v);
     }
 
     #[test]

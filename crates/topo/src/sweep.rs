@@ -1,0 +1,340 @@
+//! Floorsweeping: enable-masks over a full-die hierarchy.
+//!
+//! Shipping GPUs are not pristine silicon. Dies are *floor-swept*: TPCs,
+//! whole GPCs and memory partitions that fail test are fused off, and the
+//! part is sold as a smaller SKU (the A100 enables 108 of the GA100's 128
+//! SMs; L2 slices and memory partitions are fused off per SKU). A
+//! [`FloorSweep`] describes which units of a full-die [`HierarchySpec`] are
+//! disabled; [`crate::GpuSpec::floorswept`] applies it, producing the spec of
+//! the harvested device. Everything downstream (floorplan, latency model,
+//! address hashing) then operates on the surviving units only, exactly as the
+//! paper's measurements do on real binned parts.
+
+use crate::hierarchy::HierarchySpec;
+use crate::hierarchy::SmEnumeration;
+use crate::ids::GpcId;
+use serde::{Deserialize, Serialize};
+
+/// Units of a full-die hierarchy fused off by the manufacturer (or by a fault
+/// plan). Indices always refer to the *pre-sweep* hierarchy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorSweep {
+    /// GPC ids removed entirely (all their TPCs are fused off).
+    pub disabled_gpcs: Vec<u32>,
+    /// `(gpc, tpc_in_gpc)` pairs fused off, with `tpc_in_gpc` counted
+    /// GPC-major across the GPC's CPCs in pre-sweep order.
+    pub disabled_tpcs: Vec<(u32, u32)>,
+    /// Memory partitions fused off (their L2 slices and DRAM vanish).
+    pub disabled_mps: Vec<u32>,
+}
+
+impl FloorSweep {
+    /// A sweep that disables nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the sweep disables anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.disabled_gpcs.is_empty()
+            && self.disabled_tpcs.is_empty()
+            && self.disabled_mps.is_empty()
+    }
+
+    /// The production A100 binning: the full GA100 die has 8 GPCs × 8 TPCs
+    /// (128 SMs) and 12 memory partitions; the shipping SKU fuses one TPC off
+    /// GPCs 0–5, two TPCs off GPCs 6–7 (→ 108 SMs) and one memory partition
+    /// per die partition (→ 10 MPs, 80 L2 slices).
+    pub fn a100_sku() -> Self {
+        let mut disabled_tpcs: Vec<(u32, u32)> = (0..6).map(|g| (g, 7)).collect();
+        disabled_tpcs.extend([(6, 7), (6, 6), (7, 7), (7, 6)]);
+        Self {
+            disabled_gpcs: Vec::new(),
+            disabled_tpcs,
+            disabled_mps: vec![5, 11],
+        }
+    }
+
+    /// Total number of units this sweep disables (GPCs + TPCs + MPs).
+    pub fn num_disabled(&self) -> usize {
+        self.disabled_gpcs.len() + self.disabled_tpcs.len() + self.disabled_mps.len()
+    }
+}
+
+/// Errors applying a [`FloorSweep`] to a hierarchy spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A disabled GPC id is not in the hierarchy.
+    GpcOutOfRange(u32),
+    /// A disabled TPC does not exist in its GPC.
+    TpcOutOfRange {
+        /// GPC named by the sweep entry.
+        gpc: u32,
+        /// TPC index within the GPC.
+        tpc: u32,
+    },
+    /// A disabled MP id is not in the hierarchy.
+    MpOutOfRange(u32),
+    /// The same unit is disabled twice.
+    Duplicate(&'static str),
+    /// The sweep removes every unit of some level, or strips a die partition
+    /// of all its GPCs or MPs — no usable device remains.
+    NothingLeft(&'static str),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::GpcOutOfRange(g) => write!(f, "swept gpc {g} does not exist"),
+            Self::TpcOutOfRange { gpc, tpc } => {
+                write!(f, "swept tpc {tpc} does not exist in gpc {gpc}")
+            }
+            Self::MpOutOfRange(m) => write!(f, "swept mp {m} does not exist"),
+            Self::Duplicate(what) => write!(f, "duplicate swept {what}"),
+            Self::NothingLeft(what) => write!(f, "sweep leaves no {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Applies `sweep` to `spec`, returning the harvested hierarchy spec.
+///
+/// TPCs are removed from their containing CPC (a CPC swept empty disappears);
+/// a GPC swept empty — explicitly or by losing all its TPCs — is removed and
+/// the remaining GPCs are renumbered, including inside the SM-enumeration
+/// order. Disabled MPs take their L2 slices with them.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for out-of-range or duplicate entries, and when the
+/// sweep leaves any die partition without GPCs or MPs.
+pub fn apply_sweep(spec: &HierarchySpec, sweep: &FloorSweep) -> Result<HierarchySpec, SweepError> {
+    let num_gpcs = spec.gpc_cpc_tpcs.len() as u32;
+
+    // Validate GPC entries.
+    let mut gpc_gone = vec![false; num_gpcs as usize];
+    for &g in &sweep.disabled_gpcs {
+        if g >= num_gpcs {
+            return Err(SweepError::GpcOutOfRange(g));
+        }
+        if gpc_gone[g as usize] {
+            return Err(SweepError::Duplicate("gpc"));
+        }
+        gpc_gone[g as usize] = true;
+    }
+
+    // Remove TPCs. Work on a per-GPC flat TPC count view first.
+    let mut cpc_tpcs: Vec<Vec<u32>> = spec.gpc_cpc_tpcs.clone();
+    let mut seen_tpc = std::collections::HashSet::new();
+    for &(g, t) in &sweep.disabled_tpcs {
+        if g >= num_gpcs {
+            return Err(SweepError::GpcOutOfRange(g));
+        }
+        if !seen_tpc.insert((g, t)) {
+            return Err(SweepError::Duplicate("tpc"));
+        }
+        if gpc_gone[g as usize] {
+            // Redundant with a whole-GPC sweep; tolerate silently.
+            continue;
+        }
+        // Locate the CPC containing pre-sweep TPC index `t` of GPC `g`.
+        let pre_sweep = &spec.gpc_cpc_tpcs[g as usize];
+        let mut acc = 0u32;
+        let mut found = None;
+        for (c, &n) in pre_sweep.iter().enumerate() {
+            if t < acc + n {
+                found = Some(c);
+                break;
+            }
+            acc += n;
+        }
+        let Some(c) = found else {
+            return Err(SweepError::TpcOutOfRange { gpc: g, tpc: t });
+        };
+        if cpc_tpcs[g as usize][c] == 0 {
+            return Err(SweepError::NothingLeft("tpcs in a swept cpc"));
+        }
+        cpc_tpcs[g as usize][c] -= 1;
+    }
+
+    // Drop emptied CPCs; mark GPCs emptied by TPC sweeps as gone.
+    for (g, cpcs) in cpc_tpcs.iter_mut().enumerate() {
+        cpcs.retain(|&n| n > 0);
+        if cpcs.is_empty() {
+            gpc_gone[g] = true;
+        }
+    }
+
+    // Rebuild the GPC tables, renumbering survivors by rank.
+    let mut new_id = vec![None; num_gpcs as usize];
+    let mut gpc_cpc_tpcs = Vec::new();
+    let mut gpc_partition = Vec::new();
+    for g in 0..num_gpcs as usize {
+        if gpc_gone[g] {
+            continue;
+        }
+        new_id[g] = Some(GpcId::new(gpc_cpc_tpcs.len() as u32));
+        gpc_cpc_tpcs.push(cpc_tpcs[g].clone());
+        gpc_partition.push(spec.gpc_partition[g]);
+    }
+    if gpc_cpc_tpcs.is_empty() {
+        return Err(SweepError::NothingLeft("gpcs"));
+    }
+
+    let sm_enumeration = match &spec.sm_enumeration {
+        SmEnumeration::GpcMajor => SmEnumeration::GpcMajor,
+        SmEnumeration::RoundRobinTpc { gpc_order } => SmEnumeration::RoundRobinTpc {
+            gpc_order: gpc_order.iter().filter_map(|g| new_id[g.index()]).collect(),
+        },
+    };
+
+    // Remove MPs.
+    let mut mp_gone = vec![false; spec.num_mps as usize];
+    for &m in &sweep.disabled_mps {
+        if m >= spec.num_mps {
+            return Err(SweepError::MpOutOfRange(m));
+        }
+        if mp_gone[m as usize] {
+            return Err(SweepError::Duplicate("mp"));
+        }
+        mp_gone[m as usize] = true;
+    }
+    let mp_partition: Vec<_> = spec
+        .mp_partition
+        .iter()
+        .zip(&mp_gone)
+        .filter(|(_, &gone)| !gone)
+        .map(|(&p, _)| p)
+        .collect();
+    if mp_partition.is_empty() {
+        return Err(SweepError::NothingLeft("mps"));
+    }
+
+    // Every die partition must keep at least one GPC and one MP, or the
+    // latency/bandwidth model has nothing to anchor on that side of the die.
+    for p in 0..spec.num_partitions {
+        if !gpc_partition.iter().any(|q| q.index() == p as usize) {
+            return Err(SweepError::NothingLeft("gpcs on some die partition"));
+        }
+        if !mp_partition.iter().any(|q| q.index() == p as usize) {
+            return Err(SweepError::NothingLeft("mps on some die partition"));
+        }
+    }
+
+    Ok(HierarchySpec {
+        gpc_cpc_tpcs,
+        sms_per_tpc: spec.sms_per_tpc,
+        gpc_partition,
+        num_partitions: spec.num_partitions,
+        num_mps: mp_partition.len() as u32,
+        slices_per_mp: spec.slices_per_mp,
+        mp_partition,
+        sm_enumeration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    #[test]
+    fn empty_sweep_is_identity() {
+        let spec = GpuSpec::v100().hierarchy;
+        let swept = apply_sweep(&spec, &FloorSweep::none()).unwrap();
+        assert_eq!(spec, swept);
+    }
+
+    #[test]
+    fn a100_sku_sweep_recovers_shipping_part() {
+        let full = GpuSpec::a100_full();
+        let swept = apply_sweep(&full.hierarchy, &FloorSweep::a100_sku()).unwrap();
+        // The harvested die is exactly the shipping A100's hierarchy.
+        assert_eq!(swept, GpuSpec::a100().hierarchy);
+    }
+
+    #[test]
+    fn tpc_sweep_decrements_the_right_cpc() {
+        let spec = GpuSpec::h100().hierarchy; // 3 CPCs per GPC
+        let sweep = FloorSweep {
+            disabled_tpcs: vec![(0, 0), (0, 8)], // first CPC and last CPC
+            ..FloorSweep::none()
+        };
+        let swept = apply_sweep(&spec, &sweep).unwrap();
+        assert_eq!(swept.gpc_cpc_tpcs[0].iter().sum::<u32>(), 7);
+        assert_eq!(swept.gpc_cpc_tpcs[0][0], spec.gpc_cpc_tpcs[0][0] - 1);
+    }
+
+    #[test]
+    fn whole_gpc_sweep_renumbers_enumeration_order() {
+        let spec = GpuSpec::a100().hierarchy;
+        let sweep = FloorSweep {
+            disabled_gpcs: vec![1],
+            ..FloorSweep::none()
+        };
+        let swept = apply_sweep(&spec, &sweep).unwrap();
+        assert_eq!(swept.gpc_cpc_tpcs.len(), 7);
+        if let SmEnumeration::RoundRobinTpc { gpc_order } = &swept.sm_enumeration {
+            assert_eq!(gpc_order.len(), 7);
+            let mut ids: Vec<usize> = gpc_order.iter().map(|g| g.index()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..7).collect::<Vec<_>>());
+        } else {
+            panic!("enumeration kind must be preserved");
+        }
+        // Still buildable.
+        crate::Hierarchy::build(swept).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_and_duplicates_are_rejected() {
+        let spec = GpuSpec::v100().hierarchy;
+        let bad_gpc = FloorSweep {
+            disabled_gpcs: vec![9],
+            ..FloorSweep::none()
+        };
+        assert_eq!(
+            apply_sweep(&spec, &bad_gpc),
+            Err(SweepError::GpcOutOfRange(9))
+        );
+        let bad_tpc = FloorSweep {
+            disabled_tpcs: vec![(0, 99)],
+            ..FloorSweep::none()
+        };
+        assert_eq!(
+            apply_sweep(&spec, &bad_tpc),
+            Err(SweepError::TpcOutOfRange { gpc: 0, tpc: 99 })
+        );
+        let dup = FloorSweep {
+            disabled_mps: vec![2, 2],
+            ..FloorSweep::none()
+        };
+        assert_eq!(apply_sweep(&spec, &dup), Err(SweepError::Duplicate("mp")));
+    }
+
+    #[test]
+    fn stripping_a_partition_is_rejected() {
+        let spec = GpuSpec::a100().hierarchy; // MPs 0-4 on partition 0
+        let sweep = FloorSweep {
+            disabled_mps: vec![0, 1, 2, 3, 4],
+            ..FloorSweep::none()
+        };
+        assert_eq!(
+            apply_sweep(&spec, &sweep),
+            Err(SweepError::NothingLeft("mps on some die partition"))
+        );
+    }
+
+    #[test]
+    fn sweeping_every_tpc_of_a_gpc_removes_the_gpc() {
+        let spec = GpuSpec::v100().hierarchy; // GPC 5 has 6 TPCs
+        let sweep = FloorSweep {
+            disabled_tpcs: (0..6).map(|t| (5, t)).collect(),
+            ..FloorSweep::none()
+        };
+        let swept = apply_sweep(&spec, &sweep).unwrap();
+        assert_eq!(swept.gpc_cpc_tpcs.len(), 5);
+        crate::Hierarchy::build(swept).unwrap();
+    }
+}

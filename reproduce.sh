@@ -8,16 +8,21 @@ bins=(table1 fig01 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 \
       fig22 fig23 \
       ablation_queueing ablation_chain ablation_crossing ablation_scheduler \
       ablation_ports whatif_h100 locality_sched mp_recon covert_channel \
-      noc_compare latency_load figures_svg)
+      noc_compare latency_load fault_robustness figures_svg)
 cargo build --release -p gnoc-bench --bins
 : > "$out"
 mkdir -p out
 for b in "${bins[@]}"; do
     echo "### $b" | tee -a "$out"
     # Every figure run also drops its telemetry registry next to the SVGs,
-    # so out/ holds a machine-readable metrics artifact per figure.
-    cargo run --release -q -p gnoc-bench --bin "$b" -- \
-        --metrics "out/$b.metrics.json" >> "$out" 2>/dev/null
+    # so out/ holds a machine-readable metrics artifact per figure. Stderr
+    # goes to a per-figure log so a failing run names its culprit instead of
+    # silently truncating the output file.
+    if ! cargo run --release -q -p gnoc-bench --bin "$b" -- \
+        --metrics "out/$b.metrics.json" >> "$out" 2> "out/$b.log"; then
+        echo "error: figure binary '$b' failed — see out/$b.log" >&2
+        exit 1
+    fi
     echo >> "$out"
 done
 cargo test --workspace --release
