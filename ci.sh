@@ -25,4 +25,14 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
     campaign a100fs --seed 1 --lines 2 --samples 2 \
     --checkpoint "$tmp/campaign.json"
 
+echo "== chaos: oracle-catches-bugs suite (bug-hooks) =="
+cargo test -q -p gnoc-chaos --features bug-hooks
+
+echo "== chaos: bounded soak (fixed seeds, wall deadline) =="
+# A violation prints the oracle name plus the shrunk reproducer path and
+# exits nonzero, failing the gate.
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    chaos run --seeds 0..12 --wall-ms 120000 \
+    --state "$tmp/chaos-state.json" --repro-dir "$tmp/repros"
+
 echo "ci.sh: all green"

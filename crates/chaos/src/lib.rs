@@ -1,0 +1,90 @@
+//! Chaos harness: randomized fault-plan fuzzing with invariant oracles,
+//! plan shrinking, and a panic audit.
+//!
+//! The rest of the workspace *models* a faulty GPU interconnect; this crate
+//! tries to break it. A chaos run draws a deterministic
+//! [`FaultPlan`](gnoc_core::FaultPlan) per
+//! seed (dead-link storms, correlated regional failures, flaky-link bursts,
+//! transient noise, disabled L2 slices), drives both the cycle-level
+//! [`ReliableMesh`](gnoc_core::ReliableMesh) and the checkpointed latency
+//! campaign through it, and checks five invariant oracles:
+//!
+//! 1. **delivery** — every submitted transfer is delivered exactly once or
+//!    reported lost with a reason; the accounting always balances.
+//! 2. **progress** — the network quiesces within a virtual-cycle budget and
+//!    the deadlock watchdog never trips (up*/down* routing is
+//!    deadlock-free, so a trip is a routing bug, not bad luck).
+//! 3. **calibration** — on plans that leave the device untouched, campaign
+//!    grand means stay inside the empirically calibrated per-preset band.
+//! 4. **resume** — killing a campaign mid-soak and resuming from its
+//!    checkpoint is bit-identical to the uninterrupted run.
+//! 5. **differential** — a faulted campaign agrees with a golden (fault
+//!    free) campaign on every untouched (SM, slice) pair.
+//!
+//! A sixth guard, **no-panic**, wraps every iteration in `catch_unwind`:
+//! typed errors are the contract, a panic is always a violation.
+//!
+//! On violation the harness shrinks the failing plan with delta debugging
+//! ([`ddmin`]) over semantic fault atoms and writes a [`Reproducer`] JSON
+//! whose embedded command replays the exact failing iteration:
+//!
+//! ```text
+//! gnoc chaos run --seeds 0..100            # soak
+//! gnoc chaos replay --repro repro.json     # re-run one shrunk failure
+//! ```
+//!
+//! Everything is deterministic in the seed; wall-clock only bounds *how
+//! many* seeds run (interrupted runs salvage partial results through a
+//! resumable state file).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod oracle;
+mod runner;
+mod shrink;
+
+pub use config::{band_for_preset, calibration_safe, ChaosConfig};
+pub use oracle::{OracleKind, Violation};
+pub use runner::{
+    replay, run_chaos, run_iteration, shrink_violation, ChaosOptions, ChaosReport, ChaosRun,
+    ChaosState, IterationOutcome, Reproducer, ViolationRecord, CHAOS_STATE_VERSION,
+    REPRODUCER_VERSION,
+};
+pub use shrink::{compose, ddmin, decompose, Atom};
+
+/// Errors from the chaos harness machinery itself (I/O, bad configuration,
+/// state-file mismatches) — never used for invariant violations, which are
+/// data ([`Violation`]), not errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// The chaos configuration is unusable; the message names the field.
+    Config(String),
+    /// Reading or writing a state/report/reproducer file failed.
+    Io(String),
+    /// A state or reproducer file is not valid JSON for its format.
+    Parse(String),
+    /// A state file was produced by a different configuration; the field
+    /// that differs is named.
+    StateMismatch(&'static str),
+    /// A state or reproducer file has an unsupported format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid chaos config: {msg}"),
+            Self::Io(e) => write!(f, "chaos state I/O failed: {e}"),
+            Self::Parse(e) => write!(f, "chaos file parse failed: {e}"),
+            Self::StateMismatch(field) => write!(
+                f,
+                "chaos state file was produced by a different configuration: {field}"
+            ),
+            Self::Version(v) => write!(f, "chaos file version {v} is not supported"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}

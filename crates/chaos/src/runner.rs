@@ -1,0 +1,751 @@
+//! The chaos runner: seeded iterations, oracle dispatch, resumable state,
+//! reproducer emission, and the `catch_unwind` panic audit.
+
+use crate::config::{calibration_safe, ChaosConfig};
+use crate::oracle::{
+    check_calibration, check_delivery, check_differential, check_progress, check_resume,
+    OracleKind, Violation,
+};
+use crate::shrink::{ddmin, decompose};
+use crate::ChaosError;
+use gnoc_core::noc::{NodeId, PacketClass, RouteOrder};
+use gnoc_core::telemetry::TelemetryHandle;
+use gnoc_core::{
+    device_for_preset, ArbiterKind, CheckpointedCampaign, FaultPlan, MeshConfig, ReliableMesh,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Format version of chaos state files.
+pub const CHAOS_STATE_VERSION: u32 = 1;
+/// Format version of reproducer files.
+pub const REPRODUCER_VERSION: u32 = 1;
+
+/// Predicate-evaluation budget handed to the shrinker per violation.
+const SHRINK_MAX_TESTS: usize = 96;
+
+/// A tiny splitmix64 stream for deterministic traffic generation.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// What one chaos iteration observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationOutcome {
+    /// The iteration seed.
+    pub seed: u64,
+    /// Violations observed (empty = clean iteration).
+    pub violations: Vec<Violation>,
+    /// Oracles that ran and passed.
+    pub passes: Vec<OracleKind>,
+    /// Whether the iteration panicked (also reported as a
+    /// [`OracleKind::NoPanic`] violation).
+    pub panicked: bool,
+}
+
+impl IterationOutcome {
+    /// Whether every oracle that ran passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && !self.panicked
+    }
+}
+
+/// One recorded violation, with its plan and (when shrinking ran) the
+/// minimized reproducer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// The iteration seed.
+    pub seed: u64,
+    /// Violation specifics.
+    pub detail: String,
+    /// The full plan the violation was observed on.
+    pub plan: FaultPlan,
+    /// The ddmin-shrunk plan (still violating), when shrinking ran.
+    pub shrunk: Option<FaultPlan>,
+    /// Fault atoms in the full plan.
+    pub atoms_before: usize,
+    /// Fault atoms left after shrinking.
+    pub atoms_after: Option<usize>,
+    /// Path of the written reproducer file, when one was emitted.
+    pub reproducer: Option<String>,
+}
+
+/// Aggregate result of a chaos run (also the persisted state's payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// The configuration every iteration ran under.
+    pub config: ChaosConfig,
+    /// Seeds fully processed, in order.
+    pub completed_seeds: Vec<u64>,
+    /// Pass counts per oracle name.
+    pub oracle_passes: BTreeMap<String, u64>,
+    /// Every violation observed.
+    pub violations: Vec<ViolationRecord>,
+    /// Iterations that panicked (each also has a `no-panic` violation).
+    pub panics: u64,
+}
+
+impl ChaosReport {
+    fn new(config: ChaosConfig) -> Self {
+        Self {
+            config,
+            completed_seeds: Vec::new(),
+            oracle_passes: BTreeMap::new(),
+            violations: Vec::new(),
+            panics: 0,
+        }
+    }
+
+    /// Whether the run saw zero violations and zero panics.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.panics == 0
+    }
+
+    /// Writes the report as pretty JSON (for `gnoc chaos run --report`).
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Io`] / [`ChaosError::Parse`].
+    pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
+        std::fs::write(path, text).map_err(|e| ChaosError::Io(e.to_string()))
+    }
+}
+
+/// Resumable on-disk chaos state: the report so far plus the seeds still
+/// pending. Rewritten (atomically) after every iteration, so killing a soak
+/// loses at most the iteration in progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosState {
+    /// Format version ([`CHAOS_STATE_VERSION`]).
+    pub version: u32,
+    /// Seeds not yet processed.
+    pub pending: Vec<u64>,
+    /// Results accumulated so far.
+    pub report: ChaosReport,
+}
+
+impl ChaosState {
+    /// Loads and version-checks a state file.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Io`] / [`ChaosError::Parse`] / [`ChaosError::Version`].
+    pub fn load(path: &Path) -> Result<Self, ChaosError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ChaosError::Io(e.to_string()))?;
+        let state: Self =
+            serde_json::from_str(&text).map_err(|e| ChaosError::Parse(e.to_string()))?;
+        if state.version != CHAOS_STATE_VERSION {
+            return Err(ChaosError::Version(state.version));
+        }
+        Ok(state)
+    }
+
+    /// Writes the state atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Io`] / [`ChaosError::Parse`].
+    pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
+        std::fs::write(&tmp, text).map_err(|e| ChaosError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| ChaosError::Io(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// A self-contained failing-iteration record: config + seed + (shrunk)
+/// plan, plus the exact CLI command that replays it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// Format version ([`REPRODUCER_VERSION`]).
+    pub version: u32,
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// The iteration seed.
+    pub seed: u64,
+    /// Violation specifics at record time.
+    pub detail: String,
+    /// The configuration to replay under.
+    pub config: ChaosConfig,
+    /// The (shrunk) fault plan that still violates the oracle.
+    pub plan: FaultPlan,
+    /// The exact command that replays this failure.
+    pub command: String,
+}
+
+impl Reproducer {
+    /// Loads and version-checks a reproducer file.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Io`] / [`ChaosError::Parse`] / [`ChaosError::Version`].
+    pub fn load(path: &Path) -> Result<Self, ChaosError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ChaosError::Io(e.to_string()))?;
+        let repro: Self =
+            serde_json::from_str(&text).map_err(|e| ChaosError::Parse(e.to_string()))?;
+        if repro.version != REPRODUCER_VERSION {
+            return Err(ChaosError::Version(repro.version));
+        }
+        Ok(repro)
+    }
+
+    /// Writes the reproducer as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Io`] / [`ChaosError::Parse`].
+    pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
+        std::fs::write(path, text).map_err(|e| ChaosError::Io(e.to_string()))
+    }
+}
+
+/// Options orthogonal to [`ChaosConfig`]: which seeds, where to persist,
+/// and the wall-clock budget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosOptions {
+    /// Seeds to run, in order (ignored when resuming from a state file,
+    /// whose pending list wins).
+    pub seeds: Vec<u64>,
+    /// Resumable state file, rewritten after every iteration.
+    pub state_path: Option<PathBuf>,
+    /// Wall-clock budget in milliseconds; the run stops *between*
+    /// iterations when exceeded and salvages everything completed.
+    pub wall_budget_ms: Option<u64>,
+    /// Shrink failing plans with ddmin before recording them.
+    pub shrink: bool,
+    /// Directory for reproducer JSON files (created on demand); `None`
+    /// records violations in the report only.
+    pub repro_dir: Option<PathBuf>,
+}
+
+/// Outcome of [`run_chaos`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRun {
+    /// The accumulated report (partial when `finished` is false).
+    pub report: ChaosReport,
+    /// Whether every requested seed was processed (false = the wall budget
+    /// expired first; resume from the state file to continue).
+    pub finished: bool,
+    /// Seeds left unprocessed by a budget stop.
+    pub pending: Vec<u64>,
+}
+
+/// Runs one chaos iteration: fault-plan application, reliable-mesh soak,
+/// and (when `run_device` is set and a device is configured) the campaign
+/// oracles. The whole iteration runs under `catch_unwind`; a panic anywhere
+/// becomes a [`OracleKind::NoPanic`] violation instead of aborting the
+/// soak.
+pub fn run_iteration(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    run_device: bool,
+) -> IterationOutcome {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        iteration_body(cfg, seed, plan, run_device)
+    }));
+    match caught {
+        Ok((violations, passes)) => IterationOutcome {
+            seed,
+            violations,
+            passes,
+            panicked: false,
+        },
+        Err(payload) => IterationOutcome {
+            seed,
+            violations: vec![Violation {
+                oracle: OracleKind::NoPanic,
+                seed,
+                detail: format!("iteration panicked: {}", panic_message(&payload)),
+            }],
+            passes: Vec::new(),
+            panicked: true,
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn iteration_body(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    run_device: bool,
+) -> (Vec<Violation>, Vec<OracleKind>) {
+    let mut violations = Vec::new();
+    let mut passes = Vec::new();
+    let record = |kind: OracleKind,
+                  result: Result<(), String>,
+                  violations: &mut Vec<Violation>,
+                  passes: &mut Vec<OracleKind>| match result {
+        Ok(()) => passes.push(kind),
+        Err(detail) => violations.push(Violation {
+            oracle: kind,
+            seed,
+            detail,
+        }),
+    };
+
+    // --- NoC soak: reliable delivery over the faulted mesh. ---
+    // Single-VC wormhole buffers: legitimate for independent transfers
+    // (no request/reply coupling) and exactly the surface the historical
+    // reroute-deadlock bug lived on, so the progress oracle keeps bite.
+    let mesh_cfg = MeshConfig {
+        width: cfg.width as usize,
+        height: cfg.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 1,
+    };
+    match ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry) {
+        Err(e) => violations.push(Violation {
+            oracle: OracleKind::Delivery,
+            seed,
+            detail: format!("harness: mesh rejected a generated plan: {e}"),
+        }),
+        Ok(mut rm) => {
+            #[cfg(feature = "bug-hooks")]
+            if cfg.greedy_reroute_bug {
+                rm.mesh_mut().enable_greedy_reroute_bug();
+            }
+            let n = u64::from(cfg.width) * u64::from(cfg.height);
+            let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
+            let mut submit_failed = false;
+            for i in 0..cfg.transfers {
+                let src = rng.next() % n;
+                let dst = (src + 1 + rng.next() % (n - 1)) % n;
+                let flits = 1 + (rng.next() % 4) as u32;
+                let class = if i % 2 == 0 {
+                    PacketClass::Request
+                } else {
+                    PacketClass::Reply
+                };
+                if let Err(e) = rm.submit_checked(
+                    NodeId::new(src as u32),
+                    NodeId::new(dst as u32),
+                    flits,
+                    class,
+                ) {
+                    violations.push(Violation {
+                        oracle: OracleKind::Delivery,
+                        seed,
+                        detail: format!("harness: in-range submit rejected: {e}"),
+                    });
+                    submit_failed = true;
+                    break;
+                }
+            }
+            if !submit_failed {
+                let quiesced = rm.run_until_quiescent(cfg.soak_cycle_budget);
+                record(
+                    OracleKind::Delivery,
+                    check_delivery(u64::from(cfg.transfers), quiesced, &rm),
+                    &mut violations,
+                    &mut passes,
+                );
+                record(
+                    OracleKind::Progress,
+                    check_progress(quiesced, &rm),
+                    &mut violations,
+                    &mut passes,
+                );
+            }
+        }
+    }
+
+    // --- Device campaign oracles. ---
+    if run_device {
+        if let Some(device) = &cfg.device {
+            match device_phase(cfg, device, seed, plan) {
+                Ok(results) => {
+                    for (kind, result) in results {
+                        record(kind, result, &mut violations, &mut passes);
+                    }
+                }
+                Err(e) => violations.push(Violation {
+                    oracle: OracleKind::Resume,
+                    seed,
+                    detail: format!("device campaign phase failed: {e}"),
+                }),
+            }
+        }
+    }
+
+    (violations, passes)
+}
+
+/// Runs golden, faulted, and kill/resume campaigns for one iteration and
+/// evaluates the calibration, resume, and differential oracles.
+#[allow(clippy::type_complexity)]
+fn device_phase(
+    cfg: &ChaosConfig,
+    device: &str,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<Vec<(OracleKind, Result<(), String>)>, String> {
+    let probe = cfg.probe();
+    let err = |e: gnoc_core::CheckpointError| e.to_string();
+
+    let golden = CheckpointedCampaign::new(device, seed, probe, None)
+        .map_err(err)?
+        .run_to_completion(None)
+        .map_err(err)?;
+    let straight = CheckpointedCampaign::new(device, seed, probe, Some(plan.clone()))
+        .map_err(err)?
+        .run_to_completion(None)
+        .map_err(err)?;
+
+    // Kill/resume: run a third of the rows, checkpoint, "die", resume.
+    let path = scratch_checkpoint_path(seed);
+    let _ = std::fs::remove_file(&path);
+    let mut partial =
+        CheckpointedCampaign::new(device, seed, probe, Some(plan.clone())).map_err(err)?;
+    let rows = (partial.num_sms() / 3).max(1);
+    for _ in 0..rows {
+        partial.step_row().map_err(err)?;
+    }
+    partial.save(&path).map_err(err)?;
+    drop(partial);
+    let resumed = CheckpointedCampaign::resume(&path, device, seed, probe, Some(plan.clone()))
+        .map_err(err)?
+        .run_to_completion(Some(&path))
+        .map_err(err)?;
+    let _ = std::fs::remove_file(&path);
+
+    let mut results = vec![(OracleKind::Resume, check_resume(&straight, &resumed))];
+    let untouched = calibration_safe(plan);
+    if untouched {
+        match check_calibration(device, &straight) {
+            Ok(true) => results.push((OracleKind::Calibration, Ok(()))),
+            Ok(false) => {} // no pinned band for this preset: oracle didn't run
+            Err(detail) => results.push((OracleKind::Calibration, Err(detail))),
+        }
+    }
+    results.push((
+        OracleKind::Differential,
+        check_differential(untouched, &golden, &straight),
+    ));
+    Ok(results)
+}
+
+/// A collision-free scratch path for the kill/resume oracle's checkpoint.
+fn scratch_checkpoint_path(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gnoc-chaos-ckpt-{}-{:?}-{seed}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Shrinks a violating plan: re-runs the iteration on ddmin candidates and
+/// keeps the smallest plan on which the same oracle still fires.
+pub fn shrink_violation(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    oracle: OracleKind,
+    run_device: bool,
+) -> FaultPlan {
+    let fails = |candidate: &FaultPlan| {
+        run_iteration(cfg, seed, candidate, run_device)
+            .violations
+            .iter()
+            .any(|v| v.oracle == oracle)
+    };
+    ddmin(plan, cfg.width, cfg.height, fails, SHRINK_MAX_TESTS)
+}
+
+/// Replays a reproducer: one full iteration (device oracles included when
+/// the embedded config names a device) on the embedded plan.
+pub fn replay(repro: &Reproducer) -> IterationOutcome {
+    run_iteration(
+        &repro.config,
+        repro.seed,
+        &repro.plan,
+        repro.config.device.is_some(),
+    )
+}
+
+/// Runs a chaos soak over `opts.seeds` (or the pending seeds of a resumed
+/// state file), evaluating every oracle, shrinking and recording failures,
+/// and persisting resumable state. Deterministic in (config, seeds); the
+/// wall budget only decides how far the run gets.
+///
+/// # Errors
+///
+/// [`ChaosError`] for configuration or state-file problems; invariant
+/// violations are *data* in the returned [`ChaosReport`], not errors.
+pub fn run_chaos(
+    cfg: &ChaosConfig,
+    opts: &ChaosOptions,
+    telemetry: &TelemetryHandle,
+) -> Result<ChaosRun, ChaosError> {
+    cfg.validate()?;
+    let num_slices = match &cfg.device {
+        Some(name) => device_for_preset(name, 0, None)
+            .map_err(|e| ChaosError::Config(e.to_string()))?
+            .hierarchy()
+            .num_slices() as u32,
+        None => 0,
+    };
+
+    let (mut pending, mut report) = match &opts.state_path {
+        Some(path) if path.exists() => {
+            let state = ChaosState::load(path)?;
+            if state.report.config != *cfg {
+                return Err(ChaosError::StateMismatch("config"));
+            }
+            (state.pending, state.report)
+        }
+        _ => (opts.seeds.clone(), ChaosReport::new(cfg.clone())),
+    };
+
+    let started = Instant::now();
+    let mut finished = true;
+    while let Some(&seed) = pending.first() {
+        if let Some(budget) = opts.wall_budget_ms {
+            if started.elapsed().as_millis() as u64 >= budget {
+                finished = false;
+                break;
+            }
+        }
+        let plan = cfg.plan_for_seed(seed, num_slices);
+        let run_device =
+            cfg.device.is_some() && cfg.device_every > 0 && seed % cfg.device_every == 0;
+        let outcome = run_iteration(cfg, seed, &plan, run_device);
+
+        pending.remove(0);
+        report.completed_seeds.push(seed);
+        telemetry.counter_add("chaos.seeds", 1);
+        for kind in &outcome.passes {
+            *report
+                .oracle_passes
+                .entry(kind.name().to_string())
+                .or_insert(0) += 1;
+            telemetry.counter_add(&format!("chaos.oracle.{}.pass", kind.name()), 1);
+        }
+        if outcome.panicked {
+            report.panics += 1;
+            telemetry.counter_add("chaos.panics", 1);
+        }
+        for v in outcome.violations {
+            telemetry.counter_add("chaos.violations", 1);
+            let atoms_before = decompose(&plan, cfg.width, cfg.height).len();
+            let mut rec = ViolationRecord {
+                oracle: v.oracle,
+                seed,
+                detail: v.detail,
+                plan: plan.clone(),
+                shrunk: None,
+                atoms_before,
+                atoms_after: None,
+                reproducer: None,
+            };
+            if opts.shrink {
+                let shrunk = shrink_violation(cfg, seed, &plan, v.oracle, run_device);
+                rec.atoms_after = Some(decompose(&shrunk, cfg.width, cfg.height).len());
+                rec.shrunk = Some(shrunk);
+            }
+            if let Some(dir) = &opts.repro_dir {
+                rec.reproducer = Some(write_reproducer(dir, cfg, &rec)?);
+            }
+            report.violations.push(rec);
+        }
+        if let Some(path) = &opts.state_path {
+            ChaosState {
+                version: CHAOS_STATE_VERSION,
+                pending: pending.clone(),
+                report: report.clone(),
+            }
+            .save(path)?;
+        }
+    }
+
+    Ok(ChaosRun {
+        finished: finished && pending.is_empty(),
+        pending,
+        report,
+    })
+}
+
+/// Writes a reproducer for `rec` into `dir`, returning the path.
+fn write_reproducer(
+    dir: &Path,
+    cfg: &ChaosConfig,
+    rec: &ViolationRecord,
+) -> Result<String, ChaosError> {
+    std::fs::create_dir_all(dir).map_err(|e| ChaosError::Io(e.to_string()))?;
+    let path = dir.join(format!("repro-{}-seed{}.json", rec.oracle.name(), rec.seed));
+    let repro = Reproducer {
+        version: REPRODUCER_VERSION,
+        oracle: rec.oracle,
+        seed: rec.seed,
+        detail: rec.detail.clone(),
+        config: cfg.clone(),
+        plan: rec.shrunk.clone().unwrap_or_else(|| rec.plan.clone()),
+        command: format!("gnoc chaos replay --repro {}", path.display()),
+    };
+    repro.save(&path)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc_only() -> ChaosConfig {
+        ChaosConfig {
+            device: None,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn benign_iteration_passes_the_noc_oracles() {
+        let cfg = noc_only();
+        let plan = cfg.plan_for_seed(0, 0);
+        let out = run_iteration(&cfg, 0, &plan, false);
+        assert!(out.is_clean(), "violations: {:?}", out.violations);
+        assert!(out.passes.contains(&OracleKind::Delivery));
+        assert!(out.passes.contains(&OracleKind::Progress));
+    }
+
+    #[test]
+    fn iterations_are_deterministic() {
+        let cfg = noc_only();
+        for seed in [1, 2, 3, 4] {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let a = run_iteration(&cfg, seed, &plan, false);
+            let b = run_iteration(&cfg, seed, &plan, false);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported_not_propagated() {
+        // An invalid mesh geometry cannot panic anymore (typed error), so
+        // exercise the catch_unwind boundary directly.
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            panic!("synthetic failure");
+        }));
+        assert!(out.is_err());
+        let msg = panic_message(&*out.unwrap_err());
+        assert!(msg.contains("synthetic failure"));
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_bad_versions() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gnoc-chaos-state-{}.json", std::process::id()));
+        let state = ChaosState {
+            version: CHAOS_STATE_VERSION,
+            pending: vec![5, 6],
+            report: ChaosReport::new(noc_only()),
+        };
+        state.save(&path).unwrap();
+        assert_eq!(ChaosState::load(&path).unwrap(), state);
+
+        let bad = ChaosState {
+            version: 99,
+            ..state.clone()
+        };
+        bad.save(&path).unwrap();
+        assert_eq!(
+            ChaosState::load(&path).unwrap_err(),
+            ChaosError::Version(99)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wall_budget_zero_salvages_partial_state_and_resumes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gnoc-chaos-resume-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = noc_only();
+        let opts = ChaosOptions {
+            seeds: vec![0, 1, 2],
+            state_path: Some(path.clone()),
+            wall_budget_ms: Some(0), // expires before the first iteration
+            shrink: false,
+            repro_dir: None,
+        };
+        let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
+        assert!(!run.finished);
+        assert_eq!(run.pending, vec![0, 1, 2]);
+
+        // No budget now: but the state file does not exist yet (nothing
+        // completed), so the fresh run processes everything and persists.
+        let opts = ChaosOptions {
+            wall_budget_ms: None,
+            ..opts
+        };
+        let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
+        assert!(run.finished);
+        assert_eq!(run.report.completed_seeds, vec![0, 1, 2]);
+        assert!(run.report.is_clean(), "{:?}", run.report.violations);
+
+        // Resuming a finished state is a no-op that keeps the report.
+        let resumed = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
+        assert!(resumed.finished);
+        assert_eq!(resumed.report.completed_seeds, vec![0, 1, 2]);
+
+        // A different config must be rejected, not silently mixed in.
+        let other = ChaosConfig {
+            transfers: 8,
+            ..noc_only()
+        };
+        assert_eq!(
+            run_chaos(&other, &opts, &TelemetryHandle::disabled()).unwrap_err(),
+            ChaosError::StateMismatch("config")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_metrics_flow_through_telemetry() {
+        let cfg = noc_only();
+        let telemetry = TelemetryHandle::enabled();
+        let opts = ChaosOptions {
+            seeds: vec![0, 1],
+            ..ChaosOptions::default()
+        };
+        let run = run_chaos(&cfg, &opts, &telemetry).unwrap();
+        assert!(run.report.is_clean());
+        let registry = telemetry.snapshot_registry().unwrap();
+        assert_eq!(registry.counter("chaos.seeds"), 2);
+        assert_eq!(registry.counter("chaos.violations"), 0);
+        assert_eq!(registry.counter("chaos.oracle.delivery.pass"), 2);
+        assert_eq!(registry.counter("chaos.oracle.progress.pass"), 2);
+    }
+}

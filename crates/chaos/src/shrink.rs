@@ -1,0 +1,277 @@
+//! Delta-debugging (ddmin) shrinker over semantic fault atoms.
+//!
+//! A failing [`FaultPlan`] from the generator can hold dozens of faults;
+//! the bug usually needs two or three. The shrinker decomposes a plan into
+//! *atoms* — the smallest units that make sense to remove together (a dead
+//! physical edge is one atom covering both directed entries; each flaky
+//! link, stall, disabled slice, and transient process is its own atom) —
+//! and runs classic delta debugging: test subsets, then complements,
+//! doubling granularity until no smaller failing subset exists.
+//!
+//! Soundness: every subset of a valid generated plan is itself valid
+//! (removing dead links cannot disconnect a mesh the full set left
+//! connected, and re-enabling slices cannot violate the slice budget), so
+//! candidates never need re-validation.
+
+use gnoc_core::faults::{LinkFaultKind, TransientFaults};
+use gnoc_core::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// One removable unit of a fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Atom {
+    /// A group of `plan.links` indices removed together: the two directed
+    /// entries of one dead physical edge, or a single flaky entry.
+    Links(Vec<usize>),
+    /// One `plan.routers` stall by index.
+    Router(usize),
+    /// The die-wide transient drop process.
+    TransientDrop,
+    /// The die-wide transient corruption process.
+    TransientCorrupt,
+    /// One disabled L2 slice by index into `plan.disabled_slices`.
+    Slice(usize),
+    /// The embedded floorsweep.
+    Sweep,
+}
+
+/// Decomposes `plan` into atoms. `width`/`height` give the mesh geometry so
+/// the two directed entries of a dead physical edge can be paired into one
+/// atom (a lone directed dead entry stays its own atom).
+pub fn decompose(plan: &FaultPlan, width: u32, height: u32) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut used = vec![false; plan.links.len()];
+    for i in 0..plan.links.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let a = plan.links[i];
+        let mut group = vec![i];
+        if a.kind == LinkFaultKind::Dead {
+            if let Some(n) = a.dir.neighbour(a.router, width, height) {
+                let twin = a.dir.opposite();
+                for (j, b) in plan.links.iter().enumerate() {
+                    if !used[j] && b.router == n && b.dir == twin && b.kind == LinkFaultKind::Dead {
+                        used[j] = true;
+                        group.push(j);
+                        break;
+                    }
+                }
+            }
+        }
+        atoms.push(Atom::Links(group));
+    }
+    atoms.extend((0..plan.routers.len()).map(Atom::Router));
+    if plan.transient.drop_prob > 0.0 {
+        atoms.push(Atom::TransientDrop);
+    }
+    if plan.transient.corrupt_prob > 0.0 {
+        atoms.push(Atom::TransientCorrupt);
+    }
+    atoms.extend((0..plan.disabled_slices.len()).map(Atom::Slice));
+    if plan.sweep.is_some() {
+        atoms.push(Atom::Sweep);
+    }
+    atoms
+}
+
+/// Rebuilds a plan holding only `atoms` (indices resolve against `base`).
+/// The seed carries over so probabilistic draws stay reproducible.
+pub fn compose(base: &FaultPlan, atoms: &[Atom]) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: base.seed,
+        sweep: None,
+        disabled_slices: Vec::new(),
+        links: Vec::new(),
+        routers: Vec::new(),
+        transient: TransientFaults {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            onset: base.transient.onset,
+        },
+    };
+    for atom in atoms {
+        match atom {
+            Atom::Links(group) => plan.links.extend(group.iter().map(|&i| base.links[i])),
+            Atom::Router(i) => plan.routers.push(base.routers[*i]),
+            Atom::TransientDrop => plan.transient.drop_prob = base.transient.drop_prob,
+            Atom::TransientCorrupt => plan.transient.corrupt_prob = base.transient.corrupt_prob,
+            Atom::Slice(i) => plan.disabled_slices.push(base.disabled_slices[*i]),
+            Atom::Sweep => plan.sweep = base.sweep.clone(),
+        }
+    }
+    plan
+}
+
+/// Minimizes a failing plan with delta debugging: `fails` must return
+/// `true` for `base` (the caller observed the violation) and is re-invoked
+/// on candidate sub-plans; the smallest failing subset found within
+/// `max_tests` predicate evaluations is returned.
+///
+/// The result is guaranteed to still satisfy `fails` (the empty plan is
+/// returned only when the failure is fault-independent — a harness or
+/// traffic bug rather than a fault-handling one).
+pub fn ddmin(
+    base: &FaultPlan,
+    width: u32,
+    height: u32,
+    mut fails: impl FnMut(&FaultPlan) -> bool,
+    max_tests: usize,
+) -> FaultPlan {
+    let mut tests = 0usize;
+    let mut check = |plan: &FaultPlan, tests: &mut usize| -> Option<bool> {
+        if *tests >= max_tests {
+            return None;
+        }
+        *tests += 1;
+        Some(fails(plan))
+    };
+
+    // A fault-independent failure shrinks straight to the empty plan.
+    let empty = compose(base, &[]);
+    if check(&empty, &mut tests) == Some(true) {
+        return empty;
+    }
+
+    let mut atoms = decompose(base, width, height);
+    let mut n = 2usize;
+    'outer: while atoms.len() >= 2 && tests < max_tests {
+        let chunk = atoms.len().div_ceil(n);
+        // Subsets first: a single chunk that still fails.
+        let mut start = 0;
+        while start < atoms.len() {
+            let subset = &atoms[start..(start + chunk).min(atoms.len())];
+            match check(&compose(base, subset), &mut tests) {
+                Some(true) => {
+                    atoms = subset.to_vec();
+                    n = 2;
+                    continue 'outer;
+                }
+                Some(false) => {}
+                None => break 'outer,
+            }
+            start += chunk;
+        }
+        // Complements: everything but one chunk (redundant at n == 2).
+        if n > 2 {
+            let mut start = 0;
+            while start < atoms.len() {
+                let end = (start + chunk).min(atoms.len());
+                let mut complement = atoms.clone();
+                complement.drain(start..end);
+                match check(&compose(base, &complement), &mut tests) {
+                    Some(true) => {
+                        atoms = complement;
+                        n = (n - 1).max(2);
+                        continue 'outer;
+                    }
+                    Some(false) => {}
+                    None => break 'outer,
+                }
+                start += chunk;
+            }
+        }
+        if n >= atoms.len() {
+            break;
+        }
+        n = (n * 2).min(atoms.len());
+    }
+    compose(base, &atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnoc_core::FaultGenConfig;
+
+    fn storm_plan() -> FaultPlan {
+        let mut g = FaultGenConfig::benign(7, 6, 6);
+        g.dead_link_fraction = 0.15;
+        g.flaky_links = 3;
+        g.flaky_drop_prob = 0.2;
+        g.stalled_routers = 2;
+        g.stall_duration = 100;
+        g.transient_drop_prob = 0.001;
+        g.transient_corrupt_prob = 0.001;
+        FaultPlan::generate(&g)
+    }
+
+    #[test]
+    fn decompose_pairs_dead_edges_and_compose_round_trips() {
+        let plan = storm_plan();
+        let atoms = decompose(&plan, 6, 6);
+        let dead_entries = plan
+            .links
+            .iter()
+            .filter(|l| l.kind == LinkFaultKind::Dead)
+            .count();
+        assert_eq!(dead_entries % 2, 0, "generator emits dead links in pairs");
+        let dead_atoms = atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Links(g) if g.len() == 2))
+            .count();
+        assert_eq!(dead_atoms, dead_entries / 2);
+
+        // Composing all atoms reproduces the full fault set (order aside).
+        let full = compose(&plan, &atoms);
+        assert_eq!(full.links.len(), plan.links.len());
+        assert_eq!(full.routers, plan.routers);
+        assert_eq!(full.transient, plan.transient);
+        assert_eq!(full.seed, plan.seed);
+        for l in &plan.links {
+            assert!(full.links.contains(l));
+        }
+    }
+
+    #[test]
+    fn composed_subsets_stay_valid() {
+        let plan = storm_plan();
+        let atoms = decompose(&plan, 6, 6);
+        // Every prefix subset must validate against the mesh without
+        // re-checking: subsets of a connected-safe dead set stay connected.
+        for k in 0..=atoms.len() {
+            let sub = compose(&plan, &atoms[..k]);
+            sub.validate_for_mesh(6, 6).unwrap();
+        }
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit_atom() {
+        let plan = storm_plan();
+        let atoms = decompose(&plan, 6, 6);
+        // Pick one stall as the "bug trigger": a candidate fails iff it
+        // still stalls that router.
+        let culprit = plan.routers[1].router;
+        let fails = |candidate: &FaultPlan| candidate.routers.iter().any(|r| r.router == culprit);
+        let shrunk = ddmin(&plan, 6, 6, fails, 512);
+        assert_eq!(shrunk.routers.len(), 1);
+        assert_eq!(shrunk.routers[0].router, culprit);
+        assert!(shrunk.links.is_empty(), "unrelated faults must be dropped");
+        assert!(!shrunk.transient.is_active());
+        assert!(atoms.len() > 3, "the original plan was non-trivial");
+    }
+
+    #[test]
+    fn ddmin_finds_a_two_atom_conjunction() {
+        let plan = storm_plan();
+        // Fail only when BOTH transient processes survive — forces ddmin
+        // through its complement phase.
+        let fails = |c: &FaultPlan| c.transient.drop_prob > 0.0 && c.transient.corrupt_prob > 0.0;
+        let shrunk = ddmin(&plan, 6, 6, fails, 512);
+        let atoms = decompose(&shrunk, 6, 6);
+        assert_eq!(
+            atoms.len(),
+            2,
+            "shrunk to exactly the conjunction: {atoms:?}"
+        );
+        assert!(fails(&shrunk));
+    }
+
+    #[test]
+    fn fault_independent_failures_shrink_to_the_empty_plan() {
+        let plan = storm_plan();
+        let shrunk = ddmin(&plan, 6, 6, |_| true, 512);
+        assert!(shrunk.is_benign());
+    }
+}

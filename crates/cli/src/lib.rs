@@ -6,7 +6,8 @@
 
 #![warn(missing_docs)]
 
-use gnoc_core::{CtaScheduler, FaultGenConfig, GpuSpec, LatencyProbe};
+use gnoc_chaos::ChaosConfig;
+use gnoc_core::{CtaScheduler, FaultGenConfig, FlakyBurst, GpuSpec, LatencyProbe, RegionFault};
 
 /// Which preset GPU a command targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,8 +177,50 @@ pub enum Command {
         /// Probe samples per (SM, slice) pair.
         samples: usize,
     },
+    /// `gnoc chaos run|replay|shrink` — randomized fault-plan fuzzing with
+    /// invariant oracles, reproducer replay, and ddmin re-shrinking.
+    Chaos {
+        /// Soak, replay one failure, or re-shrink a reproducer.
+        action: ChaosAction,
+    },
     /// `gnoc help` — usage.
     Help,
+}
+
+/// What `gnoc chaos` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Run a seeded soak: one iteration per seed, every oracle, failures
+    /// shrunk and recorded.
+    Run {
+        /// Half-open seed range to fuzz.
+        seeds: std::ops::Range<u64>,
+        /// Iteration configuration (mesh geometry, load, device oracles).
+        cfg: ChaosConfig,
+        /// Resumable state file, rewritten after every iteration.
+        state: Option<String>,
+        /// Write the final report JSON to this path.
+        report: Option<String>,
+        /// Directory for reproducer JSON files.
+        repro_dir: Option<String>,
+        /// Wall-clock budget in milliseconds (stops between iterations).
+        wall_ms: Option<u64>,
+        /// Skip ddmin shrinking of failing plans.
+        no_shrink: bool,
+    },
+    /// Re-run one recorded failure from a reproducer file; exits nonzero
+    /// while the failure still reproduces.
+    Replay {
+        /// Reproducer JSON path.
+        repro: String,
+    },
+    /// Re-shrink a reproducer's plan with ddmin and rewrite the file.
+    Shrink {
+        /// Reproducer JSON path.
+        repro: String,
+        /// Output path (defaults to rewriting the input).
+        out: Option<String>,
+    },
 }
 
 /// What `gnoc faults` does.
@@ -258,9 +301,19 @@ USAGE:
     gnoc faults     gen --out plan.json [--seed S] [--width W] [--height H]
                     [--dead-frac F] [--flaky N] [--flaky-prob P]
                     [--stalls N] [--stall-cycles C] [--drop-prob P]
-                    [--corrupt-prob P] [--onset C] [--slices N]
-                    [--disable-slices N]
+                    [--corrupt-prob P] [--onset C] [--storm-span C]
+                    [--region-radius K] [--region-center R] [--region-frac F]
+                    [--burst N] [--burst-prob P] [--burst-onset C]
+                    [--slices N] [--disable-slices N]
     gnoc faults     check <plan.json> [--width W] [--height H] [--slices N]
+    gnoc chaos      run [--seeds A..B] [--width W] [--height H]
+                    [--transfers N] [--cycles C] [--device G|none]
+                    [--device-every N] [--lines N] [--samples N]
+                    [--state chaos.json] [--report report.json]
+                    [--repro-dir DIR] [--wall-ms MS] [--no-shrink]
+                    [--greedy-bug]
+    gnoc chaos      replay --repro repro.json
+    gnoc chaos      shrink --repro repro.json [--out min.json]
     gnoc stats      <metrics.json>
     gnoc help
 
@@ -303,6 +356,18 @@ impl<'a> Flags<'a> {
             None => Ok(default),
         }
     }
+}
+
+/// Parses a half-open `A..B` seed range (e.g. `0..100`).
+fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
+    let err = || format!("flag --seeds: '{s}' is not a half-open range like 0..100");
+    let (lo, hi) = s.split_once("..").ok_or_else(err)?;
+    let lo: u64 = lo.parse().map_err(|_| err())?;
+    let hi: u64 = hi.parse().map_err(|_| err())?;
+    if lo >= hi {
+        return Err(format!("flag --seeds: range {lo}..{hi} is empty"));
+    }
+    Ok(lo..hi)
 }
 
 /// Parses an argument vector (without the program name).
@@ -445,6 +510,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             transient_drop_prob: flags.parse_num("--drop-prob", 0.0f64)?,
                             transient_corrupt_prob: flags.parse_num("--corrupt-prob", 0.0f64)?,
                             onset: flags.parse_num("--onset", 0u64)?,
+                            onset_storm_span: flags.parse_num("--storm-span", 0u64)?,
+                            region: match flags.parse_num("--region-radius", 0u32)? {
+                                0 => None,
+                                radius => Some(RegionFault {
+                                    center: flags.parse_num("--region-center", 0u32)?,
+                                    radius,
+                                    dead_fraction: flags.parse_num("--region-frac", 0.5f64)?,
+                                }),
+                            },
+                            burst: match flags.parse_num("--burst", 0u32)? {
+                                0 => None,
+                                links => Some(FlakyBurst {
+                                    links,
+                                    drop_prob: flags.parse_num("--burst-prob", 0.25f64)?,
+                                    onset: flags.parse_num("--burst-onset", 0u64)?,
+                                }),
+                            },
                             num_slices: flags.parse_num("--slices", 0u32)?,
                             disabled_slice_count: flags.parse_num("--disable-slices", 0u32)?,
                             sweep: None,
@@ -470,6 +552,63 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 other => return Err(format!("faults needs gen|check, got {other:?}")),
             };
             Ok(Command::Faults { action })
+        }
+        "chaos" => {
+            let action = match rest.first().map(String::as_str) {
+                Some("run") => {
+                    let defaults = ChaosConfig::default();
+                    let device = match flags.value_of("--device")? {
+                        None => defaults.device.clone(),
+                        Some("none") => None,
+                        Some(g) => Some(GpuChoice::parse(g)?.preset_name().to_owned()),
+                    };
+                    ChaosAction::Run {
+                        seeds: match flags.value_of("--seeds")? {
+                            Some(s) => parse_seed_range(s)?,
+                            None => 0..25,
+                        },
+                        cfg: ChaosConfig {
+                            width: flags.parse_num("--width", defaults.width)?,
+                            height: flags.parse_num("--height", defaults.height)?,
+                            transfers: flags.parse_num("--transfers", defaults.transfers)?,
+                            soak_cycle_budget: flags
+                                .parse_num("--cycles", defaults.soak_cycle_budget)?,
+                            device,
+                            device_every: flags
+                                .parse_num("--device-every", defaults.device_every)?,
+                            probe_lines: flags.parse_num("--lines", defaults.probe_lines)?,
+                            probe_samples: flags.parse_num("--samples", defaults.probe_samples)?,
+                            retry: defaults.retry,
+                            greedy_reroute_bug: flags.has("--greedy-bug"),
+                        },
+                        state: flags.value_of("--state")?.map(str::to_owned),
+                        report: flags.value_of("--report")?.map(str::to_owned),
+                        repro_dir: flags.value_of("--repro-dir")?.map(str::to_owned),
+                        wall_ms: match flags.value_of("--wall-ms")? {
+                            Some(v) => Some(v.parse().map_err(|_| {
+                                format!("flag --wall-ms: '{v}' is not a valid number")
+                            })?),
+                            None => None,
+                        },
+                        no_shrink: flags.has("--no-shrink"),
+                    }
+                }
+                Some("replay") => ChaosAction::Replay {
+                    repro: flags
+                        .value_of("--repro")?
+                        .ok_or_else(|| "chaos replay needs --repro <repro.json>".to_owned())?
+                        .to_owned(),
+                },
+                Some("shrink") => ChaosAction::Shrink {
+                    repro: flags
+                        .value_of("--repro")?
+                        .ok_or_else(|| "chaos shrink needs --repro <repro.json>".to_owned())?
+                        .to_owned(),
+                    out: flags.value_of("--out")?.map(str::to_owned),
+                },
+                other => return Err(format!("chaos needs run|replay|shrink, got {other:?}")),
+            };
+            Ok(Command::Chaos { action })
         }
         "loadcurve" => {
             let crossbar = match flags.value_of("--net")? {
@@ -757,6 +896,104 @@ mod tests {
         assert!(parse(&argv("faults gen")).is_err(), "--out is required");
         assert!(parse(&argv("faults check")).is_err());
         assert!(parse(&argv("faults list")).is_err());
+    }
+
+    #[test]
+    fn chaos_run_parses_with_defaults_and_flags() {
+        let c = parse(&argv("chaos run")).unwrap();
+        let Command::Chaos {
+            action:
+                ChaosAction::Run {
+                    seeds,
+                    cfg,
+                    state,
+                    report,
+                    repro_dir,
+                    wall_ms,
+                    no_shrink,
+                },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert_eq!(seeds, 0..25);
+        assert_eq!(cfg, ChaosConfig::default());
+        assert_eq!(cfg.device.as_deref(), Some("v100"));
+        assert_eq!(
+            (state, report, repro_dir, wall_ms),
+            (None, None, None, None)
+        );
+        assert!(!no_shrink);
+
+        let c = parse(&argv(
+            "chaos run --seeds 5..9 --width 6 --height 6 --transfers 300 \
+             --device a100fs --device-every 2 --state s.json --report r.json \
+             --repro-dir repros --wall-ms 1500 --no-shrink",
+        ))
+        .unwrap();
+        let Command::Chaos {
+            action:
+                ChaosAction::Run {
+                    seeds,
+                    cfg,
+                    state,
+                    report,
+                    repro_dir,
+                    wall_ms,
+                    no_shrink,
+                },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert_eq!(seeds, 5..9);
+        assert_eq!((cfg.width, cfg.height, cfg.transfers), (6, 6, 300));
+        assert_eq!(cfg.device.as_deref(), Some("a100fs"));
+        assert_eq!(cfg.device_every, 2);
+        assert_eq!(state.as_deref(), Some("s.json"));
+        assert_eq!(report.as_deref(), Some("r.json"));
+        assert_eq!(repro_dir.as_deref(), Some("repros"));
+        assert_eq!(wall_ms, Some(1500));
+        assert!(no_shrink);
+
+        // `--device none` disables the campaign oracles entirely.
+        let c = parse(&argv("chaos run --device none")).unwrap();
+        let Command::Chaos {
+            action: ChaosAction::Run { cfg, .. },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert_eq!(cfg.device, None);
+
+        assert!(parse(&argv("chaos run --seeds 9..5")).is_err());
+        assert!(parse(&argv("chaos run --seeds five")).is_err());
+        assert!(parse(&argv("chaos run --device b200")).is_err());
+        assert!(parse(&argv("chaos fuzz")).is_err());
+        assert!(parse(&argv("chaos")).is_err());
+    }
+
+    #[test]
+    fn chaos_replay_and_shrink_need_a_reproducer() {
+        assert_eq!(
+            parse(&argv("chaos replay --repro r.json")).unwrap(),
+            Command::Chaos {
+                action: ChaosAction::Replay {
+                    repro: "r.json".to_owned()
+                }
+            }
+        );
+        assert!(parse(&argv("chaos replay")).is_err());
+        assert_eq!(
+            parse(&argv("chaos shrink --repro r.json --out min.json")).unwrap(),
+            Command::Chaos {
+                action: ChaosAction::Shrink {
+                    repro: "r.json".to_owned(),
+                    out: Some("min.json".to_owned()),
+                }
+            }
+        );
+        assert!(parse(&argv("chaos shrink")).is_err());
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! The `gnoc` command-line tool: run the paper's characterisation and
 //! experiments from the shell. See `gnoc help`.
 
+use gnoc_chaos::{
+    decompose, replay as replay_reproducer, run_chaos, run_iteration, shrink_violation,
+    ChaosOptions, ChaosRun, Reproducer,
+};
 use gnoc_cli::{
-    parse_invocation, AttackKind, Command, FaultsAction, GpuChoice, WorkloadKind, USAGE,
+    parse_invocation, AttackKind, ChaosAction, Command, FaultsAction, GpuChoice, WorkloadKind,
+    USAGE,
 };
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
@@ -20,7 +25,7 @@ use gnoc_core::{
     LatencyCampaign, LatencyProbe, RsaAttackConfig, SliceId, SmId, Summary,
 };
 use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -89,7 +94,8 @@ fn device(
     let mut dev = match plan {
         Some(plan) => GpuDevice::with_faults(gpu.spec(), plan, seed)
             .map_err(|e| format!("fault plan does not fit {}: {e}", gpu.preset_name()))?,
-        None => GpuDevice::with_seed(gpu.spec(), seed).expect("presets are valid"),
+        None => GpuDevice::with_seed(gpu.spec(), seed)
+            .map_err(|e| format!("cannot build {}: {e}", gpu.preset_name()))?,
     };
     dev.set_telemetry(telemetry.clone());
     Ok(dev)
@@ -189,7 +195,7 @@ fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> b
                 dev.spec().name,
                 campaign.grand_mean(),
                 campaign.matrix.len(),
-                campaign.matrix[0].len()
+                campaign.matrix.first().map_or(0, Vec::len)
             );
             println!(
                 "position recovery (corr vs proximity): {:.2}",
@@ -285,6 +291,8 @@ fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> b
 
         Command::Faults { action } => return run_faults(action),
 
+        Command::Chaos { action } => return run_chaos_action(action, telemetry),
+
         Command::Campaign {
             gpu,
             seed,
@@ -318,7 +326,7 @@ fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> b
                 "{preset}: grand mean latency {:.0} cycles over {}x{} pairs{}",
                 result.grand_mean(),
                 result.matrix.len(),
-                result.matrix[0].len(),
+                result.matrix.first().map_or(0, Vec::len),
                 if plan.is_some() {
                     " (fault plan applied)"
                 } else {
@@ -552,11 +560,147 @@ fn run_faulted_mesh(
     true
 }
 
+/// `gnoc chaos run|replay|shrink`: the fuzzing soak and its reproducer
+/// tooling. `run` exits nonzero when any oracle fired; `replay` exits
+/// nonzero while the recorded failure still reproduces (a scriptable
+/// "is this bug fixed yet" check).
+fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle) -> bool {
+    match action {
+        ChaosAction::Run {
+            seeds,
+            cfg,
+            state,
+            report,
+            repro_dir,
+            wall_ms,
+            no_shrink,
+        } => {
+            let opts = ChaosOptions {
+                seeds: seeds.collect(),
+                state_path: state.map(PathBuf::from),
+                wall_budget_ms: wall_ms,
+                shrink: !no_shrink,
+                repro_dir: repro_dir.map(PathBuf::from),
+            };
+            let run = try_or_fail!(run_chaos(&cfg, &opts, telemetry).map_err(|e| e.to_string()));
+            let clean = print_chaos_run(&run);
+            if let Some(path) = report {
+                try_or_fail!(run.report.save(Path::new(&path)).map_err(|e| e.to_string()));
+                println!("report: {path}");
+            }
+            clean
+        }
+        ChaosAction::Replay { repro } => {
+            let repro =
+                try_or_fail!(Reproducer::load(Path::new(&repro)).map_err(|e| e.to_string()));
+            // A repro recorded with --greedy-bug must not silently "pass"
+            // in a binary built without the bug-hooks feature.
+            try_or_fail!(repro.config.validate().map_err(|e| e.to_string()));
+            println!(
+                "replaying seed {} against oracle [{}] on plan [{}]:",
+                repro.seed,
+                repro.oracle,
+                repro.plan.summary()
+            );
+            let out = replay_reproducer(&repro);
+            for v in &out.violations {
+                println!("  VIOLATION [{}]: {}", v.oracle, v.detail);
+            }
+            if out.violations.iter().any(|v| v.oracle == repro.oracle) {
+                println!("  recorded failure still reproduces");
+                false
+            } else {
+                println!("  recorded failure no longer reproduces");
+                true
+            }
+        }
+        ChaosAction::Shrink { repro, out } => {
+            let path = repro;
+            let mut repro =
+                try_or_fail!(Reproducer::load(Path::new(&path)).map_err(|e| e.to_string()));
+            try_or_fail!(repro.config.validate().map_err(|e| e.to_string()));
+            let run_device = repro.config.device.is_some();
+            let fires = run_iteration(&repro.config, repro.seed, &repro.plan, run_device)
+                .violations
+                .iter()
+                .any(|v| v.oracle == repro.oracle);
+            if !fires {
+                eprintln!(
+                    "error: {path}: oracle [{}] no longer fires on the recorded plan; \
+                     nothing to shrink",
+                    repro.oracle
+                );
+                return false;
+            }
+            let before = decompose(&repro.plan, repro.config.width, repro.config.height).len();
+            repro.plan = shrink_violation(
+                &repro.config,
+                repro.seed,
+                &repro.plan,
+                repro.oracle,
+                run_device,
+            );
+            let after = decompose(&repro.plan, repro.config.width, repro.config.height).len();
+            let out_path = out.unwrap_or(path);
+            repro.command = format!("gnoc chaos replay --repro {out_path}");
+            try_or_fail!(repro.save(Path::new(&out_path)).map_err(|e| e.to_string()));
+            println!(
+                "{out_path}: {before} -> {after} fault atoms, oracle [{}] still fires",
+                repro.oracle
+            );
+            true
+        }
+    }
+}
+
+/// Renders a chaos run summary; returns whether it was clean.
+fn print_chaos_run(run: &ChaosRun) -> bool {
+    let r = &run.report;
+    println!(
+        "chaos soak: {} seed(s) completed, {} violation(s), {} panic(s)",
+        r.completed_seeds.len(),
+        r.violations.len(),
+        r.panics
+    );
+    let passes: Vec<String> = r
+        .oracle_passes
+        .iter()
+        .map(|(name, count)| format!("{name} {count}"))
+        .collect();
+    println!(
+        "  oracle passes: {}",
+        if passes.is_empty() {
+            "(none)".to_owned()
+        } else {
+            passes.join(", ")
+        }
+    );
+    for v in &r.violations {
+        println!("  VIOLATION [{}] seed {}: {}", v.oracle, v.seed, v.detail);
+        if let Some(after) = v.atoms_after {
+            println!("    plan shrunk: {} -> {after} fault atoms", v.atoms_before);
+        }
+        if let Some(path) = &v.reproducer {
+            println!("    reproducer: {path}");
+        }
+    }
+    if !run.finished {
+        println!(
+            "  wall budget expired: {} seed(s) pending (re-run with the same --state to resume)",
+            run.pending.len()
+        );
+    }
+    r.is_clean()
+}
+
 /// `gnoc faults gen|check`: fault-plan file tooling.
 fn run_faults(action: FaultsAction) -> bool {
     match action {
         FaultsAction::Gen { out, cfg } => {
-            let plan = FaultPlan::generate(&cfg);
+            // try_generate validates every knob first, so a bad flag value
+            // (e.g. --flaky-prob 1.5) is a hard error naming the field
+            // instead of a silently saved invalid plan.
+            let plan = try_or_fail!(FaultPlan::try_generate(&cfg).map_err(|e| e.to_string()));
             try_or_fail!(plan.save(&out).map_err(|e| e.to_string()));
             println!("{out}: {}", plan.summary());
         }

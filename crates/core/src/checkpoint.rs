@@ -65,6 +65,14 @@ pub enum CheckpointError {
         /// SMs on the device.
         sms: usize,
     },
+    /// [`CheckpointedCampaign::finish`] was called before every row was
+    /// measured.
+    Incomplete {
+        /// Rows measured so far.
+        done: usize,
+        /// Rows the campaign needs.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -87,6 +95,9 @@ impl std::fmt::Display for CheckpointError {
             ),
             Self::TooManyRows { rows, sms } => {
                 write!(f, "checkpoint has {rows} rows but the device has {sms} SMs")
+            }
+            Self::Incomplete { done, total } => {
+                write!(f, "campaign has unmeasured rows ({done} of {total} done)")
             }
         }
     }
@@ -185,6 +196,7 @@ impl CheckpointedCampaign {
         probe: LatencyProbe,
         plan: Option<FaultPlan>,
     ) -> Result<Self, CheckpointError> {
+        remove_orphan_tmp(path);
         let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         let file: CheckpointFile =
             serde_json::from_str(&text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -222,6 +234,7 @@ impl CheckpointedCampaign {
         probe: LatencyProbe,
         plan: Option<FaultPlan>,
     ) -> Result<Self, CheckpointError> {
+        remove_orphan_tmp(path);
         if path.exists() {
             Self::resume(path, device, seed, probe, plan)
         } else {
@@ -279,7 +292,7 @@ impl CheckpointedCampaign {
         };
         let text = serde_json::to_string_pretty(&file)
             .map_err(|e| CheckpointError::Parse(e.to_string()))?;
-        let tmp = path.with_extension("tmp");
+        let tmp = tmp_path(path);
         std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io(e.to_string()))?;
         std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         Ok(())
@@ -303,25 +316,50 @@ impl CheckpointedCampaign {
                     .with("of", self.num_sms)
             });
         }
-        Ok(self.finish())
+        self.finish()
     }
 
     /// Assembles the completed matrix into a [`LatencyCampaign`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the campaign is not complete yet.
-    pub fn finish(&self) -> LatencyCampaign {
-        assert!(self.is_complete(), "campaign has unmeasured rows");
+    /// Returns [`CheckpointError::Incomplete`] when rows are still
+    /// unmeasured — a typed error rather than a panic, so a fuzzer driving
+    /// campaigns through arbitrary schedules can never abort the process.
+    pub fn finish(&self) -> Result<LatencyCampaign, CheckpointError> {
+        if !self.is_complete() {
+            return Err(CheckpointError::Incomplete {
+                done: self.rows.len(),
+                total: self.num_sms,
+            });
+        }
         let matrix = self.rows.clone();
         let sm_summaries = matrix.iter().map(|row| Summary::of(row)).collect();
         let correlation = correlation_matrix(&matrix);
-        LatencyCampaign {
+        Ok(LatencyCampaign {
             matrix,
             sm_summaries,
             correlation,
-        }
+        })
     }
+}
+
+/// The sibling temp file `save` writes before its atomic rename. The ".tmp"
+/// suffix is *appended* (`ckpt.json` → `ckpt.json.tmp`) rather than
+/// replacing the extension, so two campaigns named `a.json` / `a.bak` can
+/// never collide on one temp path.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Removes the orphan temp file a kill between write and rename leaves
+/// behind. Called on every resume path: the temp is by construction an
+/// incomplete or superseded snapshot, so deleting it is always safe — the
+/// real checkpoint (if any) lives at `path` itself.
+fn remove_orphan_tmp(path: &Path) {
+    let _ = std::fs::remove_file(tmp_path(path));
 }
 
 #[cfg(test)]
@@ -335,7 +373,7 @@ mod tests {
         }
     }
 
-    fn tmp_path(name: &str) -> std::path::PathBuf {
+    fn tmp_path_file(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("gnoc-ckpt-{name}-{}.json", std::process::id()))
     }
 
@@ -350,7 +388,7 @@ mod tests {
 
     #[test]
     fn kill_and_resume_is_bit_identical() {
-        let path = tmp_path("resume");
+        let path = tmp_path_file("resume");
         let _ = std::fs::remove_file(&path);
 
         // Uninterrupted reference run.
@@ -377,7 +415,7 @@ mod tests {
 
     #[test]
     fn resume_rejects_mismatched_parameters() {
-        let path = tmp_path("mismatch");
+        let path = tmp_path_file("mismatch");
         let _ = std::fs::remove_file(&path);
         let mut c = CheckpointedCampaign::new("v100", 4, quick_probe(), None).unwrap();
         c.step_row().unwrap();
@@ -413,6 +451,73 @@ mod tests {
             (280.0..320.0).contains(&mean),
             "floor-swept A100 grand mean {mean} outside the calibrated band"
         );
+    }
+
+    #[test]
+    fn corrupt_or_truncated_checkpoint_is_rejected_not_silently_restarted() {
+        let path = tmp_path_file("corrupt");
+        let _ = std::fs::remove_file(&path);
+
+        // Corrupt: not JSON at all.
+        std::fs::write(&path, "{ this is not json").unwrap();
+        let err = CheckpointedCampaign::resume(&path, "v100", 1, quick_probe(), None).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "got {err:?}");
+        // resume_or_new must propagate the error, not restart from row 0.
+        let err =
+            CheckpointedCampaign::resume_or_new(&path, "v100", 1, quick_probe(), None).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "got {err:?}");
+
+        // Truncated: a valid prefix of a real checkpoint.
+        let mut c = CheckpointedCampaign::new("v100", 1, quick_probe(), None).unwrap();
+        c.step_row().unwrap();
+        c.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = CheckpointedCampaign::resume(&path, "v100", 1, quick_probe(), None).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse(_)), "got {err:?}");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn orphan_tmp_file_is_cleaned_on_resume_and_named_after_the_full_file() {
+        let path = tmp_path_file("orphan");
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = CheckpointedCampaign::new("v100", 2, quick_probe(), None).unwrap();
+        c.step_row().unwrap();
+        c.save(&path).unwrap();
+        // The temp suffix is appended, so the temp of "x.json" is
+        // "x.json.tmp" — never colliding with another campaign's "x.tmp".
+        let tmp = super::tmp_path(&path);
+        assert_eq!(
+            tmp.file_name().unwrap().to_string_lossy(),
+            format!("{}.tmp", path.file_name().unwrap().to_string_lossy())
+        );
+        assert!(!tmp.exists(), "save must rename the temp away");
+
+        // Simulate a kill between write and rename: an orphan temp remains.
+        std::fs::write(&tmp, "partial garbage from a dead process").unwrap();
+        let resumed = CheckpointedCampaign::resume(&path, "v100", 2, quick_probe(), None).unwrap();
+        assert_eq!(resumed.completed_rows(), 1);
+        assert!(!tmp.exists(), "resume must clean the orphan temp");
+
+        // resume_or_new with no real checkpoint also cleans the orphan.
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&tmp, "orphan with no checkpoint").unwrap();
+        let fresh =
+            CheckpointedCampaign::resume_or_new(&path, "v100", 2, quick_probe(), None).unwrap();
+        assert_eq!(fresh.completed_rows(), 0);
+        assert!(!tmp.exists());
+    }
+
+    #[test]
+    fn finish_on_an_incomplete_campaign_is_a_typed_error() {
+        let mut c = CheckpointedCampaign::new("v100", 1, quick_probe(), None).unwrap();
+        c.step_row().unwrap();
+        let err = c.finish().unwrap_err();
+        assert_eq!(err, CheckpointError::Incomplete { done: 1, total: 80 });
+        assert!(err.to_string().contains("1 of 80"));
     }
 
     #[test]

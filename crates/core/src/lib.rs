@@ -60,7 +60,9 @@ pub use gnoc_analysis::{
 pub use gnoc_engine::{
     AccessKind, AddressMap, Calibration, CtaScheduler, FabricModel, FlowSpec, GpuDevice,
 };
-pub use gnoc_faults::{FaultGenConfig, FaultPlan, FaultPlanError, FloorSweep, SweepError};
+pub use gnoc_faults::{
+    FaultGenConfig, FaultPlan, FaultPlanError, FlakyBurst, FloorSweep, RegionFault, SweepError,
+};
 pub use gnoc_microbench::{input_speedups, LatencyProbe, SpeedupReport};
 pub use gnoc_noc::{
     run_fairness, run_memsim, ArbiterKind, FairnessConfig, LossReason, MemSimConfig, Mesh,

@@ -36,6 +36,8 @@ pub enum DeviceError {
     FaultPlan(FaultPlanError),
     /// The disabled slices leave the device without a usable L2.
     Slices(SliceDisableError),
+    /// A preset name passed to [`GpuDevice::try_preset`] is not known.
+    UnknownPreset(String),
 }
 
 impl std::fmt::Display for DeviceError {
@@ -46,6 +48,10 @@ impl std::fmt::Display for DeviceError {
             Self::Sweep(e) => write!(f, "invalid floorsweep: {e}"),
             Self::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             Self::Slices(e) => write!(f, "invalid slice disable set: {e}"),
+            Self::UnknownPreset(name) => write!(
+                f,
+                "unknown device preset {name:?} (try v100, a100, a100full, a100fs, h100)"
+            ),
         }
     }
 }
@@ -58,6 +64,7 @@ impl std::error::Error for DeviceError {
             Self::Sweep(e) => Some(e),
             Self::FaultPlan(e) => Some(e),
             Self::Slices(e) => Some(e),
+            Self::UnknownPreset(_) => None,
         }
     }
 }
@@ -183,6 +190,28 @@ impl GpuDevice {
             .map_err(DeviceError::Slices)?;
         }
         Ok(dev)
+    }
+
+    /// Builds a preset device from a runtime name, with a typed error for
+    /// unknown names — the constructor user-supplied or fuzzed preset
+    /// strings must go through. The static shorthands below keep their
+    /// infallible signatures because their specs are compile-time constants
+    /// that always validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownPreset`] for an unrecognised name, or
+    /// any [`DeviceError`] from spec validation.
+    pub fn try_preset(name: &str, seed: u64) -> Result<Self, DeviceError> {
+        let spec = match name {
+            "v100" => GpuSpec::v100(),
+            "a100" => GpuSpec::a100(),
+            "a100full" => GpuSpec::a100_full(),
+            "a100fs" => GpuSpec::a100_floorswept(),
+            "h100" => GpuSpec::h100(),
+            other => return Err(DeviceError::UnknownPreset(other.to_string())),
+        };
+        Self::with_seed(spec, seed)
     }
 
     /// Shorthand for a seeded V100 device.

@@ -118,6 +118,34 @@ pub struct LinkFault {
     pub onset: u64,
 }
 
+/// A correlated regional failure: a cluster of dead links concentrated
+/// around one router, the way a localised manufacturing defect or a hot spot
+/// kills silicon — neighbouring links fail together, not independently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionFault {
+    /// Centre router of the damaged region (`y * width + x`).
+    pub center: u32,
+    /// Manhattan radius around the centre; only edges with both endpoints
+    /// inside the region are candidates.
+    pub radius: u32,
+    /// Fraction of the region's undirected edges to kill (connectivity
+    /// permitting, like [`FaultGenConfig::dead_link_fraction`]).
+    pub dead_fraction: f64,
+}
+
+/// A flaky-link burst: a contiguous cluster of links that all turn flaky at
+/// the same cycle — the signature of a marginal power rail or a shared
+/// repeater bank degrading, as opposed to independent single-link flakiness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlakyBurst {
+    /// Number of directed links in the burst cluster.
+    pub links: u32,
+    /// Per-flit drop probability of every link in the burst.
+    pub drop_prob: f64,
+    /// Cycle at which the whole burst manifests at once.
+    pub onset: u64,
+}
+
 /// A router that stops arbitrating (all its outputs freeze) for a window of
 /// cycles — the NoC-level analogue of a hung pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,6 +236,14 @@ pub enum FaultPlanError {
     },
     /// The same slice is disabled twice.
     DuplicateSlice(u32),
+    /// A generator config field is out of range; the field is named so a
+    /// CLI user can see exactly which knob to fix.
+    BadGenField {
+        /// Name of the offending [`FaultGenConfig`] field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// Every slice is disabled — no L2 remains to home addresses.
     AllSlicesDisabled,
     /// The dead links at full onset disconnect the surviving mesh.
@@ -236,6 +272,9 @@ impl std::fmt::Display for FaultPlanError {
                 write!(f, "slice {slice} out of range ({num_slices} slices)")
             }
             Self::DuplicateSlice(s) => write!(f, "slice {s} disabled twice"),
+            Self::BadGenField { field, value } => {
+                write!(f, "generator field `{field}` = {value} is out of range")
+            }
             Self::AllSlicesDisabled => write!(f, "plan disables every L2 slice"),
             Self::MeshDisconnected => {
                 write!(f, "dead links disconnect the surviving mesh")
@@ -416,22 +455,69 @@ impl FaultPlan {
                 continue; // would partition the mesh; keep this edge alive
             }
             dead_edges = candidate;
+            let onset = draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng);
             links.push(LinkFault {
                 router: r,
                 dir,
                 kind: LinkFaultKind::Dead,
-                onset: cfg.onset,
+                onset,
             });
             links.push(LinkFault {
                 router: n,
                 dir: dir.opposite(),
                 kind: LinkFaultKind::Dead,
-                onset: cfg.onset,
+                onset,
             });
             killed += 1;
         }
 
+        // Correlated regional failure: concentrate extra dead links inside a
+        // Manhattan disc around the region centre, with the same
+        // connectivity guarantee as the die-wide pass.
+        if let Some(region) = cfg.region {
+            let in_region = |r: u32| manhattan(r, region.center.min(w * h - 1), w) <= region.radius;
+            let region_edges: Vec<(u32, Direction)> = edges
+                .iter()
+                .copied()
+                .filter(|&(r, dir)| in_region(r) && dir.neighbour(r, w, h).is_some_and(in_region))
+                .collect();
+            let target = ((region_edges.len() as f64) * region.dead_fraction).round() as usize;
+            let mut region_killed = 0usize;
+            for &(r, dir) in &region_edges {
+                if region_killed >= target {
+                    break;
+                }
+                let n = dir.neighbour(r, w, h).expect("edge list is on-die");
+                let edge = (r.min(n), r.max(n));
+                if dead_edges.contains(&edge) {
+                    continue; // already dead from the die-wide pass
+                }
+                let mut candidate = dead_edges.clone();
+                candidate.push(edge);
+                if !mesh_connected(w, h, &candidate) {
+                    continue;
+                }
+                dead_edges = candidate;
+                let onset = draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng);
+                links.push(LinkFault {
+                    router: r,
+                    dir,
+                    kind: LinkFaultKind::Dead,
+                    onset,
+                });
+                links.push(LinkFault {
+                    router: n,
+                    dir: dir.opposite(),
+                    kind: LinkFaultKind::Dead,
+                    onset,
+                });
+                region_killed += 1;
+            }
+        }
+
         // Flaky links on surviving edges.
+        let mut flaky_dirs: std::collections::HashSet<(u32, Direction)> =
+            std::collections::HashSet::new();
         let mut flaky = 0u32;
         for &(r, dir) in &edges {
             if flaky >= cfg.flaky_links {
@@ -447,9 +533,47 @@ impl FaultPlan {
                 kind: LinkFaultKind::Flaky {
                     drop_prob: cfg.flaky_drop_prob,
                 },
-                onset: cfg.onset,
+                onset: draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng),
             });
+            flaky_dirs.insert((r, dir));
             flaky += 1;
+        }
+
+        // Flaky-link burst: grow a contiguous cluster of surviving directed
+        // links outward from a random router; every link in the cluster
+        // shares the burst's drop probability and onset.
+        if let Some(burst) = cfg.burst {
+            let start = rng.gen_range(0..w * h);
+            let mut seen = vec![false; (w * h) as usize];
+            let mut frontier = VecDeque::from([start]);
+            seen[start as usize] = true;
+            let mut emitted = 0u32;
+            'grow: while let Some(r) = frontier.pop_front() {
+                for dir in Direction::ALL {
+                    if emitted >= burst.links {
+                        break 'grow;
+                    }
+                    let Some(n) = dir.neighbour(r, w, h) else {
+                        continue;
+                    };
+                    if !seen[n as usize] {
+                        seen[n as usize] = true;
+                        frontier.push_back(n);
+                    }
+                    if dead_edges.contains(&(r.min(n), r.max(n))) || !flaky_dirs.insert((r, dir)) {
+                        continue; // dead edge or already flaky: not a new burst member
+                    }
+                    links.push(LinkFault {
+                        router: r,
+                        dir,
+                        kind: LinkFaultKind::Flaky {
+                            drop_prob: burst.drop_prob,
+                        },
+                        onset: burst.onset,
+                    });
+                    emitted += 1;
+                }
+            }
         }
 
         // Stalled routers (distinct, anywhere on the die).
@@ -460,7 +584,7 @@ impl FaultPlan {
             if stalled.insert(r) {
                 routers.push(RouterStall {
                     router: r,
-                    onset: cfg.onset,
+                    onset: draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng),
                     duration: cfg.stall_duration,
                 });
             }
@@ -495,6 +619,17 @@ impl FaultPlan {
         }
     }
 
+    /// Validates `cfg` and then generates, so a bad knob surfaces as a typed
+    /// error instead of an invalid (or silently clamped) plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] from [`FaultGenConfig::validate`].
+    pub fn try_generate(cfg: &FaultGenConfig) -> Result<Self, FaultPlanError> {
+        cfg.validate()?;
+        Ok(Self::generate(cfg))
+    }
+
     /// Serialises the plan as pretty JSON.
     ///
     /// # Errors
@@ -508,8 +643,18 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns [`FaultPlanError::Parse`] on malformed input.
+    /// Returns [`FaultPlanError::Parse`] on malformed input. An empty (or
+    /// whitespace-only) document gets its own diagnostic naming the fields a
+    /// plan must carry, so `faults check` on a truncated file says what is
+    /// missing instead of a bare parser error.
     pub fn from_json(s: &str) -> Result<Self, FaultPlanError> {
+        if s.trim().is_empty() {
+            return Err(FaultPlanError::Parse(
+                "plan file is empty — expected a JSON object with fields `seed`, `sweep`, \
+                 `disabled_slices`, `links`, `routers`, `transient`"
+                    .to_string(),
+            ));
+        }
         serde_json::from_str(s).map_err(|e| FaultPlanError::Parse(e.to_string()))
     }
 
@@ -556,7 +701,7 @@ impl FaultPlan {
 }
 
 /// Configuration for [`FaultPlan::generate`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultGenConfig {
     /// Plan seed (drives both generation and later simulation draws).
     pub seed: u64,
@@ -580,6 +725,19 @@ pub struct FaultGenConfig {
     pub transient_corrupt_prob: f64,
     /// Onset cycle for every injected fault.
     pub onset: u64,
+    /// Onset storm: when non-zero, each fault's onset is drawn independently
+    /// from `onset ..= onset + onset_storm_span` instead of all faults
+    /// manifesting at the same cycle — a rolling wave of failures that
+    /// forces repeated route-table recomputation mid-traffic. Zero keeps the
+    /// legacy shared onset (and bit-identical plans for old configs).
+    pub onset_storm_span: u64,
+    /// Optional correlated regional failure (a cluster of dead links around
+    /// one router) layered on top of the die-wide dead-link fraction.
+    pub region: Option<RegionFault>,
+    /// Optional flaky-link burst (a contiguous cluster of links that all
+    /// turn flaky at one cycle) layered on top of the independent flaky
+    /// links.
+    pub burst: Option<FlakyBurst>,
     /// L2 slices on the target device (0 = don't disable slices).
     pub num_slices: u32,
     /// Number of slices to disable.
@@ -603,11 +761,81 @@ impl FaultGenConfig {
             transient_drop_prob: 0.0,
             transient_corrupt_prob: 0.0,
             onset: 0,
+            onset_storm_span: 0,
+            region: None,
+            burst: None,
             num_slices: 0,
             disabled_slice_count: 0,
             sweep: None,
         }
     }
+
+    /// Validates every generator knob before a plan is built, naming the
+    /// offending field: mesh dimensions non-zero, all fractions and
+    /// probabilities in `[0, 1]`, region centre on the die, and the slice
+    /// request leaving at least one slice alive. `faults gen` runs this so a
+    /// typo like `--flaky-prob 1.5` is a hard error instead of a silently
+    /// saved invalid plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let field = |field: &'static str, value: f64| FaultPlanError::BadGenField { field, value };
+        if self.width == 0 || self.height == 0 {
+            return Err(field(if self.width == 0 { "width" } else { "height" }, 0.0));
+        }
+        if !(0.0..=1.0).contains(&self.dead_link_fraction) {
+            return Err(field("dead_link_fraction", self.dead_link_fraction));
+        }
+        if !(0.0..=1.0).contains(&self.flaky_drop_prob) {
+            return Err(field("flaky_drop_prob", self.flaky_drop_prob));
+        }
+        if !(0.0..=1.0).contains(&self.transient_drop_prob) {
+            return Err(field("transient_drop_prob", self.transient_drop_prob));
+        }
+        if !(0.0..=1.0).contains(&self.transient_corrupt_prob) {
+            return Err(field("transient_corrupt_prob", self.transient_corrupt_prob));
+        }
+        if let Some(region) = &self.region {
+            if !(0.0..=1.0).contains(&region.dead_fraction) {
+                return Err(field("region.dead_fraction", region.dead_fraction));
+            }
+            if region.center >= self.width * self.height {
+                return Err(FaultPlanError::RouterOutOfRange {
+                    router: region.center,
+                    num_routers: self.width * self.height,
+                });
+            }
+        }
+        if let Some(burst) = &self.burst {
+            if !(0.0..=1.0).contains(&burst.drop_prob) {
+                return Err(field("burst.drop_prob", burst.drop_prob));
+            }
+        }
+        if self.num_slices > 0 && self.disabled_slice_count >= self.num_slices {
+            return Err(FaultPlanError::AllSlicesDisabled);
+        }
+        Ok(())
+    }
+}
+
+/// Per-fault onset draw: the shared onset when no storm is configured,
+/// otherwise uniform over the storm window. The `span == 0` fast path makes
+/// no RNG draw, keeping legacy configs bit-identical.
+fn draw_onset(base: u64, span: u64, rng: &mut StdRng) -> u64 {
+    if span == 0 {
+        base
+    } else {
+        base + rng.gen_range(0..=span)
+    }
+}
+
+/// Manhattan distance between two routers on a `width`-wide mesh.
+fn manhattan(a: u32, b: u32, width: u32) -> u32 {
+    let (ax, ay) = (a % width, a / width);
+    let (bx, by) = (b % width, b / width);
+    ax.abs_diff(bx) + ay.abs_diff(by)
 }
 
 fn check_prob(p: f64) -> Result<(), FaultPlanError> {
@@ -818,6 +1046,168 @@ mod tests {
         for dir in Direction::ALL {
             assert_eq!(dir.opposite().opposite(), dir);
         }
+    }
+
+    #[test]
+    fn onset_storm_scatters_onsets_within_the_window() {
+        let mut cfg = degraded_cfg(5);
+        cfg.dead_link_fraction = 0.15;
+        cfg.onset = 100;
+        cfg.onset_storm_span = 500;
+        let plan = FaultPlan::generate(&cfg);
+        plan.validate_for_mesh(6, 6).unwrap();
+        let onsets: Vec<u64> = plan.links.iter().map(|l| l.onset).collect();
+        assert!(onsets.iter().all(|&o| (100..=600).contains(&o)));
+        let distinct: std::collections::HashSet<u64> = onsets.iter().copied().collect();
+        assert!(distinct.len() > 1, "storm must scatter onsets: {onsets:?}");
+        // Both directions of a physically dead edge die at the same cycle.
+        for l in plan
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+        {
+            let n = l.dir.neighbour(l.router, 6, 6).unwrap();
+            let twin = plan
+                .links
+                .iter()
+                .find(|t| t.router == n && t.dir == l.dir.opposite())
+                .expect("dead links come in pairs");
+            assert_eq!(l.onset, twin.onset);
+        }
+    }
+
+    #[test]
+    fn regional_failure_concentrates_dead_links_and_stays_connected() {
+        let region = RegionFault {
+            center: 14, // (2, 2) on a 6-wide mesh
+            radius: 2,
+            dead_fraction: 0.5,
+        };
+        let plan = FaultPlan::generate(&FaultGenConfig {
+            region: Some(region),
+            ..FaultGenConfig::benign(21, 6, 6)
+        });
+        plan.validate_for_mesh(6, 6).unwrap();
+        let dead = plan.dead_undirected_edges(6, 6);
+        assert!(!dead.is_empty(), "a half-dead region must kill something");
+        for &(a, b) in &dead {
+            assert!(manhattan(a, 14, 6) <= 2 && manhattan(b, 14, 6) <= 2);
+        }
+        assert!(mesh_connected(6, 6, &dead));
+    }
+
+    #[test]
+    fn flaky_burst_is_contiguous_and_shares_the_onset() {
+        let burst = FlakyBurst {
+            links: 5,
+            drop_prob: 0.4,
+            onset: 77,
+        };
+        let plan = FaultPlan::generate(&FaultGenConfig {
+            burst: Some(burst),
+            ..FaultGenConfig::benign(9, 6, 6)
+        });
+        plan.validate_for_mesh(6, 6).unwrap();
+        let flaky: Vec<_> = plan
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Flaky { .. }))
+            .collect();
+        assert_eq!(flaky.len(), 5);
+        assert!(flaky.iter().all(|l| l.onset == 77));
+        // Contiguity: the routers touched by the burst form one connected
+        // patch of the mesh.
+        let mut touched: Vec<u32> = flaky.iter().map(|l| l.router).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for window in touched.windows(2) {
+            assert!(
+                touched
+                    .iter()
+                    .any(|&o| o != window[1] && manhattan(o, window[1], 6) <= 1),
+                "burst routers must be adjacent: {touched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn widened_fields_default_benign_and_keep_old_plans_identical() {
+        // A config that never touches the new knobs must produce the same
+        // plan it did before they existed (no extra RNG draws).
+        let plan = FaultPlan::generate(&degraded_cfg(7));
+        let again = FaultPlan::generate(&degraded_cfg(7));
+        assert_eq!(plan, again);
+        assert_eq!(FaultGenConfig::benign(1, 4, 4).onset_storm_span, 0);
+        assert!(FaultGenConfig::benign(1, 4, 4).region.is_none());
+        assert!(FaultGenConfig::benign(1, 4, 4).burst.is_none());
+    }
+
+    #[test]
+    fn generator_validation_names_the_offending_field() {
+        let mut cfg = FaultGenConfig::benign(1, 6, 6);
+        cfg.flaky_drop_prob = 1.5;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::BadGenField {
+                field: "flaky_drop_prob",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("flaky_drop_prob"));
+        assert!(FaultPlan::try_generate(&cfg).is_err());
+
+        let mut cfg = FaultGenConfig::benign(1, 6, 6);
+        cfg.region = Some(RegionFault {
+            center: 99,
+            radius: 1,
+            dead_fraction: 0.1,
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(FaultPlanError::RouterOutOfRange { router: 99, .. })
+        ));
+
+        let mut cfg = FaultGenConfig::benign(1, 6, 6);
+        cfg.num_slices = 4;
+        cfg.disabled_slice_count = 4;
+        assert_eq!(cfg.validate(), Err(FaultPlanError::AllSlicesDisabled));
+
+        assert!(FaultGenConfig::benign(1, 6, 6).validate().is_ok());
+        assert!(FaultPlan::try_generate(&degraded_cfg(3)).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_file_gets_a_named_field_diagnostic() {
+        let err = FaultPlan::from_json("").unwrap_err();
+        assert!(err.to_string().contains("plan file is empty"));
+        assert!(err.to_string().contains("`seed`"));
+        let err = FaultPlan::from_json("   \n\t ").unwrap_err();
+        assert!(err.to_string().contains("plan file is empty"));
+        // Non-empty but wrong JSON still names the first missing field.
+        let err = FaultPlan::from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("seed"), "got: {err}");
+    }
+
+    #[test]
+    fn gen_config_round_trips_through_json() {
+        let cfg = FaultGenConfig {
+            onset_storm_span: 64,
+            region: Some(RegionFault {
+                center: 7,
+                radius: 2,
+                dead_fraction: 0.3,
+            }),
+            burst: Some(FlakyBurst {
+                links: 4,
+                drop_prob: 0.2,
+                onset: 10,
+            }),
+            ..degraded_cfg(13)
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FaultGenConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum NocError {
     FaultPlan(FaultPlanError),
     /// A fault plan was applied to a mesh that already has one.
     PlanAlreadyApplied,
+    /// The mesh configuration itself is unusable; the message names the
+    /// offending field.
+    Config(&'static str),
+    /// A submitted transfer names a node outside the mesh.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Terminals in the mesh.
+        num_nodes: u32,
+    },
 }
 
 impl std::fmt::Display for NocError {
@@ -51,6 +61,10 @@ impl std::fmt::Display for NocError {
         match self {
             Self::FaultPlan(e) => write!(f, "fault plan rejected: {e}"),
             Self::PlanAlreadyApplied => f.write_str("mesh already has a fault plan applied"),
+            Self::Config(msg) => write!(f, "invalid mesh config: {msg}"),
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range ({num_nodes} terminals)")
+            }
         }
     }
 }
@@ -59,7 +73,7 @@ impl std::error::Error for NocError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::FaultPlan(e) => Some(e),
-            Self::PlanAlreadyApplied => None,
+            _ => None,
         }
     }
 }

@@ -79,6 +79,26 @@ impl MeshConfig {
     pub fn num_nodes(&self) -> usize {
         self.width * self.height
     }
+
+    /// Validates the configuration, naming the offending field — the typed
+    /// twin of the construction-time panics, for callers (like the chaos
+    /// harness) that build meshes from fuzzed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] on the first unusable field.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.width == 0 || self.height == 0 {
+            return Err(NocError::Config("mesh must be non-empty"));
+        }
+        if self.buffer_packets == 0 {
+            return Err(NocError::Config("buffers must hold at least 1 packet"));
+        }
+        if self.vcs == 0 {
+            return Err(NocError::Config("need at least one virtual channel"));
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -241,6 +261,10 @@ pub struct Mesh {
     corrupted: HashSet<u64>,
     /// Last cycle on which any packet moved — drives the external watchdog.
     last_progress: u64,
+    /// Test hook: route greedily (no up*/down* discipline), re-introducing
+    /// the historical deadlock bug for the chaos harness to catch.
+    #[cfg(feature = "bug-hooks")]
+    greedy_routing: bool,
 }
 
 impl Mesh {
@@ -248,21 +272,28 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension or the buffer size is zero.
+    /// Panics if any dimension or the buffer size is zero; use
+    /// [`Mesh::try_new`] for a typed error instead.
     pub fn new(cfg: MeshConfig) -> Self {
-        assert!(cfg.width > 0 && cfg.height > 0, "mesh must be non-empty");
-        assert!(
-            cfg.buffer_packets > 0,
-            "buffers must hold at least 1 packet"
-        );
-        assert!(cfg.vcs > 0, "need at least one virtual channel");
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an idle mesh, rejecting an unusable configuration with a typed
+    /// error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when a dimension, the buffer size, or
+    /// the VC count is zero.
+    pub fn try_new(cfg: MeshConfig) -> Result<Self, NocError> {
+        cfg.validate()?;
         let n = cfg.num_nodes();
         let router = Router {
             inputs: vec![vec![VecDeque::new(); cfg.vcs]; NUM_PORTS],
             arbiters: (0..NUM_PORTS).map(|_| Arbiter::new(cfg.arbiter)).collect(),
             output_busy_until: vec![0; NUM_PORTS],
         };
-        Self {
+        Ok(Self {
             cfg,
             routers: vec![router; n],
             cycle: 0,
@@ -281,7 +312,21 @@ impl Mesh {
             lost: Vec::new(),
             corrupted: HashSet::new(),
             last_progress: 0,
-        }
+            #[cfg(feature = "bug-hooks")]
+            greedy_routing: false,
+        })
+    }
+
+    /// **Test hook (feature `bug-hooks`).** Re-introduces the pre-up*/down*
+    /// greedy reroute policy: fault-aware next-hop tables take arbitrary
+    /// minimal detours with no turn discipline, which is exactly the routing
+    /// that wormhole-deadlocked single-VC buffers before the discipline was
+    /// added. Exists solely so the chaos harness can prove its deadlock
+    /// oracle catches the bug. Call before the first cycle runs; tables
+    /// computed afterwards (at fault onsets) use the buggy policy.
+    #[cfg(feature = "bug-hooks")]
+    pub fn enable_greedy_reroute_bug(&mut self) {
+        self.greedy_routing = true;
     }
 
     /// Applies a fault plan to this mesh. Dead and flaky links, router
@@ -325,6 +370,11 @@ impl Mesh {
         }
         self.faults = faults;
         Ok(())
+    }
+
+    /// The mesh's configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
     }
 
     /// The applied fault plan, if any.
@@ -604,7 +654,16 @@ impl Mesh {
         // A hop from state (v, entry p) to u is legal unless the packet
         // already descended (it arrived over a down link) and the hop would
         // climb again. Fresh injections (entry LOCAL) may go anywhere.
+        #[cfg(feature = "bug-hooks")]
+        let greedy = self.greedy_routing;
+        #[cfg(not(feature = "bug-hooks"))]
+        let greedy = false;
         let hop_ok = |v: usize, p: usize, u: usize| -> bool {
+            if greedy {
+                // Bug hook: no turn discipline at all — arbitrary minimal
+                // detours, which can wormhole-deadlock single-VC buffers.
+                return true;
+            }
             match self.neighbour_checked(v, p) {
                 None => true,
                 Some(prev) => !is_down(prev, v) || is_down(v, u),

@@ -232,7 +232,7 @@ impl ReliableMesh {
         plan: &FaultPlan,
         cfg: RetryConfig,
     ) -> Result<Self, NocError> {
-        let mut mesh = Mesh::new(mesh_cfg);
+        let mut mesh = Mesh::try_new(mesh_cfg)?;
         mesh.apply_fault_plan(plan)?;
         Ok(Self::new(mesh, cfg))
     }
@@ -286,6 +286,33 @@ impl ReliableMesh {
         self.stats.submitted += 1;
         self.outstanding += 1;
         id
+    }
+
+    /// [`ReliableMesh::submit`] with the endpoints range-checked first — the
+    /// entry point for fuzzed traffic, where an out-of-range node must be a
+    /// typed error rather than a downstream panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] when `src` or `dst` is not a
+    /// terminal of the wrapped mesh.
+    pub fn submit_checked(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        class: PacketClass,
+    ) -> Result<TransferId, NocError> {
+        let num_nodes = self.mesh.config().num_nodes() as u32;
+        for node in [src, dst] {
+            if node.index() as u32 >= num_nodes {
+                return Err(NocError::NodeOutOfRange {
+                    node: node.index() as u32,
+                    num_nodes,
+                });
+            }
+        }
+        Ok(self.submit(src, dst, flits, class))
     }
 
     /// Current state of a transfer.

@@ -128,6 +128,34 @@ proptest! {
     }
 
     #[test]
+    fn flaky_plans_below_certain_loss_deliver_or_report_everything(
+        (seed, width, height, flaky, drop_p) in
+            (1u64..1_000_000, 3u32..7, 3u32..7, 1u32..5, 0.0f64..0.95)
+    ) {
+        // Flaky-only plans (no dead links, so the mesh stays fully routable)
+        // with per-hop drop probability strictly below 1.0: every retry has
+        // a chance, so the retry protocol must resolve every submission —
+        // delivered, or lost with an explicit retries-exhausted/watchdog
+        // reason once the budget runs out. No silent disappearance at any
+        // drop rate.
+        let plan = FaultPlan::generate(&FaultGenConfig {
+            flaky_links: flaky,
+            flaky_drop_prob: drop_p,
+            ..FaultGenConfig::benign(seed, width, height)
+        });
+        let (quiesced, outcomes, stats) = run_plan(&plan, width, height);
+        prop_assert!(quiesced, "flaky links must never wedge the mesh: {plan:?}");
+        prop_assert_eq!(outcomes.len(), TRANSFERS);
+        for (i, o) in outcomes.iter().enumerate() {
+            prop_assert!(o.is_resolved(), "transfer {i} unresolved: {o:?}");
+        }
+        // Flaky-only plans keep every route, so unroutable losses are
+        // impossible; only retries-exhausted/watchdog losses may remain.
+        prop_assert_eq!(stats.lost_unroutable, 0);
+        prop_assert_eq!(stats.delivered + stats.lost_total(), stats.submitted);
+    }
+
+    #[test]
     fn connected_dead_only_plans_lose_nothing(
         (seed, width, height, dead) in (1u64..1_000_000, 3u32..7, 3u32..7, 0.0f64..0.10)
     ) {
@@ -146,4 +174,57 @@ proptest! {
         prop_assert!(stats.lost_total() == 0, "lost {} under {plan:?}", stats.lost_total());
         prop_assert_eq!(stats.delivered, TRANSFERS as u64);
     }
+}
+
+/// Mean retry count over a seed ensemble is monotone in the flaky drop
+/// rate: more drops can only mean more timeouts and retransmissions. A
+/// fault-free mesh retries exactly zero times.
+#[test]
+fn retry_counts_are_monotone_in_drop_rate() {
+    const SEEDS: u64 = 8;
+    const DROP_LEVELS: [f64; 3] = [0.0, 0.2, 0.45];
+    let mut means = [0.0f64; 3];
+    for (level, &drop_p) in DROP_LEVELS.iter().enumerate() {
+        let mut total_retries = 0u64;
+        for seed in 1..=SEEDS {
+            let plan = FaultPlan::generate(&FaultGenConfig {
+                flaky_links: 6,
+                flaky_drop_prob: drop_p,
+                ..FaultGenConfig::benign(seed, 5, 5)
+            });
+            let cfg = MeshConfig {
+                width: 5,
+                height: 5,
+                buffer_packets: 4,
+                arbiter: ArbiterKind::RoundRobin,
+                route_order: RouteOrder::Xy,
+                vcs: 1,
+            };
+            let mut rm = ReliableMesh::with_faults(cfg, &plan, RetryConfig::default())
+                .expect("flaky-only plans validate");
+            let mut state = seed ^ 0x5e7a_11ab_1e5e_ed05;
+            let mut submitted = 0;
+            while submitted < 200 {
+                let src = (mix(&mut state) % 25) as u32;
+                let dst = (mix(&mut state) % 25) as u32;
+                if src == dst {
+                    continue;
+                }
+                rm.submit(NodeId(src), NodeId(dst), 1, PacketClass::Request);
+                submitted += 1;
+            }
+            assert!(rm.run_until_quiescent(3_000_000));
+            total_retries += rm.stats().retries;
+        }
+        means[level] = total_retries as f64 / SEEDS as f64;
+    }
+    assert_eq!(means[0], 0.0, "a drop rate of zero must never retry");
+    assert!(
+        means[0] <= means[1] && means[1] <= means[2],
+        "mean retries must be non-decreasing in drop rate: {means:?}"
+    );
+    assert!(
+        means[2] > means[0],
+        "heavy flakiness must actually force retries: {means:?}"
+    );
 }
