@@ -9,9 +9,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release && cargo test -q =="
+echo "== tier-1: cargo build --release && cargo test -q (GNOC_JOBS=2) =="
 cargo build --release
-cargo test -q
+# GNOC_JOBS=2 routes every env-resolved worker pool through the parallel
+# path; all results are asserted bit-identical to serial, so this only
+# widens coverage, never changes expectations.
+GNOC_JOBS=2 cargo test -q
+
+echo "== bench: serial-vs-parallel wall time (BENCH_par.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_par -- BENCH_par.json
 
 echo "== fault suite smoke: plan round-trip + degraded campaign =="
 cargo test -q -p gnoc-faults
@@ -32,7 +38,7 @@ echo "== chaos: bounded soak (fixed seeds, wall deadline) =="
 # A violation prints the oracle name plus the shrunk reproducer path and
 # exits nonzero, failing the gate.
 cargo run --release -q -p gnoc-cli --bin gnoc -- \
-    chaos run --seeds 0..12 --wall-ms 120000 \
+    --jobs 2 chaos run --seeds 0..12 --wall-ms 120000 \
     --state "$tmp/chaos-state.json" --repro-dir "$tmp/repros"
 
 echo "ci.sh: all green"

@@ -55,7 +55,44 @@ pub fn correlation_clusters(corr: &[Vec<f64>], threshold: f64) -> Vec<usize> {
             }
         }
     }
-    // Canonicalise labels in first-appearance order.
+    canonical_labels(&mut uf)
+}
+
+/// Parallel [`correlation_clusters`]: edge detection (the O(n²) threshold
+/// scan) fans out across the pool's workers; the unions are then applied
+/// sequentially in the same row-major `(i, j)` order the serial version
+/// uses, so the resulting labels are identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `corr` is ragged.
+pub fn correlation_clusters_par(
+    corr: &[Vec<f64>],
+    threshold: f64,
+    pool: &gnoc_par::WorkerPool,
+) -> Vec<usize> {
+    let n = corr.len();
+    let edges_per_row: Vec<Vec<usize>> = pool.par_map(corr, |row| {
+        assert_eq!(row.len(), n, "correlation matrix must be square");
+        row.iter()
+            .enumerate()
+            .filter(|&(_, &r)| r >= threshold)
+            .map(|(j, _)| j)
+            .collect()
+    });
+    let mut uf = UnionFind::new(n);
+    for (i, edges) in edges_per_row.iter().enumerate() {
+        for &j in edges.iter().filter(|&&j| j > i) {
+            uf.union(i, j);
+        }
+    }
+    canonical_labels(&mut uf)
+}
+
+/// Canonicalises union-find roots into labels `0..k` in first-appearance
+/// order, shared by the serial and parallel cluster entry points.
+fn canonical_labels(uf: &mut UnionFind) -> Vec<usize> {
+    let n = uf.parent.len();
     let mut labels = Vec::with_capacity(n);
     let mut next = 0;
     let mut root_label = std::collections::HashMap::new();
@@ -152,6 +189,24 @@ mod tests {
         let r = rand_index(&[0, 0, 0, 0], &[0, 0, 1, 1]);
         assert!(r < 1.0);
         assert!((r - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_clusters_are_identical_to_serial() {
+        // Chain structure exercises union ordering: labels must still come
+        // out in first-appearance order regardless of worker count.
+        let corr = vec![
+            vec![1.0, 0.95, 0.2, 0.0, 0.0],
+            vec![0.95, 1.0, 0.95, 0.0, 0.0],
+            vec![0.2, 0.95, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 0.99],
+            vec![0.0, 0.0, 0.0, 0.99, 1.0],
+        ];
+        let serial = correlation_clusters(&corr, 0.9);
+        for jobs in [1, 2, 7] {
+            let pool = gnoc_par::WorkerPool::new(jobs);
+            assert_eq!(correlation_clusters_par(&corr, 0.9, &pool), serial);
+        }
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! The paper's analyses reduce to a handful of primitives, all implemented
 //! here without external math dependencies:
 //!
-//! - [`Summary`], [`quantile`], [`argsort`] — sample statistics;
+//! - [`Summary`], [`quantile`], [`Quantiles`], [`argsort`] — sample
+//!   statistics ([`Quantiles`] sorts once for multi-quantile reports);
 //! - [`pearson`], [`correlation_matrix`] — the paper's Eq. 1, used for both
 //!   placement recovery (Fig. 6) and the AES attack (Fig. 18);
+//!   [`correlation_matrix_par`] / [`correlation_clusters_par`] fan the O(n²)
+//!   work across a [`gnoc_par::WorkerPool`] with bit-identical results;
 //! - [`Histogram`] with peak detection — latency/bandwidth distributions
 //!   (Figs. 2, 9, 13);
 //! - [`render_heatmap`] — ASCII heatmaps (Figs. 6, 16);
@@ -42,10 +45,10 @@ mod pearson;
 mod stats;
 pub mod svg;
 
-pub use cluster::{cluster_count, correlation_clusters, rand_index};
+pub use cluster::{cluster_count, correlation_clusters, correlation_clusters_par, rand_index};
 pub use grouping::{group_order_agreement, same_group_order, sorted_members_by_group};
 pub use heatmap::{render_heatmap, render_traffic_map};
 pub use histogram::Histogram;
 pub use linreg::LinearFit;
-pub use pearson::{correlation_matrix, pearson, spearman};
-pub use stats::{argsort, quantile, Summary};
+pub use pearson::{correlation_matrix, correlation_matrix_par, pearson, spearman};
+pub use stats::{argsort, quantile, Quantiles, Summary};

@@ -57,6 +57,34 @@ pub fn correlation_matrix(profiles: &[Vec<f64>]) -> Vec<Vec<f64>> {
     m
 }
 
+/// Parallel [`correlation_matrix`]: upper-triangle rows are computed across
+/// the pool's workers, then mirrored. Bit-identical to the serial version for
+/// any worker count because each `(i, j)` entry is an independent pure
+/// function of the two input rows — no accumulation order changes.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn correlation_matrix_par(profiles: &[Vec<f64>], pool: &gnoc_par::WorkerPool) -> Vec<Vec<f64>> {
+    let n = profiles.len();
+    let rows: Vec<usize> = (0..n).collect();
+    // Each task computes one upper-triangle row `i`: entries for j in i..n.
+    let upper: Vec<Vec<f64>> = pool.par_map(&rows, |&i| {
+        (i..n)
+            .map(|j| pearson(&profiles[i], &profiles[j]))
+            .collect()
+    });
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, tail) in upper.into_iter().enumerate() {
+        for (off, r) in tail.into_iter().enumerate() {
+            let j = i + off;
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
 /// Spearman rank correlation: Pearson correlation of the ranks, robust to
 /// monotone nonlinearity and outliers. Ties receive their average rank.
 ///
@@ -139,6 +167,18 @@ mod tests {
             }
         }
         assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..17).map(|j| ((i * 31 + j * 7) % 13) as f64).collect())
+            .collect();
+        let serial = correlation_matrix(&rows);
+        for jobs in [1, 2, 7] {
+            let pool = gnoc_par::WorkerPool::new(jobs);
+            assert_eq!(correlation_matrix_par(&rows, &pool), serial);
+        }
     }
 
     #[test]

@@ -64,21 +64,76 @@ impl std::fmt::Display for Summary {
     }
 }
 
+/// A sorted-once multi-quantile view of a sample set.
+///
+/// [`quantile`] clones and sorts the full sample set on every call, so a
+/// caller reporting p50/p95/p99 pays three O(n log n) sorts. `Quantiles`
+/// sorts once at construction; each [`q`](Self::q) lookup is then O(1)
+/// linear interpolation over the shared sorted buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Sorts `samples` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a non-finite value.
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "quantile of empty sample set");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Quantiles { sorted }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn q(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (`q(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.q(0.5)
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+}
+
 /// The `q`-quantile (0 ≤ q ≤ 1) of `samples` by linear interpolation.
+///
+/// Thin wrapper over [`Quantiles`] — callers needing several quantiles of
+/// one sample set should construct a [`Quantiles`] and reuse it, avoiding a
+/// re-sort per call.
 ///
 /// # Panics
 ///
 /// Panics if `samples` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
-    assert!(!samples.is_empty(), "quantile of empty sample set");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    Quantiles::new(samples).q(q)
 }
 
 /// Indices that sort `values` ascending — the slice-ordering primitive behind

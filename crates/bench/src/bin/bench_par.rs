@@ -1,0 +1,97 @@
+//! Serial-vs-parallel wall-time benchmark for the deterministic execution
+//! layer (`gnoc-par`).
+//!
+//! Runs two representative hot paths at `jobs ∈ {1, 4}`:
+//!
+//! 1. the full A100 row-seeded latency campaign (108 SM rows + the 108×108
+//!    correlation matrix), and
+//! 2. a 100-seed NoC-only chaos soak with shrinking enabled,
+//!
+//! asserts the parallel results are bit-identical to serial, and writes the
+//! timings as JSON rows `{bench, jobs, wall_ms}` to `BENCH_par.json` (or the
+//! path given as the first argument).
+//!
+//! Wall times are machine-dependent; on a single-core container the jobs=4
+//! rows are expected to be no faster than jobs=1 (the scheduler just
+//! time-slices the workers) — the artifact still documents that the knob
+//! changes wall time only, never results.
+
+use gnoc_chaos::{run_chaos, ChaosConfig, ChaosOptions};
+use gnoc_core::telemetry::TelemetryHandle;
+use gnoc_core::{LatencyCampaign, LatencyProbe, WorkerPool};
+use std::time::Instant;
+
+const JOB_COUNTS: [usize; 2] = [1, 4];
+
+struct Row {
+    bench: &'static str,
+    jobs: usize,
+    wall_ms: u64,
+}
+
+fn campaign(jobs: usize) -> (LatencyCampaign, u64) {
+    let pool = WorkerPool::new(jobs);
+    let start = Instant::now();
+    let result = LatencyCampaign::run_par("a100", 42, &LatencyProbe::default(), None, &pool)
+        .expect("a100 is a known preset");
+    (result, start.elapsed().as_millis() as u64)
+}
+
+fn soak(jobs: usize) -> (gnoc_chaos::ChaosReport, u64) {
+    let cfg = ChaosConfig {
+        device: None, // NoC-only: the device oracles are covered elsewhere
+        ..ChaosConfig::default()
+    };
+    let opts = ChaosOptions {
+        seeds: (0..100).collect(),
+        shrink: true,
+        jobs,
+        ..ChaosOptions::default()
+    };
+    let start = Instant::now();
+    let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).expect("soak must not error");
+    assert!(run.finished);
+    (run.report, start.elapsed().as_millis() as u64)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_par.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    let (campaign_ref, _) = campaign(1);
+    let (soak_ref, _) = soak(1);
+    for jobs in JOB_COUNTS {
+        let (result, wall_ms) = campaign(jobs);
+        assert_eq!(result, campaign_ref, "campaign diverged at jobs={jobs}");
+        println!("campaign_a100      jobs={jobs}  {wall_ms} ms");
+        rows.push(Row {
+            bench: "campaign_a100",
+            jobs,
+            wall_ms,
+        });
+
+        let (report, wall_ms) = soak(jobs);
+        assert_eq!(report, soak_ref, "soak report diverged at jobs={jobs}");
+        println!("chaos_soak_100     jobs={jobs}  {wall_ms} ms");
+        rows.push(Row {
+            bench: "chaos_soak_100",
+            jobs,
+            wall_ms,
+        });
+    }
+
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"bench\": \"{}\", \"jobs\": {}, \"wall_ms\": {}}}",
+                r.bench, r.jobs, r.wall_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(&out, format!("[\n{body}\n]\n")).expect("write benchmark artifact");
+    println!("wrote {out} (results bit-identical across all job counts)");
+}

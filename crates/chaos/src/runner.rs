@@ -12,6 +12,7 @@ use gnoc_core::noc::{NodeId, PacketClass, RouteOrder};
 use gnoc_core::telemetry::TelemetryHandle;
 use gnoc_core::{
     device_for_preset, ArbiterKind, CheckpointedCampaign, FaultPlan, MeshConfig, ReliableMesh,
+    WorkerPool,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -237,6 +238,12 @@ pub struct ChaosOptions {
     /// Directory for reproducer JSON files (created on demand); `None`
     /// records violations in the report only.
     pub repro_dir: Option<PathBuf>,
+    /// Worker count for iteration fan-out (0 and 1 both mean serial).
+    /// Iterations are computed in parallel batches, but their results are
+    /// folded into the report *in seed order*, and the state file is still
+    /// rewritten after every folded iteration — the report, state, and
+    /// reproducers are bit-identical for any value of `jobs`.
+    pub jobs: usize,
 }
 
 /// Outcome of [`run_chaos`].
@@ -498,7 +505,8 @@ pub fn replay(repro: &Reproducer) -> IterationOutcome {
 
 /// Runs a chaos soak over `opts.seeds` (or the pending seeds of a resumed
 /// state file), evaluating every oracle, shrinking and recording failures,
-/// and persisting resumable state. Deterministic in (config, seeds); the
+/// and persisting resumable state. Deterministic in (config, seeds) — never
+/// in `opts.jobs`, which only fans iteration computation across workers; the
 /// wall budget only decides how far the run gets.
 ///
 /// # Errors
@@ -530,64 +538,65 @@ pub fn run_chaos(
         _ => (opts.seeds.clone(), ChaosReport::new(cfg.clone())),
     };
 
+    let pool = {
+        let mut p = WorkerPool::new(opts.jobs.max(1));
+        p.set_telemetry(telemetry.clone());
+        p
+    };
+    // Serial pools run one seed per batch (the exact historical cadence);
+    // parallel pools pull two seeds per worker so a slow iteration does not
+    // idle the rest of the pool.
+    let batch_size = if pool.jobs() <= 1 { 1 } else { pool.jobs() * 2 };
+
     let started = Instant::now();
     let mut finished = true;
-    while let Some(&seed) = pending.first() {
+    while !pending.is_empty() {
         if let Some(budget) = opts.wall_budget_ms {
             if started.elapsed().as_millis() as u64 >= budget {
                 finished = false;
                 break;
             }
         }
-        let plan = cfg.plan_for_seed(seed, num_slices);
-        let run_device =
-            cfg.device.is_some() && cfg.device_every > 0 && seed % cfg.device_every == 0;
-        let outcome = run_iteration(cfg, seed, &plan, run_device);
+        // Compute the batch in parallel: each seed's iteration (and its
+        // shrinks) is a pure function of (config, seed), so workers never
+        // race. Everything order-sensitive — telemetry, reproducer I/O,
+        // report folding, state saves — happens below, in seed order.
+        let take = batch_size.min(pending.len());
+        let batch: Vec<u64> = pending[..take].to_vec();
+        let results = pool.par_map(&batch, |&seed| {
+            process_seed(cfg, seed, num_slices, opts.shrink)
+        });
 
-        pending.remove(0);
-        report.completed_seeds.push(seed);
-        telemetry.counter_add("chaos.seeds", 1);
-        for kind in &outcome.passes {
-            *report
-                .oracle_passes
-                .entry(kind.name().to_string())
-                .or_insert(0) += 1;
-            telemetry.counter_add(&format!("chaos.oracle.{}.pass", kind.name()), 1);
-        }
-        if outcome.panicked {
-            report.panics += 1;
-            telemetry.counter_add("chaos.panics", 1);
-        }
-        for v in outcome.violations {
-            telemetry.counter_add("chaos.violations", 1);
-            let atoms_before = decompose(&plan, cfg.width, cfg.height).len();
-            let mut rec = ViolationRecord {
-                oracle: v.oracle,
-                seed,
-                detail: v.detail,
-                plan: plan.clone(),
-                shrunk: None,
-                atoms_before,
-                atoms_after: None,
-                reproducer: None,
-            };
-            if opts.shrink {
-                let shrunk = shrink_violation(cfg, seed, &plan, v.oracle, run_device);
-                rec.atoms_after = Some(decompose(&shrunk, cfg.width, cfg.height).len());
-                rec.shrunk = Some(shrunk);
+        for sr in results {
+            pending.remove(0);
+            report.completed_seeds.push(sr.seed);
+            telemetry.counter_add("chaos.seeds", 1);
+            for kind in &sr.outcome.passes {
+                *report
+                    .oracle_passes
+                    .entry(kind.name().to_string())
+                    .or_insert(0) += 1;
+                telemetry.counter_add(&format!("chaos.oracle.{}.pass", kind.name()), 1);
             }
-            if let Some(dir) = &opts.repro_dir {
-                rec.reproducer = Some(write_reproducer(dir, cfg, &rec)?);
+            if sr.outcome.panicked {
+                report.panics += 1;
+                telemetry.counter_add("chaos.panics", 1);
             }
-            report.violations.push(rec);
-        }
-        if let Some(path) = &opts.state_path {
-            ChaosState {
-                version: CHAOS_STATE_VERSION,
-                pending: pending.clone(),
-                report: report.clone(),
+            for mut rec in sr.records {
+                telemetry.counter_add("chaos.violations", 1);
+                if let Some(dir) = &opts.repro_dir {
+                    rec.reproducer = Some(write_reproducer(dir, cfg, &rec)?);
+                }
+                report.violations.push(rec);
             }
-            .save(path)?;
+            if let Some(path) = &opts.state_path {
+                ChaosState {
+                    version: CHAOS_STATE_VERSION,
+                    pending: pending.clone(),
+                    report: report.clone(),
+                }
+                .save(path)?;
+            }
         }
     }
 
@@ -596,6 +605,53 @@ pub fn run_chaos(
         pending,
         report,
     })
+}
+
+/// Everything one seed's iteration produces, computed worker-side (the
+/// iteration itself, plus any ddmin shrinks — both deterministic per seed).
+/// Reproducer paths are filled in later by the sequential fold.
+struct SeedOutcome {
+    seed: u64,
+    outcome: IterationOutcome,
+    records: Vec<ViolationRecord>,
+}
+
+/// The pure per-seed work of a chaos run: plan generation, the iteration,
+/// and (when requested) shrinking each violation. Safe to run on any worker
+/// because its result depends only on `(cfg, seed, num_slices, shrink)`.
+fn process_seed(cfg: &ChaosConfig, seed: u64, num_slices: u32, shrink: bool) -> SeedOutcome {
+    let plan = cfg.plan_for_seed(seed, num_slices);
+    let run_device =
+        cfg.device.is_some() && cfg.device_every > 0 && seed.is_multiple_of(cfg.device_every);
+    let outcome = run_iteration(cfg, seed, &plan, run_device);
+    let atoms_before = decompose(&plan, cfg.width, cfg.height).len();
+    let records = outcome
+        .violations
+        .iter()
+        .map(|v| {
+            let mut rec = ViolationRecord {
+                oracle: v.oracle,
+                seed,
+                detail: v.detail.clone(),
+                plan: plan.clone(),
+                shrunk: None,
+                atoms_before,
+                atoms_after: None,
+                reproducer: None,
+            };
+            if shrink {
+                let shrunk = shrink_violation(cfg, seed, &plan, v.oracle, run_device);
+                rec.atoms_after = Some(decompose(&shrunk, cfg.width, cfg.height).len());
+                rec.shrunk = Some(shrunk);
+            }
+            rec
+        })
+        .collect();
+    SeedOutcome {
+        seed,
+        outcome,
+        records,
+    }
 }
 
 /// Writes a reproducer for `rec` into `dir`, returning the path.
@@ -699,6 +755,7 @@ mod tests {
             wall_budget_ms: Some(0), // expires before the first iteration
             shrink: false,
             repro_dir: None,
+            jobs: 1,
         };
         let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
         assert!(!run.finished);

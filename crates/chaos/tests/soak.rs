@@ -70,6 +70,93 @@ fn soak_is_deterministic() {
     assert_eq!(a.report, b.report);
 }
 
+/// The jobs knob is a wall-clock knob, never a result knob: the same soak at
+/// `jobs ∈ {1, 2, 7}` produces a bit-identical report, including violation
+/// records and shrinks, because each iteration is a pure function of
+/// (config, seed) and the fold into the report runs in seed order.
+#[test]
+fn soak_report_is_bit_identical_across_job_counts() {
+    let cfg = ChaosConfig {
+        device: None,
+        ..ChaosConfig::default()
+    };
+    let base = ChaosOptions {
+        seeds: (0..12).collect(),
+        shrink: true,
+        ..ChaosOptions::default()
+    };
+    let reference = run_chaos(&cfg, &base, &TelemetryHandle::disabled())
+        .unwrap()
+        .report;
+    for jobs in [1usize, 2, 7] {
+        let opts = ChaosOptions {
+            jobs,
+            ..base.clone()
+        };
+        let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
+        assert!(run.finished);
+        assert_eq!(run.report, reference, "jobs={jobs}");
+    }
+}
+
+/// Parallel soaks keep the resume contract: a state file written by a
+/// `jobs=4` run that stopped on budget resumes (serially or in parallel) to
+/// the same final report as an uninterrupted serial run.
+#[test]
+fn parallel_soak_state_resumes_bit_identically() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("gnoc-chaos-parresume-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ChaosConfig {
+        device: None,
+        ..ChaosConfig::default()
+    };
+
+    let serial = run_chaos(
+        &cfg,
+        &ChaosOptions {
+            seeds: (0..10).collect(),
+            ..ChaosOptions::default()
+        },
+        &TelemetryHandle::disabled(),
+    )
+    .unwrap()
+    .report;
+
+    // Full parallel run persisting state after every folded iteration.
+    let parallel = run_chaos(
+        &cfg,
+        &ChaosOptions {
+            seeds: (0..10).collect(),
+            state_path: Some(path.clone()),
+            jobs: 4,
+            ..ChaosOptions::default()
+        },
+        &TelemetryHandle::disabled(),
+    )
+    .unwrap();
+    assert!(parallel.finished);
+    assert_eq!(parallel.report, serial);
+
+    // Resuming the finished parallel state (even serially) is a no-op that
+    // keeps the identical report: the on-disk format carries no trace of
+    // the worker count that produced it.
+    let resumed = run_chaos(
+        &cfg,
+        &ChaosOptions {
+            seeds: (0..10).collect(),
+            state_path: Some(path.clone()),
+            ..ChaosOptions::default()
+        },
+        &TelemetryHandle::disabled(),
+    )
+    .unwrap();
+    assert!(resumed.finished);
+    assert_eq!(resumed.report, serial);
+
+    let _ = std::fs::remove_file(&path);
+}
+
 /// With the `bug-hooks` feature, arming the greedy-reroute bug makes route
 /// recomputation ignore the up*/down* discipline; the progress oracle must
 /// catch the resulting deadlock and ddmin must shrink the trigger to at

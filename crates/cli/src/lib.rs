@@ -249,7 +249,8 @@ pub enum FaultsAction {
 
 /// A parsed invocation: the subcommand plus the global flags
 /// (`--trace <file.jsonl>`, `--metrics <file.json>`,
-/// `--faults <plan.json>`), which are accepted by every subcommand.
+/// `--faults <plan.json>`, `--jobs N`), which are accepted by every
+/// subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// The subcommand to run.
@@ -261,6 +262,10 @@ pub struct Invocation {
     /// Apply the fault plan at this path to the run (degraded devices for
     /// device subcommands, a faulted reliable mesh for `mesh`).
     pub faults: Option<String>,
+    /// Worker count for parallel subcommands (`campaign`, `chaos run`);
+    /// `None` falls back to `GNOC_JOBS`, then the machine
+    /// ([`gnoc_core::resolve_jobs`]). Never changes results, only wall time.
+    pub jobs: Option<usize>,
 }
 
 /// Which workload `gnoc replay` generates.
@@ -324,6 +329,9 @@ GLOBAL FLAGS (every subcommand):
                             the degraded device; mesh runs retrying delivery
                             over the faulted fabric; campaign checkpoints
                             embed the plan
+    --jobs <N>              worker threads for campaign and chaos run
+                            (default: GNOC_JOBS, then all cores). Results are
+                            bit-identical for any N; only wall time changes
 ";
 
 /// Reads `--flag value` pairs and boolean `--flag`s from `args`.
@@ -626,8 +634,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 /// Parses an argument vector, first extracting the global flags
-/// (`--trace`, `--metrics`, `--faults`) — accepted anywhere on the line —
-/// then delegating the remainder to [`parse`].
+/// (`--trace`, `--metrics`, `--faults`, `--jobs`) — accepted anywhere on the
+/// line — then delegating the remainder to [`parse`].
 ///
 /// # Errors
 ///
@@ -637,9 +645,22 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
     let mut trace = None;
     let mut metrics = None;
     let mut faults = None;
+    let mut jobs = None;
     let mut remaining: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if a == "--jobs" {
+            match it.next() {
+                Some(v) if !v.starts_with("--") => {
+                    jobs =
+                        Some(v.parse::<usize>().map_err(|_| {
+                            format!("flag --jobs: '{v}' is not a valid worker count")
+                        })?);
+                }
+                _ => return Err("flag --jobs needs a worker count".to_owned()),
+            }
+            continue;
+        }
         let slot = match a.as_str() {
             "--trace" => &mut trace,
             "--metrics" => &mut metrics,
@@ -659,6 +680,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
         trace,
         metrics,
         faults,
+        jobs,
     })
 }
 
@@ -1034,5 +1056,32 @@ mod tests {
 
         assert!(parse_invocation(&argv("memsim --trace")).is_err());
         assert!(parse_invocation(&argv("memsim --trace --metrics m.json")).is_err());
+    }
+
+    #[test]
+    fn jobs_global_flag_parses_anywhere_and_validates() {
+        let inv = parse_invocation(&argv("campaign v100 --jobs 4 --seed 2")).unwrap();
+        assert_eq!(inv.jobs, Some(4));
+        assert_eq!(
+            inv.command,
+            Command::Campaign {
+                gpu: GpuChoice::V100,
+                seed: 2,
+                checkpoint: None,
+                lines: 8,
+                samples: 12,
+            }
+        );
+
+        let inv = parse_invocation(&argv("--jobs 2 chaos run --seeds 0..4")).unwrap();
+        assert_eq!(inv.jobs, Some(2));
+        assert!(matches!(inv.command, Command::Chaos { .. }));
+
+        let inv = parse_invocation(&argv("latency v100")).unwrap();
+        assert_eq!(inv.jobs, None, "unset --jobs defers to GNOC_JOBS/env");
+
+        assert!(parse_invocation(&argv("campaign v100 --jobs")).is_err());
+        assert!(parse_invocation(&argv("campaign v100 --jobs many")).is_err());
+        assert!(parse_invocation(&argv("campaign v100 --jobs --trace t.jsonl")).is_err());
     }
 }

@@ -21,8 +21,8 @@ use gnoc_core::workloads::replay::{replay, ReplayConfig};
 use gnoc_core::workloads::{bfs, gaussian};
 use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
-    AccessKind, AesAttackConfig, CheckpointedCampaign, CtaScheduler, FaultPlan, GpuDevice,
-    LatencyCampaign, LatencyProbe, RsaAttackConfig, SliceId, SmId, Summary,
+    resolve_jobs, AccessKind, AesAttackConfig, CheckpointedCampaign, CtaScheduler, FaultPlan,
+    GpuDevice, LatencyCampaign, LatencyProbe, RsaAttackConfig, SliceId, SmId, Summary, WorkerPool,
 };
 use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
 use std::path::{Path, PathBuf};
@@ -68,7 +68,15 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let ok = run(inv.command, plan.as_ref(), &telemetry);
+    // The jobs knob (--jobs > GNOC_JOBS > machine) never changes results —
+    // every parallel path is bit-identical to serial — only wall time.
+    let pool = {
+        let mut p = WorkerPool::new(resolve_jobs(inv.jobs));
+        p.set_telemetry(telemetry.clone());
+        p
+    };
+
+    let ok = run(inv.command, plan.as_ref(), &telemetry, &pool);
 
     telemetry.flush();
     if let Some(path) = &inv.metrics {
@@ -114,7 +122,12 @@ macro_rules! try_or_fail {
     };
 }
 
-fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> bool {
+fn run(
+    cmd: Command,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+    pool: &WorkerPool,
+) -> bool {
     match cmd {
         Command::Help => print!("{USAGE}"),
 
@@ -291,7 +304,7 @@ fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> b
 
         Command::Faults { action } => return run_faults(action),
 
-        Command::Chaos { action } => return run_chaos_action(action, telemetry),
+        Command::Chaos { action } => return run_chaos_action(action, telemetry, pool),
 
         Command::Campaign {
             gpu,
@@ -321,7 +334,9 @@ fn run(cmd: Command, plan: Option<&FaultPlan>, telemetry: &TelemetryHandle) -> b
                     campaign.num_sms()
                 );
             }
-            let result = try_or_fail!(campaign.run_to_completion(path).map_err(|e| e.to_string()));
+            let result = try_or_fail!(campaign
+                .run_to_completion_par(path, pool)
+                .map_err(|e| e.to_string()));
             println!(
                 "{preset}: grand mean latency {:.0} cycles over {}x{} pairs{}",
                 result.grand_mean(),
@@ -564,7 +579,7 @@ fn run_faulted_mesh(
 /// tooling. `run` exits nonzero when any oracle fired; `replay` exits
 /// nonzero while the recorded failure still reproduces (a scriptable
 /// "is this bug fixed yet" check).
-fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle) -> bool {
+fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &WorkerPool) -> bool {
     match action {
         ChaosAction::Run {
             seeds,
@@ -581,6 +596,7 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle) -> bool {
                 wall_budget_ms: wall_ms,
                 shrink: !no_shrink,
                 repro_dir: repro_dir.map(PathBuf::from),
+                jobs: pool.jobs(),
             };
             let run = try_or_fail!(run_chaos(&cfg, &opts, telemetry).map_err(|e| e.to_string()));
             let clean = print_chaos_run(&run);

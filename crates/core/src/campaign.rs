@@ -67,10 +67,14 @@ impl LatencyCampaign {
         result
     }
 
-    /// Grand mean latency over all pairs.
+    /// Grand mean latency over all pairs; 0.0 for an empty matrix (the 0/0
+    /// division used to yield NaN, which poisoned downstream gauges and JSON).
     pub fn grand_mean(&self) -> f64 {
         let total: f64 = self.sm_summaries.iter().map(|s| s.mean * s.n as f64).sum();
         let n: usize = self.sm_summaries.iter().map(|s| s.n).sum();
+        if n == 0 {
+            return 0.0;
+        }
         total / n as f64
     }
 
@@ -250,6 +254,18 @@ mod tests {
             "{}",
             c.grand_mean()
         );
+    }
+
+    #[test]
+    fn grand_mean_of_empty_matrix_is_zero_not_nan() {
+        let empty = LatencyCampaign {
+            matrix: Vec::new(),
+            sm_summaries: Vec::new(),
+            correlation: Vec::new(),
+        };
+        let gm = empty.grand_mean();
+        assert_eq!(gm, 0.0, "empty campaign grand mean must be 0.0, got {gm}");
+        assert!(!gm.is_nan());
     }
 
     #[test]

@@ -135,8 +135,10 @@ pub fn device_for_preset(
 }
 
 /// splitmix64-style row seed: depends only on the campaign seed and the SM
-/// index, making every row measurement order-independent.
-fn row_seed(seed: u64, sm: usize) -> u64 {
+/// index, making every row measurement order-independent — the property that
+/// lets [`CheckpointedCampaign`] resume bit-identically and lets the parallel
+/// runners compute rows on any worker in any order with identical results.
+pub fn row_seed(seed: u64, sm: usize) -> u64 {
     let mut z = seed ^ (sm as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -319,6 +321,56 @@ impl CheckpointedCampaign {
         self.finish()
     }
 
+    /// Parallel [`run_to_completion`](Self::run_to_completion): remaining
+    /// rows are measured in batches across `pool`'s workers, each on its own
+    /// fresh row-seeded device. Because every row depends only on
+    /// `row_seed(seed, sm)`, the result is bit-identical to the serial run
+    /// for any worker count. Checkpoints are written after each completed
+    /// batch (a kill loses at most one batch instead of one row); with
+    /// `jobs() <= 1` this delegates to the serial path, preserving its exact
+    /// per-row save cadence.
+    pub fn run_to_completion_par(
+        &mut self,
+        checkpoint: Option<&Path>,
+        pool: &gnoc_par::WorkerPool,
+    ) -> Result<LatencyCampaign, CheckpointError> {
+        if pool.jobs() <= 1 {
+            return self.run_to_completion(checkpoint);
+        }
+        let batch = pool.jobs() * 2;
+        while !self.is_complete() {
+            let start = self.rows.len();
+            let end = (start + batch).min(self.num_sms);
+            let sms: Vec<usize> = (start..end).collect();
+            let device = self.device.as_str();
+            let probe = self.probe;
+            let seed = self.seed;
+            let plan = self.plan.as_ref();
+            let telemetry = self.telemetry.clone();
+            let measured = pool.par_map(&sms, |&sm| -> Result<Vec<f64>, CheckpointError> {
+                let mut dev = device_for_preset(device, row_seed(seed, sm), plan)?;
+                dev.set_telemetry(telemetry.clone());
+                Ok(probe.sm_profile(&mut dev, SmId::new(sm as u32)))
+            });
+            for row in measured {
+                self.rows.push(row?);
+                self.telemetry.with(|t| {
+                    t.registry.counter_add("campaign.checkpoint_rows", 1);
+                });
+            }
+            if let Some(path) = checkpoint {
+                self.save(path)?;
+            }
+            let done = self.rows.len();
+            self.telemetry.emit_with(|| {
+                TraceEvent::new(0, SUBSYSTEM_CAMPAIGN, "checkpoint_batch")
+                    .with("rows", done)
+                    .with("of", self.num_sms)
+            });
+        }
+        self.finish_par(pool)
+    }
+
     /// Assembles the completed matrix into a [`LatencyCampaign`].
     ///
     /// # Errors
@@ -327,6 +379,22 @@ impl CheckpointedCampaign {
     /// unmeasured — a typed error rather than a panic, so a fuzzer driving
     /// campaigns through arbitrary schedules can never abort the process.
     pub fn finish(&self) -> Result<LatencyCampaign, CheckpointError> {
+        self.finish_with(correlation_matrix)
+    }
+
+    /// [`finish`](Self::finish) with the correlation matrix fanned out
+    /// across `pool`'s workers; bit-identical to the serial assembly.
+    pub fn finish_par(
+        &self,
+        pool: &gnoc_par::WorkerPool,
+    ) -> Result<LatencyCampaign, CheckpointError> {
+        self.finish_with(|matrix| gnoc_analysis::correlation_matrix_par(matrix, pool))
+    }
+
+    fn finish_with(
+        &self,
+        correlate: impl FnOnce(&[Vec<f64>]) -> Vec<Vec<f64>>,
+    ) -> Result<LatencyCampaign, CheckpointError> {
         if !self.is_complete() {
             return Err(CheckpointError::Incomplete {
                 done: self.rows.len(),
@@ -335,7 +403,7 @@ impl CheckpointedCampaign {
         }
         let matrix = self.rows.clone();
         let sm_summaries = matrix.iter().map(|row| Summary::of(row)).collect();
-        let correlation = correlation_matrix(&matrix);
+        let correlation = correlate(&matrix);
         Ok(LatencyCampaign {
             matrix,
             sm_summaries,

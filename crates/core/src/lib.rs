@@ -16,6 +16,7 @@
 //! | Cycle-level NoC | [`noc`] | [`Mesh`], [`run_fairness`], [`run_memsim`] |
 //! | Workloads | [`workloads`] | BFS / Gaussian / streaming traces |
 //! | Observability | [`telemetry`] | [`TelemetryHandle`], [`MetricRegistry`], [`JsonlWriter`] |
+//! | Parallel execution | [`par`] | [`WorkerPool`], [`resolve_jobs`], [`LatencyCampaign::run_par`] |
 //!
 //! Quick start (the paper's Observation #1 in five lines):
 //!
@@ -37,10 +38,12 @@
 
 mod campaign;
 mod checkpoint;
+mod parallel;
 
 pub use campaign::{infer_placement, LatencyCampaign, PlacementReport};
 pub use checkpoint::{
-    device_for_preset, spec_for_preset, CheckpointError, CheckpointedCampaign, CHECKPOINT_VERSION,
+    device_for_preset, row_seed, spec_for_preset, CheckpointError, CheckpointedCampaign,
+    CHECKPOINT_VERSION,
 };
 
 pub use gnoc_analysis as analysis;
@@ -48,6 +51,7 @@ pub use gnoc_engine as engine;
 pub use gnoc_faults as faults;
 pub use gnoc_microbench as microbench;
 pub use gnoc_noc as noc;
+pub use gnoc_par as par;
 pub use gnoc_sidechannel as sidechannel;
 pub use gnoc_telemetry as telemetry;
 pub use gnoc_topo as topo;
@@ -68,6 +72,7 @@ pub use gnoc_noc::{
     run_fairness, run_memsim, ArbiterKind, FairnessConfig, LossReason, MemSimConfig, Mesh,
     MeshConfig, NocError, ReliableMesh, RetryConfig, TransferOutcome,
 };
+pub use gnoc_par::{resolve_jobs, PoolPanic, WorkerPool};
 pub use gnoc_sidechannel::{
     run_aes_attack, run_rsa_attack, Aes128, AesAttackConfig, RsaAttackConfig,
 };

@@ -1,0 +1,87 @@
+//! Deterministic parallel campaign execution.
+//!
+//! The serial [`LatencyCampaign::run`] sweeps one shared device, so its rows
+//! depend on measurement order and cannot be parallelised without changing
+//! the result. [`LatencyCampaign::run_par`] instead uses the checkpoint
+//! module's row-seeding scheme — every SM row is measured on a *fresh*
+//! device seeded from [`row_seed`]`(seed, sm)` — which makes each row a pure
+//! function of the campaign parameters and the SM index. Rows can then be
+//! computed on any worker in any order and reassembled in index order,
+//! bit-identical to the serial
+//! [`CheckpointedCampaign::run_to_completion`](crate::CheckpointedCampaign::run_to_completion)
+//! for any worker count.
+
+use crate::campaign::LatencyCampaign;
+use crate::checkpoint::{device_for_preset, row_seed, CheckpointError};
+use gnoc_analysis::{correlation_matrix_par, Summary};
+use gnoc_faults::FaultPlan;
+use gnoc_microbench::LatencyProbe;
+use gnoc_par::WorkerPool;
+use gnoc_topo::SmId;
+
+impl LatencyCampaign {
+    /// Runs a full row-seeded latency campaign on preset `device`, fanning
+    /// per-SM rows across `pool`'s workers.
+    ///
+    /// The result is bit-identical to the serial checkpointed run of the
+    /// same `(device, seed, probe, plan)` — see the module docs — so `--jobs`
+    /// is purely a wall-clock knob, never an accuracy knob.
+    pub fn run_par(
+        device: &str,
+        seed: u64,
+        probe: &LatencyProbe,
+        plan: Option<&FaultPlan>,
+        pool: &WorkerPool,
+    ) -> Result<Self, CheckpointError> {
+        // Probe the preset once for the SM count (and to fail fast on a bad
+        // device name or plan before spawning workers).
+        let num_sms = device_for_preset(device, seed, plan)?.hierarchy().num_sms();
+        let sms: Vec<usize> = (0..num_sms).collect();
+        let rows = pool.par_map(&sms, |&sm| -> Result<Vec<f64>, CheckpointError> {
+            let mut dev = device_for_preset(device, row_seed(seed, sm), plan)?;
+            dev.set_telemetry(pool.telemetry().clone());
+            Ok(probe.sm_profile(&mut dev, SmId::new(sm as u32)))
+        });
+        let matrix = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let sm_summaries = matrix.iter().map(|row| Summary::of(row)).collect();
+        let correlation = correlation_matrix_par(&matrix, pool);
+        Ok(Self {
+            matrix,
+            sm_summaries,
+            correlation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CheckpointedCampaign;
+
+    fn quick_probe() -> LatencyProbe {
+        LatencyProbe {
+            working_set_lines: 2,
+            samples: 2,
+        }
+    }
+
+    #[test]
+    fn run_par_matches_serial_checkpointed_run_for_any_job_count() {
+        let mut serial = CheckpointedCampaign::new("v100", 7, quick_probe(), None).unwrap();
+        let reference = serial.run_to_completion(None).unwrap();
+        for jobs in [1, 2, 7] {
+            let pool = WorkerPool::new(jobs);
+            let par = LatencyCampaign::run_par("v100", 7, &quick_probe(), None, &pool).unwrap();
+            assert_eq!(par, reference, "jobs={jobs} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn run_par_rejects_unknown_devices() {
+        let pool = WorkerPool::serial();
+        assert!(matches!(
+            LatencyCampaign::run_par("b200", 0, &quick_probe(), None, &pool),
+            Err(CheckpointError::UnknownDevice(_))
+        ));
+    }
+}

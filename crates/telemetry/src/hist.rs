@@ -81,7 +81,9 @@ impl LogHistogram {
         if self.counts.len() <= b {
             self.counts.resize(b + 1, 0);
         }
-        self.counts[b] += n;
+        // Saturate everywhere: a histogram that has absorbed ~u64::MAX
+        // worth of samples must clamp, not wrap (release) or abort (debug).
+        self.counts[b] = self.counts[b].saturating_add(n);
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -89,8 +91,8 @@ impl LogHistogram {
             self.min = self.min.min(value);
             self.max = self.max.max(value);
         }
-        self.count += n;
-        self.sum += value.saturating_mul(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
     }
 
     pub fn count(&self) -> u64 {
@@ -148,7 +150,7 @@ impl LogHistogram {
             self.counts.resize(other.counts.len(), 0);
         }
         for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
-            *dst += src;
+            *dst = dst.saturating_add(src);
         }
         if self.count == 0 {
             self.min = other.min;
@@ -157,8 +159,8 @@ impl LogHistogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Non-empty `(bucket_lo, count)` pairs, for rendering.
@@ -196,6 +198,36 @@ mod tests {
         // Boundary continuity: 16 starts the first log block.
         assert_eq!(bucket_of(16), 16);
         assert_eq!(bucket_lo(bucket_of(16)), 16);
+    }
+
+    #[test]
+    fn near_max_values_saturate_instead_of_overflowing() {
+        // Regression: `count += n` / `sum += value * n` used to wrap in
+        // release and panic in debug once the accumulators neared u64::MAX,
+        // despite the adjacent saturating_mul.
+        let mut h = LogHistogram::new();
+        h.record_n(u64::MAX, 3); // sum saturates immediately
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), u64::MAX, "sum clamps at the top");
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(h.mean().unwrap().is_finite());
+        assert!(h.quantile(0.5).unwrap().is_finite());
+
+        // Count saturation: two huge batches cannot wrap the total.
+        let mut c = LogHistogram::new();
+        c.record_n(1, u64::MAX);
+        c.record_n(1, u64::MAX);
+        assert_eq!(c.count(), u64::MAX);
+        assert_eq!(c.sum(), u64::MAX);
+
+        // Merging two saturated histograms saturates too.
+        let mut m = h.clone();
+        m.merge(&c);
+        assert_eq!(m.count(), u64::MAX);
+        assert_eq!(m.sum(), u64::MAX);
+        assert_eq!(m.min(), Some(1));
+        assert_eq!(m.max(), Some(u64::MAX));
     }
 
     #[test]

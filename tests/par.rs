@@ -1,0 +1,140 @@
+//! Cross-crate determinism tests for the parallel execution layer: the
+//! parallel campaign and analysis paths must be bit-identical to their
+//! serial counterparts for every worker count, and a panicking task must
+//! never leak workers or deadlock the pool.
+
+use gnoc_core::{resolve_jobs, CheckpointedCampaign, LatencyCampaign, LatencyProbe, WorkerPool};
+use proptest::prelude::*;
+
+fn quick_probe() -> LatencyProbe {
+    LatencyProbe {
+        working_set_lines: 2,
+        samples: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ordered `par_map` contract: results land in input order for any
+    /// worker count, bit-identical to a plain serial map.
+    #[test]
+    fn par_map_is_ordered_for_any_jobs(
+        items in proptest::collection::vec(any::<u64>(), 0..200),
+        jobs in 1usize..9,
+    ) {
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31).rotate_left(7)).collect();
+        let pool = WorkerPool::new(jobs);
+        let got = pool.par_map(&items, |&x| x.wrapping_mul(31).rotate_left(7));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Parallel correlation matrices match serial ones bit for bit.
+    #[test]
+    fn correlation_matrix_par_matches_serial(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 4..10),
+            2..8,
+        ),
+        jobs in 1usize..9,
+    ) {
+        let n = rows.iter().map(Vec::len).min().unwrap();
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r[..n].to_vec()).collect();
+        let serial = gnoc_core::correlation_matrix(&rows);
+        let pool = WorkerPool::new(jobs);
+        prop_assert_eq!(
+            gnoc_core::analysis::correlation_matrix_par(&rows, &pool),
+            serial
+        );
+    }
+}
+
+/// The tentpole determinism guarantee: a parallel campaign is bit-identical
+/// across `jobs ∈ {1, 2, 7}` *and* to the serial checkpointed run of the
+/// same parameters.
+#[test]
+fn parallel_campaign_is_bit_identical_across_job_counts_and_to_serial() {
+    let probe = quick_probe();
+    let mut serial = CheckpointedCampaign::new("v100", 11, probe, None).unwrap();
+    let reference = serial.run_to_completion(None).unwrap();
+
+    for jobs in [1usize, 2, 7] {
+        let pool = WorkerPool::new(jobs);
+        let par = LatencyCampaign::run_par("v100", 11, &probe, None, &pool).unwrap();
+        assert_eq!(par, reference, "run_par jobs={jobs}");
+
+        let mut ckpt = CheckpointedCampaign::new("v100", 11, probe, None).unwrap();
+        let batched = ckpt.run_to_completion_par(None, &pool).unwrap();
+        assert_eq!(batched, reference, "run_to_completion_par jobs={jobs}");
+    }
+}
+
+/// Batched parallel checkpointing resumes bit-identically after a kill, just
+/// like the serial per-row path.
+#[test]
+fn parallel_checkpoint_kill_and_resume_is_bit_identical() {
+    let path = std::env::temp_dir().join(format!("gnoc-parckpt-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let probe = quick_probe();
+    let pool = WorkerPool::new(4);
+
+    let mut full = CheckpointedCampaign::new("v100", 5, probe, None).unwrap();
+    let reference = full.run_to_completion(None).unwrap();
+
+    // Measure a prefix serially, checkpoint, then finish in parallel from
+    // the resumed state: the row-seeded scheme makes the splice seamless.
+    let mut first = CheckpointedCampaign::new("v100", 5, probe, None).unwrap();
+    for _ in 0..13 {
+        assert!(first.step_row().unwrap());
+    }
+    first.save(&path).unwrap();
+    drop(first);
+
+    let mut resumed = CheckpointedCampaign::resume(&path, "v100", 5, probe, None).unwrap();
+    assert_eq!(resumed.completed_rows(), 13);
+    let result = resumed.run_to_completion_par(Some(&path), &pool).unwrap();
+    assert_eq!(result, reference);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A panicking task poisons the batch, joins every worker (the scope
+/// guarantees it — this test would hang forever on a leak), reports the
+/// panic as a typed error, and leaves the pool fully reusable.
+#[test]
+fn pool_survives_task_panics_without_leaking_workers() {
+    let pool = WorkerPool::new(4);
+    let items: Vec<u64> = (0..100).collect();
+    let err = pool
+        .try_par_map(&items, |&x| {
+            if x % 10 == 3 {
+                panic!("injected failure at {x}");
+            }
+            x
+        })
+        .unwrap_err();
+    assert!(err.message.contains("injected failure"), "{err}");
+    assert!(err.task_index % 10 == 3, "{err}");
+
+    // The pool is stateless between batches: the very next call succeeds.
+    let ok = pool.par_map(&items, |&x| x + 1);
+    assert_eq!(ok.len(), 100);
+    assert_eq!(ok[99], 100);
+
+    // par_map (the panicking wrapper) re-raises rather than deadlocking.
+    let raised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.par_map(&items, |&x| if x == 7 { panic!("boom") } else { x })
+    }));
+    assert!(raised.is_err(), "panic must propagate to the caller");
+    assert_eq!(pool.par_map(&[1u64], |&x| x), vec![1]);
+}
+
+/// `resolve_jobs` is the single knob: flag beats env beats detection.
+#[test]
+fn jobs_resolution_is_flag_then_env() {
+    assert_eq!(resolve_jobs(Some(5)), 5);
+    assert_eq!(resolve_jobs(Some(0)), 1);
+    // Env interaction is covered in gnoc-par's unit tests (mutating
+    // GNOC_JOBS here would race other integration tests in this binary).
+    assert!(resolve_jobs(None) >= 1);
+}

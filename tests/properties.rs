@@ -121,10 +121,15 @@ proptest! {
     ) {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let (lo, hi) = (q1.min(q2), q1.max(q2));
-        let a = analysis::quantile(&v, lo);
-        let b = analysis::quantile(&v, hi);
+        // One sort, many lookups — and the one-shot wrapper must agree.
+        let qs = analysis::Quantiles::new(&v);
+        let a = qs.q(lo);
+        let b = qs.q(hi);
         prop_assert!(a <= b + 1e-9);
-        prop_assert!(a >= v[0] - 1e-9 && b <= v[v.len() - 1] + 1e-9);
+        prop_assert!(a >= qs.min() - 1e-9 && b <= qs.max() + 1e-9);
+        prop_assert_eq!(a, analysis::quantile(&v, lo));
+        prop_assert_eq!(qs.n(), v.len());
+        prop_assert!((qs.median() - analysis::quantile(&v, 0.5)).abs() < 1e-12);
     }
 
     #[test]
