@@ -41,4 +41,16 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
     --jobs 2 chaos run --seeds 0..12 --wall-ms 120000 \
     --state "$tmp/chaos-state.json" --repro-dir "$tmp/repros"
 
+echo "== chaos: hidden-plan detection soak (fixed seeds, wall deadline) =="
+# Plans are applied physically but hidden from routing; the detection
+# oracle scores the health layer's detected-vs-ground-truth set. Any miss,
+# false quarantine, or late detection prints the oracle name plus the
+# shrunk reproducer path and exits nonzero, failing the gate.
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --jobs 2 chaos run --detect --seeds 0..12 --wall-ms 120000 \
+    --state "$tmp/chaos-detect-state.json" --repro-dir "$tmp/repros-detect"
+
+echo "== bench: detection latency within oracle bounds (BENCH_health.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_health -- BENCH_health.json
+
 echo "ci.sh: all green"

@@ -38,6 +38,12 @@ pub struct ChaosConfig {
     /// the up*/down* discipline, reintroducing routing deadlock for the
     /// progress oracle to catch.
     pub greedy_reroute_bug: bool,
+    /// Run the hidden-plan detection oracle: every seed's plan is replayed
+    /// against a self-healing mesh (and, with a device configured, a
+    /// latent-fault device) that must *infer* the faults from behavior; the
+    /// oracle scores detected-vs-ground-truth precision, recall on dead
+    /// links and faulty slices, and bounded detection latency.
+    pub detection: bool,
 }
 
 impl Default for ChaosConfig {
@@ -53,6 +59,7 @@ impl Default for ChaosConfig {
             probe_samples: 2,
             retry: RetryConfig::default(),
             greedy_reroute_bug: false,
+            detection: false,
         }
     }
 }

@@ -24,17 +24,23 @@ pub enum OracleKind {
     Differential,
     /// No code path panics; typed errors are the contract.
     NoPanic,
+    /// Hidden-plan self-healing: with the fault plan concealed from the
+    /// device under test, the health layer must detect every dead link and
+    /// faulty slice (recall), blame nothing healthy (precision), and do so
+    /// within a bounded latency after each fault's onset.
+    Detection,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [Self; 6] = [
+    pub const ALL: [Self; 7] = [
         Self::Delivery,
         Self::Progress,
         Self::Calibration,
         Self::Resume,
         Self::Differential,
         Self::NoPanic,
+        Self::Detection,
     ];
 
     /// Stable lowercase name (used in reports, metrics, and file names).
@@ -46,6 +52,7 @@ impl OracleKind {
             Self::Resume => "resume",
             Self::Differential => "differential",
             Self::NoPanic => "no-panic",
+            Self::Detection => "detection",
         }
     }
 }

@@ -8,11 +8,13 @@ use crate::oracle::{
 };
 use crate::shrink::{ddmin, decompose};
 use crate::ChaosError;
+use gnoc_core::faults::LinkFaultKind;
+use gnoc_core::health::run_slice_detection_for_spec;
 use gnoc_core::noc::{NodeId, PacketClass, RouteOrder};
 use gnoc_core::telemetry::TelemetryHandle;
 use gnoc_core::{
-    device_for_preset, ArbiterKind, CheckpointedCampaign, FaultPlan, MeshConfig, ReliableMesh,
-    WorkerPool,
+    device_for_preset, spec_for_preset, ArbiterKind, CheckpointedCampaign, FaultPlan, HealthConfig,
+    MeshConfig, ReliableMesh, SelfHealingMesh, WorkerPool,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -27,6 +29,25 @@ pub const REPRODUCER_VERSION: u32 = 1;
 
 /// Predicate-evaluation budget handed to the shrinker per violation.
 const SHRINK_MAX_TESTS: usize = 96;
+
+/// How long the hidden-plan detection run patrols past the last fault onset.
+/// Must exceed [`DETECTION_LATENCY_BOUND`] so a timely detection of the
+/// latest-onset fault still fits inside the run.
+const DETECTION_RUN_MARGIN: u64 = 8_000;
+
+/// Latest acceptable first-open cycle for a dead link's breaker, relative to
+/// the fault's onset. Drop evidence accumulates across retry timeouts
+/// (128..2048 cycles) and 256-cycle health windows; an open normally lands
+/// within ~1k cycles of onset, so 6k flags genuine sluggishness, not jitter.
+const DETECTION_LATENCY_BOUND: u64 = 6_000;
+
+/// Health windows of slice probing in the hidden-plan device run.
+const SLICE_DETECTION_WINDOWS: u64 = 16;
+
+/// Latest acceptable first-open window for a latent-faulty slice. The EWMA
+/// crosses the margin on the first probe (the 900-cycle penalty dwarfs the
+/// 300-cycle margin) and the leaky bucket needs two failing windows.
+const SLICE_DETECTION_WINDOW_BOUND: u64 = 3;
 
 /// A tiny splitmix64 stream for deterministic traffic generation.
 struct SplitMix(u64);
@@ -390,6 +411,16 @@ fn iteration_body(
         }
     }
 
+    // --- Hidden-plan detection oracle. ---
+    if cfg.detection {
+        record(
+            OracleKind::Detection,
+            detection_phase(cfg, seed, plan),
+            &mut violations,
+            &mut passes,
+        );
+    }
+
     // --- Device campaign oracles. ---
     if run_device {
         if let Some(device) = &cfg.device {
@@ -463,6 +494,136 @@ fn device_phase(
         check_differential(untouched, &golden, &straight),
     ));
     Ok(results)
+}
+
+/// The hidden-plan detection phase: the plan is physically applied but
+/// *never shown* to the health layer, which must infer every fault from
+/// behavioral telemetry alone. Scores three properties against ground truth:
+///
+/// - **precision** — no breaker opens on a healthy link or slice (die-wide
+///   transient noise is exempt for links: under it, any link can
+///   legitimately accumulate drops);
+/// - **recall** — every dead link and every disabled slice is detected;
+/// - **latency** — each detection lands within a fixed bound of its fault's
+///   onset.
+///
+/// Flaky links sit between the two: detecting one is correct (it is a real
+/// fault), missing one is tolerated (drops are probabilistic).
+fn detection_phase(cfg: &ChaosConfig, seed: u64, plan: &FaultPlan) -> Result<(), String> {
+    let mut problems: Vec<String> = Vec::new();
+
+    // Link detection on a self-healing mesh (same geometry as the soak).
+    let mesh_cfg = MeshConfig {
+        width: cfg.width as usize,
+        height: cfg.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 1,
+    };
+    let mut healer = SelfHealingMesh::new(mesh_cfg, plan, cfg.retry, HealthConfig::default())
+        .map_err(|e| format!("harness: self-healing mesh rejected the plan: {e}"))?;
+    let last_onset = plan.links.iter().map(|l| l.onset).max().unwrap_or(0);
+    healer
+        .run_detection(last_onset + DETECTION_RUN_MARGIN)
+        .map_err(|e| format!("harness: detection run failed: {e}"))?;
+
+    problems.extend(score_link_detection(plan, &healer.detected_links()));
+
+    // Slice detection on a latent-fault device, when one is configured. The
+    // device never remaps around `plan.disabled_slices` itself; the monitor
+    // must find them from probe latencies.
+    if let Some(device) = &cfg.device {
+        let spec = spec_for_preset(device).map_err(|e| format!("harness: {e}"))?;
+        let (_dev, monitor) = run_slice_detection_for_spec(
+            spec,
+            plan,
+            seed,
+            HealthConfig::default(),
+            SLICE_DETECTION_WINDOWS,
+        )
+        .map_err(|e| format!("harness: slice detection failed: {e}"))?;
+        problems.extend(score_slice_detection(plan, &monitor.detected_slices()));
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// Scores a detected-link set against the plan's ground truth: false
+/// positives on healthy links (unless die-wide transient noise is active,
+/// under which any link legitimately accumulates drops), misses on dead
+/// links, and detections past the latency bound. Flaky links may be
+/// detected (they are real faults) but are never required to be.
+fn score_link_detection(
+    plan: &FaultPlan,
+    detected: &[(u32, gnoc_core::faults::Direction, u64)],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let has_fault = |r: u32, d: gnoc_core::faults::Direction| {
+        plan.links.iter().any(|l| l.router == r && l.dir == d)
+    };
+    if !plan.transient.is_active() {
+        for &(r, d, at) in detected {
+            if !has_fault(r, d) {
+                problems.push(format!(
+                    "false positive: breaker for healthy link {r}:{d} opened at cycle {at}"
+                ));
+            }
+        }
+    }
+    for l in &plan.links {
+        if !matches!(l.kind, LinkFaultKind::Dead) {
+            continue;
+        }
+        let (r, d) = (l.router, l.dir);
+        match detected.iter().find(|&&(dr, dd, _)| dr == r && dd == d) {
+            None => problems.push(format!(
+                "miss: dead link {r}:{d} (onset {}) never detected",
+                l.onset
+            )),
+            Some(&(_, _, at)) if at > l.onset + DETECTION_LATENCY_BOUND => {
+                problems.push(format!(
+                    "slow detection: dead link {r}:{d} (onset {}) first opened at cycle \
+                     {at}, past the bound {}",
+                    l.onset,
+                    l.onset + DETECTION_LATENCY_BOUND
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    problems
+}
+
+/// Scores a detected-slice set against `plan.disabled_slices`: false
+/// positives on healthy slices, misses on disabled ones, and first-open
+/// windows past [`SLICE_DETECTION_WINDOW_BOUND`].
+fn score_slice_detection(plan: &FaultPlan, found: &[(u32, u64)]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for &(slice, window) in found {
+        if !plan.disabled_slices.contains(&slice) {
+            problems.push(format!(
+                "false positive: breaker for healthy slice {slice} opened in window {window}"
+            ));
+        }
+    }
+    for &slice in &plan.disabled_slices {
+        match found.iter().find(|&&(s, _)| s == slice) {
+            None => problems.push(format!("miss: faulty slice {slice} never detected")),
+            Some(&(_, window)) if window > SLICE_DETECTION_WINDOW_BOUND => {
+                problems.push(format!(
+                    "slow detection: faulty slice {slice} first opened in window \
+                     {window}, past the bound {SLICE_DETECTION_WINDOW_BOUND}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    problems
 }
 
 /// A collision-free scratch path for the kill/resume oracle's checkpoint.
@@ -694,6 +855,98 @@ mod tests {
         assert!(out.is_clean(), "violations: {:?}", out.violations);
         assert!(out.passes.contains(&OracleKind::Delivery));
         assert!(out.passes.contains(&OracleKind::Progress));
+    }
+
+    #[test]
+    fn link_detection_scoring_has_teeth() {
+        use gnoc_core::faults::{Direction, LinkFault};
+        let mut plan = FaultPlan::default();
+        plan.links.push(LinkFault {
+            router: 7,
+            dir: Direction::East,
+            kind: LinkFaultKind::Dead,
+            onset: 1_000,
+        });
+
+        // Perfect detection: found the dead link, promptly, nothing else.
+        let good = vec![(7, Direction::East, 1_200)];
+        assert!(score_link_detection(&plan, &good).is_empty());
+
+        // Empty detected set → a miss naming the link.
+        let miss = score_link_detection(&plan, &[]);
+        assert_eq!(miss.len(), 1);
+        assert!(
+            miss[0].contains("miss") && miss[0].contains("7:east"),
+            "{miss:?}"
+        );
+
+        // A healthy link in the detected set → a false positive.
+        let fp = score_link_detection(
+            &plan,
+            &[(7, Direction::East, 1_200), (3, Direction::North, 500)],
+        );
+        assert_eq!(fp.len(), 1);
+        assert!(fp[0].contains("false positive"), "{fp:?}");
+
+        // Detection past the latency bound → slow detection.
+        let slow = score_link_detection(
+            &plan,
+            &[(7, Direction::East, 1_000 + DETECTION_LATENCY_BOUND + 1)],
+        );
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].contains("slow detection"), "{slow:?}");
+
+        // With die-wide transient noise active, link false positives are
+        // exempt (but misses still count).
+        plan.transient.drop_prob = 0.001;
+        assert!(score_link_detection(&plan, &fp_input(&plan)).is_empty());
+    }
+
+    fn fp_input(plan: &FaultPlan) -> Vec<(u32, gnoc_core::faults::Direction, u64)> {
+        use gnoc_core::faults::Direction;
+        let mut v = vec![(3, Direction::North, 500)];
+        for l in &plan.links {
+            v.push((l.router, l.dir, l.onset + 100));
+        }
+        v
+    }
+
+    #[test]
+    fn slice_detection_scoring_has_teeth() {
+        let plan = FaultPlan {
+            disabled_slices: vec![4, 9],
+            ..FaultPlan::default()
+        };
+        assert!(score_slice_detection(&plan, &[(4, 1), (9, 2)]).is_empty());
+        let problems = score_slice_detection(&plan, &[(4, 1), (2, 1)]);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("false positive") && p.contains("slice 2")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("miss") && p.contains("slice 9")));
+        let slow = score_slice_detection(&plan, &[(4, 1), (9, SLICE_DETECTION_WINDOW_BOUND + 1)]);
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].contains("slow detection"), "{slow:?}");
+    }
+
+    #[test]
+    fn detection_phase_passes_on_every_archetype_without_a_device() {
+        let cfg = ChaosConfig {
+            detection: true,
+            ..noc_only()
+        };
+        for seed in 0..5 {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let out = run_iteration(&cfg, seed, &plan, false);
+            assert!(
+                out.is_clean(),
+                "seed {seed} violations: {:?}",
+                out.violations
+            );
+            assert!(out.passes.contains(&OracleKind::Detection));
+        }
     }
 
     #[test]

@@ -9,6 +9,20 @@
 use gnoc_chaos::ChaosConfig;
 use gnoc_core::{CtaScheduler, FaultGenConfig, FlakyBurst, GpuSpec, LatencyProbe, RegionFault};
 
+/// Exit code: the command succeeded (for checks: the property holds).
+pub const EXIT_OK: u8 = 0;
+/// Exit code: the command ran but its check failed — `faults check` found an
+/// invalid plan, `chaos run` saw an oracle fire, `chaos replay` still
+/// reproduces the recorded failure.
+pub const EXIT_CHECK_FAILED: u8 = 1;
+/// Exit code: the input was unusable — unknown flags, malformed JSON, a
+/// config that fails validation. Retrying without changing the input will
+/// fail again.
+pub const EXIT_INVALID_INPUT: u8 = 2;
+/// Exit code: a filesystem read or write failed (missing file, permissions).
+/// The input may be fine; retrying can succeed.
+pub const EXIT_IO: u8 = 3;
+
 /// Which preset GPU a command targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GpuChoice {
@@ -116,6 +130,9 @@ pub enum Command {
         seed: u64,
         /// Transfers submitted in the faulted reliable-delivery run.
         transfers: usize,
+        /// Hide the fault plan from routing and let the health layer detect
+        /// and quarantine faults online (requires `--faults`).
+        self_heal: bool,
     },
     /// `gnoc memsim [--provisioned] [--seed S]` — the Fig. 21 experiment.
     Memsim {
@@ -176,12 +193,38 @@ pub enum Command {
         lines: usize,
         /// Probe samples per (SM, slice) pair.
         samples: usize,
+        /// SMs to skip (quarantined): the campaign runs degraded and reports
+        /// explicit partial coverage instead of failing.
+        quarantine: Vec<u32>,
+        /// Measured-row budget: stop after this many rows and salvage a
+        /// partial result (deterministic, unlike a wall-clock deadline).
+        deadline_rows: Option<usize>,
     },
     /// `gnoc chaos run|replay|shrink` — randomized fault-plan fuzzing with
     /// invariant oracles, reproducer replay, and ddmin re-shrinking.
     Chaos {
         /// Soak, replay one failure, or re-shrink a reproducer.
         action: ChaosAction,
+    },
+    /// `gnoc health [--width W] [--height H] [--cycles C] [--device G]
+    /// [--windows N] [--seed S]` — online fault detection: run a
+    /// self-healing mesh (the `--faults` plan applied but hidden from
+    /// routing) and report what the health monitors detected and
+    /// quarantined.
+    Health {
+        /// Mesh width.
+        width: u32,
+        /// Mesh height.
+        height: u32,
+        /// Mesh cycles to run detection for.
+        cycles: u64,
+        /// Also probe this device's L2 slices with the plan's disabled
+        /// slices latent (unknown to the address map).
+        device: Option<GpuChoice>,
+        /// Health windows of slice probing when `--device` is given.
+        windows: u64,
+        /// Seed for the latent-fault device build.
+        seed: u64,
     },
     /// `gnoc help` — usage.
     Help,
@@ -297,12 +340,16 @@ USAGE:
     gnoc placement  <gpu> [--seed S]
     gnoc attack     <aes|rsa> [--gpu G] [--defend] [--seed S]
     gnoc mesh       [--arbiter rr|age] [--seed S] [--transfers N]
+                    [--self-heal]
     gnoc memsim     [--provisioned] [--seed S]
     gnoc covert     [--gpu G] [--far] [--seed S]
     gnoc replay     <bfs|gaussian> [--gpu G] [--random] [--blocks N]
     gnoc loadcurve  [--net mesh|xbar] [--seed S]
     gnoc campaign   <gpu> [--seed S] [--checkpoint ckpt.json]
                     [--lines N] [--samples N]
+                    [--quarantine-sms 3,17,40] [--deadline-rows N]
+    gnoc health     [--width W] [--height H] [--cycles C]
+                    [--device G|none] [--windows N] [--seed S]
     gnoc faults     gen --out plan.json [--seed S] [--width W] [--height H]
                     [--dead-frac F] [--flaky N] [--flaky-prob P]
                     [--stalls N] [--stall-cycles C] [--drop-prob P]
@@ -316,7 +363,7 @@ USAGE:
                     [--device-every N] [--lines N] [--samples N]
                     [--state chaos.json] [--report report.json]
                     [--repro-dir DIR] [--wall-ms MS] [--no-shrink]
-                    [--greedy-bug]
+                    [--greedy-bug] [--detect]
     gnoc chaos      replay --repro repro.json
     gnoc chaos      shrink --repro repro.json [--out min.json]
     gnoc stats      <metrics.json>
@@ -332,6 +379,22 @@ GLOBAL FLAGS (every subcommand):
     --jobs <N>              worker threads for campaign and chaos run
                             (default: GNOC_JOBS, then all cores). Results are
                             bit-identical for any N; only wall time changes
+
+SELF-HEALING:
+    gnoc health runs online fault detection: the --faults plan is applied
+    physically but hidden from routing; per-link circuit breakers infer
+    faults from drop counters and quarantine them (with --device, per-slice
+    breakers probe L2 latencies the same way). gnoc mesh --self-heal runs
+    the retrying-delivery experiment in the same mode. gnoc campaign
+    --quarantine-sms runs degraded (skipped SMs, explicit partial coverage);
+    --deadline-rows caps measured rows and salvages a partial result.
+
+EXIT CODES:
+    0   success (checks: the property holds / no longer reproduces)
+    1   check failed — invalid plan (faults check), oracle fired (chaos
+        run), recorded failure still reproduces (chaos replay)
+    2   invalid input — unknown flags, malformed JSON, bad config
+    3   I/O error — a file could not be read or written
 ";
 
 /// Reads `--flag value` pairs and boolean `--flag`s from `args`.
@@ -364,6 +427,17 @@ impl<'a> Flags<'a> {
             None => Ok(default),
         }
     }
+}
+
+/// Parses a comma-separated SM list (e.g. `3,17,40`).
+fn parse_sm_list(s: &str) -> Result<Vec<u32>, String> {
+    s.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("flag --quarantine-sms: '{part}' is not a valid SM index"))
+        })
+        .collect()
 }
 
 /// Parses a half-open `A..B` seed range (e.g. `0..100`).
@@ -453,6 +527,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 age_based,
                 seed: flags.parse_num("--seed", 1u64)?,
                 transfers: flags.parse_num("--transfers", 2000usize)?,
+                self_heal: flags.has("--self-heal"),
             })
         }
         "memsim" => Ok(Command::Memsim {
@@ -495,6 +570,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 checkpoint: flags.value_of("--checkpoint")?.map(str::to_owned),
                 lines: flags.parse_num("--lines", defaults.working_set_lines)?,
                 samples: flags.parse_num("--samples", defaults.samples)?,
+                quarantine: match flags.value_of("--quarantine-sms")? {
+                    Some(list) => parse_sm_list(list)?,
+                    None => Vec::new(),
+                },
+                deadline_rows: match flags.value_of("--deadline-rows")? {
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        format!("flag --deadline-rows: '{v}' is not a valid row count")
+                    })?),
+                    None => None,
+                },
+            })
+        }
+        "health" => {
+            let device = match flags.value_of("--device")? {
+                None | Some("none") => None,
+                Some(g) => Some(GpuChoice::parse(g)?),
+            };
+            Ok(Command::Health {
+                width: flags.parse_num("--width", 6u32)?,
+                height: flags.parse_num("--height", 6u32)?,
+                cycles: flags.parse_num("--cycles", 20_000u64)?,
+                device,
+                windows: flags.parse_num("--windows", 16u64)?,
+                seed: flags.parse_num("--seed", 0u64)?,
             })
         }
         "faults" => {
@@ -588,6 +687,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             probe_samples: flags.parse_num("--samples", defaults.probe_samples)?,
                             retry: defaults.retry,
                             greedy_reroute_bug: flags.has("--greedy-bug"),
+                            detection: flags.has("--detect"),
                         },
                         state: flags.value_of("--state")?.map(str::to_owned),
                         report: flags.value_of("--report")?.map(str::to_owned),
@@ -764,14 +864,16 @@ mod tests {
                 age_based: true,
                 seed: 1,
                 transfers: 2000,
+                self_heal: false,
             }
         );
         assert_eq!(
-            parse(&argv("mesh --transfers 500")).unwrap(),
+            parse(&argv("mesh --transfers 500 --self-heal")).unwrap(),
             Command::Mesh {
                 age_based: false,
                 seed: 1,
                 transfers: 500,
+                self_heal: true,
             }
         );
         assert!(parse(&argv("mesh --arbiter fifo")).is_err());
@@ -863,6 +965,8 @@ mod tests {
                 checkpoint: None,
                 lines: 8,
                 samples: 12,
+                quarantine: vec![],
+                deadline_rows: None,
             }
         );
         assert_eq!(
@@ -876,10 +980,87 @@ mod tests {
                 checkpoint: Some("ck.json".to_owned()),
                 lines: 2,
                 samples: 3,
+                quarantine: vec![],
+                deadline_rows: None,
             }
         );
         assert!(parse(&argv("campaign")).is_err());
         assert!(parse(&argv("campaign b200")).is_err());
+    }
+
+    #[test]
+    fn campaign_degraded_flags_parse() {
+        let c = parse(&argv(
+            "campaign v100 --quarantine-sms 3,17,40 --deadline-rows 30",
+        ))
+        .unwrap();
+        let Command::Campaign {
+            quarantine,
+            deadline_rows,
+            ..
+        } = c
+        else {
+            panic!("expected campaign, got {c:?}");
+        };
+        assert_eq!(quarantine, vec![3, 17, 40]);
+        assert_eq!(deadline_rows, Some(30));
+        assert!(parse(&argv("campaign v100 --quarantine-sms 3,x")).is_err());
+        assert!(parse(&argv("campaign v100 --deadline-rows soon")).is_err());
+    }
+
+    #[test]
+    fn health_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("health")).unwrap(),
+            Command::Health {
+                width: 6,
+                height: 6,
+                cycles: 20_000,
+                device: None,
+                windows: 16,
+                seed: 0,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "health --width 5 --height 4 --cycles 9000 --device v100 --windows 8 --seed 3"
+            ))
+            .unwrap(),
+            Command::Health {
+                width: 5,
+                height: 4,
+                cycles: 9_000,
+                device: Some(GpuChoice::V100),
+                windows: 8,
+                seed: 3,
+            }
+        );
+        assert!(parse(&argv("health --device b200")).is_err());
+    }
+
+    #[test]
+    fn chaos_detect_flag_parses() {
+        let c = parse(&argv("chaos run --detect")).unwrap();
+        let Command::Chaos {
+            action: ChaosAction::Run { cfg, .. },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert!(cfg.detection);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let codes = [EXIT_OK, EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(USAGE.contains("EXIT CODES"));
+        assert!(USAGE.contains("--self-heal"));
+        assert!(USAGE.contains("gnoc health"));
     }
 
     #[test]
@@ -1070,6 +1251,8 @@ mod tests {
                 checkpoint: None,
                 lines: 8,
                 samples: 12,
+                quarantine: vec![],
+                deadline_rows: None,
             }
         );
 

@@ -7,7 +7,7 @@ use gnoc_chaos::{
 };
 use gnoc_cli::{
     parse_invocation, AttackKind, ChaosAction, Command, FaultsAction, GpuChoice, WorkloadKind,
-    USAGE,
+    EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO, EXIT_OK, USAGE,
 };
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
@@ -22,7 +22,8 @@ use gnoc_core::workloads::{bfs, gaussian};
 use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
     resolve_jobs, AccessKind, AesAttackConfig, CheckpointedCampaign, CtaScheduler, FaultPlan,
-    GpuDevice, LatencyCampaign, LatencyProbe, RsaAttackConfig, SliceId, SmId, Summary, WorkerPool,
+    GpuDevice, HealthConfig, LatencyCampaign, LatencyProbe, RsaAttackConfig, SelfHealingMesh,
+    SliceId, SmId, Summary, WorkerPool,
 };
 use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
 use std::path::{Path, PathBuf};
@@ -34,7 +35,7 @@ fn main() -> ExitCode {
         Ok(inv) => inv,
         Err(msg) => {
             eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INVALID_INPUT);
         }
     };
 
@@ -47,7 +48,7 @@ fn main() -> ExitCode {
                 Ok(sink) => t.set_sink(Box::new(sink)),
                 Err(e) => {
                     eprintln!("error: cannot create trace file {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_IO);
                 }
             }
         }
@@ -62,7 +63,7 @@ fn main() -> ExitCode {
             Ok(plan) => Some(plan),
             Err(e) => {
                 eprintln!("error: cannot load fault plan {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(plan_error_code(&e));
             }
         },
         None => None,
@@ -76,20 +77,33 @@ fn main() -> ExitCode {
         p
     };
 
-    let ok = run(inv.command, plan.as_ref(), &telemetry, &pool);
+    let code = run(inv.command, plan.as_ref(), &telemetry, &pool);
 
     telemetry.flush();
     if let Some(path) = &inv.metrics {
         let registry = telemetry.snapshot_registry().unwrap_or_default();
         if let Err(e) = registry.save(Path::new(path)) {
             eprintln!("error: cannot write metrics file {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    ExitCode::from(code)
+}
+
+/// Maps a fault-plan file error onto the documented exit codes: unreadable
+/// file → I/O, unparsable or semantically invalid content → invalid input.
+fn plan_error_code(e: &gnoc_core::FaultPlanError) -> u8 {
+    match e {
+        gnoc_core::FaultPlanError::Io(_) => EXIT_IO,
+        _ => EXIT_INVALID_INPUT,
+    }
+}
+
+/// Maps a chaos state/reproducer file error onto the documented exit codes.
+fn chaos_error_code(e: &gnoc_chaos::ChaosError) -> u8 {
+    match e {
+        gnoc_chaos::ChaosError::Io(_) => EXIT_IO,
+        _ => EXIT_INVALID_INPUT,
     }
 }
 
@@ -109,14 +123,18 @@ fn device(
     Ok(dev)
 }
 
-/// Unwraps a `Result` or prints the error and fails the subcommand.
+/// Unwraps a `Result` or prints the error and fails the subcommand with the
+/// given exit code (default: invalid input).
 macro_rules! try_or_fail {
     ($e:expr) => {
+        try_or_fail!($e, EXIT_INVALID_INPUT)
+    };
+    ($e:expr, $code:expr) => {
         match $e {
             Ok(v) => v,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                return false;
+                return $code;
             }
         }
     };
@@ -127,7 +145,7 @@ fn run(
     plan: Option<&FaultPlan>,
     telemetry: &TelemetryHandle,
     pool: &WorkerPool,
-) -> bool {
+) -> u8 {
     match cmd {
         Command::Help => print!("{USAGE}"),
 
@@ -148,7 +166,7 @@ fn run(
             let n = dev.hierarchy().num_sms() as u32;
             if sm >= n {
                 eprintln!("error: SM {sm} out of range (device has {n} SMs)");
-                return false;
+                return EXIT_INVALID_INPUT;
             }
             let probe = LatencyProbe::default();
             let profile = probe.sm_profile(&mut dev, SmId::new(sm));
@@ -188,7 +206,8 @@ fn run(
                     r.gpc_global,
                     r.gpc_sms,
                     r.cpc
-                        .map(|c| format!(", CPC {:.1}/{}", c, r.cpc_sms.unwrap()))
+                        .zip(r.cpc_sms)
+                        .map(|(c, n)| format!(", CPC {c:.1}/{n}"))
                         .unwrap_or_default()
                 );
             }
@@ -282,14 +301,19 @@ fn run(
             age_based,
             seed,
             transfers,
+            self_heal,
         } => {
             let arbiter = if age_based {
                 ArbiterKind::AgeBased
             } else {
                 ArbiterKind::RoundRobin
             };
+            if self_heal && plan.is_none() {
+                eprintln!("error: --self-heal needs a --faults plan to heal around");
+                return EXIT_INVALID_INPUT;
+            }
             if let Some(plan) = plan {
-                return run_faulted_mesh(plan, arbiter, seed, transfers, telemetry);
+                return run_faulted_mesh(plan, arbiter, seed, transfers, self_heal, telemetry);
             }
             let r = run_fairness_traced(FairnessConfig::paper(arbiter), seed, telemetry.clone());
             println!("6x6 mesh, 30 compute nodes → 6 MCs, {arbiter:?} arbitration:");
@@ -312,6 +336,8 @@ fn run(
             checkpoint,
             lines,
             samples,
+            quarantine,
+            deadline_rows,
         } => {
             let probe = LatencyProbe {
                 working_set_lines: lines,
@@ -333,6 +359,37 @@ fn run(
                     "resuming from checkpoint: {resumed_at}/{} rows done",
                     campaign.num_sms()
                 );
+            }
+            if !quarantine.is_empty() || deadline_rows.is_some() {
+                // Degraded mode: skip quarantined SMs, honor the row budget,
+                // and salvage whatever was measured with explicit coverage.
+                try_or_fail!(campaign
+                    .set_quarantined_sms(quarantine)
+                    .map_err(|e| e.to_string()));
+                let (result, coverage) = try_or_fail!(campaign
+                    .run_degraded(path, deadline_rows)
+                    .map_err(|e| e.to_string()));
+                println!(
+                    "{preset}: grand mean latency {:.0} cycles (degraded campaign{})",
+                    result.grand_mean(),
+                    if plan.is_some() {
+                        ", fault plan applied"
+                    } else {
+                        ""
+                    }
+                );
+                println!(
+                    "coverage: {}/{} rows measured ({:.0}%), {} quarantined, {} unreached",
+                    coverage.measured,
+                    coverage.total,
+                    100.0 * coverage.fraction(),
+                    coverage.quarantined.len(),
+                    coverage.unreached
+                );
+                if let Some(p) = path {
+                    println!("checkpoint: {}", p.display());
+                }
+                return EXIT_OK;
             }
             let result = try_or_fail!(campaign
                 .run_to_completion_par(path, pool)
@@ -475,11 +532,108 @@ fn run(
             Ok(registry) => print_stats(&registry),
             Err(e) => {
                 eprintln!("error: cannot read metrics file {path}: {e}");
-                return false;
+                return EXIT_IO;
             }
         },
+
+        Command::Health {
+            width,
+            height,
+            cycles,
+            device,
+            windows,
+            seed,
+        } => return run_health(width, height, cycles, device, windows, seed, plan),
     }
-    true
+    EXIT_OK
+}
+
+/// `gnoc health`: online fault detection. The `--faults` plan (or an empty
+/// one) is applied physically but hidden from routing; the health layer must
+/// infer faults from behavioral telemetry, quarantine them, and report what
+/// it found. With `--device`, the plan's disabled slices are additionally
+/// planted as latent device faults for the slice monitors to find.
+fn run_health(
+    width: u32,
+    height: u32,
+    cycles: u64,
+    device: Option<GpuChoice>,
+    windows: u64,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) -> u8 {
+    let benign = FaultPlan::none();
+    let plan = plan.unwrap_or(&benign);
+    let mesh_cfg = MeshConfig {
+        width: width as usize,
+        height: height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: gnoc_core::noc::RouteOrder::Xy,
+        vcs: 1,
+    };
+    let mut healer = try_or_fail!(SelfHealingMesh::new(
+        mesh_cfg,
+        plan,
+        RetryConfig::default(),
+        HealthConfig::default(),
+    )
+    .map_err(|e| format!("plan does not fit a {width}x{height} mesh: {e}")));
+    try_or_fail!(healer
+        .run_detection(cycles)
+        .map_err(|e| format!("detection run failed: {e}")));
+    let report = healer.report();
+    println!(
+        "self-healing {width}x{height} mesh, plan [{}] hidden from routing:",
+        plan.summary()
+    );
+    println!(
+        "  {} cycles, {} health windows, {} patrol rounds",
+        report.cycles, report.windows, report.patrol_rounds
+    );
+    println!(
+        "  patrol traffic: {} delivered, {} lost, {} retries, {} reroutes",
+        report.delivered, report.lost, report.retries, report.reroutes
+    );
+    if report.transitions.is_empty() {
+        println!("  breakers: all closed (no faults detected)");
+    } else {
+        println!("  breaker transitions:");
+        for t in &report.transitions {
+            println!(
+                "    cycle {:>8}: {} {} -> {}",
+                t.at, t.resource, t.from, t.to
+            );
+        }
+    }
+    if !report.quarantined_now.is_empty() {
+        println!("  quarantined now: {}", report.quarantined_now.join(", "));
+    }
+    for refusal in &report.refused {
+        println!("  quarantine refused (would disconnect): {refusal}");
+    }
+
+    if let Some(gpu) = device {
+        let monitor = try_or_fail!(gnoc_core::health::run_slice_detection_for_spec(
+            gpu.spec(),
+            plan,
+            seed,
+            HealthConfig::default(),
+            windows,
+        )
+        .map_err(|e| format!("slice detection on {}: {e}", gpu.preset_name())))
+        .1;
+        let found = monitor.detected_slices();
+        println!(
+            "{} slice probe ({windows} windows): {} slice breaker(s) opened",
+            gpu.preset_name(),
+            found.len()
+        );
+        for (slice, window) in found {
+            println!("  slice {slice}: first opened in window {window}");
+        }
+    }
+    EXIT_OK
 }
 
 /// `gnoc mesh --faults plan.json`: retrying delivery over a degraded mesh.
@@ -487,19 +641,46 @@ fn run(
 /// Submits uniform-random (but seed-deterministic) transfers through a
 /// [`ReliableMesh`] with the plan applied, then reports delivery, loss,
 /// retry, and tail-latency figures; `--metrics` captures the `noc.retry.*`
-/// counters.
+/// counters. With `--self-heal` the plan is hidden from routing and the
+/// health layer quarantines what it detects instead.
 fn run_faulted_mesh(
     plan: &FaultPlan,
     arbiter: ArbiterKind,
     seed: u64,
     transfers: usize,
+    self_heal: bool,
     telemetry: &TelemetryHandle,
-) -> bool {
+) -> u8 {
     let cfg = MeshConfig::paper_6x6(arbiter);
     let nodes = (cfg.width * cfg.height) as u64;
-    let mut rm = try_or_fail!(
-        ReliableMesh::with_faults(cfg, plan, RetryConfig::default()).map_err(|e| e.to_string())
-    );
+    let mut rm = if self_heal {
+        let mut healer = try_or_fail!(SelfHealingMesh::new(
+            cfg,
+            plan,
+            RetryConfig::default(),
+            HealthConfig::default()
+        )
+        .map_err(|e| e.to_string()));
+        // Warm-up patrol: detect and quarantine before user traffic.
+        try_or_fail!(healer
+            .run_detection(20_000)
+            .map_err(|e| format!("self-heal warm-up failed: {e}")));
+        let report = healer.report();
+        println!(
+            "self-heal warm-up: {} breaker transition(s), quarantined now: {}",
+            report.transitions.len(),
+            if report.quarantined_now.is_empty() {
+                "(none)".to_owned()
+            } else {
+                report.quarantined_now.join(", ")
+            }
+        );
+        healer.into_mesh()
+    } else {
+        try_or_fail!(
+            ReliableMesh::with_faults(cfg, plan, RetryConfig::default()).map_err(|e| e.to_string())
+        )
+    };
     rm.mesh_mut().set_telemetry(telemetry.clone());
 
     // splitmix64 traffic stream keyed by the seed: deterministic across runs.
@@ -570,16 +751,17 @@ fn run_faulted_mesh(
             "error: mesh failed to quiesce (outstanding {})",
             rm.outstanding()
         );
-        return false;
+        return EXIT_CHECK_FAILED;
     }
-    true
+    EXIT_OK
 }
 
 /// `gnoc chaos run|replay|shrink`: the fuzzing soak and its reproducer
-/// tooling. `run` exits nonzero when any oracle fired; `replay` exits
-/// nonzero while the recorded failure still reproduces (a scriptable
-/// "is this bug fixed yet" check).
-fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &WorkerPool) -> bool {
+/// tooling. Exit codes follow the documented scheme: `run` exits 1 when any
+/// oracle fired; `replay` exits 1 while the recorded failure still
+/// reproduces (a scriptable "is this bug fixed yet" check); unusable files
+/// exit 2 (parse/config) or 3 (I/O).
+fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &WorkerPool) -> u8 {
     match action {
         ChaosAction::Run {
             seeds,
@@ -598,17 +780,35 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &Wor
                 repro_dir: repro_dir.map(PathBuf::from),
                 jobs: pool.jobs(),
             };
-            let run = try_or_fail!(run_chaos(&cfg, &opts, telemetry).map_err(|e| e.to_string()));
+            let run = match run_chaos(&cfg, &opts, telemetry) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return chaos_error_code(&e);
+                }
+            };
             let clean = print_chaos_run(&run);
             if let Some(path) = report {
-                try_or_fail!(run.report.save(Path::new(&path)).map_err(|e| e.to_string()));
+                try_or_fail!(
+                    run.report.save(Path::new(&path)).map_err(|e| e.to_string()),
+                    EXIT_IO
+                );
                 println!("report: {path}");
             }
-            clean
+            if clean {
+                EXIT_OK
+            } else {
+                EXIT_CHECK_FAILED
+            }
         }
         ChaosAction::Replay { repro } => {
-            let repro =
-                try_or_fail!(Reproducer::load(Path::new(&repro)).map_err(|e| e.to_string()));
+            let repro = match Reproducer::load(Path::new(&repro)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return chaos_error_code(&e);
+                }
+            };
             // A repro recorded with --greedy-bug must not silently "pass"
             // in a binary built without the bug-hooks feature.
             try_or_fail!(repro.config.validate().map_err(|e| e.to_string()));
@@ -624,16 +824,21 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &Wor
             }
             if out.violations.iter().any(|v| v.oracle == repro.oracle) {
                 println!("  recorded failure still reproduces");
-                false
+                EXIT_CHECK_FAILED
             } else {
                 println!("  recorded failure no longer reproduces");
-                true
+                EXIT_OK
             }
         }
         ChaosAction::Shrink { repro, out } => {
             let path = repro;
-            let mut repro =
-                try_or_fail!(Reproducer::load(Path::new(&path)).map_err(|e| e.to_string()));
+            let mut repro = match Reproducer::load(Path::new(&path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return chaos_error_code(&e);
+                }
+            };
             try_or_fail!(repro.config.validate().map_err(|e| e.to_string()));
             let run_device = repro.config.device.is_some();
             let fires = run_iteration(&repro.config, repro.seed, &repro.plan, run_device)
@@ -646,7 +851,7 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &Wor
                      nothing to shrink",
                     repro.oracle
                 );
-                return false;
+                return EXIT_CHECK_FAILED;
             }
             let before = decompose(&repro.plan, repro.config.width, repro.config.height).len();
             repro.plan = shrink_violation(
@@ -659,12 +864,15 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &Wor
             let after = decompose(&repro.plan, repro.config.width, repro.config.height).len();
             let out_path = out.unwrap_or(path);
             repro.command = format!("gnoc chaos replay --repro {out_path}");
-            try_or_fail!(repro.save(Path::new(&out_path)).map_err(|e| e.to_string()));
+            try_or_fail!(
+                repro.save(Path::new(&out_path)).map_err(|e| e.to_string()),
+                EXIT_IO
+            );
             println!(
                 "{out_path}: {before} -> {after} fault atoms, oracle [{}] still fires",
                 repro.oracle
             );
-            true
+            EXIT_OK
         }
     }
 }
@@ -709,15 +917,17 @@ fn print_chaos_run(run: &ChaosRun) -> bool {
     r.is_clean()
 }
 
-/// `gnoc faults gen|check`: fault-plan file tooling.
-fn run_faults(action: FaultsAction) -> bool {
+/// `gnoc faults gen|check`: fault-plan file tooling. `check` exits 1 when
+/// the plan parses but fails validation for the given geometry, 2 for a
+/// malformed file or bad flags, and 3 for I/O errors.
+fn run_faults(action: FaultsAction) -> u8 {
     match action {
         FaultsAction::Gen { out, cfg } => {
             // try_generate validates every knob first, so a bad flag value
             // (e.g. --flaky-prob 1.5) is a hard error naming the field
             // instead of a silently saved invalid plan.
             let plan = try_or_fail!(FaultPlan::try_generate(&cfg).map_err(|e| e.to_string()));
-            try_or_fail!(plan.save(&out).map_err(|e| e.to_string()));
+            try_or_fail!(plan.save(&out).map_err(|e| e.to_string()), EXIT_IO);
             println!("{out}: {}", plan.summary());
         }
         FaultsAction::Check {
@@ -726,20 +936,30 @@ fn run_faults(action: FaultsAction) -> bool {
             height,
             slices,
         } => {
-            let plan = try_or_fail!(FaultPlan::load(&path).map_err(|e| e.to_string()));
-            try_or_fail!(plan
-                .validate_for_mesh(width, height)
-                .map_err(|e| format!("{path} invalid for a {width}x{height} mesh: {e}")));
+            let plan = match FaultPlan::load(&path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return plan_error_code(&e);
+                }
+            };
+            try_or_fail!(
+                plan.validate_for_mesh(width, height)
+                    .map_err(|e| format!("{path} invalid for a {width}x{height} mesh: {e}")),
+                EXIT_CHECK_FAILED
+            );
             if let Some(n) = slices {
-                try_or_fail!(plan
-                    .validate_for_slices(n)
-                    .map_err(|e| format!("{path} invalid for {n} L2 slices: {e}")));
+                try_or_fail!(
+                    plan.validate_for_slices(n)
+                        .map_err(|e| format!("{path} invalid for {n} L2 slices: {e}")),
+                    EXIT_CHECK_FAILED
+                );
             }
             println!("{path}: valid for a {width}x{height} mesh");
             println!("  {}", plan.summary());
         }
     }
-    true
+    EXIT_OK
 }
 
 /// Folds the device's per-slice profiler counts into the shared registry so

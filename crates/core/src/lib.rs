@@ -17,6 +17,7 @@
 //! | Workloads | [`workloads`] | BFS / Gaussian / streaming traces |
 //! | Observability | [`telemetry`] | [`TelemetryHandle`], [`MetricRegistry`], [`JsonlWriter`] |
 //! | Parallel execution | [`par`] | [`WorkerPool`], [`resolve_jobs`], [`LatencyCampaign::run_par`] |
+//! | Self-healing | [`health`] | [`SelfHealingMesh`], [`CircuitBreaker`], [`HealthConfig`] |
 //!
 //! Quick start (the paper's Observation #1 in five lines):
 //!
@@ -43,12 +44,13 @@ mod parallel;
 pub use campaign::{infer_placement, LatencyCampaign, PlacementReport};
 pub use checkpoint::{
     device_for_preset, row_seed, spec_for_preset, CheckpointError, CheckpointedCampaign,
-    CHECKPOINT_VERSION,
+    CoverageReport, CHECKPOINT_VERSION,
 };
 
 pub use gnoc_analysis as analysis;
 pub use gnoc_engine as engine;
 pub use gnoc_faults as faults;
+pub use gnoc_health as health;
 pub use gnoc_microbench as microbench;
 pub use gnoc_noc as noc;
 pub use gnoc_par as par;
@@ -66,6 +68,9 @@ pub use gnoc_engine::{
 };
 pub use gnoc_faults::{
     FaultGenConfig, FaultPlan, FaultPlanError, FlakyBurst, FloorSweep, RegionFault, SweepError,
+};
+pub use gnoc_health::{
+    BreakerConfig, BreakerState, CircuitBreaker, HealthConfig, HealthReport, SelfHealingMesh,
 };
 pub use gnoc_microbench::{input_speedups, LatencyProbe, SpeedupReport};
 pub use gnoc_noc::{

@@ -81,6 +81,13 @@ impl From<SweepError> for DeviceError {
     }
 }
 
+/// Extra round-trip cycles a read serviced by a latent-faulty L2 slice
+/// costs: the ECC-retry / replay storm of a failing SRAM macro. Far outside
+/// every preset's calibrated hit band *and* the DRAM miss penalty, so a
+/// latency-EWMA health monitor can separate "broken slice" from "cold line"
+/// without reading the fault plan.
+pub const FAULTY_SLICE_PENALTY_CYCLES: f64 = 900.0;
+
 /// A simulated GPU with deterministic, seeded measurement behaviour.
 #[derive(Debug)]
 pub struct GpuDevice {
@@ -95,6 +102,13 @@ pub struct GpuDevice {
     rng: StdRng,
     telemetry: TelemetryHandle,
     virtual_cycles: u64,
+    /// Latent per-slice faults (self-healing mode): the address map still
+    /// routes traffic to these slices, but every read they service pays
+    /// [`FAULTY_SLICE_PENALTY_CYCLES`]. Empty on a healthy or
+    /// told-up-front-faulted device, keeping those paths bit-identical.
+    latent_faulty_slices: Vec<bool>,
+    /// Slices fused off at runtime by the health layer, ascending.
+    quarantined_slices: Vec<u32>,
 }
 
 impl GpuDevice {
@@ -159,6 +173,8 @@ impl GpuDevice {
             rng: StdRng::seed_from_u64(seed),
             telemetry: TelemetryHandle::disabled(),
             virtual_cycles: 0,
+            latent_faulty_slices: Vec::new(),
+            quarantined_slices: Vec::new(),
         })
     }
 
@@ -190,6 +206,122 @@ impl GpuDevice {
             .map_err(DeviceError::Slices)?;
         }
         Ok(dev)
+    }
+
+    /// Builds a device whose slice faults are *latent*: the plan's
+    /// floorsweep is applied (it is known at ship time), but
+    /// `plan.disabled_slices` are **not** remapped away — the address hash
+    /// still routes traffic to them, and every read they service pays
+    /// [`FAULTY_SLICE_PENALTY_CYCLES`]. This is the self-healing scenario:
+    /// a health monitor must notice the pathological latencies and call
+    /// [`GpuDevice::quarantine_slice`], which performs the remap the plan
+    /// would have done up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the sweep or slice set is invalid for the
+    /// device, or if the resulting spec is inconsistent.
+    pub fn with_latent_faults(
+        spec: GpuSpec,
+        plan: &FaultPlan,
+        seed: u64,
+    ) -> Result<Self, DeviceError> {
+        let spec = match &plan.sweep {
+            Some(sweep) => spec.floorswept(sweep)?,
+            None => spec,
+        };
+        let calib = Calibration::for_spec(&spec);
+        let mut dev = Self::with_calibration(spec, calib, seed)?;
+        if !plan.disabled_slices.is_empty() {
+            plan.validate_for_slices(dev.hierarchy.num_slices() as u32)
+                .map_err(DeviceError::FaultPlan)?;
+            dev.latent_faulty_slices = vec![false; dev.hierarchy.num_slices()];
+            for &s in &plan.disabled_slices {
+                dev.latent_faulty_slices[s as usize] = true;
+            }
+        }
+        Ok(dev)
+    }
+
+    /// Whether `slice` carries a latent fault (self-healing mode only).
+    fn slice_latent_faulty(&self, slice: SliceId) -> bool {
+        self.latent_faulty_slices
+            .get(slice.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Fuses `slice` off at runtime and remaps the address hash around it —
+    /// the health layer's Open-breaker action for an L2 slice, equivalent to
+    /// the up-front [`AddressMap::with_disabled`] remap. Idempotent on an
+    /// already-quarantined slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Slices`] (leaving the current map in place)
+    /// when removing the slice would leave no usable L2 — e.g. the last
+    /// slice of a partition on a partition-local device.
+    pub fn quarantine_slice(&mut self, slice: SliceId) -> Result<(), DeviceError> {
+        let s = slice.index() as u32;
+        if self.quarantined_slices.contains(&s) {
+            return Ok(());
+        }
+        let mut disabled = self.quarantined_slices.clone();
+        disabled.push(s);
+        disabled.sort_unstable();
+        let map = AddressMap::with_disabled(&self.hierarchy, self.spec.cache_policy, &disabled)
+            .map_err(DeviceError::Slices)?;
+        self.addr_map = map;
+        self.quarantined_slices = disabled;
+        self.telemetry.emit_with(|| {
+            TraceEvent::new(self.virtual_cycles, SUBSYSTEM_ENGINE, "slice_quarantine")
+                .with("slice", slice.index())
+        });
+        Ok(())
+    }
+
+    /// Returns `slice` to service (HalfOpen probe passed) and remaps the
+    /// hash back over it. Idempotent on a slice that is not quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Slices`] if the remaining disable set is
+    /// somehow invalid (cannot happen for sets built via
+    /// [`GpuDevice::quarantine_slice`]).
+    pub fn release_slice(&mut self, slice: SliceId) -> Result<(), DeviceError> {
+        let s = slice.index() as u32;
+        let Some(pos) = self.quarantined_slices.iter().position(|&q| q == s) else {
+            return Ok(());
+        };
+        let mut disabled = self.quarantined_slices.clone();
+        disabled.remove(pos);
+        let map = AddressMap::with_disabled(&self.hierarchy, self.spec.cache_policy, &disabled)
+            .map_err(DeviceError::Slices)?;
+        self.addr_map = map;
+        self.quarantined_slices = disabled;
+        Ok(())
+    }
+
+    /// The slices currently quarantined by the health layer, ascending.
+    pub fn quarantined_slices(&self) -> &[u32] {
+        &self.quarantined_slices
+    }
+
+    /// One timed health-probe read answered directly by the physical
+    /// `slice`, bypassing the address remap — how a HalfOpen breaker tests a
+    /// quarantined slice that no normal address reaches any more. Returns
+    /// warm-hit latency (plus the fault penalty when the slice is latently
+    /// broken) with the usual measurement jitter; leaves the L2 residency
+    /// and profiler state untouched.
+    pub fn probe_slice_latency(&mut self, sm: SmId, slice: SliceId) -> u64 {
+        let mut mean =
+            latency::l2_hit_cycles(&self.hierarchy, &self.floorplan, &self.calib, sm, slice);
+        if self.slice_latent_faulty(slice) {
+            mean += FAULTY_SLICE_PENALTY_CYCLES;
+        }
+        let cycles = noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles);
+        self.virtual_cycles += cycles;
+        cycles
     }
 
     /// Builds a preset device from a runtime name, with a typed error for
@@ -322,7 +454,7 @@ impl GpuDevice {
         let slice = self.addr_map.effective_slice(line, p);
         self.profiler.record(slice);
         let outcome = self.l2.access(self.residency_key(line, p));
-        let mean = match outcome {
+        let mut mean = match outcome {
             L2Outcome::Hit => {
                 latency::l2_hit_cycles(&self.hierarchy, &self.floorplan, &self.calib, sm, slice)
             }
@@ -335,6 +467,9 @@ impl GpuDevice {
                 self.addr_map.home_mp(line),
             ),
         };
+        if self.slice_latent_faulty(slice) {
+            mean += FAULTY_SLICE_PENALTY_CYCLES;
+        }
         let cycles = noise::jittered_cycles(&mut self.rng, mean, self.calib.jitter_sigma_cycles);
         self.virtual_cycles += cycles;
         if self.telemetry.is_enabled() {

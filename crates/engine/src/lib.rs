@@ -39,7 +39,7 @@ mod scheduler;
 
 pub use cache::{L2Outcome, L2State, ResidencyKey};
 pub use calib::{Calibration, UNLIMITED};
-pub use device::{DeviceError, GpuDevice};
+pub use device::{DeviceError, GpuDevice, FAULTY_SLICE_PENALTY_CYCLES};
 pub use fabric::{AccessKind, Direction, FabricModel, FlowSolution, FlowSpec, ResourceKind};
 pub use hash::{AddressMap, SliceDisableError, LINE_BYTES};
 pub use noise::{gaussian, jittered_cycles};

@@ -1,0 +1,220 @@
+//! End-to-end detection tests: the device under test never reads the fault
+//! plan; everything is inferred from drop counters and probe latencies.
+
+use gnoc_faults::{Direction, FaultPlan, LinkFault, LinkFaultKind};
+use gnoc_health::{BreakerState, HealthConfig, SelfHealingMesh};
+use gnoc_noc::{ArbiterKind, MeshConfig, RetryConfig};
+use gnoc_topo::GpuSpec;
+
+fn mesh_cfg() -> MeshConfig {
+    MeshConfig::paper_6x6(ArbiterKind::RoundRobin)
+}
+
+fn healer(plan: &FaultPlan) -> SelfHealingMesh {
+    SelfHealingMesh::new(
+        mesh_cfg(),
+        plan,
+        RetryConfig::default(),
+        HealthConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn benign_mesh_has_no_detections() {
+    let mut h = healer(&FaultPlan::none());
+    h.run_detection(8_000).unwrap();
+    let report = h.report();
+    assert!(
+        report.detections.is_empty(),
+        "false positives on a benign mesh: {:?}",
+        report.detections
+    );
+    assert!(report.quarantined_now.is_empty());
+    assert_eq!(report.lost, 0);
+    assert!(report.delivered > 0, "patrol traffic must flow");
+}
+
+#[test]
+fn dead_link_is_detected_and_quarantined() {
+    let mut plan = FaultPlan::none();
+    plan.links.push(LinkFault {
+        router: 14,
+        dir: Direction::North,
+        kind: LinkFaultKind::Dead,
+        onset: 0,
+    });
+    let mut h = healer(&plan);
+    h.run_detection(8_000).unwrap();
+    let detected = h.detected_links();
+    assert_eq!(
+        detected.len(),
+        1,
+        "exactly the dead link must open: {detected:?}"
+    );
+    assert_eq!(detected[0].0, 14);
+    assert_eq!(detected[0].1, Direction::North);
+    // Once quarantined, routing avoids the link, so it stays out of service
+    // (probes against a dead link fail, re-opening the breaker).
+    let report = h.report();
+    assert!(report
+        .quarantined_now
+        .contains(&"link 14:North".to_string()));
+    assert!(report.reroutes >= 1);
+}
+
+#[test]
+fn onset_fault_detection_latency_is_bounded() {
+    const ONSET: u64 = 3_000;
+    let mut plan = FaultPlan::none();
+    plan.links.push(LinkFault {
+        router: 8,
+        dir: Direction::East,
+        kind: LinkFaultKind::Dead,
+        onset: ONSET,
+    });
+    let mut h = healer(&plan);
+    h.run_detection(ONSET + 8_000).unwrap();
+    let detected = h.detected_links();
+    assert_eq!(detected.len(), 1, "{detected:?}");
+    let (_, _, cycle) = detected[0];
+    assert!(cycle >= ONSET, "cannot detect before the fault exists");
+    assert!(
+        cycle <= ONSET + 6_000,
+        "detection latency {} exceeds bound",
+        cycle - ONSET
+    );
+}
+
+#[test]
+fn very_flaky_link_trips_its_breaker() {
+    let mut plan = FaultPlan::none();
+    plan.seed = 9;
+    plan.links.push(LinkFault {
+        router: 20,
+        dir: Direction::West,
+        kind: LinkFaultKind::Flaky { drop_prob: 0.9 },
+        onset: 0,
+    });
+    let mut h = healer(&plan);
+    h.run_detection(10_000).unwrap();
+    let detected = h.detected_links();
+    assert!(
+        detected
+            .iter()
+            .any(|&(r, d, _)| r == 20 && d == Direction::West),
+        "flaky link not detected: {detected:?}"
+    );
+    // No healthy link may be blamed.
+    assert!(
+        detected
+            .iter()
+            .all(|&(r, d, _)| r == 20 && d == Direction::West),
+        "healthy links blamed: {detected:?}"
+    );
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let mut plan = FaultPlan::none();
+    plan.seed = 5;
+    plan.links.push(LinkFault {
+        router: 9,
+        dir: Direction::South,
+        kind: LinkFaultKind::Dead,
+        onset: 1_000,
+    });
+    plan.links.push(LinkFault {
+        router: 27,
+        dir: Direction::East,
+        kind: LinkFaultKind::Flaky { drop_prob: 0.5 },
+        onset: 0,
+    });
+    let run = |_: u32| {
+        let mut h = healer(&plan);
+        h.run_detection(12_000).unwrap();
+        serde_json::to_string(&h.report()).unwrap()
+    };
+    assert_eq!(run(0), run(1), "breaker history must be bit-identical");
+}
+
+#[test]
+fn health_report_round_trips_through_json() {
+    let mut plan = FaultPlan::none();
+    plan.links.push(LinkFault {
+        router: 14,
+        dir: Direction::North,
+        kind: LinkFaultKind::Dead,
+        onset: 0,
+    });
+    let mut h = healer(&plan);
+    h.run_detection(6_000).unwrap();
+    let report = h.report();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: gnoc_health::HealthReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn latent_faulty_slices_are_detected_and_quarantined() {
+    let mut plan = FaultPlan::none();
+    plan.disabled_slices = vec![3, 17];
+    let (dev, monitor) = gnoc_health::run_slice_detection_for_spec(
+        GpuSpec::v100(),
+        &plan,
+        42,
+        HealthConfig::default(),
+        20,
+    )
+    .unwrap();
+    let detected: Vec<u32> = monitor.detected_slices().iter().map(|&(s, _)| s).collect();
+    assert_eq!(detected, vec![3, 17], "exactly the faulty slices must open");
+    assert_eq!(dev.quarantined_slices(), &[3, 17]);
+    // Probes against a still-faulty slice keep failing, so no breaker may
+    // have closed again.
+    for d in monitor.detections() {
+        assert_ne!(d.state, BreakerState::Closed, "{d:?}");
+    }
+    // Detection latency: the penalty dwarfs the margin, so the leaky bucket
+    // fills in the first two windows.
+    for &(_, window) in &monitor.detected_slices() {
+        assert!(window <= 2, "slice detection too slow: window {window}");
+    }
+}
+
+#[test]
+fn healthy_device_has_no_slice_detections() {
+    let (dev, monitor) = gnoc_health::run_slice_detection_for_spec(
+        GpuSpec::v100(),
+        &FaultPlan::none(),
+        7,
+        HealthConfig::default(),
+        25,
+    )
+    .unwrap();
+    assert!(monitor.detected_slices().is_empty());
+    assert!(dev.quarantined_slices().is_empty());
+}
+
+#[test]
+fn quarantine_restores_patrol_delivery() {
+    // After the dead link is fenced off, later patrol rounds route around it
+    // and stop losing transfers: losses must plateau.
+    let mut plan = FaultPlan::none();
+    plan.links.push(LinkFault {
+        router: 14,
+        dir: Direction::North,
+        kind: LinkFaultKind::Dead,
+        onset: 0,
+    });
+    let mut h = healer(&plan);
+    h.run_detection(8_000).unwrap();
+    let lost_at_detect = h.report().lost;
+    h.run_detection(30_000).unwrap();
+    let report = h.report();
+    assert_eq!(
+        report.lost, lost_at_detect,
+        "losses must stop once the link is quarantined"
+    );
+    assert!(report.delivered > 0);
+}

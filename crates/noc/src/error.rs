@@ -14,6 +14,11 @@ pub enum LossReason {
     Unroutable,
     /// Dropped by a flaky link's per-flit coin toss.
     FlakyLink,
+    /// Dropped at the transmit side of a dead link the routing function
+    /// still points at — only possible in self-healing mode, where fault
+    /// onsets do *not* recompute routes (the health layer must detect the
+    /// link and quarantine it first).
+    DeadLink,
     /// Dropped by the die-wide transient fault process.
     TransientDrop,
     /// The reliable layer gave up after exhausting its retry budget.
@@ -28,6 +33,7 @@ impl std::fmt::Display for LossReason {
         let s = match self {
             Self::Unroutable => "unroutable",
             Self::FlakyLink => "flaky-link",
+            Self::DeadLink => "dead-link",
             Self::TransientDrop => "transient-drop",
             Self::RetriesExhausted => "retries-exhausted",
             Self::Watchdog => "watchdog",
@@ -54,6 +60,15 @@ pub enum NocError {
         /// Terminals in the mesh.
         num_nodes: u32,
     },
+    /// A health-layer quarantine request was refused because removing the
+    /// link would leave some node pair without a surviving route. The mesh
+    /// keeps serving (degraded) traffic instead of partitioning itself.
+    QuarantineWouldDisconnect {
+        /// Router at the transmit end of the refused link.
+        router: u32,
+        /// Output port name of the refused link.
+        dir: gnoc_faults::Direction,
+    },
 }
 
 impl std::fmt::Display for NocError {
@@ -65,6 +80,10 @@ impl std::fmt::Display for NocError {
             Self::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range ({num_nodes} terminals)")
             }
+            Self::QuarantineWouldDisconnect { router, dir } => write!(
+                f,
+                "quarantining link {router}:{dir:?} would disconnect the mesh"
+            ),
         }
     }
 }
@@ -93,6 +112,7 @@ mod tests {
         let all = [
             LossReason::Unroutable,
             LossReason::FlakyLink,
+            LossReason::DeadLink,
             LossReason::TransientDrop,
             LossReason::RetriesExhausted,
             LossReason::Watchdog,

@@ -10,7 +10,7 @@
 use crate::arbiter::{Arbiter, ArbiterKind};
 use crate::error::{LossReason, NocError};
 use crate::packet::{NodeId, Packet, PacketClass};
-use gnoc_faults::{Direction, FaultPlan, LinkFaultKind};
+use gnoc_faults::{Direction, FaultPlan, FaultPlanError, LinkFaultKind};
 use gnoc_telemetry::{MetricRegistry, TelemetryHandle, TraceEvent, SUBSYSTEM_NOC};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +23,10 @@ const NORTH: usize = 1;
 const EAST: usize = 2;
 const SOUTH: usize = 3;
 const WEST: usize = 4;
-const NUM_PORTS: usize = 5;
+/// Ports per router: local + the four [`Direction`]s. Per-link statistics
+/// vectors such as [`MeshStats::link_drops`] are indexed
+/// `router * NUM_PORTS + port`.
+pub const NUM_PORTS: usize = 5;
 
 /// Dimension order used by deterministic routing.
 ///
@@ -119,6 +122,17 @@ fn port_of(dir: Direction) -> usize {
     }
 }
 
+/// The fault-plan [`Direction`] a non-local output port maps to.
+fn dir_of(port: usize) -> Direction {
+    match port {
+        NORTH => Direction::North,
+        EAST => Direction::East,
+        SOUTH => Direction::South,
+        WEST => Direction::West,
+        _ => unreachable!("the local port has no direction"),
+    }
+}
+
 /// Sentinel in the reroute tables for "no surviving path".
 const UNREACHABLE: u8 = u8::MAX;
 
@@ -132,6 +146,11 @@ struct FaultState {
     next_dead: usize,
     /// Directed link liveness, indexed `router * NUM_PORTS + port`.
     link_dead: Vec<bool>,
+    /// Links taken out of service by the health layer (same indexing). The
+    /// routing function always avoids quarantined links; in self-healing
+    /// mode they are the *only* links it avoids, because the plan's dead
+    /// set is hidden from the router until a breaker opens.
+    quarantined: Vec<bool>,
     /// Flaky links as `(onset, drop probability)`, same indexing.
     link_flaky: Vec<Option<(u64, f64)>>,
     /// Fault-aware up*/down* next-hop tables,
@@ -185,6 +204,12 @@ pub struct MeshStats {
     pub dropped_unroutable: u64,
     /// Times the next-hop tables were recomputed after links died.
     pub reroutes: u64,
+    /// Packets lost per directed link, indexed `router * NUM_PORTS + port`
+    /// (dead-link, flaky, and transient drops are attributed to the link the
+    /// packet was crossing). This is the per-link error counter a real
+    /// router exports — the behavioral signal the health layer's breakers
+    /// consume without ever reading the fault plan.
+    pub link_drops: Vec<u64>,
 }
 
 impl MeshStats {
@@ -261,6 +286,11 @@ pub struct Mesh {
     corrupted: HashSet<u64>,
     /// Last cycle on which any packet moved — drives the external watchdog.
     last_progress: u64,
+    /// Self-healing mode: fault onsets do *not* recompute the next-hop
+    /// tables (the mesh is not told about its faults); packets routed into a
+    /// dead link are dropped at the transmit side and counted per-link, so
+    /// an external health layer can detect the link and quarantine it.
+    self_heal: bool,
     /// Test hook: route greedily (no up*/down* discipline), re-introducing
     /// the historical deadlock bug for the chaos harness to catch.
     #[cfg(feature = "bug-hooks")]
@@ -304,6 +334,7 @@ impl Mesh {
                 delivered_by_src: vec![0; n],
                 injected_by_src: vec![0; n],
                 link_flits: vec![0; n * NUM_PORTS],
+                link_drops: vec![0; n * NUM_PORTS],
                 ..MeshStats::default()
             },
             window_flits: vec![0; n * NUM_PORTS],
@@ -312,6 +343,7 @@ impl Mesh {
             lost: Vec::new(),
             corrupted: HashSet::new(),
             last_progress: 0,
+            self_heal: false,
             #[cfg(feature = "bug-hooks")]
             greedy_routing: false,
         })
@@ -346,6 +378,7 @@ impl Mesh {
             pending_dead: Vec::new(),
             next_dead: 0,
             link_dead: vec![false; links],
+            quarantined: vec![false; links],
             link_flaky: vec![None; links],
             routes: None,
             rng: plan
@@ -400,6 +433,182 @@ impl Mesh {
             .map_or(0, |f| f.link_dead.iter().filter(|d| **d).count())
     }
 
+    /// Switches the mesh into self-healing mode: fault onsets stop
+    /// recomputing the next-hop tables (the router is no longer told about
+    /// its faults), and packets routed into a dead link die at the transmit
+    /// side, charged to that link's [`MeshStats::link_drops`] counter. An
+    /// external health layer is expected to watch those counters and call
+    /// [`Mesh::quarantine_link`]. Set this *before* applying a fault plan so
+    /// onset-0 faults are hidden too.
+    pub fn set_self_healing(&mut self, on: bool) {
+        self.self_heal = on;
+    }
+
+    /// Whether self-healing mode is on.
+    pub fn self_healing(&self) -> bool {
+        self.self_heal
+    }
+
+    /// The directed-link index of `(router, dir)`, validated against the
+    /// mesh geometry.
+    fn link_index(&self, router: u32, dir: Direction) -> Result<usize, NocError> {
+        let (w, h) = (self.cfg.width as u32, self.cfg.height as u32);
+        if router >= w * h {
+            return Err(NocError::FaultPlan(FaultPlanError::RouterOutOfRange {
+                router,
+                num_routers: w * h,
+            }));
+        }
+        if dir.neighbour(router, w, h).is_none() {
+            return Err(NocError::FaultPlan(FaultPlanError::LinkOffEdge {
+                router,
+                dir,
+            }));
+        }
+        Ok(router as usize * NUM_PORTS + port_of(dir))
+    }
+
+    /// Lazily creates an empty fault state so quarantine works on a mesh
+    /// that never had a plan applied (a false-positive breaker must still be
+    /// honoured — and then released — gracefully).
+    fn ensure_fault_state(&mut self) {
+        if self.faults.is_none() {
+            let links = self.cfg.num_nodes() * NUM_PORTS;
+            self.faults = Some(Box::new(FaultState {
+                plan: FaultPlan::none(),
+                pending_dead: Vec::new(),
+                next_dead: 0,
+                link_dead: vec![false; links],
+                quarantined: vec![false; links],
+                link_flaky: vec![None; links],
+                routes: None,
+                rng: None,
+            }));
+        }
+    }
+
+    /// Every `(src, dst)` pair reachable from a fresh injection?
+    fn fully_routable(&self, tables: &[Vec<u8>]) -> bool {
+        let n = self.cfg.num_nodes();
+        (0..n).all(|dst| (0..n).all(|src| tables[dst][src * NUM_PORTS + LOCAL] != UNREACHABLE))
+    }
+
+    /// Takes the directed link `(router, dir)` out of service and rebuilds
+    /// the up*/down* next-hop tables around it — the health layer's Open
+    /// breaker action. Idempotent on an already-quarantined link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::QuarantineWouldDisconnect`] (leaving the routing
+    /// unchanged) when removing the link would strand some node pair, and
+    /// [`NocError::FaultPlan`] when the link does not exist.
+    pub fn quarantine_link(&mut self, router: u32, dir: Direction) -> Result<(), NocError> {
+        let idx = self.link_index(router, dir)?;
+        self.ensure_fault_state();
+        let mut faults = self.faults.take();
+        let result = {
+            let f = faults.as_deref_mut().expect("fault state just ensured");
+            if f.quarantined[idx] {
+                Ok(())
+            } else {
+                f.quarantined[idx] = true;
+                let tables = self.compute_route_tables(&self.routing_dead_set(f));
+                if self.fully_routable(&tables) {
+                    f.routes = Some(tables);
+                    self.stats.reroutes += 1;
+                    self.telemetry.emit_with(|| {
+                        TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "quarantine")
+                            .with("router", router)
+                            .with("port", port_of(dir))
+                    });
+                    Ok(())
+                } else {
+                    f.quarantined[idx] = false;
+                    Err(NocError::QuarantineWouldDisconnect { router, dir })
+                }
+            }
+        };
+        self.faults = faults;
+        result
+    }
+
+    /// Returns the directed link `(router, dir)` to service — the health
+    /// layer's HalfOpen-probe-passed action. With nothing left to avoid, the
+    /// mesh falls back to plain dimension-ordered routing. Idempotent on a
+    /// link that is not quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::FaultPlan`] when the link does not exist.
+    pub fn release_link(&mut self, router: u32, dir: Direction) -> Result<(), NocError> {
+        let idx = self.link_index(router, dir)?;
+        let mut faults = self.faults.take();
+        if let Some(f) = faults.as_deref_mut() {
+            if f.quarantined[idx] {
+                f.quarantined[idx] = false;
+                let dead = self.routing_dead_set(f);
+                f.routes = if dead.iter().any(|d| *d) {
+                    Some(self.compute_route_tables(&dead))
+                } else {
+                    None
+                };
+                self.stats.reroutes += 1;
+                self.telemetry.emit_with(|| {
+                    TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "release")
+                        .with("router", router)
+                        .with("port", port_of(dir))
+                });
+            }
+        }
+        self.faults = faults;
+        Ok(())
+    }
+
+    /// Sends one probe flit across the directed link `(router, dir)` and
+    /// reports whether it survived — the HalfOpen breaker's recovery test.
+    /// The probe experiences the link's physical state: a dead link always
+    /// eats it, a flaky link rolls its usual drop coin (consuming the plan's
+    /// RNG stream), a healthy link always passes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::FaultPlan`] when the link does not exist.
+    pub fn probe_link(&mut self, router: u32, dir: Direction) -> Result<bool, NocError> {
+        let idx = self.link_index(router, dir)?;
+        let cycle = self.cycle;
+        let ok = match self.faults.as_deref_mut() {
+            None => true,
+            Some(f) => {
+                if f.link_dead[idx] {
+                    false
+                } else if let Some((onset, prob)) = f.link_flaky[idx] {
+                    cycle < onset
+                        || !f
+                            .rng
+                            .as_mut()
+                            .is_some_and(|rng| rng.gen_bool(prob.clamp(0.0, 1.0)))
+                } else {
+                    true
+                }
+            }
+        };
+        Ok(ok)
+    }
+
+    /// The links currently quarantined by the health layer, in deterministic
+    /// `(router, direction)` order.
+    pub fn quarantined_links(&self) -> Vec<(u32, Direction)> {
+        let Some(f) = self.faults.as_deref() else {
+            return Vec::new();
+        };
+        f.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| **q)
+            .map(|(idx, _)| ((idx / NUM_PORTS) as u32, dir_of(idx % NUM_PORTS)))
+            .collect()
+    }
+
     /// Attaches a telemetry handle. An enabled mesh samples router input
     /// queue depths every [`WINDOW_CYCLES`] cycles into the
     /// `noc.router_queue_depth` histogram (plus `queue_depth` trace events
@@ -432,6 +641,7 @@ impl Mesh {
             delivered_by_src: vec![0; n],
             injected_by_src: vec![0; n],
             link_flits: vec![0; n * NUM_PORTS],
+            link_drops: vec![0; n * NUM_PORTS],
             ..MeshStats::default()
         };
         self.window_flits.iter_mut().for_each(|w| *w = 0);
@@ -746,8 +956,27 @@ impl Mesh {
         tables
     }
 
+    /// The links the routing function must avoid: the health layer's
+    /// quarantine set, plus — outside self-healing mode — the plan's dead
+    /// set. In self-healing mode the plan is hidden from the router, so only
+    /// quarantined links are excluded.
+    fn routing_dead_set(&self, f: &FaultState) -> Vec<bool> {
+        if self.self_heal {
+            f.quarantined.clone()
+        } else {
+            f.link_dead
+                .iter()
+                .zip(&f.quarantined)
+                .map(|(d, q)| *d || *q)
+                .collect()
+        }
+    }
+
     /// Activates dead links whose onset has arrived and recomputes the
-    /// next-hop tables when the dead set changed.
+    /// next-hop tables when the dead set changed. In self-healing mode the
+    /// tables are left alone: the fault is physical reality, but the router
+    /// has not been told — detection and quarantine are the health layer's
+    /// job.
     fn process_fault_onsets(&mut self, f: &mut FaultState) {
         let mut changed = false;
         while f.next_dead < f.pending_dead.len() && f.pending_dead[f.next_dead].0 <= self.cycle {
@@ -755,13 +984,43 @@ impl Mesh {
             f.next_dead += 1;
             changed = true;
         }
-        if changed {
-            f.routes = Some(self.compute_route_tables(&f.link_dead));
+        if changed && !self.self_heal {
+            f.routes = Some(self.compute_route_tables(&self.routing_dead_set(f)));
             self.stats.reroutes += 1;
             let dead = f.link_dead.iter().filter(|d| **d).count();
             self.telemetry.emit_with(|| {
                 TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "reroute").with("dead_links", dead)
             });
+        }
+    }
+
+    /// Self-healing mode: drops queue heads whose next hop is a dead link
+    /// the routing function still points at, charging the loss to that
+    /// link's error counter. One head per queue per cycle, mirroring
+    /// [`Mesh::drop_unroutable_heads`]. This is the transmit-side timeout a
+    /// real link layer raises when the far end stops returning credits — the
+    /// observable that lets a health monitor find the dead link.
+    fn drop_dead_port_heads(&mut self, f: &FaultState) {
+        for r in 0..self.routers.len() {
+            for in_port in 0..NUM_PORTS {
+                for vc in 0..self.cfg.vcs {
+                    let Some(head) = self.routers[r].inputs[in_port][vc].front() else {
+                        continue;
+                    };
+                    let Some(out) = self.route_current(Some(f), r, in_port, head.dst.index())
+                    else {
+                        continue;
+                    };
+                    if out == LOCAL || !f.link_dead[r * NUM_PORTS + out] {
+                        continue;
+                    }
+                    let Some(packet) = self.routers[r].inputs[in_port][vc].pop_front() else {
+                        continue;
+                    };
+                    self.stats.link_drops[r * NUM_PORTS + out] += 1;
+                    self.lost.push((packet, LossReason::DeadLink));
+                }
+            }
         }
     }
 
@@ -832,6 +1091,7 @@ impl Mesh {
                     .is_some_and(|rng| rng.gen_bool(prob.clamp(0.0, 1.0)));
                 if dropped {
                     self.stats.dropped_flaky += 1;
+                    self.stats.link_drops[link] += 1;
                     self.lost.push((*packet, LossReason::FlakyLink));
                     return true;
                 }
@@ -842,6 +1102,7 @@ impl Mesh {
             if let Some(rng) = f.rng.as_mut() {
                 if t.drop_prob > 0.0 && rng.gen_bool(t.drop_prob.clamp(0.0, 1.0)) {
                     self.stats.dropped_transient += 1;
+                    self.stats.link_drops[link] += 1;
                     self.lost.push((*packet, LossReason::TransientDrop));
                     return true;
                 }
@@ -872,6 +1133,9 @@ impl Mesh {
         let mut faults = self.faults.take();
         if let Some(f) = faults.as_deref_mut() {
             self.process_fault_onsets(f);
+            if self.self_heal {
+                self.drop_dead_port_heads(f);
+            }
             self.drop_unroutable_heads(f);
         }
 
