@@ -19,10 +19,35 @@ GNOC_JOBS=2 cargo test -q
 echo "== bench: serial-vs-parallel wall time (BENCH_par.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_par -- BENCH_par.json
 
-echo "== fault suite smoke: plan round-trip + degraded campaign =="
-cargo test -q -p gnoc-faults
+echo "== profile: trace determinism (same soak twice, --jobs 1 vs 2) =="
+# The flight recorder timestamps in virtual cycles only, so the same soak
+# must produce byte-identical traces across runs and worker counts. Any
+# wall-clock or thread-id leak into the trace fails the gate here.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --jobs 1 mesh --profile "$tmp/prof_a.json" > /dev/null
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --jobs 1 mesh --profile "$tmp/prof_b.json" > /dev/null
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --jobs 2 mesh --profile "$tmp/prof_c.json" > /dev/null
+cmp "$tmp/prof_a.json" "$tmp/prof_b.json"
+cmp "$tmp/prof_a.json" "$tmp/prof_c.json"
+cmp "$tmp/prof_a.json.trace.json" "$tmp/prof_b.json.trace.json"
+cmp "$tmp/prof_a.json.trace.json" "$tmp/prof_c.json.trace.json"
+
+echo "== profile: bounded gnoc profile smoke on a chaos-style soak =="
+# Same traffic recipe the chaos harness soaks with, bounded transfer count;
+# exercises the report/trace/JSONL/SVG writers end to end.
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    profile --transfers 500 --report "$tmp/smoke.json" \
+    --perfetto "$tmp/smoke.trace.json" --jsonl "$tmp/smoke.jsonl" \
+    --svg "$tmp/smoke.svg" > /dev/null
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    chaos run --seeds 0..3 --profile "$tmp/chaos_prof.json" > /dev/null
+
+echo "== fault suite smoke: plan round-trip + degraded campaign =="
+cargo test -q -p gnoc-faults
 cargo run --release -q -p gnoc-cli --bin gnoc -- \
     faults gen --out "$tmp/plan.json" --seed 1 --dead-frac 0.02
 cargo run --release -q -p gnoc-cli --bin gnoc -- \
@@ -52,5 +77,13 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
 
 echo "== bench: detection latency within oracle bounds (BENCH_health.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_health -- BENCH_health.json
+
+echo "== bench: flight-recorder overhead A/B/A (BENCH_profile.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_profile -- BENCH_profile.json
+
+echo "== validate: every artifact row carries schema 1 =="
+cargo run --release -q -p gnoc-bench --bin validate_bench -- \
+    BENCH_par.json BENCH_health.json BENCH_profile.json \
+    "$tmp/prof_a.json" "$tmp/smoke.json" "$tmp/chaos_prof.json"
 
 echo "ci.sh: all green"

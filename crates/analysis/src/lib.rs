@@ -20,6 +20,9 @@
 //! - [`LinearFit`] — the linear timing relationships the side-channel attacks
 //!   exploit (Figs. 17, 19);
 //! - [`littles_law`] — the bandwidth/latency relation behind Fig. 14;
+//! - [`profile`] — stall-attribution, utilization-heatmap, and
+//!   critical-path reduction of a `gnoc-telemetry` flight recording (the
+//!   analysis half of `gnoc profile`);
 //! - [`sorted_members_by_group`] — the Fig. 3 group-and-sort analysis;
 //! - [`svg`] — dependency-free SVG rendering of line charts, bar charts and
 //!   heatmaps for figure artifacts.
@@ -42,6 +45,7 @@ mod histogram;
 mod linreg;
 pub mod littles_law;
 mod pearson;
+pub mod profile;
 mod stats;
 pub mod svg;
 

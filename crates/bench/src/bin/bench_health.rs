@@ -14,7 +14,7 @@
 //! Latencies are asserted against the same bounds the chaos detection oracle
 //! enforces (6000 cycles / 3 windows), so this artifact doubles as a
 //! regression tripwire: a slower detector fails the bench before it fails
-//! the soak. Rows `{bench, faults, latency, retries, reroutes, wall_ms}` go
+//! the soak. Rows `{schema, bench, faults, latency, retries, reroutes, wall_ms}` go
 //! to `BENCH_health.json` (or the path given as the first argument). Only
 //! `wall_ms` is machine-dependent; every other column is deterministic.
 
@@ -143,7 +143,7 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"bench\": \"{}\", \"faults\": {}, \"latency\": {}, \
+                "  {{\"schema\": 1, \"bench\": \"{}\", \"faults\": {}, \"latency\": {}, \
                  \"retries\": {}, \"reroutes\": {}, \"wall_ms\": {}}}",
                 r.bench, r.faults, r.latency, r.retries, r.reroutes, r.wall_ms
             )

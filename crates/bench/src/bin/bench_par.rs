@@ -8,7 +8,7 @@
 //! 2. a 100-seed NoC-only chaos soak with shrinking enabled,
 //!
 //! asserts the parallel results are bit-identical to serial, and writes the
-//! timings as JSON rows `{bench, jobs, wall_ms}` to `BENCH_par.json` (or the
+//! timings as JSON rows `{schema, bench, jobs, wall_ms}` to `BENCH_par.json` (or the
 //! path given as the first argument).
 //!
 //! Wall times are machine-dependent; on a single-core container the jobs=4
@@ -86,7 +86,7 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"bench\": \"{}\", \"jobs\": {}, \"wall_ms\": {}}}",
+                "  {{\"schema\": 1, \"bench\": \"{}\", \"jobs\": {}, \"wall_ms\": {}}}",
                 r.bench, r.jobs, r.wall_ms
             )
         })

@@ -1,0 +1,123 @@
+//! Flight-recorder overhead benchmark (`gnoc-telemetry::FlightRecorder`).
+//!
+//! The recorder is designed so the *disabled* path — the shipping default,
+//! where `Mesh` carries a `None` recorder slot and every instrumentation
+//! site is a branch-not-taken — costs nothing measurable. This artifact
+//! pins that claim with an A/B/A design:
+//!
+//! 1. phase A: K reps of the Fig. 23 fairness soak with the recorder off;
+//! 2. phase B: K reps with the recorder attached (full lifecycle capture);
+//! 3. phase C: K reps with the recorder off again.
+//!
+//! Min-of-K wall times are compared: `|min_C - min_A| / min_A` must stay
+//! within `max(2%, phase-A spread)` — i.e. attaching and tearing down a
+//! recorder leaves no residual cost on the disabled path, and the disabled
+//! path itself is stable to measurement noise. The *enabled* overhead
+//! (`min_B` vs `min_A`) is reported but not asserted: capturing a full
+//! causal record per message is allowed to cost real time.
+//!
+//! Results are also asserted bit-identical between phases, re-pinning the
+//! recorder's read-only contract. Rows
+//! `{schema, bench, recorder, rep, wall_us}` go to `BENCH_profile.json`
+//! (or the path given as the first argument). Only `wall_us` is
+//! machine-dependent.
+
+use gnoc_core::noc::{run_fairness_recorded, ArbiterKind, FairnessConfig};
+use gnoc_core::telemetry::TelemetryHandle;
+use std::time::Instant;
+
+/// Reps per phase; min-of-K filters scheduler noise.
+const REPS: usize = 5;
+/// Floor on the allowed phase-A/phase-C disagreement.
+const TOLERANCE: f64 = 0.02;
+
+struct Row {
+    phase: &'static str,
+    recorder: &'static str,
+    rep: usize,
+    wall_us: u64,
+}
+
+fn run_phase(
+    phase: &'static str,
+    record: bool,
+    reference: &mut Option<gnoc_core::noc::FairnessResult>,
+    rows: &mut Vec<Row>,
+) -> (u64, u64) {
+    let cfg = FairnessConfig::paper(ArbiterKind::RoundRobin);
+    let recorder = if record { "on" } else { "off" };
+    let mut walls = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let (result, rec) = run_fairness_recorded(cfg, 42, TelemetryHandle::disabled(), record);
+        let wall_us = start.elapsed().as_micros() as u64;
+        assert_eq!(rec.is_some(), record, "recorder presence must match phase");
+        match reference {
+            Some(r) => assert_eq!(*r, result, "recorder perturbed the run in phase {phase}"),
+            None => *reference = Some(result),
+        }
+        walls.push(wall_us);
+        rows.push(Row {
+            phase,
+            recorder,
+            rep,
+            wall_us,
+        });
+    }
+    let min = *walls.iter().min().expect("REPS > 0");
+    let max = *walls.iter().max().expect("REPS > 0");
+    (min, max)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
+    let mut rows = Vec::new();
+    let mut reference = None;
+
+    let (min_a, max_a) = run_phase("a", false, &mut reference, &mut rows);
+    let (min_b, _) = run_phase("b", true, &mut reference, &mut rows);
+    let (min_c, _) = run_phase("c", false, &mut reference, &mut rows);
+
+    let spread_a = (max_a - min_a) as f64 / min_a as f64;
+    let drift = (min_c as f64 - min_a as f64).abs() / min_a as f64;
+    let enabled = (min_b as f64 - min_a as f64) / min_a as f64;
+    println!(
+        "recorder off   min {min_a} us (phase spread {:.1}%)",
+        100.0 * spread_a
+    );
+    println!(
+        "recorder on    min {min_b} us ({:+.1}% vs off — informational)",
+        100.0 * enabled
+    );
+    println!(
+        "off again      min {min_c} us (drift {:.1}%)",
+        100.0 * drift
+    );
+    let bound = TOLERANCE.max(spread_a);
+    assert!(
+        drift <= bound,
+        "disabled-path wall time drifted {:.1}% across the A/B/A sandwich \
+         (bound {:.1}%): the recorder is not free when off",
+        100.0 * drift,
+        100.0 * bound
+    );
+
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"schema\": 1, \"bench\": \"fairness_6x6_{}\", \"recorder\": \"{}\", \
+                 \"rep\": {}, \"wall_us\": {}}}",
+                r.phase, r.recorder, r.rep, r.wall_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(&out, format!("[\n{body}\n]\n")).expect("write benchmark artifact");
+    println!(
+        "wrote {out} (disabled-path overhead within {:.0}%)",
+        100.0 * bound
+    );
+}

@@ -1,0 +1,84 @@
+//! Schema validator for the benchmark and profile artifacts.
+//!
+//! Every machine-readable artifact the repo emits carries a `"schema": 1`
+//! version field so downstream tooling can detect format drift:
+//!
+//! - `BENCH_*.json` — arrays of rows, every row tagged;
+//! - profile JSONs (`gnoc --profile`, `gnoc profile --report`) — a single
+//!   object tagged at the top level.
+//!
+//! Usage: `validate_bench [FILE...]`. With no arguments it scans the
+//! current directory for `BENCH_*.json`. Exits non-zero (and says why) on
+//! the first malformed file, so `ci.sh` can gate on it.
+
+use serde::Value;
+use std::process::ExitCode;
+
+/// The schema version every current artifact must declare.
+const SCHEMA: u64 = 1;
+
+fn check_row(v: &Value, what: &str) -> Result<(), String> {
+    match v.field("schema") {
+        Ok(Value::U64(n)) if *n == SCHEMA => Ok(()),
+        Ok(other) => Err(format!(
+            "{what}: \"schema\" is {other:?}, expected {SCHEMA}"
+        )),
+        Err(_) => Err(format!("{what}: missing \"schema\" field")),
+    }
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e:?}"))?;
+    match &value {
+        Value::Array(rows) => {
+            if rows.is_empty() {
+                return Err(format!("{path}: empty artifact"));
+            }
+            for (i, row) in rows.iter().enumerate() {
+                check_row(row, &format!("{path} row {i}"))?;
+            }
+            Ok(rows.len())
+        }
+        Value::Object(_) => {
+            check_row(&value, path)?;
+            Ok(1)
+        }
+        _ => Err(format!("{path}: expected a JSON array or object")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        files = found;
+    }
+    if files.is_empty() {
+        eprintln!("validate_bench: no BENCH_*.json artifacts found");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for f in &files {
+        match check_file(f) {
+            Ok(rows) => println!("{f}: {rows} row(s), schema {SCHEMA}"),
+            Err(e) => {
+                eprintln!("validate_bench: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -60,9 +60,16 @@ impl Drop for FigureMetrics {
             .round()
             .max(0.0) as u64;
         let mut registry = self.handle.snapshot_registry().unwrap_or_default();
-        registry.hist_record(&format!("span.figure.{}.us", self.bin), micros);
+        registry.wall_record(&format!("span.figure.{}.us", self.bin), micros);
         registry.counter_add(&format!("span.figure.{}.calls", self.bin), 1);
-        if let Err(e) = registry.save(path) {
+        // The default export quarantines wall-clock spans so the metrics
+        // files are bit-identical run-to-run; GNOC_WALL_METRICS=1 opts in.
+        let json = if std::env::var_os("GNOC_WALL_METRICS").is_some() {
+            registry.to_json_pretty_with_wall()
+        } else {
+            registry.to_json_pretty()
+        };
+        if let Err(e) = std::fs::write(path, json) {
             eprintln!("warning: cannot write metrics file {}: {e}", path.display());
         }
     }

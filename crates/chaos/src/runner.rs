@@ -194,9 +194,22 @@ impl ChaosState {
     }
 }
 
+/// Where a flight-recorder capture of this failure lives: the profile
+/// artifact path plus the virtual-cycle window it covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceWindow {
+    /// The stall-attribution profile written by the chaos run's `--profile`
+    /// flag (a Chrome trace sits alongside it at `<profile>.trace.json`).
+    pub profile: String,
+    /// First virtual cycle covered by the trace.
+    pub start: u64,
+    /// Last virtual cycle covered by the trace.
+    pub end: u64,
+}
+
 /// A self-contained failing-iteration record: config + seed + (shrunk)
 /// plan, plus the exact CLI command that replays it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Reproducer {
     /// Format version ([`REPRODUCER_VERSION`]).
     pub version: u32,
@@ -212,6 +225,28 @@ pub struct Reproducer {
     pub plan: FaultPlan,
     /// The exact command that replays this failure.
     pub command: String,
+    /// Flight-recorder capture of this failure, when the run profiled it.
+    pub trace: Option<TraceWindow>,
+}
+
+// Manual impl: `trace` is optional so pre-profiling reproducer files (and
+// hand-written ones) still load; the derive treats missing fields as errors.
+impl Deserialize for Reproducer {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            version: Deserialize::deserialize_value(value.field("version")?)?,
+            oracle: Deserialize::deserialize_value(value.field("oracle")?)?,
+            seed: Deserialize::deserialize_value(value.field("seed")?)?,
+            detail: Deserialize::deserialize_value(value.field("detail")?)?,
+            config: Deserialize::deserialize_value(value.field("config")?)?,
+            plan: Deserialize::deserialize_value(value.field("plan")?)?,
+            command: Deserialize::deserialize_value(value.field("command")?)?,
+            trace: match value.field("trace") {
+                Ok(v) => Deserialize::deserialize_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl Reproducer {
@@ -265,6 +300,13 @@ pub struct ChaosOptions {
     /// rewritten after every folded iteration — the report, state, and
     /// reproducers are bit-identical for any value of `jobs`.
     pub jobs: usize,
+    /// Flight-record the first violating seed's NoC soak (falling back to
+    /// the first completed seed when the run is clean) and write the
+    /// stall-attribution profile here, with a Chrome trace alongside it at
+    /// `<path>.trace.json`. Profiling replays the seed with a recorder
+    /// attached; the fuzzing iterations themselves are untouched, so the
+    /// report stays bit-identical to an unprofiled run.
+    pub profile: Option<PathBuf>,
 }
 
 /// Outcome of [`run_chaos`].
@@ -711,6 +753,10 @@ pub fn run_chaos(
 
     let started = Instant::now();
     let mut finished = true;
+    // The profiled seed and its trace window, once one has been captured.
+    // Folding is seed-ordered, so "first violating seed" is deterministic
+    // regardless of `jobs`.
+    let mut profiled: Option<(u64, TraceWindow)> = None;
     while !pending.is_empty() {
         if let Some(budget) = opts.wall_budget_ms {
             if started.elapsed().as_millis() as u64 >= budget {
@@ -743,10 +789,29 @@ pub fn run_chaos(
                 report.panics += 1;
                 telemetry.counter_add("chaos.panics", 1);
             }
+            // Capture the first violating seed on the flight recorder: the
+            // replay uses the same (config, seed, plan) pure function as the
+            // iteration, so the trace shows exactly the failing traffic.
+            if let Some(path) = &opts.profile {
+                if profiled.is_none() && !sr.records.is_empty() {
+                    let window = write_profile(
+                        cfg,
+                        sr.seed,
+                        &sr.records[0].plan,
+                        &sr.outcome.violations,
+                        path,
+                    )?;
+                    profiled = Some((sr.seed, window));
+                }
+            }
             for mut rec in sr.records {
                 telemetry.counter_add("chaos.violations", 1);
                 if let Some(dir) = &opts.repro_dir {
-                    rec.reproducer = Some(write_reproducer(dir, cfg, &rec)?);
+                    let trace = profiled
+                        .as_ref()
+                        .filter(|(seed, _)| *seed == rec.seed)
+                        .map(|(_, w)| w);
+                    rec.reproducer = Some(write_reproducer(dir, cfg, &rec, trace)?);
                 }
                 report.violations.push(rec);
             }
@@ -761,10 +826,106 @@ pub fn run_chaos(
         }
     }
 
+    // Clean run: nothing violated, so profile the first completed seed —
+    // still a representative soak over this config's fault plans.
+    if let Some(path) = &opts.profile {
+        if profiled.is_none() {
+            if let Some(&seed) = report.completed_seeds.first() {
+                let plan = cfg.plan_for_seed(seed, num_slices);
+                write_profile(cfg, seed, &plan, &[], path)?;
+            }
+        }
+    }
+
     Ok(ChaosRun {
         finished: finished && pending.is_empty(),
         pending,
         report,
+    })
+}
+
+/// Replays `seed`'s NoC soak with a flight recorder attached (same config,
+/// plan, and traffic recipe as [`run_iteration`]'s first phase), annotates
+/// the seed's oracle violations on the timeline, and writes the
+/// stall-attribution profile to `path` plus a Chrome trace to
+/// `<path>.trace.json`. Returns the trace's cycle window.
+fn write_profile(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    violations: &[Violation],
+    path: &Path,
+) -> Result<TraceWindow, ChaosError> {
+    let mesh_cfg = MeshConfig {
+        width: cfg.width as usize,
+        height: cfg.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 1,
+    };
+    let mut rm = ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry)
+        .map_err(|e| ChaosError::Config(format!("profile replay: {e}")))?;
+    #[cfg(feature = "bug-hooks")]
+    if cfg.greedy_reroute_bug {
+        rm.mesh_mut().enable_greedy_reroute_bug();
+    }
+    rm.mesh_mut().attach_flight_recorder();
+    let n = u64::from(cfg.width) * u64::from(cfg.height);
+    let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
+    for i in 0..cfg.transfers {
+        let src = rng.next() % n;
+        let dst = (src + 1 + rng.next() % (n - 1)) % n;
+        let flits = 1 + (rng.next() % 4) as u32;
+        let class = if i % 2 == 0 {
+            PacketClass::Request
+        } else {
+            PacketClass::Reply
+        };
+        if rm
+            .submit_checked(
+                NodeId::new(src as u32),
+                NodeId::new(dst as u32),
+                flits,
+                class,
+            )
+            .is_err()
+        {
+            break;
+        }
+    }
+    rm.run_until_quiescent(cfg.soak_cycle_budget);
+    let cycles = rm.mesh().cycle();
+    if let Some(rec) = rm.mesh_mut().flight_recorder_mut() {
+        for v in violations {
+            rec.note(
+                gnoc_core::telemetry::TraceEvent::new(cycles, "chaos", "oracle_violation")
+                    .with("oracle", v.oracle.name())
+                    .with("seed", v.seed)
+                    .with("detail", v.detail.clone()),
+            );
+        }
+    }
+    let rec = rm
+        .mesh_mut()
+        .take_flight_recorder()
+        .expect("recorder attached above");
+    let report = gnoc_core::analysis::profile::ProfileReport::from_recorder(
+        &rec,
+        cfg.width as usize,
+        cfg.height as usize,
+        cycles,
+        5,
+    );
+    std::fs::write(path, report.to_json_pretty()).map_err(|e| ChaosError::Io(e.to_string()))?;
+    let mut trace_name = path.file_name().unwrap_or_default().to_os_string();
+    trace_name.push(".trace.json");
+    let trace_path = path.with_file_name(trace_name);
+    std::fs::write(&trace_path, rec.chrome_trace()).map_err(|e| ChaosError::Io(e.to_string()))?;
+    Ok(TraceWindow {
+        profile: path.display().to_string(),
+        start: 0,
+        end: cycles,
     })
 }
 
@@ -820,6 +981,7 @@ fn write_reproducer(
     dir: &Path,
     cfg: &ChaosConfig,
     rec: &ViolationRecord,
+    trace: Option<&TraceWindow>,
 ) -> Result<String, ChaosError> {
     std::fs::create_dir_all(dir).map_err(|e| ChaosError::Io(e.to_string()))?;
     let path = dir.join(format!("repro-{}-seed{}.json", rec.oracle.name(), rec.seed));
@@ -831,6 +993,7 @@ fn write_reproducer(
         config: cfg.clone(),
         plan: rec.shrunk.clone().unwrap_or_else(|| rec.plan.clone()),
         command: format!("gnoc chaos replay --repro {}", path.display()),
+        trace: trace.cloned(),
     };
     repro.save(&path)?;
     Ok(path.display().to_string())
@@ -1009,6 +1172,7 @@ mod tests {
             shrink: false,
             repro_dir: None,
             jobs: 1,
+            profile: None,
         };
         let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).unwrap();
         assert!(!run.finished);
@@ -1040,6 +1204,38 @@ mod tests {
             ChaosError::StateMismatch("config")
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profiling_writes_artifacts_without_changing_the_report() {
+        let dir = std::env::temp_dir();
+        let profile = dir.join(format!("gnoc-chaos-profile-{}.json", std::process::id()));
+        let trace = dir.join(format!(
+            "gnoc-chaos-profile-{}.json.trace.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&profile);
+        let _ = std::fs::remove_file(&trace);
+        let cfg = noc_only();
+        let bare = ChaosOptions {
+            seeds: vec![0, 1],
+            ..ChaosOptions::default()
+        };
+        let with_profile = ChaosOptions {
+            profile: Some(profile.clone()),
+            ..bare.clone()
+        };
+        let a = run_chaos(&cfg, &bare, &TelemetryHandle::disabled()).unwrap();
+        let b = run_chaos(&cfg, &with_profile, &TelemetryHandle::disabled()).unwrap();
+        // The recorder replays a seed on the side; the fuzzing results are
+        // byte-for-byte those of an unprofiled run.
+        assert_eq!(a, b);
+        let report = std::fs::read_to_string(&profile).unwrap();
+        assert!(report.trim_start().starts_with("{\n  \"schema\": 1"));
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(serde_json::from_str::<serde::Value>(&chrome).is_ok());
+        let _ = std::fs::remove_file(&profile);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

@@ -250,6 +250,7 @@ mod bug_hooks {
                 config: cfg.clone(),
                 plan: shrunk,
                 command: String::new(),
+                trace: None,
             };
             let replayed = replay(&repro);
             assert!(

@@ -226,6 +226,33 @@ pub enum Command {
         /// Seed for the latent-fault device build.
         seed: u64,
     },
+    /// `gnoc profile [--width W] [--height H] [--arbiter rr|age] [--seed S]
+    /// [--transfers N] [--slowest K] [--report F] [--perfetto F] [--jsonl F]
+    /// [--svg F]` — flight-record a mesh soak (faulted when `--faults` is
+    /// given) and reduce it to stall attribution, per-link utilization
+    /// heatmaps, and the critical paths of the slowest transfers.
+    Profile {
+        /// Mesh width.
+        width: u32,
+        /// Mesh height.
+        height: u32,
+        /// Arbitration policy.
+        age_based: bool,
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+        /// Critical paths kept (slowest K transfers).
+        slowest: usize,
+        /// Write the profile report JSON here.
+        report: Option<String>,
+        /// Write a Chrome trace-event JSON here (loadable in Perfetto).
+        perfetto: Option<String>,
+        /// Stream per-message lifecycle events (JSONL) here.
+        jsonl: Option<String>,
+        /// Write the per-router utilization heatmap as SVG here.
+        svg: Option<String>,
+    },
     /// `gnoc help` — usage.
     Help,
 }
@@ -292,8 +319,8 @@ pub enum FaultsAction {
 
 /// A parsed invocation: the subcommand plus the global flags
 /// (`--trace <file.jsonl>`, `--metrics <file.json>`,
-/// `--faults <plan.json>`, `--jobs N`), which are accepted by every
-/// subcommand.
+/// `--faults <plan.json>`, `--jobs N`, `--profile <file.json>`), which are
+/// accepted by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// The subcommand to run.
@@ -309,6 +336,11 @@ pub struct Invocation {
     /// `None` falls back to `GNOC_JOBS`, then the machine
     /// ([`gnoc_core::resolve_jobs`]). Never changes results, only wall time.
     pub jobs: Option<usize>,
+    /// Flight-record the run and write a stall-attribution profile (JSON,
+    /// with a Chrome trace alongside it at `<file>.trace.json`) to this
+    /// path. Supported by `mesh`, `campaign`, and `chaos run`; recording
+    /// never changes any printed or written result.
+    pub profile: Option<String>,
 }
 
 /// Which workload `gnoc replay` generates.
@@ -366,6 +398,10 @@ USAGE:
                     [--greedy-bug] [--detect]
     gnoc chaos      replay --repro repro.json
     gnoc chaos      shrink --repro repro.json [--out min.json]
+    gnoc profile    [--width W] [--height H] [--arbiter rr|age] [--seed S]
+                    [--transfers N] [--slowest K] [--report prof.json]
+                    [--perfetto trace.json] [--jsonl events.jsonl]
+                    [--svg util.svg]
     gnoc stats      <metrics.json>
     gnoc help
 
@@ -379,6 +415,20 @@ GLOBAL FLAGS (every subcommand):
     --jobs <N>              worker threads for campaign and chaos run
                             (default: GNOC_JOBS, then all cores). Results are
                             bit-identical for any N; only wall time changes
+    --profile <file.json>   flight-record the run and write a
+                            stall-attribution profile (mesh, campaign,
+                            chaos run); a Chrome trace loadable at
+                            ui.perfetto.dev lands at <file>.trace.json.
+                            Timestamps are virtual cycles, so recorded runs
+                            stay bit-identical to unrecorded ones
+
+PROFILING:
+    gnoc profile flight-records a mesh soak: every message gets a causal
+    lifecycle record (inject, per-hop arbitration/backpressure/serialization
+    stalls, deliver or lost) in virtual cycles. The report attributes every
+    stalled cycle to its cause per link and router, and extracts the
+    critical path of the slowest transfers. --faults profiles a degraded
+    mesh; the same recorder backs the global --profile flag.
 
 SELF-HEALING:
     gnoc health runs online fault detection: the --faults plan is applied
@@ -718,6 +768,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             };
             Ok(Command::Chaos { action })
         }
+        "profile" => {
+            let age_based = match flags.value_of("--arbiter")? {
+                None | Some("rr") => false,
+                Some("age") => true,
+                Some(other) => return Err(format!("unknown arbiter '{other}' (rr|age)")),
+            };
+            Ok(Command::Profile {
+                width: flags.parse_num("--width", 6u32)?,
+                height: flags.parse_num("--height", 6u32)?,
+                age_based,
+                seed: flags.parse_num("--seed", 1u64)?,
+                transfers: flags.parse_num("--transfers", 2000usize)?,
+                slowest: flags.parse_num("--slowest", 5usize)?,
+                report: flags.value_of("--report")?.map(str::to_owned),
+                perfetto: flags.value_of("--perfetto")?.map(str::to_owned),
+                jsonl: flags.value_of("--jsonl")?.map(str::to_owned),
+                svg: flags.value_of("--svg")?.map(str::to_owned),
+            })
+        }
         "loadcurve" => {
             let crossbar = match flags.value_of("--net")? {
                 None | Some("mesh") => false,
@@ -734,8 +803,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 /// Parses an argument vector, first extracting the global flags
-/// (`--trace`, `--metrics`, `--faults`, `--jobs`) — accepted anywhere on the
-/// line — then delegating the remainder to [`parse`].
+/// (`--trace`, `--metrics`, `--faults`, `--jobs`, `--profile`) — accepted
+/// anywhere on the line — then delegating the remainder to [`parse`].
 ///
 /// # Errors
 ///
@@ -746,6 +815,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
     let mut metrics = None;
     let mut faults = None;
     let mut jobs = None;
+    let mut profile = None;
     let mut remaining: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -765,6 +835,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
             "--trace" => &mut trace,
             "--metrics" => &mut metrics,
             "--faults" => &mut faults,
+            "--profile" => &mut profile,
             _ => {
                 remaining.push(a.clone());
                 continue;
@@ -781,6 +852,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
         metrics,
         faults,
         jobs,
+        profile,
     })
 }
 
@@ -1237,6 +1309,67 @@ mod tests {
 
         assert!(parse_invocation(&argv("memsim --trace")).is_err());
         assert!(parse_invocation(&argv("memsim --trace --metrics m.json")).is_err());
+    }
+
+    #[test]
+    fn profile_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("profile")).unwrap(),
+            Command::Profile {
+                width: 6,
+                height: 6,
+                age_based: false,
+                seed: 1,
+                transfers: 2000,
+                slowest: 5,
+                report: None,
+                perfetto: None,
+                jsonl: None,
+                svg: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "profile --width 4 --height 3 --arbiter age --seed 9 --transfers 64 \
+                 --slowest 2 --report p.json --perfetto t.json --jsonl e.jsonl --svg u.svg"
+            ))
+            .unwrap(),
+            Command::Profile {
+                width: 4,
+                height: 3,
+                age_based: true,
+                seed: 9,
+                transfers: 64,
+                slowest: 2,
+                report: Some("p.json".to_owned()),
+                perfetto: Some("t.json".to_owned()),
+                jsonl: Some("e.jsonl".to_owned()),
+                svg: Some("u.svg".to_owned()),
+            }
+        );
+        assert!(parse(&argv("profile --arbiter fifo")).is_err());
+        assert!(parse(&argv("profile --transfers lots")).is_err());
+    }
+
+    #[test]
+    fn profile_global_flag_is_extracted_anywhere() {
+        let inv = parse_invocation(&argv("mesh --profile p.json --transfers 40")).unwrap();
+        assert_eq!(inv.profile.as_deref(), Some("p.json"));
+        assert_eq!(
+            inv.command,
+            Command::Mesh {
+                age_based: false,
+                seed: 1,
+                transfers: 40,
+                self_heal: false,
+            }
+        );
+        let inv = parse_invocation(&argv("--profile p.json chaos run --seeds 0..2")).unwrap();
+        assert_eq!(inv.profile.as_deref(), Some("p.json"));
+        assert!(matches!(inv.command, Command::Chaos { .. }));
+        assert!(parse_invocation(&argv("mesh --profile")).is_err());
+        assert!(USAGE.contains("gnoc profile"));
+        assert!(USAGE.contains("--profile <file.json>"));
     }
 
     #[test]

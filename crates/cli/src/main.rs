@@ -11,7 +11,7 @@ use gnoc_cli::{
 };
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
-use gnoc_core::noc::{run_fairness_traced, run_memsim_traced, HierConfig, MeshConfig};
+use gnoc_core::noc::{run_fairness_recorded, run_memsim_traced, HierConfig, MeshConfig};
 use gnoc_core::noc::{ArbiterKind, FairnessConfig, MemSimConfig};
 use gnoc_core::noc::{NodeId, PacketClass, ReliableMesh, RetryConfig};
 use gnoc_core::sidechannel::covert::{
@@ -25,7 +25,9 @@ use gnoc_core::{
     GpuDevice, HealthConfig, LatencyCampaign, LatencyProbe, RsaAttackConfig, SelfHealingMesh,
     SliceId, SmId, Summary, WorkerPool,
 };
-use gnoc_core::{JsonlWriter, MetricRegistry, Telemetry, TelemetryHandle};
+use gnoc_core::{
+    FlightRecorder, JsonlWriter, MetricRegistry, ProfileReport, Telemetry, TelemetryHandle,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -77,7 +79,8 @@ fn main() -> ExitCode {
         p
     };
 
-    let code = run(inv.command, plan.as_ref(), &telemetry, &pool);
+    let profile = inv.profile.as_deref().map(Path::new);
+    let code = run(inv.command, plan.as_ref(), &telemetry, &pool, profile);
 
     telemetry.flush();
     if let Some(path) = &inv.metrics {
@@ -145,6 +148,7 @@ fn run(
     plan: Option<&FaultPlan>,
     telemetry: &TelemetryHandle,
     pool: &WorkerPool,
+    profile: Option<&Path>,
 ) -> u8 {
     match cmd {
         Command::Help => print!("{USAGE}"),
@@ -313,9 +317,13 @@ fn run(
                 return EXIT_INVALID_INPUT;
             }
             if let Some(plan) = plan {
-                return run_faulted_mesh(plan, arbiter, seed, transfers, self_heal, telemetry);
+                return run_faulted_mesh(
+                    plan, arbiter, seed, transfers, self_heal, telemetry, profile,
+                );
             }
-            let r = run_fairness_traced(FairnessConfig::paper(arbiter), seed, telemetry.clone());
+            let fairness = FairnessConfig::paper(arbiter);
+            let (r, rec) =
+                run_fairness_recorded(fairness, seed, telemetry.clone(), profile.is_some());
             println!("6x6 mesh, 30 compute nodes → 6 MCs, {arbiter:?} arbitration:");
             for row in 0..5 {
                 let cells: Vec<String> = (0..6)
@@ -324,11 +332,17 @@ fn run(
                 println!("  row {}: {}", row + 1, cells.join(" "));
             }
             println!("  unfairness (max/min): {:.2}x", r.unfairness);
+            if let (Some(path), Some(rec)) = (profile, rec) {
+                let cycles = fairness.warmup + fairness.measure;
+                if let Err(code) = write_profile_artifacts(&rec, 6, 6, cycles, 5, path) {
+                    return code;
+                }
+            }
         }
 
         Command::Faults { action } => return run_faults(action),
 
-        Command::Chaos { action } => return run_chaos_action(action, telemetry, pool),
+        Command::Chaos { action } => return run_chaos_action(action, telemetry, pool, profile),
 
         Command::Campaign {
             gpu,
@@ -389,6 +403,19 @@ fn run(
                 if let Some(p) = path {
                     println!("checkpoint: {}", p.display());
                 }
+                if let Some(p) = profile {
+                    if let Err(code) = write_campaign_profile(
+                        gpu,
+                        seed,
+                        plan,
+                        &probe,
+                        &result.matrix,
+                        telemetry,
+                        p,
+                    ) {
+                        return code;
+                    }
+                }
                 return EXIT_OK;
             }
             let result = try_or_fail!(campaign
@@ -407,6 +434,13 @@ fn run(
             );
             if let Some(p) = path {
                 println!("checkpoint: {}", p.display());
+            }
+            if let Some(p) = profile {
+                if let Err(code) =
+                    write_campaign_profile(gpu, seed, plan, &probe, &result.matrix, telemetry, p)
+                {
+                    return code;
+                }
             }
         }
 
@@ -544,6 +578,153 @@ fn run(
             windows,
             seed,
         } => return run_health(width, height, cycles, device, windows, seed, plan),
+
+        Command::Profile {
+            width,
+            height,
+            age_based,
+            seed,
+            transfers,
+            slowest,
+            report,
+            perfetto,
+            jsonl,
+            svg,
+        } => {
+            let arbiter = if age_based {
+                ArbiterKind::AgeBased
+            } else {
+                ArbiterKind::RoundRobin
+            };
+            let outputs = ProfileOutputs {
+                report,
+                perfetto,
+                jsonl,
+                svg,
+            };
+            return run_profile(
+                width as usize,
+                height as usize,
+                arbiter,
+                seed,
+                transfers,
+                slowest,
+                &outputs,
+                plan,
+                telemetry,
+            );
+        }
+    }
+    EXIT_OK
+}
+
+/// Optional artifact paths of `gnoc profile`.
+struct ProfileOutputs {
+    report: Option<String>,
+    perfetto: Option<String>,
+    jsonl: Option<String>,
+    svg: Option<String>,
+}
+
+/// `gnoc profile`: flight-record a reliable-mesh soak (faulted when a
+/// `--faults` plan is given, otherwise fault-free) and print the
+/// stall-attribution report: where every stalled cycle of every message
+/// went, the hottest links, a per-router utilization heatmap, and the
+/// critical path of the slowest transfers. All timestamps are virtual
+/// cycles, so every artifact is bit-identical across runs and `--jobs`.
+#[allow(clippy::too_many_arguments)]
+fn run_profile(
+    width: usize,
+    height: usize,
+    arbiter: ArbiterKind,
+    seed: u64,
+    transfers: usize,
+    slowest: usize,
+    outputs: &ProfileOutputs,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+) -> u8 {
+    let cfg = MeshConfig {
+        width,
+        height,
+        buffer_packets: 4,
+        arbiter,
+        route_order: gnoc_core::noc::RouteOrder::Xy,
+        vcs: 1,
+    };
+    let benign = FaultPlan::none();
+    let plan = plan.unwrap_or(&benign);
+    let mut rm = try_or_fail!(ReliableMesh::with_faults(cfg, plan, RetryConfig::default())
+        .map_err(|e| format!("plan does not fit a {width}x{height} mesh: {e}")));
+    rm.mesh_mut().set_telemetry(telemetry.clone());
+    rm.mesh_mut().attach_flight_recorder();
+
+    // The same splitmix64 traffic stream as `gnoc mesh --faults`, with
+    // varied packet lengths so serialization stalls show up in the profile.
+    let nodes = (width * height) as u64;
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut submitted = 0usize;
+    while submitted < transfers {
+        let src = (next() % nodes) as u32;
+        let dst = (next() % nodes) as u32;
+        let flits = 1 + (next() % 4) as u32;
+        if src == dst {
+            continue;
+        }
+        rm.submit(NodeId(src), NodeId(dst), flits, PacketClass::Request);
+        submitted += 1;
+    }
+    let quiesced = rm.run_until_quiescent(2_000_000);
+    let cycles = rm.mesh().cycle();
+    let rec = rm
+        .mesh_mut()
+        .take_flight_recorder()
+        .expect("recorder attached above");
+
+    let report = ProfileReport::from_recorder(&rec, width, height, cycles, slowest);
+    print!("{}", report.render_text());
+    if let Some(path) = &outputs.report {
+        try_or_fail!(
+            std::fs::write(path, report.to_json_pretty()).map_err(|e| e.to_string()),
+            EXIT_IO
+        );
+        println!("report: {path}");
+    }
+    if let Some(path) = &outputs.perfetto {
+        try_or_fail!(
+            std::fs::write(path, rec.chrome_trace()).map_err(|e| e.to_string()),
+            EXIT_IO
+        );
+        println!("perfetto trace: {path} (load at ui.perfetto.dev)");
+    }
+    if let Some(path) = &outputs.jsonl {
+        let mut sink = try_or_fail!(
+            JsonlWriter::create(Path::new(path)).map_err(|e| e.to_string()),
+            EXIT_IO
+        );
+        rec.stream_to(&mut sink);
+        println!("events: {path}");
+    }
+    if let Some(path) = &outputs.svg {
+        try_or_fail!(
+            std::fs::write(path, report.utilization_heatmap_svg()).map_err(|e| e.to_string()),
+            EXIT_IO
+        );
+        println!("heatmap: {path}");
+    }
+    if !quiesced {
+        eprintln!(
+            "error: mesh failed to quiesce (outstanding {})",
+            rm.outstanding()
+        );
+        return EXIT_CHECK_FAILED;
     }
     EXIT_OK
 }
@@ -650,6 +831,7 @@ fn run_faulted_mesh(
     transfers: usize,
     self_heal: bool,
     telemetry: &TelemetryHandle,
+    profile: Option<&Path>,
 ) -> u8 {
     let cfg = MeshConfig::paper_6x6(arbiter);
     let nodes = (cfg.width * cfg.height) as u64;
@@ -661,6 +843,12 @@ fn run_faulted_mesh(
             HealthConfig::default()
         )
         .map_err(|e| e.to_string()));
+        if profile.is_some() {
+            // Attach before the warm-up so the trace shows the healing
+            // episode itself: patrol traffic, breaker transitions, and the
+            // stalls the quarantines cause and cure.
+            healer.rm_mut().mesh_mut().attach_flight_recorder();
+        }
         // Warm-up patrol: detect and quarantine before user traffic.
         try_or_fail!(healer
             .run_detection(20_000)
@@ -682,6 +870,9 @@ fn run_faulted_mesh(
         )
     };
     rm.mesh_mut().set_telemetry(telemetry.clone());
+    if profile.is_some() && rm.mesh().flight_recorder().is_none() {
+        rm.mesh_mut().attach_flight_recorder();
+    }
 
     // splitmix64 traffic stream keyed by the seed: deterministic across runs.
     let mut state = seed;
@@ -746,6 +937,16 @@ fn run_faulted_mesh(
         );
     }
     telemetry.with(|t| rm.export_metrics(&mut t.registry));
+    if let Some(path) = profile {
+        let cycles = rm.mesh().cycle();
+        let rec = rm
+            .mesh_mut()
+            .take_flight_recorder()
+            .expect("recorder attached at mesh construction");
+        if let Err(code) = write_profile_artifacts(&rec, cfg.width, cfg.height, cycles, 5, path) {
+            return code;
+        }
+    }
     if !quiesced {
         eprintln!(
             "error: mesh failed to quiesce (outstanding {})",
@@ -756,12 +957,114 @@ fn run_faulted_mesh(
     EXIT_OK
 }
 
+/// Writes the two profile artifacts for a finished recording: the
+/// stall-attribution report at `path` and a Chrome trace-event JSON
+/// (loadable at ui.perfetto.dev) alongside it at `<path>.trace.json`.
+fn write_profile_artifacts(
+    rec: &FlightRecorder,
+    width: usize,
+    height: usize,
+    cycles: u64,
+    slowest: usize,
+    path: &Path,
+) -> Result<(), u8> {
+    let report = ProfileReport::from_recorder(rec, width, height, cycles, slowest);
+    if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+        eprintln!("error: cannot write profile {}: {e}", path.display());
+        return Err(EXIT_IO);
+    }
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".trace.json");
+    let trace = path.with_file_name(name);
+    if let Err(e) = std::fs::write(&trace, rec.chrome_trace()) {
+        eprintln!("error: cannot write trace {}: {e}", trace.display());
+        return Err(EXIT_IO);
+    }
+    println!("profile: {} (trace: {})", path.display(), trace.display());
+    Ok(())
+}
+
+/// Writes the campaign-side `--profile` artifact. The engine models latency
+/// analytically — there is no cycle-level mesh inside [`GpuDevice`] — so
+/// "critical path" for a campaign means the slowest measured (SM, slice)
+/// pairs of the latency matrix, each decomposed against the model's ground
+/// truth: mean hit cycles, floorplan wire distance, and whether the route
+/// crosses a partition boundary.
+fn write_campaign_profile(
+    gpu: GpuChoice,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    probe: &LatencyProbe,
+    matrix: &[Vec<f64>],
+    telemetry: &TelemetryHandle,
+    path: &Path,
+) -> Result<(), u8> {
+    let dev = match device(gpu, seed, plan, telemetry) {
+        Ok(dev) => dev,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return Err(EXIT_INVALID_INPUT);
+        }
+    };
+    let mut cells: Vec<(f64, SmId, SliceId)> = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        let sm = SmId::new(i as u32);
+        let slices = probe.visible_slices(&dev, sm);
+        for (j, &lat) in row.iter().enumerate() {
+            if let (true, Some(&slice)) = (lat.is_finite(), slices.get(j)) {
+                cells.push((lat, sm, slice));
+            }
+        }
+    }
+    // Slowest first; ties broken by (sm, slice) so the artifact is
+    // byte-identical across runs and `--jobs`.
+    cells.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+    cells.truncate(5);
+    let probes: Vec<String> = cells
+        .iter()
+        .map(|&(lat, sm, slice)| {
+            format!(
+                "    {{\"sm\": {}, \"slice\": {}, \"measured_cycles\": {:.3}, \
+                 \"model_hit_cycles\": {:.3}, \"wire_mm\": {:.3}, \"crosses_partition\": {}}}",
+                sm.index(),
+                slice.index(),
+                lat,
+                dev.hit_cycles_mean(sm, slice),
+                dev.floorplan().wire_distance(sm, slice),
+                dev.hierarchy().crosses_partition(sm, slice),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"kind\": \"campaign\",\n  \"gpu\": \"{}\",\n  \
+         \"seed\": {},\n  \"slowest_probes\": [\n{}\n  ]\n}}\n",
+        gpu.preset_name(),
+        seed,
+        probes.join(",\n")
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write profile {}: {e}", path.display());
+        return Err(EXIT_IO);
+    }
+    println!("profile: {}", path.display());
+    Ok(())
+}
+
 /// `gnoc chaos run|replay|shrink`: the fuzzing soak and its reproducer
 /// tooling. Exit codes follow the documented scheme: `run` exits 1 when any
 /// oracle fired; `replay` exits 1 while the recorded failure still
 /// reproduces (a scriptable "is this bug fixed yet" check); unusable files
 /// exit 2 (parse/config) or 3 (I/O).
-fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &WorkerPool) -> u8 {
+fn run_chaos_action(
+    action: ChaosAction,
+    telemetry: &TelemetryHandle,
+    pool: &WorkerPool,
+    profile: Option<&Path>,
+) -> u8 {
     match action {
         ChaosAction::Run {
             seeds,
@@ -779,6 +1082,7 @@ fn run_chaos_action(action: ChaosAction, telemetry: &TelemetryHandle, pool: &Wor
                 shrink: !no_shrink,
                 repro_dir: repro_dir.map(PathBuf::from),
                 jobs: pool.jobs(),
+                profile: profile.map(Path::to_path_buf),
             };
             let run = match run_chaos(&cfg, &opts, telemetry) {
                 Ok(run) => run,

@@ -85,6 +85,7 @@ fn chaos_replay_distinguishes_exit_codes() {
         config: ChaosConfig::default(),
         plan: FaultPlan::none(),
         command: String::new(),
+        trace: None,
     };
     let repro_path = scratch("repro.json");
     repro.save(&repro_path).unwrap();

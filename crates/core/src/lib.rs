@@ -60,6 +60,7 @@ pub use gnoc_topo as topo;
 pub use gnoc_workloads as workloads;
 
 // Flat re-exports of the most-used types.
+pub use gnoc_analysis::profile::ProfileReport;
 pub use gnoc_analysis::{
     correlation_matrix, pearson, render_heatmap, Histogram, LinearFit, Summary,
 };
@@ -82,7 +83,8 @@ pub use gnoc_sidechannel::{
     run_aes_attack, run_rsa_attack, Aes128, AesAttackConfig, RsaAttackConfig,
 };
 pub use gnoc_telemetry::{
-    JsonlWriter, LogHistogram, MetricRegistry, Telemetry, TelemetryHandle, TraceEvent,
+    FlightRecorder, JsonlWriter, LogHistogram, MetricRegistry, StallKind, Telemetry,
+    TelemetryHandle, TraceEvent,
 };
 pub use gnoc_topo::{
     CachePolicy, CpcId, Floorplan, Generation, GpcId, GpuSpec, Hierarchy, MpId, PartitionId,

@@ -133,7 +133,27 @@ impl SelfHealingMesh {
     pub fn step(&mut self) -> Result<(), NocError> {
         self.rm.step();
         if self.rm.mesh().cycle() >= self.next_window {
+            let seen = self.monitor.transitions().len();
             self.monitor.poll(&mut self.rm)?;
+            // Breaker transitions land on the flight-recorder timeline, so a
+            // profiled healing episode shows quarantine decisions alongside
+            // the per-message stalls they cause and cure.
+            if self.rm.mesh().flight_recorder().is_some() {
+                let new: Vec<gnoc_telemetry::TraceEvent> = self.monitor.transitions()[seen..]
+                    .iter()
+                    .map(|t| {
+                        gnoc_telemetry::TraceEvent::new(t.at, "health", "breaker_transition")
+                            .with("resource", t.resource.clone())
+                            .with("from", format!("{:?}", t.from))
+                            .with("to", format!("{:?}", t.to))
+                    })
+                    .collect();
+                if let Some(rec) = self.rm.mesh_mut().flight_recorder_mut() {
+                    for e in new {
+                        rec.note(e);
+                    }
+                }
+            }
             self.next_window = self.rm.mesh().cycle() + self.cfg.window_cycles.max(1);
         }
         Ok(())

@@ -51,4 +51,6 @@ pub use memsim::{
 pub use mesh::{Mesh, MeshConfig, MeshStats, RouteOrder, NUM_PORTS};
 pub use packet::{NodeId, Packet, PacketClass};
 pub use reliable::{ReliabilityStats, ReliableMesh, RetryConfig, TransferId, TransferOutcome};
-pub use traffic::{run_fairness, run_fairness_traced, FairnessConfig, FairnessResult};
+pub use traffic::{
+    run_fairness, run_fairness_recorded, run_fairness_traced, FairnessConfig, FairnessResult,
+};

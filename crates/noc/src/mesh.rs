@@ -11,7 +11,9 @@ use crate::arbiter::{Arbiter, ArbiterKind};
 use crate::error::{LossReason, NocError};
 use crate::packet::{NodeId, Packet, PacketClass};
 use gnoc_faults::{Direction, FaultPlan, FaultPlanError, LinkFaultKind};
-use gnoc_telemetry::{MetricRegistry, TelemetryHandle, TraceEvent, SUBSYSTEM_NOC};
+use gnoc_telemetry::{
+    FlightRecorder, MetricRegistry, StallKind, TelemetryHandle, TraceEvent, SUBSYSTEM_NOC,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -286,6 +288,10 @@ pub struct Mesh {
     corrupted: HashSet<u64>,
     /// Last cycle on which any packet moved — drives the external watchdog.
     last_progress: u64,
+    /// Causal per-message flight recorder (`gnoc profile`), boxed and absent
+    /// by default so unprofiled runs pay one pointer of state and a handful
+    /// of `is_some` branches per cycle.
+    recorder: Option<Box<FlightRecorder>>,
     /// Self-healing mode: fault onsets do *not* recompute the next-hop
     /// tables (the mesh is not told about its faults); packets routed into a
     /// dead link are dropped at the transmit side and counted per-link, so
@@ -343,6 +349,7 @@ impl Mesh {
             lost: Vec::new(),
             corrupted: HashSet::new(),
             last_progress: 0,
+            recorder: None,
             self_heal: false,
             #[cfg(feature = "bug-hooks")]
             greedy_routing: false,
@@ -654,6 +661,31 @@ impl Mesh {
         self.ejection_enabled[node.index()] = enabled;
     }
 
+    /// Attaches a fresh [`FlightRecorder`]: from now on every injected
+    /// message gets a causal lifecycle record with exact stall attribution.
+    /// The recorder observes the simulation but cannot influence it, so a
+    /// recorded run is bit-identical to an unrecorded one.
+    pub fn attach_flight_recorder(&mut self) {
+        self.recorder = Some(Box::new(FlightRecorder::new()));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Mutable access to the attached flight recorder — protocol and health
+    /// layers use this to annotate the timeline (retries, breaker
+    /// transitions, oracle violations).
+    pub fn flight_recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.recorder.as_deref_mut()
+    }
+
+    /// Detaches and returns the flight recorder for analysis/export.
+    pub fn take_flight_recorder(&mut self) -> Option<Box<FlightRecorder>> {
+        self.recorder.take()
+    }
+
     /// Attempts to inject a packet at `src`; returns `false` when the local
     /// input buffer is full (the terminal must retry later).
     pub fn try_inject(&mut self, src: NodeId, dst: NodeId, flits: u32, class: PacketClass) -> bool {
@@ -706,6 +738,16 @@ impl Mesh {
         });
         self.next_id += 1;
         self.stats.injected_by_src[src.index()] += 1;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.on_inject(
+                id,
+                src.index() as u32,
+                dst.index() as u32,
+                flits,
+                birth,
+                self.cycle,
+            );
+        }
         Some(id)
     }
 
@@ -1128,6 +1170,10 @@ impl Mesh {
         }
 
         let vcs = self.cfg.vcs;
+        // The recorder, like the fault state, is taken out of `self` so the
+        // instrumentation below can borrow the routers freely.
+        let mut rec = self.recorder.take();
+        let lost_mark = self.lost.len();
         // Phase 0: fault bookkeeping (absent on a fault-free mesh). The state
         // is taken out of `self` so helpers can borrow the routers freely.
         let mut faults = self.faults.take();
@@ -1137,6 +1183,12 @@ impl Mesh {
                 self.drop_dead_port_heads(f);
             }
             self.drop_unroutable_heads(f);
+        }
+        if let Some(rec) = rec.as_deref_mut() {
+            // Queue heads dropped by phase 0 (dead port / unroutable).
+            for (packet, reason) in &self.lost[lost_mark..] {
+                rec.on_lost(packet.id, self.cycle, &format!("{reason:?}"));
+            }
         }
 
         // Phase 1: arbitration decisions on a consistent snapshot.
@@ -1207,6 +1259,71 @@ impl Mesh {
             }
         }
 
+        // Stall attribution: a read-only classification pass over the same
+        // snapshot phase 1 arbitrated on (nothing has been popped or pushed
+        // yet, and reservations for a head's own target are made only after
+        // its arbitration), so each waiting queue head is charged exactly
+        // one cause per cycle. The decision loop above is untouched — the
+        // recorder can observe but never perturb.
+        if let Some(rec) = rec.as_deref_mut() {
+            let winners: HashSet<(usize, usize, usize)> =
+                moves.iter().map(|m| (m.router, m.in_port, m.vc)).collect();
+            for r in 0..self.routers.len() {
+                let stalled = faults.as_deref().is_some_and(|f| self.is_stalled(f, r));
+                for in_port in 0..NUM_PORTS {
+                    #[allow(clippy::needless_range_loop)] // vc also indexes downstream state
+                    for vc in 0..vcs {
+                        let Some(head) = self.routers[r].inputs[in_port][vc].front() else {
+                            continue;
+                        };
+                        if winners.contains(&(r, in_port, vc)) {
+                            continue;
+                        }
+                        let kind = if stalled {
+                            StallKind::RouterStall
+                        } else {
+                            match self.route_current(
+                                faults.as_deref(),
+                                r,
+                                in_port,
+                                head.dst.index(),
+                            ) {
+                                None => StallKind::RouterStall,
+                                Some(out)
+                                    if out != LOCAL
+                                        && faults
+                                            .as_deref()
+                                            .is_some_and(|f| f.link_dead[r * NUM_PORTS + out]) =>
+                                {
+                                    StallKind::RouterStall
+                                }
+                                Some(out)
+                                    if self.routers[r].output_busy_until[out] > self.cycle =>
+                                {
+                                    StallKind::Serialization
+                                }
+                                Some(out) if out == LOCAL && !self.ejection_enabled[r] => {
+                                    StallKind::Backpressure
+                                }
+                                Some(out)
+                                    if out != LOCAL && {
+                                        let down = self.neighbour(r, out);
+                                        let entry = Self::entry_port(out);
+                                        self.routers[down].inputs[entry][vc].len()
+                                            >= self.cfg.buffer_packets
+                                    } =>
+                                {
+                                    StallKind::Backpressure
+                                }
+                                Some(_) => StallKind::Contention,
+                            }
+                        };
+                        rec.charge(head.id, kind);
+                    }
+                }
+            }
+        }
+
         // Phase 2: apply moves. The move list order is deterministic, so the
         // per-move fault draws below consume the plan RNG reproducibly.
         if !moves.is_empty() {
@@ -1224,10 +1341,29 @@ impl Mesh {
             let link = m.router * NUM_PORTS + m.out_port;
             self.stats.link_flits[link] += u64::from(packet.flits);
             self.window_flits[link] += u64::from(packet.flits);
+            if let Some(rec) = rec.as_deref_mut() {
+                rec.on_grant(packet.id, m.out_port as u8, self.cycle);
+            }
             if m.out_port != LOCAL {
                 if let Some(f) = faults.as_deref_mut() {
+                    let corrupted_before = self.stats.corrupted;
                     if self.hop_faults(f, &packet, link) {
+                        if let Some(rec) = rec.as_deref_mut() {
+                            let reason = self
+                                .lost
+                                .last()
+                                .map_or_else(String::new, |(_, r)| format!("{r:?}"));
+                            rec.on_lost(packet.id, self.cycle, &reason);
+                        }
                         continue; // packet died on this hop
+                    }
+                    if self.stats.corrupted > corrupted_before {
+                        if let Some(rec) = rec.as_deref_mut() {
+                            rec.note(
+                                TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "corrupted")
+                                    .with("id", packet.id),
+                            );
+                        }
                     }
                 }
             }
@@ -1236,14 +1372,28 @@ impl Mesh {
                 self.stats.delivered_total += 1;
                 self.stats.latency_sum += self.cycle - packet.birth;
                 self.stats.record_latency(self.cycle - packet.birth);
+                if let Some(rec) = rec.as_deref_mut() {
+                    rec.on_deliver(packet.id, self.cycle);
+                }
                 self.ejected.push(packet);
             } else {
                 let down = self.neighbour(m.router, m.out_port);
+                if let Some(rec) = rec.as_deref_mut() {
+                    // The packet becomes visible to the downstream router's
+                    // arbitration on the next cycle.
+                    rec.on_enqueue(
+                        packet.id,
+                        down as u32,
+                        Self::entry_port(m.out_port) as u8,
+                        self.cycle + 1,
+                    );
+                }
                 self.routers[down].inputs[Self::entry_port(m.out_port)][m.vc].push_back(packet);
             }
         }
 
         self.faults = faults;
+        self.recorder = rec;
         self.cycle += 1;
         if self.cycle.is_multiple_of(WINDOW_CYCLES) {
             self.close_window();
@@ -1722,5 +1872,83 @@ mod tests {
         assert_eq!(lost.len(), 1);
         assert_eq!(lost[0].1, crate::error::LossReason::Unroutable);
         assert_eq!(lost[0].0.dst, NodeId::new(8));
+    }
+
+    /// Funnels contending traffic at one hotspot so serialization,
+    /// contention, and queueing all occur, then checks the recorder's hard
+    /// identity on every delivered message.
+    #[test]
+    fn flight_recorder_components_sum_to_latency_under_contention() {
+        let mut m = small();
+        m.attach_flight_recorder();
+        for src in [0u32, 2, 6, 8, 1, 3, 5, 7] {
+            for _ in 0..3 {
+                m.try_inject(NodeId::new(src), NodeId::new(4), 3, PacketClass::Request);
+            }
+        }
+        m.run(2_000);
+        assert_eq!(m.stats().delivered_total, 24);
+        let rec = m.take_flight_recorder().expect("recorder attached");
+        assert_eq!(rec.open_count(), 0, "quiescent run leaves nothing open");
+        assert_eq!(rec.finished().len(), 24);
+        let mut saw_stall = false;
+        for msg in rec.finished() {
+            assert!(msg.delivered);
+            assert_eq!(
+                msg.components_sum(),
+                msg.latency(),
+                "msg {} decomposition must be exact",
+                msg.id
+            );
+            saw_stall |= msg.stalls().total() > 0;
+        }
+        assert!(saw_stall, "a 24-packet hotspot must stall someone");
+    }
+
+    /// The recorder observes but cannot perturb: identical traffic with and
+    /// without it produces bit-identical statistics and ejection order.
+    #[test]
+    fn recorded_run_is_bit_identical_to_bare_run() {
+        let run = |record: bool| {
+            let mut m = small();
+            if record {
+                m.attach_flight_recorder();
+            }
+            for i in 0..40u32 {
+                m.try_inject(
+                    NodeId::new(i % 9),
+                    NodeId::new((i * 7 + 2) % 9),
+                    1 + (i % 3),
+                    PacketClass::Request,
+                );
+            }
+            m.run(2_000);
+            (m.stats().clone(), m.drain_ejected())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Messages dropped by faults get closed lifecycle records with the
+    /// loss reason, and the recorder survives phase-0 drops.
+    #[test]
+    fn flight_recorder_captures_losses() {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        plan.seed = 5;
+        plan.links = vec![gnoc_faults::LinkFault {
+            router: 0,
+            dir: gnoc_faults::Direction::East,
+            kind: gnoc_faults::LinkFaultKind::Flaky { drop_prob: 1.0 },
+            onset: 0,
+        }];
+        let mut m = small();
+        m.apply_fault_plan(&plan).unwrap();
+        m.attach_flight_recorder();
+        m.try_inject(NodeId::new(0), NodeId::new(2), 1, PacketClass::Request);
+        m.run(50);
+        let rec = m.take_flight_recorder().unwrap();
+        assert_eq!(rec.finished().len(), 1);
+        let msg = &rec.finished()[0];
+        assert!(!msg.delivered);
+        assert_eq!(msg.loss.as_deref(), Some("FlakyLink"));
     }
 }

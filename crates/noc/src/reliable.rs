@@ -371,7 +371,15 @@ impl ReliableMesh {
         if t.attempts <= max_retries {
             t.state = TransferOutcome::Pending;
             self.stats.retries += 1;
+            let attempts = t.attempts;
             self.pending.push_back(idx);
+            if let Some(rec) = self.mesh.flight_recorder_mut() {
+                rec.note(
+                    TraceEvent::new(now, SUBSYSTEM_NOC, "retry")
+                        .with("transfer", idx)
+                        .with("attempts", attempts),
+                );
+            }
         } else {
             t.state = TransferOutcome::Lost {
                 reason: LossReason::RetriesExhausted,
@@ -403,6 +411,9 @@ impl ReliableMesh {
                 // transfer already back in the pending queue (timed out
                 // while this copy was flying) needs no extra attempt.
                 self.last_activity = now;
+                if let Some(rec) = self.mesh.flight_recorder_mut() {
+                    rec.note(TraceEvent::new(now, SUBSYSTEM_NOC, "nack").with("packet", pkt.id));
+                }
                 if self.transfers[idx].state == TransferOutcome::InFlight {
                     self.stats.corrupt_retries += 1;
                     self.retry_or_give_up(idx, now);
@@ -494,6 +505,12 @@ impl ReliableMesh {
         self.mesh.telemetry().emit_with(|| {
             TraceEvent::new(now, SUBSYSTEM_NOC, "watchdog_trip").with("written_off", written_off)
         });
+        if let Some(rec) = self.mesh.flight_recorder_mut() {
+            rec.note(
+                TraceEvent::new(now, SUBSYSTEM_NOC, "watchdog_trip")
+                    .with("written_off", written_off),
+            );
+        }
     }
 
     /// Steps until every submitted transfer resolves or `max_cycles` elapse.

@@ -71,8 +71,24 @@ pub fn run_fairness_traced(
     seed: u64,
     telemetry: TelemetryHandle,
 ) -> FairnessResult {
+    run_fairness_recorded(cfg, seed, telemetry, false).0
+}
+
+/// [`run_fairness_traced`] with an optional flight recorder on the mesh.
+/// The recorder observes phase decisions without participating in them, so
+/// the returned [`FairnessResult`] is bit-identical whether or not `record`
+/// is set.
+pub fn run_fairness_recorded(
+    cfg: FairnessConfig,
+    seed: u64,
+    telemetry: TelemetryHandle,
+    record: bool,
+) -> (FairnessResult, Option<Box<gnoc_telemetry::FlightRecorder>>) {
     let mut mesh = Mesh::new(cfg.mesh);
     mesh.set_telemetry(telemetry.clone());
+    if record {
+        mesh.attach_flight_recorder();
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let width = cfg.mesh.width;
     let n = cfg.mesh.num_nodes();
@@ -120,12 +136,15 @@ pub fn run_fairness_traced(
             t.registry.gauge_set("noc.fairness.unfairness", unfairness);
         }
     });
-    FairnessResult {
-        throughput,
-        compute_nodes,
-        mc_nodes,
-        unfairness,
-    }
+    (
+        FairnessResult {
+            throughput,
+            compute_nodes,
+            mc_nodes,
+            unfairness,
+        },
+        mesh.take_flight_recorder(),
+    )
 }
 
 #[cfg(test)]
@@ -188,6 +207,23 @@ mod tests {
         assert!(max >= min && min > 0.0);
         assert!((reg.gauge("noc.fairness.unfairness").unwrap() - max / min).abs() < 1e-12);
         assert!(reg.counter("noc.flits") > 0);
+    }
+
+    #[test]
+    fn recorded_fairness_is_bit_identical_and_captures_messages() {
+        let cfg = FairnessConfig {
+            warmup: 200,
+            measure: 1_000,
+            ..FairnessConfig::paper(ArbiterKind::RoundRobin)
+        };
+        let bare = run_fairness(cfg, 3);
+        let (recorded, rec) = run_fairness_recorded(cfg, 3, TelemetryHandle::disabled(), true);
+        assert_eq!(bare, recorded, "recording must not perturb the run");
+        let rec = rec.unwrap();
+        assert!(!rec.finished().is_empty());
+        for m in rec.finished().iter().filter(|m| m.delivered) {
+            assert_eq!(m.components_sum(), m.latency(), "message {}", m.id);
+        }
     }
 
     #[test]

@@ -14,17 +14,24 @@
 //! * [`TraceEvent`] / [`TraceSink`] — structured, virtual-cycle-timestamped
 //!   event tracing with [`JsonlWriter`] (one JSON object per line),
 //!   [`MemorySink`] (tests), and [`NullSink`] impls.
+//! * [`FlightRecorder`] — the causal per-message recorder behind
+//!   `gnoc profile`: every message's lifecycle with exact stall attribution
+//!   (each waiting cycle charged to serialization, contention,
+//!   backpressure, router stall, or queueing), exportable as JSONL or a
+//!   Perfetto-loadable Chrome trace.
 //! * [`TelemetryHandle`] — the cheaply-cloneable handle threaded through
 //!   `GpuDevice`, `Mesh`, `memsim`, and the campaign layer. Disabled by
 //!   default: a no-op handle costs one branch per call site and never
 //!   allocates, keeping the simulator's hot paths unaffected unless a run
 //!   opts in.
 
+mod flight;
 mod handle;
 mod hist;
 mod registry;
 mod trace;
 
+pub use flight::{FlightRecorder, HopRecord, MessageRecord, StallBreakdown, StallKind, PORT_NAMES};
 pub use handle::{Telemetry, TelemetryHandle};
 pub use hist::{LogHistogram, MAX_BUCKETS};
 pub use registry::{CounterBank, MetricRegistry, SpanTimer};

@@ -1,7 +1,7 @@
 //! Named metrics: counters, gauges, histograms, and span timers.
 
 use crate::hist::LogHistogram;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -9,11 +9,57 @@ use std::time::Instant;
 /// simulation's stand-in for an `nvprof` counter dump. Registries are plain
 /// data: serializable to JSON (`gnoc --metrics`), mergeable across shards,
 /// and diffable across runs.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Wall-clock measurements ([`SpanTimer`] durations) live in a separate
+/// `wall` section that is **excluded** from the default JSON export and from
+/// equality: everything in the main sections is a pure function of the
+/// simulated work, so default metrics files are bit-identical run-to-run.
+/// Opt in to the nondeterministic timings with
+/// [`MetricRegistry::to_json_pretty_with_wall`].
+#[derive(Debug, Clone, Default)]
 pub struct MetricRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, LogHistogram>,
+    /// Wall-clock histograms, quarantined from the deterministic sections.
+    wall: BTreeMap<String, LogHistogram>,
+}
+
+// Equality deliberately ignores the wall section: two runs of the same
+// simulation are "equal" even though their wall-clock timings differ.
+impl PartialEq for MetricRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.histograms == other.histograms
+    }
+}
+
+impl Serialize for MetricRegistry {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("counters".to_string(), self.counters.serialize_value()),
+            ("gauges".to_string(), self.gauges.serialize_value()),
+            ("histograms".to_string(), self.histograms.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for MetricRegistry {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        // The `wall` section is optional: default exports omit it, opt-in
+        // exports and older hand-edited files may carry it.
+        let wall = match value.field("wall") {
+            Ok(v) => Deserialize::deserialize_value(v)?,
+            Err(_) => BTreeMap::new(),
+        };
+        Ok(MetricRegistry {
+            counters: Deserialize::deserialize_value(value.field("counters")?)?,
+            gauges: Deserialize::deserialize_value(value.field("gauges")?)?,
+            histograms: Deserialize::deserialize_value(value.field("histograms")?)?,
+            wall,
+        })
+    }
 }
 
 impl MetricRegistry {
@@ -72,6 +118,25 @@ impl MetricRegistry {
         self.histograms.get(name)
     }
 
+    /// Records one wall-clock sample into the named `wall` histogram.
+    pub fn wall_record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.wall.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = LogHistogram::new();
+            h.record(value);
+            self.wall.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn wall_hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.wall.get(name)
+    }
+
+    pub fn wall_hists(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.wall.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
@@ -104,11 +169,31 @@ impl MetricRegistry {
                 self.histograms.insert(k.clone(), h.clone());
             }
         }
+        for (k, h) in &other.wall {
+            if let Some(mine) = self.wall.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.wall.insert(k.clone(), h.clone());
+            }
+        }
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON. The wall-clock section is omitted so the
+    /// output is a deterministic function of the simulated work.
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("registry serializes")
+    }
+
+    /// Serializes to pretty JSON *including* the nondeterministic `wall`
+    /// section — opt-in, for runs that want wall-clock timings on disk.
+    pub fn to_json_pretty_with_wall(&self) -> String {
+        let value = Value::Object(vec![
+            ("counters".to_string(), self.counters.serialize_value()),
+            ("gauges".to_string(), self.gauges.serialize_value()),
+            ("histograms".to_string(), self.histograms.serialize_value()),
+            ("wall".to_string(), self.wall.serialize_value()),
+        ]);
+        serde_json::to_string_pretty(&value).expect("registry serializes")
     }
 
     /// Parses a registry from JSON text.
@@ -130,7 +215,8 @@ impl MetricRegistry {
 
 /// A wall-clock span timer. Start one around a campaign or subcommand and
 /// [`SpanTimer::finish`] it into a registry: the duration lands in the
-/// `span.<name>.us` histogram and `span.<name>.calls` counts invocations.
+/// `span.<name>.us` **wall** histogram (excluded from default exports) and
+/// `span.<name>.calls` counts invocations as a normal counter.
 #[derive(Debug)]
 pub struct SpanTimer {
     name: String,
@@ -154,7 +240,7 @@ impl SpanTimer {
     pub fn finish(self, registry: &mut MetricRegistry) -> f64 {
         let secs = self.elapsed_seconds();
         let micros = (secs * 1e6).round().max(0.0) as u64;
-        registry.hist_record(&format!("span.{}.us", self.name), micros);
+        registry.wall_record(&format!("span.{}.us", self.name), micros);
         registry.counter_add(&format!("span.{}.calls", self.name), 1);
         secs
     }
@@ -300,12 +386,34 @@ mod tests {
     }
 
     #[test]
-    fn span_timer_records_into_registry() {
+    fn span_timer_records_into_wall_section() {
         let mut r = MetricRegistry::new();
         let t = SpanTimer::start("probe");
         let secs = t.finish(&mut r);
         assert!(secs >= 0.0);
         assert_eq!(r.counter("span.probe.calls"), 1);
-        assert_eq!(r.hist("span.probe.us").unwrap().count(), 1);
+        // The duration goes to the quarantined wall section, not the
+        // deterministic histograms.
+        assert!(r.hist("span.probe.us").is_none());
+        assert_eq!(r.wall_hist("span.probe.us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn default_export_omits_wall_and_equality_ignores_it() {
+        let mut a = MetricRegistry::new();
+        a.counter_add("x", 1);
+        let mut b = a.clone();
+        b.wall_record("span.figure.us", 1234);
+        // Wall-clock timings never affect the default export or equality.
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        assert!(!b.to_json_pretty().contains("wall"));
+        // The opt-in export carries them, and parsing tolerates either form.
+        let with = b.to_json_pretty_with_wall();
+        assert!(with.contains("span.figure.us"));
+        let back = MetricRegistry::from_json(&with).expect("wall form parses");
+        assert_eq!(back.wall_hist("span.figure.us").unwrap().count(), 1);
+        let plain = MetricRegistry::from_json(&b.to_json_pretty()).expect("plain form parses");
+        assert!(plain.wall_hist("span.figure.us").is_none());
     }
 }
