@@ -75,15 +75,28 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
     --jobs 2 chaos run --detect --seeds 0..12 --wall-ms 120000 \
     --state "$tmp/chaos-detect-state.json" --repro-dir "$tmp/repros-detect"
 
+echo "== fabric: bounded multi-GPU chaos soak (fixed seeds, wall deadline) =="
+# Cross-device soaks over a 4-device ring compose the fabric with the
+# per-die reliable mesh; a delivery/progress/differential/detection
+# violation prints the oracle name plus the shrunk reproducer path and
+# exits nonzero, failing the gate.
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --jobs 2 chaos run --seeds 0..12 --devices 4 --topology ring \
+    --wall-ms 120000 --state "$tmp/chaos-fabric-state.json" \
+    --repro-dir "$tmp/repros-fabric"
+
 echo "== bench: detection latency within oracle bounds (BENCH_health.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_health -- BENCH_health.json
 
 echo "== bench: flight-recorder overhead A/B/A (BENCH_profile.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_profile -- BENCH_profile.json
 
+echo "== bench: cross-device soak latency/retry/failover (BENCH_fabric.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_fabric -- BENCH_fabric.json
+
 echo "== validate: every artifact row carries schema 1 =="
 cargo run --release -q -p gnoc-bench --bin validate_bench -- \
-    BENCH_par.json BENCH_health.json BENCH_profile.json \
+    BENCH_par.json BENCH_health.json BENCH_profile.json BENCH_fabric.json \
     "$tmp/prof_a.json" "$tmp/smoke.json" "$tmp/chaos_prof.json"
 
 echo "ci.sh: all green"

@@ -52,6 +52,9 @@ pub struct CycleTotals {
     /// Head-of-queue cycles lost to stalled routers, dead links, or missing
     /// routes.
     pub router_stall: u64,
+    /// Cycles attributed to the inter-device fabric (waiting for, crossing,
+    /// and sitting behind fabric links); zero for single-die recordings.
+    pub fabric_hop: u64,
     /// Cycles spent behind other messages in input queues.
     pub queued: u64,
     /// Pure link-crossing cycles (one per inter-router hop).
@@ -67,6 +70,7 @@ impl CycleTotals {
             + self.contention
             + self.backpressure
             + self.router_stall
+            + self.fabric_hop
             + self.queued
             + self.transit
     }
@@ -79,6 +83,7 @@ impl CycleTotals {
         self.contention += s.contention;
         self.backpressure += s.backpressure;
         self.router_stall += s.router_stall;
+        self.fabric_hop += s.fabric_hop;
         self.queued += s.queued;
     }
 }
@@ -193,6 +198,7 @@ impl ProfileReport {
                     contention: h.contention,
                     backpressure: h.backpressure,
                     router_stall: h.router_stall,
+                    fabric_hop: h.fabric_hop,
                     queued: h.queued,
                 };
                 routers[r].stalls.add(&hop_stalls);
@@ -304,6 +310,7 @@ impl ProfileReport {
                 ("contention".into(), Value::U64(s.contention)),
                 ("backpressure".into(), Value::U64(s.backpressure)),
                 ("router_stall".into(), Value::U64(s.router_stall)),
+                ("fabric_hop".into(), Value::U64(s.fabric_hop)),
                 ("queued".into(), Value::U64(s.queued)),
             ])
         };
@@ -324,6 +331,7 @@ impl ProfileReport {
                     contention: h.contention,
                     backpressure: h.backpressure,
                     router_stall: h.router_stall,
+                    fabric_hop: h.fabric_hop,
                     queued: h.queued,
                 }),
             ));
@@ -352,6 +360,7 @@ impl ProfileReport {
                     ("contention".into(), Value::U64(self.totals.contention)),
                     ("backpressure".into(), Value::U64(self.totals.backpressure)),
                     ("router_stall".into(), Value::U64(self.totals.router_stall)),
+                    ("fabric_hop".into(), Value::U64(self.totals.fabric_hop)),
                     ("queued".into(), Value::U64(self.totals.queued)),
                     ("transit".into(), Value::U64(self.totals.transit)),
                     ("total".into(), Value::U64(self.totals.total())),
@@ -423,6 +432,7 @@ impl ProfileReport {
         row("contention", self.totals.contention);
         row("backpressure", self.totals.backpressure);
         row("router_stall", self.totals.router_stall);
+        row("fabric_hop", self.totals.fabric_hop);
         row("queued", self.totals.queued);
         row("transit", self.totals.transit);
         out.push_str(&format!(
@@ -444,7 +454,7 @@ impl ProfileReport {
         for l in hottest.iter().take(8) {
             let s = &l.stalls;
             out.push_str(&format!(
-                "  router {:>3} {:<6} {:>8} flits  stalls {:>8} (ser {} / cont {} / bp {} / rs {} / q {})\n",
+                "  router {:>3} {:<6} {:>8} flits  stalls {:>8} (ser {} / cont {} / bp {} / rs {} / fab {} / q {})\n",
                 l.router,
                 port_name(l.port),
                 l.flits,
@@ -453,6 +463,7 @@ impl ProfileReport {
                 s.contention,
                 s.backpressure,
                 s.router_stall,
+                s.fabric_hop,
                 s.queued,
             ));
         }
@@ -481,7 +492,7 @@ impl ProfileReport {
                     "lost"
                 };
                 out.push_str(&format!(
-                    "    router {:>3} {}→{}: wait {} (ser {} / cont {} / bp {} / rs {} / q {})\n",
+                    "    router {:>3} {}→{}: wait {} (ser {} / cont {} / bp {} / rs {} / fab {} / q {})\n",
                     h.router,
                     port_name(h.in_port),
                     to,
@@ -490,6 +501,7 @@ impl ProfileReport {
                     h.contention,
                     h.backpressure,
                     h.router_stall,
+                    h.fabric_hop,
                     h.queued,
                 ));
             }
@@ -559,6 +571,7 @@ mod tests {
             "contention",
             "backpressure",
             "router_stall",
+            "fabric_hop",
             "queued",
             "transit",
             "critical path #1",

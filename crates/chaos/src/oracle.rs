@@ -1,7 +1,7 @@
 //! The invariant oracles a chaos iteration checks, and the violation record
 //! they produce.
 
-use gnoc_core::{LatencyCampaign, ReliableMesh, TransferOutcome};
+use gnoc_core::{FabricSim, LatencyCampaign, ReliableMesh, TransferOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Which invariant a chaos iteration checks.
@@ -138,6 +138,114 @@ pub(crate) fn check_progress(quiesced: bool, rm: &ReliableMesh) -> Result<(), St
             "{} transfer(s) still unresolved when the virtual-cycle budget ran out",
             rm.outstanding()
         ));
+    }
+    Ok(())
+}
+
+/// Fabric analogue of [`check_delivery`]: every cross-device (and
+/// same-device) transfer submitted to the fabric is delivered exactly once
+/// or reported lost with a reason, and the outcome list agrees with the
+/// aggregate counters.
+pub(crate) fn check_fabric_delivery(
+    expected_submitted: u64,
+    quiesced: bool,
+    sim: &FabricSim,
+) -> Result<(), String> {
+    let stats = sim.stats();
+    if stats.submitted != expected_submitted {
+        return Err(format!(
+            "submitted accounting off: stats say {} but {} were submitted",
+            stats.submitted, expected_submitted
+        ));
+    }
+    let mut delivered = 0u64;
+    let mut lost = 0u64;
+    let mut unresolved = 0u64;
+    for o in sim.outcomes() {
+        match o {
+            TransferOutcome::Delivered { .. } => delivered += 1,
+            TransferOutcome::Lost { .. } => lost += 1,
+            TransferOutcome::Pending | TransferOutcome::InFlight => unresolved += 1,
+        }
+    }
+    if delivered != stats.delivered || lost != stats.lost_total() {
+        return Err(format!(
+            "outcome/stats disagree: outcomes say {delivered} delivered + {lost} lost, \
+             stats say {} delivered + {} lost",
+            stats.delivered,
+            stats.lost_total()
+        ));
+    }
+    if delivered + lost + unresolved != expected_submitted {
+        return Err(format!(
+            "transfers unaccounted for: {delivered} delivered + {lost} lost + \
+             {unresolved} unresolved != {expected_submitted} submitted"
+        ));
+    }
+    if quiesced && unresolved != 0 {
+        return Err(format!(
+            "{unresolved} transfers neither delivered nor reported lost after quiescence"
+        ));
+    }
+    Ok(())
+}
+
+/// Fabric analogue of [`check_progress`]: the multi-device run must quiesce
+/// within its budget and neither the fabric watchdog nor any die watchdog
+/// may write transfers off. Crossing retries are bounded (64 attempts x a
+/// 16-cycle backoff, three orders of magnitude below the watchdog window),
+/// so a trip means the fabric stopped making progress, not that it was slow.
+pub(crate) fn check_fabric_progress(quiesced: bool, sim: &FabricSim) -> Result<(), String> {
+    let stats = sim.stats();
+    if stats.lost_watchdog > 0 {
+        return Err(format!(
+            "watchdog wrote off {} transfer(s): the fabric stopped making progress",
+            stats.lost_watchdog
+        ));
+    }
+    if !quiesced {
+        return Err(format!(
+            "{} transfer(s) still unresolved when the virtual-cycle budget ran out",
+            sim.outstanding()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks faulted-vs-golden agreement for a fabric iteration. The golden
+/// run (same config, same traffic, empty fault plan) must deliver every
+/// transfer — a fault-free fabric that loses packets is broken regardless
+/// of what the faulted run did. And when the generated plan is benign, the
+/// faulted run must reproduce the golden one bit for bit (outcomes and
+/// stats), because nothing distinguishes the two simulations.
+pub(crate) fn check_fabric_differential(
+    plan_benign: bool,
+    golden: &FabricSim,
+    faulted: &FabricSim,
+) -> Result<(), String> {
+    let g = golden.stats();
+    if g.delivered != g.submitted {
+        return Err(format!(
+            "golden fabric run lost {} of {} transfers without any faults",
+            g.submitted - g.delivered,
+            g.submitted
+        ));
+    }
+    if plan_benign {
+        let (go, fo) = (golden.outcomes(), faulted.outcomes());
+        if go != fo {
+            let first = go
+                .iter()
+                .zip(&fo)
+                .position(|(a, b)| a != b)
+                .map_or("length".to_string(), |i| format!("transfer {i}"));
+            return Err(format!(
+                "benign plan diverged from golden: first difference at {first}"
+            ));
+        }
+        if g != faulted.stats() {
+            return Err("benign plan diverged from golden: stats differ".to_string());
+        }
     }
     Ok(())
 }

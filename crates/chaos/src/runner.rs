@@ -3,8 +3,9 @@
 
 use crate::config::{calibration_safe, ChaosConfig};
 use crate::oracle::{
-    check_calibration, check_delivery, check_differential, check_progress, check_resume,
-    OracleKind, Violation,
+    check_calibration, check_delivery, check_differential, check_fabric_delivery,
+    check_fabric_differential, check_fabric_progress, check_progress, check_resume, OracleKind,
+    Violation,
 };
 use crate::shrink::{ddmin, decompose};
 use crate::ChaosError;
@@ -13,8 +14,9 @@ use gnoc_core::health::run_slice_detection_for_spec;
 use gnoc_core::noc::{NodeId, PacketClass, RouteOrder};
 use gnoc_core::telemetry::TelemetryHandle;
 use gnoc_core::{
-    device_for_preset, spec_for_preset, ArbiterKind, CheckpointedCampaign, FaultPlan, HealthConfig,
-    MeshConfig, ReliableMesh, SelfHealingMesh, WorkerPool,
+    device_for_preset, spec_for_preset, ArbiterKind, CheckpointedCampaign, FabricConfig,
+    FabricHealthConfig, FabricHealthMonitor, FabricSim, FaultPlan, HealthConfig, MeshConfig,
+    ReliableMesh, SelfHealingMesh, WorkerPool,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -385,70 +387,79 @@ fn iteration_body(
         }),
     };
 
-    // --- NoC soak: reliable delivery over the faulted mesh. ---
-    // Single-VC wormhole buffers: legitimate for independent transfers
-    // (no request/reply coupling) and exactly the surface the historical
-    // reroute-deadlock bug lived on, so the progress oracle keeps bite.
-    let mesh_cfg = MeshConfig {
-        width: cfg.width as usize,
-        height: cfg.height as usize,
-        buffer_packets: 4,
-        arbiter: ArbiterKind::RoundRobin,
-        route_order: RouteOrder::Xy,
-        vcs: 1,
-    };
-    match ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry) {
-        Err(e) => violations.push(Violation {
-            oracle: OracleKind::Delivery,
-            seed,
-            detail: format!("harness: mesh rejected a generated plan: {e}"),
-        }),
-        Ok(mut rm) => {
-            #[cfg(feature = "bug-hooks")]
-            if cfg.greedy_reroute_bug {
-                rm.mesh_mut().enable_greedy_reroute_bug();
-            }
-            let n = u64::from(cfg.width) * u64::from(cfg.height);
-            let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
-            let mut submit_failed = false;
-            for i in 0..cfg.transfers {
-                let src = rng.next() % n;
-                let dst = (src + 1 + rng.next() % (n - 1)) % n;
-                let flits = 1 + (rng.next() % 4) as u32;
-                let class = if i % 2 == 0 {
-                    PacketClass::Request
-                } else {
-                    PacketClass::Reply
-                };
-                if let Err(e) = rm.submit_checked(
-                    NodeId::new(src as u32),
-                    NodeId::new(dst as u32),
-                    flits,
-                    class,
-                ) {
-                    violations.push(Violation {
-                        oracle: OracleKind::Delivery,
-                        seed,
-                        detail: format!("harness: in-range submit rejected: {e}"),
-                    });
-                    submit_failed = true;
-                    break;
+    // --- Fabric soak: multi-device configs route the soak through the
+    // inter-device fabric instead of a lone die (the dies still run,
+    // composed under every transfer's first and last leg). ---
+    if cfg.devices >= 2 {
+        for (kind, result) in fabric_soak_phase(cfg, seed, plan) {
+            record(kind, result, &mut violations, &mut passes);
+        }
+    } else {
+        // --- NoC soak: reliable delivery over the faulted mesh. ---
+        // Single-VC wormhole buffers: legitimate for independent transfers
+        // (no request/reply coupling) and exactly the surface the historical
+        // reroute-deadlock bug lived on, so the progress oracle keeps bite.
+        let mesh_cfg = MeshConfig {
+            width: cfg.width as usize,
+            height: cfg.height as usize,
+            buffer_packets: 4,
+            arbiter: ArbiterKind::RoundRobin,
+            route_order: RouteOrder::Xy,
+            vcs: 1,
+        };
+        match ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry) {
+            Err(e) => violations.push(Violation {
+                oracle: OracleKind::Delivery,
+                seed,
+                detail: format!("harness: mesh rejected a generated plan: {e}"),
+            }),
+            Ok(mut rm) => {
+                #[cfg(feature = "bug-hooks")]
+                if cfg.greedy_reroute_bug {
+                    rm.mesh_mut().enable_greedy_reroute_bug();
                 }
-            }
-            if !submit_failed {
-                let quiesced = rm.run_until_quiescent(cfg.soak_cycle_budget);
-                record(
-                    OracleKind::Delivery,
-                    check_delivery(u64::from(cfg.transfers), quiesced, &rm),
-                    &mut violations,
-                    &mut passes,
-                );
-                record(
-                    OracleKind::Progress,
-                    check_progress(quiesced, &rm),
-                    &mut violations,
-                    &mut passes,
-                );
+                let n = u64::from(cfg.width) * u64::from(cfg.height);
+                let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
+                let mut submit_failed = false;
+                for i in 0..cfg.transfers {
+                    let src = rng.next() % n;
+                    let dst = (src + 1 + rng.next() % (n - 1)) % n;
+                    let flits = 1 + (rng.next() % 4) as u32;
+                    let class = if i % 2 == 0 {
+                        PacketClass::Request
+                    } else {
+                        PacketClass::Reply
+                    };
+                    if let Err(e) = rm.submit_checked(
+                        NodeId::new(src as u32),
+                        NodeId::new(dst as u32),
+                        flits,
+                        class,
+                    ) {
+                        violations.push(Violation {
+                            oracle: OracleKind::Delivery,
+                            seed,
+                            detail: format!("harness: in-range submit rejected: {e}"),
+                        });
+                        submit_failed = true;
+                        break;
+                    }
+                }
+                if !submit_failed {
+                    let quiesced = rm.run_until_quiescent(cfg.soak_cycle_budget);
+                    record(
+                        OracleKind::Delivery,
+                        check_delivery(u64::from(cfg.transfers), quiesced, &rm),
+                        &mut violations,
+                        &mut passes,
+                    );
+                    record(
+                        OracleKind::Progress,
+                        check_progress(quiesced, &rm),
+                        &mut violations,
+                        &mut passes,
+                    );
+                }
             }
         }
     }
@@ -538,6 +549,125 @@ fn device_phase(
     Ok(results)
 }
 
+/// The fabric configuration a multi-device chaos iteration runs under: the
+/// same per-die mesh and retry policy as the single-die soak, on the
+/// configured device count and topology.
+fn fabric_config(cfg: &ChaosConfig) -> FabricConfig {
+    let mut fc = FabricConfig::new(cfg.devices, cfg.fabric_topology());
+    fc.mesh = MeshConfig {
+        width: cfg.width as usize,
+        height: cfg.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 1,
+    };
+    fc.retry = cfg.retry;
+    fc
+}
+
+/// Submits the fabric soak's deterministic traffic: `cfg.transfers`
+/// transfers whose endpoints (devices and on-die nodes) come from the same
+/// seeded splitmix stream the single-die soak uses. Device picks are
+/// uniform, so roughly `1/devices` of the traffic stays on its source die
+/// and exercises the composition path; the rest crosses the fabric.
+fn submit_fabric_traffic(sim: &mut FabricSim, cfg: &ChaosConfig, seed: u64) -> Result<(), String> {
+    let n = u64::from(cfg.width) * u64::from(cfg.height);
+    let devs = u64::from(cfg.devices);
+    let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
+    for i in 0..cfg.transfers {
+        let src_dev = (rng.next() % devs) as u32;
+        let dst_dev = (rng.next() % devs) as u32;
+        // Same-device transfers keep the single-die soak's distinct-endpoint
+        // rule; cross-device endpoints are free (both draws always happen,
+        // so the stream stays aligned across the two shapes).
+        let (src, dst) = if src_dev == dst_dev {
+            let s = rng.next() % n;
+            let d = (s + 1 + rng.next() % (n - 1)) % n;
+            (s, d)
+        } else {
+            (rng.next() % n, rng.next() % n)
+        };
+        let flits = 1 + (rng.next() % 4) as u32;
+        let class = if i % 2 == 0 {
+            PacketClass::Request
+        } else {
+            PacketClass::Reply
+        };
+        sim.submit(
+            src_dev,
+            NodeId::new(src as u32),
+            dst_dev,
+            NodeId::new(dst as u32),
+            flits,
+            class,
+        )
+        .map_err(|e| format!("harness: in-range submit rejected: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The multi-device analogue of the NoC soak: deterministic cross-device
+/// traffic over the faulted fabric, checked by the fabric delivery and
+/// progress oracles, plus a golden (fault-free, same traffic) replay for
+/// the differential oracle.
+fn fabric_soak_phase(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Vec<(OracleKind, Result<(), String>)> {
+    let fc = fabric_config(cfg);
+    let mut sim = match FabricSim::with_faults(fc.clone(), plan) {
+        Err(e) => {
+            return vec![(
+                OracleKind::Delivery,
+                Err(format!("harness: fabric rejected a generated plan: {e}")),
+            )]
+        }
+        Ok(sim) => sim,
+    };
+    #[cfg(feature = "bug-hooks")]
+    if cfg.fabric_stuck_crossing_bug {
+        sim.enable_stuck_crossing_bug();
+    }
+    if let Err(detail) = submit_fabric_traffic(&mut sim, cfg, seed) {
+        return vec![(OracleKind::Delivery, Err(detail))];
+    }
+    let quiesced = sim.run_until_quiescent(cfg.soak_cycle_budget);
+
+    // Golden replay: identical traffic on an empty plan carrying the same
+    // seed, so a benign generated plan constructs a bit-identical twin (a
+    // benign plan draws nothing from the fault RNG — only the seed's
+    // identity matters for the comparison).
+    let golden_plan = FaultPlan {
+        seed: plan.seed,
+        ..FaultPlan::default()
+    };
+    let mut golden = match FabricSim::with_faults(fc, &golden_plan) {
+        Err(e) => {
+            return vec![(
+                OracleKind::Differential,
+                Err(format!("harness: golden fabric construction failed: {e}")),
+            )]
+        }
+        Ok(sim) => sim,
+    };
+    let _ = submit_fabric_traffic(&mut golden, cfg, seed);
+    golden.run_until_quiescent(cfg.soak_cycle_budget);
+
+    vec![
+        (
+            OracleKind::Delivery,
+            check_fabric_delivery(u64::from(cfg.transfers), quiesced, &sim),
+        ),
+        (OracleKind::Progress, check_fabric_progress(quiesced, &sim)),
+        (
+            OracleKind::Differential,
+            check_fabric_differential(plan.is_benign(), &golden, &sim),
+        ),
+    ]
+}
+
 /// The hidden-plan detection phase: the plan is physically applied but
 /// *never shown* to the health layer, which must infer every fault from
 /// behavioral telemetry alone. Scores three properties against ground truth:
@@ -571,6 +701,14 @@ fn detection_phase(cfg: &ChaosConfig, seed: u64, plan: &FaultPlan) -> Result<(),
         .map_err(|e| format!("harness: detection run failed: {e}"))?;
 
     problems.extend(score_link_detection(plan, &healer.detected_links()));
+
+    // Fabric-link detection for multi-device configs: the fabric plan is
+    // applied but concealed from a self-healing fabric, whose per-link
+    // drop-window breakers must find every dead inter-device link from
+    // crossing-drop evidence alone.
+    if cfg.devices >= 2 {
+        problems.extend(fabric_detection(cfg, plan)?);
+    }
 
     // Slice detection on a latent-fault device, when one is configured. The
     // device never remaps around `plan.disabled_slices` itself; the monitor
@@ -631,6 +769,89 @@ fn score_link_detection(
                 problems.push(format!(
                     "slow detection: dead link {r}:{d} (onset {}) first opened at cycle \
                      {at}, past the bound {}",
+                    l.onset,
+                    l.onset + DETECTION_LATENCY_BOUND
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    problems
+}
+
+/// Runs the hidden-plan fabric detection: a self-healing fabric (routing
+/// blind to the plan, reacting only to monitor quarantines) patrolled by
+/// the per-link breaker monitor until every onset has had
+/// [`DETECTION_RUN_MARGIN`] cycles to surface.
+fn fabric_detection(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<Vec<String>, String> {
+    let mut fc = fabric_config(cfg);
+    fc.self_healing = true;
+    let mut sim = FabricSim::with_faults(fc, plan)
+        .map_err(|e| format!("harness: self-healing fabric rejected the plan: {e}"))?;
+    let mut monitor = FabricHealthMonitor::new(&sim, FabricHealthConfig::default());
+    let last_onset = plan
+        .fabric
+        .links
+        .iter()
+        .map(|l| l.onset)
+        .chain(plan.fabric.devices.iter().map(|d| d.onset))
+        .chain(plan.fabric.dead_switch)
+        .max()
+        .unwrap_or(0);
+    monitor.run_detection(&mut sim, last_onset + DETECTION_RUN_MARGIN);
+    Ok(score_fabric_detection(
+        cfg,
+        plan,
+        &monitor.detected_links(&sim),
+    ))
+}
+
+/// Scores fabric-link detections against the plan's ground truth. A
+/// detection is legitimate when the link itself is faulted (dead or flaky)
+/// or when one of its endpoints is a lost device or the dead switch — the
+/// link is then genuinely unusable and quarantining it is correct. Recall
+/// and latency are required only for dead links whose endpoints stay
+/// alive: traffic toward a dead node is stranded as `Partitioned` before
+/// any crossing is attempted, so no drop evidence can accumulate there.
+fn score_fabric_detection(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    detected: &[(u32, u32, u64)],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let topo = cfg.fabric_topology();
+    let dead_devices = plan.fabric.dead_devices();
+    let switch = topo.switch_node(cfg.devices);
+    let endpoint_dead = |n: u32| {
+        dead_devices.contains(&n) || (Some(n) == switch && plan.fabric.dead_switch.is_some())
+    };
+    let has_fault = |a: u32, b: u32| {
+        plan.fabric
+            .links
+            .iter()
+            .any(|l| (l.a.min(l.b), l.a.max(l.b)) == (a, b))
+    };
+    for &(a, b, at) in detected {
+        if !has_fault(a, b) && !endpoint_dead(a) && !endpoint_dead(b) {
+            problems.push(format!(
+                "false positive: breaker for healthy fabric link {a}<->{b} opened at cycle {at}"
+            ));
+        }
+    }
+    for l in &plan.fabric.links {
+        if !matches!(l.kind, LinkFaultKind::Dead) || endpoint_dead(l.a) || endpoint_dead(l.b) {
+            continue;
+        }
+        let (a, b) = (l.a.min(l.b), l.a.max(l.b));
+        match detected.iter().find(|&&(da, db, _)| (da, db) == (a, b)) {
+            None => problems.push(format!(
+                "miss: dead fabric link {a}<->{b} (onset {}) never detected",
+                l.onset
+            )),
+            Some(&(_, _, at)) if at > l.onset + DETECTION_LATENCY_BOUND => {
+                problems.push(format!(
+                    "slow detection: dead fabric link {a}<->{b} (onset {}) first opened at \
+                     cycle {at}, past the bound {}",
                     l.onset,
                     l.onset + DETECTION_LATENCY_BOUND
                 ));
@@ -856,6 +1077,9 @@ fn write_profile(
     violations: &[Violation],
     path: &Path,
 ) -> Result<TraceWindow, ChaosError> {
+    if cfg.devices >= 2 {
+        return write_fabric_profile(cfg, seed, plan, violations, path);
+    }
     let mesh_cfg = MeshConfig {
         width: cfg.width as usize,
         height: cfg.height as usize,
@@ -917,6 +1141,53 @@ fn write_profile(
         cycles,
         5,
     );
+    std::fs::write(path, report.to_json_pretty()).map_err(|e| ChaosError::Io(e.to_string()))?;
+    let mut trace_name = path.file_name().unwrap_or_default().to_os_string();
+    trace_name.push(".trace.json");
+    let trace_path = path.with_file_name(trace_name);
+    std::fs::write(&trace_path, rec.chrome_trace()).map_err(|e| ChaosError::Io(e.to_string()))?;
+    Ok(TraceWindow {
+        profile: path.display().to_string(),
+        start: 0,
+        end: cycles,
+    })
+}
+
+/// Fabric counterpart of [`write_profile`]: replays `seed`'s fabric soak
+/// with a flight recorder attached to the fabric layer (die legs appear as
+/// source wait and final-hop residency; crossings are charged to the
+/// `fabric` stall class). The profile's router axis is the fabric node id —
+/// devices first, then the switch when the topology has one.
+fn write_fabric_profile(
+    cfg: &ChaosConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    violations: &[Violation],
+    path: &Path,
+) -> Result<TraceWindow, ChaosError> {
+    let fc = fabric_config(cfg);
+    let nodes = fc.topology.node_count(fc.devices) as usize;
+    let mut sim = FabricSim::with_faults(fc, plan)
+        .map_err(|e| ChaosError::Config(format!("profile replay: {e}")))?;
+    #[cfg(feature = "bug-hooks")]
+    if cfg.fabric_stuck_crossing_bug {
+        sim.enable_stuck_crossing_bug();
+    }
+    sim.attach_flight_recorder();
+    let _ = submit_fabric_traffic(&mut sim, cfg, seed);
+    sim.run_until_quiescent(cfg.soak_cycle_budget);
+    let cycles = sim.cycle();
+    let mut rec = sim.take_flight_recorder().expect("recorder attached above");
+    for v in violations {
+        rec.note(
+            gnoc_core::telemetry::TraceEvent::new(cycles, "chaos", "oracle_violation")
+                .with("oracle", v.oracle.name())
+                .with("seed", v.seed)
+                .with("detail", v.detail.clone()),
+        );
+    }
+    let report =
+        gnoc_core::analysis::profile::ProfileReport::from_recorder(&rec, nodes, 1, cycles, 5);
     std::fs::write(path, report.to_json_pretty()).map_err(|e| ChaosError::Io(e.to_string()))?;
     let mut trace_name = path.file_name().unwrap_or_default().to_os_string();
     trace_name.push(".trace.json");
@@ -1110,6 +1381,136 @@ mod tests {
             );
             assert!(out.passes.contains(&OracleKind::Detection));
         }
+    }
+
+    fn fabric_only(devices: u32, topology: &str) -> ChaosConfig {
+        ChaosConfig {
+            device: None,
+            devices,
+            topology: topology.to_string(),
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn fabric_iterations_pass_every_archetype_on_every_topology() {
+        for topology in ["ring", "line", "fully", "switch"] {
+            let cfg = fabric_only(4, topology);
+            for seed in 0..5 {
+                let plan = cfg.plan_for_seed(seed, 0);
+                let out = run_iteration(&cfg, seed, &plan, false);
+                assert!(
+                    out.is_clean(),
+                    "{topology} seed {seed}: {:?}",
+                    out.violations
+                );
+                assert!(out.passes.contains(&OracleKind::Delivery));
+                assert!(out.passes.contains(&OracleKind::Progress));
+                assert!(out.passes.contains(&OracleKind::Differential));
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_iterations_are_deterministic() {
+        let cfg = fabric_only(3, "ring");
+        for seed in 0..5 {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let a = run_iteration(&cfg, seed, &plan, false);
+            let b = run_iteration(&cfg, seed, &plan, false);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fabric_detection_passes_every_archetype() {
+        let cfg = ChaosConfig {
+            detection: true,
+            ..fabric_only(4, "ring")
+        };
+        for seed in 0..5 {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let out = run_iteration(&cfg, seed, &plan, false);
+            assert!(out.is_clean(), "seed {seed}: {:?}", out.violations);
+            assert!(out.passes.contains(&OracleKind::Detection));
+        }
+    }
+
+    #[test]
+    fn fabric_detection_scoring_has_teeth() {
+        use gnoc_core::faults::{FabricLinkFault, LinkFaultKind};
+        let cfg = fabric_only(4, "ring");
+        let mut plan = FaultPlan::default();
+        plan.fabric.links.push(FabricLinkFault {
+            a: 1,
+            b: 2,
+            kind: LinkFaultKind::Dead,
+            onset: 500,
+        });
+
+        // Perfect detection: found the dead link, promptly, nothing else.
+        assert!(score_fabric_detection(&cfg, &plan, &[(1, 2, 900)]).is_empty());
+
+        // Empty detected set → a miss naming the link.
+        let miss = score_fabric_detection(&cfg, &plan, &[]);
+        assert_eq!(miss.len(), 1);
+        assert!(
+            miss[0].contains("miss") && miss[0].contains("1<->2"),
+            "{miss:?}"
+        );
+
+        // A healthy link in the detected set → a false positive.
+        let fp = score_fabric_detection(&cfg, &plan, &[(1, 2, 900), (0, 1, 700)]);
+        assert_eq!(fp.len(), 1);
+        assert!(fp[0].contains("false positive"), "{fp:?}");
+
+        // Detection past the latency bound → slow detection.
+        let slow =
+            score_fabric_detection(&cfg, &plan, &[(1, 2, 500 + DETECTION_LATENCY_BOUND + 1)]);
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].contains("slow detection"), "{slow:?}");
+
+        // Once device 1 is lost, its links are exempt both ways: detecting
+        // 0<->1 is legitimate, and missing the dead 1<->2 is tolerated
+        // (stranded traffic produces no crossing drops there).
+        plan.fabric.devices.push(gnoc_core::faults::DeviceFault {
+            device: 1,
+            onset: 0,
+        });
+        assert!(score_fabric_detection(&cfg, &plan, &[(0, 1, 700)]).is_empty());
+        assert!(score_fabric_detection(&cfg, &plan, &[]).is_empty());
+    }
+
+    #[cfg(feature = "bug-hooks")]
+    #[test]
+    fn stuck_crossing_bug_is_caught_and_shrinks_to_the_culprit_link() {
+        let cfg = ChaosConfig {
+            fabric_stuck_crossing_bug: true,
+            ..fabric_only(4, "ring")
+        };
+        // Archetype 2 makes one fabric link flaky. (A dead link would not
+        // trigger the bug: fault-aware routing avoids it from onset, so
+        // nothing ever drops there.) With the lost-wakeup bug armed, the
+        // first transfer whose crossing drops hangs forever.
+        let plan = cfg.plan_for_seed(2, 0);
+        let out = run_iteration(&cfg, 2, &plan, false);
+        let progress: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.oracle == OracleKind::Progress)
+            .collect();
+        assert!(!progress.is_empty(), "violations: {:?}", out.violations);
+        let shrunk = shrink_violation(&cfg, 2, &plan, OracleKind::Progress, false);
+        let atoms = decompose(&shrunk, cfg.width, cfg.height);
+        assert!(
+            atoms.len() <= 3,
+            "shrunk reproducer still has {} atoms: {atoms:?}",
+            atoms.len()
+        );
+        assert!(
+            !shrunk.fabric.links.is_empty(),
+            "the culprit fabric link must survive shrinking"
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! the bug usually needs two or three. The shrinker decomposes a plan into
 //! *atoms* — the smallest units that make sense to remove together (a dead
 //! physical edge is one atom covering both directed entries; each flaky
-//! link, stall, disabled slice, and transient process is its own atom) —
-//! and runs classic delta debugging: test subsets, then complements,
+//! link, stall, disabled slice, transient process, fabric link fault,
+//! device loss, and the dead switch is its own atom) — and runs classic
+//! delta debugging: test subsets, then complements,
 //! doubling granularity until no smaller failing subset exists.
 //!
 //! Soundness: every subset of a valid generated plan is itself valid
@@ -14,7 +15,7 @@
 //! candidates never need re-validation.
 
 use gnoc_core::faults::{LinkFaultKind, TransientFaults};
-use gnoc_core::FaultPlan;
+use gnoc_core::{FabricFaults, FaultPlan};
 use serde::{Deserialize, Serialize};
 
 /// One removable unit of a fault plan.
@@ -33,6 +34,13 @@ pub enum Atom {
     Slice(usize),
     /// The embedded floorsweep.
     Sweep,
+    /// One faulted inter-device fabric link by index into
+    /// `plan.fabric.links`.
+    FabricLink(usize),
+    /// The dead central switch.
+    DeadSwitch,
+    /// One whole-device loss by index into `plan.fabric.devices`.
+    Device(usize),
 }
 
 /// Decomposes `plan` into atoms. `width`/`height` give the mesh geometry so
@@ -73,6 +81,11 @@ pub fn decompose(plan: &FaultPlan, width: u32, height: u32) -> Vec<Atom> {
     if plan.sweep.is_some() {
         atoms.push(Atom::Sweep);
     }
+    atoms.extend((0..plan.fabric.links.len()).map(Atom::FabricLink));
+    if plan.fabric.dead_switch.is_some() {
+        atoms.push(Atom::DeadSwitch);
+    }
+    atoms.extend((0..plan.fabric.devices.len()).map(Atom::Device));
     atoms
 }
 
@@ -90,6 +103,7 @@ pub fn compose(base: &FaultPlan, atoms: &[Atom]) -> FaultPlan {
             corrupt_prob: 0.0,
             onset: base.transient.onset,
         },
+        fabric: FabricFaults::default(),
     };
     for atom in atoms {
         match atom {
@@ -99,6 +113,9 @@ pub fn compose(base: &FaultPlan, atoms: &[Atom]) -> FaultPlan {
             Atom::TransientCorrupt => plan.transient.corrupt_prob = base.transient.corrupt_prob,
             Atom::Slice(i) => plan.disabled_slices.push(base.disabled_slices[*i]),
             Atom::Sweep => plan.sweep = base.sweep.clone(),
+            Atom::FabricLink(i) => plan.fabric.links.push(base.fabric.links[*i]),
+            Atom::DeadSwitch => plan.fabric.dead_switch = base.fabric.dead_switch,
+            Atom::Device(i) => plan.fabric.devices.push(base.fabric.devices[*i]),
         }
     }
     plan

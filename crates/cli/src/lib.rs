@@ -7,7 +7,9 @@
 #![warn(missing_docs)]
 
 use gnoc_chaos::ChaosConfig;
-use gnoc_core::{CtaScheduler, FaultGenConfig, FlakyBurst, GpuSpec, LatencyProbe, RegionFault};
+use gnoc_core::{
+    CtaScheduler, FabricTopology, FaultGenConfig, FlakyBurst, GpuSpec, LatencyProbe, RegionFault,
+};
 
 /// Exit code: the command succeeded (for checks: the property holds).
 pub const EXIT_OK: u8 = 0;
@@ -120,9 +122,11 @@ pub enum Command {
         /// Experiment seed.
         seed: u64,
     },
-    /// `gnoc mesh [--arbiter rr|age] [--seed S] [--transfers N]` — the
-    /// Fig. 23 experiment, or (with `--faults`) retrying delivery over a
-    /// degraded mesh.
+    /// `gnoc mesh [--arbiter rr|age] [--seed S] [--transfers N]
+    /// [--devices N] [--topology T]` — the Fig. 23 experiment, or (with
+    /// `--faults`) retrying delivery over a degraded mesh. With
+    /// `--devices ≥ 2` the soak runs cross-device over the inter-device
+    /// fabric instead.
     Mesh {
         /// Arbitration policy.
         age_based: bool,
@@ -132,6 +136,37 @@ pub enum Command {
         transfers: usize,
         /// Hide the fault plan from routing and let the health layer detect
         /// and quarantine faults online (requires `--faults`).
+        self_heal: bool,
+        /// Devices coupled over the inter-device fabric (1 = single die,
+        /// the classic experiment).
+        devices: u32,
+        /// Inter-device topology name (ignored when `devices == 1`).
+        topology: String,
+    },
+    /// `gnoc fabric [--devices N] [--topology T] [--width W] [--height H]
+    /// [--seed S] [--transfers N] [--cycles C] [--self-heal]` — a
+    /// multi-GPU fabric soak: cross-device traffic over per-die meshes
+    /// joined by the chosen inter-device topology, with fault-aware
+    /// failover when a `--faults` plan is given, or (with `--self-heal`)
+    /// the plan hidden from routing and per-link breakers quarantining
+    /// what they detect.
+    Fabric {
+        /// Devices coupled over the fabric (≥ 2).
+        devices: u32,
+        /// Inter-device topology name.
+        topology: String,
+        /// Per-die mesh width.
+        width: u32,
+        /// Per-die mesh height.
+        height: u32,
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+        /// Quiescence budget in cycles.
+        cycles: u64,
+        /// Hide the fault plan from fabric routing and let per-link
+        /// breakers detect, quarantine, and fail over online.
         self_heal: bool,
     },
     /// `gnoc memsim [--provisioned] [--seed S]` — the Fig. 21 experiment.
@@ -227,10 +262,12 @@ pub enum Command {
         seed: u64,
     },
     /// `gnoc profile [--width W] [--height H] [--arbiter rr|age] [--seed S]
-    /// [--transfers N] [--slowest K] [--report F] [--perfetto F] [--jsonl F]
-    /// [--svg F]` — flight-record a mesh soak (faulted when `--faults` is
-    /// given) and reduce it to stall attribution, per-link utilization
-    /// heatmaps, and the critical paths of the slowest transfers.
+    /// [--transfers N] [--slowest K] [--devices N] [--topology T]
+    /// [--report F] [--perfetto F] [--jsonl F] [--svg F]` — flight-record a
+    /// mesh soak (faulted when `--faults` is given) and reduce it to stall
+    /// attribution, per-link utilization heatmaps, and the critical paths
+    /// of the slowest transfers. With `--devices ≥ 2` the soak runs
+    /// cross-device and fabric-hop stalls get their own attribution class.
     Profile {
         /// Mesh width.
         width: u32,
@@ -252,6 +289,10 @@ pub enum Command {
         jsonl: Option<String>,
         /// Write the per-router utilization heatmap as SVG here.
         svg: Option<String>,
+        /// Devices coupled over the inter-device fabric (1 = single die).
+        devices: u32,
+        /// Inter-device topology name (ignored when `devices == 1`).
+        topology: String,
     },
     /// `gnoc help` — usage.
     Help,
@@ -294,6 +335,9 @@ pub enum ChaosAction {
 }
 
 /// What `gnoc faults` does.
+// One short-lived parse result per invocation; boxing the generation knobs
+// would buy nothing but indirection in every construction site and test.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultsAction {
     /// Generate a plan from knobs and write it to a JSON file.
@@ -304,7 +348,7 @@ pub enum FaultsAction {
         cfg: FaultGenConfig,
     },
     /// Load a plan file and validate it against a mesh (and optionally a
-    /// slice count).
+    /// slice count and a multi-device fabric).
     Check {
         /// Plan JSON path.
         path: String,
@@ -314,6 +358,11 @@ pub enum FaultsAction {
         height: u32,
         /// L2 slice count to validate disabled slices against.
         slices: Option<u32>,
+        /// Devices to validate the plan's fabric faults against
+        /// (1 = single-die check; fabric faults then fail the check).
+        devices: u32,
+        /// Inter-device topology to validate against.
+        topology: String,
     },
 }
 
@@ -372,7 +421,10 @@ USAGE:
     gnoc placement  <gpu> [--seed S]
     gnoc attack     <aes|rsa> [--gpu G] [--defend] [--seed S]
     gnoc mesh       [--arbiter rr|age] [--seed S] [--transfers N]
-                    [--self-heal]
+                    [--self-heal] [--devices N] [--topology T]
+    gnoc fabric     [--devices N] [--topology p2p|line|ring|fully|switch]
+                    [--width W] [--height H] [--seed S] [--transfers N]
+                    [--cycles C] [--self-heal]
     gnoc memsim     [--provisioned] [--seed S]
     gnoc covert     [--gpu G] [--far] [--seed S]
     gnoc replay     <bfs|gaussian> [--gpu G] [--random] [--blocks N]
@@ -389,19 +441,24 @@ USAGE:
                     [--region-radius K] [--region-center R] [--region-frac F]
                     [--burst N] [--burst-prob P] [--burst-onset C]
                     [--slices N] [--disable-slices N]
+                    [--devices N] [--topology T] [--dead-fabric-links N]
+                    [--flaky-fabric-links N] [--fabric-flaky-prob P]
+                    [--dead-devices N] [--dead-switch]
     gnoc faults     check <plan.json> [--width W] [--height H] [--slices N]
+                    [--devices N] [--topology T]
     gnoc chaos      run [--seeds A..B] [--width W] [--height H]
                     [--transfers N] [--cycles C] [--device G|none]
                     [--device-every N] [--lines N] [--samples N]
                     [--state chaos.json] [--report report.json]
                     [--repro-dir DIR] [--wall-ms MS] [--no-shrink]
                     [--greedy-bug] [--detect]
+                    [--devices N] [--topology T] [--fabric-stuck-bug]
     gnoc chaos      replay --repro repro.json
     gnoc chaos      shrink --repro repro.json [--out min.json]
     gnoc profile    [--width W] [--height H] [--arbiter rr|age] [--seed S]
                     [--transfers N] [--slowest K] [--report prof.json]
                     [--perfetto trace.json] [--jsonl events.jsonl]
-                    [--svg util.svg]
+                    [--svg util.svg] [--devices N] [--topology T]
     gnoc stats      <metrics.json>
     gnoc help
 
@@ -438,6 +495,18 @@ SELF-HEALING:
     the retrying-delivery experiment in the same mode. gnoc campaign
     --quarantine-sms runs degraded (skipped SMs, explicit partial coverage);
     --deadline-rows caps measured rows and salvages a partial result.
+
+MULTI-GPU FABRIC:
+    --devices N --topology T (mesh, fabric, profile, chaos run) couple N
+    per-die meshes over an inter-device fabric: p2p, line, ring, fully
+    (all-to-all), or switch (central crossbar). A cross-device transfer
+    runs source die -> egress port -> fabric hops -> ingress port ->
+    destination die; fabric links serialize flits an order of magnitude
+    slower than die links. Routing fails over around dead links, a dead
+    switch, or lost devices; severed traffic is reported lost-partitioned,
+    never hung. gnoc fabric --self-heal hides the plan from routing and
+    per-link breakers quarantine what they detect (quarantines that would
+    partition the fabric are refused and reported).
 
 EXIT CODES:
     0   success (checks: the property holds / no longer reproduces)
@@ -500,6 +569,30 @@ fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
         return Err(format!("flag --seeds: range {lo}..{hi} is empty"));
     }
     Ok(lo..hi)
+}
+
+/// Parses the multi-device fabric flags shared by `mesh`, `fabric`,
+/// `profile`, `chaos run`, and `faults check`: `--devices N` (defaulting to
+/// `default_devices`) and `--topology T` (defaulting to `ring`), validating
+/// the combination up front so a bad pairing (e.g. p2p with 3 devices)
+/// fails at parse time with exit code 2.
+fn parse_fabric_flags(flags: &Flags, default_devices: u32) -> Result<(u32, String), String> {
+    let devices: u32 = flags.parse_num("--devices", default_devices)?;
+    let topology = flags.value_of("--topology")?.unwrap_or("ring").to_owned();
+    let Some(topo) = FabricTopology::parse(&topology) else {
+        return Err(format!(
+            "flag --topology: unknown topology '{topology}' (p2p|line|ring|fully|switch)"
+        ));
+    };
+    if devices == 0 {
+        return Err("flag --devices: device count must be >= 1".to_owned());
+    }
+    if devices >= 2 && !topo.supports_devices(devices) {
+        return Err(format!(
+            "flag --topology: {topology} does not support {devices} devices"
+        ));
+    }
+    Ok((devices, topology))
 }
 
 /// Parses an argument vector (without the program name).
@@ -573,10 +666,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 Some("age") => true,
                 Some(other) => return Err(format!("unknown arbiter '{other}' (rr|age)")),
             };
+            let (devices, topology) = parse_fabric_flags(&flags, 1)?;
             Ok(Command::Mesh {
                 age_based,
                 seed: flags.parse_num("--seed", 1u64)?,
                 transfers: flags.parse_num("--transfers", 2000usize)?,
+                self_heal: flags.has("--self-heal"),
+                devices,
+                topology,
+            })
+        }
+        "fabric" => {
+            let (devices, topology) = parse_fabric_flags(&flags, 2)?;
+            if devices < 2 {
+                return Err(
+                    "fabric needs --devices >= 2 (use `gnoc mesh` for a single die)".to_owned(),
+                );
+            }
+            Ok(Command::Fabric {
+                devices,
+                topology,
+                width: flags.parse_num("--width", 5u32)?,
+                height: flags.parse_num("--height", 5u32)?,
+                seed: flags.parse_num("--seed", 1u64)?,
+                transfers: flags.parse_num("--transfers", 256usize)?,
+                cycles: flags.parse_num("--cycles", 60_000u64)?,
                 self_heal: flags.has("--self-heal"),
             })
         }
@@ -687,6 +801,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             num_slices: flags.parse_num("--slices", 0u32)?,
                             disabled_slice_count: flags.parse_num("--disable-slices", 0u32)?,
                             sweep: None,
+                            devices: flags.parse_num("--devices", 0u32)?,
+                            fabric_topology: match flags.value_of("--topology")? {
+                                None => FabricTopology::Ring,
+                                Some(s) => FabricTopology::parse(s).ok_or_else(|| {
+                                    format!(
+                                        "flag --topology: unknown topology '{s}' \
+                                         (p2p|line|ring|fully|switch)"
+                                    )
+                                })?,
+                            },
+                            dead_fabric_links: flags.parse_num("--dead-fabric-links", 0u32)?,
+                            flaky_fabric_links: flags.parse_num("--flaky-fabric-links", 0u32)?,
+                            fabric_flaky_drop_prob: flags
+                                .parse_num("--fabric-flaky-prob", 0.25f64)?,
+                            dead_devices: flags.parse_num("--dead-devices", 0u32)?,
+                            dead_switch: flags.has("--dead-switch"),
                         },
                     }
                 }
@@ -696,6 +826,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .filter(|a| !a.starts_with("--"))
                         .ok_or_else(|| "faults check needs a plan path".to_owned())?
                         .clone();
+                    let (devices, topology) = parse_fabric_flags(&flags, 1)?;
                     FaultsAction::Check {
                         path,
                         width: flags.parse_num("--width", 6u32)?,
@@ -704,6 +835,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             0 => None,
                             n => Some(n),
                         })?,
+                        devices,
+                        topology,
                     }
                 }
                 other => return Err(format!("faults needs gen|check, got {other:?}")),
@@ -719,6 +852,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         Some("none") => None,
                         Some(g) => Some(GpuChoice::parse(g)?.preset_name().to_owned()),
                     };
+                    let (devices, topology) = parse_fabric_flags(&flags, defaults.devices)?;
                     ChaosAction::Run {
                         seeds: match flags.value_of("--seeds")? {
                             Some(s) => parse_seed_range(s)?,
@@ -737,7 +871,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             probe_samples: flags.parse_num("--samples", defaults.probe_samples)?,
                             retry: defaults.retry,
                             greedy_reroute_bug: flags.has("--greedy-bug"),
+                            fabric_stuck_crossing_bug: flags.has("--fabric-stuck-bug"),
                             detection: flags.has("--detect"),
+                            devices,
+                            topology,
                         },
                         state: flags.value_of("--state")?.map(str::to_owned),
                         report: flags.value_of("--report")?.map(str::to_owned),
@@ -774,6 +911,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 Some("age") => true,
                 Some(other) => return Err(format!("unknown arbiter '{other}' (rr|age)")),
             };
+            let (devices, topology) = parse_fabric_flags(&flags, 1)?;
             Ok(Command::Profile {
                 width: flags.parse_num("--width", 6u32)?,
                 height: flags.parse_num("--height", 6u32)?,
@@ -785,6 +923,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 perfetto: flags.value_of("--perfetto")?.map(str::to_owned),
                 jsonl: flags.value_of("--jsonl")?.map(str::to_owned),
                 svg: flags.value_of("--svg")?.map(str::to_owned),
+                devices,
+                topology,
             })
         }
         "loadcurve" => {
@@ -937,6 +1077,8 @@ mod tests {
                 seed: 1,
                 transfers: 2000,
                 self_heal: false,
+                devices: 1,
+                topology: "ring".to_owned(),
             }
         );
         assert_eq!(
@@ -946,9 +1088,67 @@ mod tests {
                 seed: 1,
                 transfers: 500,
                 self_heal: true,
+                devices: 1,
+                topology: "ring".to_owned(),
             }
         );
         assert!(parse(&argv("mesh --arbiter fifo")).is_err());
+    }
+
+    #[test]
+    fn mesh_multi_device_flags_parse_and_validate() {
+        let c = parse(&argv("mesh --devices 4 --topology switch")).unwrap();
+        let Command::Mesh {
+            devices, topology, ..
+        } = c
+        else {
+            panic!("expected mesh, got {c:?}");
+        };
+        assert_eq!((devices, topology.as_str()), (4, "switch"));
+        assert!(parse(&argv("mesh --devices 0")).is_err());
+        assert!(parse(&argv("mesh --topology moebius")).is_err());
+        assert!(
+            parse(&argv("mesh --devices 3 --topology p2p")).is_err(),
+            "p2p supports exactly two devices"
+        );
+    }
+
+    #[test]
+    fn fabric_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("fabric")).unwrap(),
+            Command::Fabric {
+                devices: 2,
+                topology: "ring".to_owned(),
+                width: 5,
+                height: 5,
+                seed: 1,
+                transfers: 256,
+                cycles: 60_000,
+                self_heal: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "fabric --devices 4 --topology fully --width 4 --height 3 \
+                 --seed 7 --transfers 64 --cycles 9000 --self-heal"
+            ))
+            .unwrap(),
+            Command::Fabric {
+                devices: 4,
+                topology: "fully".to_owned(),
+                width: 4,
+                height: 3,
+                seed: 7,
+                transfers: 64,
+                cycles: 9_000,
+                self_heal: true,
+            }
+        );
+        assert!(parse(&argv("fabric --devices 1")).is_err());
+        assert!(parse(&argv("fabric --topology star")).is_err());
+        assert!(USAGE.contains("gnoc fabric"));
+        assert!(USAGE.contains("MULTI-GPU FABRIC"));
     }
 
     #[test]
@@ -1165,12 +1365,60 @@ mod tests {
                     width: 8,
                     height: 8,
                     slices: Some(40),
+                    devices: 1,
+                    topology: "ring".to_owned(),
                 }
             }
         );
         assert!(parse(&argv("faults gen")).is_err(), "--out is required");
         assert!(parse(&argv("faults check")).is_err());
         assert!(parse(&argv("faults list")).is_err());
+    }
+
+    #[test]
+    fn faults_gen_and_check_take_fabric_knobs() {
+        let c = parse(&argv(
+            "faults gen --out plan.json --devices 4 --topology switch \
+             --dead-fabric-links 1 --flaky-fabric-links 2 --fabric-flaky-prob 0.1 \
+             --dead-devices 1 --dead-switch",
+        ))
+        .unwrap();
+        let Command::Faults {
+            action: FaultsAction::Gen { cfg, .. },
+        } = c
+        else {
+            panic!("expected faults gen, got {c:?}");
+        };
+        assert_eq!(cfg.devices, 4);
+        assert_eq!(cfg.fabric_topology, FabricTopology::Switch);
+        assert_eq!(cfg.dead_fabric_links, 1);
+        assert_eq!(cfg.flaky_fabric_links, 2);
+        assert_eq!(cfg.fabric_flaky_drop_prob, 0.1);
+        assert_eq!(cfg.dead_devices, 1);
+        assert!(cfg.dead_switch);
+
+        // Single-die default: no fabric faults generated.
+        let c = parse(&argv("faults gen --out plan.json")).unwrap();
+        let Command::Faults {
+            action: FaultsAction::Gen { cfg, .. },
+        } = c
+        else {
+            panic!("expected faults gen, got {c:?}");
+        };
+        assert_eq!(cfg.devices, 0);
+        assert!(parse(&argv("faults gen --out p.json --topology grid")).is_err());
+
+        let c = parse(&argv("faults check plan.json --devices 4 --topology line")).unwrap();
+        let Command::Faults {
+            action: FaultsAction::Check {
+                devices, topology, ..
+            },
+        } = c
+        else {
+            panic!("expected faults check, got {c:?}");
+        };
+        assert_eq!((devices, topology.as_str()), (4, "line"));
+        assert!(parse(&argv("faults check plan.json --devices 3 --topology p2p")).is_err());
     }
 
     #[test]
@@ -1240,6 +1488,23 @@ mod tests {
             panic!("expected chaos run, got {c:?}");
         };
         assert_eq!(cfg.device, None);
+
+        // Multi-device fuzzing: the fabric flags land in the config and the
+        // combination is validated at parse time.
+        let c = parse(&argv(
+            "chaos run --devices 4 --topology ring --fabric-stuck-bug",
+        ))
+        .unwrap();
+        let Command::Chaos {
+            action: ChaosAction::Run { cfg, .. },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert_eq!(cfg.devices, 4);
+        assert_eq!(cfg.topology, "ring");
+        assert!(cfg.fabric_stuck_crossing_bug);
+        assert!(parse(&argv("chaos run --devices 5 --topology p2p")).is_err());
 
         assert!(parse(&argv("chaos run --seeds 9..5")).is_err());
         assert!(parse(&argv("chaos run --seeds five")).is_err());
@@ -1326,12 +1591,15 @@ mod tests {
                 perfetto: None,
                 jsonl: None,
                 svg: None,
+                devices: 1,
+                topology: "ring".to_owned(),
             }
         );
         assert_eq!(
             parse(&argv(
                 "profile --width 4 --height 3 --arbiter age --seed 9 --transfers 64 \
-                 --slowest 2 --report p.json --perfetto t.json --jsonl e.jsonl --svg u.svg"
+                 --slowest 2 --report p.json --perfetto t.json --jsonl e.jsonl --svg u.svg \
+                 --devices 3 --topology line"
             ))
             .unwrap(),
             Command::Profile {
@@ -1345,10 +1613,13 @@ mod tests {
                 perfetto: Some("t.json".to_owned()),
                 jsonl: Some("e.jsonl".to_owned()),
                 svg: Some("u.svg".to_owned()),
+                devices: 3,
+                topology: "line".to_owned(),
             }
         );
         assert!(parse(&argv("profile --arbiter fifo")).is_err());
         assert!(parse(&argv("profile --transfers lots")).is_err());
+        assert!(parse(&argv("profile --devices 3 --topology p2p")).is_err());
     }
 
     #[test]
@@ -1362,6 +1633,8 @@ mod tests {
                 seed: 1,
                 transfers: 40,
                 self_heal: false,
+                devices: 1,
+                topology: "ring".to_owned(),
             }
         );
         let inv = parse_invocation(&argv("--profile p.json chaos run --seeds 0..2")).unwrap();

@@ -19,12 +19,13 @@ use gnoc_core::sidechannel::covert::{
 };
 use gnoc_core::workloads::replay::{replay, ReplayConfig};
 use gnoc_core::workloads::{bfs, gaussian};
-use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
-    resolve_jobs, AccessKind, AesAttackConfig, CheckpointedCampaign, CtaScheduler, FaultPlan,
-    GpuDevice, HealthConfig, LatencyCampaign, LatencyProbe, RsaAttackConfig, SelfHealingMesh,
-    SliceId, SmId, Summary, WorkerPool,
+    fabric_connected, mesh_connected, resolve_jobs, AccessKind, AesAttackConfig,
+    CheckpointedCampaign, CtaScheduler, FabricConfig, FabricHealthConfig, FabricHealthMonitor,
+    FabricSim, FabricTopology, FaultPlan, GpuDevice, HealthConfig, LatencyCampaign, LatencyProbe,
+    RsaAttackConfig, SelfHealingMesh, SliceId, SmId, Summary, WorkerPool,
 };
+use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
     FlightRecorder, JsonlWriter, MetricRegistry, ProfileReport, Telemetry, TelemetryHandle,
 };
@@ -306,6 +307,8 @@ fn run(
             seed,
             transfers,
             self_heal,
+            devices,
+            topology,
         } => {
             let arbiter = if age_based {
                 ArbiterKind::AgeBased
@@ -315,6 +318,20 @@ fn run(
             if self_heal && plan.is_none() {
                 eprintln!("error: --self-heal needs a --faults plan to heal around");
                 return EXIT_INVALID_INPUT;
+            }
+            if devices >= 2 {
+                // Multi-device: the same soak, but cross-device over the
+                // inter-device fabric (paper dies joined by --topology).
+                let args = FabricRunArgs {
+                    devices,
+                    topology: try_or_fail!(parse_topology(&topology)),
+                    mesh: MeshConfig::paper_6x6(arbiter),
+                    seed,
+                    transfers,
+                    cycles: 2_000_000,
+                    self_heal,
+                };
+                return run_fabric(&args, plan, profile);
             }
             if let Some(plan) = plan {
                 return run_faulted_mesh(
@@ -341,6 +358,35 @@ fn run(
         }
 
         Command::Faults { action } => return run_faults(action),
+
+        Command::Fabric {
+            devices,
+            topology,
+            width,
+            height,
+            seed,
+            transfers,
+            cycles,
+            self_heal,
+        } => {
+            let args = FabricRunArgs {
+                devices,
+                topology: try_or_fail!(parse_topology(&topology)),
+                mesh: MeshConfig {
+                    width: width as usize,
+                    height: height as usize,
+                    buffer_packets: 4,
+                    arbiter: ArbiterKind::RoundRobin,
+                    route_order: gnoc_core::noc::RouteOrder::Xy,
+                    vcs: 1,
+                },
+                seed,
+                transfers,
+                cycles,
+                self_heal,
+            };
+            return run_fabric(&args, plan, profile);
+        }
 
         Command::Chaos { action } => return run_chaos_action(action, telemetry, pool, profile),
 
@@ -590,6 +636,8 @@ fn run(
             perfetto,
             jsonl,
             svg,
+            devices,
+            topology,
         } => {
             let arbiter = if age_based {
                 ArbiterKind::AgeBased
@@ -602,6 +650,20 @@ fn run(
                 jsonl,
                 svg,
             };
+            if devices >= 2 {
+                return run_fabric_profile(
+                    devices,
+                    try_or_fail!(parse_topology(&topology)),
+                    width as usize,
+                    height as usize,
+                    arbiter,
+                    seed,
+                    transfers,
+                    slowest,
+                    &outputs,
+                    plan,
+                );
+            }
             return run_profile(
                 width as usize,
                 height as usize,
@@ -690,39 +752,112 @@ fn run_profile(
 
     let report = ProfileReport::from_recorder(&rec, width, height, cycles, slowest);
     print!("{}", report.render_text());
-    if let Some(path) = &outputs.report {
-        try_or_fail!(
-            std::fs::write(path, report.to_json_pretty()).map_err(|e| e.to_string()),
-            EXIT_IO
-        );
-        println!("report: {path}");
-    }
-    if let Some(path) = &outputs.perfetto {
-        try_or_fail!(
-            std::fs::write(path, rec.chrome_trace()).map_err(|e| e.to_string()),
-            EXIT_IO
-        );
-        println!("perfetto trace: {path} (load at ui.perfetto.dev)");
-    }
-    if let Some(path) = &outputs.jsonl {
-        let mut sink = try_or_fail!(
-            JsonlWriter::create(Path::new(path)).map_err(|e| e.to_string()),
-            EXIT_IO
-        );
-        rec.stream_to(&mut sink);
-        println!("events: {path}");
-    }
-    if let Some(path) = &outputs.svg {
-        try_or_fail!(
-            std::fs::write(path, report.utilization_heatmap_svg()).map_err(|e| e.to_string()),
-            EXIT_IO
-        );
-        println!("heatmap: {path}");
+    if let Err(code) = write_profile_outputs(&report, &rec, outputs) {
+        return code;
     }
     if !quiesced {
         eprintln!(
             "error: mesh failed to quiesce (outstanding {})",
             rm.outstanding()
+        );
+        return EXIT_CHECK_FAILED;
+    }
+    EXIT_OK
+}
+
+/// Writes the optional `gnoc profile` artifacts (report, Perfetto trace,
+/// JSONL event stream, utilization heatmap SVG) shared by the single-die
+/// and multi-device paths.
+fn write_profile_outputs(
+    report: &ProfileReport,
+    rec: &FlightRecorder,
+    outputs: &ProfileOutputs,
+) -> Result<(), u8> {
+    macro_rules! write_or_fail {
+        ($path:expr, $content:expr, $label:expr) => {
+            if let Err(e) = std::fs::write($path, $content) {
+                eprintln!("error: cannot write {} {}: {e}", $label, $path);
+                return Err(EXIT_IO);
+            }
+        };
+    }
+    if let Some(path) = &outputs.report {
+        write_or_fail!(path, report.to_json_pretty(), "report");
+        println!("report: {path}");
+    }
+    if let Some(path) = &outputs.perfetto {
+        write_or_fail!(path, rec.chrome_trace(), "trace");
+        println!("perfetto trace: {path} (load at ui.perfetto.dev)");
+    }
+    if let Some(path) = &outputs.jsonl {
+        let mut sink = match JsonlWriter::create(Path::new(path)) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("error: cannot create event stream {path}: {e}");
+                return Err(EXIT_IO);
+            }
+        };
+        rec.stream_to(&mut sink);
+        println!("events: {path}");
+    }
+    if let Some(path) = &outputs.svg {
+        write_or_fail!(path, report.utilization_heatmap_svg(), "heatmap");
+        println!("heatmap: {path}");
+    }
+    Ok(())
+}
+
+/// `gnoc profile --devices N`: flight-record a cross-device fabric soak and
+/// reduce it the same way. The profile grid is the fabric node graph (one
+/// column per device, plus the switch node when present); fabric-hop
+/// serialization shows up as its own stall class in the attribution.
+#[allow(clippy::too_many_arguments)]
+fn run_fabric_profile(
+    devices: u32,
+    topology: FabricTopology,
+    width: usize,
+    height: usize,
+    arbiter: ArbiterKind,
+    seed: u64,
+    transfers: usize,
+    slowest: usize,
+    outputs: &ProfileOutputs,
+    plan: Option<&FaultPlan>,
+) -> u8 {
+    let benign = FaultPlan::none();
+    let plan = plan.unwrap_or(&benign);
+    let mut cfg = FabricConfig::new(devices, topology);
+    cfg.mesh = MeshConfig {
+        width,
+        height,
+        buffer_packets: 4,
+        arbiter,
+        route_order: gnoc_core::noc::RouteOrder::Xy,
+        vcs: 1,
+    };
+    let mut sim = try_or_fail!(FabricSim::with_faults(cfg, plan)
+        .map_err(|e| format!("cannot build the {devices}-device {topology} fabric: {e}")));
+    sim.attach_flight_recorder();
+    try_or_fail!(submit_cli_fabric_traffic(
+        &mut sim,
+        devices,
+        (width * height) as u64,
+        seed,
+        transfers
+    ));
+    let quiesced = sim.run_until_quiescent(2_000_000);
+    let cycles = sim.cycle();
+    let rec = sim.take_flight_recorder().expect("recorder attached above");
+    let fabric_nodes = topology.node_count(devices) as usize;
+    let report = ProfileReport::from_recorder(&rec, fabric_nodes, 1, cycles, slowest);
+    print!("{}", report.render_text());
+    if let Err(code) = write_profile_outputs(&report, &rec, outputs) {
+        return code;
+    }
+    if !quiesced {
+        eprintln!(
+            "error: fabric failed to quiesce (outstanding {})",
+            sim.outstanding()
         );
         return EXIT_CHECK_FAILED;
     }
@@ -951,6 +1086,221 @@ fn run_faulted_mesh(
         eprintln!(
             "error: mesh failed to quiesce (outstanding {})",
             rm.outstanding()
+        );
+        return EXIT_CHECK_FAILED;
+    }
+    EXIT_OK
+}
+
+/// Resolves a topology name the parser already validated.
+fn parse_topology(name: &str) -> Result<FabricTopology, String> {
+    FabricTopology::parse(name)
+        .ok_or_else(|| format!("unknown topology '{name}' (p2p|line|ring|fully|switch)"))
+}
+
+/// What `gnoc fabric` (and `gnoc mesh --devices N`) runs.
+struct FabricRunArgs {
+    devices: u32,
+    topology: FabricTopology,
+    mesh: MeshConfig,
+    seed: u64,
+    transfers: usize,
+    cycles: u64,
+    self_heal: bool,
+}
+
+/// Submits `transfers` seed-deterministic transfers with uniform-random
+/// device and node endpoints (same-device pairs included, so die-local and
+/// cross-device traffic mix) and varied packet lengths.
+fn submit_cli_fabric_traffic(
+    sim: &mut FabricSim,
+    devices: u32,
+    nodes: u64,
+    seed: u64,
+    transfers: usize,
+) -> Result<(), String> {
+    let devs = u64::from(devices);
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut submitted = 0usize;
+    while submitted < transfers {
+        let src_dev = (next() % devs) as u32;
+        let dst_dev = (next() % devs) as u32;
+        let src = (next() % nodes) as u32;
+        let dst = (next() % nodes) as u32;
+        if src_dev == dst_dev && src == dst {
+            continue;
+        }
+        let flits = 1 + (next() % 4) as u32;
+        sim.submit(
+            src_dev,
+            NodeId(src),
+            dst_dev,
+            NodeId(dst),
+            flits,
+            PacketClass::Request,
+        )
+        .map_err(|e| e.to_string())?;
+        submitted += 1;
+    }
+    Ok(())
+}
+
+/// `gnoc fabric` (and `gnoc mesh --devices N`): a cross-device soak over
+/// per-die meshes joined by the inter-device topology. With a `--faults`
+/// plan, routing fails over around dead fabric links, a dead switch, and
+/// lost devices the cycle they manifest; with `--self-heal`, the plan is
+/// hidden from fabric routing and per-link breakers detect, quarantine,
+/// and reroute online instead, refusing any quarantine that would
+/// partition the surviving devices.
+fn run_fabric(args: &FabricRunArgs, plan: Option<&FaultPlan>, profile: Option<&Path>) -> u8 {
+    let benign = FaultPlan::none();
+    let plan = plan.unwrap_or(&benign);
+    let mut cfg = FabricConfig::new(args.devices, args.topology);
+    cfg.mesh = args.mesh;
+    cfg.self_healing = args.self_heal;
+    let mut sim = try_or_fail!(FabricSim::with_faults(cfg, plan).map_err(|e| format!(
+        "cannot build the {}-device {} fabric: {e}",
+        args.devices, args.topology
+    )));
+    if profile.is_some() {
+        sim.attach_flight_recorder();
+    }
+    let mut monitor = args
+        .self_heal
+        .then(|| FabricHealthMonitor::new(&sim, FabricHealthConfig::default()));
+    if let Some(m) = monitor.as_mut() {
+        // Warm-up patrol before user traffic, mirroring `mesh --self-heal`:
+        // detect, quarantine, and reroute while only probe packets are at
+        // risk.
+        m.run_detection(&mut sim, 20_000);
+        let report = m.report(&sim);
+        println!(
+            "self-heal warm-up: {} window(s), {} breaker transition(s)",
+            report.windows,
+            report.transitions.len()
+        );
+        for t in &report.transitions {
+            println!(
+                "    cycle {:>8}: {} {} -> {}",
+                t.at, t.resource, t.from, t.to
+            );
+        }
+        if !report.quarantined.is_empty() {
+            let q: Vec<String> = report
+                .quarantined
+                .iter()
+                .map(|(a, b)| format!("{a}<->{b}"))
+                .collect();
+            println!("  quarantined now: {}", q.join(", "));
+        }
+        if report.refusals > 0 {
+            println!(
+                "  quarantine refused (would partition): {}",
+                report.refusals
+            );
+        }
+        if !report.partitioned_devices.is_empty() {
+            println!(
+                "  devices outside reliable coverage: {:?}",
+                report.partitioned_devices
+            );
+        }
+    }
+
+    let nodes = (args.mesh.width * args.mesh.height) as u64;
+    try_or_fail!(submit_cli_fabric_traffic(
+        &mut sim,
+        args.devices,
+        nodes,
+        args.seed,
+        args.transfers
+    ));
+    let start = sim.cycle();
+    let quiesced = if let Some(m) = monitor.as_mut() {
+        // Keep the breakers polling during the soak so mid-traffic fault
+        // onsets are detected and failed over too.
+        while sim.outstanding() > 0 && sim.cycle() - start < args.cycles {
+            sim.step();
+            m.poll(&mut sim);
+        }
+        sim.outstanding() == 0
+    } else {
+        sim.run_until_quiescent(args.cycles)
+    };
+
+    let s = sim.stats().clone();
+    println!(
+        "{}-device {} fabric, {}x{} dies, plan [{}], {} routing:",
+        args.devices,
+        args.topology,
+        args.mesh.width,
+        args.mesh.height,
+        plan.summary(),
+        if args.self_heal {
+            "self-healing"
+        } else {
+            "fault-aware"
+        }
+    );
+    println!(
+        "  transfers: {} submitted ({} cross-device), {} delivered, {} lost",
+        s.submitted,
+        s.cross_device,
+        s.delivered,
+        s.lost_total()
+    );
+    println!(
+        "  losses:    {} partitioned, {} die, {} fabric-retries, {} watchdog",
+        s.lost_partitioned, s.lost_die, s.lost_fabric_retries, s.lost_watchdog
+    );
+    println!(
+        "  fabric:    {} hops, {} crossing retries, {} reroutes",
+        s.fabric_hops, s.fabric_retries, s.reroutes
+    );
+    let dead = sim.dead_devices();
+    if !dead.is_empty() {
+        println!("  dead devices: {dead:?}");
+    }
+    println!(
+        "  latency:   mean {:.1}, max {} cycles",
+        s.mean_latency(),
+        s.latency_max
+    );
+    if let Some(m) = &monitor {
+        let report = m.report(&sim);
+        for d in &report.detections {
+            println!(
+                "  detected:  {} (first opened at cycle {}, now {})",
+                d.resource, d.first_open_at, d.state
+            );
+        }
+        if !report.partitioned_devices.is_empty() {
+            println!(
+                "  degraded coverage: devices {:?} have no reliable fabric path",
+                report.partitioned_devices
+            );
+        }
+    }
+
+    if let Some(path) = profile {
+        let cycles = sim.cycle();
+        let rec = sim.take_flight_recorder().expect("recorder attached above");
+        let fabric_nodes = args.topology.node_count(args.devices) as usize;
+        if let Err(code) = write_profile_artifacts(&rec, fabric_nodes, 1, cycles, 5, path) {
+            return code;
+        }
+    }
+    if !quiesced {
+        eprintln!(
+            "error: fabric failed to quiesce (outstanding {})",
+            sim.outstanding()
         );
         return EXIT_CHECK_FAILED;
     }
@@ -1239,6 +1589,8 @@ fn run_faults(action: FaultsAction) -> u8 {
             width,
             height,
             slices,
+            devices,
+            topology,
         } => {
             let plan = match FaultPlan::load(&path) {
                 Ok(p) => p,
@@ -1259,7 +1611,36 @@ fn run_faults(action: FaultsAction) -> u8 {
                     EXIT_CHECK_FAILED
                 );
             }
-            println!("{path}: valid for a {width}x{height} mesh");
+            let topo = try_or_fail!(parse_topology(&topology));
+            if devices >= 2 {
+                try_or_fail!(
+                    plan.validate_for_fabric(devices, topo).map_err(|e| format!(
+                        "{path} invalid for a {devices}-device {topology} fabric: {e}"
+                    )),
+                    EXIT_CHECK_FAILED
+                );
+            } else if !plan.fabric.is_empty() {
+                eprintln!(
+                    "error: {path} contains fabric faults; re-check with \
+                     --devices N --topology T"
+                );
+                return EXIT_CHECK_FAILED;
+            }
+            if devices >= 2 {
+                println!("{path}: valid for a {width}x{height} mesh and a {devices}-device {topology} fabric");
+            } else {
+                println!("{path}: valid for a {width}x{height} mesh");
+            }
+            println!(
+                "  mesh_connected: {}",
+                mesh_connected(width, height, &plan.dead_undirected_edges(width, height))
+            );
+            if devices >= 2 {
+                println!(
+                    "  fabric_connected: {}",
+                    fabric_connected(devices, topo, &plan)
+                );
+            }
             println!("  {}", plan.summary());
         }
     }

@@ -18,6 +18,7 @@
 //! | Observability | [`telemetry`] | [`TelemetryHandle`], [`MetricRegistry`], [`JsonlWriter`] |
 //! | Parallel execution | [`par`] | [`WorkerPool`], [`resolve_jobs`], [`LatencyCampaign::run_par`] |
 //! | Self-healing | [`health`] | [`SelfHealingMesh`], [`CircuitBreaker`], [`HealthConfig`] |
+//! | Multi-GPU fabric | [`fabric`] | [`FabricSim`], [`FabricTopology`], [`FabricHealthMonitor`] |
 //!
 //! Quick start (the paper's Observation #1 in five lines):
 //!
@@ -49,6 +50,7 @@ pub use checkpoint::{
 
 pub use gnoc_analysis as analysis;
 pub use gnoc_engine as engine;
+pub use gnoc_fabric as fabric;
 pub use gnoc_faults as faults;
 pub use gnoc_health as health;
 pub use gnoc_microbench as microbench;
@@ -67,11 +69,16 @@ pub use gnoc_analysis::{
 pub use gnoc_engine::{
     AccessKind, AddressMap, Calibration, CtaScheduler, FabricModel, FlowSpec, GpuDevice,
 };
+pub use gnoc_fabric::{
+    FabricConfig, FabricHealthMonitor, FabricHealthReport, FabricSim, FabricStats, FabricTransferId,
+};
 pub use gnoc_faults::{
-    FaultGenConfig, FaultPlan, FaultPlanError, FlakyBurst, FloorSweep, RegionFault, SweepError,
+    fabric_connected, mesh_connected, FabricFaults, FaultGenConfig, FaultPlan, FaultPlanError,
+    FlakyBurst, FloorSweep, RegionFault, SweepError,
 };
 pub use gnoc_health::{
-    BreakerConfig, BreakerState, CircuitBreaker, HealthConfig, HealthReport, SelfHealingMesh,
+    BreakerConfig, BreakerState, CircuitBreaker, FabricHealthConfig, HealthConfig, HealthReport,
+    SelfHealingMesh,
 };
 pub use gnoc_microbench::{input_speedups, LatencyProbe, SpeedupReport};
 pub use gnoc_noc::{
@@ -87,6 +94,6 @@ pub use gnoc_telemetry::{
     TelemetryHandle, TraceEvent,
 };
 pub use gnoc_topo::{
-    CachePolicy, CpcId, Floorplan, Generation, GpcId, GpuSpec, Hierarchy, MpId, PartitionId,
-    SliceId, SmId, TpcId,
+    CachePolicy, CpcId, FabricTopology, Floorplan, Generation, GpcId, GpuSpec, Hierarchy, MpId,
+    PartitionId, SliceId, SmId, TpcId,
 };

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::path::Path;
 
-pub use gnoc_topo::{FloorSweep, SweepError};
+pub use gnoc_topo::{FabricTopology, FloorSweep, SweepError};
 
 /// A mesh link direction, from the perspective of the source router. The
 /// convention matches the `gnoc-noc` mesh: north is towards *higher* row
@@ -177,8 +177,85 @@ impl TransientFaults {
     }
 }
 
+/// A fault on one undirected inter-device fabric link, named by its sorted
+/// `(a, b)` fabric-node pair (devices `0..D`; the switch node is `D` for the
+/// [`FabricTopology::Switch`] topology). Fabric links are full-duplex
+/// channels that fail as a unit, so there is no per-direction entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricLinkFault {
+    /// Lower fabric-node endpoint.
+    pub a: u32,
+    /// Higher fabric-node endpoint.
+    pub b: u32,
+    /// Dead or flaky.
+    pub kind: LinkFaultKind,
+    /// Cycle at which the fault manifests (0 = from the start).
+    pub onset: u64,
+}
+
+/// Loss of a whole device: its die, its fabric ports, and every transfer it
+/// sources or sinks — the multi-GPU analogue of a node dropping out of the
+/// job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceFault {
+    /// The lost device index.
+    pub device: u32,
+    /// First cycle the device is gone.
+    pub onset: u64,
+}
+
+/// The inter-device portion of a [`FaultPlan`]: dead/flaky fabric links, an
+/// optional dead switch, and whole-device losses, all with onsets. Empty for
+/// single-die plans (and for every plan written before the fabric layer
+/// existed — old plan files deserialize with an empty `fabric`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FabricFaults {
+    /// Faulted fabric links.
+    pub links: Vec<FabricLinkFault>,
+    /// Cycle at which the central switch dies (only meaningful for
+    /// [`FabricTopology::Switch`]); severs every device at once.
+    pub dead_switch: Option<u64>,
+    /// Whole-device losses.
+    pub devices: Vec<DeviceFault>,
+}
+
+impl FabricFaults {
+    /// Whether the fabric part injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.dead_switch.is_none() && self.devices.is_empty()
+    }
+
+    /// Whether any fabric fault draws from the fault RNG (flaky links).
+    pub fn has_probabilistic_faults(&self) -> bool {
+        self.links
+            .iter()
+            .any(|l| matches!(l.kind, LinkFaultKind::Flaky { .. }))
+    }
+
+    /// The undirected fabric links dead once every onset has passed.
+    pub fn dead_links(&self) -> Vec<(u32, u32)> {
+        let mut dead: Vec<(u32, u32)> = self
+            .links
+            .iter()
+            .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
+            .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// The devices lost once every onset has passed.
+    pub fn dead_devices(&self) -> Vec<u32> {
+        let mut dead: Vec<u32> = self.devices.iter().map(|d| d.device).collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+}
+
 /// A complete, deterministic fault-injection plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultPlan {
     /// Seed for every probabilistic fault draw (flaky links, transients).
     /// The same plan with the same seed produces bit-identical runs.
@@ -193,6 +270,28 @@ pub struct FaultPlan {
     pub routers: Vec<RouterStall>,
     /// Die-wide transient flit faults.
     pub transient: TransientFaults,
+    /// Inter-device fabric faults (empty for single-die plans).
+    pub fabric: FabricFaults,
+}
+
+// Hand-rolled so plan files written before the fabric layer existed (no
+// `fabric` key) still load: every pre-fabric field stays required, `fabric`
+// alone defaults to empty.
+impl Deserialize for FaultPlan {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            seed: Deserialize::deserialize_value(value.field("seed")?)?,
+            sweep: Deserialize::deserialize_value(value.field("sweep")?)?,
+            disabled_slices: Deserialize::deserialize_value(value.field("disabled_slices")?)?,
+            links: Deserialize::deserialize_value(value.field("links")?)?,
+            routers: Deserialize::deserialize_value(value.field("routers")?)?,
+            transient: Deserialize::deserialize_value(value.field("transient")?)?,
+            fabric: match value.field("fabric") {
+                Ok(v) => Deserialize::deserialize_value(v)?,
+                Err(_) => FabricFaults::default(),
+            },
+        })
+    }
 }
 
 impl Default for FaultPlan {
@@ -248,6 +347,30 @@ pub enum FaultPlanError {
     AllSlicesDisabled,
     /// The dead links at full onset disconnect the surviving mesh.
     MeshDisconnected,
+    /// A fabric fault names a link that is not part of the topology (bad
+    /// endpoints or a pair the topology never wires).
+    FabricLinkUnknown {
+        /// Lower endpoint of the offending pair.
+        a: u32,
+        /// Higher endpoint of the offending pair.
+        b: u32,
+    },
+    /// The same undirected fabric link is faulted twice.
+    FabricDuplicateLink {
+        /// Lower endpoint.
+        a: u32,
+        /// Higher endpoint.
+        b: u32,
+    },
+    /// A device fault names a device outside the job.
+    DeviceOutOfRange {
+        /// The offending device index.
+        device: u32,
+        /// Devices in the job.
+        num_devices: u32,
+    },
+    /// A switch fault was given for a topology that has no switch.
+    SwitchNotInTopology,
     /// The plan file could not be read or written.
     Io(String),
     /// The plan file is not valid JSON for a plan.
@@ -279,6 +402,19 @@ impl std::fmt::Display for FaultPlanError {
             Self::MeshDisconnected => {
                 write!(f, "dead links disconnect the surviving mesh")
             }
+            Self::FabricLinkUnknown { a, b } => {
+                write!(f, "fabric link {a}\u{2194}{b} is not part of the topology")
+            }
+            Self::FabricDuplicateLink { a, b } => {
+                write!(f, "fabric link {a}\u{2194}{b} is faulted twice")
+            }
+            Self::DeviceOutOfRange {
+                device,
+                num_devices,
+            } => write!(f, "device {device} out of range ({num_devices} devices)"),
+            Self::SwitchNotInTopology => {
+                write!(f, "switch fault given for a topology with no switch")
+            }
             Self::Io(e) => write!(f, "plan file i/o error: {e}"),
             Self::Parse(e) => write!(f, "plan file parse error: {e}"),
         }
@@ -297,6 +433,7 @@ impl FaultPlan {
             links: Vec::new(),
             routers: Vec::new(),
             transient: TransientFaults::default(),
+            fabric: FabricFaults::default(),
         }
     }
 
@@ -307,6 +444,7 @@ impl FaultPlan {
             && self.links.is_empty()
             && self.routers.is_empty()
             && !self.transient.is_active()
+            && self.fabric.is_empty()
     }
 
     /// Whether the plan contains any probabilistic fault (and therefore draws
@@ -317,6 +455,7 @@ impl FaultPlan {
                 .links
                 .iter()
                 .any(|l| matches!(l.kind, LinkFaultKind::Flaky { .. }))
+            || self.fabric.has_probabilistic_faults()
     }
 
     /// Validates the NoC part of the plan against a `width`×`height` mesh:
@@ -390,6 +529,67 @@ impl FaultPlan {
         }
         if num_slices > 0 && seen.len() == num_slices as usize {
             return Err(FaultPlanError::AllSlicesDisabled);
+        }
+        Ok(())
+    }
+
+    /// Validates the inter-device part of the plan against a fabric of
+    /// `devices` GPUs in `topology`: every faulted link exists in the
+    /// topology, no duplicate links, probabilities sane, device indices in
+    /// range, and a switch fault only where a switch exists.
+    ///
+    /// Deliberately does *not* require the surviving fabric to stay
+    /// connected: severed devices are a first-class scenario (reported as
+    /// [`crate::FaultPlanError`]-free plans whose transfers resolve as
+    /// `partitioned`), unlike a disconnected die mesh, which no transfer
+    /// accounting survives. Use [`fabric_connected`] to report connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate_for_fabric(
+        &self,
+        devices: u32,
+        topology: FabricTopology,
+    ) -> Result<(), FaultPlanError> {
+        let valid: std::collections::HashSet<(u32, u32)> =
+            topology.links(devices).into_iter().collect();
+        let mut seen = std::collections::HashSet::new();
+        for l in &self.fabric.links {
+            let pair = (l.a.min(l.b), l.a.max(l.b));
+            if !valid.contains(&pair) {
+                return Err(FaultPlanError::FabricLinkUnknown {
+                    a: pair.0,
+                    b: pair.1,
+                });
+            }
+            if !seen.insert(pair) {
+                return Err(FaultPlanError::FabricDuplicateLink {
+                    a: pair.0,
+                    b: pair.1,
+                });
+            }
+            if let LinkFaultKind::Flaky { drop_prob } = l.kind {
+                check_prob(drop_prob)?;
+            }
+        }
+        let mut dead_devs = std::collections::HashSet::new();
+        for d in &self.fabric.devices {
+            if d.device >= devices {
+                return Err(FaultPlanError::DeviceOutOfRange {
+                    device: d.device,
+                    num_devices: devices,
+                });
+            }
+            if !dead_devs.insert(d.device) {
+                return Err(FaultPlanError::DeviceOutOfRange {
+                    device: d.device,
+                    num_devices: devices,
+                });
+            }
+        }
+        if self.fabric.dead_switch.is_some() && topology.switch_node(devices).is_none() {
+            return Err(FaultPlanError::SwitchNotInTopology);
         }
         Ok(())
     }
@@ -605,6 +805,84 @@ impl FaultPlan {
             disabled_slices.sort_unstable();
         }
 
+        // Inter-device fabric faults. The whole block is skipped (zero RNG
+        // draws) for single-die configs, keeping pre-fabric plans
+        // bit-identical for old seeds.
+        let mut fabric = FabricFaults::default();
+        if cfg.devices >= 2 {
+            // Dead devices first (device 0 always survives): their fabric
+            // ports are gone anyway, so link faults concentrate on the
+            // surviving fabric.
+            let mut dead_devs: Vec<u32> = Vec::new();
+            while (dead_devs.len() as u32) < cfg.dead_devices.min(cfg.devices.saturating_sub(2)) {
+                let d = 1 + rng.gen_range(0..cfg.devices - 1);
+                if !dead_devs.contains(&d) {
+                    dead_devs.push(d);
+                }
+            }
+            dead_devs.sort_unstable();
+            for &d in &dead_devs {
+                fabric.devices.push(DeviceFault {
+                    device: d,
+                    onset: draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng),
+                });
+            }
+
+            // Dead fabric links, keeping the surviving devices connected so
+            // generated plans are survivable by failover (explicit
+            // partitions are built by hand, not drawn).
+            let mut fabric_edges = cfg.fabric_topology.links(cfg.devices);
+            shuffle(&mut fabric_edges, &mut rng);
+            let mut dead_links: Vec<(u32, u32)> = Vec::new();
+            for &(a, b) in &fabric_edges {
+                if (dead_links.len() as u32) >= cfg.dead_fabric_links {
+                    break;
+                }
+                let mut candidate = dead_links.clone();
+                candidate.push((a, b));
+                if !fabric_connected_with(
+                    cfg.devices,
+                    cfg.fabric_topology,
+                    &candidate,
+                    cfg.dead_switch,
+                    &dead_devs,
+                ) {
+                    continue; // would sever a surviving device
+                }
+                dead_links = candidate;
+                fabric.links.push(FabricLinkFault {
+                    a,
+                    b,
+                    kind: LinkFaultKind::Dead,
+                    onset: draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng),
+                });
+            }
+
+            // Flaky fabric links on the surviving edges.
+            let mut flaky = 0u32;
+            for &(a, b) in &fabric_edges {
+                if flaky >= cfg.flaky_fabric_links {
+                    break;
+                }
+                if dead_links.contains(&(a, b)) {
+                    continue;
+                }
+                fabric.links.push(FabricLinkFault {
+                    a,
+                    b,
+                    kind: LinkFaultKind::Flaky {
+                        drop_prob: cfg.fabric_flaky_drop_prob,
+                    },
+                    onset: draw_onset(cfg.onset, cfg.onset_storm_span, &mut rng),
+                });
+                flaky += 1;
+            }
+
+            if cfg.dead_switch && cfg.fabric_topology == FabricTopology::Switch {
+                fabric.dead_switch = Some(cfg.onset);
+            }
+        }
+
         Self {
             seed: cfg.seed,
             sweep: cfg.sweep.clone(),
@@ -616,6 +894,7 @@ impl FaultPlan {
                 corrupt_prob: cfg.transient_corrupt_prob,
                 onset: cfg.onset,
             },
+            fabric,
         }
     }
 
@@ -686,7 +965,7 @@ impl FaultPlan {
             .filter(|l| matches!(l.kind, LinkFaultKind::Dead))
             .count();
         let flaky = self.links.len() - dead;
-        format!(
+        let mut s = format!(
             "seed={} sweep={} slices_off={} dead_dirs={} flaky_dirs={} stalls={} drop={:.4} corrupt={:.4}",
             self.seed,
             self.sweep.as_ref().map_or(0, FloorSweep::num_disabled),
@@ -696,7 +975,22 @@ impl FaultPlan {
             self.routers.len(),
             self.transient.drop_prob,
             self.transient.corrupt_prob,
-        )
+        );
+        if !self.fabric.is_empty() {
+            let fdead = self.fabric.dead_links().len();
+            s.push_str(&format!(
+                " fabric_dead={} fabric_flaky={} dead_devices={} dead_switch={}",
+                fdead,
+                self.fabric.links.len() - fdead,
+                self.fabric.devices.len(),
+                if self.fabric.dead_switch.is_some() {
+                    "yes"
+                } else {
+                    "no"
+                },
+            ));
+        }
+        s
     }
 }
 
@@ -744,6 +1038,24 @@ pub struct FaultGenConfig {
     pub disabled_slice_count: u32,
     /// Optional floorsweep to embed in the plan.
     pub sweep: Option<FloorSweep>,
+    /// Devices coupled over the inter-device fabric (0 or 1 = single-die
+    /// plan, no fabric faults generated).
+    pub devices: u32,
+    /// Shape of the inter-device fabric (ignored when `devices < 2`).
+    pub fabric_topology: FabricTopology,
+    /// Number of fabric links to kill (connectivity among surviving devices
+    /// permitting, like [`FaultGenConfig::dead_link_fraction`]).
+    pub dead_fabric_links: u32,
+    /// Number of fabric links made flaky.
+    pub flaky_fabric_links: u32,
+    /// Per-crossing drop probability of each flaky fabric link.
+    pub fabric_flaky_drop_prob: f64,
+    /// Whole devices to lose (device 0 always survives as the traffic
+    /// anchor; at least two devices stay alive).
+    pub dead_devices: u32,
+    /// Kill the central switch (only valid for
+    /// [`FabricTopology::Switch`]); severs every device at once.
+    pub dead_switch: bool,
 }
 
 impl FaultGenConfig {
@@ -767,6 +1079,13 @@ impl FaultGenConfig {
             num_slices: 0,
             disabled_slice_count: 0,
             sweep: None,
+            devices: 0,
+            fabric_topology: FabricTopology::Ring,
+            dead_fabric_links: 0,
+            flaky_fabric_links: 0,
+            fabric_flaky_drop_prob: 0.0,
+            dead_devices: 0,
+            dead_switch: false,
         }
     }
 
@@ -815,6 +1134,29 @@ impl FaultGenConfig {
         }
         if self.num_slices > 0 && self.disabled_slice_count >= self.num_slices {
             return Err(FaultPlanError::AllSlicesDisabled);
+        }
+        if !(0.0..=1.0).contains(&self.fabric_flaky_drop_prob) {
+            return Err(field("fabric_flaky_drop_prob", self.fabric_flaky_drop_prob));
+        }
+        if self.devices >= 2 {
+            if !self.fabric_topology.supports_devices(self.devices) {
+                return Err(field("devices", f64::from(self.devices)));
+            }
+            // Device 0 anchors traffic and at least two devices must
+            // survive, or every cross-device transfer is partitioned by
+            // construction.
+            if self.dead_devices > self.devices.saturating_sub(2) {
+                return Err(field("dead_devices", f64::from(self.dead_devices)));
+            }
+            if self.dead_switch && self.fabric_topology != FabricTopology::Switch {
+                return Err(field("dead_switch", 1.0));
+            }
+        } else if self.dead_fabric_links > 0
+            || self.flaky_fabric_links > 0
+            || self.dead_devices > 0
+            || self.dead_switch
+        {
+            return Err(field("devices", f64::from(self.devices)));
         }
         Ok(())
     }
@@ -871,6 +1213,63 @@ pub fn mesh_connected(width: u32, height: u32, dead_edges: &[(u32, u32)]) -> boo
         }
     }
     reached == n
+}
+
+/// BFS connectivity of the surviving inter-device fabric: with `plan`'s dead
+/// fabric links, dead switch, and dead devices all at full onset removed,
+/// can every *surviving* device still reach every other? A job with zero or
+/// one surviving device is vacuously connected. The `faults check` CLI
+/// reports this alongside [`mesh_connected`].
+pub fn fabric_connected(devices: u32, topology: FabricTopology, plan: &FaultPlan) -> bool {
+    fabric_connected_with(
+        devices,
+        topology,
+        &plan.fabric.dead_links(),
+        plan.fabric.dead_switch.is_some(),
+        &plan.fabric.dead_devices(),
+    )
+}
+
+/// [`fabric_connected`] over explicit dead-link / dead-switch / dead-device
+/// sets (the generator's incremental form).
+pub fn fabric_connected_with(
+    devices: u32,
+    topology: FabricTopology,
+    dead_links: &[(u32, u32)],
+    dead_switch: bool,
+    dead_devices: &[u32],
+) -> bool {
+    let alive: Vec<u32> = (0..devices).filter(|d| !dead_devices.contains(d)).collect();
+    if alive.len() <= 1 {
+        return true;
+    }
+    let dead: std::collections::HashSet<(u32, u32)> = dead_links.iter().copied().collect();
+    let node_alive = |n: u32| {
+        if Some(n) == topology.switch_node(devices) {
+            !dead_switch
+        } else {
+            !dead_devices.contains(&n)
+        }
+    };
+    let mut adj: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for (a, b) in topology.links(devices) {
+        if dead.contains(&(a, b)) || !node_alive(a) || !node_alive(b) {
+            continue;
+        }
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default().push(a);
+    }
+    let start = alive[0];
+    let mut seen = std::collections::HashSet::from([start]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        for &nb in adj.get(&n).into_iter().flatten() {
+            if seen.insert(nb) {
+                queue.push_back(nb);
+            }
+        }
+    }
+    alive.iter().all(|d| seen.contains(d))
 }
 
 /// Fisher–Yates shuffle with the shim RNG (the shim has no `SliceRandom`).
@@ -1216,5 +1615,179 @@ mod tests {
         plan.sweep = Some(FloorSweep::a100_sku());
         assert!(!plan.is_benign());
         assert!(plan.summary().contains("sweep=12"));
+    }
+
+    fn fabric_cfg(seed: u64) -> FaultGenConfig {
+        FaultGenConfig {
+            devices: 4,
+            fabric_topology: FabricTopology::Ring,
+            dead_fabric_links: 1,
+            flaky_fabric_links: 1,
+            fabric_flaky_drop_prob: 0.05,
+            ..FaultGenConfig::benign(seed, 4, 4)
+        }
+    }
+
+    #[test]
+    fn pre_fabric_plan_json_still_loads() {
+        // A plan file written before the fabric layer existed has no
+        // `fabric` key; it must load with an empty fabric section.
+        let plan = FaultPlan::generate(&degraded_cfg(3));
+        let value: serde::Value = serde_json::from_str(&plan.to_json().unwrap()).unwrap();
+        let serde::Value::Object(fields) = value else {
+            panic!("plan JSON is an object");
+        };
+        let legacy = serde_json::to_string(&serde::Value::Object(
+            fields.into_iter().filter(|(k, _)| k != "fabric").collect(),
+        ))
+        .unwrap();
+        let reloaded = FaultPlan::from_json(&legacy)
+            .unwrap_or_else(|e| panic!("legacy plan rejected: {e}\n{legacy}"));
+        assert!(reloaded.fabric.is_empty());
+        assert_eq!(reloaded.links, plan.links);
+    }
+
+    #[test]
+    fn fabric_plan_round_trips_through_json() {
+        let plan = FaultPlan::generate(&fabric_cfg(11));
+        assert!(!plan.fabric.is_empty());
+        let back = FaultPlan::from_json(&plan.to_json().unwrap()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn fabric_generation_is_deterministic_and_connected() {
+        for seed in 0..16 {
+            let a = FaultPlan::generate(&fabric_cfg(seed));
+            let b = FaultPlan::generate(&fabric_cfg(seed));
+            assert_eq!(a, b);
+            a.validate_for_fabric(4, FabricTopology::Ring).unwrap();
+            assert!(
+                fabric_connected(4, FabricTopology::Ring, &a),
+                "generated fabric plan severs a surviving device (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_generation_leaves_single_die_plans_unchanged() {
+        // Same seed, fabric knobs off: the single-die part of the plan must
+        // be bit-identical to a pre-fabric generation (no extra RNG draws).
+        let single = FaultPlan::generate(&degraded_cfg(9));
+        let multi = FaultPlan::generate(&FaultGenConfig {
+            devices: 4,
+            ..degraded_cfg(9)
+        });
+        assert_eq!(single.links, multi.links);
+        assert_eq!(single.routers, multi.routers);
+        assert_eq!(single.disabled_slices, multi.disabled_slices);
+    }
+
+    #[test]
+    fn fabric_validation_rejects_bad_plans() {
+        let mut plan = FaultPlan::none();
+        plan.fabric.links.push(FabricLinkFault {
+            a: 0,
+            b: 2,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        // 0↔2 is not a ring edge on 4 devices.
+        assert_eq!(
+            plan.validate_for_fabric(4, FabricTopology::Ring),
+            Err(FaultPlanError::FabricLinkUnknown { a: 0, b: 2 })
+        );
+        // ... but it is a fully-connected edge.
+        plan.validate_for_fabric(4, FabricTopology::FullyConnected)
+            .unwrap();
+
+        let mut dup = FaultPlan::none();
+        for _ in 0..2 {
+            dup.fabric.links.push(FabricLinkFault {
+                a: 0,
+                b: 1,
+                kind: LinkFaultKind::Dead,
+                onset: 0,
+            });
+        }
+        assert_eq!(
+            dup.validate_for_fabric(4, FabricTopology::Ring),
+            Err(FaultPlanError::FabricDuplicateLink { a: 0, b: 1 })
+        );
+
+        let mut dev = FaultPlan::none();
+        dev.fabric.devices.push(DeviceFault {
+            device: 9,
+            onset: 0,
+        });
+        assert_eq!(
+            dev.validate_for_fabric(4, FabricTopology::Ring),
+            Err(FaultPlanError::DeviceOutOfRange {
+                device: 9,
+                num_devices: 4
+            })
+        );
+
+        let mut sw = FaultPlan::none();
+        sw.fabric.dead_switch = Some(0);
+        assert_eq!(
+            sw.validate_for_fabric(4, FabricTopology::Ring),
+            Err(FaultPlanError::SwitchNotInTopology)
+        );
+        sw.validate_for_fabric(4, FabricTopology::Switch).unwrap();
+    }
+
+    #[test]
+    fn fabric_connectivity_reporting() {
+        // Ring with one dead link: still connected the long way.
+        let mut plan = FaultPlan::none();
+        plan.fabric.links.push(FabricLinkFault {
+            a: 0,
+            b: 1,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        assert!(fabric_connected(4, FabricTopology::Ring, &plan));
+        // Two dead ring links partition it.
+        plan.fabric.links.push(FabricLinkFault {
+            a: 2,
+            b: 3,
+            kind: LinkFaultKind::Dead,
+            onset: 0,
+        });
+        assert!(!fabric_connected(4, FabricTopology::Ring, &plan));
+        // A dead switch severs everything.
+        let mut sw = FaultPlan::none();
+        sw.fabric.dead_switch = Some(100);
+        assert!(!fabric_connected(4, FabricTopology::Switch, &sw));
+        // A dead device is excluded, not counted as a partition.
+        let mut dev = FaultPlan::none();
+        dev.fabric.devices.push(DeviceFault {
+            device: 2,
+            onset: 0,
+        });
+        assert!(fabric_connected(4, FabricTopology::FullyConnected, &dev));
+    }
+
+    #[test]
+    fn fabric_gen_knobs_are_validated() {
+        let mut bad = fabric_cfg(1);
+        bad.fabric_flaky_drop_prob = 1.5;
+        assert!(bad.validate().is_err());
+        let mut p2p = fabric_cfg(1);
+        p2p.devices = 4;
+        p2p.fabric_topology = FabricTopology::PointToPoint;
+        assert!(p2p.validate().is_err());
+        let mut too_dead = fabric_cfg(1);
+        too_dead.dead_devices = 3;
+        assert!(too_dead.validate().is_err());
+        let mut sw = fabric_cfg(1);
+        sw.dead_switch = true;
+        assert!(sw.validate().is_err(), "dead switch without a switch");
+        sw.fabric_topology = FabricTopology::Switch;
+        sw.validate().unwrap();
+        let mut orphan = FaultGenConfig::benign(1, 4, 4);
+        orphan.dead_fabric_links = 1;
+        assert!(orphan.validate().is_err(), "fabric knobs without devices");
     }
 }

@@ -62,5 +62,6 @@ pub use heal::{
     patrol_pairs, run_slice_detection, run_slice_detection_for_spec, HealthReport, SelfHealingMesh,
 };
 pub use monitor::{
-    Detection, HealthConfig, LinkHealthMonitor, SliceHealthMonitor, TransitionRecord,
+    Detection, FabricHealthConfig, HealthConfig, LinkHealthMonitor, SliceHealthMonitor,
+    TransitionRecord,
 };

@@ -49,6 +49,38 @@ impl Default for HealthConfig {
     }
 }
 
+/// Health-layer tuning for inter-device fabric links, consumed by
+/// `gnoc-fabric`'s per-fabric-link monitor. Kept here, next to the die-level
+/// [`HealthConfig`], so the two detection policies are tuned side by side.
+///
+/// Fabric links differ from mesh links in two ways that shape the defaults
+/// (justified in DESIGN.md): crossings are much rarer than per-cycle flit
+/// hops, so one window sees few chances to fail and the drop threshold must
+/// stay at 1; and a fabric retransmission is far more expensive than a mesh
+/// retry, so the breaker uses the same hysteresis but the fabric layer sizes
+/// its retry budget to outlive `failure_windows` full windows of drops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricHealthConfig {
+    /// Cycles between fabric monitor polls (one breaker window).
+    pub window_cycles: u64,
+    /// Crossing drops within one window that mark a fabric link's window as
+    /// failing.
+    pub link_drop_threshold: u64,
+    /// Breaker state-machine tuning (shared hysteresis discipline with the
+    /// die-level monitors).
+    pub breaker: BreakerConfig,
+}
+
+impl Default for FabricHealthConfig {
+    fn default() -> Self {
+        Self {
+            window_cycles: 256,
+            link_drop_threshold: 1,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
 /// One breaker transition, stamped with when and for which resource.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransitionRecord {

@@ -26,6 +26,13 @@ pub enum LossReason {
     /// The deadlock/livelock watchdog tripped while this transfer was
     /// outstanding; the network made no progress for the configured window.
     Watchdog,
+    /// The inter-device fabric was severed between this transfer's source
+    /// and destination devices (dead fabric links, a dead switch, or a
+    /// whole-device loss) — distinct from [`LossReason::Unroutable`], which
+    /// reports a missing route *within* one die's mesh, so delivery
+    /// accounting and chaos oracle messages can tell a partitioned fabric
+    /// from a partitioned die.
+    Partitioned,
 }
 
 impl std::fmt::Display for LossReason {
@@ -37,6 +44,7 @@ impl std::fmt::Display for LossReason {
             Self::TransientDrop => "transient-drop",
             Self::RetriesExhausted => "retries-exhausted",
             Self::Watchdog => "watchdog",
+            Self::Partitioned => "partitioned",
         };
         f.write_str(s)
     }
@@ -116,6 +124,7 @@ mod tests {
             LossReason::TransientDrop,
             LossReason::RetriesExhausted,
             LossReason::Watchdog,
+            LossReason::Partitioned,
         ];
         let rendered: Vec<String> = all.iter().map(ToString::to_string).collect();
         for (i, a) in rendered.iter().enumerate() {

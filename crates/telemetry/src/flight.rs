@@ -28,9 +28,13 @@ use crate::SUBSYSTEM_NOC;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// Port-index → name mapping, matching `gnoc-noc`'s mesh port layout
-/// (local, north, east, south, west).
-pub const PORT_NAMES: [&str; 5] = ["local", "north", "east", "south", "west"];
+/// Port-index → name mapping: `gnoc-noc`'s mesh port layout (local, north,
+/// east, south, west) plus the inter-device fabric port (`gnoc-fabric`
+/// records fabric-link crossings with port 5 on both ends).
+pub const PORT_NAMES: [&str; 6] = ["local", "north", "east", "south", "west", "fabric"];
+
+/// The port index fabric-hop records use for both `in_port` and `out_port`.
+pub const FABRIC_PORT: u8 = 5;
 
 fn port_name(port: u8) -> &'static str {
     PORT_NAMES.get(port as usize).copied().unwrap_or("port?")
@@ -50,6 +54,11 @@ pub enum StallKind {
     /// route exists — the message cannot make progress regardless of
     /// arbitration.
     RouterStall,
+    /// Cycles spent in the inter-device fabric: waiting for a fabric link,
+    /// crossing it (serialization plus propagation beyond the one counted
+    /// transit cycle), and residency in the egress/ingress die legs of a
+    /// cross-device transfer. Never charged by a single-die mesh.
+    FabricHop,
 }
 
 /// One hop of a message's journey: residency in one input queue, from
@@ -77,6 +86,9 @@ pub struct HopRecord {
     pub backpressure: u64,
     /// Waiting cycles with a stalled router, dead out-link, or no route.
     pub router_stall: u64,
+    /// Waiting cycles attributed to the inter-device fabric (see
+    /// [`StallKind::FabricHop`]); always zero for single-die hops.
+    pub fabric_hop: u64,
     /// Waiting cycles spent behind other messages in the same queue
     /// (derived: total wait minus the head-of-queue charges).
     pub queued: u64,
@@ -94,6 +106,7 @@ impl HopRecord {
             contention: 0,
             backpressure: 0,
             router_stall: 0,
+            fabric_hop: 0,
             queued: 0,
         }
     }
@@ -109,7 +122,11 @@ impl HopRecord {
 
     /// Sum of the explicitly-attributed head-of-queue stall cycles.
     pub fn head_charges(&self) -> u64 {
-        self.serialization + self.contention + self.backpressure + self.router_stall
+        self.serialization
+            + self.contention
+            + self.backpressure
+            + self.router_stall
+            + self.fabric_hop
     }
 }
 
@@ -124,6 +141,8 @@ pub struct StallBreakdown {
     pub backpressure: u64,
     /// See [`HopRecord::router_stall`].
     pub router_stall: u64,
+    /// See [`HopRecord::fabric_hop`].
+    pub fabric_hop: u64,
     /// See [`HopRecord::queued`].
     pub queued: u64,
 }
@@ -131,7 +150,12 @@ pub struct StallBreakdown {
 impl StallBreakdown {
     /// Total attributed waiting cycles.
     pub fn total(&self) -> u64 {
-        self.serialization + self.contention + self.backpressure + self.router_stall + self.queued
+        self.serialization
+            + self.contention
+            + self.backpressure
+            + self.router_stall
+            + self.fabric_hop
+            + self.queued
     }
 
     /// Accumulates another breakdown into this one.
@@ -140,6 +164,7 @@ impl StallBreakdown {
         self.contention += other.contention;
         self.backpressure += other.backpressure;
         self.router_stall += other.router_stall;
+        self.fabric_hop += other.fabric_hop;
         self.queued += other.queued;
     }
 }
@@ -197,6 +222,7 @@ impl MessageRecord {
                 contention: h.contention,
                 backpressure: h.backpressure,
                 router_stall: h.router_stall,
+                fabric_hop: h.fabric_hop,
                 queued: h.queued,
             });
         }
@@ -268,6 +294,7 @@ impl FlightRecorder {
             StallKind::Contention => h.contention += 1,
             StallKind::Backpressure => h.backpressure += 1,
             StallKind::RouterStall => h.router_stall += 1,
+            StallKind::FabricHop => h.fabric_hop += 1,
         }
     }
 
@@ -364,6 +391,7 @@ impl FlightRecorder {
                     .with("contention", h.contention)
                     .with("backpressure", h.backpressure)
                     .with("router_stall", h.router_stall)
+                    .with("fabric_hop", h.fabric_hop)
                     .with("queued", h.queued);
                 if let Some(g) = h.grant {
                     e = e.with("grant", g).with("out_port", port_name(h.out_port));
@@ -436,7 +464,7 @@ impl FlightRecorder {
                     "{{\"name\":\"msg{} {}\\u2192{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                      \"pid\":0,\"tid\":{},\"args\":{{\"msg\":{},\"in\":\"{}\",\
                      \"serialization\":{},\"contention\":{},\"backpressure\":{},\
-                     \"router_stall\":{},\"queued\":{}}}}}",
+                     \"router_stall\":{},\"fabric_hop\":{},\"queued\":{}}}}}",
                     m.id,
                     port_name(h.in_port),
                     if h.grant.is_some() {
@@ -453,6 +481,7 @@ impl FlightRecorder {
                     h.contention,
                     h.backpressure,
                     h.router_stall,
+                    h.fabric_hop,
                     h.queued
                 );
                 events.push(e);

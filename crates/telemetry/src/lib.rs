@@ -31,7 +31,9 @@ mod hist;
 mod registry;
 mod trace;
 
-pub use flight::{FlightRecorder, HopRecord, MessageRecord, StallBreakdown, StallKind, PORT_NAMES};
+pub use flight::{
+    FlightRecorder, HopRecord, MessageRecord, StallBreakdown, StallKind, FABRIC_PORT, PORT_NAMES,
+};
 pub use handle::{Telemetry, TelemetryHandle};
 pub use hist::{LogHistogram, MAX_BUCKETS};
 pub use registry::{CounterBank, MetricRegistry, SpanTimer};

@@ -1,0 +1,190 @@
+//! Inter-device fabric topologies.
+//!
+//! A multi-GPU job couples `D` devices over an NVLink-class fabric. This
+//! module describes only the *shape* of that fabric — which inter-device
+//! links exist — so that the fault-plan generator (`gnoc-faults`) and the
+//! cycle-level fabric simulator (`gnoc-fabric`) agree on one link
+//! enumeration without depending on each other.
+//!
+//! Nodes are numbered `0..devices` for the GPUs themselves; the
+//! [`FabricTopology::Switch`] topology adds one switch node with index
+//! `devices` (an NVSwitch-style hub every device attaches to). Links are
+//! undirected `(low, high)` node pairs in a fixed sorted order, so a link
+//! index is stable across runs and processes.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the inter-device fabric, runtime-selectable (mirroring the
+/// `--topology` flag of multi-GPU interconnect simulators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricTopology {
+    /// One direct link between exactly two devices (NVLink bridge).
+    PointToPoint,
+    /// A chain `0 — 1 — … — D-1`.
+    Line,
+    /// A chain closed into a cycle (adds `D-1 — 0`).
+    Ring,
+    /// Every device pair directly linked.
+    FullyConnected,
+    /// Every device linked to one central switch node (index `D`).
+    Switch,
+}
+
+impl FabricTopology {
+    /// All topologies, for sweeps and tests.
+    pub const ALL: [Self; 5] = [
+        Self::PointToPoint,
+        Self::Line,
+        Self::Ring,
+        Self::FullyConnected,
+        Self::Switch,
+    ];
+
+    /// Parses the CLI spelling (case-insensitive): `p2p`, `line`, `ring`,
+    /// `fully` / `fullyconnected` / `all-to-all`, `switch`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "p2p" | "pointtopoint" | "point-to-point" => Some(Self::PointToPoint),
+            "line" => Some(Self::Line),
+            "ring" => Some(Self::Ring),
+            "fully" | "fullyconnected" | "fully-connected" | "all-to-all" => {
+                Some(Self::FullyConnected)
+            }
+            "switch" => Some(Self::Switch),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling (round-trips through [`Self::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PointToPoint => "p2p",
+            Self::Line => "line",
+            Self::Ring => "ring",
+            Self::FullyConnected => "fully",
+            Self::Switch => "switch",
+        }
+    }
+
+    /// Whether `devices` GPUs can form this topology. Every topology needs
+    /// at least two devices; point-to-point is exactly two.
+    pub fn supports_devices(self, devices: u32) -> bool {
+        match self {
+            Self::PointToPoint => devices == 2,
+            _ => devices >= 2,
+        }
+    }
+
+    /// Fabric nodes: the devices plus, for [`Self::Switch`], the hub.
+    pub fn node_count(self, devices: u32) -> u32 {
+        match self {
+            Self::Switch => devices + 1,
+            _ => devices,
+        }
+    }
+
+    /// The switch node index, if this topology has one.
+    pub fn switch_node(self, devices: u32) -> Option<u32> {
+        match self {
+            Self::Switch => Some(devices),
+            _ => None,
+        }
+    }
+
+    /// The undirected links of the fabric as sorted `(low, high)` node
+    /// pairs, in a fixed deterministic order. Link *indices* into this list
+    /// are the stable identity used by fault plans and health breakers.
+    pub fn links(self, devices: u32) -> Vec<(u32, u32)> {
+        let mut links = Vec::new();
+        match self {
+            Self::PointToPoint => {
+                if devices == 2 {
+                    links.push((0, 1));
+                }
+            }
+            Self::Line => {
+                for d in 1..devices {
+                    links.push((d - 1, d));
+                }
+            }
+            Self::Ring => {
+                for d in 1..devices {
+                    links.push((d - 1, d));
+                }
+                if devices > 2 {
+                    links.push((0, devices - 1));
+                }
+            }
+            Self::FullyConnected => {
+                for a in 0..devices {
+                    for b in (a + 1)..devices {
+                        links.push((a, b));
+                    }
+                }
+            }
+            Self::Switch => {
+                for d in 0..devices {
+                    links.push((d, devices));
+                }
+            }
+        }
+        links.sort_unstable();
+        links
+    }
+}
+
+impl std::fmt::Display for FabricTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in FabricTopology::ALL {
+            assert_eq!(FabricTopology::parse(t.name()), Some(t));
+            assert_eq!(FabricTopology::parse(&t.name().to_uppercase()), Some(t));
+        }
+        assert_eq!(FabricTopology::parse("torus"), None);
+    }
+
+    #[test]
+    fn link_sets_match_the_shapes() {
+        assert_eq!(FabricTopology::PointToPoint.links(2), vec![(0, 1)]);
+        assert_eq!(FabricTopology::Line.links(4), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(
+            FabricTopology::Ring.links(4),
+            vec![(0, 1), (0, 3), (1, 2), (2, 3)]
+        );
+        // A 2-device ring degenerates to a single edge, not a double edge.
+        assert_eq!(FabricTopology::Ring.links(2), vec![(0, 1)]);
+        assert_eq!(FabricTopology::FullyConnected.links(4).len(), 6);
+        assert_eq!(
+            FabricTopology::Switch.links(3),
+            vec![(0, 3), (1, 3), (2, 3)]
+        );
+        assert_eq!(FabricTopology::Switch.node_count(3), 4);
+        assert_eq!(FabricTopology::Switch.switch_node(3), Some(3));
+        assert_eq!(FabricTopology::Ring.switch_node(4), None);
+    }
+
+    #[test]
+    fn device_support_bounds() {
+        assert!(FabricTopology::PointToPoint.supports_devices(2));
+        assert!(!FabricTopology::PointToPoint.supports_devices(3));
+        for t in [
+            FabricTopology::Line,
+            FabricTopology::Ring,
+            FabricTopology::FullyConnected,
+            FabricTopology::Switch,
+        ] {
+            assert!(!t.supports_devices(1));
+            assert!(t.supports_devices(2));
+            assert!(t.supports_devices(8));
+        }
+    }
+}

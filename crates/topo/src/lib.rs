@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fabric;
 mod floorplan;
 mod geom;
 mod hierarchy;
@@ -38,6 +39,7 @@ mod ids;
 mod spec;
 mod sweep;
 
+pub use fabric::FabricTopology;
 pub use floorplan::Floorplan;
 pub use geom::{Point, Rect};
 pub use hierarchy::{
