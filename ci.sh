@@ -85,6 +85,74 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
     --wall-ms 120000 --state "$tmp/chaos-fabric-state.json" \
     --repro-dir "$tmp/repros-fabric"
 
+echo "== serve: daemon smoke (overload-safe queue, cache, crash recovery) =="
+# A daemon under --row-delay-ms so the kill -9 below reliably lands mid-
+# campaign; the campaign checkpoint and the fsynced journal must carry the
+# job across the crash.
+gnoc_bin="target/release/gnoc"
+serve_state="$tmp/serve-state"
+serve_sock="$tmp/serve.sock"
+"$gnoc_bin" serve --state "$serve_state" --socket "$serve_sock" \
+    --row-delay-ms 20 > "$tmp/serve1.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.05; done
+
+# Leg (a): the one-shot CLI's output line for the same request.
+"$gnoc_bin" campaign v100 --seed 7 --lines 2 --samples 2 \
+    | tail -1 > "$tmp/oneshot.txt"
+
+# Kill -9 mid-campaign; the victim client dies with the daemon.
+"$gnoc_bin" submit campaign v100 --seed 7 --lines 2 --samples 2 \
+    --socket "$serve_sock" > /dev/null 2>&1 &
+victim_pid=$!
+sleep 0.7
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+wait "$victim_pid" 2>/dev/null || true
+ls "$serve_state"/ckpt/*.json > /dev/null  # the checkpoint survived
+
+# Restart: journal replay resumes the campaign; the same request completes
+# (leg d) and then hits the cache (leg c). Run the resumed leg at --jobs 2
+# and the cached leg at --jobs 1 to cross worker counts too.
+rm -f "$serve_sock"
+"$gnoc_bin" --jobs 2 serve --state "$serve_state" --socket "$serve_sock" \
+    > "$tmp/serve2.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.05; done
+"$gnoc_bin" submit campaign v100 --seed 7 --lines 2 --samples 2 \
+    --socket "$serve_sock" --payload-out "$tmp/resumed.json" \
+    --summary > "$tmp/resumed-summary.txt"
+"$gnoc_bin" submit campaign v100 --seed 7 --lines 2 --samples 2 \
+    --socket "$serve_sock" --payload-out "$tmp/cached.json" \
+    | grep -q '"cached":true'
+# A chaos job and a health snapshot exercise the other op paths.
+"$gnoc_bin" submit chaos --seed-count 2 --transfers 16 \
+    --socket "$serve_sock" > /dev/null
+"$gnoc_bin" submit health --socket "$serve_sock" | grep -q '"overload":"closed"'
+"$gnoc_bin" submit shutdown --socket "$serve_sock" > /dev/null
+wait "$serve_pid"
+grep -q "recovered 1 unfinished job(s) from the journal" "$tmp/serve2.log"
+
+# Leg (b): the same request served cold by a fresh single-worker daemon.
+"$gnoc_bin" --jobs 1 serve --state "$tmp/serve-cold" --socket "$serve_sock" \
+    > /dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.05; done
+"$gnoc_bin" submit campaign v100 --seed 7 --lines 2 --samples 2 \
+    --socket "$serve_sock" --payload-out "$tmp/cold.json" > /dev/null
+"$gnoc_bin" submit shutdown --socket "$serve_sock" > /dev/null
+wait "$serve_pid"
+
+# The determinism pin: (b) cold, (c) cached, and (d) crash-resumed payloads
+# are byte-identical across --jobs 1 and 2, and the payload summary equals
+# the one-shot CLI line (a).
+cmp "$tmp/cold.json" "$tmp/resumed.json"
+cmp "$tmp/cold.json" "$tmp/cached.json"
+cmp "$tmp/oneshot.txt" "$tmp/resumed-summary.txt"
+
+echo "== bench: serve cold-vs-cached latency and throughput (BENCH_serve.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_serve -- BENCH_serve.json
+
 echo "== bench: detection latency within oracle bounds (BENCH_health.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_health -- BENCH_health.json
 
@@ -97,6 +165,7 @@ cargo run --release -q -p gnoc-bench --bin bench_fabric -- BENCH_fabric.json
 echo "== validate: every artifact row carries schema 1 =="
 cargo run --release -q -p gnoc-bench --bin validate_bench -- \
     BENCH_par.json BENCH_health.json BENCH_profile.json BENCH_fabric.json \
+    BENCH_serve.json \
     "$tmp/prof_a.json" "$tmp/smoke.json" "$tmp/chaos_prof.json"
 
 echo "ci.sh: all green"

@@ -1,0 +1,129 @@
+//! Wall-time benchmark for the `gnoc-serve` daemon engine: cold compute vs
+//! content-addressed cache hits, and queue throughput at 1 vs 2 workers.
+//!
+//! Measures, all through the in-process [`gnoc_serve::Engine`] (no socket,
+//! so the numbers are the engine's, not the transport's):
+//!
+//! 1. `serve_cold` — admitting and executing a fresh mesh-soak job,
+//! 2. `serve_cached` — the identical request answered from the cache,
+//! 3. `serve_throughput` — draining a batch of 8 distinct soak jobs at
+//!    `jobs ∈ {1, 2}`, asserting the payload bytes are identical.
+//!
+//! Writes JSON rows `{schema, bench, jobs, wall_ms}` to `BENCH_serve.json`
+//! (or the path given as the first argument). On a single-core container
+//! the jobs=2 row documents worker-count *independence of results*, not a
+//! speedup.
+
+use gnoc_core::telemetry::TelemetryHandle;
+use gnoc_serve::engine::{Admission, Engine, ServeConfig};
+use gnoc_serve::protocol::JobSpec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Row {
+    bench: &'static str,
+    jobs: usize,
+    wall_ms: u64,
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnoc-bench-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec::Mesh {
+        seed,
+        transfers: 400,
+        plan: None,
+    }
+}
+
+/// Admits `specs` and waits for every outcome, returning payloads in order.
+fn drain(engine: &Engine, specs: &[JobSpec]) -> Vec<String> {
+    let h = engine.handle();
+    let rxs: Vec<_> = specs
+        .iter()
+        .map(|s| match h.admit(1, s) {
+            Admission::Enqueued { rx, .. } => rx,
+            other => panic!("expected enqueue, got {other:?}"),
+        })
+        .collect();
+    rxs.iter()
+        .map(|rx| rx.recv().expect("outcome").result.expect("job ok"))
+        .collect()
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Cold vs cached: same engine, same request, second admit must hit.
+    let engine = Engine::open(
+        ServeConfig::new(scratch("cache")),
+        TelemetryHandle::disabled(),
+    )
+    .expect("open engine");
+    let start = Instant::now();
+    let cold = drain(&engine, &[spec(1)]).remove(0);
+    let cold_ms = start.elapsed().as_millis() as u64;
+    println!("serve_cold         jobs=1  {cold_ms} ms");
+    rows.push(Row {
+        bench: "serve_cold",
+        jobs: 1,
+        wall_ms: cold_ms,
+    });
+
+    let start = Instant::now();
+    let cached = match engine.handle().admit(1, &spec(1)) {
+        Admission::Cached { payload } => payload,
+        other => panic!("expected cache hit, got {other:?}"),
+    };
+    let cached_ms = start.elapsed().as_millis() as u64;
+    assert_eq!(cached, cold, "cache hit must return the cold bytes");
+    println!("serve_cached       jobs=1  {cached_ms} ms");
+    rows.push(Row {
+        bench: "serve_cached",
+        jobs: 1,
+        wall_ms: cached_ms,
+    });
+
+    // Throughput at 1 vs 2 workers over distinct jobs (no cache overlap),
+    // pinning result identity across worker counts.
+    let batch: Vec<JobSpec> = (10..18).map(spec).collect();
+    let mut reference: Option<Vec<String>> = None;
+    for jobs in [1usize, 2] {
+        let mut cfg = ServeConfig::new(scratch(&format!("tp{jobs}")));
+        cfg.jobs = jobs;
+        let engine = Engine::open(cfg, TelemetryHandle::disabled()).expect("open engine");
+        let start = Instant::now();
+        let payloads = drain(&engine, &batch);
+        let wall_ms = start.elapsed().as_millis() as u64;
+        match &reference {
+            None => reference = Some(payloads),
+            Some(r) => assert_eq!(&payloads, r, "throughput payloads diverged at jobs={jobs}"),
+        }
+        println!("serve_throughput   jobs={jobs}  {wall_ms} ms");
+        rows.push(Row {
+            bench: "serve_throughput",
+            jobs,
+            wall_ms,
+        });
+    }
+
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"schema\": 1, \"bench\": \"{}\", \"jobs\": {}, \"wall_ms\": {}}}",
+                r.bench, r.jobs, r.wall_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(&out, format!("[\n{body}\n]\n")).expect("write benchmark artifact");
+    println!("wrote {out} (cached and parallel results bit-identical to cold serial)");
+}

@@ -146,7 +146,7 @@ impl ChaosReport {
     pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
         let text =
             serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
-        std::fs::write(path, text).map_err(|e| ChaosError::Io(e.to_string()))
+        gnoc_core::atomic_write(path, text.as_bytes()).map_err(|e| ChaosError::Io(e.to_string()))
     }
 }
 
@@ -179,7 +179,8 @@ impl ChaosState {
         Ok(state)
     }
 
-    /// Writes the state atomically (temp file + rename).
+    /// Writes the state atomically and durably via the shared
+    /// [`gnoc_core::atomic_write`] (temp sibling + fsync + rename).
     ///
     /// # Errors
     ///
@@ -187,12 +188,7 @@ impl ChaosState {
     pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
         let text =
             serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
-        let mut name = path.file_name().unwrap_or_default().to_os_string();
-        name.push(".tmp");
-        let tmp = path.with_file_name(name);
-        std::fs::write(&tmp, text).map_err(|e| ChaosError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|e| ChaosError::Io(e.to_string()))?;
-        Ok(())
+        gnoc_core::atomic_write(path, text.as_bytes()).map_err(|e| ChaosError::Io(e.to_string()))
     }
 }
 
@@ -267,7 +263,9 @@ impl Reproducer {
         Ok(repro)
     }
 
-    /// Writes the reproducer as pretty JSON.
+    /// Writes the reproducer as pretty JSON, atomically: a half-written
+    /// reproducer is worse than none, because it looks like a replayable
+    /// artifact but silently drops plan atoms.
     ///
     /// # Errors
     ///
@@ -275,7 +273,7 @@ impl Reproducer {
     pub fn save(&self, path: &Path) -> Result<(), ChaosError> {
         let text =
             serde_json::to_string_pretty(self).map_err(|e| ChaosError::Parse(e.to_string()))?;
-        std::fs::write(path, text).map_err(|e| ChaosError::Io(e.to_string()))
+        gnoc_core::atomic_write(path, text.as_bytes()).map_err(|e| ChaosError::Io(e.to_string()))
     }
 }
 

@@ -294,8 +294,102 @@ pub enum Command {
         /// Inter-device topology name (ignored when `devices == 1`).
         topology: String,
     },
+    /// `gnoc serve --state DIR [--socket PATH | --stdin] [--queue-cap N]
+    /// [--session-cap N] [--max-rows N] [--max-seeds N] [--max-transfers N]
+    /// [--row-delay-ms MS]` — the crash-safe measurement daemon: a bounded
+    /// job queue over the worker pool, an fsynced journal, and a
+    /// content-addressed result cache under `--state`.
+    Serve {
+        /// State directory (journal, cache, campaign checkpoints).
+        state: String,
+        /// Unix socket to listen on; `None` means `--stdin` line mode.
+        socket: Option<String>,
+        /// Pending-job bound before admission rejects new work.
+        queue_cap: usize,
+        /// In-flight bound per client session.
+        session_cap: usize,
+        /// Campaign row budget per job (0 = unlimited).
+        max_rows: usize,
+        /// Chaos seed budget per job (0 = unlimited).
+        max_seeds: u64,
+        /// Soak transfer budget per job (0 = unlimited).
+        max_transfers: usize,
+        /// Per-campaign-row sleep in ms (testing aid; widens kill windows).
+        row_delay_ms: u64,
+    },
+    /// `gnoc submit <what> --socket PATH [--payload-out F] [--summary]` —
+    /// send one request to a running daemon and print its response.
+    Submit {
+        /// Daemon socket path.
+        socket: String,
+        /// The request to send.
+        what: SubmitWhat,
+        /// Write the result payload bytes (exactly as computed) here.
+        payload_out: Option<String>,
+        /// Print only the payload's `summary` field (the one-shot CLI line).
+        summary: bool,
+    },
+    /// `gnoc batch <file> --socket PATH` — submit each non-empty line of
+    /// `file` as a request, in order; exits nonzero if any job fails.
+    Batch {
+        /// Daemon socket path.
+        socket: String,
+        /// File of request lines (the same JSON the line protocol takes).
+        file: String,
+    },
     /// `gnoc help` — usage.
     Help,
+}
+
+/// What `gnoc submit` sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitWhat {
+    /// A raw protocol line, passed through verbatim (`--json`).
+    Raw(String),
+    /// A latency campaign job.
+    Campaign {
+        /// Target device preset.
+        gpu: GpuChoice,
+        /// Campaign seed.
+        seed: u64,
+        /// Probe working-set lines.
+        lines: usize,
+        /// Probe samples.
+        samples: usize,
+        /// Measured-row budget (degraded salvage), as in the one-shot CLI.
+        deadline_rows: Option<usize>,
+    },
+    /// A reliable-mesh soak job.
+    Mesh {
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+    },
+    /// A chaos sweep job.
+    Chaos {
+        /// First seed.
+        seed_start: u64,
+        /// Seeds swept.
+        seed_count: u64,
+        /// Transfers per iteration.
+        transfers: u32,
+    },
+    /// A multi-GPU fabric soak job.
+    Fabric {
+        /// Devices coupled.
+        devices: u32,
+        /// Inter-device topology name.
+        topology: String,
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+    },
+    /// The daemon's health snapshot.
+    Health,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
 }
 
 /// What `gnoc chaos` does.
@@ -460,6 +554,13 @@ USAGE:
                     [--perfetto trace.json] [--jsonl events.jsonl]
                     [--svg util.svg] [--devices N] [--topology T]
     gnoc stats      <metrics.json>
+    gnoc serve      --state DIR (--socket PATH | --stdin) [--queue-cap N]
+                    [--session-cap N] [--max-rows N] [--max-seeds N]
+                    [--max-transfers N] [--row-delay-ms MS]
+    gnoc submit     <campaign <gpu>|mesh|chaos|fabric|health|shutdown>
+                    --socket PATH [op flags] [--payload-out F] [--summary]
+    gnoc submit     --socket PATH --json '<request line>'
+    gnoc batch      <requests.jsonl> --socket PATH
     gnoc help
 
 GLOBAL FLAGS (every subcommand):
@@ -508,12 +609,43 @@ MULTI-GPU FABRIC:
     per-link breakers quarantine what they detect (quarantines that would
     partition the fabric are refused and reported).
 
+SERVING:
+    gnoc serve runs the measurement engines as a long-lived daemon: jobs
+    are journaled (fsynced) before they run, results land in a
+    content-addressed cache keyed by the request's canonical form, and a
+    bounded queue rejects overload with an explicit reason instead of
+    stalling. Kill -9 the daemon and restart it: the journal replays,
+    checkpointed campaigns resume from their last completed row, and the
+    finished payload is byte-identical to an uninterrupted run. SIGTERM
+    (socket mode) or EOF (--stdin mode) drains gracefully instead.
+
+    The line protocol is JSON, one request per line, e.g.:
+      {\"schema\":1,\"op\":\"campaign\",\"device\":\"v100\",\"seed\":7}
+      {\"schema\":1,\"op\":\"mesh\",\"seed\":1,\"transfers\":200}
+      {\"schema\":1,\"op\":\"chaos\",\"seed_start\":0,\"seed_count\":4}
+      {\"schema\":1,\"op\":\"fabric\",\"devices\":2,\"topology\":\"ring\"}
+      {\"schema\":1,\"op\":\"health\"}
+      {\"schema\":1,\"op\":\"shutdown\"}
+    Responses are envelopes: {\"type\":\"accepted\",\"job\":N} then
+    {\"type\":\"done\",\"cached\":B,\"resumed_rows\":N,\"payload\":{...}},
+    or {\"type\":\"failed\",...} / {\"type\":\"rejected\",\"reason\":...}.
+    A given request's payload bytes are identical cold, cached, resumed
+    after a crash, and at any --jobs count. gnoc submit is the one-shot
+    client (--payload-out captures the exact payload bytes; --summary
+    prints the payload's one-line summary, which matches the equivalent
+    one-shot subcommand's output); gnoc batch submits a file of request
+    lines in order and exits with the worst per-request code.
+
 EXIT CODES:
-    0   success (checks: the property holds / no longer reproduces)
+    0   success (checks: the property holds / no longer reproduces;
+        submit: job done)
     1   check failed — invalid plan (faults check), oracle fired (chaos
-        run), recorded failure still reproduces (chaos replay)
-    2   invalid input — unknown flags, malformed JSON, bad config
-    3   I/O error — a file could not be read or written
+        run), recorded failure still reproduces (chaos replay), submitted
+        job failed or was rejected by admission control
+    2   invalid input — unknown flags, malformed JSON, bad config, or a
+        request the daemon rejected as invalid
+    3   I/O error — a file could not be read or written, or the daemon
+        socket could not be reached
 ";
 
 /// Reads `--flag value` pairs and boolean `--flag`s from `args`.
@@ -937,6 +1069,109 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 crossbar,
                 seed: flags.parse_num("--seed", 1u64)?,
             })
+        }
+        "serve" => {
+            let state = flags
+                .value_of("--state")?
+                .ok_or_else(|| "serve needs --state <dir>".to_owned())?
+                .to_owned();
+            let socket = flags.value_of("--socket")?.map(str::to_owned);
+            if socket.is_none() && !flags.has("--stdin") {
+                return Err("serve needs --socket <path> or --stdin".to_owned());
+            }
+            if socket.is_some() && flags.has("--stdin") {
+                return Err("serve takes --socket or --stdin, not both".to_owned());
+            }
+            Ok(Command::Serve {
+                state,
+                socket,
+                queue_cap: flags.parse_num("--queue-cap", 16usize)?,
+                session_cap: flags.parse_num("--session-cap", 8usize)?,
+                max_rows: flags.parse_num("--max-rows", 0usize)?,
+                max_seeds: flags.parse_num("--max-seeds", 0u64)?,
+                max_transfers: flags.parse_num("--max-transfers", 0usize)?,
+                row_delay_ms: flags.parse_num("--row-delay-ms", 0u64)?,
+            })
+        }
+        "submit" => {
+            let socket = flags
+                .value_of("--socket")?
+                .ok_or_else(|| "submit needs --socket <path>".to_owned())?
+                .to_owned();
+            let what = if let Some(raw) = flags.value_of("--json")? {
+                SubmitWhat::Raw(raw.to_owned())
+            } else {
+                let op = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| {
+                        "submit needs campaign|mesh|chaos|fabric|health|shutdown or --json"
+                            .to_owned()
+                    })?;
+                match op.as_str() {
+                    "campaign" => SubmitWhat::Campaign {
+                        gpu: rest
+                            .get(1)
+                            .filter(|a| !a.starts_with("--"))
+                            .ok_or_else(|| "submit campaign needs a GPU argument".to_owned())
+                            .and_then(|s| GpuChoice::parse(s))?,
+                        seed: flags.parse_num("--seed", 0u64)?,
+                        lines: flags.parse_num("--lines", 8usize)?,
+                        samples: flags.parse_num("--samples", 12usize)?,
+                        deadline_rows: flags
+                            .value_of("--deadline-rows")?
+                            .map(|v| {
+                                v.parse().map_err(|_| {
+                                    format!("flag --deadline-rows: '{v}' is not a valid number")
+                                })
+                            })
+                            .transpose()?,
+                    },
+                    "mesh" => SubmitWhat::Mesh {
+                        seed: flags.parse_num("--seed", 1u64)?,
+                        transfers: flags.parse_num("--transfers", 200usize)?,
+                    },
+                    "chaos" => SubmitWhat::Chaos {
+                        seed_start: flags.parse_num("--seed-start", 0u64)?,
+                        seed_count: flags.parse_num("--seed-count", 4u64)?,
+                        transfers: flags.parse_num("--transfers", 64u32)?,
+                    },
+                    "fabric" => SubmitWhat::Fabric {
+                        devices: flags.parse_num("--devices", 2u32)?,
+                        topology: flags
+                            .value_of("--topology")?
+                            .unwrap_or("ring")
+                            .to_owned(),
+                        seed: flags.parse_num("--seed", 0u64)?,
+                        transfers: flags.parse_num("--transfers", 64usize)?,
+                    },
+                    "health" => SubmitWhat::Health,
+                    "shutdown" => SubmitWhat::Shutdown,
+                    other => {
+                        return Err(format!(
+                            "submit: unknown request '{other}' (campaign|mesh|chaos|fabric|health|shutdown)"
+                        ))
+                    }
+                }
+            };
+            Ok(Command::Submit {
+                socket,
+                what,
+                payload_out: flags.value_of("--payload-out")?.map(str::to_owned),
+                summary: flags.has("--summary"),
+            })
+        }
+        "batch" => {
+            let file = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "batch needs a request file".to_owned())?
+                .clone();
+            let socket = flags
+                .value_of("--socket")?
+                .ok_or_else(|| "batch needs --socket <path>".to_owned())?
+                .to_owned();
+            Ok(Command::Batch { socket, file })
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -1672,5 +1907,145 @@ mod tests {
         assert!(parse_invocation(&argv("campaign v100 --jobs")).is_err());
         assert!(parse_invocation(&argv("campaign v100 --jobs many")).is_err());
         assert!(parse_invocation(&argv("campaign v100 --jobs --trace t.jsonl")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_modes_and_caps() {
+        assert_eq!(
+            parse(&argv("serve --state s --socket d.sock")).unwrap(),
+            Command::Serve {
+                state: "s".into(),
+                socket: Some("d.sock".into()),
+                queue_cap: 16,
+                session_cap: 8,
+                max_rows: 0,
+                max_seeds: 0,
+                max_transfers: 0,
+                row_delay_ms: 0,
+            }
+        );
+        let c = parse(&argv(
+            "serve --state s --stdin --queue-cap 2 --session-cap 1 --max-rows 4 --row-delay-ms 50",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                state: "s".into(),
+                socket: None,
+                queue_cap: 2,
+                session_cap: 1,
+                max_rows: 4,
+                max_seeds: 0,
+                max_transfers: 0,
+                row_delay_ms: 50,
+            }
+        );
+        // --state is required; the serving mode must be exactly one of
+        // --socket / --stdin.
+        assert!(parse(&argv("serve --socket d.sock")).is_err());
+        assert!(parse(&argv("serve --state s")).is_err());
+        assert!(parse(&argv("serve --state s --socket d.sock --stdin")).is_err());
+    }
+
+    #[test]
+    fn submit_parses_ops_raw_and_control() {
+        assert_eq!(
+            parse(&argv(
+                "submit campaign a100 --socket d.sock --seed 3 --deadline-rows 5 --summary"
+            ))
+            .unwrap(),
+            Command::Submit {
+                socket: "d.sock".into(),
+                what: SubmitWhat::Campaign {
+                    gpu: GpuChoice::A100,
+                    seed: 3,
+                    lines: 8,
+                    samples: 12,
+                    deadline_rows: Some(5),
+                },
+                payload_out: None,
+                summary: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("submit mesh --socket d.sock --payload-out p.json")).unwrap(),
+            Command::Submit {
+                socket: "d.sock".into(),
+                what: SubmitWhat::Mesh {
+                    seed: 1,
+                    transfers: 200,
+                },
+                payload_out: Some("p.json".into()),
+                summary: false,
+            }
+        );
+        assert!(matches!(
+            parse(&argv("submit chaos --socket d.sock --seed-count 2")).unwrap(),
+            Command::Submit {
+                what: SubmitWhat::Chaos { seed_count: 2, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv(
+                "submit fabric --socket d.sock --devices 3 --topology fully"
+            ))
+            .unwrap(),
+            Command::Submit {
+                what: SubmitWhat::Fabric { devices: 3, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("submit health --socket d.sock")).unwrap(),
+            Command::Submit {
+                what: SubmitWhat::Health,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("submit shutdown --socket d.sock")).unwrap(),
+            Command::Submit {
+                what: SubmitWhat::Shutdown,
+                ..
+            }
+        ));
+        // Raw lines pass through verbatim.
+        let raw = r#"{"schema":1,"op":"health"}"#;
+        let c = parse(&[
+            "submit".to_string(),
+            "--socket".to_string(),
+            "d.sock".to_string(),
+            "--json".to_string(),
+            raw.to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Submit {
+                socket: "d.sock".into(),
+                what: SubmitWhat::Raw(raw.into()),
+                payload_out: None,
+                summary: false,
+            }
+        );
+        // --socket is required; the request must be named or --json.
+        assert!(parse(&argv("submit mesh")).is_err());
+        assert!(parse(&argv("submit --socket d.sock")).is_err());
+        assert!(parse(&argv("submit frobnicate --socket d.sock")).is_err());
+    }
+
+    #[test]
+    fn batch_parses_file_and_socket() {
+        assert_eq!(
+            parse(&argv("batch reqs.jsonl --socket d.sock")).unwrap(),
+            Command::Batch {
+                socket: "d.sock".into(),
+                file: "reqs.jsonl".into(),
+            }
+        );
+        assert!(parse(&argv("batch --socket d.sock")).is_err());
+        assert!(parse(&argv("batch reqs.jsonl")).is_err());
     }
 }

@@ -6,8 +6,8 @@ use gnoc_chaos::{
     ChaosOptions, ChaosRun, Reproducer,
 };
 use gnoc_cli::{
-    parse_invocation, AttackKind, ChaosAction, Command, FaultsAction, GpuChoice, WorkloadKind,
-    EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO, EXIT_OK, USAGE,
+    parse_invocation, AttackKind, ChaosAction, Command, FaultsAction, GpuChoice, SubmitWhat,
+    WorkloadKind, EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO, EXIT_OK, USAGE,
 };
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
@@ -28,6 +28,12 @@ use gnoc_core::{
 use gnoc_core::{infer_placement, input_speedups, run_aes_attack, run_rsa_attack};
 use gnoc_core::{
     FlightRecorder, JsonlWriter, MetricRegistry, ProfileReport, Telemetry, TelemetryHandle,
+};
+use gnoc_serve::client::{
+    envelope_field_str, envelope_type, extract_payload, payload_summary, request_over_socket,
+};
+use gnoc_serve::{
+    install_termination_flag, serve_stdin, Engine, JobSpec, ServeConfig, ServeError, SocketServer,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -676,8 +682,261 @@ fn run(
                 telemetry,
             );
         }
+
+        Command::Serve {
+            state,
+            socket,
+            queue_cap,
+            session_cap,
+            max_rows,
+            max_seeds,
+            max_transfers,
+            row_delay_ms,
+        } => {
+            let cfg = ServeConfig {
+                state_dir: PathBuf::from(&state),
+                queue_cap,
+                session_cap,
+                max_rows,
+                max_seeds,
+                max_transfers,
+                row_delay_ms,
+                jobs: pool.jobs(),
+            };
+            return run_serve(cfg, socket.as_deref(), telemetry);
+        }
+
+        Command::Submit {
+            socket,
+            what,
+            payload_out,
+            summary,
+        } => return run_submit(&socket, &what, payload_out.as_deref(), summary, plan),
+
+        Command::Batch { socket, file } => return run_batch(&socket, &file),
     }
     EXIT_OK
+}
+
+/// `gnoc serve`: open the state directory (replaying the journal), then
+/// serve the line protocol on a Unix socket or stdin until drained.
+fn run_serve(cfg: ServeConfig, socket: Option<&str>, telemetry: &TelemetryHandle) -> u8 {
+    let state = cfg.state_dir.display().to_string();
+    let engine = match Engine::open(cfg, telemetry.clone()) {
+        Ok(engine) => engine,
+        Err(ServeError::Config(msg)) => {
+            eprintln!("error: {msg}");
+            return EXIT_INVALID_INPUT;
+        }
+        Err(ServeError::Io(e)) => {
+            eprintln!("error: cannot open state directory {state}: {e}");
+            return EXIT_IO;
+        }
+    };
+    if engine.recovered() > 0 {
+        // The ci.sh crash-recovery smoke greps for this line.
+        println!(
+            "recovered {} unfinished job(s) from the journal",
+            engine.recovered()
+        );
+    }
+    match socket {
+        Some(path) => {
+            let term = install_termination_flag();
+            let server = match SocketServer::bind(Path::new(path)) {
+                Ok(server) => server,
+                Err(ServeError::Config(msg)) => {
+                    eprintln!("error: {msg}");
+                    return EXIT_INVALID_INPUT;
+                }
+                Err(ServeError::Io(e)) => {
+                    eprintln!("error: cannot bind socket {path}: {e}");
+                    return EXIT_IO;
+                }
+            };
+            println!("serving on {path} (state {state})");
+            match server.run(&engine, term) {
+                Ok(()) => {
+                    println!("drained; exiting");
+                    EXIT_OK
+                }
+                Err(e) => {
+                    eprintln!("error: serve loop failed: {e}");
+                    EXIT_IO
+                }
+            }
+        }
+        None => match serve_stdin(&engine) {
+            Ok(()) => EXIT_OK,
+            Err(e) => {
+                eprintln!("error: serve loop failed: {e}");
+                EXIT_IO
+            }
+        },
+    }
+}
+
+/// Builds the protocol line a `gnoc submit` request sends. The structured
+/// forms go through [`JobSpec::canonical_json`], so the client sends
+/// exactly the canonical bytes the daemon would derive anyway.
+fn submit_line(what: &SubmitWhat, plan: Option<&FaultPlan>) -> String {
+    match what {
+        SubmitWhat::Raw(line) => line.clone(),
+        SubmitWhat::Health => "{\"schema\":1,\"op\":\"health\"}".to_owned(),
+        SubmitWhat::Shutdown => "{\"schema\":1,\"op\":\"shutdown\"}".to_owned(),
+        SubmitWhat::Campaign {
+            gpu,
+            seed,
+            lines,
+            samples,
+            deadline_rows,
+        } => JobSpec::Campaign {
+            device: gpu.preset_name().to_owned(),
+            seed: *seed,
+            lines: *lines,
+            samples: *samples,
+            deadline_rows: *deadline_rows,
+            plan: plan.cloned(),
+        }
+        .canonical_json(),
+        SubmitWhat::Mesh { seed, transfers } => JobSpec::Mesh {
+            seed: *seed,
+            transfers: *transfers,
+            plan: plan.cloned(),
+        }
+        .canonical_json(),
+        SubmitWhat::Chaos {
+            seed_start,
+            seed_count,
+            transfers,
+        } => JobSpec::Chaos {
+            seed_start: *seed_start,
+            seed_count: *seed_count,
+            transfers: *transfers,
+        }
+        .canonical_json(),
+        SubmitWhat::Fabric {
+            devices,
+            topology,
+            seed,
+            transfers,
+        } => JobSpec::Fabric {
+            devices: *devices,
+            topology: topology.clone(),
+            seed: *seed,
+            transfers: *transfers,
+        }
+        .canonical_json(),
+    }
+}
+
+/// Handles the terminal envelope of one request: prints it (or just the
+/// payload summary), optionally captures the exact payload bytes, and maps
+/// the outcome onto the documented exit codes.
+fn settle_envelope(envelope: &str, payload_out: Option<&str>, summary: bool) -> u8 {
+    match envelope_type(envelope).as_deref() {
+        Some("done") | Some("health") => {
+            let payload = extract_payload(envelope).unwrap_or("{}");
+            if let Some(path) = payload_out {
+                // The payload is written exactly as extracted — these are
+                // the bytes the determinism pins `cmp`.
+                if let Err(e) = std::fs::write(path, payload) {
+                    eprintln!("error: cannot write payload to {path}: {e}");
+                    return EXIT_IO;
+                }
+            }
+            if summary {
+                match payload_summary(payload) {
+                    Some(line) => println!("{line}"),
+                    None => println!("{envelope}"),
+                }
+            } else {
+                println!("{envelope}");
+            }
+            EXIT_OK
+        }
+        Some("bye") => {
+            println!("{envelope}");
+            EXIT_OK
+        }
+        Some("failed") => {
+            let error = envelope_field_str(envelope, "error").unwrap_or_default();
+            eprintln!("error: job failed: {error}");
+            EXIT_CHECK_FAILED
+        }
+        Some("rejected") => {
+            let reason = envelope_field_str(envelope, "reason").unwrap_or_default();
+            eprintln!("error: rejected: {reason}");
+            if reason.starts_with("invalid: ") {
+                EXIT_INVALID_INPUT
+            } else {
+                EXIT_CHECK_FAILED
+            }
+        }
+        _ => {
+            eprintln!("error: unexpected response: {envelope}");
+            EXIT_IO
+        }
+    }
+}
+
+/// `gnoc submit`: one request to a running daemon, one exit code.
+fn run_submit(
+    socket: &str,
+    what: &SubmitWhat,
+    payload_out: Option<&str>,
+    summary: bool,
+    plan: Option<&FaultPlan>,
+) -> u8 {
+    let line = submit_line(what, plan);
+    let envelopes = match request_over_socket(Path::new(socket), &line) {
+        Ok(envelopes) => envelopes,
+        Err(e) => {
+            eprintln!("error: cannot reach daemon at {socket}: {e}");
+            return EXIT_IO;
+        }
+    };
+    // Progress envelopes (accepted) are printed as they came unless the
+    // caller asked for just the summary.
+    for envelope in &envelopes[..envelopes.len() - 1] {
+        if !summary {
+            println!("{envelope}");
+        }
+    }
+    settle_envelope(
+        envelopes.last().expect("terminal envelope"),
+        payload_out,
+        summary,
+    )
+}
+
+/// `gnoc batch`: submit each non-empty line of a request file, in order.
+/// The exit code is the worst per-request code.
+fn run_batch(socket: &str, file: &str) -> u8 {
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut worst = EXIT_OK;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let code = match request_over_socket(Path::new(socket), line) {
+            Ok(envelopes) => {
+                settle_envelope(envelopes.last().expect("terminal envelope"), None, false)
+            }
+            Err(e) => {
+                eprintln!("error: cannot reach daemon at {socket}: {e}");
+                EXIT_IO
+            }
+        };
+        worst = worst.max(code);
+    }
+    worst
 }
 
 /// Optional artifact paths of `gnoc profile`.

@@ -126,3 +126,96 @@ fn health_subcommand_runs_clean_without_faults() {
         EXIT_OK
     );
 }
+
+#[test]
+fn serve_and_submit_distinguish_exit_codes() {
+    // Serve parse errors (no mode, both modes) are invalid input.
+    assert_eq!(gnoc(&["serve", "--state", "s"]), EXIT_INVALID_INPUT);
+    assert_eq!(gnoc(&["submit", "mesh"]), EXIT_INVALID_INPUT);
+
+    // An unreachable state directory is an I/O error.
+    assert_eq!(
+        gnoc(&[
+            "serve",
+            "--state",
+            "/proc/no-such-dir/state",
+            "--socket",
+            scratch("nope.sock").to_str().unwrap(),
+        ]),
+        EXIT_IO
+    );
+
+    // Submitting to a socket no daemon listens on is an I/O error.
+    assert_eq!(
+        gnoc(&[
+            "submit",
+            "health",
+            "--socket",
+            scratch("absent.sock").to_str().unwrap(),
+        ]),
+        EXIT_IO
+    );
+
+    // A batch file that does not exist is an I/O error (before any
+    // connection is attempted).
+    assert_eq!(
+        gnoc(&[
+            "batch",
+            scratch("absent.jsonl").to_str().unwrap(),
+            "--socket",
+            scratch("absent.sock").to_str().unwrap(),
+        ]),
+        EXIT_IO
+    );
+}
+
+#[test]
+fn daemon_round_trip_pins_ok_rejected_and_invalid_codes() {
+    let dir = scratch("serve-rt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let sock = dir.join("d.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_gnoc"))
+        .args([
+            "serve",
+            "--state",
+            dir.join("state").to_str().unwrap(),
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn daemon");
+    // Wait for the socket to appear.
+    let sock_arg = sock.to_str().unwrap();
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // A good job is exit 0; a malformed request is invalid input (the
+    // daemon rejects it with an `invalid:` reason and stays up).
+    assert_eq!(
+        gnoc(&["submit", "mesh", "--transfers", "20", "--socket", sock_arg]),
+        EXIT_OK
+    );
+    assert_eq!(
+        gnoc(&["submit", "--socket", sock_arg, "--json", "{\"schema\":9}"]),
+        EXIT_INVALID_INPUT
+    );
+    assert_eq!(
+        gnoc(&[
+            "submit",
+            "--socket",
+            sock_arg,
+            "--json",
+            "{\"schema\":1,\"op\":\"campaign\",\"device\":\"rtx5090\"}",
+        ]),
+        EXIT_INVALID_INPUT
+    );
+    assert_eq!(gnoc(&["submit", "health", "--socket", sock_arg]), EXIT_OK);
+    assert_eq!(gnoc(&["submit", "shutdown", "--socket", sock_arg]), EXIT_OK);
+    let status = daemon.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(EXIT_OK), "drained daemon exits 0");
+}

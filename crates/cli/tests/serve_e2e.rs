@@ -1,0 +1,231 @@
+//! End-to-end daemon robustness through the real binary: a SIGKILL mid-job
+//! must lose nothing (journal replay + checkpoint resume, byte-identical
+//! result), and a SIGTERM must drain gracefully.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gnoc-serve-e2e-{}-{name}", std::process::id()))
+}
+
+fn spawn_daemon(state: &Path, sock: &Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_gnoc"))
+        .args([
+            "serve",
+            "--state",
+            state.to_str().unwrap(),
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon")
+}
+
+fn wait_for_socket(sock: &Path) {
+    for _ in 0..400 {
+        if sock.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("daemon socket {} never appeared", sock.display());
+}
+
+/// Polls `health` until the daemon answers (the socket file existing is
+/// not enough — the listener may not be accepting yet).
+fn wait_for_health(sock_arg: &str) {
+    for _ in 0..400 {
+        let (code, _) = submit(&["submit", "health", "--socket", sock_arg]);
+        if code == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("daemon at {sock_arg} never answered health");
+}
+
+fn submit(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gnoc"))
+        .args(args)
+        .output()
+        .expect("spawn submit");
+    (
+        out.status.code().expect("submit exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+const CAMPAIGN: [&str; 7] = [
+    "submit",
+    "campaign",
+    "v100",
+    "--lines",
+    "2",
+    "--samples",
+    "2",
+];
+
+#[test]
+fn sigkill_mid_job_resumes_bit_identically_and_then_caches() {
+    let dir = scratch("kill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+    let sock = dir.join("d.sock");
+    let sock_arg = sock.to_str().unwrap();
+
+    // Daemon with a per-row delay so the kill reliably lands mid-campaign.
+    let mut daemon = spawn_daemon(&state, &sock, &["--row-delay-ms", "25"]);
+    wait_for_socket(&sock);
+
+    // Fire the campaign from a child process we never wait to finish.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_gnoc"))
+        .args(CAMPAIGN)
+        .args(["--socket", sock_arg])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim submit");
+
+    // Give the job time to start and checkpoint a few rows, then SIGKILL
+    // the daemon mid-row. 80 rows x 25ms = 2s of runway.
+    std::thread::sleep(Duration::from_millis(700));
+    daemon.kill().expect("SIGKILL daemon");
+    let _ = daemon.wait();
+    let _ = victim.kill();
+    let _ = victim.wait();
+    let ckpt_dir = state.join("ckpt");
+    let had_checkpoint = std::fs::read_dir(&ckpt_dir)
+        .map(|rd| rd.filter_map(Result::ok).count() > 0)
+        .unwrap_or(false);
+    assert!(
+        had_checkpoint,
+        "kill landed before any checkpoint was written"
+    );
+
+    // Restart without the row delay: the journal replays, the campaign
+    // resumes from its checkpoint, and the same request (now attached to
+    // the recovered job, or served from cache once it finishes) completes.
+    // The SIGKILL left a stale socket file behind; removing it here lets
+    // wait_for_socket observe daemon2's fresh bind rather than the corpse
+    // (the daemon itself also reclaims stale sockets).
+    let _ = std::fs::remove_file(&sock);
+    let daemon2 = spawn_daemon(&state, &sock, &[]);
+    wait_for_socket(&sock);
+    wait_for_health(sock_arg);
+    let resumed_payload = dir.join("resumed.json");
+    let (code, _) = submit(
+        &[
+            &CAMPAIGN[..],
+            &[
+                "--socket",
+                sock_arg,
+                "--payload-out",
+                resumed_payload.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(code, 0, "resumed job completed");
+
+    // Resubmitting is now a pure cache hit with the same bytes.
+    let cached_payload = dir.join("cached.json");
+    let (code, stdout) = submit(
+        &[
+            &CAMPAIGN[..],
+            &[
+                "--socket",
+                sock_arg,
+                "--payload-out",
+                cached_payload.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("\"cached\":true"),
+        "expected a cache hit: {stdout}"
+    );
+    let (code, _) = submit(&["submit", "shutdown", "--socket", sock_arg]);
+    assert_eq!(code, 0);
+    let out = daemon2.wait_with_output().expect("daemon2 exit");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("recovered 1 unfinished job(s) from the journal"),
+        "daemon2 stdout: {stdout}"
+    );
+
+    // Reference: the identical request served by a never-killed daemon.
+    let ref_dir = scratch("kill-ref");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    std::fs::create_dir_all(&ref_dir).unwrap();
+    let ref_sock = ref_dir.join("d.sock");
+    let mut ref_daemon = spawn_daemon(&ref_dir.join("state"), &ref_sock, &[]);
+    wait_for_socket(&ref_sock);
+    let ref_payload = ref_dir.join("payload.json");
+    let (code, _) = submit(
+        &[
+            &CAMPAIGN[..],
+            &[
+                "--socket",
+                ref_sock.to_str().unwrap(),
+                "--payload-out",
+                ref_payload.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(code, 0);
+    let (code, _) = submit(&["submit", "shutdown", "--socket", ref_sock.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    let _ = ref_daemon.wait();
+
+    let resumed = std::fs::read(&resumed_payload).unwrap();
+    let cached = std::fs::read(&cached_payload).unwrap();
+    let fresh = std::fs::read(&ref_payload).unwrap();
+    assert_eq!(
+        resumed, fresh,
+        "resumed payload differs from uninterrupted run"
+    );
+    assert_eq!(
+        cached, fresh,
+        "cached payload differs from uninterrupted run"
+    );
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_removes_the_socket() {
+    let dir = scratch("term");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("d.sock");
+    let daemon = spawn_daemon(&dir.join("state"), &sock, &[]);
+    wait_for_socket(&sock);
+
+    // Do some work so the drain has something to have finished.
+    let (code, _) = submit(&[
+        "submit",
+        "mesh",
+        "--transfers",
+        "20",
+        "--socket",
+        sock.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let out = daemon.wait_with_output().expect("daemon exit");
+    assert_eq!(out.status.code(), Some(0), "SIGTERM drain exits 0");
+    assert!(!sock.exists(), "socket file is removed on clean exit");
+}

@@ -46,6 +46,11 @@
 //! when the budget runs out.
 
 use crate::campaign::LatencyCampaign;
+// Checkpoint persistence goes through the shared crash-safe writer in
+// `crate::fsio` (temp sibling + fsync + rename + directory fsync); the
+// resume paths call its `remove_orphan_tmp` to clean up after a kill
+// between write and rename.
+use crate::fsio::remove_orphan_tmp;
 use gnoc_analysis::{correlation_matrix, Summary};
 use gnoc_engine::GpuDevice;
 use gnoc_faults::FaultPlan;
@@ -445,9 +450,8 @@ impl CheckpointedCampaign {
         };
         let text = serde_json::to_string_pretty(&file)
             .map_err(|e| CheckpointError::Parse(e.to_string()))?;
-        let tmp = tmp_path(path);
-        std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        crate::fsio::atomic_write(path, text.as_bytes())
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
         Ok(())
     }
 
@@ -669,24 +673,6 @@ impl CheckpointedCampaign {
     }
 }
 
-/// The sibling temp file `save` writes before its atomic rename. The ".tmp"
-/// suffix is *appended* (`ckpt.json` → `ckpt.json.tmp`) rather than
-/// replacing the extension, so two campaigns named `a.json` / `a.bak` can
-/// never collide on one temp path.
-fn tmp_path(path: &Path) -> std::path::PathBuf {
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-/// Removes the orphan temp file a kill between write and rename leaves
-/// behind. Called on every resume path: the temp is by construction an
-/// incomplete or superseded snapshot, so deleting it is always safe — the
-/// real checkpoint (if any) lives at `path` itself.
-fn remove_orphan_tmp(path: &Path) {
-    let _ = std::fs::remove_file(tmp_path(path));
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,7 +800,7 @@ mod tests {
         c.save(&path).unwrap();
         // The temp suffix is appended, so the temp of "x.json" is
         // "x.json.tmp" — never colliding with another campaign's "x.tmp".
-        let tmp = super::tmp_path(&path);
+        let tmp = crate::fsio::tmp_sibling(&path);
         assert_eq!(
             tmp.file_name().unwrap().to_string_lossy(),
             format!("{}.tmp", path.file_name().unwrap().to_string_lossy())

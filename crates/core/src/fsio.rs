@@ -1,0 +1,107 @@
+//! Crash-safe file persistence, shared by every state writer in the
+//! workspace.
+//!
+//! Three subsystems persist resumable state — campaign checkpoints
+//! ([`crate::CheckpointedCampaign`]), chaos soak state
+//! (`gnoc_chaos::ChaosState`), and the serve daemon's cache/journal
+//! snapshots — and each used to hand-roll its own temp-file dance (two of
+//! them without fsync, one with a plain `fs::write` that could tear). This
+//! module is the single implementation: write to a `.tmp` sibling, fsync
+//! the file, rename over the destination, then fsync the parent directory
+//! so the rename itself survives a power cut. A reader can observe either
+//! the old bytes or the new bytes, never a mixture and never a truncation.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp file [`atomic_write`] stages before its rename. The
+/// `.tmp` suffix is *appended* (`ckpt.json` → `ckpt.json.tmp`) rather than
+/// replacing the extension, so two files named `a.json` / `a.bak` can never
+/// collide on one temp path.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Removes the orphan temp file a kill between write and rename leaves
+/// behind. Call it on every resume path: the temp is by construction an
+/// incomplete or superseded snapshot, so deleting it is always safe — the
+/// real file (if any) lives at `path` itself.
+pub fn remove_orphan_tmp(path: &Path) {
+    let _ = std::fs::remove_file(tmp_sibling(path));
+}
+
+/// Atomically replaces `path` with `bytes`: temp sibling + fsync + rename +
+/// parent-directory fsync. After this returns, the new contents are durable;
+/// if the process dies at any point before that, the old contents (or
+/// absence) are untouched and at worst an orphan `.tmp` remains.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename. The parent-directory fsync
+/// is best-effort (some filesystems refuse to open directories); its failure
+/// is not reported because the rename itself already happened.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    if let Ok(dir) = File::open(parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gnoc-fsio-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn tmp_sibling_appends_suffix() {
+        assert_eq!(
+            tmp_sibling(Path::new("/x/ckpt.json")),
+            PathBuf::from("/x/ckpt.json.tmp")
+        );
+        // Appending (not replacing the extension) keeps distinct files on
+        // distinct temp paths.
+        assert_ne!(
+            tmp_sibling(Path::new("/x/a.json")),
+            tmp_sibling(Path::new("/x/a.bak"))
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let path = scratch("replace");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        assert!(!tmp_sibling(&path).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_is_removed() {
+        let path = scratch("orphan");
+        std::fs::write(tmp_sibling(&path), b"garbage from a dead process").unwrap();
+        remove_orphan_tmp(&path);
+        assert!(!tmp_sibling(&path).exists());
+        assert!(!path.exists());
+    }
+}

@@ -40,6 +40,7 @@
 
 mod campaign;
 mod checkpoint;
+pub mod fsio;
 mod parallel;
 
 pub use campaign::{infer_placement, LatencyCampaign, PlacementReport};
@@ -47,6 +48,7 @@ pub use checkpoint::{
     device_for_preset, row_seed, spec_for_preset, CheckpointError, CheckpointedCampaign,
     CoverageReport, CHECKPOINT_VERSION,
 };
+pub use fsio::{atomic_write, remove_orphan_tmp, tmp_sibling};
 
 pub use gnoc_analysis as analysis;
 pub use gnoc_engine as engine;

@@ -1,0 +1,105 @@
+//! The thin client side: connect, send one request line, collect response
+//! envelopes, and extract payloads *textually* so the daemon's exact bytes
+//! survive (parsing and re-serializing JSON could reformat numbers, which
+//! would break the bit-identity contract `gnoc submit` asserts).
+
+use crate::engine::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sends one request line over the daemon socket and returns all response
+/// envelopes, in order (an `accepted` line followed by the terminal line,
+/// or a single terminal line).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connect/write/read failures (daemon not running,
+/// bad socket path) and [`ServeError::Config`] when the daemon hangs up
+/// without a terminal envelope.
+pub fn request_over_socket(socket: &Path, line: &str) -> Result<Vec<String>, ServeError> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut envelopes = Vec::new();
+    for envelope in reader.lines() {
+        let envelope = envelope?;
+        let kind = envelope_type(&envelope).unwrap_or_default();
+        let terminal = kind != "accepted";
+        envelopes.push(envelope);
+        if terminal {
+            return Ok(envelopes);
+        }
+    }
+    Err(ServeError::Config(
+        "daemon closed the connection without a terminal response".into(),
+    ))
+}
+
+/// Extracts the `type` field of a response envelope (`accepted`, `done`,
+/// `failed`, `rejected`, `health`, `bye`), or `None` for malformed lines.
+pub fn envelope_type(envelope: &str) -> Option<String> {
+    let value: serde::Value = serde_json::from_str(envelope).ok()?;
+    Some(value.field("type").ok()?.as_str()?.to_string())
+}
+
+/// Extracts the raw `payload` object from a `done`/`health` envelope
+/// *textually*: the payload starts right after the `"payload":` marker and
+/// runs to the envelope's closing brace. Envelopes are built with the
+/// payload as the final field precisely so this slice is well-defined.
+pub fn extract_payload(envelope: &str) -> Option<&str> {
+    let marker = "\"payload\":";
+    let start = envelope.find(marker)? + marker.len();
+    let end = envelope.rfind('}')?;
+    if end <= start {
+        return None;
+    }
+    Some(&envelope[start..end])
+}
+
+/// Convenience accessors for envelope fields clients branch on.
+pub fn envelope_field_bool(envelope: &str, field: &str) -> Option<bool> {
+    let value: serde::Value = serde_json::from_str(envelope).ok()?;
+    value.field(field).ok()?.as_bool()
+}
+
+/// String field accessor (e.g. `reason` on a rejection, `error` on a
+/// failure).
+pub fn envelope_field_str(envelope: &str, field: &str) -> Option<String> {
+    let value: serde::Value = serde_json::from_str(envelope).ok()?;
+    Some(value.field(field).ok()?.as_str()?.to_string())
+}
+
+/// Extracts a result payload's `summary` field — the one-line human text
+/// that matches the equivalent one-shot subcommand's output.
+pub fn payload_summary(payload: &str) -> Option<String> {
+    let value: serde::Value = serde_json::from_str(payload).ok()?;
+    Some(value.field("summary").ok()?.as_str()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{envelope_done, envelope_rejected};
+
+    #[test]
+    fn payload_extraction_is_byte_exact() {
+        let payload = "{\"kind\":\"mesh\",\"mean_latency\":12.500000,\"summary\":\"x}y\"}";
+        let envelope = envelope_done(7, true, 0, payload);
+        assert_eq!(extract_payload(&envelope), Some(payload));
+        assert_eq!(envelope_type(&envelope).as_deref(), Some("done"));
+        assert_eq!(envelope_field_bool(&envelope, "cached"), Some(true));
+    }
+
+    #[test]
+    fn rejection_reason_round_trips() {
+        let envelope = envelope_rejected("queue full (4 pending, cap 4)");
+        assert_eq!(envelope_type(&envelope).as_deref(), Some("rejected"));
+        assert_eq!(
+            envelope_field_str(&envelope, "reason").as_deref(),
+            Some("queue full (4 pending, cap 4)")
+        );
+    }
+}

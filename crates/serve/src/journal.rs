@@ -1,0 +1,311 @@
+//! The append-only job journal that makes the daemon crash-safe.
+//!
+//! Every admitted job appends a `submitted` record *before* it is queued;
+//! its terminal state appends a `done` or `failed` record. Records are
+//! single JSON lines:
+//!
+//! ```json
+//! {"v":1,"event":"submitted","job":3,"key":"<16 hex>","request":"{...}"}
+//! {"v":1,"event":"done","job":3,"key":"<16 hex>"}
+//! {"v":1,"event":"failed","job":3,"key":"<16 hex>","error":"..."}
+//! ```
+//!
+//! The `request` field embeds the job's canonical JSON as an escaped
+//! string, so replay reconstructs the exact spec (and therefore the exact
+//! cache key) without any re-normalization.
+//!
+//! **Durability model.** Appends are flushed and fsynced line-by-line: a
+//! kill -9 can lose at most the line being written, and a torn final line
+//! is tolerated (ignored) on replay. Rewrites — the compaction that runs
+//! after every replay to drop completed records — go through the shared
+//! [`gnoc_core::atomic_write`] (temp sibling + fsync + rename), so the
+//! journal itself can never be half-replaced. Replay + compaction on open
+//! therefore always yields exactly the set of jobs that were admitted but
+//! never finished; the engine re-queues those, and checkpointed campaigns
+//! resume from their last completed row.
+
+use crate::protocol::{json_str, JobSpec, Request};
+use serde::Value;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal record format version.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// A job that was admitted but has no terminal record: it must be re-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// The original job id (preserved across the restart).
+    pub job: u64,
+    /// The job's cache key.
+    pub key: String,
+    /// The re-parsed job spec.
+    pub spec: JobSpec,
+}
+
+/// What replaying a journal found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Jobs admitted but never finished, in admission order.
+    pub unfinished: Vec<RecoveredJob>,
+    /// The next job id to hand out (max seen + 1).
+    pub next_job: u64,
+    /// Records that could not be parsed (torn tail lines after a crash).
+    pub torn_lines: usize,
+}
+
+/// The append-only journal file at `<state-dir>/journal.jsonl`.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Journal path inside a state directory.
+    pub fn path_in(state_dir: &Path) -> PathBuf {
+        state_dir.join("journal.jsonl")
+    }
+
+    /// Replays the journal at `path` (absent = empty), then compacts it to
+    /// just the unfinished `submitted` records (atomic rewrite) and opens
+    /// it for appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading, rewriting, or opening the file. Unparseable
+    /// trailing lines are tolerated (counted in [`Replay::torn_lines`]),
+    /// never errors: a journal that a crash tore mid-line must still open.
+    pub fn open(path: &Path) -> std::io::Result<(Self, Replay)> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let replay = Self::replay_text(&text);
+
+        // Compact: rewrite only what is still live. This bounds journal
+        // growth across restarts and exercises the atomic-write path the
+        // crash-safety story depends on.
+        let mut compacted = String::new();
+        for job in &replay.unfinished {
+            compacted.push_str(&submitted_line(
+                job.job,
+                &job.key,
+                &job.spec.canonical_json(),
+            ));
+            compacted.push('\n');
+        }
+        gnoc_core::atomic_write(path, compacted.as_bytes())?;
+
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+            },
+            replay,
+        ))
+    }
+
+    /// Parses journal text into a [`Replay`]. Lines that fail to parse are
+    /// counted and skipped; only a crash can produce them (torn tail), and
+    /// skipping is safe because a torn `submitted` line describes a job
+    /// whose admission response never reached a client.
+    fn replay_text(text: &str) -> Replay {
+        let mut unfinished: Vec<RecoveredJob> = Vec::new();
+        let mut next_job = 1u64;
+        let mut torn_lines = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some((event, job, key, request)) = parse_line(line) else {
+                torn_lines += 1;
+                continue;
+            };
+            next_job = next_job.max(job + 1);
+            match event.as_str() {
+                "submitted" => {
+                    let Some(req) = request else {
+                        torn_lines += 1;
+                        continue;
+                    };
+                    match Request::parse(&req) {
+                        Ok(Request::Job(spec)) => {
+                            unfinished.push(RecoveredJob {
+                                job,
+                                key,
+                                spec: *spec,
+                            });
+                        }
+                        _ => torn_lines += 1,
+                    }
+                }
+                "done" | "failed" => unfinished.retain(|j| j.job != job),
+                _ => torn_lines += 1,
+            }
+        }
+        Replay {
+            unfinished,
+            next_job,
+            torn_lines,
+        }
+    }
+
+    fn append(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_all()
+    }
+
+    /// Records an admitted job. Called *before* the job is queued, so a
+    /// crash can never run a job the journal does not know about — it can
+    /// only journal a job that never ran, which replay then re-queues.
+    pub fn record_submitted(
+        &mut self,
+        job: u64,
+        key: &str,
+        canonical: &str,
+    ) -> std::io::Result<()> {
+        self.append(&submitted_line(job, key, canonical))
+    }
+
+    /// Records successful completion (the result is in the cache by the
+    /// time this is called, so replay never re-runs a cached job).
+    pub fn record_done(&mut self, job: u64, key: &str) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"v\":{JOURNAL_VERSION},\"event\":\"done\",\"job\":{job},\"key\":{}}}",
+            json_str(key)
+        ))
+    }
+
+    /// Records a failed job (including contained panics). Failed jobs are
+    /// *not* re-queued on restart: a deterministic job that failed once
+    /// would fail identically again.
+    pub fn record_failed(&mut self, job: u64, key: &str, error: &str) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"v\":{JOURNAL_VERSION},\"event\":\"failed\",\"job\":{job},\"key\":{},\"error\":{}}}",
+            json_str(key),
+            json_str(error)
+        ))
+    }
+
+    /// The journal's path (tests inspect it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn submitted_line(job: u64, key: &str, canonical: &str) -> String {
+    format!(
+        "{{\"v\":{JOURNAL_VERSION},\"event\":\"submitted\",\"job\":{job},\"key\":{},\"request\":{}}}",
+        json_str(key),
+        json_str(canonical)
+    )
+}
+
+/// Extracts `(event, job, key, request?)` from one journal line, or `None`
+/// if the line is torn/foreign.
+fn parse_line(line: &str) -> Option<(String, u64, String, Option<String>)> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    if value.field("v").ok().and_then(Value::as_u64) != Some(JOURNAL_VERSION) {
+        return None;
+    }
+    let event = value.field("event").ok()?.as_str()?.to_string();
+    let job = value.field("job").ok()?.as_u64()?;
+    let key = value.field("key").ok()?.as_str()?.to_string();
+    let request = value
+        .field("request")
+        .ok()
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    Some((event, job, key, request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::Chaos {
+            seed_start: 0,
+            seed_count: 2,
+            transfers: 16,
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gnoc-serve-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn submitted_without_done_is_recovered() {
+        let path = scratch("recover");
+        let s = spec();
+        {
+            let (mut j, replay) = Journal::open(&path).unwrap();
+            assert_eq!(replay.next_job, 1);
+            assert!(replay.unfinished.is_empty());
+            j.record_submitted(1, &s.cache_key(), &s.canonical_json())
+                .unwrap();
+            j.record_submitted(2, "beef", "{\"schema\":1,\"op\":\"mesh\"}")
+                .unwrap();
+            j.record_done(2, "beef").unwrap();
+        } // simulated kill: drop without finishing job 1
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.next_job, 3);
+        assert_eq!(replay.unfinished.len(), 1);
+        assert_eq!(replay.unfinished[0].job, 1);
+        assert_eq!(replay.unfinished[0].spec, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_line_is_tolerated() {
+        let path = scratch("torn");
+        let s = spec();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.record_submitted(1, &s.cache_key(), &s.canonical_json())
+                .unwrap();
+        }
+        // Simulate a crash mid-append: a partial second line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"event\":\"subm");
+        std::fs::write(&path, text).unwrap();
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.torn_lines, 1);
+        assert_eq!(replay.unfinished.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_finished_records() {
+        let path = scratch("compact");
+        let s = spec();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for id in 1..=20u64 {
+                j.record_submitted(id, &s.cache_key(), &s.canonical_json())
+                    .unwrap();
+                j.record_done(id, &s.cache_key()).unwrap();
+            }
+            j.record_submitted(21, &s.cache_key(), &s.canonical_json())
+                .unwrap();
+        }
+        let (j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.unfinished.len(), 1);
+        // The compacted journal holds exactly the one live record.
+        let lines = std::fs::read_to_string(j.path()).unwrap();
+        assert_eq!(lines.lines().count(), 1);
+        // Ids keep monotonically increasing across the restart.
+        assert_eq!(replay.next_job, 22);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

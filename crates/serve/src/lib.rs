@@ -1,0 +1,43 @@
+//! `gnoc-serve`: a crash-safe, admission-controlled campaign daemon with a
+//! content-addressed result cache.
+//!
+//! The one-shot `gnoc` subcommands re-pay the full cost of every campaign,
+//! soak, or chaos sweep on every invocation. This crate turns the same
+//! deterministic engines into a long-running service:
+//!
+//! - [`protocol`] — the versioned JSON line protocol (requests in, response
+//!   envelopes out) and the canonical-form/cache-key derivation.
+//! - [`engine`] — the bounded queue, admission control, per-job panic
+//!   containment, and the scheduler that multiplexes jobs onto a
+//!   [`gnoc_core::WorkerPool`].
+//! - [`journal`] — the fsynced append-only log that lets a killed daemon
+//!   restart and resume exactly the jobs it owed.
+//! - [`cache`] — the content-addressed result store with integrity
+//!   verification on read.
+//! - [`server`] — the Unix-socket and stdin front ends, SIGTERM draining.
+//! - [`client`] — the thin `gnoc submit` side: one request, byte-exact
+//!   payload extraction.
+//!
+//! The contract that everything here serves: **a given request produces
+//! bit-identical payload bytes** whether it is computed cold, served from
+//! cache, resumed after a mid-job `kill -9`, or run at a different
+//! `--jobs` count.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod journal;
+pub mod protocol;
+pub mod run;
+pub mod server;
+
+pub use cache::{MissReason, ResultCache};
+pub use client::{envelope_type, extract_payload, request_over_socket};
+pub use engine::{
+    Admission, Engine, EngineHandle, HealthSnapshot, JobOutcome, ServeConfig, ServeError,
+};
+pub use journal::{Journal, Replay};
+pub use protocol::{JobSpec, Request, SCHEMA};
+pub use server::{install_termination_flag, serve_stdin, SocketServer};

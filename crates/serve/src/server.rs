@@ -1,0 +1,264 @@
+//! The line-protocol front ends: a Unix-socket listener and a stdin/stdout
+//! mode, both speaking one JSON request per line and one or more JSON
+//! envelopes per response (see `USAGE` in the CLI for the protocol).
+//!
+//! **Graceful degradation.** SIGTERM (socket mode) or EOF (stdin mode)
+//! begins a drain: new work is rejected with an explicit reason, queued and
+//! running jobs finish and are journaled/cached, then the daemon exits. A
+//! SIGKILL instead is the crash path: the journal replay at next start
+//! re-queues whatever was in flight.
+
+use crate::engine::{Admission, Engine, EngineHandle, HealthSnapshot, ServeError};
+use crate::protocol::{
+    envelope_accepted, envelope_bye, envelope_done, envelope_failed, envelope_health,
+    envelope_rejected, Request,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the SIGTERM handler; polled by the accept loop.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM handler that flips a flag the serve loop polls, and
+/// returns that flag. No `libc` dependency: `signal(2)` is declared
+/// directly, which is sound here because the handler only touches an
+/// `AtomicBool` (async-signal-safe).
+#[cfg(unix)]
+pub fn install_termination_flag() -> &'static AtomicBool {
+    // SIGTERM is 15 on every platform this builds for (Linux/macOS).
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    &TERMINATE
+}
+
+/// Non-unix stub: returns a flag nothing ever sets.
+#[cfg(not(unix))]
+pub fn install_termination_flag() -> &'static AtomicBool {
+    &TERMINATE
+}
+
+/// Renders a health snapshot as the `health` envelope's payload object.
+fn health_json(h: &HealthSnapshot) -> String {
+    format!(
+        "{{\"queue_depth\":{},\"queue_cap\":{},\"running\":{},\"jobs_done\":{},\"jobs_failed\":{},\"jobs_rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},\"overload\":\"{}\",\"draining\":{}}}",
+        h.queue_depth,
+        h.queue_cap,
+        h.running,
+        h.jobs_done,
+        h.jobs_failed,
+        h.jobs_rejected,
+        h.cache_hits,
+        h.cache_misses,
+        h.cache_hit_rate(),
+        h.overload,
+        h.draining
+    )
+}
+
+/// Handles one request line, writing envelopes to `out`. Returns `false`
+/// when the connection should close (shutdown acknowledged).
+fn dispatch(
+    engine: &EngineHandle,
+    session: u64,
+    line: &str,
+    out: &mut impl Write,
+) -> std::io::Result<bool> {
+    if line.trim().is_empty() {
+        return Ok(true);
+    }
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            writeln!(out, "{}", envelope_rejected(&format!("invalid: {msg}")))?;
+            out.flush()?;
+            return Ok(true);
+        }
+    };
+    match request {
+        Request::Health => {
+            writeln!(out, "{}", envelope_health(&health_json(&engine.health())))?;
+            out.flush()?;
+        }
+        Request::Shutdown => {
+            engine.begin_drain();
+            writeln!(out, "{}", envelope_bye(engine.in_flight()))?;
+            out.flush()?;
+            return Ok(false);
+        }
+        Request::Job(spec) => match engine.admit(session, &spec) {
+            Admission::Cached { payload } => {
+                writeln!(out, "{}", envelope_done(0, true, 0, &payload))?;
+                out.flush()?;
+            }
+            Admission::Rejected { reason } => {
+                writeln!(out, "{}", envelope_rejected(&reason))?;
+                out.flush()?;
+            }
+            Admission::Enqueued { job, rx } | Admission::Attached { job, rx } => {
+                writeln!(out, "{}", envelope_accepted(job))?;
+                out.flush()?;
+                // Block this connection thread until the job finishes; the
+                // scheduler keeps serving other connections meanwhile.
+                match rx.recv() {
+                    Ok(outcome) => {
+                        let line = match &outcome.result {
+                            Ok(payload) => {
+                                envelope_done(outcome.job, false, outcome.resumed_rows, payload)
+                            }
+                            Err(error) => envelope_failed(outcome.job, error),
+                        };
+                        writeln!(out, "{line}")?;
+                        out.flush()?;
+                    }
+                    Err(_) => {
+                        // Scheduler went away (hard shutdown) — tell the
+                        // client rather than hanging up silently.
+                        writeln!(out, "{}", envelope_failed(job, "daemon shut down"))?;
+                        out.flush()?;
+                    }
+                }
+            }
+        },
+    }
+    Ok(true)
+}
+
+/// The Unix-socket server.
+pub struct SocketServer {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl SocketServer {
+    /// Binds `path`, first clearing a *stale* socket file (one no daemon is
+    /// listening on). A live socket is a configuration error — two daemons
+    /// must not share a state directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when another daemon is listening;
+    /// [`ServeError::Io`] on bind failures.
+    pub fn bind(path: &Path) -> Result<Self, ServeError> {
+        if path.exists() {
+            if UnixStream::connect(path).is_ok() {
+                return Err(ServeError::Config(format!(
+                    "socket {} is already in use by a running daemon",
+                    path.display()
+                )));
+            }
+            // Stale leftover from a crash/kill: safe to reclaim.
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Serves until drained: accepts connections, spawns one thread per
+    /// connection, and begins a drain when `term` flips (SIGTERM) or a
+    /// client sends `shutdown`. Returns when the drain completes.
+    ///
+    /// # Errors
+    ///
+    /// Accept-loop I/O errors (per-connection errors only end that
+    /// connection).
+    pub fn run(self, engine: &Engine, term: &AtomicBool) -> Result<(), ServeError> {
+        let handle = engine.handle();
+        let session_ids = Arc::new(AtomicU64::new(1));
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if term.load(Ordering::SeqCst) {
+                handle.begin_drain();
+            }
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let conn_handle = handle.clone();
+                    let session = session_ids.fetch_add(1, Ordering::Relaxed);
+                    workers.push(std::thread::spawn(move || {
+                        serve_connection(&conn_handle, session, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if handle.is_draining() && handle.is_idle() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        // Give connection threads a bounded window to write their final
+        // envelopes; a wedged client must not hold the daemon open forever.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        for w in workers {
+            if std::time::Instant::now() < deadline {
+                let _ = w.join();
+            }
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+fn serve_connection(engine: &EngineHandle, session: u64, stream: UnixStream) {
+    // The accept loop is nonblocking; each connection is blocking again.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    let mut writer = std::io::BufWriter::new(writer);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        match dispatch(engine, session, &line, &mut writer) {
+            Ok(true) => {}
+            _ => break,
+        }
+    }
+}
+
+/// Serves the line protocol on stdin/stdout until EOF or `shutdown`, then
+/// drains. Used where a socket is awkward (CI pipes, tests); SIGTERM is not
+/// handled here because glibc's `signal` restarts the blocking stdin read —
+/// closing stdin *is* the graceful-shutdown signal in this mode.
+///
+/// # Errors
+///
+/// Stdout write failures.
+pub fn serve_stdin(engine: &Engine) -> Result<(), ServeError> {
+    let handle = engine.handle();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(ServeError::Io)?;
+        if !dispatch(&handle, 0, &line, &mut out)? {
+            break;
+        }
+    }
+    handle.begin_drain();
+    while !handle.is_idle() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Property tests pinning the cache-key derivation: the key is a pure
+//! function of the request's semantic content — equal requests always
+//! collide, and changing any single field always changes the key (no field
+//! is accidentally left out of the canonical form).
+
+use gnoc_serve::protocol::{JobSpec, Request};
+use proptest::prelude::*;
+
+fn campaign(
+    device_idx: usize,
+    seed: u64,
+    lines: usize,
+    samples: usize,
+    dl: Option<usize>,
+) -> JobSpec {
+    let device = ["v100", "a100", "h100"][device_idx % 3].to_string();
+    JobSpec::Campaign {
+        device,
+        seed,
+        lines,
+        samples,
+        deadline_rows: dl,
+        plan: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equal requests produce equal keys, and the canonical form re-parses
+    /// to the same spec (the key is derived from bytes that round-trip).
+    #[test]
+    fn equal_specs_hash_equal(
+        device_idx in 0usize..3,
+        seed in 0u64..1000,
+        lines in 1usize..16,
+        samples in 1usize..16,
+        dl_raw in 0usize..40,
+    ) {
+        let dl = (dl_raw > 0).then_some(dl_raw);
+        let a = campaign(device_idx, seed, lines, samples, dl);
+        let b = campaign(device_idx, seed, lines, samples, dl);
+        prop_assert_eq!(a.cache_key(), b.cache_key());
+        match Request::parse(&a.canonical_json()) {
+            Ok(Request::Job(reparsed)) => {
+                prop_assert_eq!(reparsed.cache_key(), a.cache_key());
+            }
+            other => return Err(TestCaseError::fail(format!("canonical form did not re-parse: {other:?}"))),
+        }
+    }
+
+    /// Any single-field mutation changes the key.
+    #[test]
+    fn single_field_changes_change_the_key(
+        device_idx in 0usize..3,
+        seed in 0u64..1000,
+        lines in 1usize..16,
+        samples in 1usize..16,
+        dl_raw in 0usize..40,
+    ) {
+        let dl = (dl_raw > 0).then_some(dl_raw);
+        let base = campaign(device_idx, seed, lines, samples, dl);
+        let key = base.cache_key();
+        let mutants = vec![
+            campaign(device_idx + 1, seed, lines, samples, dl),
+            campaign(device_idx, seed + 1, lines, samples, dl),
+            campaign(device_idx, seed, lines + 1, samples, dl),
+            campaign(device_idx, seed, lines, samples + 1, dl),
+            campaign(device_idx, seed, lines, samples, match dl {
+                None => Some(1),
+                Some(d) => Some(d + 1),
+            }),
+        ];
+        for mutant in mutants {
+            prop_assert_ne!(&mutant.cache_key(), &key);
+        }
+    }
+
+    /// Different ops never collide, even with overlapping numeric fields.
+    #[test]
+    fn ops_are_domain_separated(seed in 0u64..1000, n in 1usize..64) {
+        let mesh = JobSpec::Mesh { seed, transfers: n, plan: None };
+        let fabric = JobSpec::Fabric { devices: 2, topology: "ring".into(), seed, transfers: n };
+        let chaos = JobSpec::Chaos { seed_start: seed, seed_count: 1, transfers: n as u32 };
+        let keys = [mesh.cache_key(), fabric.cache_key(), chaos.cache_key()];
+        prop_assert_ne!(&keys[0], &keys[1]);
+        prop_assert_ne!(&keys[0], &keys[2]);
+        prop_assert_ne!(&keys[1], &keys[2]);
+    }
+}
