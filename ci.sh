@@ -19,6 +19,12 @@ GNOC_JOBS=2 cargo test -q
 echo "== bench: serial-vs-parallel wall time (BENCH_par.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_par -- BENCH_par.json
 
+echo "== bench: cycle-vs-event engine speedup guard (BENCH_noc.json) =="
+# The event core must stay bit-identical to cycle-exact stepping (asserted
+# inside the bench before any timing is trusted) and at least 3x faster on
+# the idle-heavy soak, or the idle-tick fix has regressed.
+cargo run --release -q -p gnoc-bench --bin bench_noc -- BENCH_noc.json --min-ratio 3
+
 echo "== profile: trace determinism (same soak twice, --jobs 1 vs 2) =="
 # The flight recorder timestamps in virtual cycles only, so the same soak
 # must produce byte-identical traces across runs and worker counts. Any
@@ -35,6 +41,20 @@ cmp "$tmp/prof_a.json" "$tmp/prof_b.json"
 cmp "$tmp/prof_a.json" "$tmp/prof_c.json"
 cmp "$tmp/prof_a.json.trace.json" "$tmp/prof_b.json.trace.json"
 cmp "$tmp/prof_a.json.trace.json" "$tmp/prof_c.json.trace.json"
+
+echo "== engine parity: cycle-exact artifacts byte-identical to event =="
+# The same soaks forced onto the cycle-exact core (--engine cycle) must
+# reproduce the event engine's profile, trace, and chaos artifacts byte for
+# byte — the engines differ in wall time only.
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    --engine cycle mesh --profile "$tmp/prof_cyc.json" > /dev/null
+cmp "$tmp/prof_a.json" "$tmp/prof_cyc.json"
+cmp "$tmp/prof_a.json.trace.json" "$tmp/prof_cyc.json.trace.json"
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    chaos run --seeds 0..6 --report "$tmp/chaos_evt.json" > /dev/null
+GNOC_ENGINE=cycle cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    chaos run --seeds 0..6 --report "$tmp/chaos_cyc.json" > /dev/null
+cmp "$tmp/chaos_evt.json" "$tmp/chaos_cyc.json"
 
 echo "== profile: bounded gnoc profile smoke on a chaos-style soak =="
 # Same traffic recipe the chaos harness soaks with, bounded transfer count;
@@ -164,8 +184,8 @@ cargo run --release -q -p gnoc-bench --bin bench_fabric -- BENCH_fabric.json
 
 echo "== validate: every artifact row carries schema 1 =="
 cargo run --release -q -p gnoc-bench --bin validate_bench -- \
-    BENCH_par.json BENCH_health.json BENCH_profile.json BENCH_fabric.json \
-    BENCH_serve.json \
+    BENCH_par.json BENCH_noc.json BENCH_health.json BENCH_profile.json \
+    BENCH_fabric.json BENCH_serve.json \
     "$tmp/prof_a.json" "$tmp/smoke.json" "$tmp/chaos_prof.json"
 
 echo "ci.sh: all green"

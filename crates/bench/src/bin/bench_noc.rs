@@ -1,0 +1,255 @@
+//! Cycle-vs-event NoC core wall-time benchmark.
+//!
+//! The event core skips provably-quiet spans (retry backoff, post-traffic
+//! drain) in O(1) instead of stepping every idle cycle. This benchmark runs
+//! the same idle-heavy workloads under both engines and asserts the results
+//! are bit-identical before trusting any timing:
+//!
+//! 1. a faulted 8×8 reliable-mesh soak — flaky links force retransmissions
+//!    whose exponentially backed-off timeouts leave the mesh provably idle
+//!    for long spans — followed by a 100 k-cycle quiet drain tail, and
+//! 2. a NoC-only chaos soak at `jobs ∈ {1, 2}` (the jobs sweep), pinning
+//!    the parallel path to the serial cycle-exact reference.
+//!
+//! Timings land as JSON rows `{schema, bench, engine, jobs, wall_ms}` in
+//! `BENCH_noc.json` (or the path given as the first argument), plus one
+//! `noc_soak_speedup` row with the measured ratio. `--min-ratio R` exits
+//! non-zero if the event engine's soak speedup falls below `R`, so `ci.sh`
+//! can gate on the idle-tick bug staying fixed.
+
+use gnoc_chaos::{run_chaos, ChaosConfig, ChaosOptions};
+use gnoc_core::faults::{Direction, LinkFault, LinkFaultKind, RouterStall};
+use gnoc_core::noc::{
+    set_event_skip_enabled, ArbiterKind, MeshConfig, NodeId, PacketClass, ReliableMesh,
+    RetryConfig, RouteOrder,
+};
+use gnoc_core::telemetry::TelemetryHandle;
+use gnoc_core::FaultPlan;
+use std::time::Instant;
+
+/// Soak geometry: an 8×8 mesh, 2 VCs, with long retry timeouts so every
+/// dropped flit buys a long provably-idle wait.
+fn soak_mesh_cfg() -> MeshConfig {
+    MeshConfig {
+        width: 8,
+        height: 8,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 2,
+    }
+}
+
+fn soak_retry_cfg() -> RetryConfig {
+    RetryConfig {
+        max_retries: 6,
+        base_timeout_cycles: 512,
+        max_timeout_cycles: 8192,
+        watchdog_cycles: 60_000,
+    }
+}
+
+/// A hand-built plan: six flaky links spread across the die (drops drive
+/// the retry engine), one mid-run router stall, one late dead-link pair
+/// (exercises onset bookkeeping across skipped spans).
+fn soak_plan() -> FaultPlan {
+    let flaky = |router: u32, dir: Direction| LinkFault {
+        router,
+        dir,
+        kind: LinkFaultKind::Flaky { drop_prob: 0.35 },
+        onset: 0,
+    };
+    FaultPlan {
+        seed: 9,
+        links: vec![
+            flaky(9, Direction::East),
+            flaky(18, Direction::North),
+            flaky(27, Direction::West),
+            flaky(36, Direction::South),
+            flaky(45, Direction::East),
+            flaky(54, Direction::North),
+            LinkFault {
+                router: 20,
+                dir: Direction::East,
+                kind: LinkFaultKind::Dead,
+                onset: 40_000,
+            },
+            LinkFault {
+                router: 21,
+                dir: Direction::West,
+                kind: LinkFaultKind::Dead,
+                onset: 40_000,
+            },
+        ],
+        routers: vec![RouterStall {
+            router: 35,
+            onset: 10_000,
+            duration: 2_000,
+        }],
+        ..FaultPlan::none()
+    }
+}
+
+/// Everything the soak observes, for the bit-identity assertion.
+#[derive(Debug, PartialEq)]
+struct SoakFingerprint {
+    cycle: u64,
+    stats: gnoc_core::noc::ReliabilityStats,
+    mesh_stats: gnoc_core::noc::MeshStats,
+    outcomes: Vec<gnoc_core::noc::TransferOutcome>,
+}
+
+/// The idle-heavy soak: 120 cross-die transfers over the faulted mesh, run
+/// to quiescence, then a 100 k-cycle quiet drain tail.
+fn soak(event: bool) -> (SoakFingerprint, u64) {
+    set_event_skip_enabled(event);
+    let mut rm = ReliableMesh::with_faults(soak_mesh_cfg(), &soak_plan(), soak_retry_cfg())
+        .expect("soak plan is valid for the 8x8 mesh");
+    let nodes = 64u32;
+    for i in 0..120u32 {
+        let src = (i * 7) % nodes;
+        let dst = (i * 13 + 31) % nodes;
+        if src != dst {
+            rm.submit(
+                NodeId::new(src),
+                NodeId::new(dst),
+                1 + (i % 4),
+                PacketClass::Request,
+            );
+        }
+    }
+    let start = Instant::now();
+    assert!(
+        rm.run_until_quiescent(150_000),
+        "soak must quiesce within its budget"
+    );
+    rm.mesh_mut().run(100_000); // the quiet drain tail
+    let wall_us = start.elapsed().as_micros() as u64;
+    let fp = SoakFingerprint {
+        cycle: rm.mesh().cycle(),
+        stats: rm.stats().clone(),
+        mesh_stats: rm.mesh().stats().clone(),
+        outcomes: rm.outcomes(),
+    };
+    set_event_skip_enabled(true);
+    (fp, wall_us)
+}
+
+/// NoC-only chaos soak under `engine` at `jobs` workers.
+fn chaos_soak(event: bool, jobs: usize) -> (gnoc_chaos::ChaosReport, u64) {
+    set_event_skip_enabled(event);
+    let cfg = ChaosConfig {
+        device: None, // NoC-only: device oracles are engine-independent
+        ..ChaosConfig::default()
+    };
+    let opts = ChaosOptions {
+        seeds: (0..40).collect(),
+        jobs,
+        ..ChaosOptions::default()
+    };
+    let start = Instant::now();
+    let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).expect("soak must not error");
+    assert!(run.finished);
+    let wall_ms = start.elapsed().as_millis() as u64;
+    set_event_skip_enabled(true);
+    (run.report, wall_ms)
+}
+
+struct Row {
+    bench: &'static str,
+    engine: &'static str,
+    jobs: usize,
+    wall_ms: u64,
+}
+
+fn main() {
+    let mut out = "BENCH_noc.json".to_string();
+    let mut min_ratio: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--min-ratio" {
+            let v = args.next().expect("--min-ratio needs a value");
+            min_ratio = Some(v.parse().expect("--min-ratio value must be a number"));
+        } else {
+            out = a;
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Soak: cycle-exact reference first, then the event engine; identical
+    // or the timings mean nothing.
+    let (fp_cycle, us_cycle) = soak(false);
+    let (fp_event, us_event) = soak(true);
+    assert_eq!(
+        fp_event, fp_cycle,
+        "event engine diverged from cycle-exact on the soak"
+    );
+    let ratio = us_cycle as f64 / (us_event.max(1)) as f64;
+    println!("noc_soak           engine=cycle  {} ms", us_cycle / 1000);
+    println!("noc_soak           engine=event  {} ms", us_event / 1000);
+    println!("noc_soak_speedup   {ratio:.1}x (event over cycle)");
+    rows.push(Row {
+        bench: "noc_soak",
+        engine: "cycle",
+        jobs: 1,
+        wall_ms: us_cycle / 1000,
+    });
+    rows.push(Row {
+        bench: "noc_soak",
+        engine: "event",
+        jobs: 1,
+        wall_ms: us_event / 1000,
+    });
+
+    // Jobs sweep: chaos soak, cycle-exact serial reference vs the event
+    // engine at jobs ∈ {1, 2}.
+    let (chaos_ref, wall_ms) = chaos_soak(false, 1);
+    println!("chaos_soak_40      engine=cycle jobs=1  {wall_ms} ms");
+    rows.push(Row {
+        bench: "chaos_soak_40",
+        engine: "cycle",
+        jobs: 1,
+        wall_ms,
+    });
+    for jobs in [1usize, 2] {
+        let (report, wall_ms) = chaos_soak(true, jobs);
+        assert_eq!(
+            report, chaos_ref,
+            "event-engine chaos report diverged at jobs={jobs}"
+        );
+        println!("chaos_soak_40      engine=event jobs={jobs}  {wall_ms} ms");
+        rows.push(Row {
+            bench: "chaos_soak_40",
+            engine: "event",
+            jobs,
+            wall_ms,
+        });
+    }
+
+    let mut body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"schema\": 1, \"bench\": \"{}\", \"engine\": \"{}\", \"jobs\": {}, \"wall_ms\": {}}}",
+                r.bench, r.engine, r.jobs, r.wall_ms
+            )
+        })
+        .collect();
+    body.push(format!(
+        "  {{\"schema\": 1, \"bench\": \"noc_soak_speedup\", \"engine\": \"event\", \"jobs\": 1, \"speedup\": {ratio:.2}}}"
+    ));
+    std::fs::write(&out, format!("[\n{}\n]\n", body.join(",\n"))).expect("write bench artifact");
+    println!("wrote {out} (event results bit-identical to cycle-exact)");
+
+    if let Some(min) = min_ratio {
+        if ratio < min {
+            eprintln!(
+                "bench_noc: event-engine soak speedup {ratio:.2}x is below the required {min}x — \
+                 the idle-tick fix has regressed"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup gate: {ratio:.1}x >= required {min}x");
+    }
+}

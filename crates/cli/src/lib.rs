@@ -484,6 +484,20 @@ pub struct Invocation {
     /// path. Supported by `mesh`, `campaign`, and `chaos run`; recording
     /// never changes any printed or written result.
     pub profile: Option<String>,
+    /// NoC core engine: `None` keeps the default (event, or the
+    /// `GNOC_ENGINE` env var), `Some` forces it. Never changes results —
+    /// the event engine is bit-identical to cycle-exact stepping — only
+    /// wall time.
+    pub engine: Option<EngineChoice>,
+}
+
+/// Which NoC core drives the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Step every cycle, including quiet ones (the reference core).
+    Cycle,
+    /// Skip provably-quiet spans in O(1) (the default core).
+    Event,
 }
 
 /// Which workload `gnoc replay` generates.
@@ -579,6 +593,12 @@ GLOBAL FLAGS (every subcommand):
                             ui.perfetto.dev lands at <file>.trace.json.
                             Timestamps are virtual cycles, so recorded runs
                             stay bit-identical to unrecorded ones
+    --engine <cycle|event>  NoC core: event (default) skips provably-quiet
+                            cycles in O(1); cycle steps every cycle. Results
+                            are bit-identical either way — stats, profiles,
+                            figures, and chaos reports match byte for byte —
+                            only wall time changes. GNOC_ENGINE=cycle sets
+                            the same default from the environment
 
 PROFILING:
     gnoc profile flight-records a mesh soak: every message gets a causal
@@ -1178,8 +1198,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 /// Parses an argument vector, first extracting the global flags
-/// (`--trace`, `--metrics`, `--faults`, `--jobs`, `--profile`) — accepted
-/// anywhere on the line — then delegating the remainder to [`parse`].
+/// (`--trace`, `--metrics`, `--faults`, `--jobs`, `--profile`,
+/// `--engine`) — accepted anywhere on the line — then delegating the
+/// remainder to [`parse`].
 ///
 /// # Errors
 ///
@@ -1191,9 +1212,21 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
     let mut faults = None;
     let mut jobs = None;
     let mut profile = None;
+    let mut engine = None;
     let mut remaining: Vec<String> = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if a == "--engine" {
+            match it.next().map(String::as_str) {
+                Some("cycle") => engine = Some(EngineChoice::Cycle),
+                Some("event") => engine = Some(EngineChoice::Event),
+                Some(v) if !v.starts_with("--") => {
+                    return Err(format!("flag --engine: '{v}' is not 'cycle' or 'event'"));
+                }
+                _ => return Err("flag --engine needs 'cycle' or 'event'".to_owned()),
+            }
+            continue;
+        }
         if a == "--jobs" {
             match it.next() {
                 Some(v) if !v.starts_with("--") => {
@@ -1228,6 +1261,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, String> {
         faults,
         jobs,
         profile,
+        engine,
     })
 }
 
@@ -1878,6 +1912,20 @@ mod tests {
         assert!(parse_invocation(&argv("mesh --profile")).is_err());
         assert!(USAGE.contains("gnoc profile"));
         assert!(USAGE.contains("--profile <file.json>"));
+    }
+
+    #[test]
+    fn engine_global_flag_parses_anywhere_and_validates() {
+        let inv = parse_invocation(&argv("mesh --engine cycle --transfers 40")).unwrap();
+        assert_eq!(inv.engine, Some(EngineChoice::Cycle));
+        assert!(matches!(inv.command, Command::Mesh { transfers: 40, .. }));
+        let inv = parse_invocation(&argv("--engine event chaos run --seeds 0..2")).unwrap();
+        assert_eq!(inv.engine, Some(EngineChoice::Event));
+        let inv = parse_invocation(&argv("mesh")).unwrap();
+        assert_eq!(inv.engine, None);
+        assert!(parse_invocation(&argv("mesh --engine")).is_err());
+        assert!(parse_invocation(&argv("mesh --engine turbo")).is_err());
+        assert!(USAGE.contains("--engine <cycle|event>"));
     }
 
     #[test]

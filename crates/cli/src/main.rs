@@ -48,6 +48,12 @@ fn main() -> ExitCode {
         }
     };
 
+    // `--engine` overrides the NoC core (default: event, or GNOC_ENGINE).
+    // Both engines are bit-identical; the flag only trades wall time.
+    if let Some(engine) = inv.engine {
+        gnoc_core::noc::set_event_skip_enabled(matches!(engine, gnoc_cli::EngineChoice::Event));
+    }
+
     // `--trace`/`--metrics` turn telemetry on; otherwise every instrumented
     // call site stays on the zero-cost disabled path.
     let telemetry = if inv.trace.is_some() || inv.metrics.is_some() {

@@ -231,6 +231,12 @@ impl FabricHealthMonitor {
             }
             sim.step();
             self.poll(sim);
+            // Event-engine skip between patrol rounds. Capped at the next
+            // patrol submission and one cycle short of the breaker window,
+            // so the iteration that submits (and the step whose post-cycle
+            // reaches the window) still run live — identical scheduling to
+            // cycle-exact stepping.
+            sim.skip_quiet(end.min(next_patrol).min(self.next_window.saturating_sub(1)));
         }
     }
 }

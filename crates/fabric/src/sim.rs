@@ -216,8 +216,14 @@ impl FabricSim {
             die_plan.fabric = FabricFaults::default();
             // Note: `cfg.self_healing` governs only *fabric* routing. The
             // dies stay fault-aware — the fabric health monitor watches
-            // inter-device links, not die links.
-            dies.push(ReliableMesh::with_faults(cfg.mesh, &die_plan, cfg.retry)?);
+            // inter-device links, not die links. The per-die plan is built
+            // once and shared into the mesh behind an `Arc` (the seed
+            // variation forces one plan per die, but not one per apply).
+            dies.push(ReliableMesh::with_faults_shared(
+                cfg.mesh,
+                std::sync::Arc::new(die_plan),
+                cfg.retry,
+            )?);
         }
 
         let node_count = cfg.topology.node_count(cfg.devices) as usize;
@@ -945,9 +951,124 @@ impl FabricSim {
         }
     }
 
+    /// Event-driven fast-forward across a fabric-quiet span, to at most
+    /// `limit`. A span is skippable only when *every* layer is provably
+    /// inert: no pending fault onset, no fabric watchdog boundary, every
+    /// in-fabric transfer still waiting out its `ready_at`, every die's own
+    /// protocol quiet (ACK timeouts, watchdogs, mesh activity all bounded).
+    /// The dies are then fast-forwarded in lockstep to the same cycle and
+    /// the per-cycle `FabricHop` waiting charges are batch-replicated, so
+    /// the result is bit-identical to stepping cycle by cycle. No-op under
+    /// the cycle-exact engine.
+    pub fn skip_quiet(&mut self, limit: u64) {
+        if !gnoc_noc::event_skip_enabled() {
+            return;
+        }
+        let now = self.now;
+        let mut bound = limit;
+        if let Some(&onset) = self.pending_onsets.first() {
+            bound = bound.min(onset);
+        }
+        if self.outstanding > 0 {
+            // First cycle where `now - last_progress > 2 * watchdog`.
+            bound = bound.min(
+                self.last_progress
+                    .saturating_add(self.cfg.retry.watchdog_cycles.saturating_mul(2))
+                    .saturating_add(1),
+            );
+        }
+        for t in &self.transfers {
+            if t.state.is_resolved() {
+                continue;
+            }
+            match t.leg {
+                Leg::Done => {}
+                Leg::Fabric { ready_at, .. } => {
+                    if ready_at <= now {
+                        return; // crossing attempt due this very cycle
+                    }
+                    bound = bound.min(ready_at);
+                }
+                // Die-resident legs: an already-resolved die transfer would
+                // transition on the next poll, so it forbids skipping; an
+                // unresolved one can only resolve through die activity,
+                // which the per-die quiet bounds below cap.
+                Leg::SourceDie(tid) => {
+                    if self.dies[t.src_dev as usize].outcome(tid).is_resolved() {
+                        return;
+                    }
+                }
+                Leg::DestDie(tid) => {
+                    if self.dies[t.dst_dev as usize].outcome(tid).is_resolved() {
+                        return;
+                    }
+                }
+            }
+        }
+        for die in &self.dies {
+            bound = bound.min(die.quiet_bound());
+        }
+        if bound <= now {
+            return;
+        }
+        let n = bound - now;
+        // Batch-replicate the per-cycle waiting charges the skipped polls
+        // would have made: every unresolved in-fabric transfer and every
+        // cross-device transfer waiting on its destination die charges one
+        // FabricHop per cycle.
+        if self.recorder.is_some() {
+            let waiting: Vec<u64> = self
+                .transfers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.state.is_resolved())
+                .filter_map(|(idx, t)| match t.leg {
+                    Leg::Fabric { .. } => Some(idx as u64),
+                    Leg::DestDie(_) if t.src_dev != t.dst_dev => Some(idx as u64),
+                    _ => None,
+                })
+                .collect();
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                for idx in waiting {
+                    rec.charge_n(idx, StallKind::FabricHop, n);
+                }
+            }
+        }
+        // Advance the dies in lockstep to exactly the fabric bound: each
+        // die's quiet bound is >= `bound`, so its skip lands on it.
+        for die in &mut self.dies {
+            die.skip_quiet(bound);
+            debug_assert_eq!(
+                die.mesh().cycle(),
+                bound,
+                "die fell out of lockstep during a fabric skip"
+            );
+        }
+        self.now = bound;
+    }
+
     /// Steps until every submitted transfer resolves or `max_cycles` elapse.
     /// Returns `true` when fully quiescent.
+    ///
+    /// Runs on the event-driven engine: spans where every transfer is
+    /// waiting (fabric backoffs, die ACK timeouts, watchdog countdowns) are
+    /// skipped, bit-identically to
+    /// [`FabricSim::run_until_quiescent_cycle_exact`].
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
+        let start = self.now;
+        let end = start.saturating_add(max_cycles);
+        while self.outstanding > 0 && self.now < end {
+            self.step();
+            if self.outstanding > 0 {
+                self.skip_quiet(end);
+            }
+        }
+        self.outstanding == 0
+    }
+
+    /// The cycle-exact reference for [`FabricSim::run_until_quiescent`]:
+    /// identical observables, every cycle stepped.
+    pub fn run_until_quiescent_cycle_exact(&mut self, max_cycles: u64) -> bool {
         let start = self.now;
         while self.outstanding > 0 && self.now - start < max_cycles {
             self.step();

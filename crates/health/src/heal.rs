@@ -175,6 +175,14 @@ impl SelfHealingMesh {
                 self.patrol_rounds += 1;
             }
             self.step()?;
+            if self.rm.outstanding() > 0 {
+                // Event-engine skip across protocol-quiet spans. Capped one
+                // cycle short of the monitor window so the step whose
+                // post-cycle hits `next_window` still runs (and polls) live,
+                // exactly as under cycle-exact stepping.
+                self.rm
+                    .skip_quiet(run_cycles.min(self.next_window.saturating_sub(1)));
+            }
         }
         Ok(())
     }

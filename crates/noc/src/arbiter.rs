@@ -4,6 +4,14 @@
 //! starves distant nodes in a multi-hop mesh through cascaded 50/50 merges —
 //! with globally-fair age-based arbitration, which equalises throughput at
 //! the cost of extra flow-control complexity.
+//!
+//! **Event-core invariant:** the mesh only consults an arbiter on cycles
+//! with at least one candidate, so the round-robin rotation (`rr_next`)
+//! advances exactly as many times under the event core's next-event skip as
+//! under cycle-exact stepping — skipped spans are, by construction, spans
+//! in which `pick` would never have been called. This is what keeps
+//! arbitration (and therefore every downstream fairness figure)
+//! bit-identical across engines; see DESIGN.md §8.2.
 
 use serde::{Deserialize, Serialize};
 

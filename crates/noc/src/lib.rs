@@ -48,7 +48,9 @@ pub use memsim::{
     run_memsim, run_memsim_shared, run_memsim_shared_traced, run_memsim_traced, MemSimConfig,
     MemSimResult,
 };
-pub use mesh::{Mesh, MeshConfig, MeshStats, RouteOrder, NUM_PORTS};
+pub use mesh::{
+    event_skip_enabled, set_event_skip_enabled, Mesh, MeshConfig, MeshStats, RouteOrder, NUM_PORTS,
+};
 pub use packet::{NodeId, Packet, PacketClass};
 pub use reliable::{ReliabilityStats, ReliableMesh, RetryConfig, TransferId, TransferOutcome};
 pub use traffic::{

@@ -8,6 +8,15 @@
 //! a low average (≈ 20 % in the paper's Fig. 21) even though the offered load
 //! could saturate it. Provisioning the reply interface (Implication #4/#5)
 //! restores high utilisation.
+//!
+//! This driver deliberately stays on the cycle-exact path rather than the
+//! event core's next-event skip (DESIGN.md §8.2): every cycle draws a
+//! Bernoulli injection sample per compute node, so no span is ever
+//! provably quiet — skipping would desynchronize the RNG stream and change
+//! results. The workload is also saturating by design (the whole point is
+//! measuring congestion), so there is no idle tail to win back; the event
+//! core's gains live in the retry/backoff and drain phases of the reliable
+//! and fabric layers above.
 
 use crate::arbiter::ArbiterKind;
 use crate::mesh::{Mesh, MeshConfig, RouteOrder};

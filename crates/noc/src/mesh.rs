@@ -17,7 +17,9 @@ use gnoc_telemetry::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Router port indices.
 const LOCAL: usize = 0;
@@ -138,10 +140,66 @@ fn dir_of(port: usize) -> Direction {
 /// Sentinel in the reroute tables for "no surviving path".
 const UNREACHABLE: u8 = u8::MAX;
 
+/// Process-wide engine selector. When enabled (the default),
+/// [`Mesh::skip_idle_to`] may fast-forward across spans it has proven inert;
+/// when disabled every skip call is a no-op and `run`/`run_until_quiescent`
+/// tick cycle by cycle — the reference engine the differential suite and the
+/// ci.sh parity gates compare against. Initialised once from the
+/// `GNOC_ENGINE` environment variable (`cycle` disables, anything else
+/// enables) so whole-process runs can flip engines without threading a flag.
+fn event_skip_cell() -> &'static AtomicBool {
+    static CELL: OnceLock<AtomicBool> = OnceLock::new();
+    CELL.get_or_init(|| {
+        AtomicBool::new(!matches!(
+            std::env::var("GNOC_ENGINE").as_deref(),
+            Ok("cycle")
+        ))
+    })
+}
+
+/// Whether the event-driven engine (next-event skip) is enabled.
+pub fn event_skip_enabled() -> bool {
+    event_skip_cell().load(Ordering::Relaxed)
+}
+
+/// Enables or disables the event-driven engine process-wide. Both engines
+/// are bit-identical on every observable (stats, ejections, traces, recorder
+/// output); this knob exists for differential testing and benchmarking.
+pub fn set_event_skip_enabled(on: bool) {
+    event_skip_cell().store(on, Ordering::Relaxed)
+}
+
+/// Key of one interned up*/down* table set: the mesh geometry, the routing
+/// discipline, and the exact dead-link bitset the tables were computed for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RouteKey {
+    width: u32,
+    height: u32,
+    greedy: bool,
+    dead: Vec<u64>,
+}
+
+/// One interned table set: `tables[node][dest] = output port`.
+type SharedRouteTables = Arc<Vec<Vec<u8>>>;
+
+/// Interned route tables, shared by every mesh in the process. Parallel
+/// campaign rows and per-die fabric meshes hit identical dead sets, so the
+/// tables are computed once and shared behind `Arc`s instead of being
+/// recomputed (O(n² · ports) BFS) per row per onset.
+fn route_cache() -> &'static Mutex<HashMap<RouteKey, SharedRouteTables>> {
+    static CACHE: OnceLock<Mutex<HashMap<RouteKey, SharedRouteTables>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cap on distinct interned table sets; the cache is cleared (not LRU'd)
+/// beyond this, which only costs recomputation.
+const ROUTE_CACHE_CAP: usize = 1024;
+
 /// Runtime state of an applied [`FaultPlan`].
 #[derive(Debug, Clone)]
 struct FaultState {
-    plan: FaultPlan,
+    /// The applied plan, shared (not cloned) across parallel campaign rows.
+    plan: Arc<FaultPlan>,
     /// `(onset, link index)` of dead links not yet activated, onset-sorted.
     pending_dead: Vec<(u64, usize)>,
     /// Cursor into `pending_dead`.
@@ -160,7 +218,8 @@ struct FaultState {
     /// no legal surviving path from that state). `None` until the first dead
     /// link activates: a healthy (or merely flaky/stalled) mesh keeps using
     /// dimension-ordered routing bit-identically to the fault-free build.
-    routes: Option<Vec<Vec<u8>>>,
+    /// Interned: meshes with the same geometry and dead set share one table.
+    routes: Option<Arc<Vec<Vec<u8>>>>,
     /// Seeded RNG, present only when the plan has probabilistic faults so
     /// benign plans make zero draws.
     rng: Option<StdRng>,
@@ -288,6 +347,16 @@ pub struct Mesh {
     corrupted: HashSet<u64>,
     /// Last cycle on which any packet moved — drives the external watchdog.
     last_progress: u64,
+    /// Packets currently buffered anywhere, kept incrementally so
+    /// [`Mesh::in_flight`] — and the quiescence checks that poll it every
+    /// cycle — are O(1) instead of walking every queue.
+    occupancy: usize,
+    /// Exclusive upper bound of the span the last [`Mesh::step`] proved
+    /// inert: no packet can move, no loss can occur, and every waiting
+    /// head's stall classification is constant until this cycle. `<= cycle`
+    /// means "unknown / not quiet". Any external mutation (injection,
+    /// quarantine, ejection toggling, …) resets it to `cycle`.
+    quiet_until: u64,
     /// Causal per-message flight recorder (`gnoc profile`), boxed and absent
     /// by default so unprofiled runs pay one pointer of state and a handful
     /// of `is_some` branches per cycle.
@@ -349,6 +418,8 @@ impl Mesh {
             lost: Vec::new(),
             corrupted: HashSet::new(),
             last_progress: 0,
+            occupancy: 0,
+            quiet_until: 0,
             recorder: None,
             self_heal: false,
             #[cfg(feature = "bug-hooks")]
@@ -366,6 +437,7 @@ impl Mesh {
     #[cfg(feature = "bug-hooks")]
     pub fn enable_greedy_reroute_bug(&mut self) {
         self.greedy_routing = true;
+        self.quiet_until = self.cycle;
     }
 
     /// Applies a fault plan to this mesh. Dead and flaky links, router
@@ -375,23 +447,31 @@ impl Mesh {
     /// Fails if the plan does not fit the mesh geometry, would disconnect
     /// it, or a plan was already applied.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), NocError> {
+        self.apply_fault_plan_shared(Arc::new(plan.clone()))
+    }
+
+    /// Like [`Mesh::apply_fault_plan`], but shares the plan behind an `Arc`
+    /// instead of deep-cloning it — parallel campaign rows apply one shared
+    /// plan to every mesh they build.
+    pub fn apply_fault_plan_shared(&mut self, plan: Arc<FaultPlan>) -> Result<(), NocError> {
         if self.faults.is_some() {
             return Err(NocError::PlanAlreadyApplied);
         }
         plan.validate_for_mesh(self.cfg.width as u32, self.cfg.height as u32)?;
         let links = self.cfg.num_nodes() * NUM_PORTS;
         let mut state = FaultState {
-            plan: plan.clone(),
+            rng: plan
+                .has_probabilistic_faults()
+                .then(|| StdRng::seed_from_u64(plan.seed)),
+            plan,
             pending_dead: Vec::new(),
             next_dead: 0,
             link_dead: vec![false; links],
             quarantined: vec![false; links],
             link_flaky: vec![None; links],
             routes: None,
-            rng: plan
-                .has_probabilistic_faults()
-                .then(|| StdRng::seed_from_u64(plan.seed)),
         };
+        let plan = state.plan.clone();
         for lf in &plan.links {
             let link = lf.router as usize * NUM_PORTS + port_of(lf.dir);
             match lf.kind {
@@ -403,6 +483,7 @@ impl Mesh {
         }
         state.pending_dead.sort_unstable();
         self.faults = Some(Box::new(state));
+        self.quiet_until = self.cycle;
         // Activate any onset-0 faults before the first step.
         let mut faults = self.faults.take();
         if let Some(f) = faults.as_deref_mut() {
@@ -419,7 +500,7 @@ impl Mesh {
 
     /// The applied fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.faults.as_deref().map(|f| &f.plan)
+        self.faults.as_deref().map(|f| f.plan.as_ref())
     }
 
     /// Whether a packet freshly injected at `src` can currently reach `dst`
@@ -449,6 +530,7 @@ impl Mesh {
     /// onset-0 faults are hidden too.
     pub fn set_self_healing(&mut self, on: bool) {
         self.self_heal = on;
+        self.quiet_until = self.cycle;
     }
 
     /// Whether self-healing mode is on.
@@ -482,7 +564,7 @@ impl Mesh {
         if self.faults.is_none() {
             let links = self.cfg.num_nodes() * NUM_PORTS;
             self.faults = Some(Box::new(FaultState {
-                plan: FaultPlan::none(),
+                plan: Arc::new(FaultPlan::none()),
                 pending_dead: Vec::new(),
                 next_dead: 0,
                 link_dead: vec![false; links],
@@ -498,6 +580,47 @@ impl Mesh {
     fn fully_routable(&self, tables: &[Vec<u8>]) -> bool {
         let n = self.cfg.num_nodes();
         (0..n).all(|dst| (0..n).all(|src| tables[dst][src * NUM_PORTS + LOCAL] != UNREACHABLE))
+    }
+
+    /// The up*/down* tables for `link_dead`, served from the process-wide
+    /// intern cache when another mesh (a parallel campaign row, an earlier
+    /// onset, a sibling die) already computed them for the same geometry and
+    /// dead set. The tables are pure functions of the key, so sharing cannot
+    /// change routing decisions.
+    fn interned_route_tables(&self, link_dead: &[bool]) -> Arc<Vec<Vec<u8>>> {
+        let mut dead = vec![0u64; link_dead.len().div_ceil(64)];
+        for (i, d) in link_dead.iter().enumerate() {
+            if *d {
+                dead[i / 64] |= 1 << (i % 64);
+            }
+        }
+        #[cfg(feature = "bug-hooks")]
+        let greedy = self.greedy_routing;
+        #[cfg(not(feature = "bug-hooks"))]
+        let greedy = false;
+        let key = RouteKey {
+            width: self.cfg.width as u32,
+            height: self.cfg.height as u32,
+            greedy,
+            dead,
+        };
+        if let Ok(cache) = route_cache().lock() {
+            if let Some(hit) = cache.get(&key) {
+                return hit.clone();
+            }
+        }
+        // Compute outside the lock: the BFS is the expensive part, and two
+        // threads racing to insert the same key converge on one entry below.
+        let tables = Arc::new(self.compute_route_tables(link_dead));
+        match route_cache().lock() {
+            Ok(mut cache) => {
+                if cache.len() >= ROUTE_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.entry(key).or_insert(tables).clone()
+            }
+            Err(_) => tables,
+        }
     }
 
     /// Takes the directed link `(router, dir)` out of service and rebuilds
@@ -519,10 +642,11 @@ impl Mesh {
                 Ok(())
             } else {
                 f.quarantined[idx] = true;
-                let tables = self.compute_route_tables(&self.routing_dead_set(f));
+                let tables = self.interned_route_tables(&self.routing_dead_set(f));
                 if self.fully_routable(&tables) {
                     f.routes = Some(tables);
                     self.stats.reroutes += 1;
+                    self.quiet_until = self.cycle;
                     self.telemetry.emit_with(|| {
                         TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "quarantine")
                             .with("router", router)
@@ -555,11 +679,12 @@ impl Mesh {
                 f.quarantined[idx] = false;
                 let dead = self.routing_dead_set(f);
                 f.routes = if dead.iter().any(|d| *d) {
-                    Some(self.compute_route_tables(&dead))
+                    Some(self.interned_route_tables(&dead))
                 } else {
                     None
                 };
                 self.stats.reroutes += 1;
+                self.quiet_until = self.cycle;
                 self.telemetry.emit_with(|| {
                     TraceEvent::new(self.cycle, SUBSYSTEM_NOC, "release")
                         .with("router", router)
@@ -658,7 +783,13 @@ impl Mesh {
     /// by the memory-system simulation (a stalled memory controller stops
     /// accepting packets, congesting the network behind it).
     pub fn set_ejection_enabled(&mut self, node: NodeId, enabled: bool) {
-        self.ejection_enabled[node.index()] = enabled;
+        let slot = &mut self.ejection_enabled[node.index()];
+        // Only an actual change can wake the mesh; the memory-system
+        // simulation re-asserts the current value every cycle.
+        if *slot != enabled {
+            *slot = enabled;
+            self.quiet_until = self.cycle;
+        }
     }
 
     /// Attaches a fresh [`FlightRecorder`]: from now on every injected
@@ -737,6 +868,8 @@ impl Mesh {
             class,
         });
         self.next_id += 1;
+        self.occupancy += 1;
+        self.quiet_until = self.cycle;
         self.stats.injected_by_src[src.index()] += 1;
         if let Some(rec) = self.recorder.as_deref_mut() {
             rec.on_inject(
@@ -769,13 +902,19 @@ impl Mesh {
         self.corrupted.remove(&id)
     }
 
-    /// Packets currently buffered anywhere in the mesh.
+    /// Packets currently buffered anywhere in the mesh. O(1): the count is
+    /// maintained incrementally at injection, ejection, and every loss.
     pub fn in_flight(&self) -> usize {
-        self.routers
-            .iter()
-            .flat_map(|r| r.inputs.iter())
-            .flat_map(|port| port.iter().map(VecDeque::len))
-            .sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.routers
+                .iter()
+                .flat_map(|r| r.inputs.iter())
+                .flat_map(|port| port.iter().map(VecDeque::len))
+                .sum::<usize>(),
+            "incremental occupancy diverged from the queues"
+        );
+        self.occupancy
     }
 
     /// Cycles since any packet last moved — the external deadlock watchdog's
@@ -1027,7 +1166,7 @@ impl Mesh {
             changed = true;
         }
         if changed && !self.self_heal {
-            f.routes = Some(self.compute_route_tables(&self.routing_dead_set(f)));
+            f.routes = Some(self.interned_route_tables(&self.routing_dead_set(f)));
             self.stats.reroutes += 1;
             let dead = f.link_dead.iter().filter(|d| **d).count();
             self.telemetry.emit_with(|| {
@@ -1059,6 +1198,7 @@ impl Mesh {
                     let Some(packet) = self.routers[r].inputs[in_port][vc].pop_front() else {
                         continue;
                     };
+                    self.occupancy -= 1;
                     self.stats.link_drops[r * NUM_PORTS + out] += 1;
                     self.lost.push((packet, LossReason::DeadLink));
                 }
@@ -1086,6 +1226,7 @@ impl Mesh {
                     let Some(packet) = self.routers[r].inputs[in_port][vc].pop_front() else {
                         continue;
                     };
+                    self.occupancy -= 1;
                     self.stats.dropped_unroutable += 1;
                     self.lost.push((packet, LossReason::Unroutable));
                 }
@@ -1159,8 +1300,71 @@ impl Mesh {
         false
     }
 
-    /// Advances the simulation by one cycle.
+    /// The stall cause a waiting queue head would be charged this cycle —
+    /// the flight recorder's classification, shared verbatim between the
+    /// per-cycle attribution pass and the event engine's span-batched
+    /// charging (the span bound guarantees every input to this function is
+    /// constant across the skipped cycles).
+    fn classify_stall(
+        &self,
+        faults: Option<&FaultState>,
+        r: usize,
+        in_port: usize,
+        vc: usize,
+        head: &Packet,
+    ) -> StallKind {
+        if faults.is_some_and(|f| self.is_stalled(f, r)) {
+            return StallKind::RouterStall;
+        }
+        match self.route_current(faults, r, in_port, head.dst.index()) {
+            None => StallKind::RouterStall,
+            Some(out)
+                if out != LOCAL && faults.is_some_and(|f| f.link_dead[r * NUM_PORTS + out]) =>
+            {
+                StallKind::RouterStall
+            }
+            Some(out) if self.routers[r].output_busy_until[out] > self.cycle => {
+                StallKind::Serialization
+            }
+            Some(out) if out == LOCAL && !self.ejection_enabled[r] => StallKind::Backpressure,
+            Some(out)
+                if out != LOCAL && {
+                    let down = self.neighbour(r, out);
+                    let entry = Self::entry_port(out);
+                    self.routers[down].inputs[entry][vc].len() >= self.cfg.buffer_packets
+                } =>
+            {
+                StallKind::Backpressure
+            }
+            Some(_) => StallKind::Contention,
+        }
+    }
+
+    /// Advances the simulation by one cycle (the cycle-exact reference
+    /// step), then records how far the mesh is provably inert so
+    /// [`Mesh::skip_idle_to`] can fast-forward.
     pub fn step(&mut self) {
+        let quiet = self.step_inner();
+        // The bound is only computed when a skip could use it, so the
+        // reference engine's per-cycle cost is unchanged. Re-enabling the
+        // event engine mid-run starts from the conservative "unknown".
+        self.quiet_until = if quiet && event_skip_enabled() {
+            self.activity_bound()
+        } else {
+            self.cycle
+        };
+    }
+
+    /// One cycle of the reference engine. Returns `true` when the cycle was
+    /// *quiet*: nothing moved and nothing was lost. A quiet cycle proves no
+    /// queue head anywhere was a grantable candidate, and — since nothing in
+    /// the arbitration inputs changes while the mesh is untouched except the
+    /// cycle counter itself — every following cycle is identical until the
+    /// first cycle-dependent threshold ([`Mesh::activity_bound`]) passes.
+    /// The arbiters' round-robin state is preserved exactly: `pick` is only
+    /// ever called with a non-empty candidate list and always grants, so a
+    /// quiet cycle makes zero `pick` calls under both engines.
+    fn step_inner(&mut self) -> bool {
         #[derive(Clone, Copy)]
         struct Move {
             router: usize,
@@ -1269,7 +1473,6 @@ impl Mesh {
             let winners: HashSet<(usize, usize, usize)> =
                 moves.iter().map(|m| (m.router, m.in_port, m.vc)).collect();
             for r in 0..self.routers.len() {
-                let stalled = faults.as_deref().is_some_and(|f| self.is_stalled(f, r));
                 for in_port in 0..NUM_PORTS {
                     #[allow(clippy::needless_range_loop)] // vc also indexes downstream state
                     for vc in 0..vcs {
@@ -1279,45 +1482,7 @@ impl Mesh {
                         if winners.contains(&(r, in_port, vc)) {
                             continue;
                         }
-                        let kind = if stalled {
-                            StallKind::RouterStall
-                        } else {
-                            match self.route_current(
-                                faults.as_deref(),
-                                r,
-                                in_port,
-                                head.dst.index(),
-                            ) {
-                                None => StallKind::RouterStall,
-                                Some(out)
-                                    if out != LOCAL
-                                        && faults
-                                            .as_deref()
-                                            .is_some_and(|f| f.link_dead[r * NUM_PORTS + out]) =>
-                                {
-                                    StallKind::RouterStall
-                                }
-                                Some(out)
-                                    if self.routers[r].output_busy_until[out] > self.cycle =>
-                                {
-                                    StallKind::Serialization
-                                }
-                                Some(out) if out == LOCAL && !self.ejection_enabled[r] => {
-                                    StallKind::Backpressure
-                                }
-                                Some(out)
-                                    if out != LOCAL && {
-                                        let down = self.neighbour(r, out);
-                                        let entry = Self::entry_port(out);
-                                        self.routers[down].inputs[entry][vc].len()
-                                            >= self.cfg.buffer_packets
-                                    } =>
-                                {
-                                    StallKind::Backpressure
-                                }
-                                Some(_) => StallKind::Contention,
-                            }
-                        };
+                        let kind = self.classify_stall(faults.as_deref(), r, in_port, vc, head);
                         rec.charge(head.id, kind);
                     }
                 }
@@ -1326,7 +1491,8 @@ impl Mesh {
 
         // Phase 2: apply moves. The move list order is deterministic, so the
         // per-move fault draws below consume the plan RNG reproducibly.
-        if !moves.is_empty() {
+        let moved = !moves.is_empty();
+        if moved {
             self.last_progress = self.cycle;
         }
         for m in moves {
@@ -1335,6 +1501,9 @@ impl Mesh {
                 debug_assert!(false, "arbitration winner vanished before apply");
                 continue;
             };
+            // The packet left its buffer; it re-enters one downstream unless
+            // it ejects or dies on the hop.
+            self.occupancy -= 1;
             // The flits occupy the wire whether or not they survive the hop.
             self.routers[m.router].output_busy_until[m.out_port] =
                 self.cycle + u64::from(packet.flits);
@@ -1389,6 +1558,7 @@ impl Mesh {
                     );
                 }
                 self.routers[down].inputs[Self::entry_port(m.out_port)][m.vc].push_back(packet);
+                self.occupancy += 1;
             }
         }
 
@@ -1398,6 +1568,7 @@ impl Mesh {
         if self.cycle.is_multiple_of(WINDOW_CYCLES) {
             self.close_window();
         }
+        !moved && self.lost.len() == lost_mark
     }
 
     /// Window boundary: fold the per-link window demand into the peak and
@@ -1484,11 +1655,162 @@ impl Mesh {
         }
     }
 
-    /// Runs `cycles` steps.
+    /// Exclusive upper bound of the span the last step proved inert — the
+    /// mesh cannot move a packet, lose a packet, or change any waiting
+    /// head's stall cause before this cycle. `<= cycle()` means the mesh is
+    /// (or may be) active right now. Composite simulations (reliable layer,
+    /// fabric) fold this into their own wake bounds.
+    pub fn quiet_until(&self) -> u64 {
+        self.quiet_until
+    }
+
+    /// The earliest future cycle at which a currently-quiet mesh could
+    /// behave differently: an output's wormhole serialisation ending, a
+    /// router stall window starting or ending, or a dead-link onset firing.
+    /// Everything else in the arbitration inputs is cycle-independent, so a
+    /// quiet mesh stays quiet — with constant stall classifications —
+    /// strictly before this bound.
+    fn activity_bound(&self) -> u64 {
+        // Thresholds are compared against the *pre*-cycle of each step: an
+        // output with `busy_until == cycle` was busy during the step that
+        // just ran and frees on the very next one, so every comparison below
+        // is `>= cycle` — a threshold equal to the current cycle clamps the
+        // bound to "now" and forbids any skip.
+        let mut bound = u64::MAX;
+        for r in &self.routers {
+            for &busy in &r.output_busy_until {
+                if busy >= self.cycle && busy < bound {
+                    bound = busy;
+                }
+            }
+        }
+        if let Some(f) = self.faults.as_deref() {
+            for s in &f.plan.routers {
+                if s.onset >= self.cycle {
+                    bound = bound.min(s.onset);
+                }
+                let end = s.onset.saturating_add(s.duration);
+                if end >= self.cycle {
+                    bound = bound.min(end);
+                }
+            }
+            if let Some(&(onset, _)) = f.pending_dead.get(f.next_dead) {
+                bound = bound.min(onset);
+            }
+        }
+        bound
+    }
+
+    /// Event-driven fast-forward: advances the clock to
+    /// `min(limit, quiet_until)` in one jump. Only spans the last step
+    /// proved inert are skippable, so this is bit-identical to stepping
+    /// cycle by cycle: no arbitration would run (the arbiters' round-robin
+    /// cursors are untouched, exactly as under the reference engine), no
+    /// packet moves or dies, no RNG is drawn (fault draws happen only on
+    /// moves), stall charges are batch-replicated per waiting head, and
+    /// every crossed window boundary is closed at its exact cycle. A no-op
+    /// when the event engine is disabled ([`set_event_skip_enabled`]).
+    pub fn skip_idle_to(&mut self, limit: u64) {
+        if !event_skip_enabled() {
+            return;
+        }
+        let target = limit.min(self.quiet_until);
+        if target <= self.cycle {
+            return;
+        }
+        let n = target - self.cycle;
+        // Replicate the per-cycle stall attribution for the skipped span.
+        // The classification inputs are constant across it (that is what
+        // `activity_bound` guarantees), so one classification per head,
+        // charged n times, matches n per-cycle passes byte for byte.
+        if let Some(mut rec) = self.recorder.take() {
+            let faults = self.faults.take();
+            for r in 0..self.routers.len() {
+                for in_port in 0..NUM_PORTS {
+                    for vc in 0..self.cfg.vcs {
+                        let Some(head) = self.routers[r].inputs[in_port][vc].front() else {
+                            continue;
+                        };
+                        let kind = self.classify_stall(faults.as_deref(), r, in_port, vc, head);
+                        rec.charge_n(head.id, kind, n);
+                    }
+                }
+            }
+            self.faults = faults;
+            self.recorder = Some(rec);
+        }
+        // Close every window boundary the span crosses, at its own cycle
+        // stamp, with the (frozen) queue depths the reference engine would
+        // have sampled.
+        let mut w = (self.cycle / WINDOW_CYCLES + 1) * WINDOW_CYCLES;
+        while w <= target {
+            self.cycle = w;
+            self.close_window();
+            w += WINDOW_CYCLES;
+        }
+        self.cycle = target;
+    }
+
+    /// Whether the mesh is fully drained with respect to a run ending at
+    /// `target`: nothing buffered and no dead-link onset left to fire before
+    /// then. Remaining cycles can only close empty windows.
+    fn is_drained(&self, target: u64) -> bool {
+        self.occupancy == 0
+            && self.faults.as_deref().is_none_or(|f| {
+                f.pending_dead
+                    .get(f.next_dead)
+                    .is_none_or(|&(onset, _)| onset >= target)
+            })
+    }
+
+    /// Runs `cycles` steps on the event-driven engine: cycle-exact stepping
+    /// whenever the mesh can act, next-event skips across spans proven
+    /// inert. Bit-identical to [`Mesh::run_cycle_exact`] on every
+    /// observable.
     pub fn run(&mut self, cycles: u64) {
+        let target = self.cycle.saturating_add(cycles);
+        while self.cycle < target {
+            self.skip_idle_to(target);
+            if self.cycle < target {
+                self.step();
+            }
+        }
+    }
+
+    /// The reference engine: every cycle is stepped, none skipped. Kept for
+    /// differential testing and benchmarking against [`Mesh::run`].
+    pub fn run_cycle_exact(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Runs up to `max_cycles` cycles, stopping the moment the mesh is
+    /// quiescent (nothing buffered, no fault onset pending before the
+    /// bound). The clock and statistics end bit-identical to
+    /// `run(max_cycles)` — once drained, the remaining cycles can only close
+    /// empty telemetry windows, which are fast-forwarded here — so fixed
+    /// drain loops get quiescence detection for free. Returns whether the
+    /// mesh drained within the bound.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        let target = self.cycle.saturating_add(max_cycles);
+        while self.cycle < target {
+            if self.is_drained(target) {
+                let mut w = (self.cycle / WINDOW_CYCLES + 1) * WINDOW_CYCLES;
+                while w <= target {
+                    self.cycle = w;
+                    self.close_window();
+                    w += WINDOW_CYCLES;
+                }
+                self.cycle = target;
+                return true;
+            }
+            self.skip_idle_to(target);
+            if self.cycle < target {
+                self.step();
+            }
+        }
+        self.is_drained(target)
     }
 }
 
@@ -1572,7 +1894,7 @@ mod tests {
                 let _ = m.try_inject(NodeId::new(src), NodeId::new(0), 2, PacketClass::Request);
             }
         }
-        m.run(2000);
+        assert!(m.drain(2000), "all-to-one load must drain within the bound");
         let injected: u64 = m.stats().injected_by_src.iter().sum();
         assert_eq!(m.stats().delivered_total, injected);
     }
@@ -1758,7 +2080,7 @@ mod tests {
             );
             m.step();
         }
-        m.run(200);
+        m.drain(200);
     }
 
     #[test]
@@ -1886,7 +2208,7 @@ mod tests {
                 m.try_inject(NodeId::new(src), NodeId::new(4), 3, PacketClass::Request);
             }
         }
-        m.run(2_000);
+        assert!(m.drain(2_000));
         assert_eq!(m.stats().delivered_total, 24);
         let rec = m.take_flight_recorder().expect("recorder attached");
         assert_eq!(rec.open_count(), 0, "quiescent run leaves nothing open");
@@ -1950,5 +2272,180 @@ mod tests {
         let msg = &rec.finished()[0];
         assert!(!msg.delivered);
         assert_eq!(msg.loss.as_deref(), Some("FlakyLink"));
+    }
+
+    /// A plan with stalls, a mid-run dead link, and flaky drops, driven by
+    /// interleaved injections — the broadest in-crate state space to
+    /// differentiate the engines on.
+    fn contentious_faulted_mesh() -> Mesh {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        plan.seed = 11;
+        plan.links = vec![
+            gnoc_faults::LinkFault {
+                router: 1,
+                dir: gnoc_faults::Direction::East,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 150,
+            },
+            gnoc_faults::LinkFault {
+                router: 2,
+                dir: gnoc_faults::Direction::West,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 150,
+            },
+            gnoc_faults::LinkFault {
+                router: 3,
+                dir: gnoc_faults::Direction::North,
+                kind: gnoc_faults::LinkFaultKind::Flaky { drop_prob: 0.2 },
+                onset: 40,
+            },
+        ];
+        plan.routers = vec![gnoc_faults::RouterStall {
+            router: 4,
+            onset: 90,
+            duration: 300,
+        }];
+        let mut m = small();
+        m.attach_flight_recorder();
+        m.apply_fault_plan(&plan).unwrap();
+        for i in 0..60u32 {
+            m.try_inject(
+                NodeId::new(i % 9),
+                NodeId::new((i * 7 + 2) % 9),
+                1 + (i % 3),
+                PacketClass::Request,
+            );
+        }
+        m
+    }
+
+    /// The event engine (skips enabled) and the reference engine (plain
+    /// stepping) must agree on every observable, including spans dominated
+    /// by stall windows and timeout-style idle gaps.
+    #[test]
+    fn event_engine_is_bit_identical_to_cycle_exact() {
+        let run = |event: bool| {
+            let mut m = contentious_faulted_mesh();
+            if event {
+                // `run` skips only spans `step` proved inert, so the
+                // comparison is valid regardless of the global toggle.
+                m.run(5_000);
+            } else {
+                m.run_cycle_exact(5_000);
+            }
+            let rec = m.take_flight_recorder().unwrap();
+            (
+                m.cycle(),
+                m.stats().clone(),
+                m.drain_ejected(),
+                m.drain_lost(),
+                rec.finished().to_vec(),
+            )
+        };
+        let (ec, es, ee, el, er) = run(true);
+        let (cc, cs, ce, cl, cr) = run(false);
+        assert_eq!(ec, cc);
+        assert_eq!(es, cs);
+        assert_eq!(ee, ce);
+        assert_eq!(el, cl);
+        assert_eq!(er.len(), cr.len());
+        for (a, b) in er.iter().zip(&cr) {
+            assert_eq!(a.stalls(), b.stalls(), "msg {} stall attribution", a.id);
+            assert_eq!(a.latency(), b.latency(), "msg {} latency", a.id);
+        }
+    }
+
+    /// Regression for the fixed-iteration drain bug: `drain` early-exits at
+    /// quiescence yet leaves clock, stats, and ejections bit-identical to
+    /// the fixed-bound `run` it replaces.
+    #[test]
+    fn drain_is_bit_identical_to_fixed_run() {
+        let mut by_run = contentious_faulted_mesh();
+        let mut by_drain = by_run.clone();
+        by_run.run(10_000);
+        assert!(
+            by_drain.drain(10_000),
+            "traffic must drain inside the bound"
+        );
+        assert_eq!(by_run.cycle(), by_drain.cycle());
+        assert_eq!(by_run.stats(), by_drain.stats());
+        assert_eq!(by_run.drain_ejected(), by_drain.drain_ejected());
+        assert_eq!(by_run.in_flight(), 0);
+        assert_eq!(by_drain.in_flight(), 0);
+    }
+
+    /// `drain` must not early-exit past a pending fault onset: the reroute
+    /// (and its stats/trace side effects) still fires on schedule.
+    #[test]
+    fn drain_waits_for_pending_onsets() {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        for (router, dir) in [
+            (1, gnoc_faults::Direction::East),
+            (2, gnoc_faults::Direction::West),
+        ] {
+            plan.links.push(gnoc_faults::LinkFault {
+                router,
+                dir,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 5_000,
+            });
+        }
+        let mut m = small();
+        m.apply_fault_plan(&plan).unwrap();
+        assert!(m.drain(10_000));
+        assert_eq!(m.stats().reroutes, 1, "the onset inside the bound fired");
+        assert_eq!(m.cycle(), 10_000);
+    }
+
+    /// Two meshes sharing a fault plan via `Arc` intern one route table:
+    /// the fix for per-row plan clones and per-onset BFS recomputation.
+    #[test]
+    fn shared_plans_intern_route_tables() {
+        let mut plan = gnoc_faults::FaultPlan::none();
+        for (router, dir) in [
+            (4, gnoc_faults::Direction::East),
+            (5, gnoc_faults::Direction::West),
+        ] {
+            plan.links.push(gnoc_faults::LinkFault {
+                router,
+                dir,
+                kind: gnoc_faults::LinkFaultKind::Dead,
+                onset: 0,
+            });
+        }
+        let plan = std::sync::Arc::new(plan);
+        let build = |plan: &std::sync::Arc<gnoc_faults::FaultPlan>| {
+            let mut m = small();
+            m.apply_fault_plan_shared(plan.clone()).unwrap();
+            m
+        };
+        let a = build(&plan);
+        let b = build(&plan);
+        let ra = a.faults.as_deref().unwrap().routes.as_ref().unwrap();
+        let rb = b.faults.as_deref().unwrap().routes.as_ref().unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(ra, rb),
+            "same dead set must share one interned table"
+        );
+        assert!(std::sync::Arc::ptr_eq(
+            &a.faults.as_deref().unwrap().plan,
+            &b.faults.as_deref().unwrap().plan
+        ));
+    }
+
+    /// O(1) `in_flight` stays consistent through injection, movement,
+    /// ejection, and fault losses (the debug assertion inside `in_flight`
+    /// cross-checks against the queues on every call).
+    #[test]
+    fn occupancy_tracks_queues_under_faults() {
+        let mut m = contentious_faulted_mesh();
+        let injected: u64 = m.stats().injected_by_src.iter().sum();
+        assert_eq!(m.in_flight() as u64, injected);
+        for _ in 0..600 {
+            m.step();
+            let _ = m.in_flight(); // debug_assert cross-check each cycle
+        }
+        m.drain(10_000);
+        assert_eq!(m.in_flight(), 0);
     }
 }

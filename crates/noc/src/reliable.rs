@@ -232,8 +232,18 @@ impl ReliableMesh {
         plan: &FaultPlan,
         cfg: RetryConfig,
     ) -> Result<Self, NocError> {
+        Self::with_faults_shared(mesh_cfg, std::sync::Arc::new(plan.clone()), cfg)
+    }
+
+    /// Like [`ReliableMesh::with_faults`] but sharing the plan behind an
+    /// `Arc` — parallel campaign rows stop deep-cloning the plan per mesh.
+    pub fn with_faults_shared(
+        mesh_cfg: MeshConfig,
+        plan: std::sync::Arc<FaultPlan>,
+        cfg: RetryConfig,
+    ) -> Result<Self, NocError> {
         let mut mesh = Mesh::try_new(mesh_cfg)?;
-        mesh.apply_fault_plan(plan)?;
+        mesh.apply_fault_plan_shared(plan)?;
         Ok(Self::new(mesh, cfg))
     }
 
@@ -513,13 +523,66 @@ impl ReliableMesh {
         }
     }
 
+    /// The earliest future cycle at which the protocol — not just the mesh —
+    /// could act: the mesh's own quiet bound capped by the next ACK-timeout
+    /// deadline and the watchdog boundary. While the mesh is quiet and
+    /// nothing is pending injection, every protocol step strictly before
+    /// this bound is a no-op (no ejections, no losses, `check_timeouts`
+    /// and `check_watchdog` both return early). Composite simulations (the
+    /// fabric) fold this into a global wake bound before skipping all their
+    /// dies in lockstep.
+    pub fn quiet_bound(&self) -> u64 {
+        let now = self.mesh.cycle();
+        if !self.pending.is_empty() {
+            return now; // a retry wants injecting this very cycle
+        }
+        let mut bound = self.mesh.quiet_until().min(self.next_deadline);
+        if self.outstanding > 0 {
+            // First cycle where `now - last_activity > watchdog_cycles`.
+            bound = bound.min(
+                self.last_activity
+                    .saturating_add(self.cfg.watchdog_cycles)
+                    .saturating_add(1),
+            );
+        }
+        bound
+    }
+
+    /// Fast-forwards across a protocol-quiet span, to at most `limit`.
+    /// Composite layers (self-healing, fabric) call this with their own
+    /// wake bounds folded into `limit`. No-op under the cycle-exact engine
+    /// or whenever the last step was not provably quiet.
+    pub fn skip_quiet(&mut self, limit: u64) {
+        self.mesh.skip_idle_to(self.quiet_bound().min(limit));
+    }
+
     /// Steps until every submitted transfer resolves or `max_cycles` elapse.
     /// Returns `true` when fully quiescent. The watchdog guarantees eventual
     /// resolution even on a deadlocked mesh, so `false` means `max_cycles`
     /// was smaller than the watchdog window.
+    ///
+    /// Runs on the event-driven engine: idle spans (ACK-timeout waits,
+    /// watchdog countdowns) are skipped, bit-identically to
+    /// [`ReliableMesh::run_until_quiescent_cycle_exact`].
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
         let start = self.mesh.cycle();
-        while self.outstanding > 0 && self.mesh.cycle() - start < max_cycles {
+        let end = start.saturating_add(max_cycles);
+        while self.outstanding > 0 && self.mesh.cycle() < end {
+            self.step();
+            if self.outstanding > 0 {
+                self.skip_quiet(end);
+            }
+        }
+        self.outstanding == 0
+    }
+
+    /// The cycle-exact reference for [`ReliableMesh::run_until_quiescent`]:
+    /// identical observables, every cycle stepped. Kept for differential
+    /// testing and benchmarking.
+    pub fn run_until_quiescent_cycle_exact(&mut self, max_cycles: u64) -> bool {
+        let start = self.mesh.cycle();
+        let end = start.saturating_add(max_cycles);
+        while self.outstanding > 0 && self.mesh.cycle() < end {
             self.step();
         }
         self.outstanding == 0

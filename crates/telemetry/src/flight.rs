@@ -285,16 +285,25 @@ impl FlightRecorder {
     /// Charges one waiting cycle of `kind` to the message's current hop.
     /// Called once per cycle for each queue head that failed to move.
     pub fn charge(&mut self, id: u64, kind: StallKind) {
+        self.charge_n(id, kind, 1);
+    }
+
+    /// Charges `n` waiting cycles of `kind` in one call — the event-driven
+    /// engine's batched equivalent of `n` per-cycle [`FlightRecorder::charge`]
+    /// calls across a span where the stall cause is provably constant. Hop
+    /// charges are plain counters, so the emitted records are byte-identical
+    /// to charging cycle by cycle.
+    pub fn charge_n(&mut self, id: u64, kind: StallKind, n: u64) {
         let Some(m) = self.active.get_mut(&id) else {
             return; // injected before the recorder was attached
         };
         let Some(h) = m.hops.last_mut() else { return };
         match kind {
-            StallKind::Serialization => h.serialization += 1,
-            StallKind::Contention => h.contention += 1,
-            StallKind::Backpressure => h.backpressure += 1,
-            StallKind::RouterStall => h.router_stall += 1,
-            StallKind::FabricHop => h.fabric_hop += 1,
+            StallKind::Serialization => h.serialization += n,
+            StallKind::Contention => h.contention += n,
+            StallKind::Backpressure => h.backpressure += n,
+            StallKind::RouterStall => h.router_stall += n,
+            StallKind::FabricHop => h.fabric_hop += n,
         }
     }
 

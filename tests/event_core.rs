@@ -1,0 +1,308 @@
+//! Differential golden suite: the event-driven NoC core against the
+//! cycle-exact reference, at every layer of the stack.
+//!
+//! The event core skips provably-quiet spans instead of stepping them; the
+//! contract is that *nothing observable changes* — not the final cycle, not
+//! a stats counter, not a flight-recorder byte, not a chaos report. Each
+//! test here runs the same workload both ways and compares:
+//!
+//! 1. the bare mesh over generated fault plans (25 seeds);
+//! 2. the retrying [`ReliableMesh`] soak, outcomes and drained ejections
+//!    included (25 seeds);
+//! 3. the flight recorder's streamed JSONL, byte for byte;
+//! 4. 2–4-device fabrics over generated inter-device plans;
+//! 5. full chaos reports, across the `--jobs {1, 2, 7}` sweep.
+//!
+//! The engine toggle is process-global, so every test serializes on one
+//! mutex and restores the default (event) engine on exit, panic included.
+
+use gnoc_chaos::{run_chaos, ChaosConfig, ChaosOptions};
+use gnoc_core::noc::{
+    set_event_skip_enabled, ArbiterKind, MeshConfig, NodeId, PacketClass, ReliableMesh, RetryConfig,
+};
+use gnoc_core::telemetry::{TelemetryHandle, TraceEvent, TraceSink};
+use gnoc_core::{FabricConfig, FabricSim, FabricTopology, FaultGenConfig, FaultPlan, Mesh};
+use std::sync::Mutex;
+
+/// Serializes tests that read or flip the process-global engine toggle.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the lock for a test's duration and restores the default (event)
+/// engine afterwards, even on panic.
+struct EngineGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+impl EngineGuard<'_> {
+    fn take() -> Self {
+        let lock = ENGINE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Self { _lock: lock }
+    }
+}
+
+impl Drop for EngineGuard<'_> {
+    fn drop(&mut self) {
+        set_event_skip_enabled(true);
+    }
+}
+
+/// splitmix64 step — the same deterministic traffic recipe the CLI drives.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A generated plan with everything the event core must preserve across
+/// skipped spans: dead links, flaky links, router stalls, transients, and
+/// an onset storm so faults keep manifesting mid-run.
+fn gen_cfg(seed: u64, width: u32, height: u32, devices: u32) -> FaultGenConfig {
+    FaultGenConfig {
+        seed,
+        width,
+        height,
+        dead_link_fraction: 0.06,
+        flaky_links: 4,
+        flaky_drop_prob: 0.25,
+        stalled_routers: 2,
+        stall_duration: 300,
+        transient_drop_prob: 0.002,
+        transient_corrupt_prob: 0.001,
+        onset: 100,
+        onset_storm_span: 2_000,
+        region: None,
+        burst: None,
+        num_slices: 0,
+        disabled_slice_count: 0,
+        sweep: None,
+        devices,
+        fabric_topology: FabricTopology::Ring,
+        dead_fabric_links: u32::from(devices >= 3),
+        flaky_fabric_links: u32::from(devices >= 2),
+        fabric_flaky_drop_prob: 0.2,
+        dead_devices: 0,
+        dead_switch: false,
+    }
+}
+
+fn mesh_cfg() -> MeshConfig {
+    MeshConfig::paper_6x6(ArbiterKind::RoundRobin).with_vcs(2)
+}
+
+#[test]
+fn mesh_runs_bit_identical_across_generated_plans() {
+    let _guard = EngineGuard::take();
+    for seed in 0..25u64 {
+        let plan = FaultPlan::generate(&gen_cfg(seed, 6, 6, 1));
+        let build = || {
+            let mut m = Mesh::try_new(mesh_cfg()).expect("valid config");
+            m.apply_fault_plan(&plan).expect("plan fits the mesh");
+            let mut state = seed;
+            for _ in 0..80 {
+                let src = (mix(&mut state) % 36) as u32;
+                let dst = (mix(&mut state) % 36) as u32;
+                if src != dst {
+                    let flits = 1 + (mix(&mut state) % 4) as u32;
+                    m.try_inject(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        flits,
+                        PacketClass::Request,
+                    );
+                }
+            }
+            m
+        };
+        let mut event = build();
+        let mut cycle = build();
+        event.run(8_000);
+        cycle.run_cycle_exact(8_000);
+        assert_eq!(event.cycle(), cycle.cycle(), "seed {seed}: clock diverged");
+        assert_eq!(event.stats(), cycle.stats(), "seed {seed}: stats diverged");
+        assert_eq!(
+            event.drain_ejected(),
+            cycle.drain_ejected(),
+            "seed {seed}: ejections diverged"
+        );
+        assert_eq!(
+            event.drain_lost(),
+            cycle.drain_lost(),
+            "seed {seed}: losses diverged"
+        );
+    }
+}
+
+#[test]
+fn reliable_mesh_soaks_bit_identical_across_seeds() {
+    let _guard = EngineGuard::take();
+    for seed in 0..25u64 {
+        let plan = FaultPlan::generate(&gen_cfg(seed, 6, 6, 1));
+        let soak = |event: bool| {
+            let mut rm = ReliableMesh::with_faults(mesh_cfg(), &plan, RetryConfig::default())
+                .expect("plan fits the mesh");
+            let mut state = seed ^ 0xabcd;
+            for _ in 0..48 {
+                let src = (mix(&mut state) % 36) as u32;
+                let dst = (mix(&mut state) % 36) as u32;
+                if src != dst {
+                    let flits = 1 + (mix(&mut state) % 4) as u32;
+                    rm.submit(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        flits,
+                        PacketClass::Request,
+                    );
+                }
+            }
+            let quiesced = if event {
+                rm.run_until_quiescent(60_000)
+            } else {
+                rm.run_until_quiescent_cycle_exact(60_000)
+            };
+            (
+                quiesced,
+                rm.mesh().cycle(),
+                rm.stats().clone(),
+                rm.outcomes(),
+                rm.mesh_mut().drain_ejected(),
+            )
+        };
+        assert_eq!(soak(true), soak(false), "seed {seed}: soak diverged");
+    }
+}
+
+/// Collects the JSONL lines a sink would write.
+#[derive(Debug, Default)]
+struct LineSink {
+    lines: Vec<String>,
+}
+
+impl TraceSink for LineSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.lines
+            .push(serde_json::to_string(event).expect("trace event serializes"));
+    }
+}
+
+#[test]
+fn flight_recorder_jsonl_is_byte_identical() {
+    let _guard = EngineGuard::take();
+    let profile = |event: bool| {
+        set_event_skip_enabled(event);
+        let plan = FaultPlan::generate(&gen_cfg(3, 6, 6, 1));
+        let mut rm = ReliableMesh::with_faults(mesh_cfg(), &plan, RetryConfig::default())
+            .expect("plan fits the mesh");
+        rm.mesh_mut().attach_flight_recorder();
+        let mut state = 17u64;
+        for _ in 0..48 {
+            let src = (mix(&mut state) % 36) as u32;
+            let dst = (mix(&mut state) % 36) as u32;
+            if src != dst {
+                rm.submit(NodeId::new(src), NodeId::new(dst), 2, PacketClass::Request);
+            }
+        }
+        assert!(rm.run_until_quiescent(60_000), "soak must quiesce");
+        let rec = rm
+            .mesh_mut()
+            .take_flight_recorder()
+            .expect("recorder attached");
+        let mut sink = LineSink::default();
+        rec.stream_to(&mut sink);
+        sink.lines
+    };
+    let event_lines = profile(true);
+    let cycle_lines = profile(false);
+    assert!(!event_lines.is_empty());
+    assert_eq!(
+        event_lines, cycle_lines,
+        "recorder JSONL must be byte-identical across engines"
+    );
+}
+
+#[test]
+fn fabric_soaks_bit_identical_across_devices() {
+    let _guard = EngineGuard::take();
+    for devices in 2..=4u32 {
+        for seed in 0..8u64 {
+            let plan = FaultPlan::generate(&gen_cfg(seed, 5, 5, devices));
+            let soak = |event: bool| {
+                let mut sim =
+                    FabricSim::with_faults(FabricConfig::new(devices, FabricTopology::Ring), &plan)
+                        .expect("plan fits the fabric");
+                let nodes = 25u64;
+                let mut state = seed ^ u64::from(devices) << 32;
+                let mut submitted = 0;
+                while submitted < 24 {
+                    let sd = (mix(&mut state) % u64::from(devices)) as u32;
+                    let dd = (mix(&mut state) % u64::from(devices)) as u32;
+                    let src = (mix(&mut state) % nodes) as u32;
+                    let dst = (mix(&mut state) % nodes) as u32;
+                    if sd == dd && src == dst {
+                        continue;
+                    }
+                    let flits = 1 + (mix(&mut state) % 4) as u32;
+                    sim.submit(
+                        sd,
+                        NodeId::new(src),
+                        dd,
+                        NodeId::new(dst),
+                        flits,
+                        PacketClass::Request,
+                    )
+                    .expect("all devices are alive in this plan");
+                    submitted += 1;
+                }
+                let quiesced = if event {
+                    sim.run_until_quiescent(200_000)
+                } else {
+                    sim.run_until_quiescent_cycle_exact(200_000)
+                };
+                let die_cycles: Vec<u64> = sim.dies().iter().map(|d| d.mesh().cycle()).collect();
+                (
+                    quiesced,
+                    sim.cycle(),
+                    die_cycles,
+                    sim.stats().clone(),
+                    sim.outcomes(),
+                )
+            };
+            assert_eq!(
+                soak(true),
+                soak(false),
+                "devices {devices} seed {seed}: fabric soak diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_reports_identical_under_both_engines_and_jobs() {
+    let _guard = EngineGuard::take();
+    let run = |event: bool, jobs: usize| {
+        set_event_skip_enabled(event);
+        let cfg = ChaosConfig {
+            device: None, // NoC-only: device oracles never touch the engine
+            ..ChaosConfig::default()
+        };
+        let opts = ChaosOptions {
+            seeds: (0..10).collect(),
+            jobs,
+            ..ChaosOptions::default()
+        };
+        let run = run_chaos(&cfg, &opts, &TelemetryHandle::disabled()).expect("chaos soak runs");
+        assert!(run.finished);
+        run.report
+    };
+    let reference = run(false, 1);
+    for jobs in [1usize, 2, 7] {
+        assert_eq!(
+            run(true, jobs),
+            reference,
+            "event-engine chaos report diverged at jobs={jobs}"
+        );
+    }
+}
