@@ -76,14 +76,74 @@ cargo run --release -q -p gnoc-cli --bin gnoc -- \
     campaign a100fs --seed 1 --lines 2 --samples 2 \
     --checkpoint "$tmp/campaign.json"
 
+echo "== trace: record -> replay byte-identity across engines and job counts =="
+# A faulted mesh soak is recorded once, then replayed under every worker
+# count and both engine cores; each replay's canonical stats line must be
+# byte-identical to the recording's (the footer digest seals the same
+# bytes, so gnoc also self-checks — a divergence exits 1 before the cmp).
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace record mesh --seed 5 --transfers 800 --faults "$tmp/plan.json" \
+    --out "$tmp/mesh.trc" --stats "$tmp/mesh-rec.json" > /dev/null
+for jobs in 1 2 7; do
+    cargo run --release -q -p gnoc-cli --bin gnoc -- \
+        --jobs "$jobs" trace replay "$tmp/mesh.trc" --faults "$tmp/plan.json" \
+        --stats "$tmp/mesh-rep-j$jobs.json" > /dev/null
+    cmp "$tmp/mesh-rec.json" "$tmp/mesh-rep-j$jobs.json"
+done
+for engine in cycle event; do
+    cargo run --release -q -p gnoc-cli --bin gnoc -- \
+        --engine "$engine" trace replay "$tmp/mesh.trc" --faults "$tmp/plan.json" \
+        --stats "$tmp/mesh-rep-$engine.json" > /dev/null
+    cmp "$tmp/mesh-rec.json" "$tmp/mesh-rep-$engine.json"
+done
+
+echo "== trace: 4-device ring fabric and campaign record -> replay =="
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace record fabric --devices 4 --topology ring --seed 9 --transfers 400 \
+    --out "$tmp/fabric.trc" --stats "$tmp/fabric-rec.json" > /dev/null
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace replay "$tmp/fabric.trc" --stats "$tmp/fabric-rep.json" > /dev/null
+cmp "$tmp/fabric-rec.json" "$tmp/fabric-rep.json"
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace record campaign v100 --seed 2 --lines 2 --samples 2 \
+    --out "$tmp/camp.trc" --stats "$tmp/camp-rec.json" > /dev/null
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace replay "$tmp/camp.trc" --stats "$tmp/camp-rep.json" > /dev/null
+cmp "$tmp/camp-rec.json" "$tmp/camp-rep.json"
+
+echo "== trace: record -> kill -> validate -> replay salvage, corrupt -> exit 1 =="
+# A writer killed mid-stream leaves a truncated artifact. Simulated by
+# cutting the recording short of its footer: validate must warn and call it
+# salvageable (exit 0), replay must drive the complete prefix (exit 0).
+size=$(wc -c < "$tmp/mesh.trc")
+head -c "$((size - 500))" "$tmp/mesh.trc" > "$tmp/mesh-cut.trc"
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace validate "$tmp/mesh-cut.trc" > "$tmp/cut.out" 2>&1
+grep -q "truncated" "$tmp/cut.out"
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace replay "$tmp/mesh-cut.trc" --faults "$tmp/plan.json" > /dev/null
+# A flipped byte is corruption, not truncation: exit 1, naming the chunk.
+cp "$tmp/mesh.trc" "$tmp/mesh-bad.trc"
+printf '\xff' | dd of="$tmp/mesh-bad.trc" bs=1 seek="$((size / 2))" \
+    conv=notrunc 2> /dev/null
+set +e
+cargo run --release -q -p gnoc-cli --bin gnoc -- \
+    trace validate "$tmp/mesh-bad.trc" 2> "$tmp/corrupt.err"
+corrupt_rc=$?
+set -e
+[ "$corrupt_rc" -eq 1 ]
+grep -q "chunk" "$tmp/corrupt.err"
+
 echo "== chaos: oracle-catches-bugs suite (bug-hooks) =="
 cargo test -q -p gnoc-chaos --features bug-hooks
 
-echo "== chaos: bounded soak (fixed seeds, wall deadline) =="
+echo "== chaos: bounded soak with replay differential oracle =="
 # A violation prints the oracle name plus the shrunk reproducer path and
-# exits nonzero, failing the gate.
+# exits nonzero, failing the gate. --replay records each iteration's
+# traffic and re-drives it through a fresh simulator: any recorded-vs-
+# replayed stats divergence is a determinism bug and fires the oracle.
 cargo run --release -q -p gnoc-cli --bin gnoc -- \
-    --jobs 2 chaos run --seeds 0..12 --wall-ms 120000 \
+    --jobs 2 chaos run --replay --seeds 0..12 --wall-ms 120000 \
     --state "$tmp/chaos-state.json" --repro-dir "$tmp/repros"
 
 echo "== chaos: hidden-plan detection soak (fixed seeds, wall deadline) =="
@@ -145,9 +205,15 @@ for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.05; done
 "$gnoc_bin" submit campaign v100 --seed 7 --lines 2 --samples 2 \
     --socket "$serve_sock" --payload-out "$tmp/cached.json" \
     | grep -q '"cached":true'
-# A chaos job and a health snapshot exercise the other op paths.
+# A chaos job, a trace replay, and a health snapshot exercise the other
+# op paths; the daemon's replay verdict must match the local recording.
 "$gnoc_bin" submit chaos --seed-count 2 --transfers 16 \
     --socket "$serve_sock" > /dev/null
+"$gnoc_bin" trace record mesh --seed 3 --transfers 200 \
+    --out "$tmp/serve.trc" > /dev/null
+"$gnoc_bin" submit replay "$tmp/serve.trc" --socket "$serve_sock" --summary \
+    > "$tmp/replay-summary.txt"
+grep -q "matches the recording" "$tmp/replay-summary.txt"
 "$gnoc_bin" submit health --socket "$serve_sock" | grep -q '"overload":"closed"'
 "$gnoc_bin" submit shutdown --socket "$serve_sock" > /dev/null
 wait "$serve_pid"
@@ -182,10 +248,13 @@ cargo run --release -q -p gnoc-bench --bin bench_profile -- BENCH_profile.json
 echo "== bench: cross-device soak latency/retry/failover (BENCH_fabric.json) =="
 cargo run --release -q -p gnoc-bench --bin bench_fabric -- BENCH_fabric.json
 
+echo "== bench: trace record overhead A/B/A + corrupt detection (BENCH_trace.json) =="
+cargo run --release -q -p gnoc-bench --bin bench_trace -- BENCH_trace.json
+
 echo "== validate: every artifact row carries schema 1 =="
 cargo run --release -q -p gnoc-bench --bin validate_bench -- \
     BENCH_par.json BENCH_noc.json BENCH_health.json BENCH_profile.json \
-    BENCH_fabric.json BENCH_serve.json \
+    BENCH_fabric.json BENCH_serve.json BENCH_trace.json \
     "$tmp/prof_a.json" "$tmp/smoke.json" "$tmp/chaos_prof.json"
 
 echo "ci.sh: all green"

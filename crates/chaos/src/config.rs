@@ -60,6 +60,11 @@ pub struct ChaosConfig {
     /// oracle scores detected-vs-ground-truth precision, recall on dead
     /// links and faulty slices, and bounded detection latency.
     pub detection: bool,
+    /// Run the recorded-vs-replayed oracle: every soak's submission stream
+    /// is captured to an in-memory trace and replayed into an identically
+    /// configured twin, which must reproduce the soak's outcomes and stats
+    /// bit for bit.
+    pub replay: bool,
 }
 
 impl Default for ChaosConfig {
@@ -79,6 +84,7 @@ impl Default for ChaosConfig {
             greedy_reroute_bug: false,
             fabric_stuck_crossing_bug: false,
             detection: false,
+            replay: false,
         }
     }
 }
@@ -110,6 +116,10 @@ impl Deserialize for ChaosConfig {
                 Err(_) => defaults.fabric_stuck_crossing_bug,
             },
             detection: Deserialize::deserialize_value(value.field("detection")?)?,
+            replay: match value.field("replay") {
+                Ok(v) => Deserialize::deserialize_value(v)?,
+                Err(_) => defaults.replay,
+            },
         })
     }
 }
@@ -421,7 +431,10 @@ mod tests {
             fields
                 .into_iter()
                 .filter(|(k, _)| {
-                    k != "devices" && k != "topology" && k != "fabric_stuck_crossing_bug"
+                    k != "devices"
+                        && k != "topology"
+                        && k != "fabric_stuck_crossing_bug"
+                        && k != "replay"
                 })
                 .collect(),
         ))

@@ -29,11 +29,16 @@ pub enum OracleKind {
     /// faulty slice (recall), blame nothing healthy (precision), and do so
     /// within a bounded latency after each fault's onset.
     Detection,
+    /// Recorded-vs-replayed equality: the iteration's submission stream is
+    /// captured to an in-memory trace and replayed into an identically
+    /// configured twin; any divergence in outcomes or stats means record/
+    /// replay is not deterministic.
+    Replay,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 8] = [
         Self::Delivery,
         Self::Progress,
         Self::Calibration,
@@ -41,6 +46,7 @@ impl OracleKind {
         Self::Differential,
         Self::NoPanic,
         Self::Detection,
+        Self::Replay,
     ];
 
     /// Stable lowercase name (used in reports, metrics, and file names).
@@ -53,6 +59,7 @@ impl OracleKind {
             Self::Differential => "differential",
             Self::NoPanic => "no-panic",
             Self::Detection => "detection",
+            Self::Replay => "replay",
         }
     }
 }

@@ -13,6 +13,7 @@ use gnoc_core::faults::LinkFaultKind;
 use gnoc_core::health::run_slice_detection_for_spec;
 use gnoc_core::noc::{NodeId, PacketClass, RouteOrder};
 use gnoc_core::telemetry::TelemetryHandle;
+use gnoc_core::trace::{fnv1a64, from_hex, to_hex, TraceHeader, TraceReader, TraceTap};
 use gnoc_core::{
     device_for_preset, spec_for_preset, ArbiterKind, CheckpointedCampaign, FabricConfig,
     FabricHealthConfig, FabricHealthMonitor, FabricSim, FaultPlan, HealthConfig, MeshConfig,
@@ -62,6 +63,55 @@ impl SplitMix {
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
     }
+}
+
+/// FNV-1a digest of a fault plan's canonical JSON — the identity a trace
+/// header pins so a replay against the wrong plan is refused, not silently
+/// divergent. `0` when the plan cannot serialize (the soak would have
+/// rejected such a plan long before recording).
+fn plan_fingerprint(plan: &FaultPlan) -> u64 {
+    plan.to_json()
+        .map(|j| fnv1a64(j.as_bytes()))
+        .unwrap_or_default()
+}
+
+/// Canonical outcome digest of a finished NoC soak: the cycle count plus
+/// the JSON-serialized reliability stats. Two runs with equal fingerprints
+/// made the same deliveries, retries, losses, and latency histogram in the
+/// same number of cycles.
+fn mesh_fingerprint(rm: &ReliableMesh) -> u64 {
+    let stats = serde_json::to_string(rm.stats()).unwrap_or_default();
+    fnv1a64(format!("cycle={};{stats}", rm.mesh().cycle()).as_bytes())
+}
+
+/// Fabric counterpart of [`mesh_fingerprint`].
+fn fabric_fingerprint(sim: &FabricSim) -> u64 {
+    let stats = serde_json::to_string(sim.stats()).unwrap_or_default();
+    fnv1a64(format!("cycle={};{stats}", sim.cycle()).as_bytes())
+}
+
+/// The trace header a chaos NoC soak records under.
+fn mesh_trace_header(cfg: &ChaosConfig, seed: u64, plan: &FaultPlan) -> TraceHeader {
+    TraceHeader::mesh(
+        cfg.width,
+        cfg.height,
+        seed,
+        u64::from(cfg.transfers),
+        plan_fingerprint(plan),
+    )
+}
+
+/// The trace header a chaos fabric soak records under.
+fn fabric_trace_header(cfg: &ChaosConfig, seed: u64, plan: &FaultPlan) -> TraceHeader {
+    TraceHeader::fabric(
+        cfg.devices,
+        cfg.fabric_topology().name(),
+        cfg.width,
+        cfg.height,
+        seed,
+        u64::from(cfg.transfers),
+        plan_fingerprint(plan),
+    )
 }
 
 /// What one chaos iteration observed.
@@ -225,6 +275,10 @@ pub struct Reproducer {
     pub command: String,
     /// Flight-recorder capture of this failure, when the run profiled it.
     pub trace: Option<TraceWindow>,
+    /// Hex-encoded `gnoc-trace` stream of the failing soak's submissions —
+    /// a self-contained replayable workload (`gnoc trace replay` accepts it
+    /// once decoded, and [`replay`] re-verifies it against a fresh twin).
+    pub traffic_trace: Option<String>,
 }
 
 // Manual impl: `trace` is optional so pre-profiling reproducer files (and
@@ -240,6 +294,10 @@ impl Deserialize for Reproducer {
             plan: Deserialize::deserialize_value(value.field("plan")?)?,
             command: Deserialize::deserialize_value(value.field("command")?)?,
             trace: match value.field("trace") {
+                Ok(v) => Deserialize::deserialize_value(v)?,
+                Err(_) => None,
+            },
+            traffic_trace: match value.field("traffic_trace") {
                 Ok(v) => Deserialize::deserialize_value(v)?,
                 Err(_) => None,
             },
@@ -416,47 +474,38 @@ fn iteration_body(
                 if cfg.greedy_reroute_bug {
                     rm.mesh_mut().enable_greedy_reroute_bug();
                 }
-                let n = u64::from(cfg.width) * u64::from(cfg.height);
-                let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
-                let mut submit_failed = false;
-                for i in 0..cfg.transfers {
-                    let src = rng.next() % n;
-                    let dst = (src + 1 + rng.next() % (n - 1)) % n;
-                    let flits = 1 + (rng.next() % 4) as u32;
-                    let class = if i % 2 == 0 {
-                        PacketClass::Request
-                    } else {
-                        PacketClass::Reply
-                    };
-                    if let Err(e) = rm.submit_checked(
-                        NodeId::new(src as u32),
-                        NodeId::new(dst as u32),
-                        flits,
-                        class,
-                    ) {
-                        violations.push(Violation {
-                            oracle: OracleKind::Delivery,
-                            seed,
-                            detail: format!("harness: in-range submit rejected: {e}"),
-                        });
-                        submit_failed = true;
-                        break;
-                    }
+                if cfg.replay {
+                    rm.attach_trace_tap(TraceTap::in_memory(&mesh_trace_header(cfg, seed, plan)));
                 }
-                if !submit_failed {
-                    let quiesced = rm.run_until_quiescent(cfg.soak_cycle_budget);
-                    record(
-                        OracleKind::Delivery,
-                        check_delivery(u64::from(cfg.transfers), quiesced, &rm),
-                        &mut violations,
-                        &mut passes,
-                    );
-                    record(
-                        OracleKind::Progress,
-                        check_progress(quiesced, &rm),
-                        &mut violations,
-                        &mut passes,
-                    );
+                match submit_mesh_traffic(&mut rm, cfg, seed) {
+                    Err(detail) => violations.push(Violation {
+                        oracle: OracleKind::Delivery,
+                        seed,
+                        detail,
+                    }),
+                    Ok(()) => {
+                        let quiesced = rm.run_until_quiescent(cfg.soak_cycle_budget);
+                        record(
+                            OracleKind::Delivery,
+                            check_delivery(u64::from(cfg.transfers), quiesced, &rm),
+                            &mut violations,
+                            &mut passes,
+                        );
+                        record(
+                            OracleKind::Progress,
+                            check_progress(quiesced, &rm),
+                            &mut violations,
+                            &mut passes,
+                        );
+                        if cfg.replay {
+                            record(
+                                OracleKind::Replay,
+                                check_replay_mesh(cfg, plan, &mut rm, quiesced),
+                                &mut violations,
+                                &mut passes,
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -547,6 +596,32 @@ fn device_phase(
     Ok(results)
 }
 
+/// Submits the single-die soak's deterministic traffic: `cfg.transfers`
+/// transfers with distinct endpoints, alternating packet classes, and
+/// 1–4 flits, drawn from the seeded splitmix stream.
+fn submit_mesh_traffic(rm: &mut ReliableMesh, cfg: &ChaosConfig, seed: u64) -> Result<(), String> {
+    let n = u64::from(cfg.width) * u64::from(cfg.height);
+    let mut rng = SplitMix(seed ^ 0x6368_616f_735f_7278);
+    for i in 0..cfg.transfers {
+        let src = rng.next() % n;
+        let dst = (src + 1 + rng.next() % (n - 1)) % n;
+        let flits = 1 + (rng.next() % 4) as u32;
+        let class = if i % 2 == 0 {
+            PacketClass::Request
+        } else {
+            PacketClass::Reply
+        };
+        rm.submit_checked(
+            NodeId::new(src as u32),
+            NodeId::new(dst as u32),
+            flits,
+            class,
+        )
+        .map_err(|e| format!("harness: in-range submit rejected: {e}"))?;
+    }
+    Ok(())
+}
+
 /// The fabric configuration a multi-device chaos iteration runs under: the
 /// same per-die mesh and retry policy as the single-die soak, on the
 /// configured device count and topology.
@@ -628,6 +703,9 @@ fn fabric_soak_phase(
     if cfg.fabric_stuck_crossing_bug {
         sim.enable_stuck_crossing_bug();
     }
+    if cfg.replay {
+        sim.attach_trace_tap(TraceTap::in_memory(&fabric_trace_header(cfg, seed, plan)));
+    }
     if let Err(detail) = submit_fabric_traffic(&mut sim, cfg, seed) {
         return vec![(OracleKind::Delivery, Err(detail))];
     }
@@ -653,7 +731,7 @@ fn fabric_soak_phase(
     let _ = submit_fabric_traffic(&mut golden, cfg, seed);
     golden.run_until_quiescent(cfg.soak_cycle_budget);
 
-    vec![
+    let mut results = vec![
         (
             OracleKind::Delivery,
             check_fabric_delivery(u64::from(cfg.transfers), quiesced, &sim),
@@ -663,7 +741,123 @@ fn fabric_soak_phase(
             OracleKind::Differential,
             check_fabric_differential(plan.is_benign(), &golden, &sim),
         ),
-    ]
+    ];
+    if cfg.replay {
+        results.push((
+            OracleKind::Replay,
+            check_replay_fabric(cfg, plan, &mut sim, quiesced),
+        ));
+    }
+    results
+}
+
+/// The recorded-vs-replayed oracle for the NoC soak: finalizes the trace the
+/// soak just recorded, replays it into a freshly built twin (same plan, same
+/// bug hooks), runs the twin under the same cycle budget, and demands an
+/// identical outcome fingerprint. Any nondeterminism between recording and
+/// replaying — in the trace codec, the replay driver, or the simulator
+/// itself — surfaces here as a violation.
+fn check_replay_mesh(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    rm: &mut ReliableMesh,
+    quiesced: bool,
+) -> Result<(), String> {
+    let tap = rm
+        .take_trace_tap()
+        .ok_or_else(|| "harness: replay oracle ran without a record tap".to_string())?;
+    let recorded = mesh_fingerprint(rm);
+    let bytes = tap
+        .finish_bytes(recorded)
+        .map_err(|e| format!("harness: trace capture failed: {e}"))?;
+
+    let mesh_cfg = MeshConfig {
+        width: cfg.width as usize,
+        height: cfg.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: RouteOrder::Xy,
+        vcs: 1,
+    };
+    let mut twin = ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry)
+        .map_err(|e| format!("harness: replay twin construction failed: {e}"))?;
+    #[cfg(feature = "bug-hooks")]
+    if cfg.greedy_reroute_bug {
+        twin.mesh_mut().enable_greedy_reroute_bug();
+    }
+    let mut reader = TraceReader::from_bytes(bytes)
+        .map_err(|e| format!("recorded trace failed to parse: {e}"))?;
+    let outcome = twin
+        .replay_from(&mut reader)
+        .map_err(|e| format!("replay diverged at submit time: {e}"))?;
+    if let Some((chunk, offset)) = outcome.truncated {
+        return Err(format!(
+            "in-memory trace reported truncation at chunk {chunk}, offset {offset}"
+        ));
+    }
+    let twin_quiesced = twin.run_until_quiescent(cfg.soak_cycle_budget);
+    if twin_quiesced != quiesced {
+        return Err(format!(
+            "replayed quiescence {twin_quiesced} != recorded {quiesced}"
+        ));
+    }
+    let replayed = mesh_fingerprint(&twin);
+    if replayed != recorded {
+        return Err(format!(
+            "replayed outcome fingerprint {replayed:016x} != recorded {recorded:016x} \
+             over {} events",
+            outcome.replayed
+        ));
+    }
+    Ok(())
+}
+
+/// Fabric counterpart of [`check_replay_mesh`].
+fn check_replay_fabric(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    sim: &mut FabricSim,
+    quiesced: bool,
+) -> Result<(), String> {
+    let tap = sim
+        .take_trace_tap()
+        .ok_or_else(|| "harness: replay oracle ran without a record tap".to_string())?;
+    let recorded = fabric_fingerprint(sim);
+    let bytes = tap
+        .finish_bytes(recorded)
+        .map_err(|e| format!("harness: trace capture failed: {e}"))?;
+
+    let mut twin = FabricSim::with_faults(fabric_config(cfg), plan)
+        .map_err(|e| format!("harness: replay twin construction failed: {e}"))?;
+    #[cfg(feature = "bug-hooks")]
+    if cfg.fabric_stuck_crossing_bug {
+        twin.enable_stuck_crossing_bug();
+    }
+    let mut reader = TraceReader::from_bytes(bytes)
+        .map_err(|e| format!("recorded trace failed to parse: {e}"))?;
+    let outcome = twin
+        .replay_from(&mut reader)
+        .map_err(|e| format!("replay diverged at submit time: {e}"))?;
+    if let Some((chunk, offset)) = outcome.truncated {
+        return Err(format!(
+            "in-memory trace reported truncation at chunk {chunk}, offset {offset}"
+        ));
+    }
+    let twin_quiesced = twin.run_until_quiescent(cfg.soak_cycle_budget);
+    if twin_quiesced != quiesced {
+        return Err(format!(
+            "replayed quiescence {twin_quiesced} != recorded {quiesced}"
+        ));
+    }
+    let replayed = fabric_fingerprint(&twin);
+    if replayed != recorded {
+        return Err(format!(
+            "replayed outcome fingerprint {replayed:016x} != recorded {recorded:016x} \
+             over {} events",
+            outcome.replayed
+        ));
+    }
+    Ok(())
 }
 
 /// The hidden-plan detection phase: the plan is physically applied but
@@ -915,14 +1109,139 @@ pub fn shrink_violation(
 }
 
 /// Replays a reproducer: one full iteration (device oracles included when
-/// the embedded config names a device) on the embedded plan.
+/// the embedded config names a device) on the embedded plan. When the
+/// reproducer carries an embedded traffic trace, it is additionally decoded
+/// and replayed into a fresh twin, and the twin's outcome fingerprint is
+/// checked against the digest the recording run sealed into the trace
+/// footer — a mismatch is reported as an [`OracleKind::Replay`] violation.
 pub fn replay(repro: &Reproducer) -> IterationOutcome {
-    run_iteration(
+    let mut outcome = run_iteration(
         &repro.config,
         repro.seed,
         &repro.plan,
         repro.config.device.is_some(),
-    )
+    );
+    if let Some(hex) = &repro.traffic_trace {
+        match verify_embedded_trace(&repro.config, &repro.plan, hex) {
+            Ok(()) => outcome.passes.push(OracleKind::Replay),
+            Err(detail) => outcome.violations.push(Violation {
+                oracle: OracleKind::Replay,
+                seed: repro.seed,
+                detail: format!("embedded trace: {detail}"),
+            }),
+        }
+    }
+    outcome
+}
+
+/// Re-runs a seed's soak with an in-memory record tap attached and returns
+/// the finished trace, hex-encoded — the replayable artifact embedded in
+/// reproducers. `None` when the soak cannot be reconstructed under this
+/// plan (the reproducer is still valid without the artifact).
+fn record_soak_trace(cfg: &ChaosConfig, seed: u64, plan: &FaultPlan) -> Option<String> {
+    if cfg.devices >= 2 {
+        let mut sim = FabricSim::with_faults(fabric_config(cfg), plan).ok()?;
+        #[cfg(feature = "bug-hooks")]
+        if cfg.fabric_stuck_crossing_bug {
+            sim.enable_stuck_crossing_bug();
+        }
+        sim.attach_trace_tap(TraceTap::in_memory(&fabric_trace_header(cfg, seed, plan)));
+        submit_fabric_traffic(&mut sim, cfg, seed).ok()?;
+        sim.run_until_quiescent(cfg.soak_cycle_budget);
+        let tap = sim.take_trace_tap()?;
+        let digest = fabric_fingerprint(&sim);
+        tap.finish_bytes(digest).ok().map(|b| to_hex(&b))
+    } else {
+        let mesh_cfg = MeshConfig {
+            width: cfg.width as usize,
+            height: cfg.height as usize,
+            buffer_packets: 4,
+            arbiter: ArbiterKind::RoundRobin,
+            route_order: RouteOrder::Xy,
+            vcs: 1,
+        };
+        let mut rm = ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry).ok()?;
+        #[cfg(feature = "bug-hooks")]
+        if cfg.greedy_reroute_bug {
+            rm.mesh_mut().enable_greedy_reroute_bug();
+        }
+        rm.attach_trace_tap(TraceTap::in_memory(&mesh_trace_header(cfg, seed, plan)));
+        submit_mesh_traffic(&mut rm, cfg, seed).ok()?;
+        rm.run_until_quiescent(cfg.soak_cycle_budget);
+        let tap = rm.take_trace_tap()?;
+        let digest = mesh_fingerprint(&rm);
+        tap.finish_bytes(digest).ok().map(|b| to_hex(&b))
+    }
+}
+
+/// Decodes a reproducer's embedded trace, checks it was recorded against
+/// this plan, replays it into a fresh twin, and compares the twin's outcome
+/// fingerprint with the digest sealed into the trace footer.
+fn verify_embedded_trace(cfg: &ChaosConfig, plan: &FaultPlan, hex: &str) -> Result<(), String> {
+    let bytes = from_hex(hex).map_err(|e| format!("undecodable hex: {e}"))?;
+    let mut reader =
+        TraceReader::from_bytes(bytes).map_err(|e| format!("unreadable trace: {e}"))?;
+    let expected_plan = plan_fingerprint(plan);
+    let header_plan = reader.header().plan_fnv;
+    if header_plan != expected_plan {
+        return Err(format!(
+            "trace was recorded against plan {header_plan:016x}, \
+             reproducer carries plan {expected_plan:016x}"
+        ));
+    }
+    let replayed_digest = if cfg.devices >= 2 {
+        let mut twin = FabricSim::with_faults(fabric_config(cfg), plan)
+            .map_err(|e| format!("twin construction failed: {e}"))?;
+        #[cfg(feature = "bug-hooks")]
+        if cfg.fabric_stuck_crossing_bug {
+            twin.enable_stuck_crossing_bug();
+        }
+        let outcome = twin
+            .replay_from(&mut reader)
+            .map_err(|e| format!("replay failed: {e}"))?;
+        if let Some((chunk, offset)) = outcome.truncated {
+            return Err(format!(
+                "embedded trace is truncated at chunk {chunk}, offset {offset}"
+            ));
+        }
+        twin.run_until_quiescent(cfg.soak_cycle_budget);
+        fabric_fingerprint(&twin)
+    } else {
+        let mesh_cfg = MeshConfig {
+            width: cfg.width as usize,
+            height: cfg.height as usize,
+            buffer_packets: 4,
+            arbiter: ArbiterKind::RoundRobin,
+            route_order: RouteOrder::Xy,
+            vcs: 1,
+        };
+        let mut twin = ReliableMesh::with_faults(mesh_cfg, plan, cfg.retry)
+            .map_err(|e| format!("twin construction failed: {e}"))?;
+        #[cfg(feature = "bug-hooks")]
+        if cfg.greedy_reroute_bug {
+            twin.mesh_mut().enable_greedy_reroute_bug();
+        }
+        let outcome = twin
+            .replay_from(&mut reader)
+            .map_err(|e| format!("replay failed: {e}"))?;
+        if let Some((chunk, offset)) = outcome.truncated {
+            return Err(format!(
+                "embedded trace is truncated at chunk {chunk}, offset {offset}"
+            ));
+        }
+        twin.run_until_quiescent(cfg.soak_cycle_budget);
+        mesh_fingerprint(&twin)
+    };
+    let sealed = reader
+        .footer()
+        .ok_or_else(|| "trace has no footer".to_string())?
+        .stats_fnv;
+    if replayed_digest != sealed {
+        return Err(format!(
+            "replayed outcome fingerprint {replayed_digest:016x} != recorded {sealed:016x}"
+        ));
+    }
+    Ok(())
 }
 
 /// Runs a chaos soak over `opts.seeds` (or the pending seeds of a resumed
@@ -1254,15 +1573,20 @@ fn write_reproducer(
 ) -> Result<String, ChaosError> {
     std::fs::create_dir_all(dir).map_err(|e| ChaosError::Io(e.to_string()))?;
     let path = dir.join(format!("repro-{}-seed{}.json", rec.oracle.name(), rec.seed));
+    let plan = rec.shrunk.clone().unwrap_or_else(|| rec.plan.clone());
+    // Re-record the failing soak against the embedded plan so the artifact
+    // replays against exactly what the reproducer ships.
+    let traffic_trace = record_soak_trace(cfg, rec.seed, &plan);
     let repro = Reproducer {
         version: REPRODUCER_VERSION,
         oracle: rec.oracle,
         seed: rec.seed,
         detail: rec.detail.clone(),
         config: cfg.clone(),
-        plan: rec.shrunk.clone().unwrap_or_else(|| rec.plan.clone()),
+        plan,
         command: format!("gnoc chaos replay --repro {}", path.display()),
         trace: trace.cloned(),
+        traffic_trace,
     };
     repro.save(&path)?;
     Ok(path.display().to_string())
@@ -1388,6 +1712,85 @@ mod tests {
             topology: topology.to_string(),
             ..ChaosConfig::default()
         }
+    }
+
+    #[test]
+    fn replay_oracle_is_clean_on_noc_soaks() {
+        let cfg = ChaosConfig {
+            replay: true,
+            ..noc_only()
+        };
+        for seed in 0..6 {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let out = run_iteration(&cfg, seed, &plan, false);
+            assert!(
+                out.violations
+                    .iter()
+                    .all(|v| v.oracle != OracleKind::Replay),
+                "seed {seed}: {:?}",
+                out.violations
+            );
+            assert!(
+                out.passes.contains(&OracleKind::Replay),
+                "seed {seed}: replay oracle did not run"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_oracle_is_clean_on_fabric_soaks() {
+        let cfg = ChaosConfig {
+            replay: true,
+            device: None,
+            devices: 4,
+            topology: "ring".to_string(),
+            ..ChaosConfig::default()
+        };
+        for seed in 0..4 {
+            let plan = cfg.plan_for_seed(seed, 0);
+            let out = run_iteration(&cfg, seed, &plan, false);
+            assert!(
+                out.violations
+                    .iter()
+                    .all(|v| v.oracle != OracleKind::Replay),
+                "seed {seed}: {:?}",
+                out.violations
+            );
+            assert!(
+                out.passes.contains(&OracleKind::Replay),
+                "seed {seed}: replay oracle did not run"
+            );
+        }
+    }
+
+    #[test]
+    fn reproducer_embedded_trace_round_trips_through_replay() {
+        let cfg = noc_only();
+        let plan = cfg.plan_for_seed(3, 0);
+        let hex = record_soak_trace(&cfg, 3, &plan).expect("soak should record");
+        let repro = Reproducer {
+            version: REPRODUCER_VERSION,
+            oracle: OracleKind::Delivery,
+            seed: 3,
+            detail: String::new(),
+            config: cfg.clone(),
+            plan: plan.clone(),
+            command: String::new(),
+            trace: None,
+            traffic_trace: Some(hex.clone()),
+        };
+        let out = replay(&repro);
+        assert!(
+            out.passes.contains(&OracleKind::Replay),
+            "embedded trace failed to verify: {:?}",
+            out.violations
+        );
+
+        // The same trace against a different plan is refused, not replayed.
+        let other_plan = cfg.plan_for_seed(4, 0);
+        let err = verify_embedded_trace(&cfg, &other_plan, &hex)
+            .expect_err("plan digest mismatch must be detected");
+        assert!(err.contains("recorded against plan"), "{err}");
     }
 
     #[test]

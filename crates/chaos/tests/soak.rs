@@ -251,6 +251,7 @@ mod bug_hooks {
                 plan: shrunk,
                 command: String::new(),
                 trace: None,
+                traffic_trace: None,
             };
             let replayed = replay(&repro);
             assert!(

@@ -241,6 +241,13 @@ pub enum Command {
         /// Soak, replay one failure, or re-shrink a reproducer.
         action: ChaosAction,
     },
+    /// `gnoc trace record|replay|validate|info` — deterministic run capture:
+    /// record a soak or campaign into a versioned streamed trace, replay it
+    /// byte-identically, or check a trace file without running anything.
+    Trace {
+        /// Record, replay, validate, or inspect.
+        action: TraceAction,
+    },
     /// `gnoc health [--width W] [--height H] [--cycles C] [--device G]
     /// [--windows N] [--seed S]` — online fault detection: run a
     /// self-healing mesh (the `--faults` plan applied but hidden from
@@ -386,6 +393,12 @@ pub enum SubmitWhat {
         /// Transfers submitted.
         transfers: usize,
     },
+    /// A recorded-trace replay job; the trace file is read locally and
+    /// shipped hex-encoded (the fault plan rides the global `--faults`).
+    Replay {
+        /// Path to the trace artifact to ship.
+        trace: String,
+    },
     /// The daemon's health snapshot.
     Health,
     /// Ask the daemon to drain and exit.
@@ -425,6 +438,83 @@ pub enum ChaosAction {
         repro: String,
         /// Output path (defaults to rewriting the input).
         out: Option<String>,
+    },
+}
+
+/// What `gnoc trace` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceAction {
+    /// Run a deterministic soak or campaign and capture it into a trace.
+    Record {
+        /// Which run to capture.
+        target: TraceTarget,
+        /// Output trace path (chunked, CRC'd, fsynced on finalize).
+        out: String,
+        /// Also write the run's canonical stats line here (byte-identical
+        /// between the recording and any faithful replay).
+        stats: Option<String>,
+    },
+    /// Re-drive the run a trace captured and compare the outcome against
+    /// the digest sealed in the trace footer.
+    Replay {
+        /// Trace file path.
+        path: String,
+        /// Write the replayed run's canonical stats line here.
+        stats: Option<String>,
+    },
+    /// Stream a trace, CRC-checking every chunk, without running anything.
+    Validate {
+        /// Trace file path.
+        path: String,
+    },
+    /// Print a trace's header context, event totals, and footer digest.
+    Info {
+        /// Trace file path.
+        path: String,
+    },
+}
+
+/// Which run `gnoc trace record` captures. Each target replicates the
+/// corresponding one-shot subcommand exactly (same config, same traffic
+/// stream), so a recording stands in for the run it taps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceTarget {
+    /// The `gnoc mesh --faults` soak: paper 6x6, round-robin arbitration.
+    Mesh {
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+    },
+    /// The `gnoc fabric` soak (fault-aware routing; self-heal runs are not
+    /// recordable — their breaker poll loop is outside the trace).
+    Fabric {
+        /// Devices coupled (≥ 2).
+        devices: u32,
+        /// Inter-device topology name.
+        topology: String,
+        /// Per-die mesh width.
+        width: u32,
+        /// Per-die mesh height.
+        height: u32,
+        /// Traffic seed.
+        seed: u64,
+        /// Transfers submitted.
+        transfers: usize,
+        /// Quiescence budget in cycles.
+        cycles: u64,
+    },
+    /// A latency campaign: a zero-event trace whose header re-instantiates
+    /// the run and whose footer pins the latency-matrix digest.
+    Campaign {
+        /// Target device preset.
+        gpu: GpuChoice,
+        /// Campaign seed.
+        seed: u64,
+        /// Probe working-set lines per (SM, slice) pair.
+        lines: usize,
+        /// Probe samples per (SM, slice) pair.
+        samples: usize,
     },
 }
 
@@ -559,10 +649,20 @@ USAGE:
                     [--device-every N] [--lines N] [--samples N]
                     [--state chaos.json] [--report report.json]
                     [--repro-dir DIR] [--wall-ms MS] [--no-shrink]
-                    [--greedy-bug] [--detect]
+                    [--greedy-bug] [--detect] [--replay]
                     [--devices N] [--topology T] [--fabric-stuck-bug]
     gnoc chaos      replay --repro repro.json
     gnoc chaos      shrink --repro repro.json [--out min.json]
+    gnoc trace      record mesh --out run.trace [--seed S] [--transfers N]
+                    [--stats stats.json]
+    gnoc trace      record fabric --out run.trace [--devices N]
+                    [--topology T] [--width W] [--height H] [--seed S]
+                    [--transfers N] [--cycles C]
+    gnoc trace      record campaign <gpu> --out run.trace [--seed S]
+                    [--lines N] [--samples N]
+    gnoc trace      replay <run.trace> [--stats stats.json]
+    gnoc trace      validate <run.trace>
+    gnoc trace      info <run.trace>
     gnoc profile    [--width W] [--height H] [--arbiter rr|age] [--seed S]
                     [--transfers N] [--slowest K] [--report prof.json]
                     [--perfetto trace.json] [--jsonl events.jsonl]
@@ -571,7 +671,8 @@ USAGE:
     gnoc serve      --state DIR (--socket PATH | --stdin) [--queue-cap N]
                     [--session-cap N] [--max-rows N] [--max-seeds N]
                     [--max-transfers N] [--row-delay-ms MS]
-    gnoc submit     <campaign <gpu>|mesh|chaos|fabric|health|shutdown>
+    gnoc submit     <campaign <gpu>|mesh|chaos|fabric|replay <run.trace>
+                    |health|shutdown>
                     --socket PATH [op flags] [--payload-out F] [--summary]
     gnoc submit     --socket PATH --json '<request line>'
     gnoc batch      <requests.jsonl> --socket PATH
@@ -629,6 +730,22 @@ MULTI-GPU FABRIC:
     per-link breakers quarantine what they detect (quarantines that would
     partition the fabric are refused and reported).
 
+TRACE RECORD/REPLAY:
+    gnoc trace record captures a run's injected transfer stream into a
+    compact, versioned, delta-encoded trace: chunked writes with a per-chunk
+    CRC and an fsynced footer, so a capture killed mid-run loses at most its
+    unflushed tail, never its prefix. The header pins the run's context
+    (schema, geometry, topology, seed, fault-plan digest); the footer seals
+    a digest of the final stats. gnoc trace replay rebuilds the run from the
+    header (pass the same --faults plan; a mismatched plan is refused),
+    re-injects the stream, and compares the outcome digest — byte-identical
+    across --jobs counts and both --engine cores. A truncated trace replays
+    its complete prefix with a warning; a corrupt chunk is named (index and
+    byte offset) and fails. chaos run --replay turns the same machinery
+    into a per-seed oracle, and failing seeds embed a replayable trace in
+    their reproducers. The daemon accepts {\"op\":\"replay\"} jobs over the
+    same trace bytes (hex-encoded).
+
 SERVING:
     gnoc serve runs the measurement engines as a long-lived daemon: jobs
     are journaled (fsynced) before they run, results land in a
@@ -644,6 +761,7 @@ SERVING:
       {\"schema\":1,\"op\":\"mesh\",\"seed\":1,\"transfers\":200}
       {\"schema\":1,\"op\":\"chaos\",\"seed_start\":0,\"seed_count\":4}
       {\"schema\":1,\"op\":\"fabric\",\"devices\":2,\"topology\":\"ring\"}
+      {\"schema\":1,\"op\":\"replay\",\"trace\":\"<hex trace bytes>\"}
       {\"schema\":1,\"op\":\"health\"}
       {\"schema\":1,\"op\":\"shutdown\"}
     Responses are envelopes: {\"type\":\"accepted\",\"job\":N} then
@@ -660,10 +778,12 @@ EXIT CODES:
     0   success (checks: the property holds / no longer reproduces;
         submit: job done)
     1   check failed — invalid plan (faults check), oracle fired (chaos
-        run), recorded failure still reproduces (chaos replay), submitted
-        job failed or was rejected by admission control
-    2   invalid input — unknown flags, malformed JSON, bad config, or a
-        request the daemon rejected as invalid
+        run), recorded failure still reproduces (chaos replay), corrupt
+        trace chunk or divergent replay (gnoc trace), submitted job failed
+        or was rejected by admission control
+    2   invalid input — unknown flags, malformed JSON, bad config, a trace
+        from an incompatible schema or recorded against a different fault
+        plan, or a request the daemon rejected as invalid
     3   I/O error — a file could not be read or written, or the daemon
         socket could not be reached
 ";
@@ -1025,6 +1145,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             greedy_reroute_bug: flags.has("--greedy-bug"),
                             fabric_stuck_crossing_bug: flags.has("--fabric-stuck-bug"),
                             detection: flags.has("--detect"),
+                            replay: flags.has("--replay"),
                             devices,
                             topology,
                         },
@@ -1056,6 +1177,85 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 other => return Err(format!("chaos needs run|replay|shrink, got {other:?}")),
             };
             Ok(Command::Chaos { action })
+        }
+        "trace" => {
+            // replay/validate/info take the trace path positionally, after
+            // the verb.
+            let trace_positional = |verb: &str| -> Result<String, String> {
+                rest.get(1)
+                    .filter(|a| !a.starts_with("--"))
+                    .cloned()
+                    .ok_or_else(|| format!("trace {verb} needs a trace file path"))
+            };
+            let action = match rest.first().map(String::as_str) {
+                Some("record") => {
+                    let out = flags
+                        .value_of("--out")?
+                        .ok_or_else(|| "trace record needs --out <run.trace>".to_owned())?
+                        .to_owned();
+                    let stats = flags.value_of("--stats")?.map(str::to_owned);
+                    let target = match rest.get(1).map(String::as_str) {
+                        Some("mesh") => TraceTarget::Mesh {
+                            seed: flags.parse_num("--seed", 1u64)?,
+                            transfers: flags.parse_num("--transfers", 2000usize)?,
+                        },
+                        Some("fabric") => {
+                            let (devices, topology) = parse_fabric_flags(&flags, 2)?;
+                            if devices < 2 {
+                                return Err("trace record fabric needs --devices >= 2 \
+                                     (use `trace record mesh` for a single die)"
+                                    .to_owned());
+                            }
+                            TraceTarget::Fabric {
+                                devices,
+                                topology,
+                                width: flags.parse_num("--width", 5u32)?,
+                                height: flags.parse_num("--height", 5u32)?,
+                                seed: flags.parse_num("--seed", 1u64)?,
+                                transfers: flags.parse_num("--transfers", 256usize)?,
+                                cycles: flags.parse_num("--cycles", 60_000u64)?,
+                            }
+                        }
+                        Some("campaign") => {
+                            let defaults = LatencyProbe::default();
+                            TraceTarget::Campaign {
+                                gpu: rest
+                                    .get(2)
+                                    .filter(|a| !a.starts_with("--"))
+                                    .ok_or_else(|| {
+                                        "trace record campaign needs a GPU argument".to_owned()
+                                    })
+                                    .and_then(|s| GpuChoice::parse(s))?,
+                                seed: flags.parse_num("--seed", 0u64)?,
+                                lines: flags.parse_num("--lines", defaults.working_set_lines)?,
+                                samples: flags.parse_num("--samples", defaults.samples)?,
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "trace record needs mesh|fabric|campaign, got {other:?}"
+                            ))
+                        }
+                    };
+                    TraceAction::Record { target, out, stats }
+                }
+                Some("replay") => TraceAction::Replay {
+                    path: trace_positional("replay")?,
+                    stats: flags.value_of("--stats")?.map(str::to_owned),
+                },
+                Some("validate") => TraceAction::Validate {
+                    path: trace_positional("validate")?,
+                },
+                Some("info") => TraceAction::Info {
+                    path: trace_positional("info")?,
+                },
+                other => {
+                    return Err(format!(
+                        "trace needs record|replay|validate|info, got {other:?}"
+                    ))
+                }
+            };
+            Ok(Command::Trace { action })
         }
         "profile" => {
             let age_based = match flags.value_of("--arbiter")? {
@@ -1125,7 +1325,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .first()
                     .filter(|a| !a.starts_with("--"))
                     .ok_or_else(|| {
-                        "submit needs campaign|mesh|chaos|fabric|health|shutdown or --json"
+                        "submit needs campaign|mesh|chaos|fabric|replay|health|shutdown or --json"
                             .to_owned()
                     })?;
                 match op.as_str() {
@@ -1165,11 +1365,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         seed: flags.parse_num("--seed", 0u64)?,
                         transfers: flags.parse_num("--transfers", 64usize)?,
                     },
+                    "replay" => SubmitWhat::Replay {
+                        trace: rest
+                            .get(1)
+                            .filter(|a| !a.starts_with("--"))
+                            .ok_or_else(|| "submit replay needs a trace file path".to_owned())?
+                            .clone(),
+                    },
                     "health" => SubmitWhat::Health,
                     "shutdown" => SubmitWhat::Shutdown,
                     other => {
                         return Err(format!(
-                            "submit: unknown request '{other}' (campaign|mesh|chaos|fabric|health|shutdown)"
+                            "submit: unknown request '{other}' (campaign|mesh|chaos|fabric|replay|health|shutdown)"
                         ))
                     }
                 }
@@ -1780,6 +1987,114 @@ mod tests {
         assert!(parse(&argv("chaos run --device b200")).is_err());
         assert!(parse(&argv("chaos fuzz")).is_err());
         assert!(parse(&argv("chaos")).is_err());
+    }
+
+    #[test]
+    fn chaos_replay_oracle_flag_parses() {
+        let c = parse(&argv("chaos run --replay")).unwrap();
+        let Command::Chaos {
+            action: ChaosAction::Run { cfg, .. },
+        } = c
+        else {
+            panic!("expected chaos run, got {c:?}");
+        };
+        assert!(cfg.replay);
+        assert!(!ChaosConfig::default().replay, "replay is opt-in");
+        assert!(USAGE.contains("--replay"));
+    }
+
+    #[test]
+    fn trace_record_targets_parse_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("trace record mesh --out run.trace")).unwrap(),
+            Command::Trace {
+                action: TraceAction::Record {
+                    target: TraceTarget::Mesh {
+                        seed: 1,
+                        transfers: 2000
+                    },
+                    out: "run.trace".to_owned(),
+                    stats: None,
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "trace record fabric --out f.trace --devices 4 --topology ring \
+                 --width 4 --height 3 --seed 9 --transfers 64 --cycles 9000 \
+                 --stats s.json"
+            ))
+            .unwrap(),
+            Command::Trace {
+                action: TraceAction::Record {
+                    target: TraceTarget::Fabric {
+                        devices: 4,
+                        topology: "ring".to_owned(),
+                        width: 4,
+                        height: 3,
+                        seed: 9,
+                        transfers: 64,
+                        cycles: 9_000,
+                    },
+                    out: "f.trace".to_owned(),
+                    stats: Some("s.json".to_owned()),
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace record campaign v100 --out c.trace --seed 3")).unwrap(),
+            Command::Trace {
+                action: TraceAction::Record {
+                    target: TraceTarget::Campaign {
+                        gpu: GpuChoice::V100,
+                        seed: 3,
+                        lines: LatencyProbe::default().working_set_lines,
+                        samples: LatencyProbe::default().samples,
+                    },
+                    out: "c.trace".to_owned(),
+                    stats: None,
+                }
+            }
+        );
+        assert!(parse(&argv("trace record mesh")).is_err(), "--out required");
+        assert!(parse(&argv("trace record campaign --out c.trace")).is_err());
+        assert!(parse(&argv("trace record fabric --out f.trace --devices 1")).is_err());
+        assert!(parse(&argv("trace record blender --out x.trace")).is_err());
+    }
+
+    #[test]
+    fn trace_replay_validate_info_take_a_positional_path() {
+        assert_eq!(
+            parse(&argv("trace replay run.trace --stats s.json")).unwrap(),
+            Command::Trace {
+                action: TraceAction::Replay {
+                    path: "run.trace".to_owned(),
+                    stats: Some("s.json".to_owned()),
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace validate run.trace")).unwrap(),
+            Command::Trace {
+                action: TraceAction::Validate {
+                    path: "run.trace".to_owned()
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace info run.trace")).unwrap(),
+            Command::Trace {
+                action: TraceAction::Info {
+                    path: "run.trace".to_owned()
+                }
+            }
+        );
+        assert!(parse(&argv("trace replay")).is_err());
+        assert!(parse(&argv("trace validate --stats s.json")).is_err());
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace erase run.trace")).is_err());
+        assert!(USAGE.contains("gnoc trace"));
+        assert!(USAGE.contains("TRACE RECORD/REPLAY"));
     }
 
     #[test]

@@ -7,7 +7,8 @@ use gnoc_chaos::{
 };
 use gnoc_cli::{
     parse_invocation, AttackKind, ChaosAction, Command, FaultsAction, GpuChoice, SubmitWhat,
-    WorkloadKind, EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO, EXIT_OK, USAGE,
+    TraceAction, TraceTarget, WorkloadKind, EXIT_CHECK_FAILED, EXIT_INVALID_INPUT, EXIT_IO,
+    EXIT_OK, USAGE,
 };
 use gnoc_core::microbench::bandwidth::{aggregate_fabric_gbps, aggregate_memory_gbps};
 use gnoc_core::noc::loadcurve::{hier_load_curve, mesh_load_curve, SweepConfig};
@@ -402,6 +403,8 @@ fn run(
 
         Command::Chaos { action } => return run_chaos_action(action, telemetry, pool, profile),
 
+        Command::Trace { action } => return run_trace_action(action, plan, telemetry),
+
         Command::Campaign {
             gpu,
             seed,
@@ -784,9 +787,10 @@ fn run_serve(cfg: ServeConfig, socket: Option<&str>, telemetry: &TelemetryHandle
 
 /// Builds the protocol line a `gnoc submit` request sends. The structured
 /// forms go through [`JobSpec::canonical_json`], so the client sends
-/// exactly the canonical bytes the daemon would derive anyway.
-fn submit_line(what: &SubmitWhat, plan: Option<&FaultPlan>) -> String {
-    match what {
+/// exactly the canonical bytes the daemon would derive anyway. Errors only
+/// for `submit replay`, whose trace file is read here on the client.
+fn submit_line(what: &SubmitWhat, plan: Option<&FaultPlan>) -> Result<String, String> {
+    Ok(match what {
         SubmitWhat::Raw(line) => line.clone(),
         SubmitWhat::Health => "{\"schema\":1,\"op\":\"health\"}".to_owned(),
         SubmitWhat::Shutdown => "{\"schema\":1,\"op\":\"shutdown\"}".to_owned(),
@@ -833,7 +837,16 @@ fn submit_line(what: &SubmitWhat, plan: Option<&FaultPlan>) -> String {
             transfers: *transfers,
         }
         .canonical_json(),
-    }
+        SubmitWhat::Replay { trace } => {
+            let bytes =
+                std::fs::read(trace).map_err(|e| format!("cannot read trace {trace}: {e}"))?;
+            JobSpec::Replay {
+                trace_hex: gnoc_core::trace::to_hex(&bytes),
+                plan: plan.cloned(),
+            }
+            .canonical_json()
+        }
+    })
 }
 
 /// Handles the terminal envelope of one request: prints it (or just the
@@ -894,7 +907,13 @@ fn run_submit(
     summary: bool,
     plan: Option<&FaultPlan>,
 ) -> u8 {
-    let line = submit_line(what, plan);
+    let line = match submit_line(what, plan) {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_IO;
+        }
+    };
     let envelopes = match request_over_socket(Path::new(socket), &line) {
         Ok(envelopes) => envelopes,
         Err(e) => {
@@ -1274,25 +1293,7 @@ fn run_faulted_mesh(
         rm.mesh_mut().attach_flight_recorder();
     }
 
-    // splitmix64 traffic stream keyed by the seed: deterministic across runs.
-    let mut state = seed;
-    let mut next = move || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-    let mut submitted = 0usize;
-    while submitted < transfers {
-        let src = (next() % nodes) as u32;
-        let dst = (next() % nodes) as u32;
-        if src == dst {
-            continue;
-        }
-        rm.submit(NodeId(src), NodeId(dst), 1, PacketClass::Request);
-        submitted += 1;
-    }
+    submit_mesh_soak_traffic(&mut rm, nodes, seed, transfers);
 
     let quiesced = rm.run_until_quiescent(2_000_000);
     let s = rm.stats().clone();
@@ -1355,6 +1356,30 @@ fn run_faulted_mesh(
         return EXIT_CHECK_FAILED;
     }
     EXIT_OK
+}
+
+/// The `gnoc mesh` splitmix64 traffic stream keyed by the seed, shared by
+/// the live faulted soak and `gnoc trace record mesh` so a recording
+/// captures exactly the run it stands in for.
+fn submit_mesh_soak_traffic(rm: &mut ReliableMesh, nodes: u64, seed: u64, transfers: usize) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut submitted = 0usize;
+    while submitted < transfers {
+        let src = (next() % nodes) as u32;
+        let dst = (next() % nodes) as u32;
+        if src == dst {
+            continue;
+        }
+        rm.submit(NodeId(src), NodeId(dst), 1, PacketClass::Request);
+        submitted += 1;
+    }
 }
 
 /// Resolves a topology name the parser already validated.
@@ -1570,6 +1595,483 @@ fn run_fabric(args: &FabricRunArgs, plan: Option<&FaultPlan>, profile: Option<&P
         return EXIT_CHECK_FAILED;
     }
     EXIT_OK
+}
+
+// ---------------------------------------------------------------------------
+// gnoc trace: deterministic record/replay of soaks and campaigns
+// ---------------------------------------------------------------------------
+
+use gnoc_core::trace::{
+    validate_stream, ReplayError, ReplayOutcome, TraceError, TraceHeader, TraceKind, TraceReader,
+    TraceTap,
+};
+use gnoc_core::trace_digest;
+
+/// Maps a trace-stream error onto the documented exit codes: I/O failure →
+/// 3, wrong magic or schema → 2 (retrying the same file cannot succeed;
+/// re-record it), corruption → 1. A truncated tail is normally a
+/// salvageable warning handled by the caller, but a trace cut before its
+/// header completes has no replayable prefix and counts as a failed check.
+fn trace_error_code(e: &TraceError) -> u8 {
+    match e {
+        TraceError::Io(_) => EXIT_IO,
+        TraceError::BadMagic { .. } | TraceError::SchemaVersion { .. } => EXIT_INVALID_INPUT,
+        TraceError::CorruptChunk { .. } | TraceError::TruncatedTail { .. } => EXIT_CHECK_FAILED,
+    }
+}
+
+/// Maps a replay-driver error: stream problems keep their trace code; a
+/// CRC-valid event that does not fit the simulator (wrong node range) is a
+/// crafted or mismatched trace — invalid input.
+fn replay_error_exit(e: &ReplayError) -> u8 {
+    eprintln!("error: {e}");
+    match e {
+        ReplayError::Trace(t) => trace_error_code(t),
+        ReplayError::Event { .. } => EXIT_INVALID_INPUT,
+    }
+}
+
+fn run_trace_action(
+    action: TraceAction,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+) -> u8 {
+    match action {
+        TraceAction::Record { target, out, stats } => record_trace(
+            &target,
+            Path::new(&out),
+            stats.as_deref().map(Path::new),
+            plan,
+            telemetry,
+        ),
+        TraceAction::Replay { path, stats } => replay_trace(
+            Path::new(&path),
+            stats.as_deref().map(Path::new),
+            plan,
+            telemetry,
+        ),
+        TraceAction::Validate { path } => validate_trace(Path::new(&path)),
+        TraceAction::Info { path } => trace_info(Path::new(&path)),
+    }
+}
+
+/// Writes the canonical stats line where `--stats` asked for it. The same
+/// bytes come out of a recording and any faithful replay, so scripts pin
+/// replay fidelity with a plain `cmp`.
+fn write_stats_line(path: &Path, line: &str) -> Result<(), u8> {
+    if let Err(e) = gnoc_core::atomic_write(path, line.as_bytes()) {
+        eprintln!("error: cannot write stats file {}: {e}", path.display());
+        return Err(EXIT_IO);
+    }
+    Ok(())
+}
+
+fn record_trace(
+    target: &TraceTarget,
+    out: &Path,
+    stats_out: Option<&Path>,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+) -> u8 {
+    let plan_fnv = trace_digest::plan_digest(plan);
+    let benign = FaultPlan::none();
+    match target {
+        TraceTarget::Mesh { seed, transfers } => {
+            // Exactly the `gnoc mesh --faults` soak (paper 6x6, round-robin,
+            // default retry policy), with the tap recording each submission.
+            let cfg = MeshConfig::paper_6x6(ArbiterKind::RoundRobin);
+            let header = TraceHeader::mesh(
+                cfg.width as u32,
+                cfg.height as u32,
+                *seed,
+                *transfers as u64,
+                plan_fnv,
+            );
+            let tap = try_or_fail!(
+                TraceTap::to_file(out, &header)
+                    .map_err(|e| format!("cannot create trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            let mut rm = try_or_fail!(ReliableMesh::with_faults(
+                cfg,
+                plan.unwrap_or(&benign),
+                RetryConfig::default()
+            )
+            .map_err(|e| e.to_string()));
+            rm.mesh_mut().set_telemetry(telemetry.clone());
+            rm.attach_trace_tap(tap);
+            submit_mesh_soak_traffic(&mut rm, (cfg.width * cfg.height) as u64, *seed, *transfers);
+            let quiesced = rm.run_until_quiescent(2_000_000);
+            let line = try_or_fail!(trace_digest::mesh_stats_line(&rm));
+            let tap = rm.take_trace_tap().expect("tap attached above");
+            let events = tap.events();
+            try_or_fail!(
+                tap.finish_file(trace_digest::line_digest(&line))
+                    .map_err(|e| format!("cannot finalize trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            finish_recording("mesh", out, events, &line, stats_out, quiesced)
+        }
+        TraceTarget::Fabric {
+            devices,
+            topology,
+            width,
+            height,
+            seed,
+            transfers,
+            cycles,
+        } => {
+            // Exactly the `gnoc fabric` soak with fault-aware routing
+            // (self-heal runs are not recordable: the breaker poll loop
+            // lives outside the injected stream).
+            let topo = try_or_fail!(parse_topology(topology));
+            let mut cfg = FabricConfig::new(*devices, topo);
+            cfg.mesh = MeshConfig {
+                width: *width as usize,
+                height: *height as usize,
+                buffer_packets: 4,
+                arbiter: ArbiterKind::RoundRobin,
+                route_order: gnoc_core::noc::RouteOrder::Xy,
+                vcs: 1,
+            };
+            let header = TraceHeader::fabric(
+                *devices,
+                topology,
+                *width,
+                *height,
+                *seed,
+                *transfers as u64,
+                plan_fnv,
+            );
+            let tap = try_or_fail!(
+                TraceTap::to_file(out, &header)
+                    .map_err(|e| format!("cannot create trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            let mut sim = try_or_fail!(FabricSim::with_faults(cfg, plan.unwrap_or(&benign))
+                .map_err(|e| format!("cannot build the {devices}-device {topology} fabric: {e}")));
+            sim.attach_trace_tap(tap);
+            let nodes = u64::from(*width) * u64::from(*height);
+            try_or_fail!(submit_cli_fabric_traffic(
+                &mut sim, *devices, nodes, *seed, *transfers
+            ));
+            let quiesced = sim.run_until_quiescent(*cycles);
+            let line = try_or_fail!(trace_digest::fabric_stats_line(&sim));
+            let tap = sim.take_trace_tap().expect("tap attached above");
+            let events = tap.events();
+            try_or_fail!(
+                tap.finish_file(trace_digest::line_digest(&line))
+                    .map_err(|e| format!("cannot finalize trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            finish_recording("fabric", out, events, &line, stats_out, quiesced)
+        }
+        TraceTarget::Campaign {
+            gpu,
+            seed,
+            lines,
+            samples,
+        } => {
+            // A campaign injects no transfers: the trace is header+footer,
+            // the header re-instantiates the run and the footer pins the
+            // latency-matrix digest.
+            let preset = gpu.preset_name();
+            let probe = LatencyProbe {
+                working_set_lines: *lines,
+                samples: *samples,
+            };
+            let header =
+                TraceHeader::campaign(preset, *seed, *lines as u32, *samples as u32, plan_fnv);
+            let tap = try_or_fail!(
+                TraceTap::to_file(out, &header)
+                    .map_err(|e| format!("cannot create trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            let mut campaign =
+                try_or_fail!(
+                    CheckpointedCampaign::new(preset, *seed, probe, plan.cloned())
+                        .map_err(|e| e.to_string())
+                );
+            campaign.set_telemetry(telemetry.clone());
+            let result = try_or_fail!(campaign.run_to_completion(None).map_err(|e| e.to_string()));
+            let line = trace_digest::campaign_stats_line(preset, &result);
+            try_or_fail!(
+                tap.finish_file(trace_digest::line_digest(&line))
+                    .map_err(|e| format!("cannot finalize trace {}: {e}", out.display())),
+                EXIT_IO
+            );
+            finish_recording("campaign", out, 0, &line, stats_out, true)
+        }
+    }
+}
+
+fn finish_recording(
+    kind: &str,
+    out: &Path,
+    events: u64,
+    line: &str,
+    stats_out: Option<&Path>,
+    quiesced: bool,
+) -> u8 {
+    if let Some(p) = stats_out {
+        if let Err(code) = write_stats_line(p, line) {
+            return code;
+        }
+    }
+    println!(
+        "recorded {kind} trace: {} ({events} event(s), stats digest {:016x})",
+        out.display(),
+        trace_digest::line_digest(line)
+    );
+    if !quiesced {
+        eprintln!(
+            "error: the recorded run failed to quiesce; the sealed digest \
+             reflects the budget-exhausted state"
+        );
+        return EXIT_CHECK_FAILED;
+    }
+    EXIT_OK
+}
+
+fn replay_trace(
+    path: &Path,
+    stats_out: Option<&Path>,
+    plan: Option<&FaultPlan>,
+    telemetry: &TelemetryHandle,
+) -> u8 {
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot open trace {}: {e}", path.display());
+            return trace_error_code(&e);
+        }
+    };
+    let header = reader.header().clone();
+    let plan_fnv = trace_digest::plan_digest(plan);
+    if header.plan_fnv != plan_fnv {
+        eprintln!(
+            "error: trace was recorded against fault plan {:016x} but this \
+             invocation supplies {:016x}; pass the recording's --faults plan",
+            header.plan_fnv, plan_fnv
+        );
+        return EXIT_INVALID_INPUT;
+    }
+    let benign = FaultPlan::none();
+    let mesh_cfg = MeshConfig {
+        width: header.width as usize,
+        height: header.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: gnoc_core::noc::RouteOrder::Xy,
+        vcs: 1,
+    };
+    match header.kind {
+        TraceKind::Mesh => {
+            let mut rm = try_or_fail!(ReliableMesh::with_faults(
+                mesh_cfg,
+                plan.unwrap_or(&benign),
+                RetryConfig::default()
+            )
+            .map_err(|e| e.to_string()));
+            rm.mesh_mut().set_telemetry(telemetry.clone());
+            let outcome = match rm.replay_from(&mut reader) {
+                Ok(o) => o,
+                Err(e) => return replay_error_exit(&e),
+            };
+            rm.run_until_quiescent(2_000_000);
+            let line = try_or_fail!(trace_digest::mesh_stats_line(&rm));
+            let recorded = reader.footer().map(|f| f.stats_fnv);
+            finish_replay("mesh", &line, stats_out, &outcome, recorded)
+        }
+        TraceKind::Fabric => {
+            let topo = try_or_fail!(parse_topology(&header.topology));
+            let mut cfg = FabricConfig::new(header.devices, topo);
+            cfg.mesh = mesh_cfg;
+            let mut sim = try_or_fail!(
+                FabricSim::with_faults(cfg, plan.unwrap_or(&benign)).map_err(|e| e.to_string())
+            );
+            let outcome = match sim.replay_from(&mut reader) {
+                Ok(o) => o,
+                Err(e) => return replay_error_exit(&e),
+            };
+            sim.run_until_quiescent(2_000_000);
+            let line = try_or_fail!(trace_digest::fabric_stats_line(&sim));
+            let recorded = reader.footer().map(|f| f.stats_fnv);
+            finish_replay("fabric", &line, stats_out, &outcome, recorded)
+        }
+        TraceKind::Campaign => {
+            // No events to drive — CRC-check the (empty) stream, then
+            // re-run the campaign from the header and compare digests.
+            let summary = match validate_stream(&mut reader) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return trace_error_code(&e);
+                }
+            };
+            let device = header.device.clone().unwrap_or_default();
+            let probe = LatencyProbe {
+                working_set_lines: header.lines as usize,
+                samples: header.samples as usize,
+            };
+            let mut campaign =
+                try_or_fail!(
+                    CheckpointedCampaign::new(&device, header.seed, probe, plan.cloned())
+                        .map_err(|e| e.to_string())
+                );
+            campaign.set_telemetry(telemetry.clone());
+            let result = try_or_fail!(campaign.run_to_completion(None).map_err(|e| e.to_string()));
+            let line = trace_digest::campaign_stats_line(&device, &result);
+            let outcome = ReplayOutcome {
+                replayed: summary.events,
+                truncated: summary.truncated,
+            };
+            let recorded = summary.complete.then_some(summary.stats_fnv);
+            finish_replay("campaign", &line, stats_out, &outcome, recorded)
+        }
+    }
+}
+
+fn finish_replay(
+    kind: &str,
+    line: &str,
+    stats_out: Option<&Path>,
+    outcome: &ReplayOutcome,
+    recorded: Option<u64>,
+) -> u8 {
+    if let Some(p) = stats_out {
+        if let Err(code) = write_stats_line(p, line) {
+            return code;
+        }
+    }
+    let digest = trace_digest::line_digest(line);
+    if let Some((chunk, offset)) = outcome.truncated {
+        eprintln!(
+            "warning: trace truncated in chunk {chunk} at byte offset {offset}; \
+             replayed the complete prefix"
+        );
+        println!(
+            "replayed {kind} prefix: {} event(s), stats digest {digest:016x} \
+             (no footer to compare)",
+            outcome.replayed
+        );
+        return EXIT_OK;
+    }
+    match recorded {
+        Some(rec) if rec == digest => {
+            println!(
+                "replayed {kind} trace: {} event(s), stats digest {digest:016x} \
+                 matches the recording",
+                outcome.replayed
+            );
+            EXIT_OK
+        }
+        Some(rec) => {
+            eprintln!(
+                "error: divergent replay: stats digest {digest:016x} does not \
+                 match the recorded {rec:016x}"
+            );
+            EXIT_CHECK_FAILED
+        }
+        None => {
+            println!(
+                "replayed {kind} trace: {} event(s), stats digest {digest:016x} \
+                 (recording sealed no digest)",
+                outcome.replayed
+            );
+            EXIT_OK
+        }
+    }
+}
+
+fn validate_trace(path: &Path) -> u8 {
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot open trace {}: {e}", path.display());
+            return trace_error_code(&e);
+        }
+    };
+    match validate_stream(&mut reader) {
+        Ok(s) if s.complete => {
+            println!(
+                "valid {} trace: {} event(s) in {} chunk(s), stats digest {:016x}",
+                reader.header().kind.name(),
+                s.events,
+                s.event_chunks,
+                s.stats_fnv
+            );
+            EXIT_OK
+        }
+        Ok(s) => {
+            let (chunk, offset) = s.truncated.unwrap_or((0, 0));
+            eprintln!(
+                "warning: trace truncated in chunk {chunk} at byte offset {offset}; \
+                 the complete prefix is replayable"
+            );
+            println!(
+                "salvageable {} trace: {} event(s) in {} chunk(s), no footer",
+                reader.header().kind.name(),
+                s.events,
+                s.event_chunks
+            );
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            trace_error_code(&e)
+        }
+    }
+}
+
+fn trace_info(path: &Path) -> u8 {
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot open trace {}: {e}", path.display());
+            return trace_error_code(&e);
+        }
+    };
+    let h = reader.header().clone();
+    println!("kind:      {}", h.kind.name());
+    println!("schema:    {}", gnoc_core::trace::TRACE_SCHEMA);
+    match h.kind {
+        TraceKind::Campaign => {
+            println!("device:    {}", h.device.as_deref().unwrap_or("?"));
+            println!("probe:     {} lines x {} samples", h.lines, h.samples);
+        }
+        TraceKind::Mesh => println!("geometry:  {}x{} mesh", h.width, h.height),
+        TraceKind::Fabric => println!(
+            "geometry:  {} devices over {} fabric, {}x{} dies",
+            h.devices, h.topology, h.width, h.height
+        ),
+    }
+    println!("seed:      {}", h.seed);
+    println!("transfers: {}", h.transfers);
+    println!(
+        "plan:      {}",
+        if h.plan_fnv == 0 {
+            "none".to_owned()
+        } else {
+            format!("fnv {:016x}", h.plan_fnv)
+        }
+    );
+    match validate_stream(&mut reader) {
+        Ok(s) => {
+            println!("events:    {} in {} chunk(s)", s.events, s.event_chunks);
+            if s.complete {
+                println!("footer:    stats digest {:016x}", s.stats_fnv);
+            } else {
+                let (chunk, offset) = s.truncated.unwrap_or((0, 0));
+                println!("footer:    MISSING (truncated in chunk {chunk} at byte offset {offset})");
+            }
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            trace_error_code(&e)
+        }
+    }
 }
 
 /// Writes the two profile artifacts for a finished recording: the

@@ -8,6 +8,7 @@ use std::process::Command;
 
 use gnoc_chaos::{ChaosConfig, OracleKind, Reproducer, REPRODUCER_VERSION};
 use gnoc_core::faults::{Direction, LinkFault, LinkFaultKind};
+use gnoc_core::trace::{TraceEvent, TraceHeader, TraceTap};
 use gnoc_core::FaultPlan;
 
 const EXIT_OK: i32 = 0;
@@ -86,6 +87,7 @@ fn chaos_replay_distinguishes_exit_codes() {
         plan: FaultPlan::none(),
         command: String::new(),
         trace: None,
+        traffic_trace: None,
     };
     let repro_path = scratch("repro.json");
     repro.save(&repro_path).unwrap();
@@ -117,6 +119,113 @@ fn usage_errors_and_flag_contradictions_exit_invalid_input() {
     assert_eq!(gnoc(&["no-such-command"]), EXIT_INVALID_INPUT);
     // --self-heal is meaningless without a plan to heal around.
     assert_eq!(gnoc(&["mesh", "--self-heal"]), EXIT_INVALID_INPUT);
+}
+
+#[test]
+fn trace_subcommands_pin_all_four_exit_codes() {
+    let trc = scratch("trace.trc");
+    let trc_arg = trc.to_str().unwrap();
+    let plan_path = scratch("trace-plan.json");
+    FaultPlan::none().save(&plan_path).unwrap();
+    let plan_arg = plan_path.to_str().unwrap();
+
+    // 0: a recording, its replay, validate, and info all succeed.
+    assert_eq!(
+        gnoc(&[
+            "trace",
+            "record",
+            "mesh",
+            "--seed",
+            "4",
+            "--transfers",
+            "60",
+            "--out",
+            trc_arg,
+            "--faults",
+            plan_arg,
+        ]),
+        EXIT_OK
+    );
+    assert_eq!(
+        gnoc(&["trace", "replay", trc_arg, "--faults", plan_arg]),
+        EXIT_OK
+    );
+    assert_eq!(gnoc(&["trace", "validate", trc_arg]), EXIT_OK);
+    assert_eq!(gnoc(&["trace", "info", trc_arg]), EXIT_OK);
+
+    let bytes = std::fs::read(&trc).unwrap();
+
+    // 0 with a warning: a truncated tail salvages its complete prefix.
+    let cut = scratch("trace-cut.trc");
+    std::fs::write(&cut, &bytes[..bytes.len() - 40]).unwrap();
+    let cut_arg = cut.to_str().unwrap();
+    assert_eq!(gnoc(&["trace", "validate", cut_arg]), EXIT_OK);
+    assert_eq!(
+        gnoc(&["trace", "replay", cut_arg, "--faults", plan_arg]),
+        EXIT_OK
+    );
+
+    // 1: a flipped byte is corruption, not truncation.
+    let mut damaged = bytes.clone();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0xff;
+    let bad = scratch("trace-bad.trc");
+    std::fs::write(&bad, &damaged).unwrap();
+    let bad_arg = bad.to_str().unwrap();
+    assert_eq!(gnoc(&["trace", "validate", bad_arg]), EXIT_CHECK_FAILED);
+    assert_eq!(
+        gnoc(&["trace", "replay", bad_arg, "--faults", plan_arg]),
+        EXIT_CHECK_FAILED
+    );
+
+    // 1: a structurally valid trace whose sealed digest does not match what
+    // the replay recomputes is a divergent replay.
+    let lying = scratch("trace-lying.trc");
+    let header = TraceHeader::mesh(6, 6, 4, 2, 0);
+    let mut tap = TraceTap::to_file(&lying, &header).unwrap();
+    for (src, dst) in [(0, 7), (3, 11)] {
+        tap.record(&TraceEvent {
+            cycle: 0,
+            src_dev: 0,
+            src,
+            dst_dev: 0,
+            dst,
+            flits: 1,
+            class: 0,
+        });
+    }
+    tap.finish_file(0xdead_beef).unwrap();
+    assert_eq!(
+        gnoc(&["trace", "replay", lying.to_str().unwrap()]),
+        EXIT_CHECK_FAILED
+    );
+
+    // 2: replaying against the wrong fault plan is refused up front.
+    assert_eq!(gnoc(&["trace", "replay", trc_arg]), EXIT_INVALID_INPUT);
+    // 2: record without a destination is a usage error.
+    assert_eq!(gnoc(&["trace", "record", "mesh"]), EXIT_INVALID_INPUT);
+    // 2: a bumped schema version cannot be replayed, only re-recorded.
+    let mut bumped = bytes.clone();
+    let next = (gnoc_core::trace::TRACE_SCHEMA + 1).to_le_bytes();
+    bumped[8..12].copy_from_slice(&next);
+    let drifted = scratch("trace-drifted.trc");
+    std::fs::write(&drifted, &bumped).unwrap();
+    assert_eq!(
+        gnoc(&["trace", "validate", drifted.to_str().unwrap()]),
+        EXIT_INVALID_INPUT
+    );
+
+    // 3: a missing trace file is an I/O error.
+    let missing = scratch("trace-missing.trc");
+    let _ = std::fs::remove_file(&missing);
+    assert_eq!(
+        gnoc(&["trace", "replay", missing.to_str().unwrap()]),
+        EXIT_IO
+    );
+
+    for p in [&trc, &cut, &bad, &lying, &drifted, &plan_path] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]

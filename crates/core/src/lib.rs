@@ -40,15 +40,21 @@
 
 mod campaign;
 mod checkpoint;
-pub mod fsio;
 mod parallel;
+pub mod trace_digest;
+
+/// Crash-safe file primitives, re-exported from `gnoc-faults` (the lowest
+/// crate that persists artifacts) so every layer shares one implementation.
+pub mod fsio {
+    pub use gnoc_faults::fsio::{atomic_write, remove_orphan_tmp, tmp_sibling};
+}
 
 pub use campaign::{infer_placement, LatencyCampaign, PlacementReport};
 pub use checkpoint::{
     device_for_preset, row_seed, spec_for_preset, CheckpointError, CheckpointedCampaign,
     CoverageReport, CHECKPOINT_VERSION,
 };
-pub use fsio::{atomic_write, remove_orphan_tmp, tmp_sibling};
+pub use gnoc_faults::fsio::{atomic_write, remove_orphan_tmp, tmp_sibling};
 
 pub use gnoc_analysis as analysis;
 pub use gnoc_engine as engine;
@@ -61,6 +67,7 @@ pub use gnoc_par as par;
 pub use gnoc_sidechannel as sidechannel;
 pub use gnoc_telemetry as telemetry;
 pub use gnoc_topo as topo;
+pub use gnoc_trace as trace;
 pub use gnoc_workloads as workloads;
 
 // Flat re-exports of the most-used types.

@@ -179,6 +179,10 @@ pub struct FabricSim {
     outstanding: usize,
     last_progress: u64,
     recorder: Option<Box<FlightRecorder>>,
+    /// Workload record tap (`gnoc trace record`): observes every submit,
+    /// absent by default. Like the flight recorder it cannot influence the
+    /// simulation, so tapped runs stay byte-identical to bare ones.
+    trace_tap: Option<Box<gnoc_trace::TraceTap>>,
     #[cfg(feature = "bug-hooks")]
     stuck_crossing_bug: bool,
 }
@@ -290,6 +294,7 @@ impl FabricSim {
             outstanding: 0,
             last_progress: 0,
             recorder: None,
+            trace_tap: None,
             #[cfg(feature = "bug-hooks")]
             stuck_crossing_bug: false,
             cfg,
@@ -404,6 +409,88 @@ impl FabricSim {
         self.recorder.take()
     }
 
+    /// Attaches a workload record tap: every subsequent [`FabricSim::
+    /// submit`] is appended to the trace. The tap observes but cannot
+    /// influence the simulation (its I/O errors are stashed sticky), so a
+    /// recorded run is byte-identical to an untapped one.
+    pub fn attach_trace_tap(&mut self, tap: gnoc_trace::TraceTap) {
+        self.trace_tap = Some(Box::new(tap));
+    }
+
+    /// The attached workload record tap, if any.
+    pub fn trace_tap(&self) -> Option<&gnoc_trace::TraceTap> {
+        self.trace_tap.as_deref()
+    }
+
+    /// Detaches and returns the workload record tap for finalization.
+    pub fn take_trace_tap(&mut self) -> Option<gnoc_trace::TraceTap> {
+        self.trace_tap.take().map(|b| *b)
+    }
+
+    /// Replays a recorded submission stream into this fabric: every event
+    /// is re-submitted in order (stepping the simulation up to the event's
+    /// recorded cycle first), reproducing the recorded run bit for bit when
+    /// the fabric was built from the trace header's configuration and plan.
+    ///
+    /// A truncated trace replays its complete prefix and reports the
+    /// truncation point in [`gnoc_trace::ReplayOutcome::truncated`]; the
+    /// caller decides whether that is a warning or an error.
+    ///
+    /// # Errors
+    ///
+    /// [`gnoc_trace::ReplayError::Trace`] on a corrupt or unreadable
+    /// stream; [`gnoc_trace::ReplayError::Event`] when a CRC-valid event
+    /// does not fit this fabric (device or node out of range) — never a
+    /// panic.
+    pub fn replay_from<R: std::io::Read>(
+        &mut self,
+        reader: &mut gnoc_trace::TraceReader<R>,
+    ) -> Result<gnoc_trace::ReplayOutcome, gnoc_trace::ReplayError> {
+        use gnoc_trace::{ReplayError, ReplayOutcome, TraceError};
+        let mut replayed = 0u64;
+        loop {
+            match reader.next_event() {
+                Ok(Some(ev)) => {
+                    let class = PacketClass::from_trace_code(ev.class).ok_or_else(|| {
+                        ReplayError::Event {
+                            index: replayed,
+                            reason: format!("unknown packet class {}", ev.class),
+                        }
+                    })?;
+                    while self.now < ev.cycle {
+                        self.step();
+                    }
+                    self.submit(
+                        ev.src_dev,
+                        NodeId::new(ev.src),
+                        ev.dst_dev,
+                        NodeId::new(ev.dst),
+                        ev.flits,
+                        class,
+                    )
+                    .map_err(|e| ReplayError::Event {
+                        index: replayed,
+                        reason: e.to_string(),
+                    })?;
+                    replayed += 1;
+                }
+                Ok(None) => {
+                    return Ok(ReplayOutcome {
+                        replayed,
+                        truncated: None,
+                    })
+                }
+                Err(TraceError::TruncatedTail { chunk, offset }) => {
+                    return Ok(ReplayOutcome {
+                        replayed,
+                        truncated: Some((chunk, offset)),
+                    })
+                }
+                Err(e) => return Err(ReplayError::Trace(e)),
+            }
+        }
+    }
+
     /// Submits a transfer from `(src_dev, src)` to `(dst_dev, dst)`.
     ///
     /// # Errors
@@ -437,6 +524,17 @@ impl FabricSim {
             }
         }
 
+        if let Some(tap) = self.trace_tap.as_deref_mut() {
+            tap.record(&gnoc_trace::TraceEvent {
+                cycle: self.now,
+                src_dev,
+                src: src.index() as u32,
+                dst_dev,
+                dst: dst.index() as u32,
+                flits,
+                class: class.trace_code(),
+            });
+        }
         let id = FabricTransferId(self.transfers.len());
         let birth = self.now;
         let cross = src_dev != dst_dev;

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fsio;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -937,14 +939,16 @@ impl FaultPlan {
         serde_json::from_str(s).map_err(|e| FaultPlanError::Parse(e.to_string()))
     }
 
-    /// Writes the plan to `path` as JSON.
+    /// Writes the plan to `path` as JSON, atomically: a crash mid-save
+    /// leaves either the old plan or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Returns [`FaultPlanError::Io`] on filesystem errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FaultPlanError> {
         let json = self.to_json()?;
-        std::fs::write(path, json + "\n").map_err(|e| FaultPlanError::Io(e.to_string()))
+        fsio::atomic_write(path.as_ref(), (json + "\n").as_bytes())
+            .map_err(|e| FaultPlanError::Io(e.to_string()))
     }
 
     /// Reads a plan from a JSON file.

@@ -37,6 +37,27 @@ pub enum PacketClass {
     Reply,
 }
 
+impl PacketClass {
+    /// The class's trace-format code (`gnoc-trace` events store this byte).
+    #[must_use]
+    pub fn trace_code(self) -> u8 {
+        match self {
+            Self::Request => 0,
+            Self::Reply => 1,
+        }
+    }
+
+    /// Inverse of [`PacketClass::trace_code`].
+    #[must_use]
+    pub fn from_trace_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Request),
+            1 => Some(Self::Reply),
+            _ => None,
+        }
+    }
+}
+
 /// One packet in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Packet {

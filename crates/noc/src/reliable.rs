@@ -17,6 +17,9 @@ use crate::mesh::{Mesh, MeshConfig};
 use crate::packet::{NodeId, PacketClass};
 use gnoc_faults::FaultPlan;
 use gnoc_telemetry::{MetricRegistry, TraceEvent, SUBSYSTEM_NOC};
+use gnoc_trace::{
+    ReplayError, ReplayOutcome, TraceError, TraceEvent as TapEvent, TraceReader, TraceTap,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -207,6 +210,9 @@ pub struct ReliableMesh {
     /// Last cycle with protocol-level activity (delivery, NACK, loss).
     last_activity: u64,
     tripped: bool,
+    /// Workload record tap (`gnoc trace record`): observes every submit,
+    /// boxed and absent by default so untapped runs pay one pointer.
+    trace_tap: Option<Box<TraceTap>>,
 }
 
 impl ReliableMesh {
@@ -223,6 +229,7 @@ impl ReliableMesh {
             next_deadline: u64::MAX,
             last_activity: 0,
             tripped: false,
+            trace_tap: None,
         }
     }
 
@@ -281,6 +288,17 @@ impl ReliableMesh {
         flits: u32,
         class: PacketClass,
     ) -> TransferId {
+        if let Some(tap) = self.trace_tap.as_deref_mut() {
+            tap.record(&TapEvent {
+                cycle: self.mesh.cycle(),
+                src_dev: 0,
+                src: src.index() as u32,
+                dst_dev: 0,
+                dst: dst.index() as u32,
+                flits,
+                class: class.trace_code(),
+            });
+        }
         let id = TransferId(self.transfers.len());
         self.transfers.push(Transfer {
             src,
@@ -323,6 +341,88 @@ impl ReliableMesh {
             }
         }
         Ok(self.submit(src, dst, flits, class))
+    }
+
+    /// Attaches a workload record tap: every subsequent [`ReliableMesh::
+    /// submit`] is appended to the trace. The tap observes but cannot
+    /// influence the simulation (its I/O errors are stashed sticky), so a
+    /// recorded run is byte-identical to an untapped one.
+    pub fn attach_trace_tap(&mut self, tap: TraceTap) {
+        self.trace_tap = Some(Box::new(tap));
+    }
+
+    /// The attached record tap, if any.
+    pub fn trace_tap(&self) -> Option<&TraceTap> {
+        self.trace_tap.as_deref()
+    }
+
+    /// Detaches and returns the record tap for finalization.
+    pub fn take_trace_tap(&mut self) -> Option<TraceTap> {
+        self.trace_tap.take().map(|b| *b)
+    }
+
+    /// Replays a recorded submission stream into this mesh: every event is
+    /// re-submitted in order (stepping the simulation up to the event's
+    /// recorded cycle first), reproducing the recorded run bit for bit when
+    /// the mesh was built from the trace header's configuration and plan.
+    ///
+    /// A truncated trace replays its complete prefix and reports the
+    /// truncation point in [`ReplayOutcome::truncated`]; the caller decides
+    /// whether that is a warning or an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Trace`] on a corrupt or unreadable stream;
+    /// [`ReplayError::Event`] when a CRC-valid event does not fit this mesh
+    /// (non-zero device, node out of range) — never a panic.
+    pub fn replay_from<R: std::io::Read>(
+        &mut self,
+        reader: &mut TraceReader<R>,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let mut replayed = 0u64;
+        loop {
+            match reader.next_event() {
+                Ok(Some(ev)) => {
+                    if ev.src_dev != 0 || ev.dst_dev != 0 {
+                        return Err(ReplayError::Event {
+                            index: replayed,
+                            reason: format!(
+                                "mesh replay saw device ({}, {}) — a fabric trace?",
+                                ev.src_dev, ev.dst_dev
+                            ),
+                        });
+                    }
+                    while self.mesh.cycle() < ev.cycle {
+                        self.step();
+                    }
+                    let class = PacketClass::from_trace_code(ev.class).ok_or_else(|| {
+                        ReplayError::Event {
+                            index: replayed,
+                            reason: format!("unknown packet class {}", ev.class),
+                        }
+                    })?;
+                    self.submit_checked(NodeId::new(ev.src), NodeId::new(ev.dst), ev.flits, class)
+                        .map_err(|e| ReplayError::Event {
+                            index: replayed,
+                            reason: e.to_string(),
+                        })?;
+                    replayed += 1;
+                }
+                Ok(None) => {
+                    return Ok(ReplayOutcome {
+                        replayed,
+                        truncated: None,
+                    })
+                }
+                Err(TraceError::TruncatedTail { chunk, offset }) => {
+                    return Ok(ReplayOutcome {
+                        replayed,
+                        truncated: Some((chunk, offset)),
+                    })
+                }
+                Err(e) => return Err(ReplayError::Trace(e)),
+            }
+        }
     }
 
     /// Current state of a transfer.

@@ -531,6 +531,26 @@ fn budget_violation(cfg: &ServeConfig, spec: &JobSpec) -> Option<String> {
                 )
             })
         }
+        // A replay re-drives a stream someone already paid to record; the
+        // trace header pins its size, so the transfer budget applies to the
+        // recorded event count.
+        JobSpec::Replay { trace_hex, .. } => {
+            let events = gnoc_core::trace::from_hex(trace_hex)
+                .ok()
+                .and_then(|bytes| {
+                    let mut r = gnoc_core::trace::TraceReader::from_bytes(bytes).ok()?;
+                    gnoc_core::trace::validate_stream(&mut r)
+                        .ok()
+                        .map(|s| s.events)
+                })
+                .unwrap_or(0) as usize;
+            (cfg.max_transfers > 0 && events > cfg.max_transfers).then(|| {
+                format!(
+                    "replay of {events} recorded events exceeds budget {}",
+                    cfg.max_transfers
+                )
+            })
+        }
     }
 }
 

@@ -76,6 +76,14 @@ pub enum JobSpec {
         /// Transfers to submit.
         transfers: usize,
     },
+    /// A recorded-trace replay: re-drive the captured run and verify the
+    /// final-state digest against the trace footer.
+    Replay {
+        /// The whole trace artifact, hex-encoded (normalized to lowercase).
+        trace_hex: String,
+        /// Optional fault plan; its digest must match the trace header's.
+        plan: Option<FaultPlan>,
+    },
 }
 
 /// A parsed protocol request: a job, or one of the two control verbs.
@@ -221,8 +229,28 @@ impl Request {
                     transfers,
                 })))
             }
+            "replay" => {
+                let trace_hex = value
+                    .field("trace")
+                    .ok()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "replay needs a hex \"trace\" field".to_string())?
+                    .to_ascii_lowercase();
+                if trace_hex.is_empty()
+                    || trace_hex.len() % 2 != 0
+                    || !trace_hex.bytes().all(|b| b.is_ascii_hexdigit())
+                {
+                    return Err(
+                        "field `trace` must be a non-empty even-length hex string".to_string()
+                    );
+                }
+                Ok(Request::Job(Box::new(JobSpec::Replay {
+                    trace_hex,
+                    plan: get_plan(&value)?,
+                })))
+            }
             other => Err(format!(
-                "unknown op {other:?} (known: campaign, mesh, chaos, fabric, health, shutdown)"
+                "unknown op {other:?} (known: campaign, mesh, chaos, fabric, replay, health, shutdown)"
             )),
         }
     }
@@ -241,6 +269,7 @@ impl JobSpec {
             JobSpec::Mesh { .. } => "mesh",
             JobSpec::Chaos { .. } => "chaos",
             JobSpec::Fabric { .. } => "fabric",
+            JobSpec::Replay { .. } => "replay",
         }
     }
 
@@ -300,6 +329,16 @@ impl JobSpec {
                 "{{\"schema\":{SCHEMA},\"op\":\"fabric\",\"devices\":{devices},\"topology\":{},\"seed\":{seed},\"transfers\":{transfers}}}",
                 json_str(topology)
             ),
+            JobSpec::Replay { trace_hex, plan } => {
+                let plan_json = match plan {
+                    Some(p) => serde_json::to_string(p).expect("fault plans always serialize"),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"schema\":{SCHEMA},\"op\":\"replay\",\"trace\":{},\"plan\":{plan_json}}}",
+                    json_str(trace_hex)
+                )
+            }
         }
     }
 
@@ -419,6 +458,10 @@ mod tests {
                 seed: 9,
                 transfers: 16,
             },
+            JobSpec::Replay {
+                trace_hex: "deadbeef".into(),
+                plan: None,
+            },
         ];
         for spec in specs {
             let json = spec.canonical_json();
@@ -466,6 +509,27 @@ mod tests {
         )
         .unwrap_err()
         .contains("unknown fabric topology"));
+    }
+
+    #[test]
+    fn replay_requires_well_formed_hex() {
+        assert!(Request::parse("{\"schema\":1,\"op\":\"replay\"}")
+            .unwrap_err()
+            .contains("needs a hex"));
+        assert!(
+            Request::parse("{\"schema\":1,\"op\":\"replay\",\"trace\":\"xyz\"}")
+                .unwrap_err()
+                .contains("hex string")
+        );
+        assert!(
+            Request::parse("{\"schema\":1,\"op\":\"replay\",\"trace\":\"abc\"}")
+                .unwrap_err()
+                .contains("even-length")
+        );
+        // Hex is normalized to lowercase so equivalent requests share a key.
+        let a = Request::parse("{\"schema\":1,\"op\":\"replay\",\"trace\":\"DEADBEEF\"}").unwrap();
+        let b = Request::parse("{\"schema\":1,\"op\":\"replay\",\"trace\":\"deadbeef\"}").unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub fn execute(spec: &JobSpec, ckpt: &Path, row_delay_ms: u64) -> ExecOutcome {
             seed,
             transfers,
         } => run_fabric_job(*devices, topology, *seed, *transfers),
+        JobSpec::Replay { trace_hex, plan } => run_replay_job(trace_hex, plan.as_ref()),
     }
 }
 
@@ -342,6 +343,143 @@ fn run_fabric_job(devices: u32, topology: &str, seed: u64, transfers: usize) -> 
             s.cross_device,
             s.fabric_hops,
             s.mean_latency(),
+            json_str(&summary)
+        ),
+    )
+}
+
+/// Replays a hex-encoded trace artifact in-process and verifies the
+/// final-state digest against the sealed footer. A divergent digest, a
+/// corrupt chunk, or a fault-plan mismatch fails the job; a truncated tail
+/// succeeds with `"complete":false` (the salvage contract the CLI's
+/// `gnoc trace replay` also honors).
+fn run_replay_job(trace_hex: &str, plan: Option<&FaultPlan>) -> ExecOutcome {
+    use gnoc_core::trace::{validate_stream, TraceKind, TraceReader};
+    use gnoc_core::trace_digest;
+
+    let bytes = match gnoc_core::trace::from_hex(trace_hex) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("replay: {e}")),
+    };
+    let mut reader = match TraceReader::from_bytes(bytes) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("replay: {e}")),
+    };
+    let header = reader.header().clone();
+    let plan_fnv = trace_digest::plan_digest(plan);
+    if header.plan_fnv != plan_fnv {
+        return fail(format!(
+            "replay: trace was recorded against fault plan {:016x} but the job supplies {plan_fnv:016x}",
+            header.plan_fnv
+        ));
+    }
+    let benign = FaultPlan::none();
+    let mesh_cfg = MeshConfig {
+        width: header.width as usize,
+        height: header.height as usize,
+        buffer_packets: 4,
+        arbiter: ArbiterKind::RoundRobin,
+        route_order: gnoc_core::noc::RouteOrder::Xy,
+        vcs: 1,
+    };
+    // (events replayed, truncation point, canonical stats line, sealed digest)
+    let (events, truncated, line, recorded) = match header.kind {
+        TraceKind::Mesh => {
+            let mut rm = match ReliableMesh::with_faults(
+                mesh_cfg,
+                plan.unwrap_or(&benign),
+                RetryConfig::default(),
+            ) {
+                Ok(rm) => rm,
+                Err(e) => return fail(format!("replay mesh setup: {e}")),
+            };
+            let outcome = match rm.replay_from(&mut reader) {
+                Ok(o) => o,
+                Err(e) => return fail(format!("replay: {e}")),
+            };
+            rm.run_until_quiescent(2_000_000);
+            let line = match trace_digest::mesh_stats_line(&rm) {
+                Ok(l) => l,
+                Err(e) => return fail(format!("replay: {e}")),
+            };
+            let recorded = reader.footer().map(|f| f.stats_fnv);
+            (outcome.replayed, outcome.truncated, line, recorded)
+        }
+        TraceKind::Fabric => {
+            let Some(topo) = FabricTopology::parse(&header.topology) else {
+                return fail(format!(
+                    "replay: unknown fabric topology {:?}",
+                    header.topology
+                ));
+            };
+            let mut cfg = FabricConfig::new(header.devices, topo);
+            cfg.mesh = mesh_cfg;
+            let mut sim = match FabricSim::with_faults(cfg, plan.unwrap_or(&benign)) {
+                Ok(sim) => sim,
+                Err(e) => return fail(format!("replay fabric setup: {e}")),
+            };
+            let outcome = match sim.replay_from(&mut reader) {
+                Ok(o) => o,
+                Err(e) => return fail(format!("replay: {e}")),
+            };
+            sim.run_until_quiescent(2_000_000);
+            let line = match trace_digest::fabric_stats_line(&sim) {
+                Ok(l) => l,
+                Err(e) => return fail(format!("replay: {e}")),
+            };
+            let recorded = reader.footer().map(|f| f.stats_fnv);
+            (outcome.replayed, outcome.truncated, line, recorded)
+        }
+        TraceKind::Campaign => {
+            let summary = match validate_stream(&mut reader) {
+                Ok(s) => s,
+                Err(e) => return fail(format!("replay: {e}")),
+            };
+            let device = header.device.clone().unwrap_or_default();
+            let probe = LatencyProbe {
+                working_set_lines: header.lines as usize,
+                samples: header.samples as usize,
+            };
+            let mut campaign =
+                match CheckpointedCampaign::new(&device, header.seed, probe, plan.cloned()) {
+                    Ok(c) => c,
+                    Err(e) => return fail(format!("replay campaign setup: {e}")),
+                };
+            let result = match campaign.run_to_completion(None) {
+                Ok(r) => r,
+                Err(e) => return fail(format!("replay campaign: {e}")),
+            };
+            let line = trace_digest::campaign_stats_line(&device, &result);
+            let recorded = summary.complete.then_some(summary.stats_fnv);
+            (summary.events, summary.truncated, line, recorded)
+        }
+    };
+    let digest = trace_digest::line_digest(&line);
+    let kind = header.kind.name();
+    if truncated.is_none() {
+        if let Some(rec) = recorded {
+            if rec != 0 && rec != digest {
+                return fail(format!(
+                    "replay: divergent {kind} replay: stats digest {digest:016x} does not match the recorded {rec:016x}"
+                ));
+            }
+        }
+    }
+    let complete = truncated.is_none();
+    let summary = if complete {
+        format!(
+            "replay {kind}: {events} event(s), stats digest {digest:016x} matches the recording"
+        )
+    } else {
+        format!(
+            "replay {kind} prefix: {events} event(s), stats digest {digest:016x} (truncated trace)"
+        )
+    };
+    ok(
+        0,
+        format!(
+            "{{\"kind\":\"replay\",\"trace\":{},\"events\":{events},\"complete\":{complete},\"digest\":\"{digest:016x}\",\"summary\":{}}}",
+            json_str(kind),
             json_str(&summary)
         ),
     )
